@@ -1,0 +1,116 @@
+// Dynamic re-tiering extension ("MnemoDyn") vs Mnemo's static placements.
+//
+// The paper ships static placement only and observes that News-Feed-style
+// workloads — whose hot set keeps moving — can barely profit from it
+// (Fig 9). This bench quantifies the gap an epoch-based, drift-predictive
+// migrator closes, at a fixed 30%-of-dataset FastMem budget:
+//   - static oracle: whole-trace accesses/size priority (MnemoT's advice)
+//   - dynamic reactive: EWMA re-tiering, no prediction
+//   - dynamic predictive: + hot-zone velocity estimation and pre-promotion
+
+#include <algorithm>
+#include <cstdio>
+
+#include "core/migration.hpp"
+#include "util/bytes.hpp"
+#include "util/table.hpp"
+#include "workload/suite.hpp"
+
+namespace {
+
+using namespace mnemo;
+
+struct Row {
+  const char* label;
+  double throughput;
+  std::uint64_t migrations;
+  double migration_ms;
+};
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "== Dynamic re-tiering vs static placement (FastMem budget = 30%% "
+      "of dataset) ==\n\n");
+
+  core::SensitivityConfig sens;
+  sens.repeats = 1;
+
+  for (const char* name : {"trending", "news_feed", "ycsb_d"}) {
+    workload::WorkloadSpec spec =
+        std::string(name) == "ycsb_d" ? workload::ycsb_d()
+                                      : workload::paper_workload(name);
+    spec.key_count = 2'000;
+    spec.request_count = 40'000;
+    if (spec.insert_fraction == 0.0 &&
+        spec.distribution == workload::DistributionKind::kLatest) {
+      // Hot zone sweeps the key space once over the run. (ycsb_d needs no
+      // synthetic drift — its inserts move the hot set natively.)
+      spec.dist_params.latest_drift =
+          static_cast<double>(spec.key_count) /
+          static_cast<double>(spec.request_count);
+    }
+    const workload::Trace trace = workload::Trace::generate(spec);
+
+    core::MigrationConfig mig;
+    mig.fast_budget_bytes = static_cast<std::uint64_t>(
+        0.3 * static_cast<double>(trace.dataset_bytes()));
+    mig.epoch_requests = 2'000;
+    // Per-epoch copy budget proportional to the dataset so small-record
+    // workloads don't thrash (score noise would otherwise churn far more
+    // keys than the hot set actually moves).
+    mig.migration_bytes_per_epoch = std::clamp<std::uint64_t>(
+        trace.dataset_bytes() / 16, 2ULL << 20, 16ULL << 20);
+
+    core::MigrationConfig reactive = mig;
+    reactive.predictive = false;
+    core::MigrationConfig background = mig;
+    background.foreground = false;
+
+    const core::DynamicTierer pred(sens, mig);
+    const core::DynamicTierer react(sens, reactive);
+    const core::DynamicTierer bg(sens, background);
+
+    const auto oracle = pred.run_static_oracle(trace);
+    const auto r_react = react.run(trace);
+    const auto r_pred = pred.run(trace);
+    const auto r_bg = bg.run(trace);
+
+    std::printf("-- %s (%s keys, %zu requests) --\n", name,
+                util::format_bytes(trace.dataset_bytes()).c_str(),
+                trace.requests().size());
+    util::TablePrinter table({"strategy", "throughput (ops/s)",
+                              "vs static", "keys moved", "migration (ms)"});
+    auto add = [&](const char* label, double thr, std::uint64_t migs,
+                   double mig_ms) {
+      table.add_row({label, util::TablePrinter::num(thr, 0),
+                     util::TablePrinter::pct(thr / oracle.throughput_ops - 1.0,
+                                             1),
+                     std::to_string(migs),
+                     util::TablePrinter::num(mig_ms, 0)});
+    };
+    add("static oracle (MnemoT advice)", oracle.throughput_ops, 0, 0.0);
+    add("dynamic, reactive", r_react.measurement.throughput_ops,
+        r_react.migrations, r_react.migration_ns / 1e6);
+    add("dynamic, predictive (fg copies)",
+        r_pred.measurement.throughput_ops, r_pred.migrations,
+        r_pred.migration_ns / 1e6);
+    add("dynamic, predictive (bg copies)",
+        r_bg.measurement.throughput_ops, r_bg.migrations,
+        r_bg.migration_ns / 1e6);
+    table.print();
+    std::printf("\n");
+  }
+
+  std::printf(
+      "expected shape: on the stationary trending hot set the static "
+      "oracle is (near) unbeatable — dynamic pays learning and copy costs "
+      "for nothing; on the drifting news feed every static placement goes "
+      "stale and the predictive migrator wins it back. ycsb_d's 10 KB "
+      "posts fit the LLC, which absorbs the moving hot set regardless of "
+      "placement — background-dynamic merely matches the oracle there, "
+      "itself a correct call (don't migrate what the cache already "
+      "hides).\n");
+  return 0;
+}

@@ -1,0 +1,111 @@
+#pragma once
+
+// Shared harness code for the per-figure bench binaries: capacity sweeps
+// that pair Mnemo's analytical estimate with actual (simulated) execution
+// of the same placements, the way the paper's Fig 5/8/9 pair estimate
+// lines with measured points.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/mnemo.hpp"
+#include "core/placement_engine.hpp"
+#include "util/thread_pool.hpp"
+
+namespace mnemo::bench {
+
+/// One measured-vs-estimated capacity point of a sweep.
+struct SweepPoint {
+  double cost_factor = 0.0;
+  std::size_t fast_keys = 0;
+  double est_throughput = 0.0;
+  double meas_throughput = 0.0;
+  double est_avg_latency_ns = 0.0;
+  double meas_avg_latency_ns = 0.0;
+  double meas_p95_ns = 0.0;
+  double meas_p99_ns = 0.0;
+  double throughput_error_pct = 0.0;  ///< (r - e)/r * 100
+  double latency_error_pct = 0.0;
+};
+
+struct SweepResult {
+  std::string workload;
+  kvstore::StoreKind store = kvstore::StoreKind::kVermilion;
+  core::MnemoReport report;
+  std::vector<SweepPoint> points;  ///< includes both baselines
+};
+
+/// Default measured fractions of the key-ordering prefix (the paper plots
+/// ~8-10 measured markers per curve plus the two baselines).
+inline std::vector<double> default_fractions() {
+  return {0.0, 0.125, 0.25, 0.375, 0.5, 0.625, 0.75, 0.875, 1.0};
+}
+
+/// Profile `trace` with Mnemo and validate the estimate at the given
+/// prefix fractions by executing those placements. Points are measured in
+/// parallel (each run is shared-nothing).
+inline SweepResult run_sweep(const workload::Trace& trace,
+                             kvstore::StoreKind store,
+                             const core::MnemoConfig& base_config,
+                             const std::vector<double>& fractions =
+                                 default_fractions()) {
+  core::MnemoConfig config = base_config;
+  config.store = store;
+  const core::Mnemo mnemo(config);
+
+  SweepResult result;
+  result.workload = trace.name();
+  result.store = store;
+  result.report = mnemo.profile(trace);
+
+  result.points.resize(fractions.size());
+  util::parallel_for(fractions.size(), [&](std::size_t i) {
+    const auto idx = static_cast<std::size_t>(
+        fractions[i] *
+        static_cast<double>(result.report.curve.points.size() - 1));
+    const core::EstimatePoint& p = result.report.curve.points[idx];
+    const core::RunMeasurement m =
+        mnemo.validate(trace, result.report.order, p);
+    SweepPoint& sp = result.points[i];
+    sp.cost_factor = p.cost_factor;
+    sp.fast_keys = p.fast_keys;
+    sp.est_throughput = p.est_throughput_ops;
+    sp.meas_throughput = m.throughput_ops;
+    sp.est_avg_latency_ns = p.est_avg_latency_ns;
+    sp.meas_avg_latency_ns = m.avg_latency_ns;
+    sp.meas_p95_ns = m.p95_ns;
+    sp.meas_p99_ns = m.p99_ns;
+    sp.throughput_error_pct =
+        core::estimate_error_pct(m.throughput_ops, p.est_throughput_ops);
+    sp.latency_error_pct =
+        core::estimate_error_pct(m.avg_latency_ns, p.est_avg_latency_ns);
+  });
+  return result;
+}
+
+/// Thin the full key-granularity estimate curve to `n` plot samples.
+inline void sample_curve(const core::EstimateCurve& curve, std::size_t n,
+                         std::vector<double>* xs, std::vector<double>* ys) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto idx = static_cast<std::size_t>(
+        static_cast<double>(i) / static_cast<double>(n - 1) *
+        static_cast<double>(curve.points.size() - 1));
+    xs->push_back(curve.points[idx].cost_factor);
+    ys->push_back(curve.points[idx].est_throughput_ops);
+  }
+}
+
+inline const char* store_label(kvstore::StoreKind kind) {
+  switch (kind) {
+    case kvstore::StoreKind::kVermilion:
+      return "Redis-like (Vermilion)";
+    case kvstore::StoreKind::kCachet:
+      return "Memcached-like (Cachet)";
+    case kvstore::StoreKind::kDynaStore:
+      return "DynamoDB-like (DynaStore)";
+  }
+  return "?";
+}
+
+}  // namespace mnemo::bench

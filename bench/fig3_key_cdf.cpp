@@ -1,0 +1,79 @@
+// Figure 3: "CDF of the key space across different request pattern
+// distributions. Shows the probability for a key ID to be requested
+// throughout the workload."
+//
+// Generates Table III-scale traces (10,000 keys, 100,000 requests) for
+// each request distribution and prints the cumulative request share by
+// key ID — the exact curves of the paper's Fig 3.
+
+#include <cstdio>
+
+#include "stats/cdf.hpp"
+#include "util/ascii_plot.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+#include "workload/trace.hpp"
+
+int main() {
+  using namespace mnemo;
+  std::printf("== Fig 3: CDF of the key space per request distribution ==\n\n");
+
+  struct Entry {
+    workload::DistributionKind kind;
+    char marker;
+  };
+  const std::vector<Entry> kinds = {
+      {workload::DistributionKind::kUniform, 'u'},
+      {workload::DistributionKind::kZipfian, 'z'},
+      {workload::DistributionKind::kScrambledZipfian, 's'},
+      {workload::DistributionKind::kLatest, 'l'},
+      {workload::DistributionKind::kHotspot, 'h'},
+  };
+
+  util::AsciiPlot plot("Fig 3: key-space CDF", "key ID",
+                       "P(requested key <= ID)", 72, 22);
+  util::TablePrinter table({"distribution", "share@10%", "share@20%",
+                            "share@50%", "share@90%"});
+  util::csv::Writer csv("fig3_key_cdf.csv");
+  csv.row({"distribution", "key_id", "cumulative_share"});
+
+  for (const auto& [kind, marker] : kinds) {
+    workload::WorkloadSpec spec;
+    spec.name = std::string(to_string(kind));
+    spec.distribution = kind;
+    spec.record_size = workload::RecordSizeType::kThumbnail;
+    const workload::Trace trace = workload::Trace::generate(spec);
+    const auto share = stats::cumulative_share(trace.access_counts());
+
+    util::PlotSeries series;
+    series.name = spec.name;
+    series.marker = marker;
+    for (std::size_t i = 0; i < share.size(); i += 100) {
+      series.x.push_back(static_cast<double>(i));
+      series.y.push_back(share[i]);
+      csv.field(spec.name)
+          .field(static_cast<std::uint64_t>(i))
+          .field(share[i], 6);
+      csv.end_row();
+    }
+    plot.add(std::move(series));
+
+    auto at = [&](double frac) {
+      return share[static_cast<std::size_t>(frac * (share.size() - 1))];
+    };
+    table.add_row({spec.name, util::TablePrinter::pct(at(0.1), 1),
+                   util::TablePrinter::pct(at(0.2), 1),
+                   util::TablePrinter::pct(at(0.5), 1),
+                   util::TablePrinter::pct(at(0.9), 1)});
+  }
+
+  plot.print();
+  std::printf("\ncumulative request share at key-ID fractions:\n");
+  table.print();
+  std::printf(
+      "\npaper: hotspot concentrates ~80%% of requests on the first 20%% "
+      "of keys; zipfian front-loads hot keys; scrambled zipfian spreads "
+      "them across the ID space; latest concentrates on the highest IDs.\n"
+      "wrote fig3_key_cdf.csv\n");
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Figure 9: "Cost reduction across all workloads and key-value stores for
+// performance that adheres to 10% permissible application slowdown. The
+// lower the cost the better, with a threshold of 20%, which is the
+// assumed relative cost of using only SlowMem."
+//
+// For every Table III workload x store, Mnemo's SLO advisor picks the
+// cheapest configuration within a 10% throughput slowdown of the
+// FastMem-only baseline, and the chosen placement is validated by actual
+// execution.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/placement_engine.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+#include "workload/suite.hpp"
+
+int main() {
+  using namespace mnemo;
+  std::printf(
+      "== Fig 9: cost reduction at 10%% permissible slowdown (floor = "
+      "0.20) ==\n\n");
+
+  core::MnemoConfig config;
+  config.repeats = 2;
+  config.slo_slowdown = 0.10;
+  // The paper notes all workloads "can be profiled in a way that orders
+  // keys with respect to request counts" for the cost analysis — use the
+  // MnemoT frequency-aware ordering so FastMem holds exactly the keys
+  // that buy back the most performance.
+  config.ordering = core::OrderingPolicy::kTiered;
+
+  const auto suite = workload::paper_suite();
+  util::csv::Writer csv("fig9_cost_reduction.csv");
+  csv.row({"store", "workload", "cost_factor", "savings_pct",
+           "est_slowdown_pct", "validated_slowdown_pct", "fast_keys"});
+
+  util::TablePrinter table({"workload", "Redis-like", "Memcached-like",
+                            "DynamoDB-like"});
+  std::vector<std::vector<std::string>> rows(suite.size());
+
+  for (std::size_t w = 0; w < suite.size(); ++w) {
+    rows[w].push_back(suite[w].name);
+  }
+
+  for (const kvstore::StoreKind store : kvstore::kAllStoreKinds) {
+    core::MnemoConfig cfg = config;
+    cfg.store = store;
+    const core::Mnemo mnemo(cfg);
+    for (std::size_t w = 0; w < suite.size(); ++w) {
+      const workload::Trace trace = workload::Trace::generate(suite[w]);
+      const core::MnemoReport report = mnemo.profile(trace);
+      if (!report.slo_choice) {
+        rows[w].push_back("-");
+        continue;
+      }
+      const core::SloChoice& c = *report.slo_choice;
+      // Validate the advised placement by executing it.
+      const core::RunMeasurement validated =
+          mnemo.validate(trace, report.order, c.point);
+      const double real_slowdown =
+          1.0 - validated.throughput_ops /
+                    report.baselines.fast.throughput_ops;
+      char cell[64];
+      std::snprintf(cell, sizeof cell, "%.2f (-%.0f%%)", c.cost_factor,
+                    c.savings_vs_fast * 100.0);
+      rows[w].push_back(cell);
+      csv.field(std::string(kvstore::to_string(store)))
+          .field(suite[w].name)
+          .field(c.cost_factor, 4)
+          .field(c.savings_vs_fast * 100.0, 4)
+          .field(c.slowdown_vs_fast * 100.0, 4)
+          .field(real_slowdown * 100.0, 4)
+          .field(static_cast<std::uint64_t>(c.point.fast_keys));
+      csv.end_row();
+    }
+  }
+  for (auto& row : rows) table.add_row(std::move(row));
+  std::printf(
+      "memory cost as a fraction of FastMem-only (lower = cheaper; 0.20 = "
+      "floor):\n");
+  table.print();
+
+  std::printf(
+      "\npaper Fig 9 shape: Memcached-like tolerates SlowMem-only (cost "
+      "-> 0.2 everywhere); Redis-like saves most on Trending-style hot-key "
+      "workloads and least on News Feed; DynamoDB-like only reaches "
+      "20-30%% savings on favourable patterns.\nwrote "
+      "fig9_cost_reduction.csv\n");
+  return 0;
+}

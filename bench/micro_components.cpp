@@ -1,0 +1,138 @@
+// google-benchmark microbenchmarks of the substrate itself: store
+// operation costs (wall-clock of the simulator, not simulated time),
+// distribution generators, LLC model, estimate engine and pattern
+// analysis. These quantify the profiling tool's own speed — the property
+// Table IV is about.
+
+#include <benchmark/benchmark.h>
+
+#include "core/estimate_engine.hpp"
+#include "core/pattern_engine.hpp"
+#include "core/tiering.hpp"
+#include "hybridmem/hybrid_memory.hpp"
+#include "kvstore/factory.hpp"
+#include "util/bytes.hpp"
+#include "workload/suite.hpp"
+
+namespace {
+
+using namespace mnemo;
+
+void BM_StoreGet(benchmark::State& state) {
+  const auto kind = static_cast<kvstore::StoreKind>(state.range(0));
+  hybridmem::HybridMemory memory(
+      hybridmem::paper_testbed_with_capacity(512 * util::kMiB));
+  kvstore::StoreConfig cfg;
+  auto store = kvstore::make_store(kind, memory, cfg);
+  constexpr std::uint64_t kKeys = 10'000;
+  for (std::uint64_t k = 0; k < kKeys; ++k) store->put(k, 1024);
+  std::uint64_t k = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store->get(k));
+    k = (k + 7919) % kKeys;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.SetLabel(std::string(kvstore::to_string(kind)));
+}
+BENCHMARK(BM_StoreGet)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_StorePut(benchmark::State& state) {
+  const auto kind = static_cast<kvstore::StoreKind>(state.range(0));
+  hybridmem::HybridMemory memory(
+      hybridmem::paper_testbed_with_capacity(512 * util::kMiB));
+  kvstore::StoreConfig cfg;
+  auto store = kvstore::make_store(kind, memory, cfg);
+  std::uint64_t k = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store->put(k % 10'000, 1024));
+    ++k;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.SetLabel(std::string(kvstore::to_string(kind)));
+}
+BENCHMARK(BM_StorePut)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_DistributionNext(benchmark::State& state) {
+  const auto kind = static_cast<workload::DistributionKind>(state.range(0));
+  auto dist = workload::make_distribution(kind, 10'000);
+  util::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dist->next(rng));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.SetLabel(std::string(to_string(kind)));
+}
+BENCHMARK(BM_DistributionNext)->DenseRange(0, 4);
+
+void BM_LlcAccess(benchmark::State& state) {
+  hybridmem::LlcModel llc(12 * util::kMiB, 12.0, 100.0, 0.01);
+  util::Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(llc.access(rng.uniform(0, 9999), 1024));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_LlcAccess);
+
+void BM_PatternAnalyze(benchmark::State& state) {
+  const workload::Trace trace =
+      workload::Trace::generate(workload::paper_workload("timeline"));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::PatternEngine::analyze(trace));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(trace.requests().size()));
+}
+BENCHMARK(BM_PatternAnalyze);
+
+void BM_EstimateCurve(benchmark::State& state) {
+  const workload::Trace trace =
+      workload::Trace::generate(workload::paper_workload("timeline"));
+  const core::AccessPattern pattern = core::PatternEngine::analyze(trace);
+  core::PerfBaselines baselines;
+  baselines.slow.requests = trace.requests().size();
+  baselines.slow.reads = trace.total_reads();
+  baselines.slow.avg_read_ns = 3000.0;
+  baselines.slow.runtime_ns =
+      static_cast<double>(trace.requests().size()) * 3000.0;
+  baselines.fast = baselines.slow;
+  baselines.fast.avg_read_ns = 1000.0;
+  baselines.fast.runtime_ns =
+      static_cast<double>(trace.requests().size()) * 1000.0;
+  const core::EstimateEngine engine;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        engine.estimate(pattern, pattern.touch_order, baselines));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(trace.key_count()));
+}
+BENCHMARK(BM_EstimateCurve);
+
+void BM_TieringPriorityOrder(benchmark::State& state) {
+  const workload::Trace trace =
+      workload::Trace::generate(workload::paper_workload("trending"));
+  const core::AccessPattern pattern = core::PatternEngine::analyze(trace);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::TieringEngine::priority_order(pattern));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(trace.key_count()));
+}
+BENCHMARK(BM_TieringPriorityOrder);
+
+void BM_TraceGenerate(benchmark::State& state) {
+  const workload::WorkloadSpec spec = workload::paper_workload("timeline");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(workload::Trace::generate(spec));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(spec.request_count));
+}
+BENCHMARK(BM_TraceGenerate);
+
+}  // namespace

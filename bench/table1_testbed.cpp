@@ -1,0 +1,76 @@
+// Table I: testbed bandwidth and latency values for DRAM (FastMem) and
+// emulated NVM (SlowMem).
+//
+// Characterizes the emulator the way one characterizes real hardware:
+// a dependent pointer-chase microbenchmark for idle latency and a large
+// sequential stream for sustained bandwidth, run against each node.
+
+#include <cstdio>
+
+#include "hybridmem/hybrid_memory.hpp"
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace mnemo;
+using hybridmem::AccessTraits;
+using hybridmem::MemOp;
+using hybridmem::NodeId;
+
+/// Idle latency: average cost of dependent single-line touches.
+double measure_latency_ns(const hybridmem::HybridMemory& mem, NodeId node) {
+  util::Rng rng(1);
+  AccessTraits t;
+  t.latency_touches = 1;
+  t.streamed_bytes = 0;
+  double total = 0.0;
+  constexpr int kChases = 100'000;
+  for (int i = 0; i < kChases; ++i) {
+    total += mem.raw_access_ns(node, t, MemOp::kRead);
+    (void)rng.next_u64();  // the pointer chase's address computation
+  }
+  return total / kChases;
+}
+
+/// Sustained bandwidth: stream 1 GiB and divide by the time.
+double measure_bandwidth_gbps(const hybridmem::HybridMemory& mem,
+                              NodeId node) {
+  AccessTraits t;
+  t.latency_touches = 1;
+  t.streamed_bytes = util::kGiB;
+  const double ns = mem.raw_access_ns(node, t, MemOp::kRead);
+  return static_cast<double>(util::kGiB) / ns;  // bytes/ns == GB/s
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Table I: testbed bandwidth and latency values ==\n\n");
+  const hybridmem::HybridMemory mem(hybridmem::paper_testbed());
+
+  const double fast_lat = measure_latency_ns(mem, NodeId::kFast);
+  const double slow_lat = measure_latency_ns(mem, NodeId::kSlow);
+  const double fast_bw = measure_bandwidth_gbps(mem, NodeId::kFast);
+  const double slow_bw = measure_bandwidth_gbps(mem, NodeId::kSlow);
+
+  util::TablePrinter table({"Node", "FastMem", "SlowMem"});
+  char factor[64];
+  std::snprintf(factor, sizeof factor, "B:%.2f L:%.2f", slow_bw / fast_bw,
+                slow_lat / fast_lat);
+  table.add_row({"Factor", "B:1 L:1", factor});
+  table.add_row({"Latency (ns)", util::TablePrinter::num(fast_lat, 1),
+                 util::TablePrinter::num(slow_lat, 1)});
+  table.add_row({"BW (GB/s)", util::TablePrinter::num(fast_bw, 1),
+                 util::TablePrinter::num(slow_bw, 2)});
+  table.print();
+
+  std::printf(
+      "\npaper Table I: FastMem 65.7 ns / 14.9 GB/s, SlowMem 238.1 ns / "
+      "1.81 GB/s (B:0.12 L:3.62)\n");
+  std::printf("LLC: %s shared, %.0f ns hit latency\n",
+              util::format_bytes(mem.profile().llc_bytes).c_str(),
+              mem.profile().llc_latency_ns);
+  return 0;
+}

@@ -1,0 +1,25 @@
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace mnemo::cli {
+
+/// Entry point of the `mnemo` command-line tool, factored out of main()
+/// so the test suite can drive it. Returns the process exit code; all
+/// output goes to the provided streams.
+///
+/// Subcommands:
+///   workloads            list the built-in Table III workload suite
+///   generate             materialize a workload trace to CSV
+///   profile              run Mnemo/MnemoT on a workload, emit the advice
+///   plan                 capacity plan for the whole suite at an SLO
+///   downsample           shrink a trace while preserving its distribution
+///   tails                mixture-model tail estimates along the curve
+///   testbed              show the emulated platform (Table I)
+///   help                 usage
+int run(const std::vector<std::string>& args, std::ostream& out,
+        std::ostream& err);
+
+}  // namespace mnemo::cli

@@ -1,0 +1,32 @@
+#include "core/baselines.hpp"
+
+#include "util/assert.hpp"
+
+namespace mnemo::core {
+
+RunMeasurement average_runs(const std::vector<RunMeasurement>& runs) {
+  MNEMO_EXPECTS(!runs.empty());
+  RunMeasurement avg;
+  const auto n = static_cast<double>(runs.size());
+  for (const RunMeasurement& r : runs) {
+    avg.runtime_ns += r.runtime_ns / n;
+    avg.throughput_ops += r.throughput_ops / n;
+    avg.avg_latency_ns += r.avg_latency_ns / n;
+    avg.avg_read_ns += r.avg_read_ns / n;
+    avg.avg_write_ns += r.avg_write_ns / n;
+    avg.p95_ns += r.p95_ns / n;
+    avg.p99_ns += r.p99_ns / n;
+    avg.llc_hit_rate += r.llc_hit_rate / n;
+    avg.read_vs_bytes.intercept += r.read_vs_bytes.intercept / n;
+    avg.read_vs_bytes.slope += r.read_vs_bytes.slope / n;
+    avg.write_vs_bytes.intercept += r.write_vs_bytes.intercept / n;
+    avg.write_vs_bytes.slope += r.write_vs_bytes.slope / n;
+    avg.latency_hist.merge(r.latency_hist);
+  }
+  avg.requests = runs.front().requests;
+  avg.reads = runs.front().reads;
+  avg.writes = runs.front().writes;
+  return avg;
+}
+
+}  // namespace mnemo::core

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/log_histogram.hpp"
+#include "stats/regression.hpp"
+
+namespace mnemo::core {
+
+/// Everything measured from one workload execution against one placement —
+/// the client-side view the paper's Sensitivity Engine extracts.
+struct RunMeasurement {
+  double runtime_ns = 0.0;       ///< total simulated client runtime
+  double throughput_ops = 0.0;   ///< requests / second
+  double avg_latency_ns = 0.0;   ///< mean request service time
+  double avg_read_ns = 0.0;      ///< mean over read requests
+  double avg_write_ns = 0.0;     ///< mean over write requests
+  double p95_ns = 0.0;           ///< tail latencies (reported, not modeled)
+  double p99_ns = 0.0;
+  std::uint64_t requests = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  double llc_hit_rate = 0.0;
+
+  /// Service time regressed against record size (ns ≈ a + b·bytes), fit
+  /// from the run's per-request samples. Lets the size-aware estimate
+  /// model assign each key a delta matched to its record size instead of
+  /// the workload-wide average (which biases size-correlated orderings
+  /// like MnemoT's). Zero-initialized when a run has no such requests.
+  stats::Line read_vs_bytes{};
+  stats::Line write_vs_bytes{};
+
+  /// Full per-request latency distribution of the run (log-scale
+  /// buckets). Carried out of the baselines so the TailEstimator can form
+  /// mixture quantiles for intermediate capacity splits.
+  stats::LogHistogram latency_hist{};
+};
+
+/// The two extreme configurations that bound Mnemo's estimation curve.
+struct PerfBaselines {
+  RunMeasurement fast;  ///< all data in FastMem (best case)
+  RunMeasurement slow;  ///< all data in SlowMem (worst case)
+
+  /// Per-request service-time penalty of SlowMem residency, split by
+  /// request type — the deltas the Estimate Engine applies per key.
+  [[nodiscard]] double read_delta_ns() const {
+    return slow.avg_read_ns - fast.avg_read_ns;
+  }
+  [[nodiscard]] double write_delta_ns() const {
+    return slow.avg_write_ns - fast.avg_write_ns;
+  }
+
+  /// FastMem-only throughput gain over SlowMem-only (the paper's
+  /// sensitivity headline, e.g. "up to 40% for Redis").
+  [[nodiscard]] double sensitivity() const {
+    return fast.throughput_ops / slow.throughput_ops - 1.0;
+  }
+};
+
+/// Reduce repeated runs to a representative measurement (mean of every
+/// field; tails are means of per-run tails).
+RunMeasurement average_runs(const std::vector<RunMeasurement>& runs);
+
+}  // namespace mnemo::core

@@ -1,0 +1,33 @@
+#include "core/cost_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace mnemo::core {
+
+CostModel::CostModel(double price_factor) : p_(price_factor) {
+  MNEMO_EXPECTS(price_factor > 0.0 && price_factor < 1.0);
+}
+
+double CostModel::reduction(std::uint64_t fast_bytes,
+                            std::uint64_t total_bytes) const {
+  MNEMO_EXPECTS(total_bytes > 0);
+  MNEMO_EXPECTS(fast_bytes <= total_bytes);
+  const auto f = static_cast<double>(fast_bytes);
+  const auto c = static_cast<double>(total_bytes);
+  return (f + (c - f) * p_) / c;
+}
+
+std::uint64_t CostModel::fast_bytes_for(double cost_factor,
+                                        std::uint64_t total_bytes) const {
+  MNEMO_EXPECTS(cost_factor >= p_ && cost_factor <= 1.0);
+  const auto c = static_cast<double>(total_bytes);
+  const double f = c * (cost_factor - p_) / (1.0 - p_);
+  return static_cast<std::uint64_t>(
+      std::clamp(std::llround(f), static_cast<long long>(0),
+                 static_cast<long long>(total_bytes)));
+}
+
+}  // namespace mnemo::core

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+
+namespace mnemo::core {
+
+/// The paper's memory-system cost model (Section II, Table II). With a
+/// dataset of C bytes split into F bytes of FastMem and S = C - F bytes of
+/// SlowMem, and SlowMem p times cheaper per byte than FastMem, the hybrid
+/// system costs
+///
+///   R(p) = (F + (C - F) * p) / C
+///
+/// of the FastMem-only cost. R ranges from p (everything in SlowMem) to
+/// 1.0 (everything in FastMem). The paper fixes p = 0.2 from industry
+/// price projections; real deployments derive it from hardware or VM
+/// pricing.
+class CostModel {
+ public:
+  static constexpr double kPaperPriceFactor = 0.2;
+
+  explicit CostModel(double price_factor = kPaperPriceFactor);
+
+  [[nodiscard]] double price_factor() const noexcept { return p_; }
+
+  /// Cost-reduction factor for `fast_bytes` of FastMem out of
+  /// `total_bytes` of data. Requires fast_bytes <= total_bytes.
+  [[nodiscard]] double reduction(std::uint64_t fast_bytes,
+                                 std::uint64_t total_bytes) const;
+
+  /// Inverse: FastMem bytes implied by a target cost factor.
+  [[nodiscard]] std::uint64_t fast_bytes_for(double cost_factor,
+                                             std::uint64_t total_bytes) const;
+
+  /// The floor R(p) = p (SlowMem-only) and ceiling 1.0 (FastMem-only).
+  [[nodiscard]] double floor() const noexcept { return p_; }
+  [[nodiscard]] static double ceiling() noexcept { return 1.0; }
+
+ private:
+  double p_;
+};
+
+}  // namespace mnemo::core

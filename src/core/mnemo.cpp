@@ -1,0 +1,112 @@
+#include "core/mnemo.hpp"
+
+#include "core/placement_engine.hpp"
+#include "core/tiering.hpp"
+#include "util/assert.hpp"
+#include "util/csv.hpp"
+
+namespace mnemo::core {
+
+std::string_view to_string(OrderingPolicy policy) {
+  switch (policy) {
+    case OrderingPolicy::kTouchOrder:
+      return "touch_order";
+    case OrderingPolicy::kTiered:
+      return "tiered";
+    case OrderingPolicy::kExternal:
+      return "external";
+  }
+  return "?";
+}
+
+MnemoConfig::MnemoConfig() : platform(hybridmem::paper_testbed()) {}
+
+namespace {
+
+SensitivityConfig to_sensitivity_config(const MnemoConfig& cfg) {
+  SensitivityConfig s;
+  s.store = cfg.store;
+  s.platform = cfg.platform;
+  s.payload_mode = cfg.payload_mode;
+  s.repeats = cfg.repeats;
+  s.seed = cfg.seed;
+  return s;
+}
+
+}  // namespace
+
+Mnemo::Mnemo(MnemoConfig config)
+    : config_(std::move(config)),
+      sensitivity_(to_sensitivity_config(config_)),
+      estimator_(CostModel(config_.price_factor), config_.estimate_model),
+      advisor_(config_.slo_slowdown) {}
+
+MnemoT::MnemoT(MnemoConfig config) : Mnemo([&] {
+      config.ordering = OrderingPolicy::kTiered;
+      return std::move(config);
+    }()) {}
+
+MnemoReport Mnemo::build_report(const workload::Trace& trace,
+                                std::vector<std::uint64_t> order,
+                                OrderingPolicy policy) const {
+  MnemoReport report;
+  report.workload = trace.name();
+  report.store = config_.store;
+  report.ordering = policy;
+  report.pattern = PatternEngine::analyze(trace);
+  report.baselines = sensitivity_.baselines(trace);
+  report.order = std::move(order);
+  report.curve =
+      estimator_.estimate(report.pattern, report.order, report.baselines);
+  report.slo_choice = advisor_.choose(report.curve, report.baselines);
+  return report;
+}
+
+MnemoReport Mnemo::profile(const workload::Trace& trace) const {
+  const AccessPattern pattern = PatternEngine::analyze(trace);
+  std::vector<std::uint64_t> order;
+  switch (config_.ordering) {
+    case OrderingPolicy::kTouchOrder:
+      order = pattern.touch_order;
+      break;
+    case OrderingPolicy::kTiered:
+      order = TieringEngine::priority_order(pattern);
+      break;
+    case OrderingPolicy::kExternal:
+      MNEMO_EXPECTS(false &&
+                    "external ordering requires profile_with_order()");
+      break;
+  }
+  return build_report(trace, std::move(order), config_.ordering);
+}
+
+MnemoReport Mnemo::profile_with_order(
+    const workload::Trace& trace,
+    std::vector<std::uint64_t> external_order) const {
+  MNEMO_EXPECTS(external_order.size() == trace.key_count());
+  return build_report(trace, std::move(external_order),
+                      OrderingPolicy::kExternal);
+}
+
+RunMeasurement Mnemo::validate(const workload::Trace& trace,
+                               const std::vector<std::uint64_t>& order,
+                               const EstimatePoint& point) const {
+  const auto placement = PlacementEngine::placement_for(order, point);
+  return sensitivity_.measure(trace, placement);
+}
+
+void MnemoReport::write_csv(const std::string& path) const {
+  util::csv::Writer w(path);
+  w.row({"key_id", "est_throughput_ops", "cost_reduction_factor"});
+  // Row 0 of the curve is the SlowMem-only bound; the CSV rows start with
+  // the first key tiered into FastMem, as the paper specifies.
+  for (std::size_t i = 1; i < curve.points.size(); ++i) {
+    const EstimatePoint& p = curve.points[i];
+    w.field(p.last_key)
+        .field(p.est_throughput_ops, 10)
+        .field(p.cost_factor, 6);
+    w.end_row();
+  }
+}
+
+}  // namespace mnemo::core

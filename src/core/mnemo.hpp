@@ -1,0 +1,106 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/estimate_engine.hpp"
+#include "core/pattern_engine.hpp"
+#include "core/sensitivity_engine.hpp"
+#include "core/slo_advisor.hpp"
+
+namespace mnemo::core {
+
+/// How Mnemo orders keys for incremental FastMem sizing — the three
+/// deployment scenarios of the paper's Figure 2.
+enum class OrderingPolicy {
+  /// Stand-alone (Fig 2a): keys in workload first-touch order.
+  kTouchOrder,
+  /// MnemoT (Fig 2c): the key-value-store-optimized tiering order
+  /// (weight = accesses / size).
+  kTiered,
+  /// Existing tiering solution + stand-alone (Fig 2b): the caller supplies
+  /// the ordering produced by an external tool.
+  kExternal,
+};
+
+std::string_view to_string(OrderingPolicy policy);
+
+/// Full configuration of a Mnemo profiling session.
+struct MnemoConfig {
+  kvstore::StoreKind store = kvstore::StoreKind::kVermilion;
+  hybridmem::EmulationProfile platform;
+  double price_factor = CostModel::kPaperPriceFactor;
+  int repeats = 3;
+  kvstore::PayloadMode payload_mode = kvstore::PayloadMode::kSynthetic;
+  std::uint64_t seed = 0xbea5;
+  OrderingPolicy ordering = OrderingPolicy::kTouchOrder;
+  EstimateModel estimate_model = EstimateModel::kSizeAware;
+  double slo_slowdown = SloAdvisor::kPaperSlowdown;
+
+  MnemoConfig();
+};
+
+/// Everything a profiling session produces: the measured baselines, the
+/// key ordering, the full estimate curve, and the SLO sweet spot.
+struct MnemoReport {
+  std::string workload;
+  kvstore::StoreKind store = kvstore::StoreKind::kVermilion;
+  OrderingPolicy ordering = OrderingPolicy::kTouchOrder;
+  PerfBaselines baselines;
+  AccessPattern pattern;
+  std::vector<std::uint64_t> order;
+  EstimateCurve curve;
+  std::optional<SloChoice> slo_choice;
+
+  /// The paper's output artifact: a CSV whose rows are
+  /// (key id, estimated throughput ops/s, cost reduction factor) —
+  /// FastMem serves all keys up to and including the row's key.
+  void write_csv(const std::string& path) const;
+};
+
+/// The Mnemo facade: wires Sensitivity -> Pattern -> Estimate -> SLO
+/// advisor into the one-call profiling flow of the paper's Figure 6.
+/// Construct a `MnemoT` (ordering = kTiered) for the extended tool.
+class Mnemo {
+ public:
+  explicit Mnemo(MnemoConfig config = MnemoConfig{});
+
+  /// Profile a workload descriptor end to end.
+  [[nodiscard]] MnemoReport profile(const workload::Trace& trace) const;
+
+  /// Scenario 2b: estimate along an externally produced tiering order.
+  [[nodiscard]] MnemoReport profile_with_order(
+      const workload::Trace& trace,
+      std::vector<std::uint64_t> external_order) const;
+
+  /// Validate one curve row by actually executing that placement
+  /// (measured counterpart of an estimate — Fig 5's point markers).
+  [[nodiscard]] RunMeasurement validate(
+      const workload::Trace& trace, const std::vector<std::uint64_t>& order,
+      const EstimatePoint& point) const;
+
+  [[nodiscard]] const MnemoConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const SensitivityEngine& sensitivity() const noexcept {
+    return sensitivity_;
+  }
+
+ private:
+  [[nodiscard]] MnemoReport build_report(
+      const workload::Trace& trace, std::vector<std::uint64_t> order,
+      OrderingPolicy policy) const;
+
+  MnemoConfig config_;
+  SensitivityEngine sensitivity_;
+  EstimateEngine estimator_;
+  SloAdvisor advisor_;
+};
+
+/// MnemoT: identical components, with the Pattern Engine extended to emit
+/// the key-value-store-optimized priority ordering (paper Section IV).
+class MnemoT : public Mnemo {
+ public:
+  explicit MnemoT(MnemoConfig config = MnemoConfig{});
+};
+
+}  // namespace mnemo::core

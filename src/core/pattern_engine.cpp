@@ -1,0 +1,31 @@
+#include "core/pattern_engine.hpp"
+
+namespace mnemo::core {
+
+std::uint64_t AccessPattern::total_bytes() const {
+  std::uint64_t sum = 0;
+  for (const auto s : sizes) sum += s;
+  return sum;
+}
+
+AccessPattern PatternEngine::analyze(const workload::Trace& trace) {
+  AccessPattern p;
+  p.reads = trace.read_counts();
+  p.writes = trace.write_counts();
+  p.sizes = trace.key_sizes();
+
+  p.touch_order.reserve(trace.key_count());
+  std::vector<bool> seen(trace.key_count(), false);
+  for (const workload::Request& r : trace.requests()) {
+    if (!seen[r.key]) {
+      seen[r.key] = true;
+      p.touch_order.push_back(r.key);
+    }
+  }
+  for (std::uint64_t k = 0; k < trace.key_count(); ++k) {
+    if (!seen[k]) p.touch_order.push_back(k);
+  }
+  return p;
+}
+
+}  // namespace mnemo::core

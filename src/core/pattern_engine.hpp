@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "workload/trace.hpp"
+
+namespace mnemo::core {
+
+/// The relationship between keys and requests — Req(keys) in the paper's
+/// data-flow figure — extracted from the workload descriptor.
+struct AccessPattern {
+  std::vector<std::uint64_t> reads;   ///< per-key read request count
+  std::vector<std::uint64_t> writes;  ///< per-key write request count
+  std::vector<std::uint64_t> sizes;   ///< per-key record bytes
+  /// Keys in order of first access ("as they get touched by the workload
+  /// access pattern" — Mnemo's stand-alone incremental-sizing order).
+  /// Untouched keys follow in ID order.
+  std::vector<std::uint64_t> touch_order;
+
+  [[nodiscard]] std::size_t key_count() const noexcept {
+    return sizes.size();
+  }
+  [[nodiscard]] std::uint64_t accesses(std::uint64_t key) const {
+    return reads[key] + writes[key];
+  }
+  [[nodiscard]] std::uint64_t total_bytes() const;
+};
+
+/// The paper's Pattern Engine: analyzes the request access pattern and
+/// establishes Req(keys).
+class PatternEngine {
+ public:
+  [[nodiscard]] static AccessPattern analyze(const workload::Trace& trace);
+};
+
+}  // namespace mnemo::core

@@ -1,0 +1,24 @@
+#include "core/placement_engine.hpp"
+
+namespace mnemo::core {
+
+hybridmem::Placement PlacementEngine::placement_for(
+    const std::vector<std::uint64_t>& order, const EstimatePoint& point) {
+  return hybridmem::Placement::from_order(order, point.fast_keys);
+}
+
+hybridmem::Placement PlacementEngine::placement_for_budget(
+    const std::vector<std::uint64_t>& order,
+    const std::vector<std::uint64_t>& key_sizes,
+    std::uint64_t fast_budget_bytes) {
+  return hybridmem::Placement::from_order_with_budget(order, key_sizes,
+                                                      fast_budget_bytes);
+}
+
+void PlacementEngine::populate(kvstore::DualServer& servers,
+                               const workload::Trace& trace,
+                               const hybridmem::Placement& placement) {
+  servers.populate(trace, placement);
+}
+
+}  // namespace mnemo::core

@@ -1,0 +1,193 @@
+#include "core/profilers.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <unordered_map>
+
+#include "core/pattern_engine.hpp"
+#include "core/tiering.hpp"
+#include "stats/regression.hpp"
+#include "util/assert.hpp"
+#include "util/timer.hpp"
+#include "workload/suite.hpp"
+
+namespace mnemo::core {
+
+ProfilerOutput run_mnemot_profiler(const workload::Trace& trace,
+                                   const SensitivityEngine& engine) {
+  ProfilerOutput out;
+  out.strategy = "MnemoT";
+
+  // Input preparation: the descriptor already *is* the input — Mnemo needs
+  // only the key/request sequence plus key-value sizes, no server
+  // instrumentation. Cost: one pass to build the access pattern.
+  util::WallTimer prep;
+  const AccessPattern pattern = PatternEngine::analyze(trace);
+  out.costs.input_prep_s = prep.elapsed_s();
+
+  util::WallTimer base;
+  out.baselines = engine.baselines(trace);
+  out.costs.baselines_s = base.elapsed_s();
+
+  // Tiering: weight = accesses/size from the descriptor alone.
+  util::WallTimer tier;
+  out.order = TieringEngine::priority_order(pattern);
+  out.costs.tiering_s = tier.elapsed_s();
+  return out;
+}
+
+namespace {
+
+/// One instrumented memory-access event, as a Pin-style tool would record
+/// (address proxy, object, size, kind). 32 bytes per event.
+struct AccessEvent {
+  std::uint64_t object;
+  std::uint64_t bytes;
+  std::uint32_t thread;
+  std::uint8_t is_write;
+};
+
+}  // namespace
+
+ProfilerOutput run_instrumented_profiler(const workload::Trace& trace,
+                                         const SensitivityEngine& engine) {
+  ProfilerOutput out;
+  out.strategy = "instrumentation (X-Mem/Unimem style)";
+
+  // Input preparation: the target must be rebuilt against the profiler's
+  // custom allocation API so object identities are visible to the shim.
+  // We model the mechanical part — walking the dataset and wrapping every
+  // object in a registration record — not the (human) time to learn the
+  // server internals, which Table IV can only describe qualitatively.
+  util::WallTimer prep;
+  std::unordered_map<std::uint64_t, std::uint64_t> registry;
+  registry.reserve(trace.key_count());
+  for (std::uint64_t k = 0; k < trace.key_count(); ++k) {
+    registry.emplace(k, trace.size_of(k));
+  }
+  out.costs.input_prep_s = prep.elapsed_s();
+
+  util::WallTimer base;
+  out.baselines = engine.baselines(trace);
+  out.costs.baselines_s = base.elapsed_s();
+
+  // Tiering by full access monitoring: replay the workload through an
+  // instrumentation shim that emits one event per cache-line-granular
+  // touch, then aggregate weights from the event log. This is the
+  // per-access cost structure that makes existing profilers 10-40x slower.
+  util::WallTimer tier;
+  std::vector<AccessEvent> log;
+  constexpr std::uint64_t kLine = 64;
+  // Reserve conservatively; the log grows with total touched lines.
+  log.reserve(trace.requests().size() * 8);
+  for (const workload::Request& r : trace.requests()) {
+    const std::uint64_t bytes = trace.size_of(r.key);
+    const std::uint64_t lines = (bytes + kLine - 1) / kLine;
+    // Event-per-line emission, sampled 1:16 like PEBS-style tooling, so
+    // the log stays bounded while preserving the cost shape.
+    for (std::uint64_t line = 0; line < lines; line += 16) {
+      log.push_back(AccessEvent{
+          r.key, kLine, 0,
+          static_cast<std::uint8_t>(r.op == workload::OpType::kUpdate)});
+    }
+  }
+  std::unordered_map<std::uint64_t, std::uint64_t> touches;
+  touches.reserve(trace.key_count());
+  for (const AccessEvent& e : log) ++touches[e.object];
+
+  std::vector<std::uint64_t> order(trace.key_count());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::uint64_t a, std::uint64_t b) {
+                     const double wa =
+                         static_cast<double>(touches[a]) /
+                         static_cast<double>(registry[a]);
+                     const double wb =
+                         static_cast<double>(touches[b]) /
+                         static_cast<double>(registry[b]);
+                     if (wa != wb) return wa > wb;
+                     return a < b;
+                   });
+  out.order = std::move(order);
+  out.costs.tiering_s = tier.elapsed_s();
+  return out;
+}
+
+ProfilerOutput run_ml_baseline_profiler(const workload::Trace& trace,
+                                        const SensitivityEngine& engine) {
+  ProfilerOutput out;
+  out.strategy = "one baseline + learned model (Tahoe style)";
+  out.fast_baseline_inferred = true;
+
+  util::WallTimer prep;
+  const AccessPattern pattern = PatternEngine::analyze(trace);
+  out.costs.input_prep_s = prep.elapsed_s();
+
+  util::WallTimer base;
+  // Training-data collection: run both baselines for a set of calibration
+  // workloads (this is the cost Tahoe's accounting hides) and fit
+  //   fast_runtime_per_req ~ [1, slow_runtime_per_req, avg_bytes, read_frac]
+  std::vector<std::vector<double>> features;
+  std::vector<double> targets;
+  std::uint64_t calib_seed = 0xca11b;
+  for (const workload::WorkloadSpec& spec :
+       workload::paper_suite(calib_seed)) {
+    workload::WorkloadSpec small = spec;
+    small.key_count = 1'000;
+    small.request_count = 10'000;
+    small.seed ^= 0x7ea0;
+    const workload::Trace calib = workload::Trace::generate(small);
+    const PerfBaselines b = engine.baselines(calib);
+    const double reqs = static_cast<double>(b.slow.requests);
+    features.push_back(
+        {1.0, b.slow.runtime_ns / reqs,
+         static_cast<double>(calib.dataset_bytes()) /
+             static_cast<double>(calib.key_count()),
+         static_cast<double>(calib.total_reads()) / reqs});
+    targets.push_back(b.fast.runtime_ns / reqs);
+  }
+  const std::vector<double> beta = stats::ridge(features, targets, 1e-6);
+
+  // Deployment: only the SlowMem baseline of the target workload runs.
+  PerfBaselines target;
+  target.slow = engine.measure(
+      trace,
+      hybridmem::Placement(trace.key_count(), hybridmem::NodeId::kSlow));
+  const double reqs = static_cast<double>(target.slow.requests);
+  const std::vector<double> x = {
+      1.0, target.slow.runtime_ns / reqs,
+      static_cast<double>(trace.dataset_bytes()) /
+          static_cast<double>(trace.key_count()),
+      static_cast<double>(trace.total_reads()) / reqs};
+  double inferred_per_req = 0.0;
+  for (std::size_t i = 0; i < beta.size(); ++i) inferred_per_req += beta[i] * x[i];
+
+  target.fast = target.slow;  // copy counters/shape
+  target.fast.runtime_ns = inferred_per_req * reqs;
+  target.fast.avg_latency_ns = inferred_per_req;
+  target.fast.throughput_ops = reqs / (target.fast.runtime_ns / 1e9);
+  // Split the inferred runtime across read/write means in the slow run's
+  // proportions (the model has no finer information).
+  const double scale = target.fast.runtime_ns / target.slow.runtime_ns;
+  target.fast.avg_read_ns = target.slow.avg_read_ns * scale;
+  target.fast.avg_write_ns = target.slow.avg_write_ns * scale;
+  target.fast.p95_ns = target.slow.p95_ns * scale;
+  target.fast.p99_ns = target.slow.p99_ns * scale;
+  out.baselines = target;
+  out.costs.baselines_s = base.elapsed_s();
+
+  // How wrong was the inference? (measured against ground truth)
+  const RunMeasurement truth = engine.measure(
+      trace,
+      hybridmem::Placement(trace.key_count(), hybridmem::NodeId::kFast));
+  out.inferred_fast_runtime_error_pct =
+      (truth.runtime_ns - target.fast.runtime_ns) / truth.runtime_ns * 100.0;
+
+  util::WallTimer tier;
+  out.order = TieringEngine::priority_order(pattern);
+  out.costs.tiering_s = tier.elapsed_s();
+  return out;
+}
+
+}  // namespace mnemo::core

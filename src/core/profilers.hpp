@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/baselines.hpp"
+#include "core/sensitivity_engine.hpp"
+#include "workload/trace.hpp"
+
+namespace mnemo::core {
+
+/// Wall-clock cost of each profiling stage (Table IV's comparison axes).
+/// These are the only wall-clock measurements in the repository: they time
+/// the profiling *tools themselves*, not the simulated workload.
+struct ProfilingCosts {
+  double input_prep_s = 0.0;  ///< preparing/instrumenting the input
+  double baselines_s = 0.0;   ///< acquiring performance baselines
+  double tiering_s = 0.0;     ///< computing the tiering order
+
+  [[nodiscard]] double total_s() const {
+    return input_prep_s + baselines_s + tiering_s;
+  }
+};
+
+/// Common output of all tiering-profiler strategies.
+struct ProfilerOutput {
+  std::string strategy;
+  std::vector<std::uint64_t> order;  ///< FastMem priority order
+  PerfBaselines baselines;           ///< measured or (partly) inferred
+  ProfilingCosts costs;
+  bool fast_baseline_inferred = false;
+  double inferred_fast_runtime_error_pct = 0.0;  ///< vs truth, if inferred
+};
+
+/// MnemoT's strategy (Table IV row "MnemoT"): descriptor-only weight
+/// calculation, both baselines by actual execution, no instrumentation.
+ProfilerOutput run_mnemot_profiler(const workload::Trace& trace,
+                                   const SensitivityEngine& engine);
+
+/// The generic instrumentation-based strategy existing solutions use
+/// (X-Mem / Unimem style): every memory access of the run is recorded
+/// through an instrumentation shim and per-object weights are aggregated
+/// from the event log afterwards. Functionally equivalent ordering, paid
+/// for with a per-access event stream — the 10-40x profiling slowdowns the
+/// paper cites come from exactly this pattern.
+ProfilerOutput run_instrumented_profiler(const workload::Trace& trace,
+                                         const SensitivityEngine& engine);
+
+/// The Tahoe-style strategy: execute only the SlowMem baseline and infer
+/// the FastMem baseline from a model trained on previously collected
+/// (workload features -> runtime) samples. Training-data collection — the
+/// hidden cost the paper calls out — is included in baselines_s.
+ProfilerOutput run_ml_baseline_profiler(const workload::Trace& trace,
+                                        const SensitivityEngine& engine);
+
+}  // namespace mnemo::core

@@ -1,0 +1,137 @@
+#include "core/sensitivity_engine.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "hybridmem/hybrid_memory.hpp"
+#include "kvstore/dual_server.hpp"
+#include "stats/summary.hpp"
+#include "util/assert.hpp"
+
+namespace mnemo::core {
+
+SensitivityConfig::SensitivityConfig()
+    : platform(hybridmem::paper_testbed()) {}
+
+namespace {
+
+/// Fit service ≈ a + b·bytes; degenerate samples (empty, or a single
+/// record size) collapse to a flat line at the mean, which makes the
+/// size-aware estimate model coincide with the uniform-delta one.
+stats::Line fit_service_line(const std::vector<double>& bytes,
+                             const std::vector<double>& latency) {
+  if (latency.empty()) return stats::Line{};
+  const double first = bytes.front();
+  bool distinct = false;
+  for (const double b : bytes) {
+    if (b != first) {
+      distinct = true;
+      break;
+    }
+  }
+  if (!distinct || latency.size() < 2) {
+    return stats::Line{stats::mean(latency), 0.0};
+  }
+  return stats::fit_line(bytes, latency);
+}
+
+}  // namespace
+
+SensitivityEngine::SensitivityEngine(SensitivityConfig config)
+    : config_(std::move(config)) {
+  MNEMO_EXPECTS(config_.repeats >= 1);
+}
+
+hybridmem::EmulationProfile SensitivityEngine::sized_platform(
+    const workload::Trace& trace) const {
+  hybridmem::EmulationProfile platform = config_.platform;
+  // Headroom for index/journal overhead and slab rounding: 2x dataset.
+  const std::uint64_t need =
+      std::max<std::uint64_t>(trace.dataset_bytes() * 2,
+                              64ULL * 1024 * 1024);
+  platform.fast.capacity_bytes =
+      std::max(platform.fast.capacity_bytes, need);
+  platform.slow.capacity_bytes =
+      std::max(platform.slow.capacity_bytes, need);
+  return platform;
+}
+
+RunMeasurement SensitivityEngine::run_once(
+    const workload::Trace& trace, const hybridmem::Placement& placement,
+    int repeat) const {
+  hybridmem::HybridMemory memory(sized_platform(trace));
+
+  kvstore::StoreConfig store_cfg;
+  store_cfg.payload_mode = config_.payload_mode;
+  store_cfg.seed = config_.seed + static_cast<std::uint64_t>(repeat) * 0x9e37;
+
+  kvstore::DualServer servers(memory, config_.store, store_cfg);
+  servers.populate(trace, placement);
+  // The load phase should not pollute the measurement's cache state.
+  memory.drop_caches();
+
+  std::vector<double> read_lat;
+  std::vector<double> write_lat;
+  std::vector<double> read_bytes;
+  std::vector<double> write_bytes;
+  read_lat.reserve(trace.requests().size());
+
+  RunMeasurement m;
+  m.requests = trace.requests().size();
+  for (const workload::Request& req : trace.requests()) {
+    const kvstore::OpResult r = servers.execute(req);
+    MNEMO_ASSERT(r.ok && "all requested keys were populated");
+    m.runtime_ns += r.service_ns;
+    const auto bytes = static_cast<double>(trace.size_of(req.key));
+    m.latency_hist.add(r.service_ns);
+    if (req.op == workload::OpType::kRead) {
+      read_lat.push_back(r.service_ns);
+      read_bytes.push_back(bytes);
+    } else {
+      // Updates and inserts are both writes to the store.
+      write_lat.push_back(r.service_ns);
+      write_bytes.push_back(bytes);
+    }
+  }
+  m.reads = read_lat.size();
+  m.writes = write_lat.size();
+  m.avg_read_ns = read_lat.empty() ? 0.0 : stats::mean(read_lat);
+  m.avg_write_ns = write_lat.empty() ? 0.0 : stats::mean(write_lat);
+  m.read_vs_bytes = fit_service_line(read_bytes, read_lat);
+  m.write_vs_bytes = fit_service_line(write_bytes, write_lat);
+  m.avg_latency_ns = m.runtime_ns / static_cast<double>(m.requests);
+  m.throughput_ops = static_cast<double>(m.requests) / (m.runtime_ns / 1e9);
+
+  std::vector<double> all;
+  all.reserve(read_lat.size() + write_lat.size());
+  all.insert(all.end(), read_lat.begin(), read_lat.end());
+  all.insert(all.end(), write_lat.begin(), write_lat.end());
+  std::sort(all.begin(), all.end());
+  m.p95_ns = stats::percentile_sorted(all, 0.95);
+  m.p99_ns = stats::percentile_sorted(all, 0.99);
+  m.llc_hit_rate = memory.llc().hit_rate();
+  return m;
+}
+
+RunMeasurement SensitivityEngine::measure(
+    const workload::Trace& trace,
+    const hybridmem::Placement& placement) const {
+  std::vector<RunMeasurement> runs;
+  runs.reserve(static_cast<std::size_t>(config_.repeats));
+  for (int r = 0; r < config_.repeats; ++r) {
+    runs.push_back(run_once(trace, placement, r));
+  }
+  return average_runs(runs);
+}
+
+PerfBaselines SensitivityEngine::baselines(
+    const workload::Trace& trace) const {
+  PerfBaselines b;
+  b.fast = measure(trace, hybridmem::Placement(trace.key_count(),
+                                               hybridmem::NodeId::kFast));
+  b.slow = measure(trace, hybridmem::Placement(trace.key_count(),
+                                               hybridmem::NodeId::kSlow));
+  return b;
+}
+
+}  // namespace mnemo::core

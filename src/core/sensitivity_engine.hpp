@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+
+#include "core/baselines.hpp"
+#include "hybridmem/emulation_profile.hpp"
+#include "hybridmem/placement.hpp"
+#include "kvstore/kvstore.hpp"
+#include "kvstore/service_profile.hpp"
+#include "workload/trace.hpp"
+
+namespace mnemo::core {
+
+/// Configuration of a measurement campaign: which store architecture, on
+/// which emulated platform, how many repeated runs per configuration.
+struct SensitivityConfig {
+  kvstore::StoreKind store = kvstore::StoreKind::kVermilion;
+  hybridmem::EmulationProfile platform;  ///< default: paper testbed
+  kvstore::PayloadMode payload_mode = kvstore::PayloadMode::kSynthetic;
+  int repeats = 3;       ///< paper: "mean of multiple experiment runs"
+  std::uint64_t seed = 0xbea5;
+
+  SensitivityConfig();
+};
+
+/// The paper's Sensitivity Engine: a customized YCSB client that executes
+/// the actual workload against the dual-server deployment and extracts
+/// client-side performance — total runtime, throughput, average read and
+/// write response times, and tail latencies. Runs the two extreme
+/// placements to establish the baselines that bound the estimation curve,
+/// and arbitrary placements for validation sweeps.
+class SensitivityEngine {
+ public:
+  explicit SensitivityEngine(SensitivityConfig config);
+
+  /// Execute the trace once against a fresh deployment with the given
+  /// placement (seed-shifted by `repeat`), returning the client view.
+  [[nodiscard]] RunMeasurement run_once(
+      const workload::Trace& trace, const hybridmem::Placement& placement,
+      int repeat = 0) const;
+
+  /// Mean of `repeats` runs for one placement.
+  [[nodiscard]] RunMeasurement measure(
+      const workload::Trace& trace,
+      const hybridmem::Placement& placement) const;
+
+  /// The two extreme configurations: all-FastMem and all-SlowMem.
+  [[nodiscard]] PerfBaselines baselines(const workload::Trace& trace) const;
+
+  [[nodiscard]] const SensitivityConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  /// Node capacity big enough for the dataset plus engine overhead so
+  /// either extreme placement fits on one node.
+  [[nodiscard]] hybridmem::EmulationProfile sized_platform(
+      const workload::Trace& trace) const;
+
+  SensitivityConfig config_;
+};
+
+}  // namespace mnemo::core

@@ -1,0 +1,34 @@
+#include "core/slo_advisor.hpp"
+
+#include "util/assert.hpp"
+
+namespace mnemo::core {
+
+SloAdvisor::SloAdvisor(double permissible_slowdown)
+    : slowdown_(permissible_slowdown) {
+  MNEMO_EXPECTS(permissible_slowdown >= 0.0 && permissible_slowdown < 1.0);
+}
+
+std::optional<SloChoice> SloAdvisor::choose(
+    const EstimateCurve& curve, const PerfBaselines& baselines) const {
+  MNEMO_EXPECTS(!curve.points.empty());
+  const double floor_throughput =
+      baselines.fast.throughput_ops * (1.0 - slowdown_);
+
+  const EstimatePoint* best = nullptr;
+  for (const EstimatePoint& p : curve.points) {
+    if (p.est_throughput_ops < floor_throughput) continue;
+    if (best == nullptr || p.cost_factor < best->cost_factor) best = &p;
+  }
+  if (best == nullptr) return std::nullopt;
+
+  SloChoice choice;
+  choice.point = *best;
+  choice.slowdown_vs_fast =
+      1.0 - best->est_throughput_ops / baselines.fast.throughput_ops;
+  choice.cost_factor = best->cost_factor;
+  choice.savings_vs_fast = 1.0 - best->cost_factor;
+  return choice;
+}
+
+}  // namespace mnemo::core

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <optional>
+
+#include "core/baselines.hpp"
+#include "core/estimate_engine.hpp"
+
+namespace mnemo::core {
+
+/// A chosen operating point: the cheapest configuration that satisfies the
+/// performance SLO.
+struct SloChoice {
+  EstimatePoint point;
+  double slowdown_vs_fast = 0.0;  ///< 1 - throughput/fast_throughput
+  double cost_factor = 0.0;       ///< R(p) — lower is cheaper
+  double savings_vs_fast = 0.0;   ///< 1 - cost_factor
+};
+
+/// Finds the "sweet spot" the paper automates (Fig 9): the lowest-cost row
+/// of a tradeoff curve whose estimated throughput stays within
+/// `permissible_slowdown` of the FastMem-only baseline (default 10%, the
+/// SLO used throughout the paper's evaluation).
+class SloAdvisor {
+ public:
+  static constexpr double kPaperSlowdown = 0.10;
+
+  explicit SloAdvisor(double permissible_slowdown = kPaperSlowdown);
+
+  /// Cheapest SLO-satisfying point, or nullopt if even FastMem-only fails
+  /// (cannot happen for curves bounded by the fast baseline itself).
+  [[nodiscard]] std::optional<SloChoice> choose(
+      const EstimateCurve& curve, const PerfBaselines& baselines) const;
+
+  [[nodiscard]] double permissible_slowdown() const noexcept {
+    return slowdown_;
+  }
+
+ private:
+  double slowdown_;
+};
+
+}  // namespace mnemo::core

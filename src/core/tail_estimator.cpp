@@ -1,0 +1,41 @@
+#include "core/tail_estimator.hpp"
+
+#include "util/assert.hpp"
+
+namespace mnemo::core {
+
+double TailEstimator::fast_share(const AccessPattern& pattern,
+                                 const std::vector<std::uint64_t>& order,
+                                 std::size_t fast_keys) {
+  MNEMO_EXPECTS(fast_keys <= order.size());
+  MNEMO_EXPECTS(order.size() == pattern.key_count());
+  std::uint64_t fast_requests = 0;
+  std::uint64_t total = 0;
+  for (std::uint64_t k = 0; k < pattern.key_count(); ++k) {
+    total += pattern.accesses(k);
+  }
+  for (std::size_t i = 0; i < fast_keys; ++i) {
+    fast_requests += pattern.accesses(order[i]);
+  }
+  if (total == 0) return 0.0;
+  return static_cast<double>(fast_requests) / static_cast<double>(total);
+}
+
+TailEstimate TailEstimator::estimate(const AccessPattern& pattern,
+                                     const std::vector<std::uint64_t>& order,
+                                     std::size_t fast_keys,
+                                     const PerfBaselines& baselines) {
+  TailEstimate est;
+  est.fast_request_share = fast_share(pattern, order, fast_keys);
+  const double wf = est.fast_request_share;
+  const double ws = 1.0 - wf;
+  const auto& hf = baselines.fast.latency_hist;
+  const auto& hs = baselines.slow.latency_hist;
+  MNEMO_EXPECTS(hf.count() > 0 && hs.count() > 0);
+  est.p50_ns = stats::mixture_quantile(hf, wf, hs, ws, 0.50);
+  est.p95_ns = stats::mixture_quantile(hf, wf, hs, ws, 0.95);
+  est.p99_ns = stats::mixture_quantile(hf, wf, hs, ws, 0.99);
+  return est;
+}
+
+}  // namespace mnemo::core

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/baselines.hpp"
+#include "core/pattern_engine.hpp"
+
+namespace mnemo::core {
+
+/// Estimated tail latencies for one capacity split.
+struct TailEstimate {
+  double p50_ns = 0.0;
+  double p95_ns = 0.0;
+  double p99_ns = 0.0;
+  double fast_request_share = 0.0;  ///< fraction of requests served fast
+};
+
+/// Tail-latency estimator — an extension beyond the paper, which states
+/// that its simple analytical model "is not sufficient to capture the
+/// variabilities of the tail latencies" and only reports them.
+///
+/// Model: a request to a FastMem-resident key draws its service time from
+/// the FastMem-only baseline's latency distribution; a SlowMem request
+/// from the SlowMem-only baseline's. A capacity split that serves a
+/// fraction w of requests from FastMem therefore has the latency
+/// distribution  w·Fast + (1-w)·Slow, whose quantiles come straight from
+/// the two baseline histograms the Sensitivity Engine already collects.
+/// The approximation ignores conditional structure (hot keys may be
+/// systematically cheaper than the baseline average), which is exactly
+/// what the validation in bench/fig8_accuracy quantifies.
+class TailEstimator {
+ public:
+  /// Requests-served-fast share for a placement prefix of `order`.
+  [[nodiscard]] static double fast_share(
+      const AccessPattern& pattern, const std::vector<std::uint64_t>& order,
+      std::size_t fast_keys);
+
+  /// Mixture tail estimate at a placement prefix.
+  [[nodiscard]] static TailEstimate estimate(
+      const AccessPattern& pattern, const std::vector<std::uint64_t>& order,
+      std::size_t fast_keys, const PerfBaselines& baselines);
+};
+
+}  // namespace mnemo::core

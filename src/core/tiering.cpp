@@ -1,0 +1,91 @@
+#include "core/tiering.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/assert.hpp"
+
+namespace mnemo::core {
+
+std::vector<double> TieringEngine::weights(const AccessPattern& pattern) {
+  std::vector<double> w(pattern.key_count());
+  for (std::uint64_t k = 0; k < pattern.key_count(); ++k) {
+    MNEMO_EXPECTS(pattern.sizes[k] > 0);
+    w[k] = static_cast<double>(pattern.accesses(k)) /
+           static_cast<double>(pattern.sizes[k]);
+  }
+  return w;
+}
+
+std::vector<std::uint64_t> TieringEngine::priority_order(
+    const AccessPattern& pattern) {
+  const auto w = weights(pattern);
+  std::vector<std::uint64_t> order(pattern.key_count());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::uint64_t a, std::uint64_t b) {
+                     if (w[a] != w[b]) return w[a] > w[b];
+                     return a < b;
+                   });
+  return order;
+}
+
+std::vector<bool> TieringEngine::knapsack_select(
+    const AccessPattern& pattern, std::uint64_t fast_budget_bytes,
+    std::uint64_t granularity_bytes) {
+  MNEMO_EXPECTS(granularity_bytes > 0);
+  const std::size_t n = pattern.key_count();
+  const auto cells = static_cast<std::size_t>(
+      fast_budget_bytes / granularity_bytes);
+  // The DP keeps an n x cells decision table; keep the grid coarse enough
+  // (cells <= 2^17) that it stays in tens of megabytes.
+  MNEMO_EXPECTS(cells <= (1u << 17));
+  std::vector<bool> chosen(n, false);
+  if (cells == 0) return chosen;
+
+  // Classic DP over capacity cells, one row kept; choices reconstructed
+  // from a per-key bitset (n * cells bits — fine at Mnemo's scales).
+  std::vector<std::uint64_t> best(cells + 1, 0);
+  std::vector<std::vector<bool>> took(n, std::vector<bool>(cells + 1, false));
+  for (std::size_t k = 0; k < n; ++k) {
+    const auto need = static_cast<std::size_t>(
+        (pattern.sizes[k] + granularity_bytes - 1) / granularity_bytes);
+    const std::uint64_t value = pattern.accesses(k);
+    if (need > cells || value == 0) continue;
+    for (std::size_t c = cells; c >= need; --c) {
+      const std::uint64_t candidate = best[c - need] + value;
+      if (candidate > best[c]) {
+        best[c] = candidate;
+        took[k][c] = true;
+      }
+    }
+  }
+  // Walk back through the rows to recover the chosen set.
+  std::size_t c = cells;
+  for (std::size_t k = n; k-- > 0;) {
+    if (c == 0) break;
+    if (took[k][c]) {
+      chosen[k] = true;
+      const auto need = static_cast<std::size_t>(
+          (pattern.sizes[k] + granularity_bytes - 1) / granularity_bytes);
+      c -= need;
+    }
+  }
+  return chosen;
+}
+
+std::uint64_t TieringEngine::captured_accesses(
+    const AccessPattern& pattern, const std::vector<std::uint64_t>& order,
+    std::uint64_t fast_budget_bytes) {
+  std::uint64_t used = 0;
+  std::uint64_t captured = 0;
+  for (const std::uint64_t key : order) {
+    const std::uint64_t size = pattern.sizes[key];
+    if (used + size > fast_budget_bytes) break;
+    used += size;
+    captured += pattern.accesses(key);
+  }
+  return captured;
+}
+
+}  // namespace mnemo::core

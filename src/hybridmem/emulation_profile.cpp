@@ -1,0 +1,30 @@
+#include "hybridmem/emulation_profile.hpp"
+
+#include "util/bytes.hpp"
+
+namespace mnemo::hybridmem {
+
+using util::kGiB;
+using util::kMiB;
+
+EmulationProfile paper_testbed_with_capacity(std::uint64_t node_bytes) {
+  EmulationProfile p;
+  p.fast = NodeSpec{"FastMem", 65.7, 14.9, node_bytes};
+  p.slow = NodeSpec{"SlowMem", 238.1, 1.81, node_bytes};
+  p.llc_bytes = 12 * kMiB;
+  p.llc_latency_ns = 12.0;       // typical shared-L3 load-to-use
+  p.llc_bandwidth_gbps = 100.0;  // on-chip SRAM stream bandwidth
+  return p;
+}
+
+EmulationProfile paper_testbed() {
+  return paper_testbed_with_capacity(4 * kGiB);
+}
+
+EmulationProfile optane_projection() {
+  EmulationProfile p = paper_testbed();
+  p.slow = NodeSpec{"OptaneDC", 65.7 * 3.0, 14.9 * 0.35, 32 * kGiB};
+  return p;
+}
+
+}  // namespace mnemo::hybridmem

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+
+#include "hybridmem/memory_node.hpp"
+
+namespace mnemo::hybridmem {
+
+/// Full configuration of the emulated hybrid memory system.
+struct EmulationProfile {
+  NodeSpec fast;
+  NodeSpec slow;
+  std::uint64_t llc_bytes = 0;
+  double llc_latency_ns = 0.0;
+  double llc_bandwidth_gbps = 0.0;
+  /// Objects larger than this fraction of the LLC bypass it entirely
+  /// (streamed payloads exhibit non-temporal behaviour and do not stay
+  /// resident). Default lets ~64 KiB objects cache in a 12 MB LLC —
+  /// captions and text posts can be cache-resident, 100 KB thumbnails
+  /// always stream from their node.
+  double llc_bypass_fraction = 64.0 * 1024.0 / (12.0 * 1024.0 * 1024.0);
+
+  /// SlowMem bandwidth as a fraction of FastMem's (the paper's "B" factor).
+  [[nodiscard]] double bandwidth_factor() const {
+    return slow.bandwidth_gbps / fast.bandwidth_gbps;
+  }
+  /// SlowMem latency as a multiple of FastMem's (the paper's "L" factor).
+  [[nodiscard]] double latency_factor() const {
+    return slow.latency_ns / fast.latency_ns;
+  }
+};
+
+/// The paper's testbed (Table I): a dual-socket Xeon with two 4 GB DDR3
+/// nodes and a 12 MB shared LLC. FastMem is unmodified DRAM (65.7 ns,
+/// 14.9 GB/s); SlowMem is the throttled node (238.1 ns, 1.81 GB/s), i.e.
+/// bandwidth reduced 0.12x and latency increased 3.62x.
+EmulationProfile paper_testbed();
+
+/// Same technology factors scaled to a given per-node capacity — used by
+/// tests and sweeps that want datasets larger or smaller than 4 GB without
+/// changing timing behaviour.
+EmulationProfile paper_testbed_with_capacity(std::uint64_t node_bytes);
+
+/// An Optane-DC-like projection (idle latency ~3x DRAM, bandwidth ~0.35x)
+/// for sensitivity studies beyond the paper's throttling emulation.
+EmulationProfile optane_projection();
+
+}  // namespace mnemo::hybridmem

@@ -1,0 +1,107 @@
+#include "hybridmem/hybrid_memory.hpp"
+
+#include "util/assert.hpp"
+
+namespace mnemo::hybridmem {
+
+HybridMemory::HybridMemory(const EmulationProfile& profile)
+    : profile_(profile),
+      fast_(profile.fast),
+      slow_(profile.slow),
+      llc_(profile.llc_bytes, profile.llc_latency_ns,
+           profile.llc_bandwidth_gbps, profile.llc_bypass_fraction) {}
+
+const MemoryNode& HybridMemory::node(NodeId id) const {
+  return id == NodeId::kFast ? fast_ : slow_;
+}
+
+MemoryNode& HybridMemory::node(NodeId id) {
+  return id == NodeId::kFast ? fast_ : slow_;
+}
+
+std::uint64_t HybridMemory::total_used_bytes() const noexcept {
+  return fast_.used_bytes() + slow_.used_bytes();
+}
+
+bool HybridMemory::place(std::uint64_t object_id, std::uint64_t bytes,
+                         NodeId node_id) {
+  MNEMO_EXPECTS(!objects_.contains(object_id));
+  if (!node(node_id).allocate(bytes)) return false;
+  objects_.emplace(object_id, ObjectInfo{bytes, node_id});
+  return true;
+}
+
+void HybridMemory::remove(std::uint64_t object_id) {
+  const auto it = objects_.find(object_id);
+  if (it == objects_.end()) return;
+  node(it->second.node).release(it->second.bytes);
+  llc_.invalidate(object_id);
+  objects_.erase(it);
+}
+
+bool HybridMemory::migrate(std::uint64_t object_id, NodeId to) {
+  const auto it = objects_.find(object_id);
+  MNEMO_EXPECTS(it != objects_.end());
+  if (it->second.node == to) return true;
+  if (!node(to).allocate(it->second.bytes)) return false;
+  node(it->second.node).release(it->second.bytes);
+  it->second.node = to;
+  return true;
+}
+
+bool HybridMemory::resize(std::uint64_t object_id, std::uint64_t new_bytes) {
+  const auto it = objects_.find(object_id);
+  MNEMO_EXPECTS(it != objects_.end());
+  ObjectInfo& info = it->second;
+  if (new_bytes > info.bytes) {
+    if (!node(info.node).grow(new_bytes - info.bytes)) return false;
+  } else if (new_bytes < info.bytes) {
+    node(info.node).shrink(info.bytes - new_bytes);
+  }
+  info.bytes = new_bytes;
+  llc_.invalidate(object_id);
+  return true;
+}
+
+std::optional<NodeId> HybridMemory::locate(std::uint64_t object_id) const {
+  const auto it = objects_.find(object_id);
+  if (it == objects_.end()) return std::nullopt;
+  return it->second.node;
+}
+
+std::optional<std::uint64_t> HybridMemory::object_size(
+    std::uint64_t object_id) const {
+  const auto it = objects_.find(object_id);
+  if (it == objects_.end()) return std::nullopt;
+  return it->second.bytes;
+}
+
+AccessResult HybridMemory::access(std::uint64_t object_id, MemOp op,
+                                  const AccessTraits& traits) {
+  const auto it = objects_.find(object_id);
+  MNEMO_EXPECTS(it != objects_.end());
+  const ObjectInfo& info = it->second;
+
+  AccessTraits effective = traits;
+  if (effective.streamed_bytes == 0) effective.streamed_bytes = info.bytes;
+
+  AccessResult result;
+  const bool hit = llc_.access(object_id, info.bytes);
+  if (hit) {
+    result.llc_hit = true;
+    result.ns = llc_.hit_ns(effective.streamed_bytes) *
+                effective.latency_touches;
+    if (op == MemOp::kWrite) result.ns *= effective.write_discount;
+  } else {
+    result.ns = node(info.node).access_ns(effective, op);
+  }
+  node(info.node).note_traffic(op, effective.streamed_bytes);
+  return result;
+}
+
+double HybridMemory::raw_access_ns(NodeId node_id, const AccessTraits& traits,
+                                   MemOp op) const {
+  return node(node_id).access_ns(traits, op);
+}
+
+}  // namespace mnemo::hybridmem

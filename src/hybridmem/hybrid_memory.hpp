@@ -1,0 +1,87 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "hybridmem/access.hpp"
+#include "hybridmem/emulation_profile.hpp"
+#include "hybridmem/llc_model.hpp"
+#include "hybridmem/memory_node.hpp"
+
+namespace mnemo::hybridmem {
+
+/// The hybrid memory system: FastMem + SlowMem as a flat address-space
+/// extension (no hardware caching of SlowMem in FastMem — the paper's
+/// assumption), fronted by a shared LLC.
+///
+/// Objects (key-value records) are registered on a node; every access is
+/// priced by (a) the LLC if the whole object is resident, otherwise (b) the
+/// owning node's latency/bandwidth under the caller's AccessTraits. All
+/// times are simulated nanoseconds on a virtual clock; nothing here touches
+/// the wall clock.
+class HybridMemory {
+ public:
+  explicit HybridMemory(const EmulationProfile& profile);
+
+  /// Place a new object. Returns false if the node is out of capacity.
+  [[nodiscard]] bool place(std::uint64_t object_id, std::uint64_t bytes,
+                           NodeId node);
+
+  /// Remove an object entirely. No-op if unknown.
+  void remove(std::uint64_t object_id);
+
+  /// Move an object to the other node (static re-placement, not runtime
+  /// migration — Mnemo provides static allocations only). Returns false if
+  /// the destination lacks capacity; the object then stays put.
+  [[nodiscard]] bool migrate(std::uint64_t object_id, NodeId to);
+
+  /// Change an object's size in place (record update with a different
+  /// value size). Returns false if the node cannot fit the growth.
+  [[nodiscard]] bool resize(std::uint64_t object_id, std::uint64_t new_bytes);
+
+  [[nodiscard]] std::optional<NodeId> locate(std::uint64_t object_id) const;
+  [[nodiscard]] std::optional<std::uint64_t> object_size(
+      std::uint64_t object_id) const;
+
+  /// Price one logical access to a placed object. `traits.streamed_bytes`
+  /// of 0 means "touch metadata only" and streams the object's own size
+  /// instead. Requires the object to be placed.
+  AccessResult access(std::uint64_t object_id, MemOp op,
+                      const AccessTraits& traits);
+
+  /// Price a raw access against a node, bypassing placement and LLC — used
+  /// by microbenchmarks that characterize the nodes themselves (Table I).
+  [[nodiscard]] double raw_access_ns(NodeId node, const AccessTraits& traits,
+                                     MemOp op) const;
+
+  [[nodiscard]] const MemoryNode& node(NodeId id) const;
+  [[nodiscard]] MemoryNode& node(NodeId id);
+  [[nodiscard]] const LlcModel& llc() const noexcept { return llc_; }
+  [[nodiscard]] const EmulationProfile& profile() const noexcept {
+    return profile_;
+  }
+  [[nodiscard]] std::size_t object_count() const noexcept {
+    return objects_.size();
+  }
+
+  /// Total bytes resident across both nodes.
+  [[nodiscard]] std::uint64_t total_used_bytes() const noexcept;
+
+  /// Reset LLC state (between experiment phases) without moving data.
+  void drop_caches() { llc_.clear(); }
+
+ private:
+  struct ObjectInfo {
+    std::uint64_t bytes;
+    NodeId node;
+  };
+
+  EmulationProfile profile_;
+  MemoryNode fast_;
+  MemoryNode slow_;
+  LlcModel llc_;
+  std::unordered_map<std::uint64_t, ObjectInfo> objects_;
+};
+
+}  // namespace mnemo::hybridmem

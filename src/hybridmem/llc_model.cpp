@@ -1,0 +1,80 @@
+#include "hybridmem/llc_model.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace mnemo::hybridmem {
+
+LlcModel::LlcModel(std::uint64_t capacity_bytes, double hit_latency_ns,
+                   double hit_bandwidth_gbps, double bypass_fraction)
+    : capacity_(capacity_bytes),
+      hit_latency_ns_(hit_latency_ns),
+      hit_bandwidth_gbps_(hit_bandwidth_gbps),
+      bypass_threshold_(static_cast<std::uint64_t>(
+          static_cast<double>(capacity_bytes) * bypass_fraction)) {
+  MNEMO_EXPECTS(capacity_bytes > 0);
+  MNEMO_EXPECTS(hit_latency_ns > 0.0);
+  MNEMO_EXPECTS(hit_bandwidth_gbps > 0.0);
+  MNEMO_EXPECTS(bypass_fraction > 0.0 && bypass_fraction <= 1.0);
+}
+
+double LlcModel::hit_rate() const noexcept {
+  const std::uint64_t total = hits_ + misses_;
+  return total == 0 ? 0.0
+                    : static_cast<double>(hits_) / static_cast<double>(total);
+}
+
+double LlcModel::hit_ns(std::uint64_t bytes) const {
+  return hit_latency_ns_ + static_cast<double>(bytes) / hit_bandwidth_gbps_;
+}
+
+bool LlcModel::access(std::uint64_t id, std::uint64_t bytes) {
+  const auto it = index_.find(id);
+  if (it != index_.end()) {
+    // Size may have changed (record update); keep accounting honest.
+    used_ -= it->second->bytes;
+    used_ += bytes;
+    it->second->bytes = bytes;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    ++hits_;
+    return true;
+  }
+  ++misses_;
+  if (bytes > bypass_threshold_) return false;
+  evict_to(bytes);
+  lru_.push_front(Entry{id, bytes});
+  index_[id] = lru_.begin();
+  used_ += bytes;
+  return false;
+}
+
+void LlcModel::evict_to(std::uint64_t need) {
+  MNEMO_EXPECTS(need <= capacity_);
+  while (used_ + need > capacity_ && !lru_.empty()) {
+    const Entry victim = lru_.back();
+    lru_.pop_back();
+    index_.erase(victim.id);
+    used_ -= victim.bytes;
+  }
+}
+
+void LlcModel::invalidate(std::uint64_t id) {
+  const auto it = index_.find(id);
+  if (it == index_.end()) return;
+  used_ -= it->second->bytes;
+  lru_.erase(it->second);
+  index_.erase(it);
+}
+
+void LlcModel::clear() {
+  lru_.clear();
+  index_.clear();
+  used_ = 0;
+  // Clearing marks a measurement boundary (e.g. after the load phase);
+  // the hit statistics restart with the content.
+  hits_ = 0;
+  misses_ = 0;
+}
+
+}  // namespace mnemo::hybridmem

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+namespace mnemo::hybridmem {
+
+/// Last-level-cache model: an LRU over whole resident objects with a byte
+/// budget (the testbed's 12 MB shared LLC). Object-granular rather than
+/// line-granular — for Mnemo's record sizes (1 KB–100 KB) a record is
+/// either streamed through the cache and reused soon (hit) or evicted by
+/// the ~1 GB working set before reuse (miss), which whole-object LRU
+/// captures at a fraction of the bookkeeping cost of per-line tags.
+///
+/// Objects larger than `bypass_fraction` of capacity never cache (streaming
+/// accesses would self-evict anyway).
+class LlcModel {
+ public:
+  LlcModel(std::uint64_t capacity_bytes, double hit_latency_ns,
+           double hit_bandwidth_gbps, double bypass_fraction = 0.25);
+
+  /// Record an access to object `id` of `bytes` size. Returns true on hit.
+  /// On miss the object is installed (evicting LRU victims) unless it
+  /// bypasses.
+  bool access(std::uint64_t id, std::uint64_t bytes);
+
+  /// Drop an object (e.g. deleted or resized record).
+  void invalidate(std::uint64_t id);
+
+  /// Forget everything and restart the hit statistics (a measurement
+  /// boundary, e.g. between the load phase and the measured run).
+  void clear();
+
+  /// ns to serve `bytes` from the LLC on a hit.
+  [[nodiscard]] double hit_ns(std::uint64_t bytes) const;
+
+  [[nodiscard]] std::uint64_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::uint64_t used() const noexcept { return used_; }
+  [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const noexcept { return misses_; }
+  [[nodiscard]] double hit_rate() const noexcept;
+
+ private:
+  struct Entry {
+    std::uint64_t id;
+    std::uint64_t bytes;
+  };
+
+  void evict_to(std::uint64_t need);
+
+  std::uint64_t capacity_;
+  double hit_latency_ns_;
+  double hit_bandwidth_gbps_;
+  std::uint64_t bypass_threshold_;
+  std::uint64_t used_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::list<Entry> lru_;  // front = most recent
+  std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index_;
+};
+
+}  // namespace mnemo::hybridmem

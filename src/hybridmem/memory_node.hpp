@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "hybridmem/access.hpp"
+
+namespace mnemo::hybridmem {
+
+/// Static characteristics of one memory component (one NUMA node in the
+/// paper's testbed).
+struct NodeSpec {
+  std::string name;
+  double latency_ns = 0.0;      ///< idle random-access latency
+  double bandwidth_gbps = 0.0;  ///< sustained stream bandwidth, GB/s
+  std::uint64_t capacity_bytes = 0;
+
+  /// ns to stream `bytes` sequentially at this node's bandwidth.
+  [[nodiscard]] double stream_ns(std::uint64_t bytes) const;
+};
+
+/// One memory component with capacity accounting. Allocation is
+/// object-granular (the emulator tracks whole key-value records); the node
+/// only checks capacity and keeps usage statistics.
+class MemoryNode {
+ public:
+  explicit MemoryNode(NodeSpec spec);
+
+  [[nodiscard]] const NodeSpec& spec() const noexcept { return spec_; }
+  [[nodiscard]] std::uint64_t used_bytes() const noexcept { return used_; }
+  [[nodiscard]] std::uint64_t free_bytes() const noexcept {
+    return spec_.capacity_bytes - used_;
+  }
+  [[nodiscard]] std::uint64_t object_count() const noexcept { return objects_; }
+
+  /// Reserve `bytes`; returns false (and changes nothing) if it would
+  /// exceed capacity.
+  [[nodiscard]] bool allocate(std::uint64_t bytes) noexcept;
+
+  /// Release `bytes` previously allocated. Requires bytes <= used_bytes().
+  void release(std::uint64_t bytes) noexcept;
+
+  /// Grow an existing object by `bytes` without changing the object count.
+  /// Returns false if it would exceed capacity.
+  [[nodiscard]] bool grow(std::uint64_t bytes) noexcept;
+
+  /// Shrink an existing object by `bytes` without changing the object count.
+  void shrink(std::uint64_t bytes) noexcept;
+
+  /// Price a raw access against this node (no LLC involved):
+  /// touches serialized latencies plus an exposed bandwidth stream.
+  [[nodiscard]] double access_ns(const AccessTraits& t, MemOp op) const;
+
+  /// Lifetime traffic statistics.
+  [[nodiscard]] std::uint64_t reads() const noexcept { return reads_; }
+  [[nodiscard]] std::uint64_t writes() const noexcept { return writes_; }
+  [[nodiscard]] std::uint64_t bytes_streamed() const noexcept {
+    return bytes_streamed_;
+  }
+  void note_traffic(MemOp op, std::uint64_t bytes) noexcept;
+
+ private:
+  NodeSpec spec_;
+  std::uint64_t used_ = 0;
+  std::uint64_t objects_ = 0;
+  std::uint64_t reads_ = 0;
+  std::uint64_t writes_ = 0;
+  std::uint64_t bytes_streamed_ = 0;
+};
+
+}  // namespace mnemo::hybridmem

@@ -1,0 +1,63 @@
+#include "hybridmem/placement.hpp"
+
+#include "util/assert.hpp"
+
+namespace mnemo::hybridmem {
+
+Placement::Placement(std::size_t key_count, NodeId everywhere)
+    : nodes_(key_count, everywhere),
+      fast_keys_(everywhere == NodeId::kFast ? key_count : 0) {}
+
+Placement Placement::from_order(std::span<const std::uint64_t> ordered_keys,
+                                std::size_t fast_prefix) {
+  MNEMO_EXPECTS(fast_prefix <= ordered_keys.size());
+  Placement p(ordered_keys.size(), NodeId::kSlow);
+  for (std::size_t i = 0; i < fast_prefix; ++i) {
+    p.set(ordered_keys[i], NodeId::kFast);
+  }
+  return p;
+}
+
+Placement Placement::from_order_with_budget(
+    std::span<const std::uint64_t> ordered_keys,
+    std::span<const std::uint64_t> key_sizes, std::uint64_t fast_budget) {
+  MNEMO_EXPECTS(ordered_keys.size() == key_sizes.size());
+  Placement p(ordered_keys.size(), NodeId::kSlow);
+  std::uint64_t used = 0;
+  for (const std::uint64_t key : ordered_keys) {
+    MNEMO_EXPECTS(key < key_sizes.size());
+    const std::uint64_t size = key_sizes[key];
+    if (used + size > fast_budget) break;
+    used += size;
+    p.set(key, NodeId::kFast);
+  }
+  return p;
+}
+
+NodeId Placement::node_of(std::uint64_t key) const {
+  MNEMO_EXPECTS(key < nodes_.size());
+  return nodes_[key];
+}
+
+void Placement::set(std::uint64_t key, NodeId node) {
+  MNEMO_EXPECTS(key < nodes_.size());
+  if (nodes_[key] == node) return;
+  nodes_[key] = node;
+  if (node == NodeId::kFast) {
+    ++fast_keys_;
+  } else {
+    --fast_keys_;
+  }
+}
+
+std::uint64_t Placement::bytes_on(
+    NodeId node, std::span<const std::uint64_t> key_sizes) const {
+  MNEMO_EXPECTS(key_sizes.size() == nodes_.size());
+  std::uint64_t sum = 0;
+  for (std::size_t k = 0; k < nodes_.size(); ++k) {
+    if (nodes_[k] == node) sum += key_sizes[k];
+  }
+  return sum;
+}
+
+}  // namespace mnemo::hybridmem

@@ -1,0 +1,71 @@
+#include "kvstore/cachet/assoc.hpp"
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace mnemo::kvstore::cachet {
+
+AssocTable::AssocTable() : buckets_(kInitialBuckets) {}
+
+std::uint64_t AssocTable::overhead_bytes() const noexcept {
+  return buckets_.size() * sizeof(void*);
+}
+
+void AssocTable::maybe_expand() {
+  if (static_cast<double>(used_) <
+      kMaxLoad * static_cast<double>(buckets_.size())) {
+    return;
+  }
+  std::vector<Bucket> bigger(buckets_.size() * 2);
+  for (Bucket& bucket : buckets_) {
+    while (!bucket.empty()) {
+      const std::size_t idx =
+          util::mix64(bucket.front().key) & (bigger.size() - 1);
+      bigger[idx].splice_after(bigger[idx].before_begin(), bucket,
+                               bucket.before_begin());
+    }
+  }
+  buckets_ = std::move(bigger);
+}
+
+AssocTable::FindResult AssocTable::find(std::uint64_t key) {
+  FindResult result;
+  Bucket& bucket = buckets_[util::mix64(key) & (buckets_.size() - 1)];
+  for (Item& item : bucket) {
+    ++result.probes;
+    if (item.key == key) {
+      result.item = &item;
+      return result;
+    }
+  }
+  if (result.probes == 0) result.probes = 1;
+  return result;
+}
+
+Item* AssocTable::insert(Item item, std::uint32_t* probes) {
+  maybe_expand();
+  Bucket& bucket = buckets_[util::mix64(item.key) & (buckets_.size() - 1)];
+  if (probes != nullptr) *probes = 1;
+  bucket.push_front(std::move(item));
+  ++used_;
+  return &bucket.front();
+}
+
+AssocTable::EraseResult AssocTable::erase(std::uint64_t key) {
+  EraseResult result;
+  Bucket& bucket = buckets_[util::mix64(key) & (buckets_.size() - 1)];
+  auto prev = bucket.before_begin();
+  for (auto it = bucket.begin(); it != bucket.end(); ++it, ++prev) {
+    ++result.probes;
+    if (it->key == key) {
+      result.item = std::move(*it);
+      bucket.erase_after(prev);
+      --used_;
+      result.erased = true;
+      return result;
+    }
+  }
+  return result;
+}
+
+}  // namespace mnemo::kvstore::cachet

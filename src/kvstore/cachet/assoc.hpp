@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdint>
+#include <forward_list>
+#include <list>
+#include <vector>
+
+#include "kvstore/record.hpp"
+
+namespace mnemo::kvstore::cachet {
+
+/// One cached item: payload plus the slab/LRU bookkeeping Cachet needs.
+struct Item {
+  std::uint64_t key = 0;
+  Record value;
+  std::size_t slab_class = 0;
+  std::list<std::uint64_t>::iterator lru_it;  ///< position in class LRU
+};
+
+/// Memcached's `assoc` hash table: power-of-two buckets with chaining,
+/// doubled when the load factor passes 1.5. Lookups report chain probes
+/// for memory-latency accounting.
+class AssocTable {
+ public:
+  static constexpr std::size_t kInitialBuckets = 16;
+  static constexpr double kMaxLoad = 1.5;
+
+  AssocTable();
+
+  struct FindResult {
+    Item* item = nullptr;
+    std::uint32_t probes = 0;
+  };
+  FindResult find(std::uint64_t key);
+
+  /// Insert a new item (key must not already exist — Cachet checks first).
+  /// Returns probes walked and a stable-until-next-mutation pointer.
+  Item* insert(Item item, std::uint32_t* probes);
+
+  struct EraseResult {
+    bool erased = false;
+    std::uint32_t probes = 0;
+    Item item;  ///< the removed item (for slab/LRU cleanup), valid if erased
+  };
+  EraseResult erase(std::uint64_t key);
+
+  [[nodiscard]] std::size_t size() const noexcept { return used_; }
+  [[nodiscard]] std::size_t bucket_count() const noexcept {
+    return buckets_.size();
+  }
+  [[nodiscard]] std::uint64_t overhead_bytes() const noexcept;
+
+  template <typename F>
+  void for_each(F&& fn) const {
+    for (const auto& bucket : buckets_) {
+      for (const auto& item : bucket) fn(item);
+    }
+  }
+
+ private:
+  using Bucket = std::forward_list<Item>;
+
+  void maybe_expand();
+
+  std::vector<Bucket> buckets_;
+  std::size_t used_ = 0;
+};
+
+}  // namespace mnemo::kvstore::cachet

@@ -1,0 +1,149 @@
+#include "kvstore/cachet/cachet.hpp"
+
+#include "util/assert.hpp"
+
+namespace mnemo::kvstore {
+
+using cachet::Item;
+using hybridmem::MemOp;
+
+Cachet::Cachet(hybridmem::HybridMemory& memory, const StoreConfig& config)
+    : KeyValueStore(memory, config, StoreKind::kCachet),
+      lru_(slabs_.class_count() + 1) {}
+
+Cachet::~Cachet() {
+  assoc_.for_each([this](const Item& item) { this->memory().remove(item.key); });
+}
+
+std::uint64_t Cachet::overhead_bytes() const {
+  // Bucket array + free/tail slab slack. Live chunks are already accounted
+  // against the node at chunk granularity by put().
+  return assoc_.overhead_bytes() + slabs_.slack_bytes();
+}
+
+void Cachet::lru_touch(Item& item) {
+  auto& lru = lru_[item.slab_class];
+  lru.splice(lru.begin(), lru, item.lru_it);
+}
+
+bool Cachet::evict_one(std::size_t cls) {
+  auto& lru = lru_[cls];
+  if (lru.empty()) return false;
+  const std::uint64_t victim = lru.back();
+  drop_item(victim);
+  ++stats_.evictions;
+  return true;
+}
+
+void Cachet::drop_item(std::uint64_t key) {
+  auto erased = assoc_.erase(key);
+  MNEMO_ASSERT(erased.erased);
+  Item& item = erased.item;
+  lru_[item.slab_class].erase(item.lru_it);
+  slabs_.give_back(item.slab_class, item.value.size);
+  memory().remove(key);
+}
+
+Record* Cachet::mutable_record(std::uint64_t key) {
+  const auto found = assoc_.find(key);
+  return found.item != nullptr ? &found.item->value : nullptr;
+}
+
+OpResult Cachet::get(std::uint64_t key) {
+  ++stats_.gets;
+  const auto found = assoc_.find(key);
+  double ns = profile().cpu_read_ns + index_walk_ns(1, found.probes);
+  if (found.item == nullptr) {
+    ++stats_.misses;
+    return finalize(false, ns, false);
+  }
+  if (check_expired(found.item->value)) {
+    // Memcached exptime semantics: the item is dead on arrival of the
+    // next fetch; reclaim its chunk and miss.
+    drop_item(key);
+    sync_overhead_accounting(overhead_bytes());
+    ++stats_.misses;
+    return finalize(false, ns, false);
+  }
+  ++stats_.hits;
+  lru_touch(*found.item);
+  const Record& rec = found.item->value;
+  if (rec.stored()) {
+    MNEMO_ASSERT(checksum_bytes(rec.bytes) == rec.checksum);
+  }
+  const auto access = payload_access(key, rec.size, MemOp::kRead);
+  ns += access.ns;
+  return finalize(true, ns, access.llc_hit);
+}
+
+OpResult Cachet::put(std::uint64_t key, std::uint64_t value_size) {
+  ++stats_.puts;
+  double ns = profile().cpu_write_ns;
+
+  // Update in place if present (memcached `set` on an existing key).
+  auto found = assoc_.find(key);
+  ns += index_walk_ns(1, found.probes);
+  if (found.item != nullptr) {
+    const std::size_t new_cls = slabs_.class_for(value_size);
+    if (new_cls != found.item->slab_class) {
+      // Item migrates slab class: release old chunk, take a new one.
+      slabs_.give_back(found.item->slab_class, found.item->value.size);
+      slabs_.take(new_cls, value_size);
+      lru_[found.item->slab_class].erase(found.item->lru_it);
+      lru_[new_cls].push_front(key);
+      found.item->slab_class = new_cls;
+      found.item->lru_it = lru_[new_cls].begin();
+    }
+    if (!memory().resize(key, slabs_.chunk_bytes(new_cls, value_size))) {
+      return finalize(false, ns, false);
+    }
+    found.item->value = make_record(key, value_size, payload_mode());
+    lru_touch(*found.item);
+    const auto access = payload_access(key, value_size, MemOp::kWrite);
+    ns += access.ns;
+    return finalize(true, ns, access.llc_hit);
+  }
+
+  const std::size_t cls = slabs_.class_for(value_size);
+  const std::uint64_t chunk = slabs_.chunk_bytes(cls, value_size);
+  // Evict from this item's class until the node can hold the chunk.
+  while (!memory().place(key, chunk, node())) {
+    if (!evict_one(cls)) {
+      return finalize(false, ns, false);
+    }
+  }
+  slabs_.take(cls, value_size);
+  Item item;
+  item.key = key;
+  item.value = make_record(key, value_size, payload_mode());
+  item.slab_class = cls;
+  lru_[cls].push_front(key);
+  item.lru_it = lru_[cls].begin();
+  std::uint32_t probes = 0;
+  assoc_.insert(std::move(item), &probes);
+  ns += index_walk_ns(0, probes);
+  sync_overhead_accounting(overhead_bytes());
+  const auto access = payload_access(key, value_size, MemOp::kWrite);
+  ns += access.ns;
+  return finalize(true, ns, access.llc_hit);
+}
+
+OpResult Cachet::erase(std::uint64_t key) {
+  ++stats_.erases;
+  const auto found = assoc_.find(key);
+  const double ns = profile().cpu_write_ns + index_walk_ns(1, found.probes);
+  if (found.item == nullptr) return finalize(false, ns, false);
+  drop_item(key);
+  sync_overhead_accounting(overhead_bytes());
+  return finalize(true, ns, false);
+}
+
+bool Cachet::contains(std::uint64_t key) const {
+  bool found = false;
+  assoc_.for_each([&](const Item& item) {
+    if (item.key == key) found = true;
+  });
+  return found;
+}
+
+}  // namespace mnemo::kvstore

@@ -1,0 +1,79 @@
+#include "kvstore/cachet/slab.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace mnemo::kvstore::cachet {
+
+SlabAllocator::SlabAllocator() {
+  std::uint64_t chunk = kMinChunk;
+  while (chunk <= kPageBytes) {
+    SlabClass c{};
+    c.chunk_size = chunk;
+    c.chunks_per_page = kPageBytes / chunk;
+    classes_.push_back(c);
+    const auto next = static_cast<std::uint64_t>(
+        std::ceil(static_cast<double>(chunk) * kGrowthFactor));
+    // Align to 8 bytes like memcached's chunk sizing.
+    chunk = (next + 7) & ~7ULL;
+  }
+}
+
+std::size_t SlabAllocator::class_for(std::uint64_t item_bytes) const {
+  const std::uint64_t need = item_bytes + kItemHeader;
+  for (std::size_t i = 0; i < classes_.size(); ++i) {
+    if (classes_[i].chunk_size >= need) return i;
+  }
+  return classes_.size();  // huge
+}
+
+std::uint64_t SlabAllocator::chunk_bytes(std::size_t cls,
+                                         std::uint64_t item_bytes) const {
+  if (cls < classes_.size()) return classes_[cls].chunk_size;
+  const std::uint64_t need = item_bytes + kItemHeader;
+  return (need + kPageBytes - 1) / kPageBytes * kPageBytes;
+}
+
+void SlabAllocator::take(std::size_t cls, std::uint64_t item_bytes) {
+  if (cls >= classes_.size()) {
+    const std::uint64_t bytes = chunk_bytes(cls, item_bytes);
+    page_bytes_ += bytes;
+    used_chunk_bytes_ += bytes;
+    ++huge_items_;
+    return;
+  }
+  SlabClass& c = classes_[cls];
+  if (c.free_chunks == 0) {
+    ++c.pages;
+    c.free_chunks += c.chunks_per_page;
+    page_bytes_ += kPageBytes;
+  }
+  --c.free_chunks;
+  ++c.used_chunks;
+  used_chunk_bytes_ += c.chunk_size;
+}
+
+void SlabAllocator::give_back(std::size_t cls, std::uint64_t item_bytes) {
+  if (cls >= classes_.size()) {
+    MNEMO_EXPECTS(huge_items_ > 0);
+    const std::uint64_t bytes = chunk_bytes(cls, item_bytes);
+    page_bytes_ -= bytes;
+    used_chunk_bytes_ -= bytes;
+    --huge_items_;
+    return;
+  }
+  SlabClass& c = classes_[cls];
+  MNEMO_EXPECTS(c.used_chunks > 0);
+  --c.used_chunks;
+  ++c.free_chunks;
+  used_chunk_bytes_ -= c.chunk_size;
+}
+
+SlabAllocator::ClassStats SlabAllocator::class_stats(std::size_t cls) const {
+  MNEMO_EXPECTS(cls < classes_.size());
+  const SlabClass& c = classes_[cls];
+  return ClassStats{c.chunk_size, c.pages, c.used_chunks, c.free_chunks};
+}
+
+}  // namespace mnemo::kvstore::cachet

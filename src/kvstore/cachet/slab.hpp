@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mnemo::kvstore::cachet {
+
+/// Memcached-style slab allocator model. Memory is carved into 1 MiB pages
+/// assigned to size classes; a class hands out fixed-size chunks. Items are
+/// stored in the smallest class whose chunk fits the item, so capacity is
+/// consumed at chunk granularity (internal fragmentation included) — the
+/// behaviour that makes Memcached's memory footprint deviate from the raw
+/// dataset size.
+class SlabAllocator {
+ public:
+  static constexpr std::uint64_t kPageBytes = 1ULL << 20;  // 1 MiB
+  static constexpr std::uint64_t kMinChunk = 96;
+  static constexpr double kGrowthFactor = 1.25;
+  static constexpr std::uint64_t kItemHeader = 48;  ///< memcached item hdr
+
+  SlabAllocator();
+
+  /// Slab class index for an item of `item_bytes` payload (header added
+  /// internally). Items too large for the largest class use per-item page
+  /// allocations, reported as class_count().
+  [[nodiscard]] std::size_t class_for(std::uint64_t item_bytes) const;
+
+  /// Chunk size of a class; for the huge class this is the page-rounded
+  /// size of the specific item, so pass item_bytes.
+  [[nodiscard]] std::uint64_t chunk_bytes(std::size_t cls,
+                                          std::uint64_t item_bytes) const;
+
+  /// Take a chunk from `cls` (allocating a fresh page if the free list is
+  /// empty). Never fails — capacity limits are enforced by the memory node,
+  /// not the allocator.
+  void take(std::size_t cls, std::uint64_t item_bytes);
+
+  /// Return a chunk to `cls`'s free list.
+  void give_back(std::size_t cls, std::uint64_t item_bytes);
+
+  [[nodiscard]] std::size_t class_count() const noexcept {
+    return classes_.size();
+  }
+  [[nodiscard]] std::uint64_t pages_allocated_bytes() const noexcept {
+    return page_bytes_;
+  }
+  [[nodiscard]] std::uint64_t used_chunk_bytes() const noexcept {
+    return used_chunk_bytes_;
+  }
+  /// Page bytes not covered by live chunks (free chunks + tail waste).
+  [[nodiscard]] std::uint64_t slack_bytes() const noexcept {
+    return page_bytes_ - used_chunk_bytes_;
+  }
+
+  struct ClassStats {
+    std::uint64_t chunk_size = 0;
+    std::uint64_t pages = 0;
+    std::uint64_t used_chunks = 0;
+    std::uint64_t free_chunks = 0;
+  };
+  [[nodiscard]] ClassStats class_stats(std::size_t cls) const;
+
+ private:
+  struct SlabClass {
+    std::uint64_t chunk_size;
+    std::uint64_t chunks_per_page;
+    std::uint64_t pages = 0;
+    std::uint64_t used_chunks = 0;
+    std::uint64_t free_chunks = 0;
+  };
+
+  std::vector<SlabClass> classes_;
+  std::uint64_t page_bytes_ = 0;        ///< total page bytes incl. huge
+  std::uint64_t used_chunk_bytes_ = 0;  ///< live chunk bytes incl. huge
+  std::uint64_t huge_items_ = 0;
+};
+
+}  // namespace mnemo::kvstore::cachet

@@ -1,0 +1,81 @@
+#include "kvstore/dual_server.hpp"
+
+#include "util/assert.hpp"
+
+namespace mnemo::kvstore {
+
+DualServer::DualServer(hybridmem::HybridMemory& memory, StoreKind kind,
+                       const StoreConfig& base_config)
+    : kind_(kind) {
+  StoreConfig fast_cfg = base_config;
+  fast_cfg.node = hybridmem::NodeId::kFast;
+  StoreConfig slow_cfg = base_config;
+  slow_cfg.node = hybridmem::NodeId::kSlow;
+  // Distinct jitter streams per instance, like two independent processes.
+  slow_cfg.seed = base_config.seed ^ 0x510'3141ULL;
+  fast_ = make_store(kind, memory, fast_cfg);
+  slow_ = make_store(kind, memory, slow_cfg);
+}
+
+KeyValueStore& DualServer::route(std::uint64_t key) {
+  return placement_.node_of(key) == hybridmem::NodeId::kFast ? *fast_
+                                                             : *slow_;
+}
+
+void DualServer::populate(const workload::Trace& trace,
+                          const hybridmem::Placement& placement) {
+  MNEMO_EXPECTS(placement.key_count() == trace.key_count());
+  placement_ = placement;
+  key_sizes_ = trace.key_sizes();
+  // Only keys that exist before the run are loaded; keys beyond
+  // initial_key_count() arrive via kInsert requests during execution.
+  for (std::uint64_t key = 0; key < trace.initial_key_count(); ++key) {
+    const OpResult r = route(key).put(key, key_sizes_[key]);
+    MNEMO_ASSERT(r.ok && "populate must fit the configured node capacities");
+  }
+}
+
+OpResult DualServer::execute(const workload::Request& request) {
+  MNEMO_EXPECTS(request.key < key_sizes_.size());
+  KeyValueStore& server = route(request.key);
+  if (request.op == workload::OpType::kRead) {
+    return server.get(request.key);
+  }
+  // kUpdate overwrites in place; kInsert creates the key (same put path —
+  // the stores upsert).
+  return server.put(request.key, key_sizes_[request.key]);
+}
+
+double DualServer::move_key(std::uint64_t key, hybridmem::NodeId to) {
+  MNEMO_EXPECTS(key < key_sizes_.size());
+  if (placement_.node_of(key) == to) return 0.0;
+  KeyValueStore& src = route(key);
+  KeyValueStore& dst =
+      to == hybridmem::NodeId::kFast ? *fast_ : *slow_;
+  const OpResult out = src.erase(key);
+  MNEMO_EXPECTS(out.ok);
+  const OpResult in = dst.put(key, key_sizes_[key]);
+  if (!in.ok) {
+    // Destination full: put the record back where it was.
+    const OpResult restore = src.put(key, key_sizes_[key]);
+    MNEMO_ASSERT(restore.ok);
+    return -1.0;
+  }
+  placement_.set(key, to);
+  return out.service_ns + in.service_ns;
+}
+
+StoreStats DualServer::combined_stats() const {
+  StoreStats s = fast_->stats();
+  const StoreStats& t = slow_->stats();
+  s.gets += t.gets;
+  s.puts += t.puts;
+  s.erases += t.erases;
+  s.hits += t.hits;
+  s.misses += t.misses;
+  s.evictions += t.evictions;
+  s.busy_ns += t.busy_ns;
+  return s;
+}
+
+}  // namespace mnemo::kvstore

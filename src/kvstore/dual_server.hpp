@@ -1,0 +1,61 @@
+#pragma once
+
+#include <memory>
+
+#include "hybridmem/placement.hpp"
+#include "kvstore/factory.hpp"
+#include "workload/trace.hpp"
+
+namespace mnemo::kvstore {
+
+/// The paper's two-server deployment: one server instance pinned to
+/// FastMem, one to SlowMem, both the same architecture, sharing the
+/// platform (one HybridMemory, hence one LLC). This is the analogue of the
+/// paper's modified YCSB core that "redirects requests across the two
+/// server instances" according to the key placement.
+class DualServer {
+ public:
+  DualServer(hybridmem::HybridMemory& memory, StoreKind kind,
+             const StoreConfig& base_config);
+
+  /// Load every key of the trace into the server its placement names.
+  /// Population happens in key order (the paper's load phase) and aborts
+  /// on capacity failure — experiment configurations must fit.
+  void populate(const workload::Trace& trace,
+                const hybridmem::Placement& placement);
+
+  /// Execute one client request, routed by the placement given at
+  /// populate(). Updates keep the key on its assigned server.
+  OpResult execute(const workload::Request& request);
+
+  [[nodiscard]] KeyValueStore& fast() noexcept { return *fast_; }
+  [[nodiscard]] KeyValueStore& slow() noexcept { return *slow_; }
+  [[nodiscard]] const KeyValueStore& fast() const noexcept { return *fast_; }
+  [[nodiscard]] const KeyValueStore& slow() const noexcept { return *slow_; }
+  [[nodiscard]] StoreKind kind() const noexcept { return kind_; }
+
+  /// Combined op counters across both instances.
+  [[nodiscard]] StoreStats combined_stats() const;
+
+  /// Move one key's record to the other tier (delete + re-insert, like a
+  /// live migration between the two server processes). Returns the
+  /// simulated time the move cost, or a negative value if the destination
+  /// had no capacity (the key then stays put). Used by the dynamic
+  /// re-tiering extension; Mnemo proper only does static placement.
+  double move_key(std::uint64_t key, hybridmem::NodeId to);
+
+  [[nodiscard]] const hybridmem::Placement& placement() const noexcept {
+    return placement_;
+  }
+
+ private:
+  [[nodiscard]] KeyValueStore& route(std::uint64_t key);
+
+  StoreKind kind_;
+  std::unique_ptr<KeyValueStore> fast_;
+  std::unique_ptr<KeyValueStore> slow_;
+  hybridmem::Placement placement_{0, hybridmem::NodeId::kFast};
+  std::vector<std::uint64_t> key_sizes_;
+};
+
+}  // namespace mnemo::kvstore

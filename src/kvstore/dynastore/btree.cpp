@@ -1,0 +1,201 @@
+#include "kvstore/dynastore/btree.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace mnemo::kvstore::dynastore {
+
+BPlusTree::BPlusTree() {
+  auto leaf = std::make_unique<Leaf>();
+  first_leaf_ = leaf.get();
+  root_ = std::move(leaf);
+}
+
+BPlusTree::~BPlusTree() = default;
+
+std::uint64_t BPlusTree::overhead_bytes() const noexcept {
+  // Per node: header + kFanout key slots + kFanout pointers — a fixed-size
+  // page model, like an on-heap B-tree with preallocated arrays.
+  constexpr std::uint64_t kNodeBytes = 32 + kFanout * 8 + kFanout * 8;
+  return nodes_ * kNodeBytes;
+}
+
+BPlusTree::Leaf* BPlusTree::descend(std::uint64_t key,
+                                    std::uint32_t* depth) const {
+  Node* node = root_.get();
+  std::uint32_t d = 1;
+  while (!node->is_leaf) {
+    auto& internal = static_cast<Internal&>(*node);
+    const auto it = std::upper_bound(internal.keys.begin(),
+                                     internal.keys.end(), key);
+    node = internal.children[static_cast<std::size_t>(
+                                 it - internal.keys.begin())]
+               .get();
+    ++d;
+  }
+  if (depth != nullptr) *depth = d;
+  return static_cast<Leaf*>(node);
+}
+
+BPlusTree::FindResult BPlusTree::find(std::uint64_t key) {
+  FindResult result;
+  Leaf* leaf = descend(key, &result.depth);
+  const auto it = std::lower_bound(leaf->keys.begin(), leaf->keys.end(), key);
+  if (it != leaf->keys.end() && *it == key) {
+    result.record =
+        &leaf->values[static_cast<std::size_t>(it - leaf->keys.begin())];
+  }
+  return result;
+}
+
+bool BPlusTree::insert_into(Node& node, std::uint64_t key, Record&& value,
+                            std::uint32_t* depth, bool* existed,
+                            SplitResult* split) {
+  ++*depth;
+  if (node.is_leaf) {
+    auto& leaf = static_cast<Leaf&>(node);
+    const auto it =
+        std::lower_bound(leaf.keys.begin(), leaf.keys.end(), key);
+    const auto idx = static_cast<std::size_t>(it - leaf.keys.begin());
+    if (it != leaf.keys.end() && *it == key) {
+      leaf.values[idx] = std::move(value);
+      *existed = true;
+      return false;
+    }
+    leaf.keys.insert(it, key);
+    leaf.values.insert(leaf.values.begin() + static_cast<std::ptrdiff_t>(idx),
+                       std::move(value));
+    ++size_;
+    if (leaf.keys.size() < kFanout) return false;
+
+    // Split the leaf in half; right sibling joins the leaf chain.
+    auto right = std::make_unique<Leaf>();
+    const std::size_t half = leaf.keys.size() / 2;
+    right->keys.assign(leaf.keys.begin() + static_cast<std::ptrdiff_t>(half),
+                       leaf.keys.end());
+    right->values.assign(
+        std::make_move_iterator(leaf.values.begin() +
+                                static_cast<std::ptrdiff_t>(half)),
+        std::make_move_iterator(leaf.values.end()));
+    leaf.keys.resize(half);
+    leaf.values.resize(half);
+    right->next = leaf.next;
+    leaf.next = right.get();
+    ++nodes_;
+    split->separator = right->keys.front();
+    split->right = std::move(right);
+    return true;
+  }
+
+  auto& internal = static_cast<Internal&>(node);
+  const auto it =
+      std::upper_bound(internal.keys.begin(), internal.keys.end(), key);
+  const auto child_idx = static_cast<std::size_t>(it - internal.keys.begin());
+  SplitResult child_split;
+  if (!insert_into(*internal.children[child_idx], key, std::move(value),
+                   depth, existed, &child_split)) {
+    return false;
+  }
+  internal.keys.insert(internal.keys.begin() +
+                           static_cast<std::ptrdiff_t>(child_idx),
+                       child_split.separator);
+  internal.children.insert(
+      internal.children.begin() + static_cast<std::ptrdiff_t>(child_idx) + 1,
+      std::move(child_split.right));
+  if (internal.children.size() <= kFanout) return false;
+
+  // Split the internal node; the middle key moves up.
+  auto right = std::make_unique<Internal>();
+  const std::size_t mid = internal.keys.size() / 2;
+  split->separator = internal.keys[mid];
+  right->keys.assign(internal.keys.begin() + static_cast<std::ptrdiff_t>(mid) + 1,
+                     internal.keys.end());
+  right->children.assign(
+      std::make_move_iterator(internal.children.begin() +
+                              static_cast<std::ptrdiff_t>(mid) + 1),
+      std::make_move_iterator(internal.children.end()));
+  internal.keys.resize(mid);
+  internal.children.resize(mid + 1);
+  ++nodes_;
+  split->right = std::move(right);
+  return true;
+}
+
+BPlusTree::UpsertResult BPlusTree::upsert(std::uint64_t key, Record value) {
+  UpsertResult result;
+  SplitResult split;
+  if (insert_into(*root_, key, std::move(value), &result.depth,
+                  &result.existed, &split)) {
+    auto new_root = std::make_unique<Internal>();
+    new_root->keys.push_back(split.separator);
+    new_root->children.push_back(std::move(root_));
+    new_root->children.push_back(std::move(split.right));
+    root_ = std::move(new_root);
+    ++nodes_;
+    ++height_;
+  }
+  return result;
+}
+
+BPlusTree::EraseResult BPlusTree::erase(std::uint64_t key) {
+  EraseResult result;
+  Leaf* leaf = descend(key, &result.depth);
+  const auto it = std::lower_bound(leaf->keys.begin(), leaf->keys.end(), key);
+  if (it == leaf->keys.end() || *it != key) return result;
+  const auto idx = static_cast<std::size_t>(it - leaf->keys.begin());
+  leaf->keys.erase(it);
+  leaf->values.erase(leaf->values.begin() + static_cast<std::ptrdiff_t>(idx));
+  --size_;
+  result.erased = true;
+  return result;
+}
+
+void BPlusTree::check_node(const Node& node, std::uint64_t lo,
+                           std::uint64_t hi, std::uint32_t depth,
+                           std::uint32_t expected_leaf_depth) const {
+  if (node.is_leaf) {
+    const auto& leaf = static_cast<const Leaf&>(node);
+    MNEMO_ASSERT(depth == expected_leaf_depth);
+    MNEMO_ASSERT(leaf.keys.size() == leaf.values.size());
+    MNEMO_ASSERT(std::is_sorted(leaf.keys.begin(), leaf.keys.end()));
+    for (const auto k : leaf.keys) {
+      MNEMO_ASSERT(k >= lo && k < hi);
+    }
+    return;
+  }
+  const auto& internal = static_cast<const Internal&>(node);
+  MNEMO_ASSERT(internal.children.size() == internal.keys.size() + 1);
+  MNEMO_ASSERT(internal.children.size() <= kFanout);
+  MNEMO_ASSERT(std::is_sorted(internal.keys.begin(), internal.keys.end()));
+  for (std::size_t i = 0; i < internal.children.size(); ++i) {
+    const std::uint64_t child_lo = i == 0 ? lo : internal.keys[i - 1];
+    const std::uint64_t child_hi =
+        i == internal.keys.size() ? hi : internal.keys[i];
+    check_node(*internal.children[i], child_lo, child_hi, depth + 1,
+               expected_leaf_depth);
+  }
+}
+
+void BPlusTree::check_invariants() const {
+  check_node(*root_, 0, std::numeric_limits<std::uint64_t>::max(), 1,
+             height_);
+  // Leaf chain covers exactly size_ records in sorted order.
+  std::size_t seen = 0;
+  std::uint64_t prev = 0;
+  bool first = true;
+  const Leaf* leaf = first_leaf_;
+  while (leaf != nullptr) {
+    for (const auto k : leaf->keys) {
+      MNEMO_ASSERT(first || k > prev);
+      prev = k;
+      first = false;
+      ++seen;
+    }
+    leaf = leaf->next;
+  }
+  MNEMO_ASSERT(seen == size_);
+}
+
+}  // namespace mnemo::kvstore::dynastore

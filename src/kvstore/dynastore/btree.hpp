@@ -1,0 +1,131 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "kvstore/record.hpp"
+
+namespace mnemo::kvstore::dynastore {
+
+/// B+-tree index mapping 64-bit keys to records. Fan-out 64; values live
+/// only in leaves; leaves are chained for ordered scans. Every operation
+/// reports the descent depth, which the store converts into dependent
+/// memory touches (the pointer-chasing that makes the DynamoDB-like engine
+/// the most SlowMem-sensitive architecture).
+///
+/// Deletion is tombstone-free but lazy: keys are removed from their leaf
+/// without rebalancing (underfull leaves persist). Real LSM/B-tree engines
+/// defer this work to compaction; Mnemo's workloads never shrink the key
+/// space, so the simplification is behaviour-neutral.
+class BPlusTree {
+ public:
+  static constexpr std::size_t kFanout = 64;
+
+  BPlusTree();
+  ~BPlusTree();
+
+  BPlusTree(const BPlusTree&) = delete;
+  BPlusTree& operator=(const BPlusTree&) = delete;
+
+  struct FindResult {
+    Record* record = nullptr;
+    std::uint32_t depth = 0;  ///< nodes touched root -> leaf
+  };
+  FindResult find(std::uint64_t key);
+
+  struct UpsertResult {
+    bool existed = false;
+    std::uint32_t depth = 0;
+  };
+  UpsertResult upsert(std::uint64_t key, Record value);
+
+  struct EraseResult {
+    bool erased = false;
+    std::uint32_t depth = 0;
+  };
+  EraseResult erase(std::uint64_t key);
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] std::uint32_t height() const noexcept { return height_; }
+  [[nodiscard]] std::size_t node_count() const noexcept { return nodes_; }
+
+  /// Index bookkeeping bytes (nodes, key slots, child pointers), excluding
+  /// record payloads.
+  [[nodiscard]] std::uint64_t overhead_bytes() const noexcept;
+
+  /// In-order visit of all (key, record) pairs.
+  template <typename F>
+  void for_each(F&& fn) const {
+    const Leaf* leaf = first_leaf_;
+    while (leaf != nullptr) {
+      for (std::size_t i = 0; i < leaf->keys.size(); ++i) {
+        fn(leaf->keys[i], leaf->values[i]);
+      }
+      leaf = leaf->next;
+    }
+  }
+
+  /// In-order visit starting at the first key >= `start`. The visitor
+  /// returns false to stop. Backs DynaStore's range scans.
+  template <typename F>
+  void for_each_from(std::uint64_t start, F&& fn) const {
+    std::uint32_t depth = 0;
+    const Leaf* leaf = descend(start, &depth);
+    while (leaf != nullptr) {
+      for (std::size_t i = 0; i < leaf->keys.size(); ++i) {
+        if (leaf->keys[i] < start) continue;
+        if (!fn(leaf->keys[i], leaf->values[i])) return;
+      }
+      leaf = leaf->next;
+    }
+  }
+
+  /// Verify B+-tree invariants (ordering, fan-out bounds, leaf chain);
+  /// aborts on violation. Exposed for property tests.
+  void check_invariants() const;
+
+ private:
+  struct Node;
+  struct Internal;
+  struct Leaf;
+
+  struct Node {
+    bool is_leaf;
+    explicit Node(bool leaf) : is_leaf(leaf) {}
+    virtual ~Node() = default;
+  };
+
+  struct Internal final : Node {
+    Internal() : Node(false) {}
+    // children.size() == keys.size() + 1; subtree i holds keys < keys[i].
+    std::vector<std::uint64_t> keys;
+    std::vector<std::unique_ptr<Node>> children;
+  };
+
+  struct Leaf final : Node {
+    Leaf() : Node(true) {}
+    std::vector<std::uint64_t> keys;
+    std::vector<Record> values;
+    Leaf* next = nullptr;
+  };
+
+  struct SplitResult {
+    std::uint64_t separator = 0;
+    std::unique_ptr<Node> right;
+  };
+
+  Leaf* descend(std::uint64_t key, std::uint32_t* depth) const;
+  bool insert_into(Node& node, std::uint64_t key, Record&& value,
+                   std::uint32_t* depth, bool* existed, SplitResult* split);
+  void check_node(const Node& node, std::uint64_t lo, std::uint64_t hi,
+                  std::uint32_t depth, std::uint32_t expected_leaf_depth) const;
+
+  std::unique_ptr<Node> root_;
+  Leaf* first_leaf_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t nodes_ = 1;
+  std::uint32_t height_ = 1;
+};
+
+}  // namespace mnemo::kvstore::dynastore

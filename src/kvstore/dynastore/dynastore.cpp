@@ -1,0 +1,131 @@
+#include "kvstore/dynastore/dynastore.hpp"
+
+#include "util/assert.hpp"
+
+namespace mnemo::kvstore {
+
+using hybridmem::MemOp;
+
+DynaStore::DynaStore(hybridmem::HybridMemory& memory,
+                     const StoreConfig& config)
+    : KeyValueStore(memory, config, StoreKind::kDynaStore) {}
+
+DynaStore::~DynaStore() {
+  tree_.for_each([this](std::uint64_t key, const Record& /*rec*/) {
+    memory().remove(key);
+  });
+}
+
+Record* DynaStore::mutable_record(std::uint64_t key) {
+  return tree_.find(key).record;
+}
+
+DynaStore::ScanResult DynaStore::scan(std::uint64_t start_key,
+                                      std::size_t limit) {
+  ScanResult result;
+  const auto probe = tree_.find(start_key);
+  const std::uint32_t hot = probe.depth > 1 ? probe.depth - 1 : 0;
+  double ns = profile().cpu_read_ns + index_walk_ns(hot, 1);
+  tree_.for_each_from(start_key, [&](std::uint64_t key, const Record& rec) {
+    if (result.keys.size() >= limit) return false;
+    if (rec.expired(now_ns())) return true;  // skip dead items
+    result.keys.push_back(key);
+    // Sequential leaf walk: each item streams its payload once, without
+    // the dependent-descent latency of point gets.
+    const auto access =
+        payload_access(key, rec.size, hybridmem::MemOp::kRead);
+    ns += access.ns + profile().cpu_per_probe_ns;
+    return true;
+  });
+  const OpResult finalized = finalize(true, ns, false);
+  result.service_ns = finalized.service_ns;
+  ++stats_.gets;
+  if (!result.keys.empty()) {
+    ++stats_.hits;
+  } else {
+    ++stats_.misses;
+  }
+  return result;
+}
+
+OpResult DynaStore::get(std::uint64_t key) {
+  ++stats_.gets;
+  auto found = tree_.find(key);
+  // Upper tree levels stay hot in cache; the leaf and the per-item
+  // metadata block are dependent misses on the data's node.
+  const std::uint32_t hot = found.depth > 1 ? found.depth - 1 : 0;
+  double ns = profile().cpu_read_ns + index_walk_ns(hot, 2);
+  if (found.record == nullptr) {
+    ++stats_.misses;
+    return finalize(false, ns, false);
+  }
+  if (check_expired(*found.record)) {
+    // DynamoDB TTL semantics: expired items vanish from reads; the
+    // background sweeper reclaims them (here: immediately).
+    (void)tree_.erase(key);
+    journal_.append(key, 0);
+    memory().remove(key);
+    sync_overhead_accounting(overhead_bytes());
+    ++stats_.misses;
+    return finalize(false, ns, false);
+  }
+  ++stats_.hits;
+  if (found.record->stored()) {
+    MNEMO_ASSERT(checksum_bytes(found.record->bytes) ==
+                 found.record->checksum);
+  }
+  const auto access = payload_access(key, found.record->size, MemOp::kRead);
+  ns += access.ns;
+  return finalize(true, ns, access.llc_hit);
+}
+
+OpResult DynaStore::put(std::uint64_t key, std::uint64_t value_size) {
+  ++stats_.puts;
+  Record rec = make_record(key, value_size, payload_mode());
+
+  // 1. Journal append (WAL discipline: log before applying).
+  const auto logged = journal_.append(key, value_size);
+  (void)logged;
+
+  // 2. Apply to the tree.
+  const auto up = tree_.upsert(key, std::move(rec));
+  const std::uint32_t hot = up.depth > 1 ? up.depth - 1 : 0;
+  double ns = profile().cpu_write_ns + index_walk_ns(hot, 3);
+
+  // 3. Capacity accounting for the record payload.
+  if (up.existed) {
+    if (!memory().resize(key, value_size)) {
+      return finalize(false, ns, false);
+    }
+  } else if (!memory().place(key, value_size, node())) {
+    (void)tree_.erase(key);
+    return finalize(false, ns, false);
+  }
+  sync_overhead_accounting(overhead_bytes());
+
+  const auto access = payload_access(key, value_size, MemOp::kWrite);
+  ns += access.ns;
+  return finalize(true, ns, access.llc_hit);
+}
+
+OpResult DynaStore::erase(std::uint64_t key) {
+  ++stats_.erases;
+  const auto er = tree_.erase(key);
+  const std::uint32_t hot = er.depth > 1 ? er.depth - 1 : 0;
+  double ns = profile().cpu_write_ns + index_walk_ns(hot, 2);
+  if (!er.erased) return finalize(false, ns, false);
+  journal_.append(key, 0);  // deletion marker
+  memory().remove(key);
+  sync_overhead_accounting(overhead_bytes());
+  return finalize(true, ns, false);
+}
+
+bool DynaStore::contains(std::uint64_t key) const {
+  bool found = false;
+  tree_.for_each([&](std::uint64_t k, const Record&) {
+    if (k == key) found = true;
+  });
+  return found;
+}
+
+}  // namespace mnemo::kvstore

@@ -1,0 +1,29 @@
+#include "kvstore/dynastore/journal.hpp"
+
+namespace mnemo::kvstore::dynastore {
+
+Journal::AppendResult Journal::append(std::uint64_t /*key*/,
+                                      std::uint64_t payload_bytes) {
+  AppendResult result;
+  result.appended_bytes = kRecordHeader + payload_bytes;
+  active_fill_ += result.appended_bytes;
+  live_bytes_ += result.appended_bytes;
+  lifetime_bytes_ += result.appended_bytes;
+  ++appends_;
+
+  while (active_fill_ >= kSegmentBytes) {
+    active_fill_ -= kSegmentBytes;
+    ++sealed_segments_;
+    result.sealed_segment = true;
+  }
+  if (live_bytes_ >= kCheckpointAt) {
+    // Checkpoint reclaims all sealed segments; only the active tail stays.
+    live_bytes_ = active_fill_;
+    sealed_segments_ = 0;
+    ++checkpoints_;
+    result.checkpointed = true;
+  }
+  return result;
+}
+
+}  // namespace mnemo::kvstore::dynastore

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+
+namespace mnemo::kvstore::dynastore {
+
+/// Write-ahead journal model: every mutation appends a header + payload to
+/// the active segment; full segments seal and a background checkpoint
+/// reclaims sealed segments once the journal passes a size threshold. The
+/// journal's live bytes count toward the store's node-side overhead —
+/// write amplification made visible to the capacity model.
+class Journal {
+ public:
+  static constexpr std::uint64_t kRecordHeader = 32;
+  static constexpr std::uint64_t kSegmentBytes = 4ULL << 20;   // 4 MiB
+  static constexpr std::uint64_t kCheckpointAt = 64ULL << 20;  // 64 MiB
+
+  struct AppendResult {
+    std::uint64_t appended_bytes = 0;
+    bool sealed_segment = false;  ///< this append sealed a segment
+    bool checkpointed = false;    ///< this append triggered a checkpoint
+  };
+
+  /// Log one mutation of `payload_bytes`.
+  AppendResult append(std::uint64_t key, std::uint64_t payload_bytes);
+
+  /// Live journal bytes (active + sealed, uncheckpointed segments).
+  [[nodiscard]] std::uint64_t bytes() const noexcept { return live_bytes_; }
+  [[nodiscard]] std::uint64_t segments() const noexcept {
+    return sealed_segments_ + 1;
+  }
+  [[nodiscard]] std::uint64_t appends() const noexcept { return appends_; }
+  [[nodiscard]] std::uint64_t checkpoints() const noexcept {
+    return checkpoints_;
+  }
+  [[nodiscard]] std::uint64_t lifetime_bytes() const noexcept {
+    return lifetime_bytes_;
+  }
+
+ private:
+  std::uint64_t active_fill_ = 0;
+  std::uint64_t sealed_segments_ = 0;
+  std::uint64_t live_bytes_ = 0;
+  std::uint64_t lifetime_bytes_ = 0;
+  std::uint64_t appends_ = 0;
+  std::uint64_t checkpoints_ = 0;
+};
+
+}  // namespace mnemo::kvstore::dynastore

@@ -1,0 +1,25 @@
+#include "kvstore/factory.hpp"
+
+#include "kvstore/cachet/cachet.hpp"
+#include "kvstore/dynastore/dynastore.hpp"
+#include "kvstore/vermilion/vermilion.hpp"
+#include "util/assert.hpp"
+
+namespace mnemo::kvstore {
+
+std::unique_ptr<KeyValueStore> make_store(StoreKind kind,
+                                          hybridmem::HybridMemory& memory,
+                                          const StoreConfig& config) {
+  switch (kind) {
+    case StoreKind::kVermilion:
+      return std::make_unique<Vermilion>(memory, config);
+    case StoreKind::kCachet:
+      return std::make_unique<Cachet>(memory, config);
+    case StoreKind::kDynaStore:
+      return std::make_unique<DynaStore>(memory, config);
+  }
+  MNEMO_ASSERT(false);
+  return nullptr;
+}
+
+}  // namespace mnemo::kvstore

@@ -1,0 +1,19 @@
+#pragma once
+
+#include <memory>
+
+#include "kvstore/kvstore.hpp"
+
+namespace mnemo::kvstore {
+
+/// Construct a store of the requested architecture bound to the node named
+/// in `config`.
+std::unique_ptr<KeyValueStore> make_store(StoreKind kind,
+                                          hybridmem::HybridMemory& memory,
+                                          const StoreConfig& config);
+
+/// All three architectures, in the paper's presentation order.
+inline constexpr StoreKind kAllStoreKinds[] = {
+    StoreKind::kVermilion, StoreKind::kCachet, StoreKind::kDynaStore};
+
+}  // namespace mnemo::kvstore

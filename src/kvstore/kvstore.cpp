@@ -1,0 +1,119 @@
+#include "kvstore/kvstore.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "util/assert.hpp"
+
+namespace mnemo::kvstore {
+
+namespace {
+
+/// Object-ID namespace tags (top byte) so records, per-instance index
+/// overhead and journals never collide inside one HybridMemory.
+constexpr std::uint64_t kOverheadTag = 0x0100'0000'0000'0000ULL;
+
+std::uint64_t next_instance_id() {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+KeyValueStore::KeyValueStore(hybridmem::HybridMemory& memory,
+                             const StoreConfig& config, StoreKind kind)
+    : memory_(memory),
+      config_(config),
+      kind_(kind),
+      profile_(config.profile_override ? *config.profile_override
+                                       : default_profile(kind)),
+      jitter_rng_(config.seed ^ (static_cast<std::uint64_t>(kind) << 56)),
+      overhead_object_id_(kOverheadTag | next_instance_id()) {}
+
+KeyValueStore::~KeyValueStore() {
+  // Release the overhead accounting object; record objects are owned by
+  // the concrete store and removed in its destructor.
+  if (accounted_overhead_ > 0) memory_.remove(overhead_object_id_);
+}
+
+OpResult KeyValueStore::put_ttl(std::uint64_t key, std::uint64_t value_size,
+                                double ttl_ns) {
+  MNEMO_EXPECTS(ttl_ns > 0.0);
+  const OpResult result = put(key, value_size);
+  if (result.ok) {
+    Record* rec = mutable_record(key);
+    MNEMO_ASSERT(rec != nullptr);
+    rec->expires_at_ns = now_ns() + ttl_ns;
+  }
+  return result;
+}
+
+bool KeyValueStore::check_expired(const Record& rec) {
+  if (!rec.expired(now_ns())) return false;
+  ++stats_.expirations;
+  return true;
+}
+
+OpResult KeyValueStore::finalize(bool ok, double ns, bool llc_hit) {
+  if (!config_.deterministic_service) {
+    // Multiplicative noise: the request-to-request variability a real
+    // client observes. The rng stream advances identically regardless of
+    // data placement, so measured-vs-estimated differences reflect model
+    // error, not divergent random sequences.
+    const double z = jitter_rng_.gaussian();
+    double factor = 1.0 + profile_.jitter_sigma * z;
+    factor = std::max(0.5, factor);
+    if (profile_.tail_spike_prob > 0.0 &&
+        jitter_rng_.next_double() < profile_.tail_spike_prob) {
+      factor *= profile_.tail_spike_mult;
+    }
+    ns *= factor;
+  }
+  stats_.busy_ns += ns;
+  return OpResult{ok, ns, llc_hit};
+}
+
+double KeyValueStore::index_walk_ns(std::uint32_t hot_probes,
+                                    std::uint32_t cold_probes) const {
+  const auto& prof = memory_.profile();
+  const double hot = static_cast<double>(hot_probes) * prof.llc_latency_ns;
+  const double cold = static_cast<double>(cold_probes) *
+                      memory_.node(config_.node).spec().latency_ns *
+                      profile_.latency_sensitivity;
+  const double cpu = static_cast<double>(hot_probes + cold_probes) *
+                     profile_.cpu_per_probe_ns;
+  return hot + cold + cpu;
+}
+
+hybridmem::AccessResult KeyValueStore::payload_access(std::uint64_t key,
+                                                      std::uint64_t bytes,
+                                                      hybridmem::MemOp op) {
+  const double amp = op == hybridmem::MemOp::kRead
+                         ? profile_.read_stream_amplification
+                         : profile_.write_stream_amplification;
+  hybridmem::AccessTraits traits;
+  traits.latency_touches = 1;
+  traits.streamed_bytes =
+      static_cast<std::uint64_t>(static_cast<double>(bytes) * amp);
+  traits.latency_sensitivity = profile_.latency_sensitivity;
+  traits.bandwidth_overlap = profile_.bandwidth_overlap;
+  traits.write_discount = profile_.write_discount;
+  return memory_.access(key, op, traits);
+}
+
+void KeyValueStore::sync_overhead_accounting(std::uint64_t new_bytes) {
+  if (new_bytes == accounted_overhead_) return;
+  if (accounted_overhead_ == 0) {
+    // Index overhead is bookkeeping, not a placement decision: it must not
+    // fail the experiment, so a full node is tolerated (tracked best
+    // effort).
+    if (!memory_.place(overhead_object_id_, new_bytes, config_.node)) {
+      return;
+    }
+  } else if (!memory_.resize(overhead_object_id_, new_bytes)) {
+    return;
+  }
+  accounted_overhead_ = new_bytes;
+}
+
+}  // namespace mnemo::kvstore

@@ -1,0 +1,151 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "hybridmem/hybrid_memory.hpp"
+#include "kvstore/record.hpp"
+#include "kvstore/service_profile.hpp"
+#include "util/rng.hpp"
+
+namespace mnemo::kvstore {
+
+/// Result of one store operation. `service_ns` is the simulated end-to-end
+/// service time of the request (CPU + memory + jitter).
+struct OpResult {
+  bool ok = false;
+  double service_ns = 0.0;
+  bool llc_hit = false;
+};
+
+/// Lifetime operation counters for one store instance.
+struct StoreStats {
+  std::uint64_t gets = 0;
+  std::uint64_t puts = 0;
+  std::uint64_t erases = 0;
+  std::uint64_t hits = 0;       ///< gets that found the key
+  std::uint64_t misses = 0;     ///< gets that did not
+  std::uint64_t evictions = 0;  ///< records dropped for capacity (Cachet)
+  std::uint64_t expirations = 0;  ///< records lazily reclaimed past TTL
+  double busy_ns = 0.0;         ///< total simulated service time
+
+  [[nodiscard]] std::uint64_t ops() const noexcept {
+    return gets + puts + erases;
+  }
+};
+
+/// Construction-time options shared by all store architectures.
+struct StoreConfig {
+  hybridmem::NodeId node = hybridmem::NodeId::kFast;
+  PayloadMode payload_mode = PayloadMode::kSynthetic;
+  std::uint64_t seed = 0x5706e;
+  /// Override the architecture's calibrated profile (tests/ablations).
+  const ServiceProfile* profile_override = nullptr;
+  /// Disable service-time jitter and tail spikes (ablation).
+  bool deterministic_service = false;
+};
+
+/// Abstract in-memory key-value store bound to one memory node of the
+/// hybrid system — the analogue of the paper's `numactl`-pinned server
+/// process. Keys are dense 64-bit IDs; values carry an explicit size.
+///
+/// Every operation returns its simulated service time; the store never
+/// consults the wall clock.
+class KeyValueStore {
+ public:
+  KeyValueStore(hybridmem::HybridMemory& memory, const StoreConfig& config,
+                StoreKind kind);
+  virtual ~KeyValueStore();
+
+  KeyValueStore(const KeyValueStore&) = delete;
+  KeyValueStore& operator=(const KeyValueStore&) = delete;
+
+  /// Fetch the value for `key`. ok == false if absent. In kStored mode the
+  /// payload checksum is verified end-to-end.
+  virtual OpResult get(std::uint64_t key) = 0;
+
+  /// Insert or update `key` with a `value_size`-byte value.
+  /// ok == false if the node lacks capacity and nothing could be evicted.
+  virtual OpResult put(std::uint64_t key, std::uint64_t value_size) = 0;
+
+  /// put() with a time-to-live on the store's simulated clock (now() +
+  /// ttl_ns). Expired keys are lazily reclaimed by the next get().
+  OpResult put_ttl(std::uint64_t key, std::uint64_t value_size,
+                   double ttl_ns);
+
+  /// Delete `key`. ok == false if absent.
+  virtual OpResult erase(std::uint64_t key) = 0;
+
+  [[nodiscard]] virtual bool contains(std::uint64_t key) const = 0;
+  [[nodiscard]] virtual std::size_t record_count() const = 0;
+
+  /// Bytes of index/metadata overhead this engine currently maintains (in
+  /// addition to record payloads) — registered against the node.
+  [[nodiscard]] virtual std::uint64_t overhead_bytes() const = 0;
+
+  [[nodiscard]] StoreKind kind() const noexcept { return kind_; }
+  [[nodiscard]] std::string_view name() const { return to_string(kind_); }
+  [[nodiscard]] hybridmem::NodeId node() const noexcept {
+    return config_.node;
+  }
+  [[nodiscard]] const StoreStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const ServiceProfile& profile() const noexcept {
+    return profile_;
+  }
+  [[nodiscard]] hybridmem::HybridMemory& memory() noexcept { return memory_; }
+  [[nodiscard]] PayloadMode payload_mode() const noexcept {
+    return config_.payload_mode;
+  }
+
+  /// The store's simulated clock: total service time it has performed.
+  /// TTLs are expressed against this (single-threaded server semantics:
+  /// time advances as requests are served).
+  [[nodiscard]] double now_ns() const noexcept { return stats_.busy_ns; }
+
+ protected:
+  /// Apply jitter/tail noise, account busy time, and stamp the result.
+  OpResult finalize(bool ok, double ns, bool llc_hit);
+
+  /// Access to the stored record for TTL stamping; nullptr if absent.
+  /// Implementations may advance internal maintenance state (incremental
+  /// rehash etc.), mirroring a real lookup.
+  virtual Record* mutable_record(std::uint64_t key) = 0;
+
+  /// True (and counts the expiration) if `rec` is past its TTL at the
+  /// store's current clock — callers then drop the record and miss.
+  bool check_expired(const Record& rec);
+
+  /// Price an index walk: `hot_probes` structure touches expected to be
+  /// cache resident (upper tree levels, hot buckets) plus `cold_probes`
+  /// dependent misses paid at node latency x the profile's sensitivity.
+  [[nodiscard]] double index_walk_ns(std::uint32_t hot_probes,
+                                     std::uint32_t cold_probes) const;
+
+  /// Price the payload movement of a GET/PUT against the hybrid memory
+  /// (LLC-aware), applying the profile's amplification/overlap/discount.
+  hybridmem::AccessResult payload_access(std::uint64_t key,
+                                         std::uint64_t bytes,
+                                         hybridmem::MemOp op);
+
+  /// Keep the node-side accounting of index/journal overhead in sync.
+  /// `overhead_object_id` must be unique per store instance.
+  void sync_overhead_accounting(std::uint64_t new_bytes);
+
+  [[nodiscard]] std::uint64_t overhead_object_id() const noexcept {
+    return overhead_object_id_;
+  }
+
+  StoreStats stats_;
+
+ private:
+  hybridmem::HybridMemory& memory_;
+  StoreConfig config_;
+  StoreKind kind_;
+  ServiceProfile profile_;
+  util::Rng jitter_rng_;
+  std::uint64_t overhead_object_id_;
+  std::uint64_t accounted_overhead_ = 0;
+};
+
+}  // namespace mnemo::kvstore

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace mnemo::kvstore {
+
+/// Whether stores keep actual payload bytes or only their size + checksum.
+/// All performance numbers come from the simulated clock, so both modes
+/// produce identical results; kSynthetic avoids multi-GB memcpy wall-clock
+/// during large sweeps (see DESIGN.md "Payloads").
+enum class PayloadMode : std::uint8_t { kStored = 0, kSynthetic = 1 };
+
+/// A stored value. In kStored mode `bytes` holds the payload; in kSynthetic
+/// mode it is empty and only `size`/`checksum` are kept.
+struct Record {
+  std::uint64_t size = 0;
+  std::uint64_t checksum = 0;
+  /// Absolute expiry on the owning store's simulated clock; 0 = never.
+  /// (All three paper stores support per-item TTLs: Redis EXPIRE,
+  /// Memcached exptime, DynamoDB TTL attributes.)
+  double expires_at_ns = 0.0;
+  std::vector<std::byte> bytes;
+
+  [[nodiscard]] bool stored() const noexcept { return !bytes.empty(); }
+  [[nodiscard]] bool expired(double now_ns) const noexcept {
+    return expires_at_ns > 0.0 && now_ns >= expires_at_ns;
+  }
+};
+
+/// Deterministically generate the canonical payload for (key, size): a
+/// repeatable byte pattern whose checksum get() can verify end-to-end.
+Record make_record(std::uint64_t key, std::uint64_t size, PayloadMode mode);
+
+/// The checksum make_record would produce for (key, size) — lets synthetic
+/// mode verify integrity without materializing bytes.
+std::uint64_t expected_checksum(std::uint64_t key, std::uint64_t size);
+
+/// FNV-1a over a byte buffer.
+std::uint64_t checksum_bytes(const std::vector<std::byte>& bytes);
+
+}  // namespace mnemo::kvstore

@@ -1,0 +1,125 @@
+#include "kvstore/vermilion/dict.hpp"
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace mnemo::kvstore::vermilion {
+
+Dict::Dict() { tables_[0].resize(kInitialBuckets); }
+
+std::size_t Dict::bucket_of(std::uint64_t key, std::size_t buckets) {
+  return util::mix64(key) & (buckets - 1);
+}
+
+std::size_t Dict::bucket_count() const noexcept {
+  return tables_[0].size() + tables_[1].size();
+}
+
+std::uint64_t Dict::overhead_bytes() const noexcept {
+  // One pointer per bucket head plus a per-entry header (key, size,
+  // checksum, next pointer) — the dictEntry analogue.
+  constexpr std::uint64_t kEntryHeader = 40;
+  return bucket_count() * sizeof(void*) + used_ * kEntryHeader;
+}
+
+void Dict::maybe_start_rehash() {
+  if (rehashing()) return;
+  if (used_ < tables_[0].size()) return;
+  tables_[1].assign(tables_[0].size() * 2, Bucket{});
+  rehash_idx_ = 0;
+}
+
+void Dict::rehash_step() {
+  if (!rehashing()) return;
+  std::size_t migrated_buckets = 0;
+  while (migrated_buckets < kRehashBucketsPerOp &&
+         rehash_idx_ < static_cast<std::ptrdiff_t>(tables_[0].size())) {
+    Bucket& src = tables_[0][static_cast<std::size_t>(rehash_idx_)];
+    while (!src.empty()) {
+      const std::size_t dst_idx =
+          bucket_of(src.front().key, tables_[1].size());
+      Bucket& dst = tables_[1][dst_idx];
+      dst.splice_after(dst.before_begin(), src, src.before_begin());
+    }
+    ++rehash_idx_;
+    ++migrated_buckets;
+  }
+  if (rehash_idx_ >= static_cast<std::ptrdiff_t>(tables_[0].size())) {
+    tables_[0] = std::move(tables_[1]);
+    tables_[1].clear();
+    rehash_idx_ = -1;
+  }
+}
+
+Dict::FindResult Dict::find(std::uint64_t key) {
+  rehash_step();
+  FindResult result;
+  const int table_limit = rehashing() ? 2 : 1;
+  for (int t = 0; t < table_limit; ++t) {
+    Table& table = tables_[t];
+    if (table.empty()) continue;
+    Bucket& bucket = table[bucket_of(key, table.size())];
+    for (Entry& e : bucket) {
+      ++result.probes;
+      if (e.key == key) {
+        result.entry = &e;
+        return result;
+      }
+    }
+  }
+  if (result.probes == 0) result.probes = 1;  // empty-bucket inspection
+  return result;
+}
+
+Dict::UpsertResult Dict::upsert(std::uint64_t key, Record value) {
+  maybe_start_rehash();
+  rehash_step();
+  UpsertResult result;
+  const int table_limit = rehashing() ? 2 : 1;
+  for (int t = 0; t < table_limit; ++t) {
+    Table& table = tables_[t];
+    if (table.empty()) continue;
+    Bucket& bucket = table[bucket_of(key, table.size())];
+    for (Entry& e : bucket) {
+      ++result.probes;
+      if (e.key == key) {
+        e.value = std::move(value);
+        result.existed = true;
+        result.entry = &e;
+        return result;
+      }
+    }
+  }
+  // Insert into the table new keys should land in (table 1 mid-rehash).
+  Table& target = rehashing() ? tables_[1] : tables_[0];
+  Bucket& bucket = target[bucket_of(key, target.size())];
+  bucket.push_front(Entry{key, std::move(value)});
+  ++used_;
+  ++result.probes;
+  result.entry = &bucket.front();
+  return result;
+}
+
+Dict::EraseResult Dict::erase(std::uint64_t key) {
+  rehash_step();
+  EraseResult result;
+  const int table_limit = rehashing() ? 2 : 1;
+  for (int t = 0; t < table_limit; ++t) {
+    Table& table = tables_[t];
+    if (table.empty()) continue;
+    Bucket& bucket = table[bucket_of(key, table.size())];
+    auto prev = bucket.before_begin();
+    for (auto it = bucket.begin(); it != bucket.end(); ++it, ++prev) {
+      ++result.probes;
+      if (it->key == key) {
+        bucket.erase_after(prev);
+        --used_;
+        result.erased = true;
+        return result;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace mnemo::kvstore::vermilion

@@ -1,0 +1,87 @@
+#pragma once
+
+#include <cstdint>
+#include <forward_list>
+#include <vector>
+
+#include "kvstore/record.hpp"
+
+namespace mnemo::kvstore::vermilion {
+
+/// Redis-style chained hash table with *incremental rehash*: when the load
+/// factor crosses 1.0 a second table of twice the size is created and a few
+/// buckets migrate per operation, so no single request pays the full rehash
+/// cost — the behaviour that keeps Redis's service times flat.
+///
+/// find/insert/erase report how many chain links they walked so the store
+/// can charge memory latency per dependent probe.
+class Dict {
+ public:
+  static constexpr std::size_t kInitialBuckets = 16;
+  static constexpr std::size_t kRehashBucketsPerOp = 2;
+
+  Dict();
+
+  struct Entry {
+    std::uint64_t key;
+    Record value;
+  };
+
+  /// Result of a lookup: pointer into the table (invalidated by the next
+  /// mutation) plus the number of chain links traversed across both tables.
+  struct FindResult {
+    Entry* entry = nullptr;
+    std::uint32_t probes = 0;
+  };
+
+  FindResult find(std::uint64_t key);
+
+  /// Insert a new key or overwrite an existing one. Returns the probe
+  /// count and whether the key already existed.
+  struct UpsertResult {
+    bool existed = false;
+    std::uint32_t probes = 0;
+    Entry* entry = nullptr;
+  };
+  UpsertResult upsert(std::uint64_t key, Record value);
+
+  /// Remove a key; returns probes and whether it was present.
+  struct EraseResult {
+    bool erased = false;
+    std::uint32_t probes = 0;
+  };
+  EraseResult erase(std::uint64_t key);
+
+  [[nodiscard]] std::size_t size() const noexcept { return used_; }
+  [[nodiscard]] bool rehashing() const noexcept { return rehash_idx_ >= 0; }
+  [[nodiscard]] std::size_t bucket_count() const noexcept;
+
+  /// Bytes of table/entry bookkeeping (bucket arrays + per-entry headers),
+  /// excluding payload bytes.
+  [[nodiscard]] std::uint64_t overhead_bytes() const noexcept;
+
+  /// Visit every entry (order unspecified).
+  template <typename F>
+  void for_each(F&& fn) const {
+    for (const auto& table : tables_) {
+      for (const auto& bucket : table) {
+        for (const auto& e : bucket) fn(e);
+      }
+    }
+  }
+
+ private:
+  using Bucket = std::forward_list<Entry>;
+  using Table = std::vector<Bucket>;
+
+  [[nodiscard]] static std::size_t bucket_of(std::uint64_t key,
+                                             std::size_t buckets);
+  void maybe_start_rehash();
+  void rehash_step();
+
+  Table tables_[2];
+  std::ptrdiff_t rehash_idx_ = -1;  ///< next bucket of tables_[0] to migrate
+  std::size_t used_ = 0;
+};
+
+}  // namespace mnemo::kvstore::vermilion

@@ -1,0 +1,170 @@
+#include "kvstore/vermilion/vermilion.hpp"
+
+#include "util/assert.hpp"
+
+namespace mnemo::kvstore {
+
+using hybridmem::MemOp;
+
+std::string_view to_string(EvictionPolicy policy) {
+  switch (policy) {
+    case EvictionPolicy::kNoEviction:
+      return "noeviction";
+    case EvictionPolicy::kAllKeysLru:
+      return "allkeys-lru";
+    case EvictionPolicy::kAllKeysRandom:
+      return "allkeys-random";
+  }
+  return "?";
+}
+
+Vermilion::Vermilion(hybridmem::HybridMemory& memory,
+                     const StoreConfig& config, EvictionPolicy eviction)
+    : KeyValueStore(memory, config, StoreKind::kVermilion),
+      eviction_(eviction),
+      eviction_rng_(config.seed ^ 0xe71c7) {}
+
+std::uint64_t Vermilion::pick_random_victim(std::uint64_t protect_key) {
+  // Sample dict entries reservoir-style; cheap at Mnemo's scales and
+  // policy-faithful (Redis samples its dict too).
+  std::uint64_t victim = protect_key;
+  std::uint64_t seen = 0;
+  dict_.for_each([&](const vermilion::Dict::Entry& e) {
+    if (e.key == protect_key) return;
+    ++seen;
+    if (eviction_rng_.uniform(1, seen) == 1) victim = e.key;
+  });
+  return victim;
+}
+
+std::uint64_t Vermilion::pick_lru_victim(std::uint64_t protect_key) {
+  std::uint64_t victim = protect_key;
+  std::uint64_t victim_stamp = ~0ULL;
+  for (int i = 0; i < kEvictionSamples; ++i) {
+    const std::uint64_t candidate = pick_random_victim(protect_key);
+    if (candidate == protect_key) continue;
+    const auto it = last_access_.find(candidate);
+    const std::uint64_t stamp = it == last_access_.end() ? 0 : it->second;
+    if (stamp < victim_stamp) {
+      victim_stamp = stamp;
+      victim = candidate;
+    }
+  }
+  return victim;
+}
+
+bool Vermilion::evict_for(std::uint64_t need, std::uint64_t protect_key) {
+  if (eviction_ == EvictionPolicy::kNoEviction) return false;
+  while (memory().node(node()).free_bytes() < need) {
+    if (dict_.size() == 0) return false;
+    const std::uint64_t victim = eviction_ == EvictionPolicy::kAllKeysLru
+                                     ? pick_lru_victim(protect_key)
+                                     : pick_random_victim(protect_key);
+    if (victim == protect_key) return false;  // nothing else to evict
+    (void)dict_.erase(victim);
+    memory().remove(victim);
+    last_access_.erase(victim);
+    ++stats_.evictions;
+  }
+  sync_overhead_accounting(dict_.overhead_bytes());
+  return true;
+}
+
+Vermilion::~Vermilion() {
+  dict_.for_each([this](const vermilion::Dict::Entry& e) {
+    memory().remove(e.key);
+  });
+}
+
+Record* Vermilion::mutable_record(std::uint64_t key) {
+  const auto found = dict_.find(key);
+  return found.entry != nullptr ? &found.entry->value : nullptr;
+}
+
+void Vermilion::drop_expired(std::uint64_t key) {
+  (void)dict_.erase(key);
+  memory().remove(key);
+  last_access_.erase(key);
+  sync_overhead_accounting(dict_.overhead_bytes());
+}
+
+OpResult Vermilion::get(std::uint64_t key) {
+  ++stats_.gets;
+  const auto found = dict_.find(key);
+  double ns = profile().cpu_read_ns + index_walk_ns(1, found.probes);
+  if (found.entry == nullptr) {
+    ++stats_.misses;
+    return finalize(false, ns, false);
+  }
+  if (check_expired(found.entry->value)) {
+    // Redis-style lazy expiration: reclaim on access and report a miss.
+    drop_expired(key);
+    ++stats_.misses;
+    return finalize(false, ns, false);
+  }
+  ++stats_.hits;
+  last_access_[key] = ++access_clock_;
+  const Record& rec = found.entry->value;
+  if (rec.stored()) {
+    // End-to-end integrity: the payload really round-trips.
+    MNEMO_ASSERT(checksum_bytes(rec.bytes) == rec.checksum);
+  }
+  const auto access = payload_access(key, rec.size, MemOp::kRead);
+  ns += access.ns;
+  return finalize(true, ns, access.llc_hit);
+}
+
+OpResult Vermilion::put(std::uint64_t key, std::uint64_t value_size) {
+  ++stats_.puts;
+  Record rec = make_record(key, value_size, payload_mode());
+  const auto up = dict_.upsert(key, std::move(rec));
+  double ns = profile().cpu_write_ns + index_walk_ns(1, up.probes);
+
+  if (up.existed) {
+    if (!memory().resize(key, value_size)) {
+      const std::uint64_t old_size = memory().object_size(key).value_or(0);
+      const std::uint64_t growth =
+          value_size > old_size ? value_size - old_size : 0;
+      if (!evict_for(growth, key) || !memory().resize(key, value_size)) {
+        // Rollback is unnecessary: the old accounting stands; report
+        // failure so the caller can react.
+        return finalize(false, ns, false);
+      }
+    }
+  } else {
+    if (!memory().place(key, value_size, node())) {
+      if (!evict_for(value_size, key) ||
+          !memory().place(key, value_size, node())) {
+        (void)dict_.erase(key);
+        return finalize(false, ns, false);
+      }
+    }
+  }
+  last_access_[key] = ++access_clock_;
+  sync_overhead_accounting(dict_.overhead_bytes());
+  const auto access = payload_access(key, value_size, MemOp::kWrite);
+  ns += access.ns;
+  return finalize(true, ns, access.llc_hit);
+}
+
+OpResult Vermilion::erase(std::uint64_t key) {
+  ++stats_.erases;
+  const auto er = dict_.erase(key);
+  const double ns = profile().cpu_write_ns + index_walk_ns(1, er.probes);
+  if (!er.erased) return finalize(false, ns, false);
+  memory().remove(key);
+  last_access_.erase(key);
+  sync_overhead_accounting(dict_.overhead_bytes());
+  return finalize(true, ns, false);
+}
+
+bool Vermilion::contains(std::uint64_t key) const {
+  // find() advances rehash state; use a const-safe walk instead.
+  bool found = false;
+  dict_.for_each([&](const vermilion::Dict::Entry& e) {
+    if (e.key == key) found = true;
+  });
+  return found;
+}
+
+}  // namespace mnemo::kvstore

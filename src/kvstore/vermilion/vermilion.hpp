@@ -1,0 +1,70 @@
+#pragma once
+
+#include <unordered_map>
+
+#include "kvstore/kvstore.hpp"
+#include "kvstore/vermilion/dict.hpp"
+
+namespace mnemo::kvstore {
+
+/// What Vermilion does when a write does not fit its node — the Redis
+/// `maxmemory-policy` analogue.
+enum class EvictionPolicy : std::uint8_t {
+  kNoEviction = 0,     ///< reject the write (Redis noeviction, default)
+  kAllKeysLru = 1,     ///< evict the approximately least-recently-used key
+  kAllKeysRandom = 2,  ///< evict a uniformly random key
+};
+
+std::string_view to_string(EvictionPolicy policy);
+
+/// Redis-like store: a single-threaded event-loop engine over a chained
+/// hash dict with incremental rehash. The service model charges one
+/// dependent node-latency probe per chain link walked plus one payload
+/// stream per request — the architecture whose sensitivity to SlowMem
+/// tracks the key-access distribution most directly (paper Fig 5a).
+class Vermilion final : public KeyValueStore {
+ public:
+  Vermilion(hybridmem::HybridMemory& memory, const StoreConfig& config,
+            EvictionPolicy eviction = EvictionPolicy::kNoEviction);
+  ~Vermilion() override;
+
+  [[nodiscard]] EvictionPolicy eviction_policy() const noexcept {
+    return eviction_;
+  }
+
+  OpResult get(std::uint64_t key) override;
+  OpResult put(std::uint64_t key, std::uint64_t value_size) override;
+  OpResult erase(std::uint64_t key) override;
+
+  [[nodiscard]] bool contains(std::uint64_t key) const override;
+  [[nodiscard]] std::size_t record_count() const override {
+    return dict_.size();
+  }
+  [[nodiscard]] std::uint64_t overhead_bytes() const override {
+    return dict_.overhead_bytes();
+  }
+
+ protected:
+  Record* mutable_record(std::uint64_t key) override;
+
+ private:
+  void drop_expired(std::uint64_t key);
+  /// Free space for `need` bytes per the eviction policy. Returns false
+  /// if no victim can be found (empty store or kNoEviction).
+  bool evict_for(std::uint64_t need, std::uint64_t protect_key);
+  /// Redis-style sampled-LRU victim: of `kEvictionSamples` random keys,
+  /// pick the least recently touched.
+  std::uint64_t pick_lru_victim(std::uint64_t protect_key);
+  std::uint64_t pick_random_victim(std::uint64_t protect_key);
+
+  static constexpr int kEvictionSamples = 5;  // Redis maxmemory-samples
+
+  vermilion::Dict dict_;
+  EvictionPolicy eviction_;
+  util::Rng eviction_rng_;
+  /// Approximate LRU clock: per-key last-access stamps (op counter).
+  std::uint64_t access_clock_ = 0;
+  std::unordered_map<std::uint64_t, std::uint64_t> last_access_;
+};
+
+}  // namespace mnemo::kvstore

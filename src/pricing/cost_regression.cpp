@@ -1,0 +1,86 @@
+#include "pricing/cost_regression.hpp"
+
+#include <algorithm>
+
+#include "stats/regression.hpp"
+#include "util/assert.hpp"
+
+namespace mnemo::pricing {
+
+namespace {
+
+double fit_single(const VmCatalog& catalog, bool use_memory) {
+  // Least squares of price against one regressor through the origin:
+  // beta = sum(x*y) / sum(x*x).
+  double xy = 0.0;
+  double xx = 0.0;
+  for (const VmInstance& vm : catalog.instances) {
+    const double x = use_memory ? vm.memory_gb : vm.vcpus;
+    xy += x * vm.hourly_usd;
+    xx += x * x;
+  }
+  MNEMO_EXPECTS(xx > 0.0);
+  return xy / xx;
+}
+
+double fit_r_squared(const VmCatalog& catalog, const CostDecomposition& d) {
+  std::vector<double> y;
+  std::vector<double> yhat;
+  for (const VmInstance& vm : catalog.instances) {
+    y.push_back(vm.hourly_usd);
+    yhat.push_back(vm.vcpus * d.vcpu_hourly_usd +
+                   vm.memory_gb * d.gb_hourly_usd);
+  }
+  return stats::r_squared(y, yhat);
+}
+
+}  // namespace
+
+CostDecomposition decompose(const VmCatalog& catalog) {
+  MNEMO_EXPECTS(catalog.instances.size() >= 2);
+  std::vector<std::vector<double>> rows;
+  std::vector<double> y;
+  rows.reserve(catalog.instances.size());
+  for (const VmInstance& vm : catalog.instances) {
+    rows.push_back({vm.vcpus, vm.memory_gb});
+    y.push_back(vm.hourly_usd);
+  }
+  const auto beta = stats::least_squares(rows, y);
+
+  CostDecomposition d;
+  d.vcpu_hourly_usd = beta[0];
+  d.gb_hourly_usd = beta[1];
+  if (d.vcpu_hourly_usd < 0.0) {
+    d.vcpu_hourly_usd = 0.0;
+    d.gb_hourly_usd = fit_single(catalog, /*use_memory=*/true);
+    d.clamped_nonnegative = true;
+  } else if (d.gb_hourly_usd < 0.0) {
+    d.gb_hourly_usd = 0.0;
+    d.vcpu_hourly_usd = fit_single(catalog, /*use_memory=*/false);
+    d.clamped_nonnegative = true;
+  }
+  d.r_squared = fit_r_squared(catalog, d);
+  return d;
+}
+
+double memory_fraction(const VmInstance& vm, const CostDecomposition& d) {
+  MNEMO_EXPECTS(vm.hourly_usd > 0.0);
+  const double mem = vm.memory_gb * d.gb_hourly_usd;
+  return std::clamp(mem / vm.hourly_usd, 0.0, 1.0);
+}
+
+std::vector<MemoryShare> figure1_shares(
+    const std::vector<VmCatalog>& catalogs) {
+  std::vector<MemoryShare> shares;
+  for (const VmCatalog& catalog : catalogs) {
+    const CostDecomposition d = decompose(catalog);
+    for (const VmInstance& vm : catalog.instances) {
+      if (!vm.memory_optimized) continue;
+      shares.push_back(
+          MemoryShare{catalog.provider, vm.name, memory_fraction(vm, d)});
+    }
+  }
+  return shares;
+}
+
+}  // namespace mnemo::pricing

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <vector>
+
+#include "pricing/vm_instance.hpp"
+
+namespace mnemo::pricing {
+
+/// Result of decomposing a provider's VM prices into per-resource rates
+/// via the paper's model  VMcost = vCPU * C + GB * M  (Amur et al.
+/// least-squares methodology).
+struct CostDecomposition {
+  double vcpu_hourly_usd = 0.0;    ///< C
+  double gb_hourly_usd = 0.0;      ///< M
+  double r_squared = 0.0;          ///< fit quality over the catalog
+  bool clamped_nonnegative = false;  ///< a negative rate was re-fit to 0
+};
+
+/// Fit C and M for a catalog. Rates are physical quantities, so a plain
+/// least-squares solution with a negative coefficient is re-fit with that
+/// coefficient pinned to zero (2-variable non-negative least squares).
+CostDecomposition decompose(const VmCatalog& catalog);
+
+/// Fraction of one instance's price attributable to memory under a
+/// decomposition, clamped to [0, 1].
+double memory_fraction(const VmInstance& vm, const CostDecomposition& d);
+
+/// One bar of Fig 1.
+struct MemoryShare {
+  std::string provider;
+  std::string instance;
+  double fraction = 0.0;
+};
+
+/// Memory-cost share of every memory-optimized instance across the
+/// catalogs — the data behind Fig 1 (expected: roughly 60-85%).
+std::vector<MemoryShare> figure1_shares(
+    const std::vector<VmCatalog>& catalogs);
+
+}  // namespace mnemo::pricing

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mnemo::pricing {
+
+/// One cloud VM instance offering: shape and on-demand hourly price.
+struct VmInstance {
+  std::string name;
+  double vcpus = 0.0;
+  double memory_gb = 0.0;
+  double hourly_usd = 0.0;
+  bool memory_optimized = false;  ///< include in the Fig 1 report
+};
+
+/// A provider's instance family used for one regression (one bar group of
+/// Fig 1).
+struct VmCatalog {
+  std::string provider;
+  std::string family;
+  std::vector<VmInstance> instances;
+};
+
+/// The Nov-2018 price sheets the paper regresses over (Section I):
+/// AWS ElastiCache cache.r5, Google Compute Engine n1-ultramem/megamem,
+/// Azure E-series and M-series memory-optimized VMs. Values are the
+/// public on-demand us-east/us-central list prices of that era.
+std::vector<VmCatalog> paper_catalogs();
+
+}  // namespace mnemo::pricing

@@ -1,0 +1,60 @@
+#include "stats/cdf.hpp"
+
+#include <algorithm>
+#include <cstdint>
+
+#include "util/assert.hpp"
+
+namespace mnemo::stats {
+
+EmpiricalCdf::EmpiricalCdf(std::span<const double> samples)
+    : sorted_(samples.begin(), samples.end()) {
+  MNEMO_EXPECTS(!samples.empty());
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double EmpiricalCdf::at(double x) const {
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double EmpiricalCdf::quantile(double q) const {
+  MNEMO_EXPECTS(q >= 0.0 && q <= 1.0);
+  if (q <= 0.0) return sorted_.front();
+  const auto idx = static_cast<std::size_t>(
+      std::min<double>(static_cast<double>(sorted_.size()) - 1.0,
+                       q * static_cast<double>(sorted_.size())));
+  return sorted_[idx];
+}
+
+std::vector<std::pair<double, double>> EmpiricalCdf::curve(
+    std::size_t points) const {
+  MNEMO_EXPECTS(points >= 2);
+  std::vector<std::pair<double, double>> out;
+  out.reserve(points);
+  const double lo = min();
+  const double hi = max();
+  for (std::size_t i = 0; i < points; ++i) {
+    const double x =
+        lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(points - 1);
+    out.emplace_back(x, at(x));
+  }
+  return out;
+}
+
+std::vector<double> cumulative_share(std::span<const std::uint64_t> counts) {
+  std::vector<double> out;
+  out.reserve(counts.size());
+  std::uint64_t total = 0;
+  for (auto c : counts) total += c;
+  MNEMO_EXPECTS(total > 0);
+  std::uint64_t running = 0;
+  for (auto c : counts) {
+    running += c;
+    out.push_back(static_cast<double>(running) / static_cast<double>(total));
+  }
+  return out;
+}
+
+}  // namespace mnemo::stats

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace mnemo::stats {
+
+/// Empirical cumulative distribution function over a sample. Construction
+/// sorts a private copy; evaluation is O(log n). Backs the paper's Fig 3
+/// (key-request CDFs) and Fig 4 (record-size CDFs).
+class EmpiricalCdf {
+ public:
+  explicit EmpiricalCdf(std::span<const double> samples);
+
+  /// P(X <= x).
+  [[nodiscard]] double at(double x) const;
+
+  /// Smallest sample value v such that P(X <= v) >= q.
+  [[nodiscard]] double quantile(double q) const;
+
+  [[nodiscard]] std::size_t size() const { return sorted_.size(); }
+  [[nodiscard]] double min() const { return sorted_.front(); }
+  [[nodiscard]] double max() const { return sorted_.back(); }
+
+  /// Evenly spaced (x, F(x)) pairs for plotting; `points >= 2`.
+  [[nodiscard]] std::vector<std::pair<double, double>> curve(
+      std::size_t points) const;
+
+ private:
+  std::vector<double> sorted_;
+};
+
+/// Cumulative share curve over per-item counts: entry k of the result is
+/// (sum of counts[0..k]) / total. This is exactly what the paper plots in
+/// Fig 3 when keys are in ID order ("probability for a key ID to be
+/// requested throughout the workload").
+std::vector<double> cumulative_share(std::span<const std::uint64_t> counts);
+
+}  // namespace mnemo::stats

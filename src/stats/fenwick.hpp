@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace mnemo::stats {
+
+/// Fenwick (binary indexed) tree over doubles: point update, prefix sum,
+/// O(log n) each. Backs the byte-granular LRU stack-distance computation
+/// in workload characterization.
+class FenwickTree {
+ public:
+  explicit FenwickTree(std::size_t size) : tree_(size + 1, 0.0) {}
+
+  /// Add `delta` at position `i` (0-based, i < size()).
+  void add(std::size_t i, double delta) {
+    MNEMO_EXPECTS(i < size());
+    for (std::size_t j = i + 1; j < tree_.size(); j += j & (~j + 1)) {
+      tree_[j] += delta;
+    }
+  }
+
+  /// Sum of positions [0, i) — i may equal size().
+  [[nodiscard]] double prefix_sum(std::size_t i) const {
+    MNEMO_EXPECTS(i <= size());
+    double sum = 0.0;
+    for (std::size_t j = i; j > 0; j -= j & (~j + 1)) {
+      sum += tree_[j];
+    }
+    return sum;
+  }
+
+  /// Sum of positions [lo, hi). Requires lo <= hi <= size().
+  [[nodiscard]] double range_sum(std::size_t lo, std::size_t hi) const {
+    MNEMO_EXPECTS(lo <= hi);
+    return prefix_sum(hi) - prefix_sum(lo);
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return tree_.size() - 1;
+  }
+
+ private:
+  std::vector<double> tree_;
+};
+
+}  // namespace mnemo::stats

@@ -1,0 +1,76 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace mnemo::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo),
+      width_((hi - lo) / static_cast<double>(buckets)),
+      counts_(buckets, 0) {
+  MNEMO_EXPECTS(hi > lo);
+  MNEMO_EXPECTS(buckets > 0);
+}
+
+void Histogram::add(double x) noexcept {
+  double idx = (x - lo_) / width_;
+  idx = std::clamp(idx, 0.0, static_cast<double>(counts_.size()) - 1.0);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+std::uint64_t Histogram::bucket_count(std::size_t i) const {
+  MNEMO_EXPECTS(i < counts_.size());
+  return counts_[i];
+}
+
+double Histogram::bucket_lo(std::size_t i) const {
+  MNEMO_EXPECTS(i < counts_.size());
+  return lo_ + width_ * static_cast<double>(i);
+}
+
+double Histogram::bucket_hi(std::size_t i) const { return bucket_lo(i) + width_; }
+
+double Histogram::quantile(double q) const {
+  MNEMO_EXPECTS(q >= 0.0 && q <= 1.0);
+  MNEMO_EXPECTS(total_ > 0);
+  const double target = q * static_cast<double>(total_);
+  double running = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const auto c = static_cast<double>(counts_[i]);
+    if (running + c >= target && c > 0.0) {
+      const double frac = (target - running) / c;
+      return bucket_lo(i) + frac * width_;
+    }
+    running += c;
+  }
+  return bucket_hi(counts_.size() - 1);
+}
+
+std::string Histogram::render(std::size_t max_rows) const {
+  std::uint64_t peak = 0;
+  for (auto c : counts_) peak = std::max(peak, c);
+  std::ostringstream out;
+  std::size_t rows = 0;
+  for (std::size_t i = 0; i < counts_.size() && rows < max_rows; ++i) {
+    if (counts_[i] == 0) continue;
+    const int bar =
+        peak == 0 ? 0
+                  : static_cast<int>(40.0 * static_cast<double>(counts_[i]) /
+                                     static_cast<double>(peak));
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "[%10.3g, %10.3g) %8llu ", bucket_lo(i),
+                  bucket_hi(i),
+                  static_cast<unsigned long long>(counts_[i]));
+    out << buf << std::string(static_cast<std::size_t>(bar), '#') << "\n";
+    ++rows;
+  }
+  return out.str();
+}
+
+}  // namespace mnemo::stats

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mnemo::stats {
+
+/// Fixed-width linear histogram over [lo, hi); out-of-range samples land in
+/// saturating edge buckets. Cheap enough to sit on the simulator's per
+/// request path (tail-latency tracking for Fig 8d/8e).
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return total_; }
+  [[nodiscard]] std::size_t buckets() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::uint64_t bucket_count(std::size_t i) const;
+  [[nodiscard]] double bucket_lo(std::size_t i) const;
+  [[nodiscard]] double bucket_hi(std::size_t i) const;
+
+  /// Quantile estimated by linear interpolation inside the bucket.
+  [[nodiscard]] double quantile(double q) const;
+
+  /// Compact terminal rendering (one line per non-empty bucket).
+  [[nodiscard]] std::string render(std::size_t max_rows = 20) const;
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace mnemo::stats

@@ -1,0 +1,91 @@
+#include "stats/log_histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace mnemo::stats {
+
+namespace {
+
+double log_min() { return std::log10(LogHistogram::kMinNs); }
+
+constexpr double kBucketWidthLog =
+    1.0 / static_cast<double>(LogHistogram::kBucketsPerDecade);
+
+}  // namespace
+
+void LogHistogram::add(double ns) noexcept {
+  double idx =
+      (std::log10(std::max(ns, kMinNs)) - log_min()) / kBucketWidthLog;
+  idx = std::clamp(idx, 0.0, static_cast<double>(kBuckets) - 1.0);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+double LogHistogram::bucket_lo_ns(std::size_t i) {
+  MNEMO_EXPECTS(i < kBuckets);
+  return std::pow(10.0, log_min() + kBucketWidthLog * static_cast<double>(i));
+}
+
+double LogHistogram::bucket_hi_ns(std::size_t i) {
+  return std::pow(10.0,
+                  log_min() + kBucketWidthLog * static_cast<double>(i + 1));
+}
+
+double LogHistogram::quantile(double q) const {
+  MNEMO_EXPECTS(total_ > 0);
+  MNEMO_EXPECTS(q >= 0.0 && q <= 1.0);
+  const double target = q * static_cast<double>(total_);
+  double running = 0.0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    const auto c = static_cast<double>(counts_[i]);
+    if (running + c >= target && c > 0.0) {
+      const double frac = (target - running) / c;
+      const double lo = std::log10(bucket_lo_ns(i));
+      return std::pow(10.0, lo + frac * kBucketWidthLog);
+    }
+    running += c;
+  }
+  return bucket_hi_ns(kBuckets - 1);
+}
+
+void LogHistogram::merge(const LogHistogram& other) noexcept {
+  for (std::size_t i = 0; i < kBuckets; ++i) counts_[i] += other.counts_[i];
+  total_ += other.total_;
+}
+
+double mixture_quantile(const LogHistogram& a, double wa,
+                        const LogHistogram& b, double wb, double q) {
+  MNEMO_EXPECTS(wa >= 0.0 && wb >= 0.0 && wa + wb > 0.0);
+  MNEMO_EXPECTS(q >= 0.0 && q <= 1.0);
+  // Normalize each component to a probability mass, then scale by its
+  // mixture weight.
+  const double ta =
+      a.count() > 0 ? wa / static_cast<double>(a.count()) : 0.0;
+  const double tb =
+      b.count() > 0 ? wb / static_cast<double>(b.count()) : 0.0;
+  double total = 0.0;
+  for (std::size_t i = 0; i < LogHistogram::kBuckets; ++i) {
+    total += static_cast<double>(a.bucket(i)) * ta +
+             static_cast<double>(b.bucket(i)) * tb;
+  }
+  MNEMO_EXPECTS(total > 0.0);
+  const double target = q * total;
+  double running = 0.0;
+  for (std::size_t i = 0; i < LogHistogram::kBuckets; ++i) {
+    const double c = static_cast<double>(a.bucket(i)) * ta +
+                     static_cast<double>(b.bucket(i)) * tb;
+    if (running + c >= target && c > 0.0) {
+      const double frac = (target - running) / c;
+      const double lo = std::log10(LogHistogram::bucket_lo_ns(i));
+      const double width = std::log10(LogHistogram::bucket_hi_ns(i)) - lo;
+      return std::pow(10.0, lo + frac * width);
+    }
+    running += c;
+  }
+  return LogHistogram::bucket_hi_ns(LogHistogram::kBuckets - 1);
+}
+
+}  // namespace mnemo::stats

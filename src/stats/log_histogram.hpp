@@ -1,0 +1,51 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace mnemo::stats {
+
+/// Log-scale latency histogram: fixed range [10 ns, 10 s), 20 buckets per
+/// decade (180 buckets total), plus saturating edge buckets. Default
+/// constructible and cheap to copy, so it can ride along in measurement
+/// structs; used to carry full latency distributions out of baseline runs
+/// for mixture-based tail estimation.
+class LogHistogram {
+ public:
+  static constexpr double kMinNs = 10.0;
+  static constexpr double kMaxNs = 10.0e9;
+  static constexpr std::size_t kBucketsPerDecade = 20;
+  static constexpr std::size_t kDecades = 9;
+  static constexpr std::size_t kBuckets = kBucketsPerDecade * kDecades;
+
+  void add(double ns) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return total_; }
+  [[nodiscard]] std::uint64_t bucket(std::size_t i) const {
+    return counts_[i];
+  }
+
+  /// Lower/upper bound of bucket i in ns.
+  [[nodiscard]] static double bucket_lo_ns(std::size_t i);
+  [[nodiscard]] static double bucket_hi_ns(std::size_t i);
+
+  /// Quantile with log-linear interpolation inside the bucket. Requires a
+  /// non-empty histogram.
+  [[nodiscard]] double quantile(double q) const;
+
+  /// Accumulate another histogram (e.g. across repeated runs).
+  void merge(const LogHistogram& other) noexcept;
+
+ private:
+  std::array<std::uint64_t, kBuckets> counts_{};
+  std::uint64_t total_ = 0;
+};
+
+/// Quantile of the two-component mixture wa·A + wb·B (weights need not be
+/// normalized). This is the tail-estimation primitive: requests served by
+/// FastMem draw their latency from the fast baseline's distribution,
+/// SlowMem requests from the slow baseline's.
+double mixture_quantile(const LogHistogram& a, double wa,
+                        const LogHistogram& b, double wb, double q);
+
+}  // namespace mnemo::stats

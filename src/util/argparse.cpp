@@ -1,0 +1,118 @@
+#include "util/argparse.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "util/assert.hpp"
+
+namespace mnemo::util {
+
+ArgParser::ArgParser(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+void ArgParser::add_flag(const std::string& name, std::string help) {
+  MNEMO_EXPECTS(!specs_.contains(name));
+  Spec s;
+  s.help = std::move(help);
+  s.is_flag = true;
+  specs_.emplace(name, std::move(s));
+}
+
+void ArgParser::add_option(const std::string& name, std::string help,
+                           std::string default_value) {
+  MNEMO_EXPECTS(!specs_.contains(name));
+  Spec s;
+  s.help = std::move(help);
+  s.value = std::move(default_value);
+  specs_.emplace(name, std::move(s));
+}
+
+bool ArgParser::parse(const std::vector<std::string>& args,
+                      std::string* error) {
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::string inline_value;
+    bool has_inline = false;
+    if (const auto eq = name.find('='); eq != std::string::npos) {
+      inline_value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      has_inline = true;
+    }
+    const auto it = specs_.find(name);
+    if (it == specs_.end()) {
+      if (error != nullptr) *error = "unknown option --" + name;
+      return false;
+    }
+    Spec& spec = it->second;
+    spec.seen = true;
+    if (spec.is_flag) {
+      if (has_inline) {
+        if (error != nullptr) *error = "--" + name + " takes no value";
+        return false;
+      }
+      continue;
+    }
+    if (has_inline) {
+      spec.value = std::move(inline_value);
+    } else {
+      if (i + 1 >= args.size()) {
+        if (error != nullptr) *error = "--" + name + " requires a value";
+        return false;
+      }
+      spec.value = args[++i];
+    }
+  }
+  return true;
+}
+
+bool ArgParser::has_flag(const std::string& name) const {
+  const auto it = specs_.find(name);
+  MNEMO_EXPECTS(it != specs_.end());
+  return it->second.seen;
+}
+
+const std::string& ArgParser::get(const std::string& name) const {
+  const auto it = specs_.find(name);
+  MNEMO_EXPECTS(it != specs_.end() && !it->second.is_flag);
+  return it->second.value;
+}
+
+double ArgParser::get_double(const std::string& name) const {
+  const std::string& v = get(name);
+  try {
+    return std::stod(v);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("--" + name + ": not a number: " + v);
+  }
+}
+
+std::uint64_t ArgParser::get_u64(const std::string& name) const {
+  const std::string& v = get(name);
+  try {
+    return std::stoull(v);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("--" + name + ": not an integer: " + v);
+  }
+}
+
+std::string ArgParser::help() const {
+  std::ostringstream out;
+  out << program_ << " — " << description_ << "\n\noptions:\n";
+  for (const auto& [name, spec] : specs_) {
+    out << "  --" << name;
+    if (!spec.is_flag) out << " <value>";
+    out << "\n      " << spec.help;
+    if (!spec.is_flag && !spec.value.empty()) {
+      out << " (default: " << spec.value << ")";
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace mnemo::util

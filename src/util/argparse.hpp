@@ -1,0 +1,52 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mnemo::util {
+
+/// Minimal command-line parser for the mnemo CLI: boolean flags and
+/// string-valued options (`--name value` or `--name=value`), plus
+/// positional arguments. Unknown flags and missing values are reported as
+/// errors rather than ignored.
+class ArgParser {
+ public:
+  ArgParser(std::string program, std::string description);
+
+  /// Register a boolean flag (present/absent).
+  void add_flag(const std::string& name, std::string help);
+
+  /// Register a valued option with a default.
+  void add_option(const std::string& name, std::string help,
+                  std::string default_value);
+
+  /// Parse argv[start..). Returns false and fills *error on failure.
+  bool parse(const std::vector<std::string>& args, std::string* error);
+
+  [[nodiscard]] bool has_flag(const std::string& name) const;
+  [[nodiscard]] const std::string& get(const std::string& name) const;
+  [[nodiscard]] double get_double(const std::string& name) const;
+  [[nodiscard]] std::uint64_t get_u64(const std::string& name) const;
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+  /// Rendered usage text.
+  [[nodiscard]] std::string help() const;
+
+ private:
+  struct Spec {
+    std::string help;
+    std::string value;
+    bool is_flag = false;
+    bool seen = false;
+  };
+
+  std::string program_;
+  std::string description_;
+  std::map<std::string, Spec> specs_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace mnemo::util

@@ -1,0 +1,90 @@
+#include "util/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace mnemo::util {
+
+AsciiPlot::AsciiPlot(std::string title, std::string x_label,
+                     std::string y_label, int width, int height)
+    : title_(std::move(title)),
+      x_label_(std::move(x_label)),
+      y_label_(std::move(y_label)),
+      width_(width),
+      height_(height) {
+  MNEMO_EXPECTS(width_ >= 16 && height_ >= 4);
+}
+
+void AsciiPlot::add(PlotSeries series) {
+  MNEMO_EXPECTS(series.x.size() == series.y.size());
+  series_.push_back(std::move(series));
+}
+
+std::string AsciiPlot::render() const {
+  double xmin = std::numeric_limits<double>::infinity();
+  double xmax = -xmin, ymin = xmin, ymax = -xmin;
+  bool any = false;
+  for (const auto& s : series_) {
+    for (std::size_t i = 0; i < s.x.size(); ++i) {
+      if (!std::isfinite(s.x[i]) || !std::isfinite(s.y[i])) continue;
+      xmin = std::min(xmin, s.x[i]);
+      xmax = std::max(xmax, s.x[i]);
+      ymin = std::min(ymin, s.y[i]);
+      ymax = std::max(ymax, s.y[i]);
+      any = true;
+    }
+  }
+  std::ostringstream out;
+  out << "== " << title_ << " ==\n";
+  if (!any) {
+    out << "(no data)\n";
+    return out.str();
+  }
+  if (xmax == xmin) xmax = xmin + 1.0;
+  if (ymax == ymin) ymax = ymin + 1.0;
+
+  std::vector<std::string> canvas(static_cast<std::size_t>(height_),
+                                  std::string(static_cast<std::size_t>(width_), ' '));
+  for (const auto& s : series_) {
+    for (std::size_t i = 0; i < s.x.size(); ++i) {
+      if (!std::isfinite(s.x[i]) || !std::isfinite(s.y[i])) continue;
+      const int cx = static_cast<int>(std::lround(
+          (s.x[i] - xmin) / (xmax - xmin) * (width_ - 1)));
+      const int cy = static_cast<int>(std::lround(
+          (s.y[i] - ymin) / (ymax - ymin) * (height_ - 1)));
+      const int row = height_ - 1 - cy;
+      canvas[static_cast<std::size_t>(row)][static_cast<std::size_t>(cx)] =
+          s.marker;
+    }
+  }
+
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%10.4g ", ymax);
+  out << buf << "+" << std::string(static_cast<std::size_t>(width_), '-')
+      << "+\n";
+  for (int r = 0; r < height_; ++r) {
+    out << std::string(11, ' ') << '|' << canvas[static_cast<std::size_t>(r)]
+        << "|\n";
+  }
+  std::snprintf(buf, sizeof buf, "%10.4g ", ymin);
+  out << buf << "+" << std::string(static_cast<std::size_t>(width_), '-')
+      << "+\n";
+  std::snprintf(buf, sizeof buf, "%12.4g", xmin);
+  out << buf << std::string(static_cast<std::size_t>(std::max(1, width_ - 12)), ' ');
+  std::snprintf(buf, sizeof buf, "%.4g\n", xmax);
+  out << buf;
+  out << "            x: " << x_label_ << "   y: " << y_label_ << "\n";
+  for (const auto& s : series_) {
+    out << "            '" << s.marker << "' " << s.name << "\n";
+  }
+  return out.str();
+}
+
+void AsciiPlot::print() const { std::fputs(render().c_str(), stdout); }
+
+}  // namespace mnemo::util

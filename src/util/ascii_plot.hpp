@@ -1,0 +1,39 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mnemo::util {
+
+/// One named XY series for terminal plotting.
+struct PlotSeries {
+  std::string name;
+  std::vector<double> x;
+  std::vector<double> y;
+  char marker = '*';
+};
+
+/// Tiny terminal scatter/line plotter so the bench binaries can show the
+/// *shape* of each paper figure (who wins, where the knee falls) without a
+/// graphics stack. Series share one canvas; axes are linear and auto-scaled.
+class AsciiPlot {
+ public:
+  AsciiPlot(std::string title, std::string x_label, std::string y_label,
+            int width = 72, int height = 20);
+
+  void add(PlotSeries series);
+
+  /// Render the canvas, axis labels and a per-series legend.
+  [[nodiscard]] std::string render() const;
+  void print() const;
+
+ private:
+  std::string title_;
+  std::string x_label_;
+  std::string y_label_;
+  int width_;
+  int height_;
+  std::vector<PlotSeries> series_;
+};
+
+}  // namespace mnemo::util

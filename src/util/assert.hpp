@@ -1,0 +1,27 @@
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Contract macros in the spirit of the C++ Core Guidelines' Expects/Ensures.
+/// Violations are programming errors, not recoverable conditions, so they
+/// print a diagnostic and abort. They stay enabled in release builds: the
+/// simulator's correctness depends on these invariants, and their cost is
+/// negligible relative to the work they guard.
+#define MNEMO_CONTRACT_IMPL(kind, cond)                                      \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "%s violated: %s at %s:%d\n", kind, #cond,        \
+                   __FILE__, __LINE__);                                      \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+/// Precondition: caller must satisfy `cond` before the call.
+#define MNEMO_EXPECTS(cond) MNEMO_CONTRACT_IMPL("precondition", cond)
+
+/// Postcondition: callee guarantees `cond` on exit.
+#define MNEMO_ENSURES(cond) MNEMO_CONTRACT_IMPL("postcondition", cond)
+
+/// Internal invariant that should be unreachable by any input.
+#define MNEMO_ASSERT(cond) MNEMO_CONTRACT_IMPL("invariant", cond)

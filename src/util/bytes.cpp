@@ -1,0 +1,40 @@
+#include "util/bytes.hpp"
+
+#include <array>
+#include <cstdio>
+
+namespace mnemo::util {
+
+std::string format_bytes(std::uint64_t bytes) {
+  static constexpr std::array<const char*, 5> kUnits = {"B", "KiB", "MiB",
+                                                        "GiB", "TiB"};
+  double v = static_cast<double>(bytes);
+  std::size_t unit = 0;
+  while (v >= 1024.0 && unit + 1 < kUnits.size()) {
+    v /= 1024.0;
+    ++unit;
+  }
+  char buf[32];
+  if (unit == 0) {
+    std::snprintf(buf, sizeof buf, "%.0f %s", v, kUnits[unit]);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.1f %s", v, kUnits[unit]);
+  }
+  return buf;
+}
+
+std::string format_ns(double ns) {
+  char buf[32];
+  if (ns < 1e3) {
+    std::snprintf(buf, sizeof buf, "%.1f ns", ns);
+  } else if (ns < 1e6) {
+    std::snprintf(buf, sizeof buf, "%.2f us", ns / 1e3);
+  } else if (ns < 1e9) {
+    std::snprintf(buf, sizeof buf, "%.2f ms", ns / 1e6);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.3f s", ns / 1e9);
+  }
+  return buf;
+}
+
+}  // namespace mnemo::util

@@ -1,0 +1,18 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace mnemo::util {
+
+inline constexpr std::uint64_t kKiB = 1024ULL;
+inline constexpr std::uint64_t kMiB = 1024ULL * kKiB;
+inline constexpr std::uint64_t kGiB = 1024ULL * kMiB;
+
+/// Render a byte count as a human-readable string ("1.5 MiB", "100.0 KiB").
+std::string format_bytes(std::uint64_t bytes);
+
+/// Render a nanosecond duration as a human-readable string ("1.2 ms").
+std::string format_ns(double ns);
+
+}  // namespace mnemo::util

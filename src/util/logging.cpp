@@ -1,0 +1,39 @@
+#include "util/logging.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+namespace mnemo::util {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
+
+const char* level_name(LogLevel l) {
+  switch (l) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO ";
+    case LogLevel::kWarn:
+      return "WARN ";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+LogLevel log_level() { return g_level.load(); }
+
+void log(LogLevel level, const char* fmt, ...) {
+  if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
+  char buf[1024];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof buf, fmt, args);
+  va_end(args);
+  std::fprintf(stderr, "[%s] %s\n", level_name(level), buf);
+}
+
+}  // namespace mnemo::util

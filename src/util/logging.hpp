@@ -1,0 +1,29 @@
+#pragma once
+
+#include <cstdarg>
+#include <string>
+
+namespace mnemo::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Process-wide minimum level; messages below it are dropped. Defaults to
+/// kInfo; benches lower it via --verbose-style flags.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// printf-style leveled logging to stderr with a level prefix. Thread-safe
+/// per call (single write).
+void log(LogLevel level, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+#define MNEMO_LOG_DEBUG(...) \
+  ::mnemo::util::log(::mnemo::util::LogLevel::kDebug, __VA_ARGS__)
+#define MNEMO_LOG_INFO(...) \
+  ::mnemo::util::log(::mnemo::util::LogLevel::kInfo, __VA_ARGS__)
+#define MNEMO_LOG_WARN(...) \
+  ::mnemo::util::log(::mnemo::util::LogLevel::kWarn, __VA_ARGS__)
+#define MNEMO_LOG_ERROR(...) \
+  ::mnemo::util::log(::mnemo::util::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace mnemo::util

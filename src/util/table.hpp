@@ -1,0 +1,36 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mnemo::util {
+
+/// Fixed-width ASCII table renderer used by the bench binaries to print the
+/// paper's tables. Columns auto-size to their widest cell; numeric-looking
+/// cells are right-aligned.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Append a data row. Short rows are padded with empty cells; long rows
+  /// widen the table.
+  void add_row(std::vector<std::string> cells);
+
+  /// Render the full table (header, separator, rows) as a string.
+  [[nodiscard]] std::string render() const;
+
+  /// Render and write to stdout.
+  void print() const;
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+  /// Format helpers for consistent cell rendering.
+  static std::string num(double v, int precision = 2);
+  static std::string pct(double fraction, int precision = 1);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mnemo::util

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <chrono>
+
+namespace mnemo::util {
+
+/// Monotonic wall-clock stopwatch. Only used to measure the *tool's own*
+/// overhead (Table IV) — all workload performance numbers come from the
+/// simulated clock, never from this.
+class WallTimer {
+ public:
+  WallTimer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  /// Elapsed seconds since construction or last reset().
+  [[nodiscard]] double elapsed_s() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double elapsed_ms() const { return elapsed_s() * 1e3; }
+  [[nodiscard]] double elapsed_us() const { return elapsed_s() * 1e6; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace mnemo::util

@@ -1,0 +1,122 @@
+#include "workload/characterize.hpp"
+
+#include <algorithm>
+#include <functional>
+
+#include "stats/fenwick.hpp"
+#include "stats/summary.hpp"
+#include "util/assert.hpp"
+
+namespace mnemo::workload {
+
+double Characterization::predicted_hit_rate(std::uint64_t cache_bytes,
+                                            std::uint64_t bypass_bytes) const {
+  if (requests == 0) return 0.0;
+  std::uint64_t hits = 0;
+  for (std::size_t i = 0; i < reuse_distances_bytes.size(); ++i) {
+    if (bypass_bytes > 0 && reuse_sizes_bytes[i] >
+                                static_cast<double>(bypass_bytes)) {
+      continue;  // object never caches
+    }
+    // The re-accessed record hits iff everything touched since its last
+    // access (itself included) still fits — byte-LRU stack condition.
+    if (reuse_distances_bytes[i] <= static_cast<double>(cache_bytes)) {
+      ++hits;
+    }
+  }
+  return static_cast<double>(hits) / static_cast<double>(requests);
+}
+
+namespace {
+
+double gini_coefficient(std::vector<std::uint64_t> counts) {
+  std::sort(counts.begin(), counts.end());
+  double cum = 0.0;
+  double weighted = 0.0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    cum += static_cast<double>(counts[i]);
+    weighted += static_cast<double>(i + 1) * static_cast<double>(counts[i]);
+  }
+  if (cum == 0.0) return 0.0;
+  const auto n = static_cast<double>(counts.size());
+  return (2.0 * weighted) / (n * cum) - (n + 1.0) / n;
+}
+
+double top_fraction_share(const std::vector<std::uint64_t>& counts,
+                          double fraction) {
+  std::vector<std::uint64_t> sorted(counts);
+  std::sort(sorted.begin(), sorted.end(), std::greater<>());
+  const auto take = std::max<std::size_t>(
+      1, static_cast<std::size_t>(fraction *
+                                  static_cast<double>(sorted.size())));
+  std::uint64_t hot = 0;
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    total += sorted[i];
+    if (i < take) hot += sorted[i];
+  }
+  return total == 0 ? 0.0
+                    : static_cast<double>(hot) / static_cast<double>(total);
+}
+
+}  // namespace
+
+Characterization characterize(const Trace& trace) {
+  Characterization c;
+  c.keys = trace.key_count();
+  c.requests = trace.requests().size();
+  c.dataset_bytes = trace.dataset_bytes();
+  MNEMO_EXPECTS(c.requests > 0);
+
+  std::uint64_t reads = 0;
+  std::uint64_t inserts = 0;
+  for (const Request& r : trace.requests()) {
+    if (r.op == OpType::kRead) ++reads;
+    if (r.op == OpType::kInsert) ++inserts;
+  }
+  c.read_fraction =
+      static_cast<double>(reads) / static_cast<double>(c.requests);
+  c.insert_fraction =
+      static_cast<double>(inserts) / static_cast<double>(c.requests);
+
+  const auto counts = trace.access_counts();
+  c.hot10_share = top_fraction_share(counts, 0.10);
+  c.hot20_share = top_fraction_share(counts, 0.20);
+  c.gini = gini_coefficient(counts);
+
+  // Byte-weighted LRU stack distances. The Fenwick tree is indexed by
+  // request position; position p carries the record size of the key whose
+  // most recent access was at p. For an access at time t to a key last
+  // seen at t0, the bytes of distinct records touched in between is the
+  // range sum (t0, t) — add the record itself for the fit condition.
+  stats::FenwickTree tree(c.requests);
+  std::vector<std::int64_t> last_seen(trace.key_count(), -1);
+  c.reuse_distances_bytes.reserve(c.requests);
+  for (std::size_t t = 0; t < c.requests; ++t) {
+    const Request& r = trace.requests()[t];
+    const auto size = static_cast<double>(trace.size_of(r.key));
+    const std::int64_t t0 = last_seen[r.key];
+    if (t0 >= 0) {
+      const double between =
+          tree.range_sum(static_cast<std::size_t>(t0) + 1, t);
+      c.reuse_distances_bytes.push_back(between + size);
+      c.reuse_sizes_bytes.push_back(size);
+      tree.add(static_cast<std::size_t>(t0), -size);
+    } else {
+      ++c.cold_accesses;
+    }
+    tree.add(t, size);
+    last_seen[r.key] = static_cast<std::int64_t>(t);
+  }
+
+  if (!c.reuse_distances_bytes.empty()) {
+    std::vector<double> sorted(c.reuse_distances_bytes);
+    std::sort(sorted.begin(), sorted.end());
+    c.reuse_p50_bytes = stats::percentile_sorted(sorted, 0.50);
+    c.reuse_p90_bytes = stats::percentile_sorted(sorted, 0.90);
+    c.reuse_p99_bytes = stats::percentile_sorted(sorted, 0.99);
+  }
+  return c;
+}
+
+}  // namespace mnemo::workload

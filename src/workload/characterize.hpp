@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "workload/trace.hpp"
+
+namespace mnemo::workload {
+
+/// Quantitative profile of a workload — what an operator should know
+/// before asking Mnemo for sizing advice. Computed in one pass over the
+/// trace (O(n log n) for the stack distances).
+struct Characterization {
+  std::uint64_t keys = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t dataset_bytes = 0;
+  double read_fraction = 0.0;
+  double insert_fraction = 0.0;
+
+  /// Popularity skew: request share of the hottest 10% / 20% of keys and
+  /// the Gini coefficient of per-key access counts (0 = uniform,
+  /// -> 1 = all requests on one key).
+  double hot10_share = 0.0;
+  double hot20_share = 0.0;
+  double gini = 0.0;
+
+  /// Byte-granular LRU stack distances: for each re-access, the total
+  /// size of distinct records touched since the previous access to the
+  /// same key (plus the record itself). Quantiles in bytes; cold (first)
+  /// accesses are excluded.
+  double reuse_p50_bytes = 0.0;
+  double reuse_p90_bytes = 0.0;
+  double reuse_p99_bytes = 0.0;
+  std::uint64_t cold_accesses = 0;  ///< first touches (no reuse distance)
+
+  /// Fraction of accesses whose stack distance fits a byte-LRU cache of
+  /// `cache_bytes` whose entries are capped at `bypass_bytes` (0 = no
+  /// cap). This predicts the emulator's object-granular LLC hit rate.
+  [[nodiscard]] double predicted_hit_rate(std::uint64_t cache_bytes,
+                                          std::uint64_t bypass_bytes) const;
+
+  /// All per-access stack distances (bytes; one entry per re-access, in
+  /// trace order) — kept for custom cache-size what-ifs.
+  std::vector<double> reuse_distances_bytes;
+  /// Record size of the re-accessed key, parallel to
+  /// reuse_distances_bytes (needed for the bypass cap).
+  std::vector<double> reuse_sizes_bytes;
+};
+
+/// Analyze a trace. The stack distances use the classic Fenwick-tree
+/// algorithm over last-access timestamps, weighted by record size.
+Characterization characterize(const Trace& trace);
+
+}  // namespace mnemo::workload

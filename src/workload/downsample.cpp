@@ -1,0 +1,75 @@
+#include "workload/downsample.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/cdf.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace mnemo::workload {
+
+Trace downsample(const Trace& trace, double keep_fraction, std::uint64_t seed,
+                 std::size_t interval) {
+  MNEMO_EXPECTS(keep_fraction > 0.0 && keep_fraction <= 1.0);
+  MNEMO_EXPECTS(interval > 0);
+
+  const auto& reqs = trace.requests();
+  util::Rng rng(seed);
+  std::vector<Request> kept;
+  kept.reserve(static_cast<std::size_t>(
+      static_cast<double>(reqs.size()) * keep_fraction) + interval);
+
+  std::vector<std::uint32_t> idx(interval);
+  for (std::size_t start = 0; start < reqs.size(); start += interval) {
+    const std::size_t len = std::min(interval, reqs.size() - start);
+    const auto keep = static_cast<std::size_t>(
+        std::llround(static_cast<double>(len) * keep_fraction));
+    if (keep == 0) continue;
+    // Partial Fisher–Yates: choose `keep` positions uniformly without
+    // replacement, then restore request order within the interval.
+    idx.resize(len);
+    for (std::size_t i = 0; i < len; ++i) {
+      idx[i] = static_cast<std::uint32_t>(i);
+    }
+    for (std::size_t i = 0; i < keep; ++i) {
+      const auto j = static_cast<std::size_t>(
+          rng.uniform(i, len - 1));
+      std::swap(idx[i], idx[j]);
+    }
+    std::sort(idx.begin(), idx.begin() + static_cast<std::ptrdiff_t>(keep));
+    // Inserts define the key space and must survive sampling (every key
+    // must still be created exactly once); track which sampled slots are
+    // inserts and add back any evicted ones.
+    std::vector<bool> taken(len, false);
+    for (std::size_t i = 0; i < keep; ++i) {
+      taken[idx[i]] = true;
+    }
+    for (std::size_t i = 0; i < len; ++i) {
+      if (!taken[i] && reqs[start + i].op == OpType::kInsert) {
+        taken[i] = true;
+      }
+    }
+    for (std::size_t i = 0; i < len; ++i) {
+      if (taken[i]) kept.push_back(reqs[start + i]);
+    }
+  }
+
+  return Trace(trace.name() + "_downsampled", trace.key_count(),
+               std::move(kept),
+               std::vector<std::uint64_t>(trace.key_sizes()),
+               trace.initial_key_count());
+}
+
+double key_distribution_distance(const Trace& a, const Trace& b) {
+  MNEMO_EXPECTS(a.key_count() == b.key_count());
+  const auto ca = stats::cumulative_share(a.access_counts());
+  const auto cb = stats::cumulative_share(b.access_counts());
+  double worst = 0.0;
+  for (std::size_t i = 0; i < ca.size(); ++i) {
+    worst = std::max(worst, std::fabs(ca[i] - cb[i]));
+  }
+  return worst;
+}
+
+}  // namespace mnemo::workload

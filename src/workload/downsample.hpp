@@ -1,0 +1,26 @@
+#pragma once
+
+#include <cstdint>
+
+#include "workload/trace.hpp"
+
+namespace mnemo::workload {
+
+/// Downsize a workload by evicting random requests at fixed intervals
+/// (the paper's §V "Workload downsampling"): the request sequence is split
+/// into consecutive intervals and a random subset of each interval is kept,
+/// preserving both the key-popularity distribution and the temporal
+/// structure (which matters for `latest`-style patterns).
+///
+/// `keep_fraction` in (0, 1]; `interval` is the block length (defaults to
+/// 100 requests). Key sizes and key count are preserved so capacity
+/// reasoning is unchanged.
+Trace downsample(const Trace& trace, double keep_fraction,
+                 std::uint64_t seed, std::size_t interval = 100);
+
+/// Kolmogorov–Smirnov-style distance between the key-popularity CDFs of
+/// two traces over the same key space; used to verify that downsampling
+/// preserved the distribution.
+double key_distribution_distance(const Trace& a, const Trace& b);
+
+}  // namespace mnemo::workload

@@ -1,0 +1,145 @@
+#include "workload/spec_file.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace mnemo::workload {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  const auto begin = s.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) return "";
+  const auto end = s.find_last_not_of(" \t\r");
+  return s.substr(begin, end - begin + 1);
+}
+
+double parse_double(const std::string& key, const std::string& value) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(value, &used);
+    if (used != value.size()) throw std::invalid_argument(value);
+    return v;
+  } catch (const std::exception&) {
+    throw std::invalid_argument(key + ": not a number: " + value);
+  }
+}
+
+std::uint64_t parse_u64(const std::string& key, const std::string& value) {
+  try {
+    std::size_t used = 0;
+    const std::uint64_t v = std::stoull(value, &used);
+    if (used != value.size()) throw std::invalid_argument(value);
+    return v;
+  } catch (const std::exception&) {
+    throw std::invalid_argument(key + ": not an integer: " + value);
+  }
+}
+
+}  // namespace
+
+DistributionKind parse_distribution(const std::string& name) {
+  for (const DistributionKind kind :
+       {DistributionKind::kUniform, DistributionKind::kZipfian,
+        DistributionKind::kScrambledZipfian, DistributionKind::kLatest,
+        DistributionKind::kHotspot, DistributionKind::kSequential}) {
+    if (name == to_string(kind)) return kind;
+  }
+  throw std::invalid_argument("unknown distribution: " + name);
+}
+
+RecordSizeType parse_record_size(const std::string& name) {
+  for (const RecordSizeType type :
+       {RecordSizeType::kThumbnail, RecordSizeType::kTextPost,
+        RecordSizeType::kPhotoCaption, RecordSizeType::kPreviewMix}) {
+    if (name == to_string(type)) return type;
+  }
+  throw std::invalid_argument("unknown record_size: " + name);
+}
+
+WorkloadSpec parse_spec(std::istream& in) {
+  WorkloadSpec spec;
+  spec.name = "custom";
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (const auto hash = line.find('#'); hash != std::string::npos) {
+      line = line.substr(0, hash);
+    }
+    line = trim(line);
+    if (line.empty()) continue;
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) {
+      throw std::invalid_argument("spec line " + std::to_string(line_no) +
+                                  ": expected key = value");
+    }
+    const std::string key = trim(line.substr(0, eq));
+    const std::string value = trim(line.substr(eq + 1));
+    if (key == "name") {
+      spec.name = value;
+    } else if (key == "use_case") {
+      spec.use_case = value;
+    } else if (key == "distribution") {
+      spec.distribution = parse_distribution(value);
+    } else if (key == "zipf_theta") {
+      spec.dist_params.zipf_theta = parse_double(key, value);
+    } else if (key == "hot_key_fraction") {
+      spec.dist_params.hot_key_fraction = parse_double(key, value);
+    } else if (key == "hot_op_fraction") {
+      spec.dist_params.hot_op_fraction = parse_double(key, value);
+    } else if (key == "latest_drift") {
+      spec.dist_params.latest_drift = parse_double(key, value);
+    } else if (key == "read_fraction") {
+      spec.read_fraction = parse_double(key, value);
+    } else if (key == "insert_fraction") {
+      spec.insert_fraction = parse_double(key, value);
+    } else if (key == "record_size") {
+      spec.record_size = parse_record_size(value);
+    } else if (key == "keys") {
+      spec.key_count = parse_u64(key, value);
+    } else if (key == "requests") {
+      spec.request_count = parse_u64(key, value);
+    } else if (key == "seed") {
+      spec.seed = parse_u64(key, value);
+    } else {
+      throw std::invalid_argument("spec line " + std::to_string(line_no) +
+                                  ": unknown key '" + key + "'");
+    }
+  }
+  spec.check();
+  return spec;
+}
+
+WorkloadSpec load_spec_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open spec file: " + path);
+  return parse_spec(in);
+}
+
+std::string format_spec(const WorkloadSpec& spec) {
+  std::ostringstream out;
+  out << "name = " << spec.name << "\n";
+  if (!spec.use_case.empty()) out << "use_case = " << spec.use_case << "\n";
+  out << "distribution = " << to_string(spec.distribution) << "\n";
+  out << "zipf_theta = " << spec.dist_params.zipf_theta << "\n";
+  out << "hot_key_fraction = " << spec.dist_params.hot_key_fraction << "\n";
+  out << "hot_op_fraction = " << spec.dist_params.hot_op_fraction << "\n";
+  out << "latest_drift = " << spec.dist_params.latest_drift << "\n";
+  out << "read_fraction = " << spec.read_fraction << "\n";
+  out << "insert_fraction = " << spec.insert_fraction << "\n";
+  out << "record_size = " << to_string(spec.record_size) << "\n";
+  out << "keys = " << spec.key_count << "\n";
+  out << "requests = " << spec.request_count << "\n";
+  out << "seed = " << spec.seed << "\n";
+  return out.str();
+}
+
+void save_spec_file(const WorkloadSpec& spec, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write spec file: " + path);
+  out << format_spec(spec);
+}
+
+}  // namespace mnemo::workload

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "workload/workload_spec.hpp"
+
+namespace mnemo::workload {
+
+/// Plain-text workload spec files: `key = value` lines with `#` comments,
+/// the format the `mnemo` CLI accepts for custom workloads.
+///
+///   name = my_feed
+///   distribution = latest        # uniform|zipfian|scrambled_zipfian|
+///                                # latest|hotspot|sequential
+///   zipf_theta = 0.99
+///   latest_drift = 0.1
+///   read_fraction = 0.95
+///   record_size = thumbnail      # thumbnail|text_post|photo_caption|
+///                                # preview_mix
+///   keys = 10000
+///   requests = 100000
+///   seed = 42
+///
+/// Unknown keys and malformed values throw std::invalid_argument; omitted
+/// keys keep WorkloadSpec defaults.
+WorkloadSpec parse_spec(std::istream& in);
+WorkloadSpec load_spec_file(const std::string& path);
+
+/// Serialize a spec in the same format (round-trips through parse_spec).
+std::string format_spec(const WorkloadSpec& spec);
+void save_spec_file(const WorkloadSpec& spec, const std::string& path);
+
+/// Name <-> enum helpers shared with the CLI.
+DistributionKind parse_distribution(const std::string& name);
+RecordSizeType parse_record_size(const std::string& name);
+
+}  // namespace mnemo::workload

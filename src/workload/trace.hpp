@@ -1,0 +1,87 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workload/workload_spec.hpp"
+
+namespace mnemo::workload {
+
+/// Operation type of one client request. Table III workloads use reads and
+/// updates; kInsert (YCSB workload-D style) creates a brand-new key and
+/// grows the dataset during the run.
+enum class OpType : std::uint8_t { kRead = 0, kUpdate = 1, kInsert = 2 };
+
+std::string_view to_string(OpType op);
+
+/// One client request.
+struct Request {
+  std::uint32_t key;
+  OpType op;
+};
+
+/// A materialized workload: the exact key/request-type sequence plus the
+/// per-key record sizes. This is precisely the "workload descriptor" Mnemo
+/// takes as input (Section IV): key access distribution and request type
+/// sequence for a given dataset.
+class Trace {
+ public:
+  Trace() = default;
+  /// `initial_key_count` (default: all keys) is how many keys exist
+  /// before the run; keys [initial_key_count, key_count) are created by
+  /// kInsert requests, each exactly once and in ID order.
+  Trace(std::string name, std::uint64_t key_count,
+        std::vector<Request> requests, std::vector<std::uint64_t> key_sizes,
+        std::uint64_t initial_key_count = ~0ULL);
+
+  /// Generate from a declarative spec with the spec's seed.
+  static Trace generate(const WorkloadSpec& spec);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] std::uint64_t key_count() const noexcept { return key_count_; }
+  /// Keys present before the first request (== key_count() for the
+  /// insert-free Table III workloads).
+  [[nodiscard]] std::uint64_t initial_key_count() const noexcept {
+    return initial_key_count_;
+  }
+  [[nodiscard]] std::uint64_t total_inserts() const {
+    return key_count_ - initial_key_count_;
+  }
+  [[nodiscard]] const std::vector<Request>& requests() const noexcept {
+    return requests_;
+  }
+  [[nodiscard]] const std::vector<std::uint64_t>& key_sizes() const noexcept {
+    return key_sizes_;
+  }
+  [[nodiscard]] std::uint64_t size_of(std::uint64_t key) const;
+
+  /// Total dataset size (sum of all record sizes) — Mnemo's fixed total
+  /// capacity C.
+  [[nodiscard]] std::uint64_t dataset_bytes() const;
+
+  /// Per-key request counts (reads + writes), indexed by key ID.
+  [[nodiscard]] std::vector<std::uint64_t> access_counts() const;
+  [[nodiscard]] std::vector<std::uint64_t> read_counts() const;
+  [[nodiscard]] std::vector<std::uint64_t> write_counts() const;
+
+  [[nodiscard]] std::uint64_t total_reads() const;
+  [[nodiscard]] std::uint64_t total_writes() const;
+
+  /// Fraction of requests landing on the hottest `fraction` of keys
+  /// (by access count). A skew metric used in reports.
+  [[nodiscard]] double hot_share(double fraction) const;
+
+  /// Persist as CSV (`key,op` rows after a `# sizes` preamble) and back.
+  void save_csv(const std::string& path) const;
+  static Trace load_csv(const std::string& path);
+
+ private:
+  std::string name_;
+  std::uint64_t key_count_ = 0;
+  std::uint64_t initial_key_count_ = 0;
+  std::vector<Request> requests_;
+  std::vector<std::uint64_t> key_sizes_;
+};
+
+}  // namespace mnemo::workload

@@ -1,0 +1,27 @@
+#include "workload/workload_spec.hpp"
+
+#include <cstdio>
+
+#include "util/assert.hpp"
+
+namespace mnemo::workload {
+
+std::string WorkloadSpec::ratio_label() const {
+  const int reads = static_cast<int>(read_fraction * 100.0 + 0.5);
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%d:%d %s", reads, 100 - reads,
+                read_fraction >= 0.999 ? "readonly"
+                : read_fraction >= 0.5 ? "updateheavy"
+                                       : "writeheavy");
+  return buf;
+}
+
+void WorkloadSpec::check() const {
+  MNEMO_EXPECTS(!name.empty());
+  MNEMO_EXPECTS(read_fraction >= 0.0 && read_fraction <= 1.0);
+  MNEMO_EXPECTS(insert_fraction >= 0.0 && insert_fraction < 1.0);
+  MNEMO_EXPECTS(key_count > 0);
+  MNEMO_EXPECTS(request_count > 0);
+}
+
+}  // namespace mnemo::workload

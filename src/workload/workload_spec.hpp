@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "workload/key_distribution.hpp"
+#include "workload/record_size.hpp"
+
+namespace mnemo::workload {
+
+/// Declarative description of one YCSB-style workload: the key request
+/// distribution, the read:write operation ratio, the record-size type and
+/// the workload scale. One row of the paper's Table III.
+struct WorkloadSpec {
+  std::string name;
+  std::string use_case;  ///< the "Use Case" column of Table III
+  DistributionKind distribution = DistributionKind::kUniform;
+  DistributionParams dist_params{};
+  double read_fraction = 1.0;  ///< 1.0 = readonly, 0.5 = updateheavy
+  /// Fraction of requests that insert brand-new keys (YCSB workload-D
+  /// style, e.g. 0.05 for 95:5 read:insert). Inserted keys extend the
+  /// key space beyond `key_count` initial keys; non-insert requests are
+  /// split read/update by `read_fraction`. 0 = fixed keyspace.
+  double insert_fraction = 0.0;
+  RecordSizeType record_size = RecordSizeType::kThumbnail;
+  std::uint64_t key_count = 10'000;      ///< Table III: 10,000 keys
+  std::uint64_t request_count = 100'000;  ///< Table III: 100,000 requests
+  std::uint64_t seed = 0x6d6e656dULL;
+
+  [[nodiscard]] std::unique_ptr<KeyDistribution> make_key_distribution()
+      const {
+    return make_distribution(distribution, key_count, dist_params);
+  }
+  [[nodiscard]] std::unique_ptr<RecordSizeModel> make_record_sizes() const {
+    return make_size_model(record_size, seed ^ 0x517e);
+  }
+
+  /// "100:0 readonly" / "50:50 updateheavy" style label.
+  [[nodiscard]] std::string ratio_label() const;
+
+  /// Validate ranges; aborts (contract violation) on nonsense specs.
+  void check() const;
+};
+
+}  // namespace mnemo::workload

@@ -1,0 +1,198 @@
+#include "cli/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/csv.hpp"
+
+namespace mnemo::cli {
+namespace {
+
+struct CliResult {
+  int code;
+  std::string out;
+  std::string err;
+};
+
+CliResult run_cli(std::vector<std::string> args) {
+  std::ostringstream out;
+  std::ostringstream err;
+  const int code = run(args, out, err);
+  return {code, out.str(), err.str()};
+}
+
+TEST(Cli, NoArgsPrintsHelpAndFails) {
+  const CliResult r = run_cli({});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.out.find("usage:"), std::string::npos);
+}
+
+TEST(Cli, HelpSucceeds) {
+  const CliResult r = run_cli({"help"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("profile"), std::string::npos);
+}
+
+TEST(Cli, UnknownCommandFails) {
+  const CliResult r = run_cli({"frobnicate"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("unknown command"), std::string::npos);
+}
+
+TEST(Cli, WorkloadsListsTableIII) {
+  const CliResult r = run_cli({"workloads"});
+  EXPECT_EQ(r.code, 0);
+  for (const char* name : {"trending", "news_feed", "timeline",
+                           "edit_thumbnail", "trending_preview"}) {
+    EXPECT_NE(r.out.find(name), std::string::npos) << name;
+  }
+}
+
+TEST(Cli, TestbedShowsTableI) {
+  const CliResult r = run_cli({"testbed"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("FastMem"), std::string::npos);
+  EXPECT_NE(r.out.find("65.7"), std::string::npos);
+  EXPECT_NE(r.out.find("238.1"), std::string::npos);
+}
+
+TEST(Cli, GenerateProfileDownsampleRoundTrip) {
+  const std::string dir = ::testing::TempDir();
+  const std::string trace_path = dir + "/cli_trace.csv";
+  const std::string advice_path = dir + "/cli_advice.csv";
+  const std::string down_path = dir + "/cli_down.csv";
+
+  // generate
+  CliResult r = run_cli({"generate", "--workload", "trending", "--keys",
+                         "300", "--requests", "3000", "--out", trace_path});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_TRUE(std::filesystem::exists(trace_path));
+
+  // profile the generated trace
+  r = run_cli({"profile", "--trace", trace_path, "--repeats", "1", "--out",
+               advice_path});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("sweet spot"), std::string::npos);
+  const auto rows = util::csv::read_file(advice_path);
+  EXPECT_EQ(rows.size(), 301u);  // header + one row per key
+
+  // downsample it
+  r = run_cli({"downsample", "--trace", trace_path, "--keep", "0.5",
+               "--out", down_path});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("kept"), std::string::npos);
+  EXPECT_TRUE(std::filesystem::exists(down_path));
+
+  std::filesystem::remove(trace_path);
+  std::filesystem::remove(advice_path);
+  std::filesystem::remove(down_path);
+}
+
+TEST(Cli, ProfileTieredAndModelsWork) {
+  const CliResult r = run_cli({"profile", "--workload", "timeline",
+                               "--keys", "300", "--requests", "3000",
+                               "--tiered", "--model", "uniform",
+                               "--repeats", "1"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("tiered ordering"), std::string::npos);
+  EXPECT_NE(r.out.find("uniform_delta"), std::string::npos);
+}
+
+TEST(Cli, ProfileRejectsBadStore) {
+  const CliResult r = run_cli({"profile", "--store", "redis"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("vermilion"), std::string::npos);
+}
+
+TEST(Cli, BadOptionShowsUsage) {
+  const CliResult r = run_cli({"profile", "--bogus"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("unknown option"), std::string::npos);
+  EXPECT_NE(r.err.find("--store"), std::string::npos) << "usage shown";
+}
+
+TEST(Cli, DownsampleValidatesKeep) {
+  const CliResult r = run_cli({"downsample", "--workload", "trending",
+                               "--keys", "100", "--requests", "1000",
+                               "--keep", "1.5"});
+  EXPECT_EQ(r.code, 2);
+}
+
+TEST(Cli, TailsPrintsMixtureEstimates) {
+  const CliResult r = run_cli({"tails", "--workload", "trending", "--keys",
+                               "300", "--requests", "3000", "--repeats",
+                               "1"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("est p99"), std::string::npos);
+}
+
+TEST(Cli, SpecPrintsParsableTemplate) {
+  const CliResult r = run_cli({"spec", "--workload", "news_feed"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("distribution = latest"), std::string::npos);
+  EXPECT_NE(r.out.find("latest_drift = 0.1"), std::string::npos);
+}
+
+TEST(Cli, ProfileFromSpecFile) {
+  const std::string dir = ::testing::TempDir();
+  const std::string spec_path = dir + "/cli_spec.conf";
+  {
+    std::ofstream spec(spec_path);
+    spec << "name = custom_hotspot\n"
+            "distribution = hotspot\n"
+            "record_size = photo_caption\n"
+            "keys = 200\n"
+            "requests = 2000\n";
+  }
+  const CliResult r =
+      run_cli({"profile", "--spec", spec_path, "--repeats", "1"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("custom_hotspot"), std::string::npos);
+  std::filesystem::remove(spec_path);
+}
+
+TEST(Cli, CompareCoversAllStores) {
+  const CliResult r = run_cli({"compare", "--workload", "trending",
+                               "--keys", "200", "--requests", "2000",
+                               "--repeats", "1"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("vermilion"), std::string::npos);
+  EXPECT_NE(r.out.find("cachet"), std::string::npos);
+  EXPECT_NE(r.out.find("dynastore"), std::string::npos);
+}
+
+TEST(Cli, InspectCharacterizesTheWorkload) {
+  const CliResult r = run_cli({"inspect", "--workload", "trending",
+                               "--keys", "300", "--requests", "3000"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("hot-20% share"), std::string::npos);
+  EXPECT_NE(r.out.find("reuse distance p50"), std::string::npos);
+  EXPECT_NE(r.out.find("predicted LLC hit rate"), std::string::npos);
+}
+
+TEST(Cli, MigrateComparesStrategies) {
+  const CliResult r = run_cli({"migrate", "--workload", "news_feed",
+                               "--keys", "200", "--requests", "4000",
+                               "--epoch", "500", "--background"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("static oracle"), std::string::npos);
+  EXPECT_NE(r.out.find("dynamic (predictive)"), std::string::npos);
+}
+
+TEST(Cli, MigrateValidatesBudget) {
+  const CliResult r = run_cli({"migrate", "--budget", "2.0"});
+  EXPECT_EQ(r.code, 2);
+}
+
+TEST(Cli, PlanCoversTheSuite) {
+  const CliResult r = run_cli({"plan", "--repeats", "1"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("trending"), std::string::npos);
+  EXPECT_NE(r.out.find("news_feed"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mnemo::cli

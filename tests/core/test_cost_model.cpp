@@ -1,0 +1,61 @@
+#include "core/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mnemo::core {
+namespace {
+
+TEST(CostModel, TableIIEndpoints) {
+  const CostModel model(0.2);
+  // Best case: all C bytes in FastMem -> no reduction (factor 1.0).
+  EXPECT_DOUBLE_EQ(model.reduction(1000, 1000), 1.0);
+  // Worst case: 0 bytes in FastMem -> factor p.
+  EXPECT_DOUBLE_EQ(model.reduction(0, 1000), 0.2);
+  EXPECT_DOUBLE_EQ(model.floor(), 0.2);
+  EXPECT_DOUBLE_EQ(CostModel::ceiling(), 1.0);
+}
+
+TEST(CostModel, LinearInFastBytes) {
+  const CostModel model(0.2);
+  // R = (F + (C-F)p)/C: half the data in FastMem with p=0.2 -> 0.6.
+  EXPECT_DOUBLE_EQ(model.reduction(500, 1000), 0.6);
+  EXPECT_DOUBLE_EQ(model.reduction(250, 1000), 0.4);
+  EXPECT_DOUBLE_EQ(model.reduction(750, 1000), 0.8);
+}
+
+TEST(CostModel, PriceFactorShiftsTheFloor) {
+  const CostModel cheap(0.1);
+  const CostModel pricey(0.5);
+  EXPECT_DOUBLE_EQ(cheap.reduction(0, 100), 0.1);
+  EXPECT_DOUBLE_EQ(pricey.reduction(0, 100), 0.5);
+  EXPECT_LT(cheap.reduction(50, 100), pricey.reduction(50, 100));
+}
+
+TEST(CostModel, InverseRoundTrips) {
+  const CostModel model(0.2);
+  for (const std::uint64_t fast : {0ULL, 100ULL, 567ULL, 1000ULL}) {
+    const double r = model.reduction(fast, 1000);
+    EXPECT_EQ(model.fast_bytes_for(r, 1000), fast);
+  }
+}
+
+TEST(CostModel, MonotoneNondecreasing) {
+  const CostModel model(0.2);
+  double prev = 0.0;
+  for (std::uint64_t f = 0; f <= 1000; f += 50) {
+    const double r = model.reduction(f, 1000);
+    EXPECT_GE(r, prev);
+    prev = r;
+  }
+}
+
+TEST(CostModel, PaperDefaultFactor) {
+  const CostModel model;
+  EXPECT_DOUBLE_EQ(model.price_factor(), 0.2);
+  // The paper's trending example: FastMem sized to the hot 20% of a
+  // uniform-sized dataset costs 36% of FastMem-only.
+  EXPECT_NEAR(model.reduction(200, 1000), 0.36, 1e-12);
+}
+
+}  // namespace
+}  // namespace mnemo::core

@@ -1,0 +1,193 @@
+#include "core/estimate_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace mnemo::core {
+namespace {
+
+/// Synthetic baselines consistent with a pattern: runtime is exactly
+/// requests x avg times, so the model's bounds are exact.
+struct Fixture {
+  AccessPattern pattern;
+  PerfBaselines baselines;
+  std::vector<std::uint64_t> order;
+
+  explicit Fixture(std::size_t keys = 10, std::uint64_t reads_per_key = 100) {
+    pattern.reads.assign(keys, reads_per_key);
+    pattern.writes.assign(keys, 0);
+    pattern.sizes.assign(keys, 1000);
+    pattern.touch_order.resize(keys);
+    std::iota(pattern.touch_order.begin(), pattern.touch_order.end(), 0);
+    order = pattern.touch_order;
+
+    const auto requests = static_cast<double>(keys * reads_per_key);
+    baselines.fast.requests = keys * reads_per_key;
+    baselines.fast.reads = keys * reads_per_key;
+    baselines.fast.avg_read_ns = 1000.0;
+    baselines.fast.runtime_ns = requests * 1000.0;
+    baselines.fast.throughput_ops = requests / (baselines.fast.runtime_ns / 1e9);
+    baselines.slow = baselines.fast;
+    baselines.slow.avg_read_ns = 3000.0;
+    baselines.slow.runtime_ns = requests * 3000.0;
+    baselines.slow.throughput_ops = requests / (baselines.slow.runtime_ns / 1e9);
+  }
+};
+
+TEST(EstimateEngine, CurveHasOneRowPerPrefix) {
+  const Fixture f;
+  const EstimateEngine engine;
+  const auto curve = engine.estimate(f.pattern, f.order, f.baselines);
+  EXPECT_EQ(curve.points.size(), f.pattern.key_count() + 1);
+}
+
+TEST(EstimateEngine, EndpointsMatchBaselines) {
+  const Fixture f;
+  const EstimateEngine engine;
+  const auto curve = engine.estimate(f.pattern, f.order, f.baselines);
+  EXPECT_NEAR(curve.points.front().est_runtime_ns,
+              f.baselines.slow.runtime_ns, 1e-6);
+  EXPECT_NEAR(curve.points.back().est_runtime_ns,
+              f.baselines.fast.runtime_ns, 1e-6);
+  EXPECT_DOUBLE_EQ(curve.points.front().cost_factor, 0.2);
+  EXPECT_DOUBLE_EQ(curve.points.back().cost_factor, 1.0);
+}
+
+TEST(EstimateEngine, UniformPatternGivesLinearRuntime) {
+  const Fixture f;
+  const EstimateEngine engine;
+  const auto curve = engine.estimate(f.pattern, f.order, f.baselines);
+  // Equal per-key refunds: runtime decreases by the same step per row.
+  const double step = curve.points[0].est_runtime_ns -
+                      curve.points[1].est_runtime_ns;
+  for (std::size_t i = 1; i < curve.points.size(); ++i) {
+    EXPECT_NEAR(curve.points[i - 1].est_runtime_ns -
+                    curve.points[i].est_runtime_ns,
+                step, 1e-6);
+  }
+}
+
+TEST(EstimateEngine, ThroughputMonotoneForReadOnlyOrdering) {
+  Fixture f;
+  // Skewed reads, ordered hottest-first: throughput should be concave
+  // nondecreasing.
+  for (std::size_t k = 0; k < f.pattern.reads.size(); ++k) {
+    f.pattern.reads[k] = 1000 / (k + 1);
+  }
+  const auto requests = std::accumulate(f.pattern.reads.begin(),
+                                        f.pattern.reads.end(), 0ULL);
+  f.baselines.fast.requests = requests;
+  f.baselines.fast.runtime_ns = static_cast<double>(requests) * 1000.0;
+  f.baselines.slow.requests = requests;
+  f.baselines.slow.runtime_ns = static_cast<double>(requests) * 3000.0;
+  const EstimateEngine engine;
+  const auto curve = engine.estimate(f.pattern, f.order, f.baselines);
+  for (std::size_t i = 1; i < curve.points.size(); ++i) {
+    EXPECT_GE(curve.points[i].est_throughput_ops,
+              curve.points[i - 1].est_throughput_ops - 1e-9);
+  }
+}
+
+TEST(EstimateEngine, WriteDeltaAppliedSeparately) {
+  Fixture f(2, 10);
+  f.pattern.writes = {10, 0};  // key0 also gets writes
+  f.baselines.slow.avg_write_ns = 2000.0;
+  f.baselines.fast.avg_write_ns = 1500.0;
+  const auto requests = 20.0 + 10.0;
+  f.baselines.slow.requests = 30;
+  f.baselines.fast.requests = 30;
+  f.baselines.slow.runtime_ns = 20.0 * 3000.0 + 10.0 * 2000.0;
+  f.baselines.fast.runtime_ns = 20.0 * 1000.0 + 10.0 * 1500.0;
+  (void)requests;
+  const EstimateEngine engine;
+  const auto curve = engine.estimate(f.pattern, f.order, f.baselines);
+  // Moving key0 refunds 10 reads * 2000 + 10 writes * 500.
+  EXPECT_NEAR(curve.points[0].est_runtime_ns - curve.points[1].est_runtime_ns,
+              10.0 * 2000.0 + 10.0 * 500.0, 1e-6);
+  // Moving key1 refunds only its 10 reads.
+  EXPECT_NEAR(curve.points[1].est_runtime_ns - curve.points[2].est_runtime_ns,
+              10.0 * 2000.0, 1e-6);
+}
+
+TEST(EstimateEngine, CostFactorsFollowBytesNotKeyCounts) {
+  Fixture f(3, 10);
+  f.pattern.sizes = {8000, 1000, 1000};
+  f.baselines.slow.requests = 30;
+  f.baselines.fast.requests = 30;
+  f.baselines.slow.runtime_ns = 30.0 * 3000.0;
+  f.baselines.fast.runtime_ns = 30.0 * 1000.0;
+  const EstimateEngine engine(CostModel(0.2));
+  const auto curve = engine.estimate(f.pattern, f.order, f.baselines);
+  // After key0 (8000 of 10000 bytes): R = (0.8 + 0.2*0.2) = 0.84.
+  EXPECT_NEAR(curve.points[1].cost_factor, 0.84, 1e-12);
+  EXPECT_EQ(curve.points[1].fast_bytes, 8000u);
+}
+
+TEST(EstimateCurve, AtBudgetSelectsLargestAffordablePrefix) {
+  const Fixture f;
+  const EstimateEngine engine;
+  const auto curve = engine.estimate(f.pattern, f.order, f.baselines);
+  EXPECT_EQ(curve.at_budget(0).fast_keys, 0u);
+  EXPECT_EQ(curve.at_budget(999).fast_keys, 0u);
+  EXPECT_EQ(curve.at_budget(1000).fast_keys, 1u);
+  EXPECT_EQ(curve.at_budget(5500).fast_keys, 5u);
+  EXPECT_EQ(curve.at_budget(1 << 30).fast_keys, 10u);
+  EXPECT_GT(curve.throughput_at(1 << 30), curve.throughput_at(0));
+}
+
+TEST(EstimateEngine, SizeAwareFallsBackWithoutSizeLines) {
+  // Fixtures leave the service-vs-bytes lines zeroed; size-aware must
+  // degrade to the uniform model rather than produce a flat curve.
+  const Fixture f;
+  const EstimateEngine uniform(CostModel{}, EstimateModel::kUniformDelta);
+  const EstimateEngine aware(CostModel{}, EstimateModel::kSizeAware);
+  const auto cu = uniform.estimate(f.pattern, f.order, f.baselines);
+  const auto ca = aware.estimate(f.pattern, f.order, f.baselines);
+  ASSERT_EQ(cu.points.size(), ca.points.size());
+  for (std::size_t i = 0; i < cu.points.size(); ++i) {
+    EXPECT_NEAR(cu.points[i].est_runtime_ns, ca.points[i].est_runtime_ns,
+                1e-6);
+  }
+}
+
+TEST(EstimateEngine, SizeAwareRefundsScaleWithRecordSize) {
+  Fixture f(2, 10);
+  f.pattern.sizes = {1000, 9000};
+  // Service = 100 + 0.1*bytes on SlowMem, 100 + 0.01*bytes on FastMem.
+  f.baselines.slow.read_vs_bytes = {100.0, 0.1};
+  f.baselines.fast.read_vs_bytes = {100.0, 0.01};
+  // Runtimes consistent with those lines over 10 reads per key.
+  f.baselines.slow.runtime_ns =
+      10.0 * (100.0 + 0.1 * 1000.0) + 10.0 * (100.0 + 0.1 * 9000.0);
+  f.baselines.fast.runtime_ns =
+      10.0 * (100.0 + 0.01 * 1000.0) + 10.0 * (100.0 + 0.01 * 9000.0);
+  f.baselines.slow.requests = 20;
+  f.baselines.fast.requests = 20;
+  const EstimateEngine aware(CostModel{}, EstimateModel::kSizeAware);
+  const auto curve = aware.estimate(f.pattern, f.order, f.baselines);
+  // Moving the 1000-byte key refunds 10 * 0.09 * 1000 = 900 ns; the
+  // 9000-byte key refunds 8100 ns.
+  EXPECT_NEAR(curve.points[0].est_runtime_ns - curve.points[1].est_runtime_ns,
+              900.0, 1e-6);
+  EXPECT_NEAR(curve.points[1].est_runtime_ns - curve.points[2].est_runtime_ns,
+              8100.0, 1e-6);
+  // Endpoints still pinned to the measured baselines.
+  EXPECT_NEAR(curve.points.back().est_runtime_ns,
+              f.baselines.fast.runtime_ns, 1e-6);
+}
+
+TEST(EstimateEngine, ModelNames) {
+  EXPECT_EQ(to_string(EstimateModel::kUniformDelta), "uniform_delta");
+  EXPECT_EQ(to_string(EstimateModel::kSizeAware), "size_aware");
+}
+
+TEST(EstimateError, SignConvention) {
+  // Paper: (r - e)/r * 100 — positive when the estimate undershoots.
+  EXPECT_DOUBLE_EQ(estimate_error_pct(100.0, 90.0), 10.0);
+  EXPECT_DOUBLE_EQ(estimate_error_pct(100.0, 110.0), -10.0);
+  EXPECT_DOUBLE_EQ(estimate_error_pct(50.0, 50.0), 0.0);
+}
+
+}  // namespace
+}  // namespace mnemo::core

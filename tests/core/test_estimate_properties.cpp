@@ -1,0 +1,115 @@
+// Property tests: invariants of the estimate pipeline over randomized
+// workloads — any distribution, any ratio, any record-size type, both
+// estimate models, all store architectures.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/mnemo.hpp"
+#include "util/rng.hpp"
+#include "workload/suite.hpp"
+
+namespace mnemo::core {
+namespace {
+
+workload::WorkloadSpec random_spec(std::uint64_t seed) {
+  util::Rng rng(seed);
+  workload::WorkloadSpec spec;
+  spec.name = "random_" + std::to_string(seed);
+  const workload::DistributionKind kinds[] = {
+      workload::DistributionKind::kUniform,
+      workload::DistributionKind::kZipfian,
+      workload::DistributionKind::kScrambledZipfian,
+      workload::DistributionKind::kLatest,
+      workload::DistributionKind::kHotspot,
+  };
+  spec.distribution = kinds[rng.uniform(0, 4)];
+  spec.dist_params.zipf_theta = 0.5 + 0.45 * rng.next_double();
+  spec.dist_params.hot_key_fraction = 0.05 + 0.4 * rng.next_double();
+  spec.dist_params.hot_op_fraction = 0.5 + 0.45 * rng.next_double();
+  if (spec.distribution == workload::DistributionKind::kLatest &&
+      rng.next_double() < 0.5) {
+    spec.dist_params.latest_drift = 0.05 * rng.next_double();
+  }
+  spec.read_fraction = rng.next_double();
+  const workload::RecordSizeType sizes[] = {
+      workload::RecordSizeType::kThumbnail,
+      workload::RecordSizeType::kTextPost,
+      workload::RecordSizeType::kPhotoCaption,
+      workload::RecordSizeType::kPreviewMix,
+  };
+  spec.record_size = sizes[rng.uniform(0, 3)];
+  spec.key_count = 100 + rng.uniform(0, 400);
+  spec.request_count = 2'000 + rng.uniform(0, 3'000);
+  spec.seed = seed * 31 + 7;
+  return spec;
+}
+
+class EstimateProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EstimateProperties, CurveInvariantsHoldForRandomWorkloads) {
+  const workload::WorkloadSpec spec = random_spec(GetParam());
+  const workload::Trace trace = workload::Trace::generate(spec);
+
+  MnemoConfig cfg;
+  cfg.repeats = 1;
+  cfg.store = static_cast<kvstore::StoreKind>(GetParam() % 3);
+  cfg.ordering = GetParam() % 2 == 0 ? OrderingPolicy::kTouchOrder
+                                     : OrderingPolicy::kTiered;
+  cfg.estimate_model = GetParam() % 4 < 2 ? EstimateModel::kSizeAware
+                                          : EstimateModel::kUniformDelta;
+  const Mnemo mnemo(cfg);
+  const MnemoReport report = mnemo.profile(trace);
+
+  // 1. One row per prefix; costs strictly increasing from floor to 1.
+  ASSERT_EQ(report.curve.points.size(), trace.key_count() + 1);
+  ASSERT_DOUBLE_EQ(report.curve.points.front().cost_factor, 0.2);
+  ASSERT_NEAR(report.curve.points.back().cost_factor, 1.0, 1e-9);
+  for (std::size_t i = 1; i < report.curve.points.size(); ++i) {
+    ASSERT_GT(report.curve.points[i].cost_factor,
+              report.curve.points[i - 1].cost_factor);
+    ASSERT_GE(report.curve.points[i].fast_bytes,
+              report.curve.points[i - 1].fast_bytes);
+  }
+
+  // 2. Endpoints pinned to the measured baselines.
+  ASSERT_NEAR(report.curve.points.front().est_runtime_ns,
+              report.baselines.slow.runtime_ns,
+              report.baselines.slow.runtime_ns * 1e-9);
+  ASSERT_NEAR(report.curve.points.back().est_runtime_ns,
+              report.baselines.fast.runtime_ns,
+              report.baselines.fast.runtime_ns * 1e-3);
+
+  // 3. Throughput estimates are finite and bounded by a generous factor
+  // of the baseline bracket.
+  for (const EstimatePoint& p : report.curve.points) {
+    ASSERT_TRUE(std::isfinite(p.est_throughput_ops));
+    ASSERT_GT(p.est_throughput_ops,
+              report.baselines.slow.throughput_ops * 0.5);
+    ASSERT_LT(p.est_throughput_ops,
+              report.baselines.fast.throughput_ops * 2.0);
+  }
+
+  // 4. The SLO choice, when present, satisfies its own contract.
+  if (report.slo_choice) {
+    ASSERT_LE(report.slo_choice->slowdown_vs_fast,
+              cfg.slo_slowdown + 1e-9);
+    ASSERT_GE(report.slo_choice->cost_factor, 0.2 - 1e-9);
+  }
+
+  // 5. A mid-curve estimate validates within 5% even on adversarial
+  // random workloads (paper-scale sweeps land well under 1%).
+  const std::size_t mid = report.curve.points.size() / 2;
+  const RunMeasurement measured =
+      mnemo.validate(trace, report.order, report.curve.points[mid]);
+  const double err = estimate_error_pct(
+      measured.throughput_ops, report.curve.points[mid].est_throughput_ops);
+  ASSERT_LT(std::fabs(err), 5.0) << spec.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomWorkloads, EstimateProperties,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace mnemo::core

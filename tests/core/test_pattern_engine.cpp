@@ -1,0 +1,85 @@
+#include "core/pattern_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "workload/suite.hpp"
+
+namespace mnemo::core {
+namespace {
+
+workload::Trace tiny_trace() {
+  workload::WorkloadSpec spec = workload::paper_workload("timeline");
+  spec.key_count = 300;
+  spec.request_count = 5'000;
+  spec.record_size = workload::RecordSizeType::kPhotoCaption;
+  return workload::Trace::generate(spec);
+}
+
+TEST(PatternEngine, CountsMatchTrace) {
+  const auto trace = tiny_trace();
+  const AccessPattern p = PatternEngine::analyze(trace);
+  EXPECT_EQ(p.key_count(), trace.key_count());
+  EXPECT_EQ(p.reads, trace.read_counts());
+  EXPECT_EQ(p.writes, trace.write_counts());
+  EXPECT_EQ(p.sizes, trace.key_sizes());
+  EXPECT_EQ(p.total_bytes(), trace.dataset_bytes());
+}
+
+TEST(PatternEngine, AccessesSumsReadsAndWrites) {
+  workload::WorkloadSpec spec = workload::paper_workload("edit_thumbnail");
+  spec.key_count = 100;
+  spec.request_count = 2'000;
+  spec.record_size = workload::RecordSizeType::kPhotoCaption;
+  const auto trace = workload::Trace::generate(spec);
+  const AccessPattern p = PatternEngine::analyze(trace);
+  std::uint64_t total = 0;
+  for (std::uint64_t k = 0; k < p.key_count(); ++k) total += p.accesses(k);
+  EXPECT_EQ(total, trace.requests().size());
+}
+
+TEST(PatternEngine, TouchOrderIsAPermutation) {
+  const auto trace = tiny_trace();
+  const AccessPattern p = PatternEngine::analyze(trace);
+  EXPECT_EQ(p.touch_order.size(), trace.key_count());
+  std::set<std::uint64_t> unique(p.touch_order.begin(), p.touch_order.end());
+  EXPECT_EQ(unique.size(), trace.key_count());
+}
+
+TEST(PatternEngine, TouchOrderMatchesFirstAppearance) {
+  const auto trace = tiny_trace();
+  const AccessPattern p = PatternEngine::analyze(trace);
+  // Recompute first-touch positions and verify order agrees for keys
+  // actually touched.
+  std::vector<std::int64_t> first(trace.key_count(), -1);
+  std::int64_t stamp = 0;
+  for (const auto& r : trace.requests()) {
+    if (first[r.key] < 0) first[r.key] = stamp++;
+  }
+  std::int64_t prev = -1;
+  for (const std::uint64_t key : p.touch_order) {
+    if (first[key] < 0) break;  // untouched tail begins
+    EXPECT_GT(first[key], prev);
+    prev = first[key];
+  }
+}
+
+TEST(PatternEngine, UntouchedKeysAppendedInIdOrder) {
+  // Hand-built trace touching only keys 5 and 2.
+  std::vector<workload::Request> reqs = {
+      {5, workload::OpType::kRead}, {2, workload::OpType::kRead},
+      {5, workload::OpType::kRead}};
+  const workload::Trace trace("manual", 6, std::move(reqs),
+                              std::vector<std::uint64_t>(6, 100));
+  const AccessPattern p = PatternEngine::analyze(trace);
+  const std::vector<std::uint64_t> expected = {5, 2, 0, 1, 3, 4};
+  EXPECT_EQ(p.touch_order, expected);
+  EXPECT_EQ(p.reads[5], 2u);
+  EXPECT_EQ(p.accesses(2), 1u);
+  EXPECT_EQ(p.accesses(0), 0u);
+}
+
+}  // namespace
+}  // namespace mnemo::core

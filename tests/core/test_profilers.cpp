@@ -1,0 +1,108 @@
+#include "core/profilers.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "workload/suite.hpp"
+
+namespace mnemo::core {
+namespace {
+
+workload::Trace small_trace() {
+  workload::WorkloadSpec spec = workload::paper_workload("trending");
+  spec.key_count = 300;
+  spec.request_count = 3'000;
+  return workload::Trace::generate(spec);
+}
+
+SensitivityEngine quick_engine() {
+  SensitivityConfig cfg;
+  cfg.repeats = 1;
+  return SensitivityEngine(cfg);
+}
+
+void expect_valid_output(const ProfilerOutput& out, std::size_t keys) {
+  EXPECT_FALSE(out.strategy.empty());
+  EXPECT_EQ(out.order.size(), keys);
+  std::set<std::uint64_t> unique(out.order.begin(), out.order.end());
+  EXPECT_EQ(unique.size(), keys) << "ordering must be a permutation";
+  EXPECT_GE(out.costs.input_prep_s, 0.0);
+  EXPECT_GT(out.costs.baselines_s, 0.0);
+  EXPECT_GE(out.costs.tiering_s, 0.0);
+  EXPECT_GT(out.baselines.slow.runtime_ns, 0.0);
+  EXPECT_GT(out.baselines.fast.runtime_ns, 0.0);
+}
+
+TEST(Profilers, MnemoTOutputIsValid) {
+  const auto trace = small_trace();
+  const auto engine = quick_engine();
+  const ProfilerOutput out = run_mnemot_profiler(trace, engine);
+  expect_valid_output(out, trace.key_count());
+  EXPECT_FALSE(out.fast_baseline_inferred);
+}
+
+TEST(Profilers, InstrumentedOutputIsValid) {
+  const auto trace = small_trace();
+  const auto engine = quick_engine();
+  const ProfilerOutput out = run_instrumented_profiler(trace, engine);
+  expect_valid_output(out, trace.key_count());
+}
+
+TEST(Profilers, MlBaselineOutputIsValid) {
+  const auto trace = small_trace();
+  const auto engine = quick_engine();
+  const ProfilerOutput out = run_ml_baseline_profiler(trace, engine);
+  expect_valid_output(out, trace.key_count());
+  EXPECT_TRUE(out.fast_baseline_inferred);
+}
+
+TEST(Profilers, MnemoTTieringIsFasterThanInstrumentation) {
+  const auto trace = small_trace();
+  const auto engine = quick_engine();
+  const auto mnemot = run_mnemot_profiler(trace, engine);
+  const auto instr = run_instrumented_profiler(trace, engine);
+  // The per-access event stream has to cost more than a descriptor sort.
+  EXPECT_LT(mnemot.costs.tiering_s, instr.costs.tiering_s);
+}
+
+TEST(Profilers, MnemoTAndInstrumentedAgreeOnHotKeys) {
+  // Both compute accesses/size weights — MnemoT from the descriptor, the
+  // instrumented profiler from its event log. On a hotspot workload the
+  // two top-quartile sets overlap almost completely.
+  const auto trace = small_trace();
+  const auto engine = quick_engine();
+  const auto a = run_mnemot_profiler(trace, engine);
+  const auto b = run_instrumented_profiler(trace, engine);
+  const std::size_t quarter = trace.key_count() / 4;
+  const std::set<std::uint64_t> top_a(a.order.begin(),
+                                      a.order.begin() + quarter);
+  std::size_t overlap = 0;
+  for (std::size_t i = 0; i < quarter; ++i) {
+    if (top_a.contains(b.order[i])) ++overlap;
+  }
+  EXPECT_GT(static_cast<double>(overlap) / static_cast<double>(quarter), 0.8);
+}
+
+TEST(Profilers, MlInferenceErrorIsBounded) {
+  const auto trace = small_trace();
+  const auto engine = quick_engine();
+  const auto out = run_ml_baseline_profiler(trace, engine);
+  // The Tahoe-style model is approximate, but trained on the same suite
+  // family it should land within 25%.
+  EXPECT_LT(std::fabs(out.inferred_fast_runtime_error_pct), 25.0);
+  EXPECT_GT(out.baselines.fast.throughput_ops,
+            out.baselines.slow.throughput_ops * 0.8);
+}
+
+TEST(Profilers, CostsTotalSumsStages) {
+  ProfilingCosts costs;
+  costs.input_prep_s = 0.5;
+  costs.baselines_s = 1.0;
+  costs.tiering_s = 0.25;
+  EXPECT_DOUBLE_EQ(costs.total_s(), 1.75);
+}
+
+}  // namespace
+}  // namespace mnemo::core

@@ -1,0 +1,84 @@
+#include "core/slo_advisor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mnemo::core {
+namespace {
+
+/// A hand-built curve: throughput rises from 500 to 1000 ops/s while cost
+/// rises from 0.2 to 1.0, both linearly over 11 points.
+struct Fixture {
+  EstimateCurve curve;
+  PerfBaselines baselines;
+
+  Fixture() {
+    baselines.fast.throughput_ops = 1000.0;
+    baselines.slow.throughput_ops = 500.0;
+    for (int i = 0; i <= 10; ++i) {
+      EstimatePoint p;
+      p.fast_keys = static_cast<std::size_t>(i);
+      p.fast_bytes = static_cast<std::uint64_t>(i) * 100;
+      p.est_throughput_ops = 500.0 + 50.0 * i;
+      p.cost_factor = 0.2 + 0.08 * i;
+      curve.points.push_back(p);
+    }
+  }
+};
+
+TEST(SloAdvisor, PicksCheapestPointMeetingSlo) {
+  const Fixture f;
+  const SloAdvisor advisor(0.10);  // floor: 900 ops/s
+  const auto choice = advisor.choose(f.curve, f.baselines);
+  ASSERT_TRUE(choice.has_value());
+  // First point with >= 900 ops/s is i=8 (900 exactly).
+  EXPECT_EQ(choice->point.fast_keys, 8u);
+  EXPECT_NEAR(choice->cost_factor, 0.2 + 0.08 * 8, 1e-12);
+  EXPECT_NEAR(choice->slowdown_vs_fast, 0.10, 1e-12);
+  EXPECT_NEAR(choice->savings_vs_fast, 1.0 - choice->cost_factor, 1e-12);
+}
+
+TEST(SloAdvisor, ZeroToleranceRequiresFullThroughput) {
+  const Fixture f;
+  const SloAdvisor advisor(0.0);
+  const auto choice = advisor.choose(f.curve, f.baselines);
+  ASSERT_TRUE(choice.has_value());
+  EXPECT_EQ(choice->point.fast_keys, 10u);
+  EXPECT_DOUBLE_EQ(choice->cost_factor, 1.0);
+}
+
+TEST(SloAdvisor, LooseToleranceReachesTheFloor) {
+  const Fixture f;
+  const SloAdvisor advisor(0.55);  // floor 450 < slow-only 500
+  const auto choice = advisor.choose(f.curve, f.baselines);
+  ASSERT_TRUE(choice.has_value());
+  EXPECT_EQ(choice->point.fast_keys, 0u);
+  EXPECT_DOUBLE_EQ(choice->cost_factor, 0.2);
+  EXPECT_NEAR(choice->savings_vs_fast, 0.8, 1e-12);
+}
+
+TEST(SloAdvisor, UnreachableSloReturnsNullopt) {
+  Fixture f;
+  // Demand more than any point offers.
+  f.baselines.fast.throughput_ops = 5000.0;
+  const SloAdvisor advisor(0.01);
+  EXPECT_FALSE(advisor.choose(f.curve, f.baselines).has_value());
+}
+
+TEST(SloAdvisor, NonMonotoneCurveStillFindsGlobalCheapest)  {
+  // A curve where a later (more expensive) point dips below the SLO but an
+  // earlier cheap point satisfies it: the advisor scans all points.
+  Fixture f;
+  f.curve.points[9].est_throughput_ops = 400.0;  // dip
+  const SloAdvisor advisor(0.10);
+  const auto choice = advisor.choose(f.curve, f.baselines);
+  ASSERT_TRUE(choice.has_value());
+  EXPECT_EQ(choice->point.fast_keys, 8u);
+}
+
+TEST(SloAdvisor, DefaultIsPaperTenPercent) {
+  const SloAdvisor advisor;
+  EXPECT_DOUBLE_EQ(advisor.permissible_slowdown(), 0.10);
+}
+
+}  // namespace
+}  // namespace mnemo::core

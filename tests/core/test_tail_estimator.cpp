@@ -1,0 +1,87 @@
+#include "core/tail_estimator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/mnemo.hpp"
+#include "workload/suite.hpp"
+
+namespace mnemo::core {
+namespace {
+
+workload::Trace small_trace() {
+  workload::WorkloadSpec spec = workload::paper_workload("trending");
+  spec.key_count = 500;
+  spec.request_count = 10'000;
+  return workload::Trace::generate(spec);
+}
+
+TEST(TailEstimator, FastShareFollowsAccessMass) {
+  const auto trace = small_trace();
+  const AccessPattern pattern = PatternEngine::analyze(trace);
+  const auto order = pattern.touch_order;
+  EXPECT_DOUBLE_EQ(TailEstimator::fast_share(pattern, order, 0), 0.0);
+  EXPECT_DOUBLE_EQ(
+      TailEstimator::fast_share(pattern, order, order.size()), 1.0);
+  // Hotspot: the first-touched ~20% of keys carry ~80% of requests.
+  const double share =
+      TailEstimator::fast_share(pattern, order, order.size() / 4);
+  EXPECT_GT(share, 0.5);
+}
+
+TEST(TailEstimator, EndpointsMatchBaselineTails) {
+  const auto trace = small_trace();
+  MnemoConfig cfg;
+  cfg.repeats = 1;
+  const Mnemo mnemo(cfg);
+  const MnemoReport rep = mnemo.profile(trace);
+  const AccessPattern& pattern = rep.pattern;
+
+  const TailEstimate all_slow =
+      TailEstimator::estimate(pattern, rep.order, 0, rep.baselines);
+  const TailEstimate all_fast = TailEstimator::estimate(
+      pattern, rep.order, rep.order.size(), rep.baselines);
+  EXPECT_NEAR(all_slow.p99_ns / rep.baselines.slow.p99_ns, 1.0, 0.15);
+  EXPECT_NEAR(all_fast.p99_ns / rep.baselines.fast.p99_ns, 1.0, 0.15);
+  EXPECT_DOUBLE_EQ(all_slow.fast_request_share, 0.0);
+  EXPECT_DOUBLE_EQ(all_fast.fast_request_share, 1.0);
+}
+
+TEST(TailEstimator, MidCurveEstimateApproximatesMeasurement) {
+  const auto trace = small_trace();
+  MnemoConfig cfg;
+  cfg.repeats = 1;
+  const Mnemo mnemo(cfg);
+  const MnemoReport rep = mnemo.profile(trace);
+
+  const std::size_t half = rep.order.size() / 2;
+  const TailEstimate est =
+      TailEstimator::estimate(rep.pattern, rep.order, half, rep.baselines);
+  const RunMeasurement meas =
+      mnemo.validate(trace, rep.order, rep.curve.points[half]);
+  // Tails are the hard part — the extension aims at the right decade and
+  // ballpark, not the sub-percent accuracy of the throughput model.
+  EXPECT_NEAR(est.p95_ns / meas.p95_ns, 1.0, 0.35);
+  EXPECT_NEAR(est.p99_ns / meas.p99_ns, 1.0, 0.35);
+}
+
+TEST(TailEstimator, TailsImproveMonotonicallyWithFastShare) {
+  const auto trace = small_trace();
+  MnemoConfig cfg;
+  cfg.repeats = 1;
+  const Mnemo mnemo(cfg);
+  const MnemoReport rep = mnemo.profile(trace);
+  double prev = 1e18;
+  for (const std::size_t keys :
+       {std::size_t{0}, rep.order.size() / 4, rep.order.size() / 2,
+        rep.order.size()}) {
+    const TailEstimate est =
+        TailEstimator::estimate(rep.pattern, rep.order, keys, rep.baselines);
+    EXPECT_LE(est.p95_ns, prev * 1.001);
+    prev = est.p95_ns;
+  }
+}
+
+}  // namespace
+}  // namespace mnemo::core

@@ -1,0 +1,95 @@
+#include "hybridmem/llc_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mnemo::hybridmem {
+namespace {
+
+LlcModel make_llc(std::uint64_t capacity = 1000) {
+  return LlcModel(capacity, 12.0, 100.0, /*bypass_fraction=*/0.5);
+}
+
+TEST(Llc, FirstAccessMissesSecondHits) {
+  LlcModel llc = make_llc();
+  EXPECT_FALSE(llc.access(1, 100));
+  EXPECT_TRUE(llc.access(1, 100));
+  EXPECT_EQ(llc.hits(), 1u);
+  EXPECT_EQ(llc.misses(), 1u);
+  EXPECT_DOUBLE_EQ(llc.hit_rate(), 0.5);
+}
+
+TEST(Llc, EvictsLeastRecentlyUsed) {
+  LlcModel llc = make_llc(1000);
+  EXPECT_FALSE(llc.access(1, 400));
+  EXPECT_FALSE(llc.access(2, 400));
+  EXPECT_TRUE(llc.access(1, 400));  // 1 is now MRU
+  EXPECT_FALSE(llc.access(3, 400));  // evicts 2 (LRU), not 1
+  EXPECT_TRUE(llc.access(1, 400));
+  EXPECT_FALSE(llc.access(2, 400));  // 2 was evicted
+}
+
+TEST(Llc, LargeObjectsBypass) {
+  LlcModel llc = make_llc(1000);  // bypass threshold = 500
+  EXPECT_FALSE(llc.access(1, 501));
+  EXPECT_FALSE(llc.access(1, 501)) << "bypassing objects never install";
+  EXPECT_EQ(llc.used(), 0u);
+  // At the threshold the object still caches.
+  EXPECT_FALSE(llc.access(2, 500));
+  EXPECT_TRUE(llc.access(2, 500));
+}
+
+TEST(Llc, ResizeOnHitUpdatesAccounting) {
+  LlcModel llc = make_llc(1000);
+  llc.access(1, 100);
+  EXPECT_EQ(llc.used(), 100u);
+  EXPECT_TRUE(llc.access(1, 300));  // same object, bigger now
+  EXPECT_EQ(llc.used(), 300u);
+}
+
+TEST(Llc, InvalidateRemovesObject) {
+  LlcModel llc = make_llc();
+  llc.access(1, 100);
+  llc.invalidate(1);
+  EXPECT_EQ(llc.used(), 0u);
+  EXPECT_FALSE(llc.access(1, 100));
+  llc.invalidate(999);  // unknown id is a no-op
+}
+
+TEST(Llc, ClearForgetsEverything) {
+  LlcModel llc = make_llc();
+  llc.access(1, 100);
+  llc.access(2, 100);
+  llc.clear();
+  EXPECT_EQ(llc.used(), 0u);
+  EXPECT_FALSE(llc.access(1, 100));
+  EXPECT_FALSE(llc.access(2, 100));
+}
+
+TEST(Llc, HitCostScalesWithBytes) {
+  const LlcModel llc = make_llc();
+  EXPECT_DOUBLE_EQ(llc.hit_ns(0), 12.0);
+  EXPECT_DOUBLE_EQ(llc.hit_ns(1000), 12.0 + 10.0);
+}
+
+TEST(Llc, UsedNeverExceedsCapacity) {
+  LlcModel llc = make_llc(1000);
+  for (std::uint64_t id = 0; id < 100; ++id) {
+    llc.access(id, 37 * (id % 7 + 1));
+    ASSERT_LE(llc.used(), llc.capacity());
+  }
+}
+
+TEST(Llc, WorkingSetLargerThanCacheThrashes) {
+  LlcModel llc = make_llc(1000);
+  // Cycle over 5 objects of 400 bytes: only 2 fit, LRU order guarantees
+  // every access misses.
+  for (int round = 0; round < 10; ++round) {
+    for (std::uint64_t id = 0; id < 5; ++id) {
+      ASSERT_FALSE(llc.access(id, 400));
+    }
+  }
+  EXPECT_EQ(llc.hits(), 0u);
+}
+
+}  // namespace
+}  // namespace mnemo::hybridmem

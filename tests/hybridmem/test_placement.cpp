@@ -1,0 +1,82 @@
+#include "hybridmem/placement.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace mnemo::hybridmem {
+namespace {
+
+TEST(Placement, UniformConstruction) {
+  const Placement all_fast(5, NodeId::kFast);
+  EXPECT_EQ(all_fast.fast_keys(), 5u);
+  EXPECT_EQ(all_fast.slow_keys(), 0u);
+  const Placement all_slow(5, NodeId::kSlow);
+  EXPECT_EQ(all_slow.fast_keys(), 0u);
+  for (std::uint64_t k = 0; k < 5; ++k) {
+    EXPECT_EQ(all_fast.node_of(k), NodeId::kFast);
+    EXPECT_EQ(all_slow.node_of(k), NodeId::kSlow);
+  }
+}
+
+TEST(Placement, FromOrderPrefix) {
+  const std::vector<std::uint64_t> order = {3, 1, 4, 0, 2};
+  const Placement p = Placement::from_order(order, 2);
+  EXPECT_EQ(p.node_of(3), NodeId::kFast);
+  EXPECT_EQ(p.node_of(1), NodeId::kFast);
+  EXPECT_EQ(p.node_of(4), NodeId::kSlow);
+  EXPECT_EQ(p.node_of(0), NodeId::kSlow);
+  EXPECT_EQ(p.fast_keys(), 2u);
+}
+
+TEST(Placement, FromOrderEdges) {
+  const std::vector<std::uint64_t> order = {0, 1, 2};
+  EXPECT_EQ(Placement::from_order(order, 0).fast_keys(), 0u);
+  EXPECT_EQ(Placement::from_order(order, 3).fast_keys(), 3u);
+}
+
+TEST(Placement, BudgetCutStopsAtFirstOverflow) {
+  const std::vector<std::uint64_t> order = {0, 1, 2, 3};
+  const std::vector<std::uint64_t> sizes = {100, 200, 300, 50};
+  // Budget 350: key0 (100) + key1 (200) fit; key2 (300) would overflow and
+  // the cut is a prefix, so key3 (50) stays slow too.
+  const Placement p = Placement::from_order_with_budget(order, sizes, 350);
+  EXPECT_EQ(p.node_of(0), NodeId::kFast);
+  EXPECT_EQ(p.node_of(1), NodeId::kFast);
+  EXPECT_EQ(p.node_of(2), NodeId::kSlow);
+  EXPECT_EQ(p.node_of(3), NodeId::kSlow);
+  EXPECT_EQ(p.bytes_on(NodeId::kFast, sizes), 300u);
+  EXPECT_EQ(p.bytes_on(NodeId::kSlow, sizes), 350u);
+}
+
+TEST(Placement, BudgetZeroAndInfinite) {
+  const std::vector<std::uint64_t> order = {0, 1};
+  const std::vector<std::uint64_t> sizes = {10, 10};
+  EXPECT_EQ(Placement::from_order_with_budget(order, sizes, 0).fast_keys(),
+            0u);
+  EXPECT_EQ(
+      Placement::from_order_with_budget(order, sizes, 1'000'000).fast_keys(),
+      2u);
+}
+
+TEST(Placement, SetMaintainsCounters) {
+  Placement p(4, NodeId::kSlow);
+  p.set(2, NodeId::kFast);
+  EXPECT_EQ(p.fast_keys(), 1u);
+  p.set(2, NodeId::kFast);  // idempotent
+  EXPECT_EQ(p.fast_keys(), 1u);
+  p.set(2, NodeId::kSlow);
+  EXPECT_EQ(p.fast_keys(), 0u);
+}
+
+TEST(Placement, BytesOnPartitionsDataset) {
+  std::vector<std::uint64_t> order(10);
+  std::iota(order.begin(), order.end(), 0);
+  const std::vector<std::uint64_t> sizes(10, 7);
+  const Placement p = Placement::from_order(order, 4);
+  EXPECT_EQ(p.bytes_on(NodeId::kFast, sizes) + p.bytes_on(NodeId::kSlow, sizes),
+            70u);
+}
+
+}  // namespace
+}  // namespace mnemo::hybridmem

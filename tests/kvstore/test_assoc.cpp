@@ -1,0 +1,105 @@
+#include "kvstore/cachet/assoc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/rng.hpp"
+
+namespace mnemo::kvstore::cachet {
+namespace {
+
+Item make_item(std::uint64_t key, std::uint64_t size = 10) {
+  Item item;
+  item.key = key;
+  item.value.size = size;
+  return item;
+}
+
+TEST(Assoc, InsertFindErase) {
+  AssocTable table;
+  std::uint32_t probes = 0;
+  table.insert(make_item(7, 42), &probes);
+  EXPECT_GE(probes, 1u);
+  EXPECT_EQ(table.size(), 1u);
+
+  auto found = table.find(7);
+  ASSERT_NE(found.item, nullptr);
+  EXPECT_EQ(found.item->value.size, 42u);
+
+  auto erased = table.erase(7);
+  EXPECT_TRUE(erased.erased);
+  EXPECT_EQ(erased.item.key, 7u);
+  EXPECT_EQ(table.size(), 0u);
+  EXPECT_FALSE(table.erase(7).erased);
+}
+
+TEST(Assoc, MissReportsAtLeastOneProbe) {
+  AssocTable table;
+  const auto miss = table.find(99);
+  EXPECT_EQ(miss.item, nullptr);
+  EXPECT_GE(miss.probes, 1u);
+}
+
+TEST(Assoc, ExpandsPastLoadFactorWithoutLosingItems) {
+  AssocTable table;
+  constexpr std::uint64_t kN = 5000;
+  for (std::uint64_t k = 0; k < kN; ++k) {
+    table.insert(make_item(k, k), nullptr);
+  }
+  EXPECT_EQ(table.size(), kN);
+  EXPECT_GT(table.bucket_count(), AssocTable::kInitialBuckets);
+  EXPECT_LT(static_cast<double>(kN),
+            AssocTable::kMaxLoad * static_cast<double>(table.bucket_count()) *
+                2.0);
+  for (std::uint64_t k = 0; k < kN; ++k) {
+    auto f = table.find(k);
+    ASSERT_NE(f.item, nullptr) << "lost key " << k;
+    ASSERT_EQ(f.item->value.size, k);
+  }
+}
+
+TEST(Assoc, ForEachVisitsAll) {
+  AssocTable table;
+  for (std::uint64_t k = 0; k < 100; ++k) {
+    table.insert(make_item(k), nullptr);
+  }
+  std::set<std::uint64_t> seen;
+  table.for_each([&](const Item& item) { seen.insert(item.key); });
+  EXPECT_EQ(seen.size(), 100u);
+}
+
+TEST(Assoc, OverheadTracksBucketArray) {
+  AssocTable table;
+  const auto before = table.overhead_bytes();
+  for (std::uint64_t k = 0; k < 1000; ++k) {
+    table.insert(make_item(k), nullptr);
+  }
+  EXPECT_GT(table.overhead_bytes(), before);
+}
+
+TEST(Assoc, RandomizedChurnAgainstReferenceModel) {
+  AssocTable table;
+  std::set<std::uint64_t> model;
+  util::Rng rng(13);
+  for (int i = 0; i < 30'000; ++i) {
+    const std::uint64_t key = rng.uniform(0, 499);
+    switch (rng.uniform(0, 2)) {
+      case 0:
+        if (!model.contains(key)) {
+          table.insert(make_item(key), nullptr);
+          model.insert(key);
+        }
+        break;
+      case 1:
+        ASSERT_EQ(table.erase(key).erased, model.erase(key) > 0);
+        break;
+      default:
+        ASSERT_EQ(table.find(key).item != nullptr, model.contains(key));
+    }
+    ASSERT_EQ(table.size(), model.size());
+  }
+}
+
+}  // namespace
+}  // namespace mnemo::kvstore::cachet

@@ -1,0 +1,128 @@
+#include "kvstore/vermilion/dict.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/rng.hpp"
+
+namespace mnemo::kvstore::vermilion {
+namespace {
+
+Record rec(std::uint64_t size) {
+  Record r;
+  r.size = size;
+  return r;
+}
+
+TEST(Dict, InsertFindEraseBasics) {
+  Dict dict;
+  EXPECT_EQ(dict.size(), 0u);
+  EXPECT_EQ(dict.find(1).entry, nullptr);
+
+  auto up = dict.upsert(1, rec(100));
+  EXPECT_FALSE(up.existed);
+  EXPECT_EQ(dict.size(), 1u);
+
+  auto found = dict.find(1);
+  ASSERT_NE(found.entry, nullptr);
+  EXPECT_EQ(found.entry->value.size, 100u);
+  EXPECT_GE(found.probes, 1u);
+
+  auto erased = dict.erase(1);
+  EXPECT_TRUE(erased.erased);
+  EXPECT_EQ(dict.size(), 0u);
+  EXPECT_FALSE(dict.erase(1).erased);
+}
+
+TEST(Dict, UpsertOverwritesExisting) {
+  Dict dict;
+  dict.upsert(5, rec(10));
+  auto up = dict.upsert(5, rec(20));
+  EXPECT_TRUE(up.existed);
+  EXPECT_EQ(dict.size(), 1u);
+  EXPECT_EQ(dict.find(5).entry->value.size, 20u);
+}
+
+TEST(Dict, GrowsPastInitialBucketsWithoutLosingKeys) {
+  Dict dict;
+  constexpr std::uint64_t kN = 10'000;
+  for (std::uint64_t k = 0; k < kN; ++k) dict.upsert(k, rec(k));
+  EXPECT_EQ(dict.size(), kN);
+  EXPECT_GT(dict.bucket_count(), Dict::kInitialBuckets);
+  for (std::uint64_t k = 0; k < kN; ++k) {
+    auto f = dict.find(k);
+    ASSERT_NE(f.entry, nullptr) << "lost key " << k;
+    ASSERT_EQ(f.entry->value.size, k);
+  }
+}
+
+TEST(Dict, IncrementalRehashEventuallyCompletes) {
+  Dict dict;
+  for (std::uint64_t k = 0; k < 100; ++k) dict.upsert(k, rec(k));
+  // Rehash migrates a few buckets per op: keep poking until done.
+  int steps = 0;
+  while (dict.rehashing() && steps < 100'000) {
+    dict.find(steps % 100);
+    ++steps;
+  }
+  EXPECT_FALSE(dict.rehashing());
+  for (std::uint64_t k = 0; k < 100; ++k) {
+    ASSERT_NE(dict.find(k).entry, nullptr);
+  }
+}
+
+TEST(Dict, FindDuringRehashSeesBothTables) {
+  Dict dict;
+  // Fill exactly to the rehash trigger then insert one more.
+  for (std::uint64_t k = 0; k <= Dict::kInitialBuckets; ++k) {
+    dict.upsert(k, rec(k));
+  }
+  for (std::uint64_t k = 0; k <= Dict::kInitialBuckets; ++k) {
+    ASSERT_NE(dict.find(k).entry, nullptr);
+  }
+}
+
+TEST(Dict, ForEachVisitsEveryEntryOnce) {
+  Dict dict;
+  constexpr std::uint64_t kN = 500;
+  for (std::uint64_t k = 0; k < kN; ++k) dict.upsert(k, rec(1));
+  std::set<std::uint64_t> seen;
+  dict.for_each([&](const Dict::Entry& e) { seen.insert(e.key); });
+  EXPECT_EQ(seen.size(), kN);
+}
+
+TEST(Dict, OverheadGrowsWithSize) {
+  Dict dict;
+  const auto empty_overhead = dict.overhead_bytes();
+  for (std::uint64_t k = 0; k < 1000; ++k) dict.upsert(k, rec(1));
+  EXPECT_GT(dict.overhead_bytes(), empty_overhead);
+}
+
+TEST(Dict, RandomizedChurnAgainstReferenceModel) {
+  Dict dict;
+  std::set<std::uint64_t> model;
+  util::Rng rng(77);
+  for (int i = 0; i < 50'000; ++i) {
+    const std::uint64_t key = rng.uniform(0, 999);
+    switch (rng.uniform(0, 2)) {
+      case 0:
+        dict.upsert(key, rec(key));
+        model.insert(key);
+        break;
+      case 1: {
+        const bool erased = dict.erase(key).erased;
+        ASSERT_EQ(erased, model.erase(key) > 0);
+        break;
+      }
+      default: {
+        const bool found = dict.find(key).entry != nullptr;
+        ASSERT_EQ(found, model.contains(key));
+      }
+    }
+    ASSERT_EQ(dict.size(), model.size());
+  }
+}
+
+}  // namespace
+}  // namespace mnemo::kvstore::vermilion

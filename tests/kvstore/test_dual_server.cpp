@@ -1,0 +1,115 @@
+#include "kvstore/dual_server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "workload/suite.hpp"
+
+namespace mnemo::kvstore {
+namespace {
+
+using hybridmem::NodeId;
+using hybridmem::Placement;
+
+workload::Trace small_trace(double read_fraction = 1.0) {
+  workload::WorkloadSpec spec;
+  spec.name = "dual";
+  spec.distribution = workload::DistributionKind::kUniform;
+  spec.read_fraction = read_fraction;
+  spec.record_size = workload::RecordSizeType::kPhotoCaption;
+  spec.key_count = 200;
+  spec.request_count = 2'000;
+  spec.seed = 3;
+  return workload::Trace::generate(spec);
+}
+
+StoreConfig quiet_config() {
+  StoreConfig cfg;
+  cfg.deterministic_service = true;
+  return cfg;
+}
+
+class DualServerTest : public ::testing::TestWithParam<StoreKind> {
+ protected:
+  hybridmem::HybridMemory memory_{hybridmem::paper_testbed_with_capacity(
+      64ULL * 1024 * 1024)};
+};
+
+TEST_P(DualServerTest, PopulateSplitsDatasetByPlacement) {
+  DualServer servers(memory_, GetParam(), quiet_config());
+  const auto trace = small_trace();
+  std::vector<std::uint64_t> order(trace.key_count());
+  std::iota(order.begin(), order.end(), 0);
+  const Placement placement = Placement::from_order(order, 50);
+  servers.populate(trace, placement);
+  EXPECT_EQ(servers.fast().record_count(), 50u);
+  EXPECT_EQ(servers.slow().record_count(), 150u);
+  EXPECT_EQ(servers.fast().node(), NodeId::kFast);
+  EXPECT_EQ(servers.slow().node(), NodeId::kSlow);
+}
+
+TEST_P(DualServerTest, ExecuteRoutesByKeyPlacement) {
+  DualServer servers(memory_, GetParam(), quiet_config());
+  const auto trace = small_trace();
+  Placement placement(trace.key_count(), NodeId::kSlow);
+  placement.set(7, NodeId::kFast);
+  servers.populate(trace, placement);
+
+  const auto fast_gets_before = servers.fast().stats().gets;
+  servers.execute(workload::Request{7, workload::OpType::kRead});
+  EXPECT_EQ(servers.fast().stats().gets, fast_gets_before + 1);
+
+  const auto slow_gets_before = servers.slow().stats().gets;
+  servers.execute(workload::Request{8, workload::OpType::kRead});
+  EXPECT_EQ(servers.slow().stats().gets, slow_gets_before + 1);
+}
+
+TEST_P(DualServerTest, UpdatesStayOnAssignedServer) {
+  DualServer servers(memory_, GetParam(), quiet_config());
+  const auto trace = small_trace(0.0);  // all updates
+  Placement placement(trace.key_count(), NodeId::kSlow);
+  servers.populate(trace, placement);
+  for (const auto& req : trace.requests()) {
+    ASSERT_TRUE(servers.execute(req).ok);
+  }
+  EXPECT_EQ(servers.fast().record_count(), 0u);
+  EXPECT_EQ(servers.slow().record_count(), trace.key_count());
+}
+
+TEST_P(DualServerTest, CombinedStatsSumBothInstances) {
+  DualServer servers(memory_, GetParam(), quiet_config());
+  const auto trace = small_trace();
+  std::vector<std::uint64_t> order(trace.key_count());
+  std::iota(order.begin(), order.end(), 0);
+  servers.populate(trace, Placement::from_order(order, 100));
+  for (const auto& req : trace.requests()) servers.execute(req);
+  const StoreStats combined = servers.combined_stats();
+  EXPECT_EQ(combined.gets,
+            servers.fast().stats().gets + servers.slow().stats().gets);
+  EXPECT_EQ(combined.puts,
+            servers.fast().stats().puts + servers.slow().stats().puts);
+  EXPECT_DOUBLE_EQ(
+      combined.busy_ns,
+      servers.fast().stats().busy_ns + servers.slow().stats().busy_ns);
+  EXPECT_EQ(combined.gets, trace.total_reads());
+}
+
+TEST_P(DualServerTest, AllRequestsSucceedAfterPopulate) {
+  DualServer servers(memory_, GetParam(), quiet_config());
+  const auto trace = small_trace(0.5);
+  Placement placement(trace.key_count(), NodeId::kFast);
+  servers.populate(trace, placement);
+  for (const auto& req : trace.requests()) {
+    ASSERT_TRUE(servers.execute(req).ok);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStores, DualServerTest,
+    ::testing::Values(StoreKind::kVermilion, StoreKind::kCachet,
+                      StoreKind::kDynaStore),
+    [](const auto& info) { return std::string(to_string(info.param)); });
+
+}  // namespace
+}  // namespace mnemo::kvstore

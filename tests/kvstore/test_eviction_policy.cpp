@@ -1,0 +1,102 @@
+// Vermilion maxmemory eviction policies (Redis maxmemory-policy analogue).
+
+#include <gtest/gtest.h>
+
+#include "hybridmem/hybrid_memory.hpp"
+#include "kvstore/vermilion/vermilion.hpp"
+#include "util/bytes.hpp"
+
+namespace mnemo::kvstore {
+namespace {
+
+using util::kKiB;
+using util::kMiB;
+
+hybridmem::EmulationProfile tiny_profile() {
+  return hybridmem::paper_testbed_with_capacity(1 * kMiB);
+}
+
+StoreConfig quiet_config() {
+  StoreConfig cfg;
+  cfg.deterministic_service = true;
+  return cfg;
+}
+
+TEST(EvictionPolicy, Names) {
+  EXPECT_EQ(to_string(EvictionPolicy::kNoEviction), "noeviction");
+  EXPECT_EQ(to_string(EvictionPolicy::kAllKeysLru), "allkeys-lru");
+  EXPECT_EQ(to_string(EvictionPolicy::kAllKeysRandom), "allkeys-random");
+}
+
+TEST(EvictionPolicy, NoEvictionRejectsWhenFull) {
+  hybridmem::HybridMemory memory(tiny_profile());
+  Vermilion store(memory, quiet_config(), EvictionPolicy::kNoEviction);
+  std::uint64_t accepted = 0;
+  for (std::uint64_t k = 0; k < 30; ++k) {
+    if (store.put(k, 100 * kKiB).ok) ++accepted;
+  }
+  EXPECT_LT(accepted, 30u);
+  EXPECT_EQ(store.stats().evictions, 0u);
+  EXPECT_EQ(store.record_count(), accepted);
+}
+
+class EvictingPolicy : public ::testing::TestWithParam<EvictionPolicy> {};
+
+TEST_P(EvictingPolicy, WritesAlwaysSucceedByEvicting) {
+  hybridmem::HybridMemory memory(tiny_profile());
+  Vermilion store(memory, quiet_config(), GetParam());
+  for (std::uint64_t k = 0; k < 50; ++k) {
+    ASSERT_TRUE(store.put(k, 100 * kKiB).ok) << "k=" << k;
+  }
+  EXPECT_GT(store.stats().evictions, 0u);
+  EXPECT_LT(store.record_count(), 50u);
+  EXPECT_GE(store.record_count(), 1u);
+  // The most recent write always survives its own insertion.
+  EXPECT_TRUE(store.contains(49));
+}
+
+TEST_P(EvictingPolicy, UpdatesGrowByEvictingOthers) {
+  hybridmem::HybridMemory memory(tiny_profile());
+  Vermilion store(memory, quiet_config(), GetParam());
+  for (std::uint64_t k = 0; k < 9; ++k) {
+    ASSERT_TRUE(store.put(k, 100 * kKiB).ok);
+  }
+  // Grow key 0 to half the node: someone else has to go, not key 0.
+  ASSERT_TRUE(store.put(0, 500 * kKiB).ok);
+  EXPECT_TRUE(store.contains(0));
+  EXPECT_GT(store.stats().evictions, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, EvictingPolicy,
+                         ::testing::Values(EvictionPolicy::kAllKeysLru,
+                                           EvictionPolicy::kAllKeysRandom),
+                         [](const auto& info) {
+                           return std::string(
+                               to_string(info.param) == "allkeys-lru"
+                                   ? "lru"
+                                   : "random");
+                         });
+
+TEST(EvictionPolicy, LruKeepsTheHotKey) {
+  hybridmem::HybridMemory memory(tiny_profile());
+  Vermilion store(memory, quiet_config(), EvictionPolicy::kAllKeysLru);
+  // Fill the node, then hammer key 0 while inserting new keys.
+  for (std::uint64_t k = 0; k < 10; ++k) {
+    ASSERT_TRUE(store.put(k, 90 * kKiB).ok);
+  }
+  for (std::uint64_t round = 0; round < 40; ++round) {
+    ASSERT_TRUE(store.get(0).ok) << "hot key evicted at round " << round;
+    ASSERT_TRUE(store.put(100 + round, 90 * kKiB).ok);
+  }
+  EXPECT_TRUE(store.contains(0))
+      << "sampled LRU must protect the constantly-touched key";
+}
+
+TEST(EvictionPolicy, DefaultIsNoEviction) {
+  hybridmem::HybridMemory memory(tiny_profile());
+  Vermilion store(memory, quiet_config());
+  EXPECT_EQ(store.eviction_policy(), EvictionPolicy::kNoEviction);
+}
+
+}  // namespace
+}  // namespace mnemo::kvstore

@@ -1,0 +1,58 @@
+#include "kvstore/dynastore/journal.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mnemo::kvstore::dynastore {
+namespace {
+
+TEST(Journal, AppendAccountsHeaderPlusPayload) {
+  Journal j;
+  const auto r = j.append(1, 1000);
+  EXPECT_EQ(r.appended_bytes, Journal::kRecordHeader + 1000);
+  EXPECT_EQ(j.bytes(), r.appended_bytes);
+  EXPECT_EQ(j.appends(), 1u);
+  EXPECT_EQ(j.lifetime_bytes(), r.appended_bytes);
+}
+
+TEST(Journal, SegmentsSealAtBoundary) {
+  Journal j;
+  const std::uint64_t payload = Journal::kSegmentBytes / 2;
+  EXPECT_FALSE(j.append(1, payload).sealed_segment);
+  EXPECT_TRUE(j.append(2, payload).sealed_segment);
+  EXPECT_EQ(j.segments(), 2u);  // one sealed + active
+}
+
+TEST(Journal, CheckpointReclaimsSealedSegments) {
+  Journal j;
+  bool checkpointed = false;
+  // Push well past the checkpoint threshold.
+  for (int i = 0; i < 40; ++i) {
+    const auto r = j.append(i, 2 * Journal::kSegmentBytes);
+    if (r.checkpointed) {
+      checkpointed = true;
+      EXPECT_LT(j.bytes(), Journal::kCheckpointAt);
+    }
+  }
+  EXPECT_TRUE(checkpointed);
+  EXPECT_GE(j.checkpoints(), 1u);
+  // Lifetime bytes keep counting regardless of checkpoints.
+  EXPECT_GT(j.lifetime_bytes(), Journal::kCheckpointAt);
+}
+
+TEST(Journal, LiveBytesNeverExceedThresholdPlusOneAppend) {
+  Journal j;
+  for (int i = 0; i < 1000; ++i) {
+    j.append(i, 1 << 20);
+    ASSERT_LE(j.bytes(), Journal::kCheckpointAt + (1 << 20) +
+                             Journal::kRecordHeader);
+  }
+}
+
+TEST(Journal, DeletionMarkersAreHeaderOnly) {
+  Journal j;
+  const auto r = j.append(9, 0);
+  EXPECT_EQ(r.appended_bytes, Journal::kRecordHeader);
+}
+
+}  // namespace
+}  // namespace mnemo::kvstore::dynastore

@@ -1,0 +1,109 @@
+// Tests of the calibrated service-time model: the architectural contrasts
+// the paper observes between Redis, Memcached and DynamoDB must emerge
+// from the profiles (DESIGN.md §3).
+
+#include <gtest/gtest.h>
+
+#include "core/sensitivity_engine.hpp"
+#include "kvstore/factory.hpp"
+#include "workload/suite.hpp"
+
+namespace mnemo::kvstore {
+namespace {
+
+core::PerfBaselines baselines_for(StoreKind kind,
+                                  const workload::Trace& trace) {
+  core::SensitivityConfig cfg;
+  cfg.store = kind;
+  cfg.repeats = 1;
+  core::SensitivityEngine engine(cfg);
+  return engine.baselines(trace);
+}
+
+workload::Trace thumbnail_trace() {
+  workload::WorkloadSpec spec = workload::paper_workload("timeline");
+  spec.key_count = 2'000;
+  spec.request_count = 20'000;
+  return workload::Trace::generate(spec);
+}
+
+TEST(ServiceModel, SensitivityOrderingMatchesPaper) {
+  const auto trace = thumbnail_trace();
+  const double cachet =
+      baselines_for(StoreKind::kCachet, trace).sensitivity();
+  const double vermilion =
+      baselines_for(StoreKind::kVermilion, trace).sensitivity();
+  const double dynastore =
+      baselines_for(StoreKind::kDynaStore, trace).sensitivity();
+  // Paper Fig 8b / Fig 9: Memcached barely influenced, Redis in between,
+  // DynamoDB severely impacted.
+  EXPECT_LT(cachet, vermilion);
+  EXPECT_LT(vermilion, dynastore);
+  EXPECT_LT(cachet, 0.15) << "Memcached-like: barely influenced";
+  EXPECT_GT(vermilion, 0.25) << "Redis-like: ~40% in the paper";
+  EXPECT_LT(vermilion, 0.60);
+  EXPECT_GT(dynastore, 0.60) << "DynamoDB-like: severely impacted";
+}
+
+TEST(ServiceModel, WritesLessExposedToSlowMemThanReads) {
+  // Paper Fig 5b: write-heavy workloads are less impacted by SlowMem.
+  workload::WorkloadSpec readonly = workload::paper_workload("timeline");
+  readonly.key_count = 2'000;
+  readonly.request_count = 20'000;
+  workload::WorkloadSpec writeheavy = readonly;
+  writeheavy.read_fraction = 0.0;
+  writeheavy.name = "allwrites";
+
+  const auto ro = baselines_for(StoreKind::kVermilion,
+                                workload::Trace::generate(readonly));
+  const auto wh = baselines_for(StoreKind::kVermilion,
+                                workload::Trace::generate(writeheavy));
+  EXPECT_LT(wh.sensitivity(), ro.sensitivity());
+}
+
+TEST(ServiceModel, SmallRecordsLessSensitiveThanBig) {
+  // Paper Fig 5c: big records' knee is bigger.
+  workload::WorkloadSpec big = workload::paper_workload("timeline");
+  big.key_count = 2'000;
+  big.request_count = 20'000;
+  workload::WorkloadSpec small = big;
+  small.record_size = workload::RecordSizeType::kPhotoCaption;
+  small.name = "small";
+
+  const auto big_b = baselines_for(StoreKind::kVermilion,
+                                   workload::Trace::generate(big));
+  const auto small_b = baselines_for(StoreKind::kVermilion,
+                                     workload::Trace::generate(small));
+  EXPECT_LT(small_b.sensitivity(), big_b.sensitivity());
+}
+
+TEST(ServiceModel, ReadDeltaPositiveForAllStores) {
+  const auto trace = thumbnail_trace();
+  for (const StoreKind kind : kAllStoreKinds) {
+    const auto b = baselines_for(kind, trace);
+    EXPECT_GT(b.read_delta_ns(), 0.0) << to_string(kind);
+    EXPECT_GT(b.fast.throughput_ops, b.slow.throughput_ops)
+        << to_string(kind);
+  }
+}
+
+TEST(ServiceProfile, DefaultsExposeArchitecturalContrasts) {
+  const ServiceProfile& redis = default_profile(StoreKind::kVermilion);
+  const ServiceProfile& memc = default_profile(StoreKind::kCachet);
+  const ServiceProfile& dyna = default_profile(StoreKind::kDynaStore);
+  EXPECT_GT(memc.bandwidth_overlap, 0.8) << "Cachet overlaps transfers";
+  EXPECT_LT(redis.bandwidth_overlap, 0.1);
+  EXPECT_GT(dyna.read_stream_amplification,
+            redis.read_stream_amplification);
+  EXPECT_GT(dyna.latency_sensitivity, memc.latency_sensitivity);
+}
+
+TEST(ServiceProfile, Names) {
+  EXPECT_EQ(to_string(StoreKind::kVermilion), "vermilion");
+  EXPECT_EQ(paper_analogue(StoreKind::kVermilion), "Redis");
+  EXPECT_EQ(paper_analogue(StoreKind::kCachet), "Memcached");
+  EXPECT_EQ(paper_analogue(StoreKind::kDynaStore), "DynamoDB");
+}
+
+}  // namespace
+}  // namespace mnemo::kvstore

@@ -1,0 +1,92 @@
+#include "kvstore/cachet/slab.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mnemo::kvstore::cachet {
+namespace {
+
+TEST(Slab, ClassChunkSizesGrowGeometrically) {
+  SlabAllocator slabs;
+  ASSERT_GT(slabs.class_count(), 10u);
+  std::uint64_t prev = 0;
+  for (std::size_t c = 0; c < slabs.class_count(); ++c) {
+    const auto stats = slabs.class_stats(c);
+    EXPECT_GT(stats.chunk_size, prev);
+    EXPECT_EQ(stats.chunk_size % 8, 0u) << "chunks are 8-byte aligned";
+    EXPECT_GE(stats.chunk_size, SlabAllocator::kMinChunk);
+    EXPECT_LE(stats.chunk_size, SlabAllocator::kPageBytes);
+    prev = stats.chunk_size;
+  }
+}
+
+TEST(Slab, ClassForPicksSmallestFittingChunk) {
+  SlabAllocator slabs;
+  for (const std::uint64_t item : {1ULL, 100ULL, 5000ULL, 100'000ULL}) {
+    const std::size_t cls = slabs.class_for(item);
+    ASSERT_LT(cls, slabs.class_count());
+    EXPECT_GE(slabs.chunk_bytes(cls, item),
+              item + SlabAllocator::kItemHeader);
+    if (cls > 0) {
+      EXPECT_LT(slabs.class_stats(cls - 1).chunk_size,
+                item + SlabAllocator::kItemHeader);
+    }
+  }
+}
+
+TEST(Slab, HugeItemsUsePageRoundedAllocations) {
+  SlabAllocator slabs;
+  const std::uint64_t huge = 3 * SlabAllocator::kPageBytes + 5;
+  const std::size_t cls = slabs.class_for(huge);
+  EXPECT_EQ(cls, slabs.class_count());
+  EXPECT_EQ(slabs.chunk_bytes(cls, huge), 4 * SlabAllocator::kPageBytes);
+  slabs.take(cls, huge);
+  EXPECT_EQ(slabs.pages_allocated_bytes(), 4 * SlabAllocator::kPageBytes);
+  slabs.give_back(cls, huge);
+  EXPECT_EQ(slabs.pages_allocated_bytes(), 0u);
+}
+
+TEST(Slab, TakeAllocatesPagesOnDemand) {
+  SlabAllocator slabs;
+  const std::size_t cls = slabs.class_for(100);
+  const auto before = slabs.class_stats(cls);
+  EXPECT_EQ(before.pages, 0u);
+  slabs.take(cls, 100);
+  const auto after = slabs.class_stats(cls);
+  EXPECT_EQ(after.pages, 1u);
+  EXPECT_EQ(after.used_chunks, 1u);
+  EXPECT_EQ(after.free_chunks,
+            SlabAllocator::kPageBytes / after.chunk_size - 1);
+}
+
+TEST(Slab, GiveBackRefillsFreeList) {
+  SlabAllocator slabs;
+  const std::size_t cls = slabs.class_for(100);
+  slabs.take(cls, 100);
+  slabs.take(cls, 100);
+  slabs.give_back(cls, 100);
+  const auto stats = slabs.class_stats(cls);
+  EXPECT_EQ(stats.used_chunks, 1u);
+  EXPECT_EQ(stats.pages, 1u) << "pages are never returned, like memcached";
+}
+
+TEST(Slab, SlackIsPagesMinusLiveChunks) {
+  SlabAllocator slabs;
+  const std::size_t cls = slabs.class_for(100);
+  slabs.take(cls, 100);
+  const auto stats = slabs.class_stats(cls);
+  EXPECT_EQ(slabs.slack_bytes(),
+            SlabAllocator::kPageBytes - stats.chunk_size);
+  EXPECT_EQ(slabs.used_chunk_bytes(), stats.chunk_size);
+}
+
+TEST(Slab, ManyTakesSpanMultiplePages) {
+  SlabAllocator slabs;
+  const std::size_t cls = slabs.class_for(100'000);
+  const auto per_page =
+      SlabAllocator::kPageBytes / slabs.class_stats(cls).chunk_size;
+  for (std::uint64_t i = 0; i < per_page + 1; ++i) slabs.take(cls, 100'000);
+  EXPECT_EQ(slabs.class_stats(cls).pages, 2u);
+}
+
+}  // namespace
+}  // namespace mnemo::kvstore::cachet

@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "pricing/cost_regression.hpp"
+#include "pricing/vm_instance.hpp"
+
+namespace mnemo::pricing {
+namespace {
+
+TEST(Catalogs, CoverTheThreeProviders) {
+  const auto catalogs = paper_catalogs();
+  ASSERT_EQ(catalogs.size(), 3u);
+  EXPECT_EQ(catalogs[0].provider, "AWS");
+  EXPECT_EQ(catalogs[1].provider, "Google");
+  EXPECT_EQ(catalogs[2].provider, "Azure");
+  for (const auto& c : catalogs) {
+    EXPECT_GE(c.instances.size(), 4u);
+    for (const auto& vm : c.instances) {
+      EXPECT_GT(vm.vcpus, 0.0);
+      EXPECT_GT(vm.memory_gb, 0.0);
+      EXPECT_GT(vm.hourly_usd, 0.0);
+    }
+  }
+}
+
+class ProviderDecomposition : public ::testing::TestWithParam<int> {};
+
+TEST_P(ProviderDecomposition, RatesAreNonNegativeAndFitWell) {
+  const auto catalogs = paper_catalogs();
+  const auto& catalog = catalogs[static_cast<std::size_t>(GetParam())];
+  const CostDecomposition d = decompose(catalog);
+  EXPECT_GE(d.vcpu_hourly_usd, 0.0);
+  EXPECT_GE(d.gb_hourly_usd, 0.0);
+  EXPECT_GT(d.gb_hourly_usd, 0.0) << "memory must carry some of the price";
+  EXPECT_GT(d.r_squared, 0.95) << catalog.provider
+                               << ": linear model should fit price sheets";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProviders, ProviderDecomposition,
+                         ::testing::Values(0, 1, 2));
+
+TEST(Decomposition, RecoversSyntheticRates) {
+  VmCatalog synth{"synth",
+                  "family",
+                  {
+                      {"a", 2, 10, 2 * 0.03 + 10 * 0.005, true},
+                      {"b", 8, 20, 8 * 0.03 + 20 * 0.005, true},
+                      {"c", 16, 100, 16 * 0.03 + 100 * 0.005, true},
+                  }};
+  const CostDecomposition d = decompose(synth);
+  EXPECT_NEAR(d.vcpu_hourly_usd, 0.03, 1e-9);
+  EXPECT_NEAR(d.gb_hourly_usd, 0.005, 1e-9);
+  EXPECT_NEAR(d.r_squared, 1.0, 1e-9);
+  EXPECT_FALSE(d.clamped_nonnegative);
+}
+
+TEST(Decomposition, NegativeRateGetsClampedAndRefit) {
+  // A price sheet where memory is anti-correlated with price would drive
+  // the memory rate negative; the fit must clamp and re-solve.
+  // price = 1.0 * vcpus - 0.02 * memory: the unconstrained fit recovers a
+  // negative memory rate, which the decomposition clamps and re-fits with
+  // memory pinned to zero (C = sum(v*p)/sum(v^2) = 312/336).
+  VmCatalog weird{"weird",
+                  "family",
+                  {
+                      {"a", 4, 100, 2.0, true},
+                      {"b", 8, 50, 7.0, true},
+                      {"c", 16, 25, 15.5, true},
+                  }};
+  const CostDecomposition d = decompose(weird);
+  EXPECT_TRUE(d.clamped_nonnegative);
+  EXPECT_DOUBLE_EQ(d.gb_hourly_usd, 0.0);
+  EXPECT_NEAR(d.vcpu_hourly_usd, 312.0 / 336.0, 1e-9);
+}
+
+TEST(MemoryFraction, ClampedToUnitInterval) {
+  CostDecomposition d;
+  d.gb_hourly_usd = 1.0;
+  const VmInstance vm{"x", 1, 100, 10.0, true};
+  EXPECT_DOUBLE_EQ(memory_fraction(vm, d), 1.0);  // 100 > 10 -> clamp
+  d.gb_hourly_usd = 0.05;
+  EXPECT_DOUBLE_EQ(memory_fraction(vm, d), 0.5);
+}
+
+TEST(Figure1, MemoryDominatesMemoryOptimizedVmCost) {
+  const auto shares = figure1_shares(paper_catalogs());
+  ASSERT_GE(shares.size(), 10u);
+  double lo = 1.0;
+  double hi = 0.0;
+  std::size_t in_band = 0;
+  for (const auto& s : shares) {
+    EXPECT_GE(s.fraction, 0.0);
+    EXPECT_LE(s.fraction, 1.0);
+    lo = std::min(lo, s.fraction);
+    hi = std::max(hi, s.fraction);
+    if (s.fraction >= 0.55 && s.fraction <= 0.9) ++in_band;
+  }
+  // The paper's headline: memory is roughly 60-85% of these VMs' cost.
+  EXPECT_GE(lo, 0.4);
+  EXPECT_GE(hi, 0.7);
+  EXPECT_GE(static_cast<double>(in_band) / static_cast<double>(shares.size()),
+            0.6);
+}
+
+TEST(Figure1, OnlyMemoryOptimizedInstancesReported) {
+  const auto shares = figure1_shares(paper_catalogs());
+  for (const auto& s : shares) {
+    EXPECT_EQ(s.instance.find("cache.m5"), std::string::npos)
+        << "m5 instances condition the fit but are not Fig 1 bars";
+  }
+}
+
+}  // namespace
+}  // namespace mnemo::pricing

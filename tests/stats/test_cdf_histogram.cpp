@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "stats/cdf.hpp"
+#include "stats/histogram.hpp"
+#include "util/rng.hpp"
+
+namespace mnemo::stats {
+namespace {
+
+TEST(EmpiricalCdf, StepFunctionValues) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  const EmpiricalCdf cdf(xs);
+  EXPECT_DOUBLE_EQ(cdf.at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.at(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(cdf.at(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.at(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.at(99.0), 1.0);
+}
+
+TEST(EmpiricalCdf, QuantileInverse) {
+  const std::vector<double> xs = {10.0, 20.0, 30.0, 40.0, 50.0};
+  const EmpiricalCdf cdf(xs);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 50.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 30.0);
+}
+
+TEST(EmpiricalCdf, CurveIsMonotonic) {
+  util::Rng rng(3);
+  std::vector<double> xs;
+  for (int i = 0; i < 1000; ++i) xs.push_back(rng.gaussian());
+  const EmpiricalCdf cdf(xs);
+  const auto curve = cdf.curve(50);
+  ASSERT_EQ(curve.size(), 50u);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].first, curve[i - 1].first);
+    EXPECT_GE(curve[i].second, curve[i - 1].second);
+  }
+  EXPECT_DOUBLE_EQ(curve.back().second, 1.0);
+}
+
+TEST(CumulativeShare, SumsToOneAndMonotone) {
+  const std::vector<std::uint64_t> counts = {5, 0, 3, 2};
+  const auto share = cumulative_share(counts);
+  ASSERT_EQ(share.size(), 4u);
+  EXPECT_DOUBLE_EQ(share[0], 0.5);
+  EXPECT_DOUBLE_EQ(share[1], 0.5);
+  EXPECT_DOUBLE_EQ(share[2], 0.8);
+  EXPECT_DOUBLE_EQ(share[3], 1.0);
+}
+
+TEST(Histogram, CountsAndEdgeSaturation) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(5.5);
+  h.add(-3.0);   // clamps into bucket 0
+  h.add(100.0);  // clamps into bucket 9
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(5), 1u);
+  EXPECT_EQ(h.bucket_count(9), 1u);
+}
+
+TEST(Histogram, QuantileApproximatesExact) {
+  Histogram h(0.0, 1.0, 1000);
+  util::Rng rng(8);
+  std::vector<double> xs;
+  for (int i = 0; i < 50'000; ++i) {
+    const double u = rng.next_double();
+    h.add(u);
+    xs.push_back(u);
+  }
+  for (const double q : {0.5, 0.9, 0.95, 0.99}) {
+    EXPECT_NEAR(h.quantile(q), q, 0.01) << "q=" << q;
+  }
+}
+
+TEST(Histogram, BucketBoundsArePartition) {
+  Histogram h(2.0, 12.0, 5);
+  for (std::size_t i = 0; i < h.buckets(); ++i) {
+    EXPECT_DOUBLE_EQ(h.bucket_hi(i), h.bucket_lo(i) + 2.0);
+    if (i > 0) {
+      EXPECT_DOUBLE_EQ(h.bucket_lo(i), h.bucket_hi(i - 1));
+    }
+  }
+}
+
+TEST(Histogram, RenderShowsNonEmptyBuckets) {
+  Histogram h(0.0, 4.0, 4);
+  h.add(0.5);
+  h.add(0.6);
+  h.add(3.5);
+  const std::string out = h.render();
+  EXPECT_NE(out.find('#'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mnemo::stats

@@ -1,0 +1,62 @@
+#include "stats/fenwick.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace mnemo::stats {
+namespace {
+
+TEST(Fenwick, EmptyAndZeroPrefix) {
+  const FenwickTree tree(10);
+  EXPECT_EQ(tree.size(), 10u);
+  EXPECT_DOUBLE_EQ(tree.prefix_sum(0), 0.0);
+  EXPECT_DOUBLE_EQ(tree.prefix_sum(10), 0.0);
+}
+
+TEST(Fenwick, PointUpdatesAndPrefixSums) {
+  FenwickTree tree(8);
+  tree.add(0, 1.0);
+  tree.add(3, 2.5);
+  tree.add(7, 4.0);
+  EXPECT_DOUBLE_EQ(tree.prefix_sum(1), 1.0);
+  EXPECT_DOUBLE_EQ(tree.prefix_sum(4), 3.5);
+  EXPECT_DOUBLE_EQ(tree.prefix_sum(8), 7.5);
+  EXPECT_DOUBLE_EQ(tree.range_sum(1, 4), 2.5);
+  EXPECT_DOUBLE_EQ(tree.range_sum(4, 8), 4.0);
+  EXPECT_DOUBLE_EQ(tree.range_sum(3, 3), 0.0);
+}
+
+TEST(Fenwick, NegativeDeltasRemoveWeight) {
+  FenwickTree tree(4);
+  tree.add(2, 5.0);
+  tree.add(2, -5.0);
+  EXPECT_DOUBLE_EQ(tree.prefix_sum(4), 0.0);
+}
+
+TEST(Fenwick, RandomizedAgainstNaiveModel) {
+  util::Rng rng(17);
+  constexpr std::size_t kN = 200;
+  FenwickTree tree(kN);
+  std::vector<double> naive(kN, 0.0);
+  for (int op = 0; op < 5'000; ++op) {
+    if (rng.next_double() < 0.5) {
+      const auto i = static_cast<std::size_t>(rng.uniform(0, kN - 1));
+      const double delta = rng.gaussian();
+      tree.add(i, delta);
+      naive[i] += delta;
+    } else {
+      auto lo = static_cast<std::size_t>(rng.uniform(0, kN));
+      auto hi = static_cast<std::size_t>(rng.uniform(0, kN));
+      if (lo > hi) std::swap(lo, hi);
+      double expected = 0.0;
+      for (std::size_t i = lo; i < hi; ++i) expected += naive[i];
+      ASSERT_NEAR(tree.range_sum(lo, hi), expected, 1e-6);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mnemo::stats

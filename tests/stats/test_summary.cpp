@@ -1,0 +1,132 @@
+#include "stats/summary.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace mnemo::stats {
+namespace {
+
+TEST(Welford, MatchesDirectComputation) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0, 10.0};
+  Welford w;
+  for (const double x : xs) w.add(x);
+  EXPECT_EQ(w.count(), xs.size());
+  EXPECT_DOUBLE_EQ(w.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(w.min(), 1.0);
+  EXPECT_DOUBLE_EQ(w.max(), 10.0);
+  // Sample variance: sum((x-4)^2)/(n-1) = (9+4+1+0+36)/4 = 12.5
+  EXPECT_DOUBLE_EQ(w.variance(), 12.5);
+  EXPECT_DOUBLE_EQ(w.stddev(), std::sqrt(12.5));
+}
+
+TEST(Welford, SingleAndEmptyVariance) {
+  Welford w;
+  EXPECT_EQ(w.variance(), 0.0);
+  w.add(5.0);
+  EXPECT_EQ(w.variance(), 0.0);
+  EXPECT_EQ(w.mean(), 5.0);
+}
+
+TEST(Welford, MergeEqualsSequential) {
+  util::Rng rng(5);
+  Welford all;
+  Welford left;
+  Welford right;
+  for (int i = 0; i < 10'000; ++i) {
+    const double x = rng.gaussian() * 3.0 + 7.0;
+    all.add(x);
+    (i % 2 == 0 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(Welford, MergeWithEmptySides) {
+  Welford a;
+  Welford b;
+  b.add(1.0);
+  b.add(3.0);
+  a.merge(b);  // empty.merge(nonempty)
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  Welford c;
+  a.merge(c);  // nonempty.merge(empty)
+  EXPECT_EQ(a.count(), 2u);
+}
+
+TEST(Percentile, KnownOrderStatistics) {
+  const std::vector<double> xs = {4.0, 1.0, 3.0, 2.0, 5.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.25), 2.0);
+  // Interpolated: q=0.1 over positions 0..4 -> pos 0.4 -> 1.4
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.1), 1.4);
+}
+
+TEST(Percentile, SingleSample) {
+  const std::vector<double> xs = {7.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 7.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.99), 7.0);
+}
+
+class PercentileMonotonic : public ::testing::TestWithParam<int> {};
+
+TEST_P(PercentileMonotonic, NonDecreasingInQ) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  std::vector<double> xs;
+  for (int i = 0; i < 500; ++i) xs.push_back(rng.gaussian());
+  double prev = percentile(xs, 0.0);
+  for (double q = 0.05; q <= 1.0; q += 0.05) {
+    const double cur = percentile(xs, q);
+    EXPECT_GE(cur, prev);
+    prev = cur;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PercentileMonotonic,
+                         ::testing::Values(1, 2, 3, 17, 99));
+
+TEST(MeanMedianStddev, Basics) {
+  const std::vector<double> xs = {2.0, 4.0, 6.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 4.0);
+  EXPECT_DOUBLE_EQ(median(xs), 4.0);
+  EXPECT_DOUBLE_EQ(stddev(xs), 2.0);
+}
+
+TEST(Boxplot, FiveNumberSummaryAndWhiskers) {
+  // 1..11 plus an outlier at 100.
+  std::vector<double> xs;
+  for (int i = 1; i <= 11; ++i) xs.push_back(i);
+  xs.push_back(100.0);
+  const BoxplotStats b = boxplot(xs);
+  EXPECT_EQ(b.n, 12u);
+  EXPECT_DOUBLE_EQ(b.min, 1.0);
+  EXPECT_DOUBLE_EQ(b.max, 100.0);
+  EXPECT_GT(b.q3, b.median);
+  EXPECT_GT(b.median, b.q1);
+  EXPECT_EQ(b.outliers, 1u);
+  EXPECT_LE(b.whisker_hi, 11.0);  // 100 is outside the upper fence
+  EXPECT_DOUBLE_EQ(b.whisker_lo, 1.0);
+}
+
+TEST(Boxplot, AllEqualSamples) {
+  const std::vector<double> xs(10, 3.0);
+  const BoxplotStats b = boxplot(xs);
+  EXPECT_DOUBLE_EQ(b.q1, 3.0);
+  EXPECT_DOUBLE_EQ(b.q3, 3.0);
+  EXPECT_DOUBLE_EQ(b.whisker_lo, 3.0);
+  EXPECT_DOUBLE_EQ(b.whisker_hi, 3.0);
+  EXPECT_EQ(b.outliers, 0u);
+}
+
+}  // namespace
+}  // namespace mnemo::stats

@@ -1,0 +1,87 @@
+#include "util/argparse.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mnemo::util {
+namespace {
+
+ArgParser make_parser() {
+  ArgParser p("prog", "test parser");
+  p.add_flag("verbose", "chatty output");
+  p.add_option("count", "how many", "10");
+  p.add_option("name", "a label", "");
+  return p;
+}
+
+TEST(ArgParser, DefaultsApplyWhenUnset) {
+  ArgParser p = make_parser();
+  std::string error;
+  ASSERT_TRUE(p.parse({}, &error));
+  EXPECT_FALSE(p.has_flag("verbose"));
+  EXPECT_EQ(p.get("count"), "10");
+  EXPECT_EQ(p.get_u64("count"), 10u);
+  EXPECT_TRUE(p.positional().empty());
+}
+
+TEST(ArgParser, SpaceAndEqualsForms) {
+  ArgParser p = make_parser();
+  std::string error;
+  ASSERT_TRUE(p.parse({"--count", "42", "--name=widget"}, &error));
+  EXPECT_EQ(p.get_u64("count"), 42u);
+  EXPECT_EQ(p.get("name"), "widget");
+}
+
+TEST(ArgParser, FlagsAndPositionals) {
+  ArgParser p = make_parser();
+  std::string error;
+  ASSERT_TRUE(p.parse({"--verbose", "input.csv", "more"}, &error));
+  EXPECT_TRUE(p.has_flag("verbose"));
+  ASSERT_EQ(p.positional().size(), 2u);
+  EXPECT_EQ(p.positional()[0], "input.csv");
+}
+
+TEST(ArgParser, UnknownOptionFails) {
+  ArgParser p = make_parser();
+  std::string error;
+  EXPECT_FALSE(p.parse({"--bogus"}, &error));
+  EXPECT_NE(error.find("bogus"), std::string::npos);
+}
+
+TEST(ArgParser, MissingValueFails) {
+  ArgParser p = make_parser();
+  std::string error;
+  EXPECT_FALSE(p.parse({"--count"}, &error));
+  EXPECT_NE(error.find("requires a value"), std::string::npos);
+}
+
+TEST(ArgParser, FlagWithValueFails) {
+  ArgParser p = make_parser();
+  std::string error;
+  EXPECT_FALSE(p.parse({"--verbose=yes"}, &error));
+}
+
+TEST(ArgParser, NumericConversionErrorsThrow) {
+  ArgParser p = make_parser();
+  std::string error;
+  ASSERT_TRUE(p.parse({"--count", "abc"}, &error));
+  EXPECT_THROW((void)p.get_u64("count"), std::invalid_argument);
+  EXPECT_THROW((void)p.get_double("count"), std::invalid_argument);
+}
+
+TEST(ArgParser, GetDoubleParses) {
+  ArgParser p = make_parser();
+  std::string error;
+  ASSERT_TRUE(p.parse({"--count", "0.25"}, &error));
+  EXPECT_DOUBLE_EQ(p.get_double("count"), 0.25);
+}
+
+TEST(ArgParser, HelpMentionsEveryOption) {
+  const ArgParser p = make_parser();
+  const std::string help = p.help();
+  EXPECT_NE(help.find("--verbose"), std::string::npos);
+  EXPECT_NE(help.find("--count"), std::string::npos);
+  EXPECT_NE(help.find("default: 10"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mnemo::util

@@ -1,0 +1,30 @@
+#include "util/bytes.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mnemo::util {
+namespace {
+
+TEST(FormatBytes, UnitLadder) {
+  EXPECT_EQ(format_bytes(0), "0 B");
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(kKiB), "1.0 KiB");
+  EXPECT_EQ(format_bytes(100 * kKiB), "100.0 KiB");
+  EXPECT_EQ(format_bytes(3 * kMiB / 2), "1.5 MiB");
+  EXPECT_EQ(format_bytes(7 * kGiB), "7.0 GiB");
+}
+
+TEST(FormatNs, UnitLadder) {
+  EXPECT_EQ(format_ns(65.7), "65.7 ns");
+  EXPECT_EQ(format_ns(1500.0), "1.50 us");
+  EXPECT_EQ(format_ns(2.5e6), "2.50 ms");
+  EXPECT_EQ(format_ns(3.25e9), "3.250 s");
+}
+
+TEST(ByteConstants, AreConsistent) {
+  EXPECT_EQ(kMiB, kKiB * 1024);
+  EXPECT_EQ(kGiB, kMiB * 1024);
+}
+
+}  // namespace
+}  // namespace mnemo::util

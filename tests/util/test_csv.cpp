@@ -1,0 +1,92 @@
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+namespace mnemo::util::csv {
+namespace {
+
+TEST(CsvEscape, PlainFieldUnchanged) {
+  EXPECT_EQ(escape("hello"), "hello");
+  EXPECT_EQ(escape("123.45"), "123.45");
+}
+
+TEST(CsvEscape, QuotesFieldsWithSpecials) {
+  EXPECT_EQ(escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(CsvParse, SimpleFields) {
+  const auto fields = parse_line("a,b,c");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[2], "c");
+}
+
+TEST(CsvParse, QuotedFieldsRoundTrip) {
+  const std::string original = "a,b";
+  const auto fields = parse_line(escape(original) + ",plain");
+  ASSERT_EQ(fields.size(), 2u);
+  EXPECT_EQ(fields[0], original);
+  EXPECT_EQ(fields[1], "plain");
+}
+
+TEST(CsvParse, EmptyFields) {
+  const auto fields = parse_line(",,");
+  ASSERT_EQ(fields.size(), 3u);
+  for (const auto& f : fields) EXPECT_TRUE(f.empty());
+}
+
+TEST(CsvParse, ToleratesCrlf) {
+  const auto fields = parse_line("a,b\r");
+  ASSERT_EQ(fields.size(), 2u);
+  EXPECT_EQ(fields[1], "b");
+}
+
+TEST(CsvWriter, StreamRows) {
+  std::ostringstream out;
+  {
+    Writer w(out);
+    w.row({"h1", "h2"});
+    w.field("x").field(std::uint64_t{42}).end_row();
+    w.field(3.14159, 3);
+    w.end_row();
+    EXPECT_EQ(w.rows_written(), 3u);
+  }
+  EXPECT_EQ(out.str(), "h1,h2\nx,42\n3.14\n");
+}
+
+TEST(CsvWriter, DestructorClosesOpenRow) {
+  std::ostringstream out;
+  {
+    Writer w(out);
+    w.field("dangling");
+  }
+  EXPECT_EQ(out.str(), "dangling\n");
+}
+
+TEST(CsvFile, WriteThenReadRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/mnemo_csv_test.csv";
+  {
+    Writer w(path);
+    w.row({"key", "value, with comma"});
+    w.row({"1", "2"});
+  }
+  const auto rows = read_file(path);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0][1], "value, with comma");
+  EXPECT_EQ(rows[1][0], "1");
+  std::filesystem::remove(path);
+}
+
+TEST(CsvFile, MissingFileThrows) {
+  EXPECT_THROW(read_file("/nonexistent/nowhere.csv"), std::runtime_error);
+  EXPECT_THROW(Writer("/nonexistent/dir/file.csv"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace mnemo::util::csv

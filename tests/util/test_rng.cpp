@@ -1,0 +1,142 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace mnemo::util {
+namespace {
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 100'000; ++i) {
+    const double u = rng.next_double();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, NextDoubleMeanNearHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  constexpr int kN = 200'000;
+  for (int i = 0; i < kN; ++i) sum += rng.next_double();
+  EXPECT_NEAR(sum / kN, 0.5, 0.005);
+}
+
+class RngUniformBounds : public ::testing::TestWithParam<
+                             std::pair<std::uint64_t, std::uint64_t>> {};
+
+TEST_P(RngUniformBounds, StaysInClosedRange) {
+  const auto [lo, hi] = GetParam();
+  Rng rng(lo * 31 + hi);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 20'000; ++i) {
+    const std::uint64_t v = rng.uniform(lo, hi);
+    ASSERT_GE(v, lo);
+    ASSERT_LE(v, hi);
+    seen.insert(v);
+  }
+  // Every value of a small range should eventually appear.
+  if (hi - lo < 64) {
+    EXPECT_EQ(seen.size(), hi - lo + 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Ranges, RngUniformBounds,
+    ::testing::Values(std::pair<std::uint64_t, std::uint64_t>{0, 0},
+                      std::pair<std::uint64_t, std::uint64_t>{0, 1},
+                      std::pair<std::uint64_t, std::uint64_t>{5, 10},
+                      std::pair<std::uint64_t, std::uint64_t>{0, 999},
+                      std::pair<std::uint64_t, std::uint64_t>{1'000'000,
+                                                              1'000'063},
+                      std::pair<std::uint64_t, std::uint64_t>{
+                          0, ~std::uint64_t{0} - 1}));
+
+TEST(Rng, UniformIsRoughlyUniform) {
+  Rng rng(99);
+  constexpr std::uint64_t kBuckets = 10;
+  std::vector<int> counts(kBuckets, 0);
+  constexpr int kN = 100'000;
+  for (int i = 0; i < kN; ++i) {
+    ++counts[rng.uniform(0, kBuckets - 1)];
+  }
+  for (const int c : counts) {
+    EXPECT_NEAR(c, kN / kBuckets, kN / kBuckets * 0.1);
+  }
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(123);
+  double sum = 0.0;
+  double sum2 = 0.0;
+  constexpr int kN = 200'000;
+  for (int i = 0; i < kN; ++i) {
+    const double z = rng.gaussian();
+    sum += z;
+    sum2 += z * z;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / kN, 1.0, 0.02);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng rng(321);
+  const double rate = 4.0;
+  double sum = 0.0;
+  constexpr int kN = 200'000;
+  for (int i = 0; i < kN; ++i) sum += rng.exponential(rate);
+  EXPECT_NEAR(sum / kN, 1.0 / rate, 0.01);
+}
+
+TEST(Rng, ForkedStreamsAreIndependentAndDeterministic) {
+  Rng parent1(5);
+  Rng parent2(5);
+  Rng child_a = parent1.fork(1);
+  Rng child_a2 = parent2.fork(1);
+  Rng child_b = parent1.fork(2);
+  int same_as_sibling = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const auto a = child_a.next_u64();
+    ASSERT_EQ(a, child_a2.next_u64());  // same stream id => same stream
+    if (a == child_b.next_u64()) ++same_as_sibling;
+  }
+  EXPECT_LT(same_as_sibling, 2);
+}
+
+TEST(Mix64, BijectiveOnSample) {
+  std::set<std::uint64_t> out;
+  for (std::uint64_t i = 0; i < 10'000; ++i) out.insert(mix64(i));
+  EXPECT_EQ(out.size(), 10'000u);
+}
+
+TEST(Fnv1a64, MatchesKnownProperties) {
+  // Deterministic, differs across inputs, stable across calls.
+  EXPECT_EQ(fnv1a64(0), fnv1a64(0));
+  EXPECT_NE(fnv1a64(0), fnv1a64(1));
+  EXPECT_NE(fnv1a64(1), fnv1a64(1ULL << 32));
+}
+
+}  // namespace
+}  // namespace mnemo::util

@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/ascii_plot.hpp"
+#include "util/table.hpp"
+
+namespace mnemo::util {
+namespace {
+
+TEST(TablePrinter, RendersHeaderSeparatorAndRows) {
+  TablePrinter t({"name", "value"});
+  t.add_row({"alpha", "1.5"});
+  t.add_row({"beta", "22.0"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("|--"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(TablePrinter, PadsShortRowsAndWidensForLongOnes) {
+  TablePrinter t({"a"});
+  t.add_row({"1", "2", "3"});
+  t.add_row({});
+  const std::string out = t.render();
+  // Every rendered line has the same length.
+  std::size_t line_len = 0;
+  std::size_t start = 0;
+  while (start < out.size()) {
+    const std::size_t end = out.find('\n', start);
+    const std::size_t len = end - start;
+    if (line_len == 0) line_len = len;
+    EXPECT_EQ(len, line_len);
+    start = end + 1;
+  }
+}
+
+TEST(TablePrinter, NumberFormatters) {
+  EXPECT_EQ(TablePrinter::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::pct(0.856, 1), "85.6%");
+}
+
+TEST(AsciiPlot, RendersSeriesMarkersAndLegend) {
+  AsciiPlot plot("test", "x", "y", 40, 10);
+  plot.add(PlotSeries{"up", {0, 1, 2}, {0, 1, 2}, '*'});
+  plot.add(PlotSeries{"down", {0, 1, 2}, {2, 1, 0}, 'o'});
+  const std::string out = plot.render();
+  EXPECT_NE(out.find('*'), std::string::npos);
+  EXPECT_NE(out.find('o'), std::string::npos);
+  EXPECT_NE(out.find("'*' up"), std::string::npos);
+  EXPECT_NE(out.find("x: x"), std::string::npos);
+}
+
+TEST(AsciiPlot, EmptyPlotSaysNoData) {
+  AsciiPlot plot("empty", "x", "y");
+  EXPECT_NE(plot.render().find("(no data)"), std::string::npos);
+}
+
+TEST(AsciiPlot, ConstantSeriesDoesNotDivideByZero) {
+  AsciiPlot plot("flat", "x", "y", 20, 5);
+  plot.add(PlotSeries{"flat", {1, 1, 1}, {5, 5, 5}, '#'});
+  EXPECT_NE(plot.render().find('#'), std::string::npos);
+}
+
+TEST(AsciiPlot, IgnoresNonFiniteSamples) {
+  AsciiPlot plot("nan", "x", "y", 20, 5);
+  plot.add(PlotSeries{
+      "mixed", {0, 1, 2}, {1.0, std::nan(""), 3.0}, '+'});
+  EXPECT_NE(plot.render().find('+'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mnemo::util

@@ -1,0 +1,80 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace mnemo::util {
+namespace {
+
+TEST(ThreadPool, ExecutesSubmittedTasks) {
+  ThreadPool pool(4);
+  auto f1 = pool.submit([] { return 21 * 2; });
+  auto f2 = pool.submit([] { return std::string("ok"); });
+  EXPECT_EQ(f1.get(), 42);
+  EXPECT_EQ(f2.get(), "ok");
+}
+
+TEST(ThreadPool, RunsManyTasksExactlyOnce) {
+  ThreadPool pool(8);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futs;
+  constexpr int kTasks = 500;
+  futs.reserve(kTasks);
+  for (int i = 0; i < kTasks; ++i) {
+    futs.push_back(pool.submit([&] { counter.fetch_add(1); }));
+  }
+  for (auto& f : futs) f.get();
+  EXPECT_EQ(counter.load(), kTasks);
+}
+
+TEST(ThreadPool, TaskExceptionPropagatesThroughFuture) {
+  ThreadPool pool(2);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, DefaultSizeIsPositive) {
+  ThreadPool pool;
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ParallelFor, CoversEveryIndexOnce) {
+  constexpr std::size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  parallel_for(kN, [&](std::size_t i) { hits[i].fetch_add(1); }, 8);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, ZeroIterationsIsNoop) {
+  bool ran = false;
+  parallel_for(0, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ParallelFor, PropagatesFirstException) {
+  EXPECT_THROW(
+      parallel_for(64,
+                   [](std::size_t i) {
+                     if (i == 13) throw std::logic_error("unlucky");
+                   },
+                   4),
+      std::logic_error);
+}
+
+TEST(ParallelFor, ResultsMatchSerialComputation) {
+  constexpr std::size_t kN = 256;
+  std::vector<double> out(kN, 0.0);
+  parallel_for(kN, [&](std::size_t i) {
+    out[i] = static_cast<double>(i) * 1.5;
+  });
+  for (std::size_t i = 0; i < kN; ++i) {
+    EXPECT_DOUBLE_EQ(out[i], static_cast<double>(i) * 1.5);
+  }
+}
+
+}  // namespace
+}  // namespace mnemo::util

@@ -1,0 +1,129 @@
+// Insert operations and growing keyspaces (YCSB workload-D semantics).
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/sensitivity_engine.hpp"
+#include "workload/downsample.hpp"
+#include "workload/suite.hpp"
+#include "workload/trace.hpp"
+
+namespace mnemo::workload {
+namespace {
+
+WorkloadSpec insert_spec(double insert_fraction = 0.05) {
+  WorkloadSpec spec = ycsb_d();
+  spec.key_count = 500;
+  spec.request_count = 10'000;
+  spec.insert_fraction = insert_fraction;
+  return spec;
+}
+
+TEST(Inserts, KeySpaceGrowsByInsertCount) {
+  const Trace t = Trace::generate(insert_spec());
+  EXPECT_EQ(t.initial_key_count(), 500u);
+  EXPECT_GT(t.key_count(), t.initial_key_count());
+  EXPECT_EQ(t.key_count(), t.initial_key_count() + t.total_inserts());
+  // ~5% of 10k requests are inserts.
+  EXPECT_NEAR(static_cast<double>(t.total_inserts()), 500.0, 100.0);
+  EXPECT_EQ(t.key_sizes().size(), t.key_count());
+}
+
+TEST(Inserts, EachNewKeyInsertedExactlyOnceInOrder) {
+  const Trace t = Trace::generate(insert_spec());
+  std::uint64_t next = t.initial_key_count();
+  for (const Request& r : t.requests()) {
+    if (r.op == OpType::kInsert) {
+      ASSERT_EQ(r.key, next);
+      ++next;
+    } else {
+      ASSERT_LT(r.key, next) << "access to a key before its insert";
+    }
+  }
+  EXPECT_EQ(next, t.key_count());
+}
+
+TEST(Inserts, ZeroFractionKeepsFixedKeyspace) {
+  const Trace t = Trace::generate(insert_spec(0.0));
+  EXPECT_EQ(t.key_count(), 500u);
+  EXPECT_EQ(t.total_inserts(), 0u);
+}
+
+TEST(Inserts, LatestReadsChaseTheInsertFrontier) {
+  const Trace t = Trace::generate(insert_spec());
+  // In the second half of the run, reads should concentrate on keys
+  // beyond the initial keyspace (the freshly inserted ones).
+  std::uint64_t late_reads = 0;
+  std::uint64_t late_reads_on_new = 0;
+  for (std::size_t i = t.requests().size() / 2; i < t.requests().size();
+       ++i) {
+    const Request& r = t.requests()[i];
+    if (r.op != OpType::kRead) continue;
+    ++late_reads;
+    if (r.key >= t.initial_key_count() / 2) ++late_reads_on_new;
+  }
+  ASSERT_GT(late_reads, 0u);
+  EXPECT_GT(static_cast<double>(late_reads_on_new) /
+                static_cast<double>(late_reads),
+            0.8);
+}
+
+TEST(Inserts, WriteCountsIncludeInserts) {
+  const Trace t = Trace::generate(insert_spec());
+  const auto writes = t.write_counts();
+  for (std::uint64_t k = t.initial_key_count(); k < t.key_count(); ++k) {
+    ASSERT_GE(writes[k], 1u) << "insert of key " << k << " not counted";
+  }
+  EXPECT_EQ(t.total_reads() + t.total_writes(), t.requests().size());
+}
+
+TEST(Inserts, CsvRoundTripPreservesInitialKeys) {
+  const Trace t = Trace::generate(insert_spec());
+  const std::string path = ::testing::TempDir() + "/insert_trace.csv";
+  t.save_csv(path);
+  const Trace loaded = Trace::load_csv(path);
+  EXPECT_EQ(loaded.initial_key_count(), t.initial_key_count());
+  EXPECT_EQ(loaded.key_count(), t.key_count());
+  ASSERT_EQ(loaded.requests().size(), t.requests().size());
+  for (std::size_t i = 0; i < t.requests().size(); i += 37) {
+    ASSERT_EQ(loaded.requests()[i].op, t.requests()[i].op);
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(Inserts, DownsamplePreservesEveryInsert) {
+  const Trace t = Trace::generate(insert_spec());
+  const Trace down = downsample(t, 0.2, 11);
+  std::uint64_t inserts = 0;
+  for (const Request& r : down.requests()) {
+    if (r.op == OpType::kInsert) ++inserts;
+  }
+  EXPECT_EQ(inserts, t.total_inserts())
+      << "inserts define the keyspace and must survive sampling";
+  EXPECT_EQ(down.initial_key_count(), t.initial_key_count());
+  // The constructor itself validates insert ordering; reaching here means
+  // the downsampled trace is well-formed.
+}
+
+TEST(Inserts, EndToEndProfileRunsCleanly) {
+  const Trace t = Trace::generate(insert_spec());
+  core::SensitivityConfig cfg;
+  cfg.repeats = 1;
+  const core::SensitivityEngine engine(cfg);
+  const auto baselines = engine.baselines(t);
+  EXPECT_GT(baselines.fast.throughput_ops, baselines.slow.throughput_ops);
+  EXPECT_EQ(baselines.fast.requests, t.requests().size());
+  EXPECT_GT(baselines.fast.writes, 0u) << "inserts measured as writes";
+}
+
+TEST(Inserts, YcsbDSpecShape) {
+  const WorkloadSpec spec = ycsb_d();
+  EXPECT_EQ(spec.distribution, DistributionKind::kLatest);
+  EXPECT_DOUBLE_EQ(spec.insert_fraction, 0.05);
+  EXPECT_DOUBLE_EQ(spec.read_fraction, 1.0);
+  spec.check();
+}
+
+}  // namespace
+}  // namespace mnemo::workload

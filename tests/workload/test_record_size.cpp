@@ -1,0 +1,132 @@
+#include "workload/record_size.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "stats/summary.hpp"
+#include "util/bytes.hpp"
+
+namespace mnemo::workload {
+namespace {
+
+using util::kKiB;
+
+TEST(FixedSize, AlwaysSame) {
+  FixedSizeModel model(4096);
+  EXPECT_EQ(model.size_of(0), 4096u);
+  EXPECT_EQ(model.size_of(12345), 4096u);
+}
+
+TEST(Lognormal, DeterministicPerKey) {
+  LognormalSizeModel model(10 * kKiB, 0.3, kKiB, 100 * kKiB, 42);
+  for (std::uint64_t k = 0; k < 100; ++k) {
+    EXPECT_EQ(model.size_of(k), model.size_of(k));
+  }
+  LognormalSizeModel same(10 * kKiB, 0.3, kKiB, 100 * kKiB, 42);
+  EXPECT_EQ(model.size_of(7), same.size_of(7));
+  LognormalSizeModel other_seed(10 * kKiB, 0.3, kKiB, 100 * kKiB, 43);
+  int diff = 0;
+  for (std::uint64_t k = 0; k < 100; ++k) {
+    if (model.size_of(k) != other_seed.size_of(k)) ++diff;
+  }
+  EXPECT_GT(diff, 90);
+}
+
+TEST(Lognormal, RespectsClampsAndMedian) {
+  LognormalSizeModel model(10 * kKiB, 0.5, 5 * kKiB, 20 * kKiB, 1);
+  std::vector<double> sizes;
+  for (std::uint64_t k = 0; k < 20'000; ++k) {
+    const std::uint64_t s = model.size_of(k);
+    ASSERT_GE(s, 5 * kKiB);
+    ASSERT_LE(s, 20 * kKiB);
+    sizes.push_back(static_cast<double>(s));
+  }
+  EXPECT_NEAR(stats::median(sizes), 10.0 * kKiB, 0.5 * kKiB);
+}
+
+TEST(Lognormal, ZeroSigmaIsConstant) {
+  LognormalSizeModel model(8 * kKiB, 0.0, kKiB, 100 * kKiB, 9);
+  for (std::uint64_t k = 0; k < 50; ++k) {
+    EXPECT_EQ(model.size_of(k), 8 * kKiB);
+  }
+}
+
+TEST(Mixture, NormalizesWeightsAndAssignsDeterministically) {
+  std::vector<MixtureSizeModel::Component> parts;
+  parts.push_back({3.0, std::make_shared<FixedSizeModel>(100)});
+  parts.push_back({1.0, std::make_shared<FixedSizeModel>(1000)});
+  MixtureSizeModel model("blend", std::move(parts), 5);
+  std::uint64_t small = 0;
+  constexpr std::uint64_t kN = 40'000;
+  for (std::uint64_t k = 0; k < kN; ++k) {
+    const std::uint64_t s = model.size_of(k);
+    ASSERT_TRUE(s == 100 || s == 1000);
+    if (s == 100) ++small;
+    EXPECT_EQ(model.size_of(k), s) << "assignment is stable per key";
+  }
+  EXPECT_NEAR(static_cast<double>(small) / kN, 0.75, 0.02);
+}
+
+class PaperSizeTypes : public ::testing::TestWithParam<RecordSizeType> {};
+
+TEST_P(PaperSizeTypes, MedianNearNominal) {
+  const auto model = make_size_model(GetParam(), 17);
+  std::vector<double> sizes;
+  for (std::uint64_t k = 0; k < 20'000; ++k) {
+    sizes.push_back(static_cast<double>(model->size_of(k)));
+  }
+  const double nominal = static_cast<double>(nominal_bytes(GetParam()));
+  // The preview mix has a multimodal distribution; its *mean* is near the
+  // blend nominal, the unimodal types match on the median.
+  if (GetParam() == RecordSizeType::kPreviewMix) {
+    EXPECT_NEAR(stats::mean(sizes), nominal, nominal * 0.25);
+  } else {
+    EXPECT_NEAR(stats::median(sizes), nominal, nominal * 0.1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTypes, PaperSizeTypes,
+    ::testing::Values(RecordSizeType::kThumbnail, RecordSizeType::kTextPost,
+                      RecordSizeType::kPhotoCaption,
+                      RecordSizeType::kPreviewMix),
+    [](const auto& info) { return std::string(to_string(info.param)); });
+
+TEST(PreviewMix, ContainsAllThreeComponentScales) {
+  const auto model = make_size_model(RecordSizeType::kPreviewMix, 3);
+  bool saw_caption = false;
+  bool saw_post = false;
+  bool saw_thumbnail = false;
+  for (std::uint64_t k = 0; k < 10'000; ++k) {
+    const std::uint64_t s = model->size_of(k);
+    if (s < 3 * kKiB) saw_caption = true;
+    else if (s < 30 * kKiB) saw_post = true;
+    else saw_thumbnail = true;
+  }
+  EXPECT_TRUE(saw_caption);
+  EXPECT_TRUE(saw_post);
+  EXPECT_TRUE(saw_thumbnail);
+}
+
+TEST(SocialMediaTable, CoversPlatformsAndSizeRange) {
+  const auto& table = social_media_size_table();
+  EXPECT_GE(table.size(), 15u);
+  std::set<std::string> platforms;
+  std::uint64_t min_size = ~0ULL;
+  std::uint64_t max_size = 0;
+  for (const auto& e : table) {
+    platforms.insert(e.platform);
+    min_size = std::min(min_size, e.typical_bytes);
+    max_size = std::max(max_size, e.typical_bytes);
+    EXPECT_GT(e.typical_bytes, 0u);
+  }
+  EXPECT_GE(platforms.size(), 5u);
+  // Fig 4 spans ~3 orders of magnitude (captions to photos).
+  EXPECT_LT(min_size, 1 * kKiB);
+  EXPECT_GT(max_size, 50 * kKiB);
+}
+
+}  // namespace
+}  // namespace mnemo::workload

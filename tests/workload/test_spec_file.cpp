@@ -1,0 +1,110 @@
+#include "workload/spec_file.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "workload/suite.hpp"
+#include "workload/trace.hpp"
+
+namespace mnemo::workload {
+namespace {
+
+TEST(SpecFile, ParsesFullSpec) {
+  std::istringstream in(R"(
+# a custom feed workload
+name = my_feed
+distribution = latest
+zipf_theta = 0.9
+latest_drift = 0.1
+read_fraction = 0.95
+record_size = text_post
+keys = 5000
+requests = 50000
+seed = 42
+)");
+  const WorkloadSpec spec = parse_spec(in);
+  EXPECT_EQ(spec.name, "my_feed");
+  EXPECT_EQ(spec.distribution, DistributionKind::kLatest);
+  EXPECT_DOUBLE_EQ(spec.dist_params.zipf_theta, 0.9);
+  EXPECT_DOUBLE_EQ(spec.dist_params.latest_drift, 0.1);
+  EXPECT_DOUBLE_EQ(spec.read_fraction, 0.95);
+  EXPECT_EQ(spec.record_size, RecordSizeType::kTextPost);
+  EXPECT_EQ(spec.key_count, 5000u);
+  EXPECT_EQ(spec.request_count, 50000u);
+  EXPECT_EQ(spec.seed, 42u);
+}
+
+TEST(SpecFile, DefaultsForOmittedKeys) {
+  std::istringstream in("distribution = hotspot\n");
+  const WorkloadSpec spec = parse_spec(in);
+  EXPECT_EQ(spec.name, "custom");
+  EXPECT_EQ(spec.key_count, 10'000u);
+  EXPECT_DOUBLE_EQ(spec.read_fraction, 1.0);
+}
+
+TEST(SpecFile, CommentsAndWhitespaceTolerated) {
+  std::istringstream in(
+      "  keys =  77   # inline comment\n\n# full-line comment\n");
+  EXPECT_EQ(parse_spec(in).key_count, 77u);
+}
+
+TEST(SpecFile, RejectsUnknownKey) {
+  std::istringstream in("bogus = 1\n");
+  EXPECT_THROW(parse_spec(in), std::invalid_argument);
+}
+
+TEST(SpecFile, RejectsMalformedLineAndValues) {
+  std::istringstream in1("just some words\n");
+  EXPECT_THROW(parse_spec(in1), std::invalid_argument);
+  std::istringstream in2("keys = twelve\n");
+  EXPECT_THROW(parse_spec(in2), std::invalid_argument);
+  std::istringstream in3("read_fraction = 0.5x\n");
+  EXPECT_THROW(parse_spec(in3), std::invalid_argument);
+  std::istringstream in4("distribution = gaussian\n");
+  EXPECT_THROW(parse_spec(in4), std::invalid_argument);
+  std::istringstream in5("record_size = video\n");
+  EXPECT_THROW(parse_spec(in5), std::invalid_argument);
+}
+
+TEST(SpecFile, FormatRoundTripsEverySuiteWorkload) {
+  for (const WorkloadSpec& spec : paper_suite()) {
+    std::istringstream in(format_spec(spec));
+    const WorkloadSpec parsed = parse_spec(in);
+    EXPECT_EQ(parsed.name, spec.name);
+    EXPECT_EQ(parsed.distribution, spec.distribution);
+    EXPECT_DOUBLE_EQ(parsed.read_fraction, spec.read_fraction);
+    EXPECT_EQ(parsed.record_size, spec.record_size);
+    EXPECT_EQ(parsed.key_count, spec.key_count);
+    EXPECT_EQ(parsed.request_count, spec.request_count);
+    EXPECT_EQ(parsed.seed, spec.seed);
+    EXPECT_DOUBLE_EQ(parsed.dist_params.latest_drift,
+                     spec.dist_params.latest_drift);
+    // Round-tripped specs generate identical traces.
+    const Trace a = Trace::generate(spec);
+    const Trace b = Trace::generate(parsed);
+    ASSERT_EQ(a.requests().size(), b.requests().size());
+    for (std::size_t i = 0; i < a.requests().size(); i += 997) {
+      ASSERT_EQ(a.requests()[i].key, b.requests()[i].key);
+    }
+  }
+}
+
+TEST(SpecFile, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/spec_roundtrip.conf";
+  const WorkloadSpec original = paper_workload("trending");
+  save_spec_file(original, path);
+  const WorkloadSpec loaded = load_spec_file(path);
+  EXPECT_EQ(loaded.name, original.name);
+  EXPECT_EQ(loaded.distribution, original.distribution);
+  std::filesystem::remove(path);
+}
+
+TEST(SpecFile, MissingFileThrows) {
+  EXPECT_THROW(load_spec_file("/nonexistent/spec.conf"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace mnemo::workload

@@ -1,0 +1,89 @@
+#include "workload/suite.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workload/trace.hpp"
+
+namespace mnemo::workload {
+namespace {
+
+TEST(PaperSuite, HasTheFiveTableIIIWorkloads) {
+  const auto suite = paper_suite();
+  ASSERT_EQ(suite.size(), 5u);
+  EXPECT_EQ(suite[0].name, "trending");
+  EXPECT_EQ(suite[1].name, "news_feed");
+  EXPECT_EQ(suite[2].name, "timeline");
+  EXPECT_EQ(suite[3].name, "edit_thumbnail");
+  EXPECT_EQ(suite[4].name, "trending_preview");
+}
+
+class SuiteWorkloads : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SuiteWorkloads, TableIIIScaleAndValidity) {
+  const WorkloadSpec spec = paper_workload(GetParam());
+  spec.check();
+  EXPECT_EQ(spec.key_count, 10'000u);      // Table III: 10,000 keys
+  EXPECT_EQ(spec.request_count, 100'000u);  // Table III: 100,000 requests
+  EXPECT_FALSE(spec.use_case.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(TableIII, SuiteWorkloads,
+                         ::testing::Values("trending", "news_feed",
+                                           "timeline", "edit_thumbnail",
+                                           "trending_preview"));
+
+TEST(PaperSuite, DistributionsMatchTableIII) {
+  EXPECT_EQ(paper_workload("trending").distribution,
+            DistributionKind::kHotspot);
+  EXPECT_EQ(paper_workload("news_feed").distribution,
+            DistributionKind::kLatest);
+  EXPECT_EQ(paper_workload("timeline").distribution,
+            DistributionKind::kScrambledZipfian);
+  EXPECT_EQ(paper_workload("edit_thumbnail").distribution,
+            DistributionKind::kScrambledZipfian);
+  EXPECT_EQ(paper_workload("trending_preview").distribution,
+            DistributionKind::kHotspot);
+}
+
+TEST(PaperSuite, RatiosMatchTableIII) {
+  EXPECT_DOUBLE_EQ(paper_workload("trending").read_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(paper_workload("edit_thumbnail").read_fraction, 0.5);
+  EXPECT_EQ(paper_workload("trending").ratio_label(), "100:0 readonly");
+  EXPECT_EQ(paper_workload("edit_thumbnail").ratio_label(),
+            "50:50 updateheavy");
+}
+
+TEST(PaperSuite, RecordSizesMatchTableIII) {
+  EXPECT_EQ(paper_workload("trending").record_size,
+            RecordSizeType::kThumbnail);
+  EXPECT_EQ(paper_workload("trending_preview").record_size,
+            RecordSizeType::kPreviewMix);
+}
+
+TEST(RecordSizeSweep, ThreeVariantsOfTimeline) {
+  const auto sweep = record_size_sweep();
+  ASSERT_EQ(sweep.size(), 3u);
+  for (const auto& spec : sweep) {
+    EXPECT_EQ(spec.distribution, DistributionKind::kScrambledZipfian);
+  }
+  EXPECT_EQ(sweep[0].record_size, RecordSizeType::kThumbnail);
+  EXPECT_EQ(sweep[2].record_size, RecordSizeType::kPhotoCaption);
+}
+
+TEST(Sweeps, DistributionAndRatioSetsAreDrawnFromSuite) {
+  EXPECT_EQ(distribution_sweep().size(), 3u);
+  const auto ratio = ratio_sweep();
+  ASSERT_EQ(ratio.size(), 2u);
+  EXPECT_DOUBLE_EQ(ratio[0].read_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(ratio[1].read_fraction, 0.5);
+}
+
+TEST(PaperSuite, GeneratedTracesDifferInSkew) {
+  // Trending (hotspot) concentrates more mass on its hot 20% than
+  // timeline (scrambled zipfian) does on its hottest 20%.
+  const Trace trending = Trace::generate(paper_workload("trending"));
+  EXPECT_NEAR(trending.hot_share(0.2), 0.8, 0.05);
+}
+
+}  // namespace
+}  // namespace mnemo::workload

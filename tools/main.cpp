@@ -1,0 +1,13 @@
+// The `mnemo` command-line tool. All logic lives in src/cli so the test
+// suite can exercise it; this translation unit only adapts argv.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli/cli.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return mnemo::cli::run(args, std::cout, std::cerr);
+}
