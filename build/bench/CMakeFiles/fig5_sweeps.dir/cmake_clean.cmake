@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_sweeps.dir/fig5_sweeps.cpp.o"
+  "CMakeFiles/fig5_sweeps.dir/fig5_sweeps.cpp.o.d"
+  "fig5_sweeps"
+  "fig5_sweeps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_sweeps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

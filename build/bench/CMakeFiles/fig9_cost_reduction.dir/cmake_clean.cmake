@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_cost_reduction.dir/fig9_cost_reduction.cpp.o"
+  "CMakeFiles/fig9_cost_reduction.dir/fig9_cost_reduction.cpp.o.d"
+  "fig9_cost_reduction"
+  "fig9_cost_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_cost_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_testbed.dir/table1_testbed.cpp.o"
+  "CMakeFiles/table1_testbed.dir/table1_testbed.cpp.o.d"
+  "table1_testbed"
+  "table1_testbed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloud_pricing.dir/cloud_pricing.cpp.o"
+  "CMakeFiles/cloud_pricing.dir/cloud_pricing.cpp.o.d"
+  "cloud_pricing"
+  "cloud_pricing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloud_pricing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/downsample_study.dir/downsample_study.cpp.o"
+  "CMakeFiles/downsample_study.dir/downsample_study.cpp.o.d"
+  "downsample_study"
+  "downsample_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/downsample_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mnemo_cli.dir/cli.cpp.o"
+  "CMakeFiles/mnemo_cli.dir/cli.cpp.o.d"
+  "libmnemo_cli.a"
+  "libmnemo_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mnemo_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

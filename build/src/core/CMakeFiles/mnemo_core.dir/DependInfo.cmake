@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/baselines.cpp" "src/core/CMakeFiles/mnemo_core.dir/baselines.cpp.o" "gcc" "src/core/CMakeFiles/mnemo_core.dir/baselines.cpp.o.d"
+  "/root/repo/src/core/cost_model.cpp" "src/core/CMakeFiles/mnemo_core.dir/cost_model.cpp.o" "gcc" "src/core/CMakeFiles/mnemo_core.dir/cost_model.cpp.o.d"
+  "/root/repo/src/core/estimate_engine.cpp" "src/core/CMakeFiles/mnemo_core.dir/estimate_engine.cpp.o" "gcc" "src/core/CMakeFiles/mnemo_core.dir/estimate_engine.cpp.o.d"
+  "/root/repo/src/core/migration.cpp" "src/core/CMakeFiles/mnemo_core.dir/migration.cpp.o" "gcc" "src/core/CMakeFiles/mnemo_core.dir/migration.cpp.o.d"
+  "/root/repo/src/core/mnemo.cpp" "src/core/CMakeFiles/mnemo_core.dir/mnemo.cpp.o" "gcc" "src/core/CMakeFiles/mnemo_core.dir/mnemo.cpp.o.d"
+  "/root/repo/src/core/pattern_engine.cpp" "src/core/CMakeFiles/mnemo_core.dir/pattern_engine.cpp.o" "gcc" "src/core/CMakeFiles/mnemo_core.dir/pattern_engine.cpp.o.d"
+  "/root/repo/src/core/placement_engine.cpp" "src/core/CMakeFiles/mnemo_core.dir/placement_engine.cpp.o" "gcc" "src/core/CMakeFiles/mnemo_core.dir/placement_engine.cpp.o.d"
+  "/root/repo/src/core/profilers.cpp" "src/core/CMakeFiles/mnemo_core.dir/profilers.cpp.o" "gcc" "src/core/CMakeFiles/mnemo_core.dir/profilers.cpp.o.d"
+  "/root/repo/src/core/sensitivity_engine.cpp" "src/core/CMakeFiles/mnemo_core.dir/sensitivity_engine.cpp.o" "gcc" "src/core/CMakeFiles/mnemo_core.dir/sensitivity_engine.cpp.o.d"
+  "/root/repo/src/core/slo_advisor.cpp" "src/core/CMakeFiles/mnemo_core.dir/slo_advisor.cpp.o" "gcc" "src/core/CMakeFiles/mnemo_core.dir/slo_advisor.cpp.o.d"
+  "/root/repo/src/core/tail_estimator.cpp" "src/core/CMakeFiles/mnemo_core.dir/tail_estimator.cpp.o" "gcc" "src/core/CMakeFiles/mnemo_core.dir/tail_estimator.cpp.o.d"
+  "/root/repo/src/core/tiering.cpp" "src/core/CMakeFiles/mnemo_core.dir/tiering.cpp.o" "gcc" "src/core/CMakeFiles/mnemo_core.dir/tiering.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kvstore/CMakeFiles/mnemo_kvstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/mnemo_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/hybridmem/CMakeFiles/mnemo_hybridmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/mnemo_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mnemo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

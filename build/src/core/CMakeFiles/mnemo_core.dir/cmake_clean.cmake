@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mnemo_core.dir/baselines.cpp.o"
+  "CMakeFiles/mnemo_core.dir/baselines.cpp.o.d"
+  "CMakeFiles/mnemo_core.dir/cost_model.cpp.o"
+  "CMakeFiles/mnemo_core.dir/cost_model.cpp.o.d"
+  "CMakeFiles/mnemo_core.dir/estimate_engine.cpp.o"
+  "CMakeFiles/mnemo_core.dir/estimate_engine.cpp.o.d"
+  "CMakeFiles/mnemo_core.dir/migration.cpp.o"
+  "CMakeFiles/mnemo_core.dir/migration.cpp.o.d"
+  "CMakeFiles/mnemo_core.dir/mnemo.cpp.o"
+  "CMakeFiles/mnemo_core.dir/mnemo.cpp.o.d"
+  "CMakeFiles/mnemo_core.dir/pattern_engine.cpp.o"
+  "CMakeFiles/mnemo_core.dir/pattern_engine.cpp.o.d"
+  "CMakeFiles/mnemo_core.dir/placement_engine.cpp.o"
+  "CMakeFiles/mnemo_core.dir/placement_engine.cpp.o.d"
+  "CMakeFiles/mnemo_core.dir/profilers.cpp.o"
+  "CMakeFiles/mnemo_core.dir/profilers.cpp.o.d"
+  "CMakeFiles/mnemo_core.dir/sensitivity_engine.cpp.o"
+  "CMakeFiles/mnemo_core.dir/sensitivity_engine.cpp.o.d"
+  "CMakeFiles/mnemo_core.dir/slo_advisor.cpp.o"
+  "CMakeFiles/mnemo_core.dir/slo_advisor.cpp.o.d"
+  "CMakeFiles/mnemo_core.dir/tail_estimator.cpp.o"
+  "CMakeFiles/mnemo_core.dir/tail_estimator.cpp.o.d"
+  "CMakeFiles/mnemo_core.dir/tiering.cpp.o"
+  "CMakeFiles/mnemo_core.dir/tiering.cpp.o.d"
+  "libmnemo_core.a"
+  "libmnemo_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mnemo_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hybridmem/emulation_profile.cpp" "src/hybridmem/CMakeFiles/mnemo_hybridmem.dir/emulation_profile.cpp.o" "gcc" "src/hybridmem/CMakeFiles/mnemo_hybridmem.dir/emulation_profile.cpp.o.d"
+  "/root/repo/src/hybridmem/hybrid_memory.cpp" "src/hybridmem/CMakeFiles/mnemo_hybridmem.dir/hybrid_memory.cpp.o" "gcc" "src/hybridmem/CMakeFiles/mnemo_hybridmem.dir/hybrid_memory.cpp.o.d"
+  "/root/repo/src/hybridmem/llc_model.cpp" "src/hybridmem/CMakeFiles/mnemo_hybridmem.dir/llc_model.cpp.o" "gcc" "src/hybridmem/CMakeFiles/mnemo_hybridmem.dir/llc_model.cpp.o.d"
+  "/root/repo/src/hybridmem/memory_node.cpp" "src/hybridmem/CMakeFiles/mnemo_hybridmem.dir/memory_node.cpp.o" "gcc" "src/hybridmem/CMakeFiles/mnemo_hybridmem.dir/memory_node.cpp.o.d"
+  "/root/repo/src/hybridmem/placement.cpp" "src/hybridmem/CMakeFiles/mnemo_hybridmem.dir/placement.cpp.o" "gcc" "src/hybridmem/CMakeFiles/mnemo_hybridmem.dir/placement.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mnemo_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/mnemo_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

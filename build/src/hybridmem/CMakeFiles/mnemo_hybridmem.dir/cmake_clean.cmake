@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mnemo_hybridmem.dir/emulation_profile.cpp.o"
+  "CMakeFiles/mnemo_hybridmem.dir/emulation_profile.cpp.o.d"
+  "CMakeFiles/mnemo_hybridmem.dir/hybrid_memory.cpp.o"
+  "CMakeFiles/mnemo_hybridmem.dir/hybrid_memory.cpp.o.d"
+  "CMakeFiles/mnemo_hybridmem.dir/llc_model.cpp.o"
+  "CMakeFiles/mnemo_hybridmem.dir/llc_model.cpp.o.d"
+  "CMakeFiles/mnemo_hybridmem.dir/memory_node.cpp.o"
+  "CMakeFiles/mnemo_hybridmem.dir/memory_node.cpp.o.d"
+  "CMakeFiles/mnemo_hybridmem.dir/placement.cpp.o"
+  "CMakeFiles/mnemo_hybridmem.dir/placement.cpp.o.d"
+  "libmnemo_hybridmem.a"
+  "libmnemo_hybridmem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mnemo_hybridmem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

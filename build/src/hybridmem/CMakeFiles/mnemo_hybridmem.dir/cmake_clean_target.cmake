@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmnemo_hybridmem.a"
+)

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kvstore/cachet/assoc.cpp" "src/kvstore/CMakeFiles/mnemo_kvstore.dir/cachet/assoc.cpp.o" "gcc" "src/kvstore/CMakeFiles/mnemo_kvstore.dir/cachet/assoc.cpp.o.d"
+  "/root/repo/src/kvstore/cachet/cachet.cpp" "src/kvstore/CMakeFiles/mnemo_kvstore.dir/cachet/cachet.cpp.o" "gcc" "src/kvstore/CMakeFiles/mnemo_kvstore.dir/cachet/cachet.cpp.o.d"
+  "/root/repo/src/kvstore/cachet/slab.cpp" "src/kvstore/CMakeFiles/mnemo_kvstore.dir/cachet/slab.cpp.o" "gcc" "src/kvstore/CMakeFiles/mnemo_kvstore.dir/cachet/slab.cpp.o.d"
+  "/root/repo/src/kvstore/dual_server.cpp" "src/kvstore/CMakeFiles/mnemo_kvstore.dir/dual_server.cpp.o" "gcc" "src/kvstore/CMakeFiles/mnemo_kvstore.dir/dual_server.cpp.o.d"
+  "/root/repo/src/kvstore/dynastore/btree.cpp" "src/kvstore/CMakeFiles/mnemo_kvstore.dir/dynastore/btree.cpp.o" "gcc" "src/kvstore/CMakeFiles/mnemo_kvstore.dir/dynastore/btree.cpp.o.d"
+  "/root/repo/src/kvstore/dynastore/dynastore.cpp" "src/kvstore/CMakeFiles/mnemo_kvstore.dir/dynastore/dynastore.cpp.o" "gcc" "src/kvstore/CMakeFiles/mnemo_kvstore.dir/dynastore/dynastore.cpp.o.d"
+  "/root/repo/src/kvstore/dynastore/journal.cpp" "src/kvstore/CMakeFiles/mnemo_kvstore.dir/dynastore/journal.cpp.o" "gcc" "src/kvstore/CMakeFiles/mnemo_kvstore.dir/dynastore/journal.cpp.o.d"
+  "/root/repo/src/kvstore/factory.cpp" "src/kvstore/CMakeFiles/mnemo_kvstore.dir/factory.cpp.o" "gcc" "src/kvstore/CMakeFiles/mnemo_kvstore.dir/factory.cpp.o.d"
+  "/root/repo/src/kvstore/kvstore.cpp" "src/kvstore/CMakeFiles/mnemo_kvstore.dir/kvstore.cpp.o" "gcc" "src/kvstore/CMakeFiles/mnemo_kvstore.dir/kvstore.cpp.o.d"
+  "/root/repo/src/kvstore/record.cpp" "src/kvstore/CMakeFiles/mnemo_kvstore.dir/record.cpp.o" "gcc" "src/kvstore/CMakeFiles/mnemo_kvstore.dir/record.cpp.o.d"
+  "/root/repo/src/kvstore/service_profile.cpp" "src/kvstore/CMakeFiles/mnemo_kvstore.dir/service_profile.cpp.o" "gcc" "src/kvstore/CMakeFiles/mnemo_kvstore.dir/service_profile.cpp.o.d"
+  "/root/repo/src/kvstore/vermilion/dict.cpp" "src/kvstore/CMakeFiles/mnemo_kvstore.dir/vermilion/dict.cpp.o" "gcc" "src/kvstore/CMakeFiles/mnemo_kvstore.dir/vermilion/dict.cpp.o.d"
+  "/root/repo/src/kvstore/vermilion/vermilion.cpp" "src/kvstore/CMakeFiles/mnemo_kvstore.dir/vermilion/vermilion.cpp.o" "gcc" "src/kvstore/CMakeFiles/mnemo_kvstore.dir/vermilion/vermilion.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hybridmem/CMakeFiles/mnemo_hybridmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/mnemo_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/mnemo_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mnemo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

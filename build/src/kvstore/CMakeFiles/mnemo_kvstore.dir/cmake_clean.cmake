@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mnemo_kvstore.dir/cachet/assoc.cpp.o"
+  "CMakeFiles/mnemo_kvstore.dir/cachet/assoc.cpp.o.d"
+  "CMakeFiles/mnemo_kvstore.dir/cachet/cachet.cpp.o"
+  "CMakeFiles/mnemo_kvstore.dir/cachet/cachet.cpp.o.d"
+  "CMakeFiles/mnemo_kvstore.dir/cachet/slab.cpp.o"
+  "CMakeFiles/mnemo_kvstore.dir/cachet/slab.cpp.o.d"
+  "CMakeFiles/mnemo_kvstore.dir/dual_server.cpp.o"
+  "CMakeFiles/mnemo_kvstore.dir/dual_server.cpp.o.d"
+  "CMakeFiles/mnemo_kvstore.dir/dynastore/btree.cpp.o"
+  "CMakeFiles/mnemo_kvstore.dir/dynastore/btree.cpp.o.d"
+  "CMakeFiles/mnemo_kvstore.dir/dynastore/dynastore.cpp.o"
+  "CMakeFiles/mnemo_kvstore.dir/dynastore/dynastore.cpp.o.d"
+  "CMakeFiles/mnemo_kvstore.dir/dynastore/journal.cpp.o"
+  "CMakeFiles/mnemo_kvstore.dir/dynastore/journal.cpp.o.d"
+  "CMakeFiles/mnemo_kvstore.dir/factory.cpp.o"
+  "CMakeFiles/mnemo_kvstore.dir/factory.cpp.o.d"
+  "CMakeFiles/mnemo_kvstore.dir/kvstore.cpp.o"
+  "CMakeFiles/mnemo_kvstore.dir/kvstore.cpp.o.d"
+  "CMakeFiles/mnemo_kvstore.dir/record.cpp.o"
+  "CMakeFiles/mnemo_kvstore.dir/record.cpp.o.d"
+  "CMakeFiles/mnemo_kvstore.dir/service_profile.cpp.o"
+  "CMakeFiles/mnemo_kvstore.dir/service_profile.cpp.o.d"
+  "CMakeFiles/mnemo_kvstore.dir/vermilion/dict.cpp.o"
+  "CMakeFiles/mnemo_kvstore.dir/vermilion/dict.cpp.o.d"
+  "CMakeFiles/mnemo_kvstore.dir/vermilion/vermilion.cpp.o"
+  "CMakeFiles/mnemo_kvstore.dir/vermilion/vermilion.cpp.o.d"
+  "libmnemo_kvstore.a"
+  "libmnemo_kvstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mnemo_kvstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pricing/catalog.cpp" "src/pricing/CMakeFiles/mnemo_pricing.dir/catalog.cpp.o" "gcc" "src/pricing/CMakeFiles/mnemo_pricing.dir/catalog.cpp.o.d"
+  "/root/repo/src/pricing/cost_regression.cpp" "src/pricing/CMakeFiles/mnemo_pricing.dir/cost_regression.cpp.o" "gcc" "src/pricing/CMakeFiles/mnemo_pricing.dir/cost_regression.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/mnemo_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mnemo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

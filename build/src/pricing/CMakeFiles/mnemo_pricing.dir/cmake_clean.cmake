@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mnemo_pricing.dir/catalog.cpp.o"
+  "CMakeFiles/mnemo_pricing.dir/catalog.cpp.o.d"
+  "CMakeFiles/mnemo_pricing.dir/cost_regression.cpp.o"
+  "CMakeFiles/mnemo_pricing.dir/cost_regression.cpp.o.d"
+  "libmnemo_pricing.a"
+  "libmnemo_pricing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mnemo_pricing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mnemo_stats.dir/cdf.cpp.o"
+  "CMakeFiles/mnemo_stats.dir/cdf.cpp.o.d"
+  "CMakeFiles/mnemo_stats.dir/histogram.cpp.o"
+  "CMakeFiles/mnemo_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/mnemo_stats.dir/log_histogram.cpp.o"
+  "CMakeFiles/mnemo_stats.dir/log_histogram.cpp.o.d"
+  "CMakeFiles/mnemo_stats.dir/regression.cpp.o"
+  "CMakeFiles/mnemo_stats.dir/regression.cpp.o.d"
+  "CMakeFiles/mnemo_stats.dir/summary.cpp.o"
+  "CMakeFiles/mnemo_stats.dir/summary.cpp.o.d"
+  "libmnemo_stats.a"
+  "libmnemo_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mnemo_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

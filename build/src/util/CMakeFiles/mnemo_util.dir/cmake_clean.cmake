@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mnemo_util.dir/argparse.cpp.o"
+  "CMakeFiles/mnemo_util.dir/argparse.cpp.o.d"
+  "CMakeFiles/mnemo_util.dir/ascii_plot.cpp.o"
+  "CMakeFiles/mnemo_util.dir/ascii_plot.cpp.o.d"
+  "CMakeFiles/mnemo_util.dir/bytes.cpp.o"
+  "CMakeFiles/mnemo_util.dir/bytes.cpp.o.d"
+  "CMakeFiles/mnemo_util.dir/csv.cpp.o"
+  "CMakeFiles/mnemo_util.dir/csv.cpp.o.d"
+  "CMakeFiles/mnemo_util.dir/logging.cpp.o"
+  "CMakeFiles/mnemo_util.dir/logging.cpp.o.d"
+  "CMakeFiles/mnemo_util.dir/table.cpp.o"
+  "CMakeFiles/mnemo_util.dir/table.cpp.o.d"
+  "CMakeFiles/mnemo_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/mnemo_util.dir/thread_pool.cpp.o.d"
+  "libmnemo_util.a"
+  "libmnemo_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mnemo_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/characterize.cpp" "src/workload/CMakeFiles/mnemo_workload.dir/characterize.cpp.o" "gcc" "src/workload/CMakeFiles/mnemo_workload.dir/characterize.cpp.o.d"
+  "/root/repo/src/workload/downsample.cpp" "src/workload/CMakeFiles/mnemo_workload.dir/downsample.cpp.o" "gcc" "src/workload/CMakeFiles/mnemo_workload.dir/downsample.cpp.o.d"
+  "/root/repo/src/workload/key_distribution.cpp" "src/workload/CMakeFiles/mnemo_workload.dir/key_distribution.cpp.o" "gcc" "src/workload/CMakeFiles/mnemo_workload.dir/key_distribution.cpp.o.d"
+  "/root/repo/src/workload/record_size.cpp" "src/workload/CMakeFiles/mnemo_workload.dir/record_size.cpp.o" "gcc" "src/workload/CMakeFiles/mnemo_workload.dir/record_size.cpp.o.d"
+  "/root/repo/src/workload/spec_file.cpp" "src/workload/CMakeFiles/mnemo_workload.dir/spec_file.cpp.o" "gcc" "src/workload/CMakeFiles/mnemo_workload.dir/spec_file.cpp.o.d"
+  "/root/repo/src/workload/suite.cpp" "src/workload/CMakeFiles/mnemo_workload.dir/suite.cpp.o" "gcc" "src/workload/CMakeFiles/mnemo_workload.dir/suite.cpp.o.d"
+  "/root/repo/src/workload/trace.cpp" "src/workload/CMakeFiles/mnemo_workload.dir/trace.cpp.o" "gcc" "src/workload/CMakeFiles/mnemo_workload.dir/trace.cpp.o.d"
+  "/root/repo/src/workload/workload_spec.cpp" "src/workload/CMakeFiles/mnemo_workload.dir/workload_spec.cpp.o" "gcc" "src/workload/CMakeFiles/mnemo_workload.dir/workload_spec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mnemo_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/mnemo_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mnemo_workload.dir/characterize.cpp.o"
+  "CMakeFiles/mnemo_workload.dir/characterize.cpp.o.d"
+  "CMakeFiles/mnemo_workload.dir/downsample.cpp.o"
+  "CMakeFiles/mnemo_workload.dir/downsample.cpp.o.d"
+  "CMakeFiles/mnemo_workload.dir/key_distribution.cpp.o"
+  "CMakeFiles/mnemo_workload.dir/key_distribution.cpp.o.d"
+  "CMakeFiles/mnemo_workload.dir/record_size.cpp.o"
+  "CMakeFiles/mnemo_workload.dir/record_size.cpp.o.d"
+  "CMakeFiles/mnemo_workload.dir/spec_file.cpp.o"
+  "CMakeFiles/mnemo_workload.dir/spec_file.cpp.o.d"
+  "CMakeFiles/mnemo_workload.dir/suite.cpp.o"
+  "CMakeFiles/mnemo_workload.dir/suite.cpp.o.d"
+  "CMakeFiles/mnemo_workload.dir/trace.cpp.o"
+  "CMakeFiles/mnemo_workload.dir/trace.cpp.o.d"
+  "CMakeFiles/mnemo_workload.dir/workload_spec.cpp.o"
+  "CMakeFiles/mnemo_workload.dir/workload_spec.cpp.o.d"
+  "libmnemo_workload.a"
+  "libmnemo_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mnemo_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_cost_model.cpp" "tests/CMakeFiles/tests_core.dir/core/test_cost_model.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/test_cost_model.cpp.o.d"
+  "/root/repo/tests/core/test_determinism.cpp" "tests/CMakeFiles/tests_core.dir/core/test_determinism.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/test_determinism.cpp.o.d"
+  "/root/repo/tests/core/test_estimate_engine.cpp" "tests/CMakeFiles/tests_core.dir/core/test_estimate_engine.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/test_estimate_engine.cpp.o.d"
+  "/root/repo/tests/core/test_estimate_properties.cpp" "tests/CMakeFiles/tests_core.dir/core/test_estimate_properties.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/test_estimate_properties.cpp.o.d"
+  "/root/repo/tests/core/test_integration.cpp" "tests/CMakeFiles/tests_core.dir/core/test_integration.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/test_integration.cpp.o.d"
+  "/root/repo/tests/core/test_migration.cpp" "tests/CMakeFiles/tests_core.dir/core/test_migration.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/test_migration.cpp.o.d"
+  "/root/repo/tests/core/test_mnemo.cpp" "tests/CMakeFiles/tests_core.dir/core/test_mnemo.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/test_mnemo.cpp.o.d"
+  "/root/repo/tests/core/test_pattern_engine.cpp" "tests/CMakeFiles/tests_core.dir/core/test_pattern_engine.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/test_pattern_engine.cpp.o.d"
+  "/root/repo/tests/core/test_profilers.cpp" "tests/CMakeFiles/tests_core.dir/core/test_profilers.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/test_profilers.cpp.o.d"
+  "/root/repo/tests/core/test_sensitivity_engine.cpp" "tests/CMakeFiles/tests_core.dir/core/test_sensitivity_engine.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/test_sensitivity_engine.cpp.o.d"
+  "/root/repo/tests/core/test_slo_advisor.cpp" "tests/CMakeFiles/tests_core.dir/core/test_slo_advisor.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/test_slo_advisor.cpp.o.d"
+  "/root/repo/tests/core/test_tail_estimator.cpp" "tests/CMakeFiles/tests_core.dir/core/test_tail_estimator.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/test_tail_estimator.cpp.o.d"
+  "/root/repo/tests/core/test_tiering.cpp" "tests/CMakeFiles/tests_core.dir/core/test_tiering.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/test_tiering.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mnemo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/pricing/CMakeFiles/mnemo_pricing.dir/DependInfo.cmake"
+  "/root/repo/build/src/kvstore/CMakeFiles/mnemo_kvstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/mnemo_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/hybridmem/CMakeFiles/mnemo_hybridmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/mnemo_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mnemo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

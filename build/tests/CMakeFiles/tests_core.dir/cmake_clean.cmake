@@ -1,0 +1,36 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_core.dir/core/test_cost_model.cpp.o"
+  "CMakeFiles/tests_core.dir/core/test_cost_model.cpp.o.d"
+  "CMakeFiles/tests_core.dir/core/test_determinism.cpp.o"
+  "CMakeFiles/tests_core.dir/core/test_determinism.cpp.o.d"
+  "CMakeFiles/tests_core.dir/core/test_estimate_engine.cpp.o"
+  "CMakeFiles/tests_core.dir/core/test_estimate_engine.cpp.o.d"
+  "CMakeFiles/tests_core.dir/core/test_estimate_properties.cpp.o"
+  "CMakeFiles/tests_core.dir/core/test_estimate_properties.cpp.o.d"
+  "CMakeFiles/tests_core.dir/core/test_integration.cpp.o"
+  "CMakeFiles/tests_core.dir/core/test_integration.cpp.o.d"
+  "CMakeFiles/tests_core.dir/core/test_migration.cpp.o"
+  "CMakeFiles/tests_core.dir/core/test_migration.cpp.o.d"
+  "CMakeFiles/tests_core.dir/core/test_mnemo.cpp.o"
+  "CMakeFiles/tests_core.dir/core/test_mnemo.cpp.o.d"
+  "CMakeFiles/tests_core.dir/core/test_pattern_engine.cpp.o"
+  "CMakeFiles/tests_core.dir/core/test_pattern_engine.cpp.o.d"
+  "CMakeFiles/tests_core.dir/core/test_profilers.cpp.o"
+  "CMakeFiles/tests_core.dir/core/test_profilers.cpp.o.d"
+  "CMakeFiles/tests_core.dir/core/test_sensitivity_engine.cpp.o"
+  "CMakeFiles/tests_core.dir/core/test_sensitivity_engine.cpp.o.d"
+  "CMakeFiles/tests_core.dir/core/test_slo_advisor.cpp.o"
+  "CMakeFiles/tests_core.dir/core/test_slo_advisor.cpp.o.d"
+  "CMakeFiles/tests_core.dir/core/test_tail_estimator.cpp.o"
+  "CMakeFiles/tests_core.dir/core/test_tail_estimator.cpp.o.d"
+  "CMakeFiles/tests_core.dir/core/test_tiering.cpp.o"
+  "CMakeFiles/tests_core.dir/core/test_tiering.cpp.o.d"
+  "tests_core"
+  "tests_core.pdb"
+  "tests_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

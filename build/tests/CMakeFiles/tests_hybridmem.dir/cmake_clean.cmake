@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_hybridmem.dir/hybridmem/test_hybrid_memory.cpp.o"
+  "CMakeFiles/tests_hybridmem.dir/hybridmem/test_hybrid_memory.cpp.o.d"
+  "CMakeFiles/tests_hybridmem.dir/hybridmem/test_llc.cpp.o"
+  "CMakeFiles/tests_hybridmem.dir/hybridmem/test_llc.cpp.o.d"
+  "CMakeFiles/tests_hybridmem.dir/hybridmem/test_memory_node.cpp.o"
+  "CMakeFiles/tests_hybridmem.dir/hybridmem/test_memory_node.cpp.o.d"
+  "CMakeFiles/tests_hybridmem.dir/hybridmem/test_placement.cpp.o"
+  "CMakeFiles/tests_hybridmem.dir/hybridmem/test_placement.cpp.o.d"
+  "tests_hybridmem"
+  "tests_hybridmem.pdb"
+  "tests_hybridmem[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_hybridmem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/kvstore/test_assoc.cpp" "tests/CMakeFiles/tests_kvstore.dir/kvstore/test_assoc.cpp.o" "gcc" "tests/CMakeFiles/tests_kvstore.dir/kvstore/test_assoc.cpp.o.d"
+  "/root/repo/tests/kvstore/test_btree.cpp" "tests/CMakeFiles/tests_kvstore.dir/kvstore/test_btree.cpp.o" "gcc" "tests/CMakeFiles/tests_kvstore.dir/kvstore/test_btree.cpp.o.d"
+  "/root/repo/tests/kvstore/test_dict.cpp" "tests/CMakeFiles/tests_kvstore.dir/kvstore/test_dict.cpp.o" "gcc" "tests/CMakeFiles/tests_kvstore.dir/kvstore/test_dict.cpp.o.d"
+  "/root/repo/tests/kvstore/test_dual_server.cpp" "tests/CMakeFiles/tests_kvstore.dir/kvstore/test_dual_server.cpp.o" "gcc" "tests/CMakeFiles/tests_kvstore.dir/kvstore/test_dual_server.cpp.o.d"
+  "/root/repo/tests/kvstore/test_eviction_policy.cpp" "tests/CMakeFiles/tests_kvstore.dir/kvstore/test_eviction_policy.cpp.o" "gcc" "tests/CMakeFiles/tests_kvstore.dir/kvstore/test_eviction_policy.cpp.o.d"
+  "/root/repo/tests/kvstore/test_journal.cpp" "tests/CMakeFiles/tests_kvstore.dir/kvstore/test_journal.cpp.o" "gcc" "tests/CMakeFiles/tests_kvstore.dir/kvstore/test_journal.cpp.o.d"
+  "/root/repo/tests/kvstore/test_service_model.cpp" "tests/CMakeFiles/tests_kvstore.dir/kvstore/test_service_model.cpp.o" "gcc" "tests/CMakeFiles/tests_kvstore.dir/kvstore/test_service_model.cpp.o.d"
+  "/root/repo/tests/kvstore/test_slab.cpp" "tests/CMakeFiles/tests_kvstore.dir/kvstore/test_slab.cpp.o" "gcc" "tests/CMakeFiles/tests_kvstore.dir/kvstore/test_slab.cpp.o.d"
+  "/root/repo/tests/kvstore/test_store_semantics.cpp" "tests/CMakeFiles/tests_kvstore.dir/kvstore/test_store_semantics.cpp.o" "gcc" "tests/CMakeFiles/tests_kvstore.dir/kvstore/test_store_semantics.cpp.o.d"
+  "/root/repo/tests/kvstore/test_stores.cpp" "tests/CMakeFiles/tests_kvstore.dir/kvstore/test_stores.cpp.o" "gcc" "tests/CMakeFiles/tests_kvstore.dir/kvstore/test_stores.cpp.o.d"
+  "/root/repo/tests/kvstore/test_ttl_scan.cpp" "tests/CMakeFiles/tests_kvstore.dir/kvstore/test_ttl_scan.cpp.o" "gcc" "tests/CMakeFiles/tests_kvstore.dir/kvstore/test_ttl_scan.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mnemo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/pricing/CMakeFiles/mnemo_pricing.dir/DependInfo.cmake"
+  "/root/repo/build/src/kvstore/CMakeFiles/mnemo_kvstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/mnemo_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/hybridmem/CMakeFiles/mnemo_hybridmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/mnemo_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mnemo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

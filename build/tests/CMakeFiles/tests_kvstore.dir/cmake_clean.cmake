@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_kvstore.dir/kvstore/test_assoc.cpp.o"
+  "CMakeFiles/tests_kvstore.dir/kvstore/test_assoc.cpp.o.d"
+  "CMakeFiles/tests_kvstore.dir/kvstore/test_btree.cpp.o"
+  "CMakeFiles/tests_kvstore.dir/kvstore/test_btree.cpp.o.d"
+  "CMakeFiles/tests_kvstore.dir/kvstore/test_dict.cpp.o"
+  "CMakeFiles/tests_kvstore.dir/kvstore/test_dict.cpp.o.d"
+  "CMakeFiles/tests_kvstore.dir/kvstore/test_dual_server.cpp.o"
+  "CMakeFiles/tests_kvstore.dir/kvstore/test_dual_server.cpp.o.d"
+  "CMakeFiles/tests_kvstore.dir/kvstore/test_eviction_policy.cpp.o"
+  "CMakeFiles/tests_kvstore.dir/kvstore/test_eviction_policy.cpp.o.d"
+  "CMakeFiles/tests_kvstore.dir/kvstore/test_journal.cpp.o"
+  "CMakeFiles/tests_kvstore.dir/kvstore/test_journal.cpp.o.d"
+  "CMakeFiles/tests_kvstore.dir/kvstore/test_service_model.cpp.o"
+  "CMakeFiles/tests_kvstore.dir/kvstore/test_service_model.cpp.o.d"
+  "CMakeFiles/tests_kvstore.dir/kvstore/test_slab.cpp.o"
+  "CMakeFiles/tests_kvstore.dir/kvstore/test_slab.cpp.o.d"
+  "CMakeFiles/tests_kvstore.dir/kvstore/test_store_semantics.cpp.o"
+  "CMakeFiles/tests_kvstore.dir/kvstore/test_store_semantics.cpp.o.d"
+  "CMakeFiles/tests_kvstore.dir/kvstore/test_stores.cpp.o"
+  "CMakeFiles/tests_kvstore.dir/kvstore/test_stores.cpp.o.d"
+  "CMakeFiles/tests_kvstore.dir/kvstore/test_ttl_scan.cpp.o"
+  "CMakeFiles/tests_kvstore.dir/kvstore/test_ttl_scan.cpp.o.d"
+  "tests_kvstore"
+  "tests_kvstore.pdb"
+  "tests_kvstore[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_kvstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_pricing.dir/pricing/test_pricing.cpp.o"
+  "CMakeFiles/tests_pricing.dir/pricing/test_pricing.cpp.o.d"
+  "tests_pricing"
+  "tests_pricing.pdb"
+  "tests_pricing[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_pricing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

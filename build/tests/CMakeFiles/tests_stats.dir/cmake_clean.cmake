@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_stats.dir/stats/test_cdf_histogram.cpp.o"
+  "CMakeFiles/tests_stats.dir/stats/test_cdf_histogram.cpp.o.d"
+  "CMakeFiles/tests_stats.dir/stats/test_fenwick.cpp.o"
+  "CMakeFiles/tests_stats.dir/stats/test_fenwick.cpp.o.d"
+  "CMakeFiles/tests_stats.dir/stats/test_log_histogram.cpp.o"
+  "CMakeFiles/tests_stats.dir/stats/test_log_histogram.cpp.o.d"
+  "CMakeFiles/tests_stats.dir/stats/test_regression.cpp.o"
+  "CMakeFiles/tests_stats.dir/stats/test_regression.cpp.o.d"
+  "CMakeFiles/tests_stats.dir/stats/test_summary.cpp.o"
+  "CMakeFiles/tests_stats.dir/stats/test_summary.cpp.o.d"
+  "tests_stats"
+  "tests_stats.pdb"
+  "tests_stats[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_util.dir/util/test_argparse.cpp.o"
+  "CMakeFiles/tests_util.dir/util/test_argparse.cpp.o.d"
+  "CMakeFiles/tests_util.dir/util/test_bytes.cpp.o"
+  "CMakeFiles/tests_util.dir/util/test_bytes.cpp.o.d"
+  "CMakeFiles/tests_util.dir/util/test_csv.cpp.o"
+  "CMakeFiles/tests_util.dir/util/test_csv.cpp.o.d"
+  "CMakeFiles/tests_util.dir/util/test_logging.cpp.o"
+  "CMakeFiles/tests_util.dir/util/test_logging.cpp.o.d"
+  "CMakeFiles/tests_util.dir/util/test_rng.cpp.o"
+  "CMakeFiles/tests_util.dir/util/test_rng.cpp.o.d"
+  "CMakeFiles/tests_util.dir/util/test_table_plot.cpp.o"
+  "CMakeFiles/tests_util.dir/util/test_table_plot.cpp.o.d"
+  "CMakeFiles/tests_util.dir/util/test_thread_pool.cpp.o"
+  "CMakeFiles/tests_util.dir/util/test_thread_pool.cpp.o.d"
+  "tests_util"
+  "tests_util.pdb"
+  "tests_util[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

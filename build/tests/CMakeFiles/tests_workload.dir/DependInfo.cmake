@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/workload/test_characterize.cpp" "tests/CMakeFiles/tests_workload.dir/workload/test_characterize.cpp.o" "gcc" "tests/CMakeFiles/tests_workload.dir/workload/test_characterize.cpp.o.d"
+  "/root/repo/tests/workload/test_distributions.cpp" "tests/CMakeFiles/tests_workload.dir/workload/test_distributions.cpp.o" "gcc" "tests/CMakeFiles/tests_workload.dir/workload/test_distributions.cpp.o.d"
+  "/root/repo/tests/workload/test_downsample.cpp" "tests/CMakeFiles/tests_workload.dir/workload/test_downsample.cpp.o" "gcc" "tests/CMakeFiles/tests_workload.dir/workload/test_downsample.cpp.o.d"
+  "/root/repo/tests/workload/test_inserts.cpp" "tests/CMakeFiles/tests_workload.dir/workload/test_inserts.cpp.o" "gcc" "tests/CMakeFiles/tests_workload.dir/workload/test_inserts.cpp.o.d"
+  "/root/repo/tests/workload/test_record_size.cpp" "tests/CMakeFiles/tests_workload.dir/workload/test_record_size.cpp.o" "gcc" "tests/CMakeFiles/tests_workload.dir/workload/test_record_size.cpp.o.d"
+  "/root/repo/tests/workload/test_spec_file.cpp" "tests/CMakeFiles/tests_workload.dir/workload/test_spec_file.cpp.o" "gcc" "tests/CMakeFiles/tests_workload.dir/workload/test_spec_file.cpp.o.d"
+  "/root/repo/tests/workload/test_suite.cpp" "tests/CMakeFiles/tests_workload.dir/workload/test_suite.cpp.o" "gcc" "tests/CMakeFiles/tests_workload.dir/workload/test_suite.cpp.o.d"
+  "/root/repo/tests/workload/test_trace.cpp" "tests/CMakeFiles/tests_workload.dir/workload/test_trace.cpp.o" "gcc" "tests/CMakeFiles/tests_workload.dir/workload/test_trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mnemo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/pricing/CMakeFiles/mnemo_pricing.dir/DependInfo.cmake"
+  "/root/repo/build/src/kvstore/CMakeFiles/mnemo_kvstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/mnemo_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/hybridmem/CMakeFiles/mnemo_hybridmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/mnemo_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mnemo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

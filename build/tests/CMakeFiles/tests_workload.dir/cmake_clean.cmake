@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_workload.dir/workload/test_characterize.cpp.o"
+  "CMakeFiles/tests_workload.dir/workload/test_characterize.cpp.o.d"
+  "CMakeFiles/tests_workload.dir/workload/test_distributions.cpp.o"
+  "CMakeFiles/tests_workload.dir/workload/test_distributions.cpp.o.d"
+  "CMakeFiles/tests_workload.dir/workload/test_downsample.cpp.o"
+  "CMakeFiles/tests_workload.dir/workload/test_downsample.cpp.o.d"
+  "CMakeFiles/tests_workload.dir/workload/test_inserts.cpp.o"
+  "CMakeFiles/tests_workload.dir/workload/test_inserts.cpp.o.d"
+  "CMakeFiles/tests_workload.dir/workload/test_record_size.cpp.o"
+  "CMakeFiles/tests_workload.dir/workload/test_record_size.cpp.o.d"
+  "CMakeFiles/tests_workload.dir/workload/test_spec_file.cpp.o"
+  "CMakeFiles/tests_workload.dir/workload/test_spec_file.cpp.o.d"
+  "CMakeFiles/tests_workload.dir/workload/test_suite.cpp.o"
+  "CMakeFiles/tests_workload.dir/workload/test_suite.cpp.o.d"
+  "CMakeFiles/tests_workload.dir/workload/test_trace.cpp.o"
+  "CMakeFiles/tests_workload.dir/workload/test_trace.cpp.o.d"
+  "tests_workload"
+  "tests_workload.pdb"
+  "tests_workload[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

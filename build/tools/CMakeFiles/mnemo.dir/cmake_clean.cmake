@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mnemo.dir/main.cpp.o"
+  "CMakeFiles/mnemo.dir/main.cpp.o.d"
+  "mnemo"
+  "mnemo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mnemo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
