@@ -6,6 +6,7 @@
 //      accesses under tight FastMem budgets.
 //   4. Stored vs synthetic payloads — simulated results must be identical.
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 

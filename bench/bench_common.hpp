@@ -9,9 +9,9 @@
 #include <string>
 #include <vector>
 
+#include "core/campaign.hpp"
 #include "core/mnemo.hpp"
 #include "core/placement_engine.hpp"
-#include "util/thread_pool.hpp"
 
 namespace mnemo::bench {
 
@@ -34,6 +34,7 @@ struct SweepResult {
   kvstore::StoreKind store = kvstore::StoreKind::kVermilion;
   core::MnemoReport report;
   std::vector<SweepPoint> points;  ///< includes both baselines
+  core::CampaignStats stats;       ///< fan-out accounting of the sweep
 };
 
 /// Default measured fractions of the key-ordering prefix (the paper plots
@@ -43,8 +44,9 @@ inline std::vector<double> default_fractions() {
 }
 
 /// Profile `trace` with Mnemo and validate the estimate at the given
-/// prefix fractions by executing those placements. Points are measured in
-/// parallel (each run is shared-nothing).
+/// prefix fractions by executing those placements. The validation runs
+/// go through the campaign runner as one {placement × repeat} grid, so
+/// they fan out across threads yet merge deterministically.
 inline SweepResult run_sweep(const workload::Trace& trace,
                              kvstore::StoreKind store,
                              const core::MnemoConfig& base_config,
@@ -59,14 +61,29 @@ inline SweepResult run_sweep(const workload::Trace& trace,
   result.store = store;
   result.report = mnemo.profile(trace);
 
-  result.points.resize(fractions.size());
-  util::parallel_for(fractions.size(), [&](std::size_t i) {
+  std::vector<const core::EstimatePoint*> curve_points;
+  std::vector<hybridmem::Placement> placements;
+  curve_points.reserve(fractions.size());
+  placements.reserve(fractions.size());
+  for (const double fraction : fractions) {
     const auto idx = static_cast<std::size_t>(
-        fractions[i] *
+        fraction *
         static_cast<double>(result.report.curve.points.size() - 1));
     const core::EstimatePoint& p = result.report.curve.points[idx];
-    const core::RunMeasurement m =
-        mnemo.validate(trace, result.report.order, p);
+    curve_points.push_back(&p);
+    placements.push_back(
+        core::PlacementEngine::placement_for(result.report.order, p));
+  }
+
+  core::CampaignRunner runner(config.threads);
+  const std::vector<core::RunMeasurement> measured =
+      runner.measure_grid(mnemo.sensitivity(), trace, placements);
+  result.stats = runner.stats();
+
+  result.points.resize(fractions.size());
+  for (std::size_t i = 0; i < fractions.size(); ++i) {
+    const core::EstimatePoint& p = *curve_points[i];
+    const core::RunMeasurement& m = measured[i];
     SweepPoint& sp = result.points[i];
     sp.cost_factor = p.cost_factor;
     sp.fast_keys = p.fast_keys;
@@ -80,8 +97,15 @@ inline SweepResult run_sweep(const workload::Trace& trace,
         core::estimate_error_pct(m.throughput_ops, p.est_throughput_ops);
     sp.latency_error_pct =
         core::estimate_error_pct(m.avg_latency_ns, p.est_avg_latency_ns);
-  });
+  }
   return result;
+}
+
+/// Footer every sweep bench prints: the process-wide campaign accounting
+/// (cells, wall vs cpu, per-cell p50/p95, speedup/occupancy).
+inline void print_campaign_totals() {
+  std::printf("\n%s",
+              core::campaign_totals().render("campaign totals").c_str());
 }
 
 /// Thin the full key-granularity estimate curve to `n` plot samples.

@@ -10,6 +10,7 @@
 // and small-record workloads are flatter.
 
 #include <cstdio>
+#include <cstdlib>
 
 #include "bench_common.hpp"
 #include "util/ascii_plot.hpp"
@@ -65,13 +66,18 @@ void run_panel(const char* title, const std::vector<workload::WorkloadSpec>& spe
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   std::printf(
       "== Fig 5: Redis-like throughput vs memory cost, estimate vs "
       "measured ==\n");
 
   core::MnemoConfig config;
   config.repeats = 2;
+  // Optional: ./fig5_sweeps [threads]  (0 = hardware concurrency).
+  config.threads = argc > 1
+                       ? static_cast<std::size_t>(std::strtoul(
+                             argv[1], nullptr, 10))
+                       : 0;
 
   util::csv::Writer csv("fig5_sweeps.csv");
   csv.row({"panel", "workload", "cost_factor", "est_throughput",
@@ -90,5 +96,6 @@ int main() {
       "(b) the write-heavy edit-thumbnail curve is flatter than the "
       "read-only timeline; (c) big records bend the curve far more than "
       "small ones.\nwrote fig5_sweeps.csv\n");
+  bench::print_campaign_totals();
   return 0;
 }

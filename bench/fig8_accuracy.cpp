@@ -9,6 +9,7 @@
 //   (f) MnemoT's estimate stays accurate under the tiered key ordering
 
 #include <cstdio>
+#include <cstdlib>
 #include <vector>
 
 #include "bench_common.hpp"
@@ -38,10 +39,15 @@ void print_boxplot_row(util::TablePrinter& table, const char* label,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   std::printf("== Fig 8: estimate accuracy across key-value stores ==\n");
   core::MnemoConfig config;
   config.repeats = 2;
+  // Optional: ./fig8_accuracy [threads]  (0 = hardware concurrency).
+  config.threads = argc > 1
+                       ? static_cast<std::size_t>(std::strtoul(
+                             argv[1], nullptr, 10))
+                       : 0;
 
   const auto suite = workload::paper_suite();
   util::csv::Writer csv("fig8_accuracy.csv");
@@ -186,5 +192,6 @@ int main() {
   }
 
   std::printf("\nwrote fig8_accuracy.csv\n");
+  bench::print_campaign_totals();
   return 0;
 }

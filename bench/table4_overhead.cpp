@@ -11,12 +11,14 @@
 // profilers themselves, not the simulated workload.
 
 #include <cstdio>
+#include <cstdlib>
 
+#include "core/campaign.hpp"
 #include "core/profilers.hpp"
 #include "util/table.hpp"
 #include "workload/suite.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mnemo;
   std::printf("== Table IV: profiling overhead comparison ==\n\n");
 
@@ -24,6 +26,10 @@ int main() {
       workload::Trace::generate(workload::paper_workload("trending"));
   core::SensitivityConfig cfg;
   cfg.repeats = 1;
+  // Optional: ./table4_overhead [threads]  (0 = hardware concurrency).
+  cfg.threads = argc > 1 ? static_cast<std::size_t>(std::strtoul(
+                               argv[1], nullptr, 10))
+                         : 0;
   const core::SensitivityEngine engine(cfg);
 
   const auto mnemot = core::run_mnemot_profiler(trace, engine);
@@ -72,5 +78,7 @@ int main() {
       "  tiering: MnemoT computes accesses/size per key from the "
       "descriptor; others aggregate low-level access monitoring (Pin "
       "instrumentation can add up to 40x).\n");
+  std::printf("\n%s",
+              core::campaign_totals().render("campaign totals").c_str());
   return 0;
 }

@@ -122,25 +122,24 @@ bench/CMakeFiles/fig9_cost_reduction.dir/fig9_cost_reduction.cpp.o: \
  /usr/include/c++/12/bits/stl_uninitialized.h \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc /root/repo/src/core/mnemo.hpp \
- /usr/include/c++/12/optional /usr/include/c++/12/exception \
- /usr/include/c++/12/bits/exception_ptr.h \
- /usr/include/c++/12/bits/cxxabi_init_exception.h \
- /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h \
- /usr/include/c++/12/bits/enable_special_members.h \
- /root/repo/src/core/estimate_engine.hpp \
+ /usr/include/c++/12/bits/vector.tcc /root/repo/src/core/campaign.hpp \
+ /usr/include/c++/12/cstddef /root/repo/src/core/sensitivity_engine.hpp \
  /root/repo/src/core/baselines.hpp /root/repo/src/stats/log_histogram.hpp \
  /usr/include/c++/12/array /root/repo/src/stats/regression.hpp \
- /usr/include/c++/12/span /usr/include/c++/12/cstddef \
- /root/repo/src/core/cost_model.hpp \
- /root/repo/src/core/pattern_engine.hpp /root/repo/src/workload/trace.hpp \
- /root/repo/src/workload/workload_spec.hpp /usr/include/c++/12/memory \
+ /usr/include/c++/12/span /root/repo/src/hybridmem/emulation_profile.hpp \
+ /root/repo/src/hybridmem/memory_node.hpp \
+ /root/repo/src/hybridmem/access.hpp \
+ /root/repo/src/hybridmem/placement.hpp \
+ /root/repo/src/kvstore/kvstore.hpp /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/uses_allocator.h \
  /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/tuple \
  /usr/include/c++/12/ostream /usr/include/c++/12/ios \
+ /usr/include/c++/12/exception /usr/include/c++/12/bits/exception_ptr.h \
+ /usr/include/c++/12/bits/cxxabi_init_exception.h \
+ /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h \
  /usr/include/c++/12/bits/ios_base.h /usr/include/c++/12/ext/atomicity.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/gthr.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/gthr-default.h \
@@ -207,7 +206,17 @@ bench/CMakeFiles/fig9_cost_reduction.dir/fig9_cost_reduction.cpp.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h \
- /root/repo/src/workload/key_distribution.hpp /root/repo/src/util/rng.hpp \
+ /root/repo/src/hybridmem/hybrid_memory.hpp /usr/include/c++/12/optional \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/node_handle.h \
+ /usr/include/c++/12/bits/unordered_map.h \
+ /usr/include/c++/12/bits/erase_if.h \
+ /root/repo/src/hybridmem/llc_model.hpp /usr/include/c++/12/list \
+ /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
+ /root/repo/src/kvstore/record.hpp \
+ /root/repo/src/kvstore/service_profile.hpp /root/repo/src/util/rng.hpp \
  /usr/include/c++/12/cmath /usr/include/math.h \
  /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
@@ -231,49 +240,19 @@ bench/CMakeFiles/fig9_cost_reduction.dir/fig9_cost_reduction.cpp.o: \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/util/assert.hpp \
- /root/repo/src/workload/record_size.hpp \
- /root/repo/src/core/sensitivity_engine.hpp \
- /root/repo/src/hybridmem/emulation_profile.hpp \
- /root/repo/src/hybridmem/memory_node.hpp \
- /root/repo/src/hybridmem/access.hpp \
- /root/repo/src/hybridmem/placement.hpp \
- /root/repo/src/kvstore/kvstore.hpp \
- /root/repo/src/hybridmem/hybrid_memory.hpp \
- /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
- /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/node_handle.h \
- /usr/include/c++/12/bits/unordered_map.h \
- /usr/include/c++/12/bits/erase_if.h \
- /root/repo/src/hybridmem/llc_model.hpp /usr/include/c++/12/list \
- /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
- /root/repo/src/kvstore/record.hpp \
- /root/repo/src/kvstore/service_profile.hpp \
+ /root/repo/src/workload/trace.hpp \
+ /root/repo/src/workload/workload_spec.hpp \
+ /root/repo/src/workload/key_distribution.hpp \
+ /root/repo/src/workload/record_size.hpp /root/repo/src/core/mnemo.hpp \
+ /root/repo/src/core/estimate_engine.hpp \
+ /root/repo/src/core/cost_model.hpp \
+ /root/repo/src/core/pattern_engine.hpp \
  /root/repo/src/core/slo_advisor.hpp \
  /root/repo/src/core/placement_engine.hpp \
  /root/repo/src/kvstore/dual_server.hpp \
- /root/repo/src/kvstore/factory.hpp /root/repo/src/util/thread_pool.hpp \
- /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
- /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
- /usr/include/c++/12/bits/parse_numbers.h \
- /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
- /usr/include/c++/12/atomic /usr/include/c++/12/bits/std_thread.h \
- /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
- /usr/include/c++/12/bits/atomic_timed_wait.h \
- /usr/include/c++/12/bits/this_thread_sleep.h \
- /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
- /usr/include/x86_64-linux-gnu/bits/semaphore.h \
- /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
- /usr/include/c++/12/bits/stl_algo.h \
- /usr/include/c++/12/bits/algorithmfwd.h \
- /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/future \
- /usr/include/c++/12/mutex /usr/include/c++/12/bits/atomic_futex.h \
- /usr/include/c++/12/queue /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/thread \
- /root/repo/src/util/csv.hpp /usr/include/c++/12/fstream \
- /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/codecvt.h \
+ /root/repo/src/kvstore/factory.hpp /root/repo/src/util/csv.hpp \
+ /usr/include/c++/12/fstream /usr/include/c++/12/istream \
+ /usr/include/c++/12/bits/istream.tcc /usr/include/c++/12/bits/codecvt.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
  /usr/include/c++/12/bits/fstream.tcc /usr/include/c++/12/sstream \

@@ -173,11 +173,10 @@ src/cli/CMakeFiles/mnemo_cli.dir/cli.cpp.o: /root/repo/src/cli/cli.cpp \
  /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h \
- /root/repo/src/core/migration.hpp /root/repo/src/core/baselines.hpp \
- /root/repo/src/stats/log_histogram.hpp \
- /root/repo/src/stats/regression.hpp /usr/include/c++/12/span \
+ /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/core/campaign.hpp \
  /usr/include/c++/12/cstddef /root/repo/src/core/sensitivity_engine.hpp \
+ /root/repo/src/core/baselines.hpp /root/repo/src/stats/log_histogram.hpp \
+ /root/repo/src/stats/regression.hpp /usr/include/c++/12/span \
  /root/repo/src/hybridmem/emulation_profile.hpp \
  /root/repo/src/hybridmem/memory_node.hpp \
  /root/repo/src/hybridmem/access.hpp \
@@ -251,7 +250,8 @@ src/cli/CMakeFiles/mnemo_cli.dir/cli.cpp.o: /root/repo/src/cli/cli.cpp \
  /root/repo/src/workload/trace.hpp \
  /root/repo/src/workload/workload_spec.hpp \
  /root/repo/src/workload/key_distribution.hpp \
- /root/repo/src/workload/record_size.hpp /root/repo/src/core/mnemo.hpp \
+ /root/repo/src/workload/record_size.hpp \
+ /root/repo/src/core/migration.hpp /root/repo/src/core/mnemo.hpp \
  /root/repo/src/core/estimate_engine.hpp \
  /root/repo/src/core/cost_model.hpp \
  /root/repo/src/core/pattern_engine.hpp \

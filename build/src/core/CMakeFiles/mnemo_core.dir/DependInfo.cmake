@@ -9,6 +9,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/core/baselines.cpp" "src/core/CMakeFiles/mnemo_core.dir/baselines.cpp.o" "gcc" "src/core/CMakeFiles/mnemo_core.dir/baselines.cpp.o.d"
+  "/root/repo/src/core/campaign.cpp" "src/core/CMakeFiles/mnemo_core.dir/campaign.cpp.o" "gcc" "src/core/CMakeFiles/mnemo_core.dir/campaign.cpp.o.d"
   "/root/repo/src/core/cost_model.cpp" "src/core/CMakeFiles/mnemo_core.dir/cost_model.cpp.o" "gcc" "src/core/CMakeFiles/mnemo_core.dir/cost_model.cpp.o.d"
   "/root/repo/src/core/estimate_engine.cpp" "src/core/CMakeFiles/mnemo_core.dir/estimate_engine.cpp.o" "gcc" "src/core/CMakeFiles/mnemo_core.dir/estimate_engine.cpp.o.d"
   "/root/repo/src/core/migration.cpp" "src/core/CMakeFiles/mnemo_core.dir/migration.cpp.o" "gcc" "src/core/CMakeFiles/mnemo_core.dir/migration.cpp.o.d"

@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/mnemo_core.dir/baselines.cpp.o"
   "CMakeFiles/mnemo_core.dir/baselines.cpp.o.d"
+  "CMakeFiles/mnemo_core.dir/campaign.cpp.o"
+  "CMakeFiles/mnemo_core.dir/campaign.cpp.o.d"
   "CMakeFiles/mnemo_core.dir/cost_model.cpp.o"
   "CMakeFiles/mnemo_core.dir/cost_model.cpp.o.d"
   "CMakeFiles/mnemo_core.dir/estimate_engine.cpp.o"

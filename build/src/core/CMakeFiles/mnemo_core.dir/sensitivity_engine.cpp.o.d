@@ -251,5 +251,5 @@ src/core/CMakeFiles/mnemo_core.dir/sensitivity_engine.cpp.o: \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/kvstore/dual_server.hpp \
+ /root/repo/src/core/campaign.hpp /root/repo/src/kvstore/dual_server.hpp \
  /root/repo/src/kvstore/factory.hpp /root/repo/src/stats/summary.hpp

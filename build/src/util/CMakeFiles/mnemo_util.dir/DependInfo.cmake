@@ -15,6 +15,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/util/logging.cpp" "src/util/CMakeFiles/mnemo_util.dir/logging.cpp.o" "gcc" "src/util/CMakeFiles/mnemo_util.dir/logging.cpp.o.d"
   "/root/repo/src/util/table.cpp" "src/util/CMakeFiles/mnemo_util.dir/table.cpp.o" "gcc" "src/util/CMakeFiles/mnemo_util.dir/table.cpp.o.d"
   "/root/repo/src/util/thread_pool.cpp" "src/util/CMakeFiles/mnemo_util.dir/thread_pool.cpp.o" "gcc" "src/util/CMakeFiles/mnemo_util.dir/thread_pool.cpp.o.d"
+  "/root/repo/src/util/timer.cpp" "src/util/CMakeFiles/mnemo_util.dir/timer.cpp.o" "gcc" "src/util/CMakeFiles/mnemo_util.dir/timer.cpp.o.d"
   )
 
 # Targets to which this target links.

@@ -13,6 +13,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/mnemo_util.dir/table.cpp.o.d"
   "CMakeFiles/mnemo_util.dir/thread_pool.cpp.o"
   "CMakeFiles/mnemo_util.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/mnemo_util.dir/timer.cpp.o"
+  "CMakeFiles/mnemo_util.dir/timer.cpp.o.d"
   "libmnemo_util.a"
   "libmnemo_util.pdb"
 )

@@ -4,6 +4,7 @@
 # 
 # This file includes the relevant testing commands required for 
 # testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/tests_campaign[1]_include.cmake")
 include("/root/repo/build/tests/tests_util[1]_include.cmake")
 include("/root/repo/build/tests/tests_stats[1]_include.cmake")
 include("/root/repo/build/tests/tests_hybridmem[1]_include.cmake")

@@ -4,11 +4,14 @@
 // answer the operator question: "how much DRAM vs NVM should each
 // deployment buy, and what does that do to the memory bill?"
 //
-//   ./capacity_planner [slo_slowdown]   (default 0.10 — the paper's SLO)
+//   ./capacity_planner [slo_slowdown] [threads]
+//     slo_slowdown defaults to 0.10 (the paper's SLO); threads controls
+//     the measurement-campaign fan-out (0 = hardware concurrency).
 
 #include <cstdio>
 #include <cstdlib>
 
+#include "core/campaign.hpp"
 #include "core/mnemo.hpp"
 #include "core/placement_engine.hpp"
 #include "util/bytes.hpp"
@@ -18,8 +21,13 @@
 int main(int argc, char** argv) {
   using namespace mnemo;
   const double slo = argc > 1 ? std::atof(argv[1]) : 0.10;
+  const std::size_t threads =
+      argc > 2
+          ? static_cast<std::size_t>(std::strtoul(argv[2], nullptr, 10))
+          : 0;
   if (slo < 0.0 || slo >= 1.0) {
-    std::fprintf(stderr, "usage: %s [slo_slowdown in [0,1)]\n", argv[0]);
+    std::fprintf(stderr, "usage: %s [slo_slowdown in [0,1)] [threads]\n",
+                 argv[0]);
     return 1;
   }
   std::printf("capacity plan at %.0f%% permissible slowdown, p = 0.2\n\n",
@@ -32,6 +40,7 @@ int main(int argc, char** argv) {
     core::MnemoConfig config;
     config.store = store;
     config.repeats = 2;
+    config.threads = threads;
     config.slo_slowdown = slo;
     config.ordering = core::OrderingPolicy::kTiered;  // MnemoT
     const core::MnemoT mnemo(config);
@@ -66,6 +75,7 @@ int main(int argc, char** argv) {
   table.print();
   std::printf(
       "\n'validated' re-executes the advised placement; it should sit at "
-      "or under the SLO column.\n");
+      "or under the SLO column.\n\n%s",
+      core::campaign_totals().render("campaign totals").c_str());
   return 0;
 }

@@ -5,20 +5,28 @@
 // example downsamples Timeline at several keep-rates, re-profiles, and
 // compares the resulting cost/performance advice against the full trace.
 
-#include <cstdio>
+//   ./downsample_study [threads]   (0 = hardware concurrency)
 
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/campaign.hpp"
 #include "core/mnemo.hpp"
 #include "util/table.hpp"
 #include "workload/downsample.hpp"
 #include "workload/suite.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mnemo;
   const workload::Trace full =
       workload::Trace::generate(workload::paper_workload("timeline"));
 
   core::MnemoConfig config;
   config.repeats = 2;
+  config.threads =
+      argc > 1
+          ? static_cast<std::size_t>(std::strtoul(argv[1], nullptr, 10))
+          : 0;
   const core::Mnemo mnemo(config);
 
   const core::MnemoReport full_report = mnemo.profile(full);
@@ -52,6 +60,7 @@ int main() {
       "\nrandom-interval eviction preserves the key-popularity CDF (small "
       "KS distance), so the downsized profile reproduces the full trace's "
       "sensitivity and lands on (nearly) the same sizing advice — the "
-      "paper's claim that sampled workloads suffice as Mnemo inputs.\n");
+      "paper's claim that sampled workloads suffice as Mnemo inputs.\n\n%s",
+      core::campaign_totals().render("campaign totals").c_str());
   return 0;
 }

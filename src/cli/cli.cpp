@@ -4,6 +4,7 @@
 #include <functional>
 #include <map>
 
+#include "core/campaign.hpp"
 #include "core/migration.hpp"
 #include "core/mnemo.hpp"
 #include "core/tail_estimator.hpp"
@@ -77,6 +78,12 @@ void add_mnemo_options(util::ArgParser& parser) {
   parser.add_option("p", "SlowMem price factor (cost floor)", "0.2");
   parser.add_option("slo", "permissible slowdown vs FastMem-only", "0.1");
   parser.add_option("repeats", "runs per measurement", "2");
+  parser.add_option("threads",
+                    "measurement-campaign worker threads (0 = hardware; "
+                    "results are identical at any count)",
+                    "0");
+  parser.add_flag("stats",
+                  "print campaign timing/occupancy stats after the run");
 }
 
 core::MnemoConfig mnemo_config(const util::ArgParser& parser) {
@@ -88,7 +95,15 @@ core::MnemoConfig mnemo_config(const util::ArgParser& parser) {
   cfg.price_factor = parser.get_double("p");
   cfg.slo_slowdown = parser.get_double("slo");
   cfg.repeats = static_cast<int>(parser.get_u64("repeats"));
+  cfg.threads = static_cast<std::size_t>(parser.get_u64("threads"));
   return cfg;
+}
+
+/// Append the process-wide campaign accounting when --stats was given.
+void maybe_print_campaign_stats(const util::ArgParser& parser,
+                                std::ostream& out) {
+  if (!parser.has_flag("stats")) return;
+  out << "\n" << core::campaign_totals().render("campaign totals");
 }
 
 // ------------------------------------------------------------- commands
@@ -171,6 +186,7 @@ int cmd_profile(const std::vector<std::string>& args, std::ostream& out,
     out << "wrote " << parser.get("out") << " ("
         << report.curve.points.size() - 1 << " rows)\n";
   }
+  maybe_print_campaign_stats(parser, out);
   return 0;
 }
 
@@ -203,6 +219,7 @@ int cmd_plan(const std::vector<std::string>& args, std::ostream& out,
          util::TablePrinter::pct(c.slowdown_vs_fast, 1)});
   }
   out << table.render();
+  maybe_print_campaign_stats(parser, out);
   return 0;
 }
 
@@ -269,6 +286,7 @@ int cmd_tails(const std::vector<std::string>& args, std::ostream& out,
   out << table.render();
   out << "\ntails use the baseline-mixture extension (the paper reports "
          "but does not estimate tails).\n";
+  maybe_print_campaign_stats(parser, out);
   return 0;
 }
 
@@ -324,6 +342,7 @@ int cmd_compare(const std::vector<std::string>& args, std::ostream& out,
          savings});
   }
   out << "workload: " << trace.name() << "\n" << table.render();
+  maybe_print_campaign_stats(parser, out);
   return 0;
 }
 
@@ -381,6 +400,9 @@ int cmd_migrate(const std::vector<std::string>& args, std::ostream& out,
       "dynamic re-tiering (MnemoDyn extension) vs static placement");
   add_workload_options(parser);
   parser.add_option("store", "store architecture", "vermilion");
+  parser.add_option("threads",
+                    "measurement-campaign worker threads (0 = hardware)",
+                    "0");
   parser.add_option("budget", "FastMem budget as a dataset fraction", "0.3");
   parser.add_option("epoch", "requests per re-tiering epoch", "2000");
   parser.add_option("cap", "max migrated bytes per epoch (0 = unlimited)",
@@ -402,6 +424,7 @@ int cmd_migrate(const std::vector<std::string>& args, std::ostream& out,
   core::SensitivityConfig sens;
   sens.store = parse_store(parser.get("store"));
   sens.repeats = 1;
+  sens.threads = static_cast<std::size_t>(parser.get_u64("threads"));
   core::MigrationConfig mig;
   mig.fast_budget_bytes = static_cast<std::uint64_t>(
       budget * static_cast<double>(trace.dataset_bytes()));

@@ -1,0 +1,175 @@
+#include "core/campaign.hpp"
+
+#include <algorithm>
+#include <mutex>
+
+#include "stats/summary.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace mnemo::core {
+
+namespace {
+
+/// Process-wide accumulator behind campaign_totals(). Cell durations are
+/// kept so the aggregate p50/p95 are exact; campaigns are small (at most
+/// a few thousand cells per bench run).
+struct TotalsRegistry {
+  std::mutex mu;
+  std::vector<double> cell_s;
+  std::size_t threads = 0;  ///< widest fan-out seen
+  double wall_s = 0.0;
+  double cpu_s = 0.0;
+};
+
+TotalsRegistry& totals_registry() {
+  static TotalsRegistry registry;
+  return registry;
+}
+
+void record_campaign(const CampaignStats& stats,
+                     const std::vector<double>& cell_s) {
+  TotalsRegistry& reg = totals_registry();
+  std::lock_guard lock(reg.mu);
+  reg.cell_s.insert(reg.cell_s.end(), cell_s.begin(), cell_s.end());
+  reg.threads = std::max(reg.threads, stats.threads);
+  reg.wall_s += stats.wall_s;
+  reg.cpu_s += stats.cpu_s;
+}
+
+}  // namespace
+
+double CampaignStats::speedup() const {
+  return wall_s > 0.0 ? cpu_s / wall_s : 0.0;
+}
+
+double CampaignStats::occupancy() const {
+  return threads > 0 ? speedup() / static_cast<double>(threads) : 0.0;
+}
+
+void CampaignStats::merge(const CampaignStats& other) {
+  // p50/p95 cannot be merged from summaries; keep a cell-weighted blend
+  // as the closest order statistic available to a summary-only merge.
+  const auto total = static_cast<double>(cells + other.cells);
+  if (total > 0.0) {
+    const auto wa = static_cast<double>(cells) / total;
+    const auto wb = static_cast<double>(other.cells) / total;
+    cell_p50_s = cell_p50_s * wa + other.cell_p50_s * wb;
+    cell_p95_s = cell_p95_s * wa + other.cell_p95_s * wb;
+  }
+  cells += other.cells;
+  threads = std::max(threads, other.threads);
+  wall_s += other.wall_s;
+  cpu_s += other.cpu_s;
+}
+
+std::string CampaignStats::render(const std::string& title) const {
+  util::TablePrinter table({title, "value"});
+  table.add_row({"cells run", std::to_string(cells)});
+  table.add_row({"threads", std::to_string(threads)});
+  table.add_row({"wall time (ms)", util::TablePrinter::num(wall_s * 1e3, 1)});
+  table.add_row({"cpu time (ms)", util::TablePrinter::num(cpu_s * 1e3, 1)});
+  table.add_row(
+      {"cell p50 (ms)", util::TablePrinter::num(cell_p50_s * 1e3, 2)});
+  table.add_row(
+      {"cell p95 (ms)", util::TablePrinter::num(cell_p95_s * 1e3, 2)});
+  table.add_row({"speedup vs serial",
+                 util::TablePrinter::num(speedup(), 2) + "x"});
+  table.add_row({"pool occupancy", util::TablePrinter::pct(occupancy(), 1)});
+  return table.render();
+}
+
+CampaignRunner::CampaignRunner(std::size_t threads)
+    : threads_(threads == 0 ? util::hardware_threads() : threads) {}
+
+std::vector<RunMeasurement> CampaignRunner::run(
+    const SensitivityEngine& engine, const workload::Trace& trace,
+    const std::vector<CampaignCell>& cells) {
+  stats_ = CampaignStats{};
+  stats_.cells = cells.size();
+  stats_.threads = std::max<std::size_t>(
+      1, std::min(threads_, std::max<std::size_t>(1, cells.size())));
+
+  std::vector<RunMeasurement> merged(cells.size());
+  std::vector<double> cell_s(cells.size(), 0.0);
+  if (cells.empty()) return merged;
+
+  util::WallTimer wall;
+  // Shared-nothing fan-out: cell i writes only slot i, so the merge order
+  // is the cell order by construction, independent of scheduling.
+  util::parallel_for(
+      cells.size(),
+      [&](std::size_t i) {
+        // Thread-CPU time, not wall: a cell's cost must not include the
+        // time its worker spent descheduled, or an oversubscribed pool
+        // would fabricate speedup.
+        util::ThreadCpuTimer cell_timer;
+        merged[i] =
+            engine.run_once(trace, cells[i].placement, cells[i].repeat);
+        cell_s[i] = cell_timer.elapsed_s();
+      },
+      threads_);
+  stats_.wall_s = wall.elapsed_s();
+
+  std::vector<double> sorted = cell_s;
+  std::sort(sorted.begin(), sorted.end());
+  for (const double s : sorted) stats_.cpu_s += s;
+  stats_.cell_p50_s = stats::percentile_sorted(sorted, 0.50);
+  stats_.cell_p95_s = stats::percentile_sorted(sorted, 0.95);
+  record_campaign(stats_, cell_s);
+  return merged;
+}
+
+std::vector<RunMeasurement> CampaignRunner::measure_grid(
+    const SensitivityEngine& engine, const workload::Trace& trace,
+    const std::vector<hybridmem::Placement>& placements) {
+  const int repeats = engine.config().repeats;
+  std::vector<CampaignCell> cells;
+  cells.reserve(placements.size() * static_cast<std::size_t>(repeats));
+  for (const hybridmem::Placement& placement : placements) {
+    for (int r = 0; r < repeats; ++r) cells.push_back({placement, r});
+  }
+  const std::vector<RunMeasurement> runs = run(engine, trace, cells);
+
+  std::vector<RunMeasurement> merged;
+  merged.reserve(placements.size());
+  std::vector<RunMeasurement> group(static_cast<std::size_t>(repeats));
+  for (std::size_t p = 0; p < placements.size(); ++p) {
+    for (int r = 0; r < repeats; ++r) {
+      group[static_cast<std::size_t>(r)] =
+          runs[p * static_cast<std::size_t>(repeats) +
+               static_cast<std::size_t>(r)];
+    }
+    merged.push_back(average_runs(group));
+  }
+  return merged;
+}
+
+CampaignStats campaign_totals() {
+  TotalsRegistry& reg = totals_registry();
+  std::lock_guard lock(reg.mu);
+  CampaignStats totals;
+  totals.cells = reg.cell_s.size();
+  totals.threads = reg.threads;
+  totals.wall_s = reg.wall_s;
+  totals.cpu_s = reg.cpu_s;
+  if (!reg.cell_s.empty()) {
+    std::vector<double> sorted = reg.cell_s;
+    std::sort(sorted.begin(), sorted.end());
+    totals.cell_p50_s = stats::percentile_sorted(sorted, 0.50);
+    totals.cell_p95_s = stats::percentile_sorted(sorted, 0.95);
+  }
+  return totals;
+}
+
+void reset_campaign_totals() {
+  TotalsRegistry& reg = totals_registry();
+  std::lock_guard lock(reg.mu);
+  reg.cell_s.clear();
+  reg.threads = 0;
+  reg.wall_s = 0.0;
+  reg.cpu_s = 0.0;
+}
+
+}  // namespace mnemo::core

@@ -1,0 +1,89 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/sensitivity_engine.hpp"
+#include "hybridmem/placement.hpp"
+#include "workload/trace.hpp"
+
+namespace mnemo::core {
+
+/// One cell of a measurement grid: execute `placement` once with the
+/// engine's seed shifted by `repeat` (exactly what run_once does).
+struct CampaignCell {
+  hybridmem::Placement placement;
+  int repeat = 0;
+};
+
+/// Timing/occupancy accounting of a measurement campaign. All numbers are
+/// real wall-clock of the *tool itself* (like Table IV), never the
+/// simulated clock, so they are safe to print without perturbing results.
+struct CampaignStats {
+  std::size_t cells = 0;    ///< simulation runs fanned out
+  std::size_t threads = 0;  ///< workers the fan-out used
+  double wall_s = 0.0;      ///< end-to-end wall time of the campaign
+  double cpu_s = 0.0;       ///< sum of per-cell wall times
+  double cell_p50_s = 0.0;  ///< median cell duration
+  double cell_p95_s = 0.0;  ///< p95 cell duration
+
+  /// cpu / wall: average number of cells in flight — the wall-clock
+  /// speedup over running the same cells serially.
+  [[nodiscard]] double speedup() const;
+
+  /// speedup / threads: fraction of the worker pool kept busy.
+  [[nodiscard]] double occupancy() const;
+
+  /// Merge another campaign's accounting (wall times add: campaigns in
+  /// one process run back to back, not concurrently).
+  void merge(const CampaignStats& other);
+
+  /// Render as a util::table (one metric per row).
+  [[nodiscard]] std::string render(const std::string& title) const;
+};
+
+/// The campaign runner: takes a set of (placement, repeat) cells and fans
+/// them out across a util::ThreadPool as shared-nothing simulation tasks.
+/// Each cell builds its own deployment and seed-shifted RNG inside
+/// SensitivityEngine::run_once, and results are merged in the fixed cell
+/// order — so aggregates are bit-identical to the serial path at any
+/// thread count. Every sweep-shaped feature (baselines, validation
+/// sweeps, sharding) should go through here rather than hand-rolling a
+/// parallel_for over measurements.
+class CampaignRunner {
+ public:
+  /// `threads` = 0 picks hardware concurrency; the pool never exceeds the
+  /// cell count.
+  explicit CampaignRunner(std::size_t threads = 0);
+
+  /// Execute every cell and return one measurement per cell, in cell
+  /// order regardless of scheduling.
+  [[nodiscard]] std::vector<RunMeasurement> run(
+      const SensitivityEngine& engine, const workload::Trace& trace,
+      const std::vector<CampaignCell>& cells);
+
+  /// The {placement × repeat} grid behind measure()/baselines(): each
+  /// placement runs engine.config().repeats times (repeat-major within a
+  /// placement) and the repeats are averaged. Returns one merged
+  /// measurement per placement, in placement order.
+  [[nodiscard]] std::vector<RunMeasurement> measure_grid(
+      const SensitivityEngine& engine, const workload::Trace& trace,
+      const std::vector<hybridmem::Placement>& placements);
+
+  [[nodiscard]] std::size_t threads() const noexcept { return threads_; }
+
+  /// Accounting of the most recent run()/measure_grid() on this runner.
+  [[nodiscard]] const CampaignStats& stats() const noexcept { return stats_; }
+
+ private:
+  std::size_t threads_;
+  CampaignStats stats_;
+};
+
+/// Process-wide aggregate over every campaign run so far (thread-safe);
+/// what the CLI's --stats and the bench footers print.
+[[nodiscard]] CampaignStats campaign_totals();
+void reset_campaign_totals();
+
+}  // namespace mnemo::core

@@ -30,6 +30,7 @@ SensitivityConfig to_sensitivity_config(const MnemoConfig& cfg) {
   s.payload_mode = cfg.payload_mode;
   s.repeats = cfg.repeats;
   s.seed = cfg.seed;
+  s.threads = cfg.threads;
   return s;
 }
 

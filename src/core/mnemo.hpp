@@ -34,6 +34,9 @@ struct MnemoConfig {
   int repeats = 3;
   kvstore::PayloadMode payload_mode = kvstore::PayloadMode::kSynthetic;
   std::uint64_t seed = 0xbea5;
+  /// Measurement-campaign worker threads (0 = hardware, 1 = serial);
+  /// forwarded to the Sensitivity Engine. Never changes results.
+  std::size_t threads = 0;
   OrderingPolicy ordering = OrderingPolicy::kTouchOrder;
   EstimateModel estimate_model = EstimateModel::kSizeAware;
   double slo_slowdown = SloAdvisor::kPaperSlowdown;

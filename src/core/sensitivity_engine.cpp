@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "core/campaign.hpp"
 #include "hybridmem/hybrid_memory.hpp"
 #include "kvstore/dual_server.hpp"
 #include "stats/summary.hpp"
@@ -116,21 +117,20 @@ RunMeasurement SensitivityEngine::run_once(
 RunMeasurement SensitivityEngine::measure(
     const workload::Trace& trace,
     const hybridmem::Placement& placement) const {
-  std::vector<RunMeasurement> runs;
-  runs.reserve(static_cast<std::size_t>(config_.repeats));
-  for (int r = 0; r < config_.repeats; ++r) {
-    runs.push_back(run_once(trace, placement, r));
-  }
-  return average_runs(runs);
+  CampaignRunner runner(config_.threads);
+  return runner.measure_grid(*this, trace, {placement}).front();
 }
 
 PerfBaselines SensitivityEngine::baselines(
     const workload::Trace& trace) const {
+  CampaignRunner runner(config_.threads);
+  const std::vector<RunMeasurement> merged = runner.measure_grid(
+      *this, trace,
+      {hybridmem::Placement(trace.key_count(), hybridmem::NodeId::kFast),
+       hybridmem::Placement(trace.key_count(), hybridmem::NodeId::kSlow)});
   PerfBaselines b;
-  b.fast = measure(trace, hybridmem::Placement(trace.key_count(),
-                                               hybridmem::NodeId::kFast));
-  b.slow = measure(trace, hybridmem::Placement(trace.key_count(),
-                                               hybridmem::NodeId::kSlow));
+  b.fast = merged[0];
+  b.slow = merged[1];
   return b;
 }
 

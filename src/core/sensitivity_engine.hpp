@@ -19,6 +19,10 @@ struct SensitivityConfig {
   kvstore::PayloadMode payload_mode = kvstore::PayloadMode::kSynthetic;
   int repeats = 3;       ///< paper: "mean of multiple experiment runs"
   std::uint64_t seed = 0xbea5;
+  /// Worker threads for the {placement × repeat} measurement campaigns
+  /// behind measure()/baselines(); 0 = hardware concurrency, 1 = serial.
+  /// Results are bit-identical at any thread count (see core/campaign).
+  std::size_t threads = 0;
 
   SensitivityConfig();
 };
@@ -39,12 +43,14 @@ class SensitivityEngine {
       const workload::Trace& trace, const hybridmem::Placement& placement,
       int repeat = 0) const;
 
-  /// Mean of `repeats` runs for one placement.
+  /// Mean of `repeats` runs for one placement, fanned out as a
+  /// measurement campaign over config().threads workers.
   [[nodiscard]] RunMeasurement measure(
       const workload::Trace& trace,
       const hybridmem::Placement& placement) const;
 
-  /// The two extreme configurations: all-FastMem and all-SlowMem.
+  /// The two extreme configurations: all-FastMem and all-SlowMem, run as
+  /// one 2×repeats campaign so both baselines measure concurrently.
   [[nodiscard]] PerfBaselines baselines(const workload::Trace& trace) const;
 
   [[nodiscard]] const SensitivityConfig& config() const noexcept {

@@ -42,10 +42,15 @@ void ThreadPool::worker_loop() {
   }
 }
 
+std::size_t hardware_threads() {
+  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
                   std::size_t threads) {
   if (n == 0) return;
-  ThreadPool pool(threads == 0 ? 0 : std::min(threads, n));
+  if (threads == 0) threads = hardware_threads();
+  ThreadPool pool(std::min(threads, n));
   std::atomic<std::size_t> next{0};
   std::mutex err_mu;
   std::exception_ptr first_error;

@@ -52,6 +52,9 @@ class ThreadPool {
   bool stop_ = false;
 };
 
+/// Hardware concurrency with the zero-report fallback applied (min 1).
+[[nodiscard]] std::size_t hardware_threads();
+
 /// Run fn(i) for i in [0, n) on a transient pool and wait for completion.
 /// Exceptions from tasks propagate to the caller (first one wins).
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,

@@ -1,0 +1,22 @@
+#include "util/timer.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <time.h>
+#endif
+
+namespace mnemo::util {
+
+double ThreadCpuTimer::now_s() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+  timespec ts{};
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0) {
+    return static_cast<double>(ts.tv_sec) +
+           static_cast<double>(ts.tv_nsec) * 1e-9;
+  }
+#endif
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace mnemo::util

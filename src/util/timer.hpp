@@ -26,4 +26,23 @@ class WallTimer {
   clock::time_point start_;
 };
 
+/// Per-thread CPU-time stopwatch. Unlike WallTimer it does not advance
+/// while the calling thread is descheduled, so sums over concurrent
+/// workers stay meaningful even when the pool oversubscribes the cores.
+/// Falls back to wall time on platforms without a thread-CPU clock.
+class ThreadCpuTimer {
+ public:
+  ThreadCpuTimer() : start_(now_s()) {}
+
+  void reset() { start_ = now_s(); }
+
+  /// Elapsed CPU seconds spent by this thread since construction/reset().
+  [[nodiscard]] double elapsed_s() const { return now_s() - start_; }
+
+ private:
+  static double now_s();
+
+  double start_;
+};
+
 }  // namespace mnemo::util

@@ -101,6 +101,27 @@ TEST(Cli, ProfileTieredAndModelsWork) {
   EXPECT_NE(r.out.find("uniform_delta"), std::string::npos);
 }
 
+TEST(Cli, ProfileThreadsAndStatsReportTheCampaign) {
+  const CliResult serial = run_cli({"profile", "--workload", "trending",
+                                    "--keys", "200", "--requests", "2000",
+                                    "--repeats", "1", "--threads", "1"});
+  ASSERT_EQ(serial.code, 0) << serial.err;
+  const CliResult parallel = run_cli({"profile", "--workload", "trending",
+                                      "--keys", "200", "--requests", "2000",
+                                      "--repeats", "1", "--threads", "4",
+                                      "--stats"});
+  ASSERT_EQ(parallel.code, 0) << parallel.err;
+  // --stats appends the campaign accounting table...
+  EXPECT_NE(parallel.out.find("campaign totals"), std::string::npos);
+  EXPECT_NE(parallel.out.find("cells run"), std::string::npos);
+  EXPECT_NE(parallel.out.find("speedup vs serial"), std::string::npos);
+  // ...and the thread count never changes the advice: everything before
+  // the stats table is byte-identical to the serial run's full output.
+  const std::size_t cut = parallel.out.find("\n| campaign totals");
+  ASSERT_NE(cut, std::string::npos);
+  EXPECT_EQ(serial.out, parallel.out.substr(0, cut));
+}
+
 TEST(Cli, ProfileRejectsBadStore) {
   const CliResult r = run_cli({"profile", "--store", "redis"});
   EXPECT_EQ(r.code, 1);

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "core/mnemo.hpp"
@@ -110,6 +111,96 @@ TEST_P(EstimateProperties, CurveInvariantsHoldForRandomWorkloads) {
 
 INSTANTIATE_TEST_SUITE_P(RandomWorkloads, EstimateProperties,
                          ::testing::Range<std::uint64_t>(1, 13));
+
+// ---- EstimateCurve::at_budget / throughput_at lookup properties ----
+
+class CurveLookupProperties : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  /// Profile a random workload with the uniform-delta model (the model
+  /// whose refunds are per-request constants, so monotonicity statements
+  /// are exact) and return the report.
+  MnemoReport profile() {
+    const workload::WorkloadSpec spec = random_spec(GetParam() + 1000);
+    trace_ = workload::Trace::generate(spec);
+    MnemoConfig cfg;
+    cfg.repeats = 1;
+    cfg.estimate_model = EstimateModel::kUniformDelta;
+    return Mnemo(cfg).profile(trace_);
+  }
+
+  workload::Trace trace_;
+};
+
+TEST_P(CurveLookupProperties, BudgetBelowFirstPointReturnsSlowMemBound) {
+  const MnemoReport report = profile();
+  const EstimateCurve& curve = report.curve;
+  // Row 0 is the SlowMem-only bound at 0 FastMem bytes: any budget —
+  // including one smaller than the first tiered key — realizes it.
+  ASSERT_EQ(curve.points.front().fast_bytes, 0u);
+  EXPECT_EQ(&curve.at_budget(0), &curve.points.front());
+  const std::uint64_t below_first = curve.points[1].fast_bytes - 1;
+  const EstimatePoint& p = curve.at_budget(below_first);
+  EXPECT_EQ(p.fast_keys, 0u);
+  EXPECT_EQ(curve.throughput_at(below_first),
+            curve.points.front().est_throughput_ops);
+}
+
+TEST_P(CurveLookupProperties, BudgetAboveLastPointReturnsFastMemBound) {
+  const MnemoReport report = profile();
+  const EstimateCurve& curve = report.curve;
+  const std::uint64_t above_last = curve.points.back().fast_bytes + 1;
+  EXPECT_EQ(&curve.at_budget(above_last), &curve.points.back());
+  EXPECT_EQ(&curve.at_budget(~0ULL), &curve.points.back());
+  EXPECT_EQ(curve.throughput_at(~0ULL),
+            curve.points.back().est_throughput_ops);
+}
+
+TEST_P(CurveLookupProperties, ExactBoundaryBudgetsRealizeTheirOwnRow) {
+  const MnemoReport report = profile();
+  const EstimateCurve& curve = report.curve;
+  for (std::size_t i = 0; i < curve.points.size();
+       i += std::max<std::size_t>(1, curve.points.size() / 17)) {
+    const EstimatePoint& p = curve.points[i];
+    const EstimatePoint& got = curve.at_budget(p.fast_bytes);
+    // The realized configuration fits the budget exactly, and is the
+    // deepest prefix that does (later rows need strictly more bytes).
+    EXPECT_EQ(got.fast_bytes, p.fast_bytes);
+    EXPECT_GE(got.fast_keys, p.fast_keys);
+    if (got.fast_keys + 1 < curve.points.size()) {
+      EXPECT_GT(curve.points[got.fast_keys + 1].fast_bytes, p.fast_bytes);
+    }
+    if (p.fast_bytes > 0) {
+      // One byte short of the boundary must fall back to a shallower row.
+      EXPECT_LT(curve.at_budget(p.fast_bytes - 1).fast_bytes, p.fast_bytes);
+    }
+  }
+}
+
+TEST_P(CurveLookupProperties, ThroughputMonotoneInBudgetUnderUniformDelta) {
+  const MnemoReport report = profile();
+  const EstimateCurve& curve = report.curve;
+  // Under kUniformDelta every key refunds reads*dr + writes*dw; with
+  // non-negative measured deltas the curve is non-decreasing, so a bigger
+  // budget can never buy less estimated throughput. (Negative deltas
+  // would mean SlowMem outran FastMem — excluded by the platform model,
+  // but guard so a noisy run skips rather than asserts a vacuous truth.)
+  if (report.baselines.read_delta_ns() < 0.0 ||
+      report.baselines.write_delta_ns() < 0.0) {
+    GTEST_SKIP() << "degenerate baselines: SlowMem faster than FastMem";
+  }
+  const std::uint64_t last = curve.points.back().fast_bytes;
+  double prev = curve.throughput_at(0);
+  const std::uint64_t step = std::max<std::uint64_t>(1, last / 97);
+  for (std::uint64_t budget = 0; budget <= last; budget += step) {
+    const double thr = curve.throughput_at(budget);
+    EXPECT_GE(thr, prev - 1e-9) << "budget " << budget;
+    prev = thr;
+  }
+  EXPECT_GE(curve.throughput_at(last), curve.throughput_at(0));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomWorkloads, CurveLookupProperties,
+                         ::testing::Range<std::uint64_t>(1, 9));
 
 }  // namespace
 }  // namespace mnemo::core

@@ -3,8 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
 #include <stdexcept>
+#include <string>
+#include <thread>
 #include <vector>
 
 namespace mnemo::util {
@@ -74,6 +77,88 @@ TEST(ParallelFor, ResultsMatchSerialComputation) {
   for (std::size_t i = 0; i < kN; ++i) {
     EXPECT_DOUBLE_EQ(out[i], static_cast<double>(i) * 1.5);
   }
+}
+
+TEST(ThreadPool, ZeroTaskPoolDestructsCleanly) {
+  // Construct and immediately destroy without submitting anything: the
+  // workers must wake up on stop and join.
+  { ThreadPool pool(3); }
+  { ThreadPool pool(1); }
+  SUCCEED();
+}
+
+TEST(ThreadPool, SingleWorkerRunsTasksInSubmissionOrder) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  std::mutex mu;
+  std::vector<std::future<void>> futs;
+  for (int i = 0; i < 32; ++i) {
+    futs.push_back(pool.submit([&, i] {
+      std::lock_guard lock(mu);
+      order.push_back(i);
+    }));
+  }
+  for (auto& f : futs) f.get();
+  // One worker drains a FIFO queue: submission order is execution order.
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(ThreadPool, DestructionDrainsANonEmptyQueue) {
+  std::atomic<int> done{0};
+  std::vector<std::future<void>> futs;
+  {
+    ThreadPool pool(1);
+    // The first task blocks the only worker long enough for the rest to
+    // pile up in the queue, so the destructor runs with a non-empty queue.
+    futs.push_back(pool.submit([&] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      done.fetch_add(1);
+    }));
+    for (int i = 0; i < 40; ++i) {
+      futs.push_back(pool.submit([&] { done.fetch_add(1); }));
+    }
+  }
+  // The destructor joined only after every queued task ran.
+  EXPECT_EQ(done.load(), 41);
+  for (auto& f : futs) f.get();  // all futures are ready, none broken
+}
+
+TEST(ParallelFor, ConcurrentThrowersPropagateExactlyOne) {
+  // Every task throws a distinct exception; exactly one of them must win
+  // and surface, and the loop must not terminate() or deadlock.
+  constexpr std::size_t kN = 64;
+  std::atomic<int> ran{0};
+  try {
+    parallel_for(
+        kN,
+        [&](std::size_t i) {
+          ran.fetch_add(1);
+          throw std::runtime_error("thrower " + std::to_string(i));
+        },
+        4);
+    FAIL() << "expected an exception to propagate";
+  } catch (const std::runtime_error& e) {
+    EXPECT_EQ(std::string(e.what()).rfind("thrower ", 0), 0u) << e.what();
+  }
+  // A thrown task does not cancel its siblings: every index still ran.
+  EXPECT_EQ(ran.load(), static_cast<int>(kN));
+}
+
+TEST(ParallelFor, SingleThreadMatchesSerialOrderOfSideEffects) {
+  std::vector<std::size_t> order;
+  parallel_for(16, [&](std::size_t i) { order.push_back(i); }, 1);
+  ASSERT_EQ(order.size(), 16u);
+  for (std::size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ParallelFor, MoreThreadsThanTasksStillCoversAll) {
+  std::vector<std::atomic<int>> hits(3);
+  parallel_for(3, [&](std::size_t i) { hits[i].fetch_add(1); }, 16);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(HardwareThreads, IsAtLeastOne) {
+  EXPECT_GE(hardware_threads(), 1u);
 }
 
 }  // namespace
