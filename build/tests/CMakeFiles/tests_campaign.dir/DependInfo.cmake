@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_campaign.cpp" "tests/CMakeFiles/tests_campaign.dir/core/test_campaign.cpp.o" "gcc" "tests/CMakeFiles/tests_campaign.dir/core/test_campaign.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mnemo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/pricing/CMakeFiles/mnemo_pricing.dir/DependInfo.cmake"
+  "/root/repo/build/src/kvstore/CMakeFiles/mnemo_kvstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/mnemo_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/hybridmem/CMakeFiles/mnemo_hybridmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/mnemo_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mnemo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_campaign.dir/core/test_campaign.cpp.o"
+  "CMakeFiles/tests_campaign.dir/core/test_campaign.cpp.o.d"
+  "tests_campaign"
+  "tests_campaign.pdb"
+  "tests_campaign[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
