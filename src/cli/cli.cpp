@@ -8,9 +8,11 @@
 #include "core/migration.hpp"
 #include "core/mnemo.hpp"
 #include "core/tail_estimator.hpp"
+#include "faultinject/fault_plan.hpp"
 #include "kvstore/factory.hpp"
 #include "util/argparse.hpp"
 #include "util/bytes.hpp"
+#include "util/status.hpp"
 #include "util/table.hpp"
 #include "workload/characterize.hpp"
 #include "workload/downsample.hpp"
@@ -99,6 +101,37 @@ core::MnemoConfig mnemo_config(const util::ArgParser& parser) {
   return cfg;
 }
 
+/// Fault-injection options — only `profile` and `plan` take them, so the
+/// other commands keep rejecting the flags with their usage text.
+void add_fault_options(util::ArgParser& parser) {
+  parser.add_option("faults",
+                    "deterministic fault plan, comma-separated key=value "
+                    "(keys: seed, transient, retries, retry_cost, recover, "
+                    "poison, remap_cost, bw_period, bw_window, bw_factor)",
+                    "");
+  parser.add_option("fail-policy",
+                    "quarantined-cell handling: degrade (complete with "
+                    "partial results) | abort (exit nonzero)",
+                    "degrade");
+}
+
+void apply_fault_options(const util::ArgParser& parser,
+                         core::MnemoConfig& cfg) {
+  if (!parser.get("faults").empty()) {
+    cfg.faults = faultinject::FaultPlan::parse(parser.get("faults"));
+  }
+  cfg.fail_policy =
+      faultinject::parse_fail_policy(parser.get("fail-policy"));
+}
+
+/// Banner printed only when a fault plan is armed, so fault-free output
+/// stays byte-identical to the healthy tool's.
+void print_fault_banner(const core::MnemoConfig& cfg, std::ostream& out) {
+  if (cfg.faults.empty()) return;
+  out << "faults: " << cfg.faults.summary() << " | policy "
+      << faultinject::to_string(cfg.fail_policy) << "\n";
+}
+
 /// Append the process-wide campaign accounting when --stats was given.
 void maybe_print_campaign_stats(const util::ArgParser& parser,
                                 std::ostream& out) {
@@ -146,6 +179,7 @@ int cmd_profile(const std::vector<std::string>& args, std::ostream& out,
                          "profile a workload and emit sizing advice");
   add_workload_options(parser);
   add_mnemo_options(parser);
+  add_fault_options(parser);
   parser.add_option("out", "advice CSV path (key id, est throughput, cost)",
                     "");
   std::string error;
@@ -154,39 +188,60 @@ int cmd_profile(const std::vector<std::string>& args, std::ostream& out,
     return 2;
   }
   const workload::Trace trace = load_workload(parser);
-  const core::MnemoConfig cfg = mnemo_config(parser);
+  core::MnemoConfig cfg = mnemo_config(parser);
+  apply_fault_options(parser, cfg);
   const core::Mnemo mnemo(cfg);
+  print_fault_banner(cfg, out);
   const core::MnemoReport report = mnemo.profile(trace);
 
   out << "workload: " << trace.name() << " on "
       << kvstore::to_string(cfg.store) << " (" << to_string(report.ordering)
       << " ordering, " << to_string(cfg.estimate_model) << " model)\n";
   char line[160];
-  std::snprintf(line, sizeof line,
-                "baselines: FastMem-only %.0f ops/s | SlowMem-only %.0f "
-                "ops/s | sensitivity +%.1f%%\n",
-                report.baselines.fast.throughput_ops,
-                report.baselines.slow.throughput_ops,
-                report.baselines.sensitivity() * 100.0);
-  out << line;
-  if (report.slo_choice) {
-    const core::SloChoice& c = *report.slo_choice;
-    std::snprintf(line, sizeof line,
-                  "sweet spot @ %.0f%% SLO: %zu keys (%s) in FastMem -> "
-                  "memory cost %.0f%% of FastMem-only (%.0f%% savings)\n",
-                  cfg.slo_slowdown * 100.0, c.point.fast_keys,
-                  util::format_bytes(c.point.fast_bytes).c_str(),
-                  c.cost_factor * 100.0, c.savings_vs_fast * 100.0);
-    out << line;
+  if (report.degraded) {
+    out << "baselines quarantined: no estimate (see failure ledger)\n";
   } else {
-    out << "no configuration satisfies the SLO\n";
+    std::snprintf(line, sizeof line,
+                  "baselines: FastMem-only %.0f ops/s | SlowMem-only %.0f "
+                  "ops/s | sensitivity +%.1f%%\n",
+                  report.baselines.fast.throughput_ops,
+                  report.baselines.slow.throughput_ops,
+                  report.baselines.sensitivity() * 100.0);
+    out << line;
+    if (report.slo_choice) {
+      const core::SloChoice& c = *report.slo_choice;
+      std::snprintf(line, sizeof line,
+                    "sweet spot @ %.0f%% SLO: %zu keys (%s) in FastMem -> "
+                    "memory cost %.0f%% of FastMem-only (%.0f%% savings)\n",
+                    cfg.slo_slowdown * 100.0, c.point.fast_keys,
+                    util::format_bytes(c.point.fast_bytes).c_str(),
+                    c.cost_factor * 100.0, c.savings_vs_fast * 100.0);
+      out << line;
+    } else {
+      out << "no configuration satisfies the SLO\n";
+    }
+    if (!parser.get("out").empty()) {
+      report.write_csv(parser.get("out"));
+      out << "wrote " << parser.get("out") << " ("
+          << report.curve.points.size() - 1 << " rows)\n";
+    }
   }
-  if (!parser.get("out").empty()) {
-    report.write_csv(parser.get("out"));
-    out << "wrote " << parser.get("out") << " ("
-        << report.curve.points.size() - 1 << " rows)\n";
+  if (report.partial()) {
+    out << "\npartial results: " << report.cell_failures.size()
+        << " campaign cell(s) quarantined\n"
+        << core::render_failure_ledger(report.cell_failures);
+  } else if (!cfg.faults.empty()) {
+    out << "no campaign cells quarantined\n";
   }
   maybe_print_campaign_stats(parser, out);
+  if (report.partial() &&
+      cfg.fail_policy == faultinject::FailPolicy::kAbort) {
+    const core::CellFailure& f = report.cell_failures.front();
+    err << "fault policy abort: cell #" << f.cell << " (fast keys "
+        << f.fast_keys << ", repeat " << f.repeat
+        << ") quarantined: " << f.error.to_string() << "\n";
+    return 1;
+  }
   return 0;
 }
 
@@ -195,18 +250,32 @@ int cmd_plan(const std::vector<std::string>& args, std::ostream& out,
   util::ArgParser parser("mnemo plan",
                          "capacity plan for the Table III suite");
   add_mnemo_options(parser);
+  add_fault_options(parser);
   std::string error;
   if (!parser.parse(args, &error)) {
     err << error << "\n" << parser.help();
     return 2;
   }
   core::MnemoConfig cfg = mnemo_config(parser);
+  apply_fault_options(parser, cfg);
   const core::Mnemo mnemo(cfg);
+  print_fault_banner(cfg, out);
   util::TablePrinter table(
       {"workload", "DRAM", "NVM", "cost vs DRAM-only", "slowdown"});
+  std::vector<core::CellFailure> all_failures;
+  std::string first_failed_workload;
   for (const auto& spec : workload::paper_suite()) {
     const workload::Trace trace = workload::Trace::generate(spec);
     const core::MnemoReport report = mnemo.profile(trace);
+    if (report.partial()) {
+      if (all_failures.empty()) first_failed_workload = spec.name;
+      all_failures.insert(all_failures.end(), report.cell_failures.begin(),
+                          report.cell_failures.end());
+    }
+    if (report.degraded) {
+      table.add_row({spec.name, "-", "-", "quarantined", "-"});
+      continue;
+    }
     if (!report.slo_choice) {
       table.add_row({spec.name, "-", "-", "SLO unreachable", "-"});
       continue;
@@ -219,7 +288,25 @@ int cmd_plan(const std::vector<std::string>& args, std::ostream& out,
          util::TablePrinter::pct(c.slowdown_vs_fast, 1)});
   }
   out << table.render();
+  if (!cfg.faults.empty()) {
+    if (!all_failures.empty()) {
+      out << "\npartial results: " << all_failures.size()
+          << " campaign cell(s) quarantined\n"
+          << core::render_failure_ledger(all_failures);
+    } else {
+      out << "\nno campaign cells quarantined\n";
+    }
+  }
   maybe_print_campaign_stats(parser, out);
+  if (!all_failures.empty() &&
+      cfg.fail_policy == faultinject::FailPolicy::kAbort) {
+    const core::CellFailure& f = all_failures.front();
+    err << "fault policy abort: workload " << first_failed_workload
+        << " cell #" << f.cell << " (fast keys " << f.fast_keys
+        << ", repeat " << f.repeat
+        << ") quarantined: " << f.error.to_string() << "\n";
+    return 1;
+  }
   return 0;
 }
 
@@ -530,6 +617,11 @@ int run(const std::vector<std::string>& args, std::ostream& out,
   }
   try {
     return it->second(rest, out, err);
+  } catch (const util::ParseError& e) {
+    // Malformed user input (spec/trace files): diagnostic already carries
+    // file:line; exit 2 like other usage errors, not 1.
+    err << "parse error: " << e.what() << "\n";
+    return 2;
   } catch (const std::exception& e) {
     err << "error: " << e.what() << "\n";
     return 1;

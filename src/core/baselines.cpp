@@ -22,6 +22,9 @@ RunMeasurement average_runs(const std::vector<RunMeasurement>& runs) {
     avg.write_vs_bytes.intercept += r.write_vs_bytes.intercept / n;
     avg.write_vs_bytes.slope += r.write_vs_bytes.slope / n;
     avg.latency_hist.merge(r.latency_hist);
+    // Counters sum across repeats: the merged view reports every event
+    // the group absorbed, not a fractional average.
+    avg.faults.merge(r.faults);
   }
   avg.requests = runs.front().requests;
   avg.reads = runs.front().reads;

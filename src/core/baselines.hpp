@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "faultinject/fault_plan.hpp"
 #include "stats/log_histogram.hpp"
 #include "stats/regression.hpp"
 
@@ -35,6 +36,11 @@ struct RunMeasurement {
   /// buckets). Carried out of the baselines so the TailEstimator can form
   /// mixture quantiles for intermediate capacity splits.
   stats::LogHistogram latency_hist{};
+
+  /// Fault events the deployment absorbed during this run; all-zero on a
+  /// healthy platform, and all-zero is exactly the condition under which
+  /// the measurement is bit-identical to the fault-free platform's.
+  faultinject::FaultStats faults{};
 };
 
 /// The two extreme configurations that bound Mnemo's estimation curve.

@@ -121,6 +121,137 @@ std::vector<RunMeasurement> CampaignRunner::run(
   return merged;
 }
 
+CampaignResult CampaignRunner::run_checked(
+    const SensitivityEngine& engine, const workload::Trace& trace,
+    const std::vector<CampaignCell>& cells) {
+  stats_ = CampaignStats{};
+  stats_.cells = cells.size();
+  stats_.threads = std::max<std::size_t>(
+      1, std::min(threads_, std::max<std::size_t>(1, cells.size())));
+
+  CampaignResult result;
+  result.measurements.resize(cells.size());
+  // Slot-indexed failures keep the ledger in cell order no matter how the
+  // pool schedules cells — same shared-nothing trick as run().
+  std::vector<std::optional<CellFailure>> failed(cells.size());
+  std::vector<double> cell_s(cells.size(), 0.0);
+  if (cells.empty()) return result;
+
+  util::WallTimer wall;
+  util::parallel_for(
+      cells.size(),
+      [&](std::size_t i) {
+        util::ThreadCpuTimer cell_timer;
+        // Accept only runs that are provably unperturbed: success AND zero
+        // fault events. Anything else gets exactly one retry under an
+        // attempt-shifted fault stream (the workload/service seed is
+        // untouched), then quarantine.
+        util::Error last_error;
+        faultinject::FaultStats last_stats;
+        int attempts = 0;
+        bool accepted = false;
+        for (int attempt = 0; attempt < 2 && !accepted; ++attempt) {
+          util::Result<RunMeasurement> run = engine.try_run_once(
+              trace, cells[i].placement, cells[i].repeat, attempt);
+          ++attempts;
+          if (run.ok() && run.value().faults.events() == 0) {
+            result.measurements[i] = run.value();
+            accepted = true;
+          } else if (run.ok()) {
+            last_stats = run.value().faults;
+            last_error.code = util::ErrorCode::kFaultInjected;
+            last_error.message =
+                "measurement perturbed: " +
+                std::to_string(last_stats.events()) +
+                " fault events absorbed";
+          } else {
+            last_error = run.error();
+            last_stats = faultinject::FaultStats{};
+          }
+        }
+        if (!accepted) {
+          CellFailure f;
+          f.cell = i;
+          f.fast_keys = cells[i].placement.fast_keys();
+          f.repeat = cells[i].repeat;
+          f.attempts = attempts;
+          f.error = last_error;
+          f.faults = last_stats;
+          failed[i] = std::move(f);
+        }
+        cell_s[i] = cell_timer.elapsed_s();
+      },
+      threads_);
+  stats_.wall_s = wall.elapsed_s();
+
+  for (std::optional<CellFailure>& f : failed) {
+    if (f) result.failures.push_back(std::move(*f));
+  }
+
+  std::vector<double> sorted = cell_s;
+  std::sort(sorted.begin(), sorted.end());
+  for (const double s : sorted) stats_.cpu_s += s;
+  stats_.cell_p50_s = stats::percentile_sorted(sorted, 0.50);
+  stats_.cell_p95_s = stats::percentile_sorted(sorted, 0.95);
+  record_campaign(stats_, cell_s);
+  return result;
+}
+
+CampaignResult CampaignRunner::measure_grid_checked(
+    const SensitivityEngine& engine, const workload::Trace& trace,
+    const std::vector<hybridmem::Placement>& placements) {
+  const int repeats = engine.config().repeats;
+  std::vector<CampaignCell> cells;
+  cells.reserve(placements.size() * static_cast<std::size_t>(repeats));
+  for (const hybridmem::Placement& placement : placements) {
+    for (int r = 0; r < repeats; ++r) cells.push_back({placement, r});
+  }
+  CampaignResult grid = run_checked(engine, trace, cells);
+
+  CampaignResult merged;
+  merged.failures = std::move(grid.failures);
+  merged.measurements.reserve(placements.size());
+  std::vector<RunMeasurement> group;
+  for (std::size_t p = 0; p < placements.size(); ++p) {
+    // All-or-nothing per placement: averaging a subset of the repeats
+    // would differ from the fault-free average even if every surviving
+    // repeat is clean, so one quarantined repeat quarantines the merge.
+    group.clear();
+    bool complete = true;
+    for (int r = 0; r < repeats && complete; ++r) {
+      const std::optional<RunMeasurement>& slot =
+          grid.measurements[p * static_cast<std::size_t>(repeats) +
+                            static_cast<std::size_t>(r)];
+      if (slot) {
+        group.push_back(*slot);
+      } else {
+        complete = false;
+      }
+    }
+    if (complete) {
+      merged.measurements.emplace_back(average_runs(group));
+    } else {
+      merged.measurements.emplace_back(std::nullopt);
+    }
+  }
+  return merged;
+}
+
+std::string render_failure_ledger(const std::vector<CellFailure>& failures) {
+  util::TablePrinter table({"cell", "fast keys", "repeat", "tries",
+                            "events t/p/bw", "reason"});
+  for (const CellFailure& f : failures) {
+    const std::string events =
+        std::to_string(f.faults.transient_faults) + "/" +
+        std::to_string(f.faults.poison_hits) + "/" +
+        std::to_string(f.faults.degraded_accesses);
+    table.add_row({std::to_string(f.cell), std::to_string(f.fast_keys),
+                   std::to_string(f.repeat), std::to_string(f.attempts),
+                   events, f.error.to_string()});
+  }
+  return table.render();
+}
+
 std::vector<RunMeasurement> CampaignRunner::measure_grid(
     const SensitivityEngine& engine, const workload::Trace& trace,
     const std::vector<hybridmem::Placement>& placements) {

@@ -1,11 +1,14 @@
 #pragma once
 
 #include <cstddef>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "core/sensitivity_engine.hpp"
+#include "faultinject/fault_plan.hpp"
 #include "hybridmem/placement.hpp"
+#include "util/status.hpp"
 #include "workload/trace.hpp"
 
 namespace mnemo::core {
@@ -16,6 +19,36 @@ struct CampaignCell {
   hybridmem::Placement placement;
   int repeat = 0;
 };
+
+/// Ledger entry for a campaign cell quarantined by the fault-injection
+/// campaign: the cell either errored out (typed error preserved) or its
+/// measurement absorbed fault events — meaning it is *not* bit-identical
+/// to the fault-free platform — on both the first run and the one retry.
+struct CellFailure {
+  std::size_t cell = 0;       ///< index into the campaign's cell vector
+  std::size_t fast_keys = 0;  ///< identifies the placement of the cell
+  int repeat = 0;             ///< seed shift of the cell
+  int attempts = 0;           ///< runs consumed (first try + retries)
+  util::Error error;          ///< why the final attempt was rejected
+  faultinject::FaultStats faults;  ///< events the final attempt absorbed
+
+  [[nodiscard]] bool operator==(const CellFailure&) const = default;
+};
+
+/// Outcome of a checked (fault-aware) campaign: one slot per cell, where a
+/// quarantined cell is nullopt and described in `failures` instead. Every
+/// populated measurement is bit-identical to the fault-free campaign's —
+/// that is the acceptance rule, not a best effort (see run_checked).
+struct CampaignResult {
+  std::vector<std::optional<RunMeasurement>> measurements;  ///< cell order
+  std::vector<CellFailure> failures;                        ///< cell order
+
+  [[nodiscard]] bool partial() const noexcept { return !failures.empty(); }
+};
+
+/// Render the quarantine ledger as a util::table (one row per cell).
+[[nodiscard]] std::string render_failure_ledger(
+    const std::vector<CellFailure>& failures);
 
 /// Timing/occupancy accounting of a measurement campaign. All numbers are
 /// real wall-clock of the *tool itself* (like Table IV), never the
@@ -62,6 +95,27 @@ class CampaignRunner {
   [[nodiscard]] std::vector<RunMeasurement> run(
       const SensitivityEngine& engine, const workload::Trace& trace,
       const std::vector<CampaignCell>& cells);
+
+  /// Fault-aware variant for engines with a nonempty fault plan. A cell is
+  /// accepted only when its run succeeds AND absorbed zero fault events —
+  /// the condition under which it is bit-identical to the fault-free
+  /// campaign. A rejected cell is retried exactly once with an
+  /// attempt-shifted fault stream (the workload seed never changes), then
+  /// quarantined into the failure ledger while the remaining cells
+  /// complete. With an empty plan this degenerates to run(): every cell
+  /// accepted on the first attempt. Deterministic at any thread count.
+  [[nodiscard]] CampaignResult run_checked(
+      const SensitivityEngine& engine, const workload::Trace& trace,
+      const std::vector<CampaignCell>& cells);
+
+  /// Checked counterpart of measure_grid: each placement's repeats are
+  /// averaged only if *every* repeat was accepted — a partial average
+  /// would not be bit-identical to the fault-free grid, so one quarantined
+  /// repeat quarantines the whole placement (nullopt slot). The failure
+  /// ledger indexes cells of the underlying repeat-major grid.
+  [[nodiscard]] CampaignResult measure_grid_checked(
+      const SensitivityEngine& engine, const workload::Trace& trace,
+      const std::vector<hybridmem::Placement>& placements);
 
   /// The {placement × repeat} grid behind measure()/baselines(): each
   /// placement runs engine.config().repeats times (repeat-major within a

@@ -91,8 +91,17 @@ MigrationResult DynamicTierer::run(const workload::Trace& trace) const {
   std::iota(id_order.begin(), id_order.end(), 0);
   const auto initial = hybridmem::Placement::from_order_with_budget(
       id_order, trace.key_sizes(), migration_.fast_budget_bytes);
-  servers.populate(trace, initial);
+  {
+    const util::Status loaded = servers.populate(trace, initial);
+    MNEMO_ASSERT(loaded.ok() && "budgeted initial placement must fit");
+  }
   memory.drop_caches();
+  // Same convention as the Sensitivity Engine: faults hit the serving
+  // window, not the load phase. The dynamic tierer uses one deployment
+  // for the whole trace, so a single stream suffices.
+  if (!sensitivity_.faults.empty()) {
+    memory.arm_faults(sensitivity_.faults, 0);
+  }
 
   MigrationResult result;
   std::vector<double> scores(trace.key_count(), 0.0);
@@ -190,9 +199,15 @@ MigrationResult DynamicTierer::run(const workload::Trace& trace) const {
     for (std::uint64_t key = 0; key < live_keys && budget_left(); ++key) {
       if (!want_keep[key] &&
           servers.placement().node_of(key) == hybridmem::NodeId::kFast) {
-        const double ns = servers.move_key(key, hybridmem::NodeId::kSlow);
-        MNEMO_ASSERT(ns >= 0.0);
-        result.migration_ns += ns;
+        const util::Result<double> ns =
+            servers.move_key(key, hybridmem::NodeId::kSlow);
+        if (!ns.ok()) {
+          // SlowMem full (or a faulting migration read exhausted its
+          // retries): the key stays fast; try again next epoch.
+          ++result.rejected_moves;
+          continue;
+        }
+        result.migration_ns += ns.value();
         ++result.migrations;
         result.bytes_migrated += trace.size_of(key);
         moved += trace.size_of(key);
@@ -206,12 +221,13 @@ MigrationResult DynamicTierer::run(const workload::Trace& trace) const {
         continue;
       }
       if (fast_bytes + trace.size_of(key) > keep_budget) continue;
-      const double ns = servers.move_key(key, hybridmem::NodeId::kFast);
-      if (ns < 0.0) {
+      const util::Result<double> ns =
+          servers.move_key(key, hybridmem::NodeId::kFast);
+      if (!ns.ok()) {
         ++result.rejected_moves;
         continue;
       }
-      result.migration_ns += ns;
+      result.migration_ns += ns.value();
       ++result.migrations;
       result.bytes_migrated += trace.size_of(key);
       moved += trace.size_of(key);
@@ -222,15 +238,23 @@ MigrationResult DynamicTierer::run(const workload::Trace& trace) const {
   std::size_t since_epoch = 0;
   for (const workload::Request& req : trace.requests()) {
     if (req.op == workload::OpType::kInsert) live_keys = req.key + 1;
-    const kvstore::OpResult r = servers.execute(req);
-    MNEMO_ASSERT(r.ok);
-    runtime += r.service_ns;
-    latencies.push_back(r.service_ns);
-    ++epoch_counts[req.key];
-    if (req.op == workload::OpType::kRead) {
-      ++reads;
+    const util::Result<kvstore::OpResult> served = servers.execute(req);
+    if (!served.ok()) {
+      // Transient retries exhausted: the request is dropped, but the
+      // access still informs the tiering scores — the client did ask.
+      ++result.failed_requests;
+      ++epoch_counts[req.key];
     } else {
-      ++writes;
+      const kvstore::OpResult r = served.value();
+      MNEMO_ASSERT(r.ok);
+      runtime += r.service_ns;
+      latencies.push_back(r.service_ns);
+      ++epoch_counts[req.key];
+      if (req.op == workload::OpType::kRead) {
+        ++reads;
+      } else {
+        ++writes;
+      }
     }
     if (++since_epoch >= migration_.epoch_requests) {
       since_epoch = 0;
@@ -248,7 +272,11 @@ RunMeasurement DynamicTierer::run_static_oracle(
   const auto order = TieringEngine::priority_order(pattern);
   const auto placement = hybridmem::Placement::from_order_with_budget(
       order, trace.key_sizes(), migration_.fast_budget_bytes);
-  const SensitivityEngine engine(sensitivity_);
+  // The oracle is the *healthy* static reference: comparing a degraded
+  // dynamic run against a degraded oracle would hide the fault penalty.
+  SensitivityConfig healthy = sensitivity_;
+  healthy.faults = faultinject::FaultPlan{};
+  const SensitivityEngine engine(healthy);
   return engine.run_once(trace, placement);
 }
 

@@ -44,6 +44,9 @@ struct MigrationResult {
   std::uint64_t bytes_migrated = 0;
   double migration_ns = 0.0;           ///< simulated time spent migrating
   std::uint64_t rejected_moves = 0;    ///< destination-full promotions
+  /// Requests dropped because their read exhausted the fault plan's
+  /// transient retries (always 0 without an armed fault plan).
+  std::uint64_t failed_requests = 0;
 };
 
 /// Epoch-based dynamic tierer over the dual-server deployment.

@@ -31,6 +31,7 @@ SensitivityConfig to_sensitivity_config(const MnemoConfig& cfg) {
   s.repeats = cfg.repeats;
   s.seed = cfg.seed;
   s.threads = cfg.threads;
+  s.faults = cfg.faults;
   return s;
 }
 
@@ -55,8 +56,30 @@ MnemoReport Mnemo::build_report(const workload::Trace& trace,
   report.store = config_.store;
   report.ordering = policy;
   report.pattern = PatternEngine::analyze(trace);
-  report.baselines = sensitivity_.baselines(trace);
   report.order = std::move(order);
+
+  if (config_.faults.empty()) {
+    report.baselines = sensitivity_.baselines(trace);
+  } else {
+    // Degraded-mode campaign: each baseline cell is accepted only when it
+    // is bit-identical to the fault-free platform (zero events after one
+    // retry), so a non-degraded report matches the healthy profile
+    // exactly; a lost baseline quarantines the estimates instead of
+    // silently skewing them.
+    CampaignRunner runner(config_.threads);
+    CampaignResult grid = runner.measure_grid_checked(
+        sensitivity_, trace,
+        {hybridmem::Placement(trace.key_count(), hybridmem::NodeId::kFast),
+         hybridmem::Placement(trace.key_count(), hybridmem::NodeId::kSlow)});
+    report.cell_failures = std::move(grid.failures);
+    if (!grid.measurements[0] || !grid.measurements[1]) {
+      report.degraded = true;
+      return report;
+    }
+    report.baselines.fast = *grid.measurements[0];
+    report.baselines.slow = *grid.measurements[1];
+  }
+
   report.curve =
       estimator_.estimate(report.pattern, report.order, report.baselines);
   report.slo_choice = advisor_.choose(report.curve, report.baselines);

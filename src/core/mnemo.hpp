@@ -4,10 +4,12 @@
 #include <string>
 #include <vector>
 
+#include "core/campaign.hpp"
 #include "core/estimate_engine.hpp"
 #include "core/pattern_engine.hpp"
 #include "core/sensitivity_engine.hpp"
 #include "core/slo_advisor.hpp"
+#include "faultinject/fault_plan.hpp"
 
 namespace mnemo::core {
 
@@ -40,6 +42,14 @@ struct MnemoConfig {
   OrderingPolicy ordering = OrderingPolicy::kTouchOrder;
   EstimateModel estimate_model = EstimateModel::kSizeAware;
   double slo_slowdown = SloAdvisor::kPaperSlowdown;
+  /// Deterministic fault plan for degraded-mode campaigns (DESIGN.md §7).
+  /// Empty (the default) profiles the healthy platform.
+  faultinject::FaultPlan faults;
+  /// What a quarantined campaign cell means for the session: kDegrade
+  /// completes with partial results; kAbort makes the CLI exit nonzero
+  /// identifying the failing cell. Only consulted by the CLI layer — the
+  /// library always completes and reports.
+  faultinject::FailPolicy fail_policy = faultinject::FailPolicy::kDegrade;
 
   MnemoConfig();
 };
@@ -55,6 +65,18 @@ struct MnemoReport {
   std::vector<std::uint64_t> order;
   EstimateCurve curve;
   std::optional<SloChoice> slo_choice;
+
+  /// Quarantine ledger of the baseline measurement campaign; empty on a
+  /// healthy platform (or when every faulted cell came back clean).
+  std::vector<CellFailure> cell_failures;
+  /// True when a baseline placement lost at least one repeat to
+  /// quarantine: the curve and SLO choice are then not populated, because
+  /// any value derived from a perturbed baseline would silently differ
+  /// from the fault-free profile.
+  bool degraded = false;
+
+  /// Some cells were quarantined — the report carries partial results.
+  [[nodiscard]] bool partial() const noexcept { return !cell_failures.empty(); }
 
   /// The paper's output artifact: a CSV whose rows are
   /// (key id, estimated throughput ops/s, cost reduction factor) —

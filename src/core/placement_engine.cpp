@@ -1,5 +1,7 @@
 #include "core/placement_engine.hpp"
 
+#include "util/assert.hpp"
+
 namespace mnemo::core {
 
 hybridmem::Placement PlacementEngine::placement_for(
@@ -18,7 +20,8 @@ hybridmem::Placement PlacementEngine::placement_for_budget(
 void PlacementEngine::populate(kvstore::DualServer& servers,
                                const workload::Trace& trace,
                                const hybridmem::Placement& placement) {
-  servers.populate(trace, placement);
+  const util::Status loaded = servers.populate(trace, placement);
+  MNEMO_ASSERT(loaded.ok() && "engine-produced placements must fit");
 }
 
 }  // namespace mnemo::core

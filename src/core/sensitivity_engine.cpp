@@ -60,6 +60,14 @@ hybridmem::EmulationProfile SensitivityEngine::sized_platform(
 RunMeasurement SensitivityEngine::run_once(
     const workload::Trace& trace, const hybridmem::Placement& placement,
     int repeat) const {
+  util::Result<RunMeasurement> run = try_run_once(trace, placement, repeat);
+  MNEMO_ASSERT(run.ok() && "run_once requires a run that cannot fail");
+  return run.value();
+}
+
+util::Result<RunMeasurement> SensitivityEngine::try_run_once(
+    const workload::Trace& trace, const hybridmem::Placement& placement,
+    int repeat, int attempt) const {
   hybridmem::HybridMemory memory(sized_platform(trace));
 
   kvstore::StoreConfig store_cfg;
@@ -67,9 +75,21 @@ RunMeasurement SensitivityEngine::run_once(
   store_cfg.seed = config_.seed + static_cast<std::uint64_t>(repeat) * 0x9e37;
 
   kvstore::DualServer servers(memory, config_.store, store_cfg);
-  servers.populate(trace, placement);
+  {
+    util::Status loaded = servers.populate(trace, placement);
+    if (!loaded.ok()) return loaded.error();
+  }
   // The load phase should not pollute the measurement's cache state.
   memory.drop_caches();
+  // Faults model degradation of the production serving window; the load
+  // phase runs healthy, so a populate failure is always a genuine capacity
+  // error. The stream folds in `attempt` so a quarantine retry redraws the
+  // fault sequence while the store's service-jitter seed stays fixed.
+  if (!config_.faults.empty()) {
+    memory.arm_faults(config_.faults,
+                      (static_cast<std::uint64_t>(repeat) << 16) +
+                          static_cast<std::uint64_t>(attempt));
+  }
 
   std::vector<double> read_lat;
   std::vector<double> write_lat;
@@ -80,7 +100,9 @@ RunMeasurement SensitivityEngine::run_once(
   RunMeasurement m;
   m.requests = trace.requests().size();
   for (const workload::Request& req : trace.requests()) {
-    const kvstore::OpResult r = servers.execute(req);
+    const util::Result<kvstore::OpResult> served = servers.execute(req);
+    if (!served.ok()) return served.error();
+    const kvstore::OpResult r = served.value();
     MNEMO_ASSERT(r.ok && "all requested keys were populated");
     m.runtime_ns += r.service_ns;
     const auto bytes = static_cast<double>(trace.size_of(req.key));
@@ -111,6 +133,7 @@ RunMeasurement SensitivityEngine::run_once(
   m.p95_ns = stats::percentile_sorted(all, 0.95);
   m.p99_ns = stats::percentile_sorted(all, 0.99);
   m.llc_hit_rate = memory.llc().hit_rate();
+  m.faults = memory.fault_stats();
   return m;
 }
 

@@ -3,10 +3,12 @@
 #include <cstdint>
 
 #include "core/baselines.hpp"
+#include "faultinject/fault_plan.hpp"
 #include "hybridmem/emulation_profile.hpp"
 #include "hybridmem/placement.hpp"
 #include "kvstore/kvstore.hpp"
 #include "kvstore/service_profile.hpp"
+#include "util/status.hpp"
 #include "workload/trace.hpp"
 
 namespace mnemo::core {
@@ -23,6 +25,9 @@ struct SensitivityConfig {
   /// behind measure()/baselines(); 0 = hardware concurrency, 1 = serial.
   /// Results are bit-identical at any thread count (see core/campaign).
   std::size_t threads = 0;
+  /// Deterministic fault plan armed on every deployment the engine builds
+  /// (DESIGN.md §7). Empty = healthy platform; the default.
+  faultinject::FaultPlan faults;
 
   SensitivityConfig();
 };
@@ -39,9 +44,19 @@ class SensitivityEngine {
 
   /// Execute the trace once against a fresh deployment with the given
   /// placement (seed-shifted by `repeat`), returning the client view.
+  /// Asserting wrapper over try_run_once for healthy-platform callers.
   [[nodiscard]] RunMeasurement run_once(
       const workload::Trace& trace, const hybridmem::Placement& placement,
       int repeat = 0) const;
+
+  /// Fault-aware variant: arms config().faults on the deployment (fault
+  /// stream derived from repeat and `attempt`, store seeds untouched — a
+  /// retry redraws the fault sequence, never the workload service noise)
+  /// and returns a typed error instead of aborting when the run fails.
+  /// The measurement's `faults` counters report every event absorbed.
+  [[nodiscard]] util::Result<RunMeasurement> try_run_once(
+      const workload::Trace& trace, const hybridmem::Placement& placement,
+      int repeat = 0, int attempt = 0) const;
 
   /// Mean of `repeats` runs for one placement, fanned out as a
   /// measurement campaign over config().threads workers.

@@ -1,0 +1,140 @@
+#include "faultinject/fault_plan.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace mnemo::faultinject {
+
+std::string_view to_string(FailPolicy policy) {
+  return policy == FailPolicy::kAbort ? "abort" : "degrade";
+}
+
+FailPolicy parse_fail_policy(const std::string& name) {
+  if (name == "abort") return FailPolicy::kAbort;
+  if (name == "degrade") return FailPolicy::kDegrade;
+  throw std::invalid_argument("--fail-policy: expected abort or degrade, got " +
+                              name);
+}
+
+std::string FaultPlan::summary() const {
+  if (empty()) return "no faults";
+  char buf[256];
+  std::string out;
+  if (transient_read_rate > 0.0) {
+    std::snprintf(buf, sizeof buf,
+                  "transient reads %.2g (retries %d @ %.0f ns, recover %.2f)",
+                  transient_read_rate, transient_max_retries,
+                  transient_retry_cost_ns, transient_recover_prob);
+    out += buf;
+  }
+  if (poison_rate > 0.0) {
+    if (!out.empty()) out += "; ";
+    std::snprintf(buf, sizeof buf, "poisoned lines %.2g (remap %.0f ns)",
+                  poison_rate, poison_remap_cost_ns);
+    out += buf;
+  }
+  if (bw_period_accesses > 0) {
+    if (!out.empty()) out += "; ";
+    std::snprintf(buf, sizeof buf,
+                  "bandwidth windows %llu/%llu accesses at %.2fx",
+                  static_cast<unsigned long long>(bw_window_accesses),
+                  static_cast<unsigned long long>(bw_period_accesses),
+                  bw_degraded_factor);
+    out += buf;
+  }
+  return out;
+}
+
+void FaultPlan::check() const {
+  auto fail = [](const std::string& what) {
+    throw std::invalid_argument("fault plan: " + what);
+  };
+  if (transient_read_rate < 0.0 || transient_read_rate > 1.0) {
+    fail("transient rate must be in [0, 1]");
+  }
+  if (transient_max_retries < 0) fail("retries must be >= 0");
+  if (transient_retry_cost_ns < 0.0) fail("retry_cost must be >= 0");
+  if (transient_recover_prob < 0.0 || transient_recover_prob > 1.0) {
+    fail("recover must be in [0, 1]");
+  }
+  if (poison_rate < 0.0 || poison_rate > 1.0) {
+    fail("poison rate must be in [0, 1]");
+  }
+  if (poison_remap_cost_ns < 0.0) fail("remap_cost must be >= 0");
+  if (bw_period_accesses > 0) {
+    if (bw_window_accesses == 0) fail("bw_window must be > 0");
+    if (bw_window_accesses > bw_period_accesses) {
+      fail("bw_window must be <= bw_period");
+    }
+    if (bw_degraded_factor <= 0.0 || bw_degraded_factor > 1.0) {
+      fail("bw_factor must be in (0, 1]");
+    }
+  }
+}
+
+namespace {
+
+double parse_num(const std::string& key, const std::string& value) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(value, &used);
+    if (used != value.size()) throw std::invalid_argument(value);
+    return v;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("--faults: " + key + ": not a number: " +
+                                value);
+  }
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::parse(const std::string& spec) {
+  FaultPlan plan;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string item = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (item.empty()) continue;
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos) {
+      throw std::invalid_argument("--faults: expected key=value, got '" +
+                                  item + "'");
+    }
+    const std::string key = item.substr(0, eq);
+    const std::string value = item.substr(eq + 1);
+    if (key == "seed") {
+      plan.seed = static_cast<std::uint64_t>(parse_num(key, value));
+    } else if (key == "transient") {
+      plan.transient_read_rate = parse_num(key, value);
+    } else if (key == "retries") {
+      plan.transient_max_retries = static_cast<int>(parse_num(key, value));
+    } else if (key == "retry_cost") {
+      plan.transient_retry_cost_ns = parse_num(key, value);
+    } else if (key == "recover") {
+      plan.transient_recover_prob = parse_num(key, value);
+    } else if (key == "poison") {
+      plan.poison_rate = parse_num(key, value);
+    } else if (key == "remap_cost") {
+      plan.poison_remap_cost_ns = parse_num(key, value);
+    } else if (key == "bw_period") {
+      plan.bw_period_accesses =
+          static_cast<std::uint64_t>(parse_num(key, value));
+    } else if (key == "bw_window") {
+      plan.bw_window_accesses =
+          static_cast<std::uint64_t>(parse_num(key, value));
+    } else if (key == "bw_factor") {
+      plan.bw_degraded_factor = parse_num(key, value);
+    } else {
+      throw std::invalid_argument(
+          "--faults: unknown key '" + key +
+          "' (valid: seed, transient, retries, retry_cost, recover, "
+          "poison, remap_cost, bw_period, bw_window, bw_factor)");
+    }
+  }
+  plan.check();
+  return plan;
+}
+
+}  // namespace mnemo::faultinject

@@ -1,0 +1,106 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace mnemo::faultinject {
+
+/// What a consumer should do when a measurement cell keeps failing.
+enum class FailPolicy : std::uint8_t {
+  kAbort,    ///< surface the first quarantined cell as a hard error
+  kDegrade,  ///< quarantine the cell, complete the rest, flag the report
+};
+
+std::string_view to_string(FailPolicy policy);
+
+/// Parse "abort" | "degrade". Throws std::invalid_argument otherwise.
+FailPolicy parse_fail_policy(const std::string& name);
+
+/// Declarative, seed-driven description of the faults to inject into a
+/// deployment's SlowMem. Everything an injector does is a pure function of
+/// this plan plus the (seed, stream) pair, so campaigns replay
+/// bit-identically (DESIGN.md §6/§7). An all-zero-rate plan is "empty":
+/// arming it is a no-op and the platform behaves exactly like a healthy
+/// one.
+struct FaultPlan {
+  std::uint64_t seed = 0x5eed;
+
+  // --- transient SlowMem read faults (media retries) ---------------------
+  /// Per-SlowMem-read probability of a transient fault.
+  double transient_read_rate = 0.0;
+  /// Hardware retry budget per access; exhausting it fails the access.
+  int transient_max_retries = 3;
+  /// Simulated cost of each retry attempt, ns.
+  double transient_retry_cost_ns = 400.0;
+  /// Per-retry probability that the retry succeeds.
+  double transient_recover_prob = 0.5;
+
+  // --- poisoned lines (permanent media faults) ---------------------------
+  /// Fraction of objects whose SlowMem copy is poisoned (uncorrectable on
+  /// read; the deployment must remap the key to FastMem).
+  double poison_rate = 0.0;
+  /// Simulated cost of recovering a poisoned read (ECC/replica path), ns.
+  double poison_remap_cost_ns = 1500.0;
+
+  // --- windowed bandwidth-degradation episodes ---------------------------
+  /// Every `bw_period_accesses` SlowMem accesses, a degradation window of
+  /// `bw_window_accesses` accesses opens. 0 disables episodes.
+  std::uint64_t bw_period_accesses = 0;
+  std::uint64_t bw_window_accesses = 0;
+  /// Multiplier on SlowMem bandwidth inside a window (0 < f <= 1).
+  double bw_degraded_factor = 0.25;
+
+  /// True when no fault class is enabled; arming an empty plan is a no-op.
+  [[nodiscard]] bool empty() const noexcept {
+    return transient_read_rate <= 0.0 && poison_rate <= 0.0 &&
+           bw_period_accesses == 0;
+  }
+
+  /// Human-readable one-line summary of the enabled fault classes.
+  [[nodiscard]] std::string summary() const;
+
+  /// Validate ranges; throws std::invalid_argument on nonsense.
+  void check() const;
+
+  /// Parse a comma-separated key=value spec, e.g.
+  ///   "transient=1e-4,retries=3,retry_cost=400,recover=0.5,
+  ///    poison=5e-5,remap_cost=1500,bw_period=4000,bw_window=400,
+  ///    bw_factor=0.25,seed=7"
+  /// Unknown keys throw std::invalid_argument listing the valid ones.
+  static FaultPlan parse(const std::string& spec);
+};
+
+/// Counters of the fault events one deployment absorbed. A deployment with
+/// events() == 0 under an armed plan produced a measurement bit-identical
+/// to the fault-free platform — the property the campaign layer uses to
+/// decide whether a cell is clean.
+struct FaultStats {
+  std::uint64_t transient_faults = 0;    ///< reads that drew a fault
+  std::uint64_t transient_retries = 0;   ///< retry attempts performed
+  std::uint64_t transient_failures = 0;  ///< reads whose retries exhausted
+  std::uint64_t poison_hits = 0;         ///< reads that hit a poisoned line
+  std::uint64_t degraded_accesses = 0;   ///< accesses inside a bw window
+
+  [[nodiscard]] std::uint64_t events() const noexcept {
+    return transient_faults + poison_hits + degraded_accesses;
+  }
+
+  void merge(const FaultStats& other) noexcept {
+    transient_faults += other.transient_faults;
+    transient_retries += other.transient_retries;
+    transient_failures += other.transient_failures;
+    poison_hits += other.poison_hits;
+    degraded_accesses += other.degraded_accesses;
+  }
+
+  friend bool operator==(const FaultStats& a, const FaultStats& b) {
+    return a.transient_faults == b.transient_faults &&
+           a.transient_retries == b.transient_retries &&
+           a.transient_failures == b.transient_failures &&
+           a.poison_hits == b.poison_hits &&
+           a.degraded_accesses == b.degraded_accesses;
+  }
+};
+
+}  // namespace mnemo::faultinject

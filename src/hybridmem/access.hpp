@@ -37,10 +37,29 @@ struct AccessTraits {
   double write_discount = 1.0;
 };
 
+/// Fault absorbed by one access (ordered by severity so a worst-wins
+/// reduction over several accesses is a plain max).
+enum class FaultKind : std::uint8_t { kNone = 0, kTransient = 1, kPoisoned = 2 };
+
+inline constexpr std::string_view to_string(FaultKind f) {
+  switch (f) {
+    case FaultKind::kNone:
+      return "none";
+    case FaultKind::kTransient:
+      return "transient";
+    case FaultKind::kPoisoned:
+      return "poisoned";
+  }
+  return "?";
+}
+
 /// Outcome of pricing one access.
 struct AccessResult {
   double ns = 0.0;     ///< simulated service time of the memory part
   bool llc_hit = false;  ///< whole object was LLC-resident
+  FaultKind fault = FaultKind::kNone;  ///< injected fault, if any
+  int fault_retries = 0;  ///< transient retry attempts absorbed
+  bool failed = false;    ///< retries exhausted; data not delivered
 };
 
 }  // namespace mnemo::hybridmem

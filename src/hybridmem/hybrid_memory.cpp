@@ -93,10 +93,40 @@ AccessResult HybridMemory::access(std::uint64_t object_id, MemOp op,
                 effective.latency_touches;
     if (op == MemOp::kWrite) result.ns *= effective.write_discount;
   } else {
-    result.ns = node(info.node).access_ns(effective, op);
+    // Faults live on the SlowMem medium and only fire on LLC misses; an
+    // unarmed (or paused) injector leaves this path bit-identical to the
+    // healthy platform.
+    double bw_factor = 1.0;
+    double extra_ns = 0.0;
+    if (injector_ && !injector_->paused() && info.node == NodeId::kSlow) {
+      if (op == MemOp::kRead && injector_->poisoned(object_id)) {
+        result.fault = FaultKind::kPoisoned;
+        injector_->note_poison_hit();
+      } else {
+        bw_factor = injector_->next_bandwidth_factor();
+        if (op == MemOp::kRead) {
+          const auto outcome = injector_->on_slow_read();
+          extra_ns = outcome.extra_ns;
+          result.fault_retries = outcome.retries;
+          if (outcome.faulted) result.fault = FaultKind::kTransient;
+          result.failed = outcome.failed;
+        }
+      }
+    }
+    result.ns = node(info.node).access_ns(effective, op, bw_factor) + extra_ns;
+    // A read whose retries exhausted delivered no data, so it must not
+    // leave the line cached — a retry has to face the medium again.
+    if (result.failed) llc_.invalidate(object_id);
   }
   node(info.node).note_traffic(op, effective.streamed_bytes);
   return result;
+}
+
+void HybridMemory::arm_faults(const faultinject::FaultPlan& plan,
+                              std::uint64_t stream) {
+  if (plan.empty()) return;
+  MNEMO_EXPECTS(injector_ == nullptr);
+  injector_ = std::make_unique<faultinject::FaultInjector>(plan, stream);
 }
 
 double HybridMemory::raw_access_ns(NodeId node_id, const AccessTraits& traits,

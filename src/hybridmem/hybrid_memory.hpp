@@ -1,9 +1,11 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <unordered_map>
 
+#include "faultinject/fault_injector.hpp"
 #include "hybridmem/access.hpp"
 #include "hybridmem/emulation_profile.hpp"
 #include "hybridmem/llc_model.hpp"
@@ -71,6 +73,26 @@ class HybridMemory {
   /// Reset LLC state (between experiment phases) without moving data.
   void drop_caches() { llc_.clear(); }
 
+  /// Arm deterministic fault injection on this platform's SlowMem. No-op
+  /// for an empty plan. `stream` makes independent deployments (campaign
+  /// cells, retry attempts) draw independent fault sequences from the same
+  /// plan seed. Must be called at most once, before any access.
+  void arm_faults(const faultinject::FaultPlan& plan, std::uint64_t stream);
+
+  /// The armed injector, or nullptr on a healthy platform.
+  [[nodiscard]] faultinject::FaultInjector* fault_injector() noexcept {
+    return injector_.get();
+  }
+  [[nodiscard]] const faultinject::FaultInjector* fault_injector()
+      const noexcept {
+    return injector_.get();
+  }
+
+  /// Fault events absorbed so far (all-zero on a healthy platform).
+  [[nodiscard]] faultinject::FaultStats fault_stats() const noexcept {
+    return injector_ ? injector_->stats() : faultinject::FaultStats{};
+  }
+
  private:
   struct ObjectInfo {
     std::uint64_t bytes;
@@ -82,6 +104,7 @@ class HybridMemory {
   MemoryNode slow_;
   LlcModel llc_;
   std::unordered_map<std::uint64_t, ObjectInfo> objects_;
+  std::unique_ptr<faultinject::FaultInjector> injector_;
 };
 
 }  // namespace mnemo::hybridmem

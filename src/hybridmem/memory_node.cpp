@@ -40,11 +40,14 @@ void MemoryNode::shrink(std::uint64_t bytes) noexcept {
   used_ -= bytes;
 }
 
-double MemoryNode::access_ns(const AccessTraits& t, MemOp op) const {
+double MemoryNode::access_ns(const AccessTraits& t, MemOp op,
+                             double bandwidth_factor) const {
+  MNEMO_EXPECTS(bandwidth_factor > 0.0);
   const double latency =
       spec_.latency_ns * t.latency_touches * t.latency_sensitivity;
   const double exposed = 1.0 - t.bandwidth_overlap;
-  const double stream = spec_.stream_ns(t.streamed_bytes) * exposed;
+  const double stream =
+      spec_.stream_ns(t.streamed_bytes) * exposed / bandwidth_factor;
   double ns = latency + stream;
   if (op == MemOp::kWrite) ns *= t.write_discount;
   return ns;

@@ -49,7 +49,10 @@ class MemoryNode {
 
   /// Price a raw access against this node (no LLC involved):
   /// touches serialized latencies plus an exposed bandwidth stream.
-  [[nodiscard]] double access_ns(const AccessTraits& t, MemOp op) const;
+  /// `bandwidth_factor` scales the node's effective stream bandwidth
+  /// (degradation episodes inject factors < 1); requires factor > 0.
+  [[nodiscard]] double access_ns(const AccessTraits& t, MemOp op,
+                                 double bandwidth_factor = 1.0) const;
 
   /// Lifetime traffic statistics.
   [[nodiscard]] std::uint64_t reads() const noexcept { return reads_; }

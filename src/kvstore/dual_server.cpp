@@ -1,5 +1,6 @@
 #include "kvstore/dual_server.hpp"
 
+#include "faultinject/fault_injector.hpp"
 #include "util/assert.hpp"
 
 namespace mnemo::kvstore {
@@ -22,36 +23,119 @@ KeyValueStore& DualServer::route(std::uint64_t key) {
                                                              : *slow_;
 }
 
-void DualServer::populate(const workload::Trace& trace,
-                          const hybridmem::Placement& placement) {
+util::Status DualServer::populate(const workload::Trace& trace,
+                                  const hybridmem::Placement& placement) {
   MNEMO_EXPECTS(placement.key_count() == trace.key_count());
   placement_ = placement;
   key_sizes_ = trace.key_sizes();
   // Only keys that exist before the run are loaded; keys beyond
   // initial_key_count() arrive via kInsert requests during execution.
   for (std::uint64_t key = 0; key < trace.initial_key_count(); ++key) {
-    const OpResult r = route(key).put(key, key_sizes_[key]);
-    MNEMO_ASSERT(r.ok && "populate must fit the configured node capacities");
+    KeyValueStore& server = route(key);
+    const OpResult r = server.put(key, key_sizes_[key]);
+    if (!r.ok) {
+      util::Error e;
+      e.code = util::ErrorCode::kCapacityExhausted;
+      e.message = std::string("populate: ") +
+                  std::string(hybridmem::to_string(server.node())) +
+                  " cannot fit key";
+      e.key = key;
+      e.requested_bytes = key_sizes_[key];
+      e.available_bytes = server.memory().node(server.node()).free_bytes();
+      return e;
+    }
   }
+  return {};
 }
 
-OpResult DualServer::execute(const workload::Request& request) {
+util::Result<OpResult> DualServer::execute(const workload::Request& request) {
   MNEMO_EXPECTS(request.key < key_sizes_.size());
   KeyValueStore& server = route(request.key);
-  if (request.op == workload::OpType::kRead) {
-    return server.get(request.key);
+  if (request.op != workload::OpType::kRead) {
+    // kUpdate overwrites in place; kInsert creates the key (same put path —
+    // the stores upsert). Writes are not fault targets.
+    return server.put(request.key, key_sizes_[request.key]);
   }
-  // kUpdate overwrites in place; kInsert creates the key (same put path —
-  // the stores upsert).
-  return server.put(request.key, key_sizes_[request.key]);
+  OpResult r = server.get(request.key);
+  if (r.fault == hybridmem::FaultKind::kPoisoned) {
+    // The SlowMem copy is uncorrectable: remap the key to FastMem (the
+    // move recovers the record at the plan's remap cost) and re-serve the
+    // request from there. Everything is charged to this request.
+    const util::Result<double> moved =
+        move_key(request.key, hybridmem::NodeId::kFast);
+    faultinject::FaultInjector* inj =
+        fast_->memory().fault_injector();
+    if (!moved.ok()) {
+      // Destination full: serve in place, paying the recovery cost on
+      // every poisoned read instead of once.
+      r.service_ns += inj != nullptr ? inj->plan().poison_remap_cost_ns : 0.0;
+      return r;
+    }
+    OpResult again = fast_->get(request.key);
+    again.service_ns += r.service_ns + moved.value();
+    again.fault = hybridmem::FaultKind::kPoisoned;
+    return again;
+  }
+  if (!r.ok && r.fault == hybridmem::FaultKind::kTransient) {
+    const faultinject::FaultInjector* inj =
+        fast_->memory().fault_injector();
+    util::Error e;
+    e.code = util::ErrorCode::kFaultInjected;
+    e.message = "read failed: transient SlowMem fault retries exhausted";
+    e.key = request.key;
+    e.attempts = inj != nullptr ? inj->plan().transient_max_retries : 0;
+    return e;
+  }
+  return r;
 }
 
-double DualServer::move_key(std::uint64_t key, hybridmem::NodeId to) {
+util::Result<double> DualServer::move_key(std::uint64_t key,
+                                          hybridmem::NodeId to) {
   MNEMO_EXPECTS(key < key_sizes_.size());
   if (placement_.node_of(key) == to) return 0.0;
   KeyValueStore& src = route(key);
   KeyValueStore& dst =
       to == hybridmem::NodeId::kFast ? *fast_ : *slow_;
+  double cost = 0.0;
+
+  // With faults armed, migrating a record means actually reading it off
+  // the source medium first. Transient faults are retried with exponential
+  // backoff in simulated time; a poisoned source is recovered once at the
+  // remap cost. On a healthy platform this read is skipped entirely so
+  // fault-free timing is unchanged.
+  faultinject::FaultInjector* inj = src.memory().fault_injector();
+  if (inj != nullptr && src.node() == hybridmem::NodeId::kSlow) {
+    double backoff_ns = inj->plan().transient_retry_cost_ns;
+    int attempts = 0;
+    for (;;) {
+      const OpResult peek = src.get(key);
+      cost += peek.service_ns;
+      if (peek.fault == hybridmem::FaultKind::kPoisoned) {
+        cost += inj->plan().poison_remap_cost_ns;
+        break;
+      }
+      if (peek.ok) break;
+      MNEMO_EXPECTS(peek.fault == hybridmem::FaultKind::kTransient &&
+                    "move_key requires the key to be resident");
+      ++attempts;
+      if (attempts > inj->plan().transient_max_retries) {
+        util::Error e;
+        e.code = util::ErrorCode::kRetriesExhausted;
+        e.message = "move_key: migration read kept faulting";
+        e.key = key;
+        e.attempts = attempts;
+        return e;
+      }
+      cost += backoff_ns;
+      backoff_ns *= 2.0;
+    }
+  }
+
+  // The structural move itself (delete + re-insert + possible restore)
+  // must not consume fault events: it models metadata operations, and a
+  // fault mid-restore would corrupt the deployment invariant that every
+  // key stays resident somewhere.
+  faultinject::FaultPause pause(inj);
   const OpResult out = src.erase(key);
   MNEMO_EXPECTS(out.ok);
   const OpResult in = dst.put(key, key_sizes_[key]);
@@ -59,10 +143,17 @@ double DualServer::move_key(std::uint64_t key, hybridmem::NodeId to) {
     // Destination full: put the record back where it was.
     const OpResult restore = src.put(key, key_sizes_[key]);
     MNEMO_ASSERT(restore.ok);
-    return -1.0;
+    util::Error e;
+    e.code = util::ErrorCode::kCapacityExhausted;
+    e.message = std::string("move_key: ") +
+                std::string(hybridmem::to_string(to)) + " cannot fit key";
+    e.key = key;
+    e.requested_bytes = key_sizes_[key];
+    e.available_bytes = dst.memory().node(to).free_bytes();
+    return e;
   }
   placement_.set(key, to);
-  return out.service_ns + in.service_ns;
+  return cost + out.service_ns + in.service_ns;
 }
 
 StoreStats DualServer::combined_stats() const {

@@ -4,6 +4,7 @@
 
 #include "hybridmem/placement.hpp"
 #include "kvstore/factory.hpp"
+#include "util/status.hpp"
 #include "workload/trace.hpp"
 
 namespace mnemo::kvstore {
@@ -19,14 +20,20 @@ class DualServer {
              const StoreConfig& base_config);
 
   /// Load every key of the trace into the server its placement names.
-  /// Population happens in key order (the paper's load phase) and aborts
-  /// on capacity failure — experiment configurations must fit.
-  void populate(const workload::Trace& trace,
-                const hybridmem::Placement& placement);
+  /// Population happens in key order (the paper's load phase). On capacity
+  /// failure the typed error carries the offending key, the bytes it
+  /// needed, and the node's remaining capacity; keys already loaded stay
+  /// loaded (the caller owns the deployment's lifetime).
+  [[nodiscard]] util::Status populate(const workload::Trace& trace,
+                                      const hybridmem::Placement& placement);
 
   /// Execute one client request, routed by the placement given at
-  /// populate(). Updates keep the key on its assigned server.
-  OpResult execute(const workload::Request& request);
+  /// populate(). Updates keep the key on its assigned server. A read that
+  /// hits a poisoned SlowMem line is transparently remapped to FastMem
+  /// (the move and remap costs charged to this request); a read whose
+  /// transient retries exhaust is a typed error carrying the key.
+  [[nodiscard]] util::Result<OpResult> execute(
+      const workload::Request& request);
 
   [[nodiscard]] KeyValueStore& fast() noexcept { return *fast_; }
   [[nodiscard]] KeyValueStore& slow() noexcept { return *slow_; }
@@ -39,10 +46,15 @@ class DualServer {
 
   /// Move one key's record to the other tier (delete + re-insert, like a
   /// live migration between the two server processes). Returns the
-  /// simulated time the move cost, or a negative value if the destination
-  /// had no capacity (the key then stays put). Used by the dynamic
+  /// simulated time the move cost. With faults armed, the migration first
+  /// reads the source record — transient faults are retried with
+  /// exponential backoff in simulated time (bounded by the plan's retry
+  /// budget; exhaustion is a kRetriesExhausted error) and a poisoned
+  /// source is recovered at the plan's remap cost. A full destination is a
+  /// kCapacityExhausted error and the key stays put. Used by the dynamic
   /// re-tiering extension; Mnemo proper only does static placement.
-  double move_key(std::uint64_t key, hybridmem::NodeId to);
+  [[nodiscard]] util::Result<double> move_key(std::uint64_t key,
+                                              hybridmem::NodeId to);
 
   [[nodiscard]] const hybridmem::Placement& placement() const noexcept {
     return placement_;

@@ -55,6 +55,12 @@ bool KeyValueStore::check_expired(const Record& rec) {
 }
 
 OpResult KeyValueStore::finalize(bool ok, double ns, bool llc_hit) {
+  const hybridmem::FaultKind fault = pending_fault_;
+  // A read whose transient retries exhausted never delivered the data:
+  // the operation fails regardless of what the store layer concluded.
+  if (pending_failed_) ok = false;
+  pending_fault_ = hybridmem::FaultKind::kNone;
+  pending_failed_ = false;
   if (!config_.deterministic_service) {
     // Multiplicative noise: the request-to-request variability a real
     // client observes. The rng stream advances identically regardless of
@@ -70,7 +76,7 @@ OpResult KeyValueStore::finalize(bool ok, double ns, bool llc_hit) {
     ns *= factor;
   }
   stats_.busy_ns += ns;
-  return OpResult{ok, ns, llc_hit};
+  return OpResult{ok, ns, llc_hit, fault};
 }
 
 double KeyValueStore::index_walk_ns(std::uint32_t hot_probes,
@@ -98,7 +104,10 @@ hybridmem::AccessResult KeyValueStore::payload_access(std::uint64_t key,
   traits.latency_sensitivity = profile_.latency_sensitivity;
   traits.bandwidth_overlap = profile_.bandwidth_overlap;
   traits.write_discount = profile_.write_discount;
-  return memory_.access(key, op, traits);
+  const hybridmem::AccessResult access = memory_.access(key, op, traits);
+  pending_fault_ = std::max(pending_fault_, access.fault);
+  pending_failed_ = pending_failed_ || access.failed;
+  return access;
 }
 
 void KeyValueStore::sync_overhead_accounting(std::uint64_t new_bytes) {

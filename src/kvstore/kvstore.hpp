@@ -12,11 +12,15 @@
 namespace mnemo::kvstore {
 
 /// Result of one store operation. `service_ns` is the simulated end-to-end
-/// service time of the request (CPU + memory + jitter).
+/// service time of the request (CPU + memory + jitter). `fault` reports an
+/// injected memory fault the operation absorbed: kTransient with ok ==
+/// false means the read exhausted its retries; kPoisoned means the payload
+/// lives on a poisoned SlowMem line and must be remapped by the caller.
 struct OpResult {
   bool ok = false;
   double service_ns = 0.0;
   bool llc_hit = false;
+  hybridmem::FaultKind fault = hybridmem::FaultKind::kNone;
 };
 
 /// Lifetime operation counters for one store instance.
@@ -146,6 +150,11 @@ class KeyValueStore {
   util::Rng jitter_rng_;
   std::uint64_t overhead_object_id_;
   std::uint64_t accounted_overhead_ = 0;
+  /// Fault absorbed by payload_access since the last finalize (sticky,
+  /// worst-wins) — lets finalize stamp the OpResult without every store
+  /// architecture threading fault state through its own paths.
+  hybridmem::FaultKind pending_fault_ = hybridmem::FaultKind::kNone;
+  bool pending_failed_ = false;
 };
 
 }  // namespace mnemo::kvstore

@@ -120,4 +120,18 @@ std::vector<std::vector<std::string>> read_file(const std::string& path) {
   return rows;
 }
 
+std::vector<NumberedRow> read_file_numbered(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("csv::read_file: cannot open " + path);
+  std::vector<NumberedRow> rows;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    rows.push_back(NumberedRow{line_no, parse_line(line)});
+  }
+  return rows;
+}
+
 }  // namespace mnemo::util::csv

@@ -56,6 +56,18 @@ std::vector<std::string> parse_line(std::string_view line);
 /// if the file cannot be opened.
 std::vector<std::vector<std::string>> read_file(const std::string& path);
 
+/// A parsed row together with the 1-based line it came from. Blank lines
+/// are skipped, so row index and file line diverge — parse diagnostics
+/// must report the latter.
+struct NumberedRow {
+  std::size_t line = 0;
+  std::vector<std::string> fields;
+};
+
+/// read_file with line provenance, for loaders that emit file:line parse
+/// errors. Same open/skip semantics as read_file.
+std::vector<NumberedRow> read_file_numbered(const std::string& path);
+
 /// Escape a single field per RFC 4180 (quote iff needed).
 std::string escape(std::string_view field);
 

@@ -1,0 +1,36 @@
+#include "util/status.hpp"
+
+namespace mnemo::util {
+
+std::string_view to_string(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk:
+      return "ok";
+    case ErrorCode::kCapacityExhausted:
+      return "capacity_exhausted";
+    case ErrorCode::kFaultInjected:
+      return "fault_injected";
+    case ErrorCode::kRetriesExhausted:
+      return "retries_exhausted";
+    case ErrorCode::kInvalidArgument:
+      return "invalid_argument";
+    case ErrorCode::kFailedPrecondition:
+      return "failed_precondition";
+  }
+  return "?";
+}
+
+std::string Error::to_string() const {
+  std::string out(util::to_string(code));
+  out += ": ";
+  out += message;
+  if (key != kNoKey) out += " [key=" + std::to_string(key) + "]";
+  if (requested_bytes > 0 || available_bytes > 0) {
+    out += " [requested=" + std::to_string(requested_bytes) +
+           "B available=" + std::to_string(available_bytes) + "B]";
+  }
+  if (attempts > 0) out += " [tries=" + std::to_string(attempts) + "]";
+  return out;
+}
+
+}  // namespace mnemo::util

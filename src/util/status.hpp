@@ -1,0 +1,125 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+#include "util/assert.hpp"
+
+namespace mnemo::util {
+
+/// Failure taxonomy of the typed-error spine. Codes classify *what went
+/// wrong* so callers can route on them (retry, quarantine, abort) without
+/// parsing messages.
+enum class ErrorCode : std::uint8_t {
+  kOk = 0,
+  kCapacityExhausted,   ///< a memory node could not fit the request
+  kFaultInjected,       ///< an injected fault failed the operation
+  kRetriesExhausted,    ///< bounded retry gave up
+  kInvalidArgument,     ///< malformed configuration or input
+  kFailedPrecondition,  ///< upstream result unusable (e.g. dead baseline)
+};
+
+std::string_view to_string(ErrorCode code);
+
+/// A structured error: code + message + machine-readable context. The
+/// context fields are meaningful only for the codes that set them (e.g.
+/// `key`/`requested_bytes`/`available_bytes` on kCapacityExhausted).
+struct Error {
+  static constexpr std::uint64_t kNoKey = ~0ULL;
+
+  ErrorCode code = ErrorCode::kOk;
+  std::string message;
+  std::uint64_t key = kNoKey;        ///< offending key, if any
+  std::uint64_t requested_bytes = 0;  ///< bytes the failed operation needed
+  std::uint64_t available_bytes = 0;  ///< capacity remaining at failure
+  int attempts = 0;                   ///< tries performed before giving up
+
+  /// Render "code: message [key=... requested=... available=... tries=...]".
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Error& a, const Error& b) {
+    return a.code == b.code && a.message == b.message && a.key == b.key &&
+           a.requested_bytes == b.requested_bytes &&
+           a.available_bytes == b.available_bytes &&
+           a.attempts == b.attempts;
+  }
+};
+
+/// Success-or-Error for operations without a payload.
+class Status {
+ public:
+  Status() = default;  ///< ok
+  Status(Error error) : error_(std::move(error)) {  // NOLINT(*-explicit-*)
+    MNEMO_EXPECTS(error_->code != ErrorCode::kOk);
+  }
+
+  [[nodiscard]] bool ok() const noexcept { return !error_.has_value(); }
+  [[nodiscard]] const Error& error() const {
+    MNEMO_EXPECTS(!ok());
+    return *error_;
+  }
+
+ private:
+  std::optional<Error> error_;
+};
+
+/// Success-with-value or Error. Lightweight: exactly a variant, no
+/// exceptions involved; accessing the wrong alternative is a contract
+/// violation (MNEMO_EXPECTS), mirroring Status.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}  // NOLINT(*-explicit-*)
+  Result(Error error) : v_(std::move(error)) {  // NOLINT(*-explicit-*)
+    MNEMO_EXPECTS(std::get<Error>(v_).code != ErrorCode::kOk);
+  }
+
+  [[nodiscard]] bool ok() const noexcept {
+    return std::holds_alternative<T>(v_);
+  }
+  [[nodiscard]] const T& value() const {
+    MNEMO_EXPECTS(ok());
+    return std::get<T>(v_);
+  }
+  [[nodiscard]] T& value() {
+    MNEMO_EXPECTS(ok());
+    return std::get<T>(v_);
+  }
+  [[nodiscard]] const Error& error() const {
+    MNEMO_EXPECTS(!ok());
+    return std::get<Error>(v_);
+  }
+  [[nodiscard]] T value_or(T fallback) const {
+    return ok() ? std::get<T>(v_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Error> v_;
+};
+
+/// Malformed-input error carrying the source file and 1-based line of the
+/// offending content. Derives from std::invalid_argument so existing
+/// malformed-content expectations keep holding; what() is already
+/// "file:line: message".
+class ParseError : public std::invalid_argument {
+ public:
+  ParseError(std::string file, std::size_t line, const std::string& what)
+      : std::invalid_argument(file + ":" + std::to_string(line) + ": " +
+                              what),
+        file_(std::move(file)),
+        line_(line) {}
+
+  [[nodiscard]] const std::string& file() const noexcept { return file_; }
+  [[nodiscard]] std::size_t line() const noexcept { return line_; }
+
+ private:
+  std::string file_;
+  std::size_t line_;
+};
+
+}  // namespace mnemo::util

@@ -4,6 +4,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/status.hpp"
+
 namespace mnemo::workload {
 
 namespace {
@@ -58,11 +60,11 @@ RecordSizeType parse_record_size(const std::string& name) {
   throw std::invalid_argument("unknown record_size: " + name);
 }
 
-WorkloadSpec parse_spec(std::istream& in) {
+WorkloadSpec parse_spec(std::istream& in, const std::string& source) {
   WorkloadSpec spec;
   spec.name = "custom";
   std::string line;
-  int line_no = 0;
+  std::size_t line_no = 0;
   while (std::getline(in, line)) {
     ++line_no;
     if (const auto hash = line.find('#'); hash != std::string::npos) {
@@ -72,40 +74,51 @@ WorkloadSpec parse_spec(std::istream& in) {
     if (line.empty()) continue;
     const auto eq = line.find('=');
     if (eq == std::string::npos) {
-      throw std::invalid_argument("spec line " + std::to_string(line_no) +
-                                  ": expected key = value");
+      throw util::ParseError(source, line_no, "expected key = value");
     }
     const std::string key = trim(line.substr(0, eq));
     const std::string value = trim(line.substr(eq + 1));
-    if (key == "name") {
-      spec.name = value;
-    } else if (key == "use_case") {
-      spec.use_case = value;
-    } else if (key == "distribution") {
-      spec.distribution = parse_distribution(value);
-    } else if (key == "zipf_theta") {
-      spec.dist_params.zipf_theta = parse_double(key, value);
-    } else if (key == "hot_key_fraction") {
-      spec.dist_params.hot_key_fraction = parse_double(key, value);
-    } else if (key == "hot_op_fraction") {
-      spec.dist_params.hot_op_fraction = parse_double(key, value);
-    } else if (key == "latest_drift") {
-      spec.dist_params.latest_drift = parse_double(key, value);
-    } else if (key == "read_fraction") {
-      spec.read_fraction = parse_double(key, value);
-    } else if (key == "insert_fraction") {
-      spec.insert_fraction = parse_double(key, value);
-    } else if (key == "record_size") {
-      spec.record_size = parse_record_size(value);
-    } else if (key == "keys") {
-      spec.key_count = parse_u64(key, value);
-    } else if (key == "requests") {
-      spec.request_count = parse_u64(key, value);
-    } else if (key == "seed") {
-      spec.seed = parse_u64(key, value);
-    } else {
-      throw std::invalid_argument("spec line " + std::to_string(line_no) +
-                                  ": unknown key '" + key + "'");
+    // The value parsers report *what* is wrong; the wrapper pins *where*.
+    try {
+      if (key == "name") {
+        spec.name = value;
+      } else if (key == "use_case") {
+        spec.use_case = value;
+      } else if (key == "distribution") {
+        spec.distribution = parse_distribution(value);
+      } else if (key == "zipf_theta") {
+        spec.dist_params.zipf_theta = parse_double(key, value);
+      } else if (key == "hot_key_fraction") {
+        spec.dist_params.hot_key_fraction = parse_double(key, value);
+      } else if (key == "hot_op_fraction") {
+        spec.dist_params.hot_op_fraction = parse_double(key, value);
+      } else if (key == "latest_drift") {
+        spec.dist_params.latest_drift = parse_double(key, value);
+      } else if (key == "read_fraction") {
+        spec.read_fraction = parse_double(key, value);
+        if (spec.read_fraction < 0.0 || spec.read_fraction > 1.0) {
+          throw std::invalid_argument("read_fraction: must be in [0, 1]");
+        }
+      } else if (key == "insert_fraction") {
+        spec.insert_fraction = parse_double(key, value);
+        if (spec.insert_fraction < 0.0 || spec.insert_fraction >= 1.0) {
+          throw std::invalid_argument("insert_fraction: must be in [0, 1)");
+        }
+      } else if (key == "record_size") {
+        spec.record_size = parse_record_size(value);
+      } else if (key == "keys") {
+        spec.key_count = parse_u64(key, value);
+      } else if (key == "requests") {
+        spec.request_count = parse_u64(key, value);
+      } else if (key == "seed") {
+        spec.seed = parse_u64(key, value);
+      } else {
+        throw std::invalid_argument("unknown key '" + key + "'");
+      }
+    } catch (const util::ParseError&) {
+      throw;
+    } catch (const std::invalid_argument& e) {
+      throw util::ParseError(source, line_no, e.what());
     }
   }
   spec.check();
@@ -115,7 +128,7 @@ WorkloadSpec parse_spec(std::istream& in) {
 WorkloadSpec load_spec_file(const std::string& path) {
   std::ifstream in(path);
   if (!in) throw std::runtime_error("cannot open spec file: " + path);
-  return parse_spec(in);
+  return parse_spec(in, path);
 }
 
 std::string format_spec(const WorkloadSpec& spec) {

@@ -22,9 +22,12 @@ namespace mnemo::workload {
 ///   requests = 100000
 ///   seed = 42
 ///
-/// Unknown keys and malformed values throw std::invalid_argument; omitted
-/// keys keep WorkloadSpec defaults.
-WorkloadSpec parse_spec(std::istream& in);
+/// Unknown keys and malformed values throw util::ParseError (a
+/// std::invalid_argument) whose what() reports `source:line:`; omitted
+/// keys keep WorkloadSpec defaults. `source` names the input in
+/// diagnostics — load_spec_file passes the file path.
+WorkloadSpec parse_spec(std::istream& in,
+                        const std::string& source = "<spec>");
 WorkloadSpec load_spec_file(const std::string& path);
 
 /// Serialize a spec in the same format (round-trips through parse_spec).

@@ -7,8 +7,28 @@
 #include "util/assert.hpp"
 #include "util/csv.hpp"
 #include "util/rng.hpp"
+#include "util/status.hpp"
 
 namespace mnemo::workload {
+
+namespace {
+
+/// stoull with file:line provenance — every malformed numeric field in a
+/// trace CSV must name the exact line it sits on.
+std::uint64_t parse_u64_field(const std::string& path, std::size_t line,
+                              const std::string& value, const char* what) {
+  try {
+    std::size_t used = 0;
+    const std::uint64_t v = std::stoull(value, &used);
+    if (used != value.size()) throw std::invalid_argument(value);
+    return v;
+  } catch (const std::exception&) {
+    throw util::ParseError(
+        path, line, std::string(what) + ": not an integer: " + value);
+  }
+}
+
+}  // namespace
 
 std::string_view to_string(OpType op) {
   switch (op) {
@@ -181,33 +201,91 @@ void Trace::save_csv(const std::string& path) const {
 }
 
 Trace Trace::load_csv(const std::string& path) {
-  const auto rows = util::csv::read_file(path);
-  if (rows.size() < 3 || rows[0].size() != 2 || rows[0][0] != "trace") {
-    throw std::runtime_error("Trace::load_csv: malformed header in " + path);
+  const auto rows = util::csv::read_file_numbered(path);
+  if (rows.size() < 3 || rows[0].fields.size() != 2 ||
+      rows[0].fields[0] != "trace") {
+    throw util::ParseError(path, rows.empty() ? 1 : rows[0].line,
+                           "malformed trace header (want `trace,<name>`)");
   }
-  const std::string name = rows[0][1];
-  const auto key_count = std::stoull(rows[1][1]);
-  const auto initial_keys =
-      rows[1].size() > 2 ? std::stoull(rows[1][2]) : key_count;
+  const std::string name = rows[0].fields[1];
+  if (rows[1].fields.size() < 2 || rows[1].fields[0] != "key_count") {
+    throw util::ParseError(path, rows[1].line,
+                           "malformed key_count row "
+                           "(want `key_count,<n>[,<initial>]`)");
+  }
+  const std::uint64_t key_count =
+      parse_u64_field(path, rows[1].line, rows[1].fields[1], "key_count");
+  const std::uint64_t initial_keys =
+      rows[1].fields.size() > 2
+          ? parse_u64_field(path, rows[1].line, rows[1].fields[2],
+                            "initial key count")
+          : key_count;
+  if (initial_keys > key_count) {
+    throw util::ParseError(path, rows[1].line,
+                           "initial key count exceeds key_count");
+  }
   std::vector<std::uint64_t> sizes;
   sizes.reserve(key_count);
-  for (std::size_t i = 1; i < rows[2].size(); ++i) {
-    sizes.push_back(std::stoull(rows[2][i]));
+  for (std::size_t i = 1; i < rows[2].fields.size(); ++i) {
+    sizes.push_back(
+        parse_u64_field(path, rows[2].line, rows[2].fields[i], "size"));
   }
   if (sizes.size() != key_count) {
-    throw std::runtime_error("Trace::load_csv: size row mismatch in " + path);
+    throw util::ParseError(path, rows[2].line,
+                           "size row has " + std::to_string(sizes.size()) +
+                               " entries, want " + std::to_string(key_count));
   }
+  // Validate what the Trace constructor would otherwise abort on: these
+  // are user-input errors, not programming errors, so they must surface
+  // as diagnostics with the offending line.
   std::vector<Request> reqs;
   reqs.reserve(rows.size() - 3);
+  std::uint64_t next_insert = initial_keys;
   for (std::size_t i = 3; i < rows.size(); ++i) {
-    if (rows[i].size() != 2) {
-      throw std::runtime_error("Trace::load_csv: malformed request row");
+    const std::size_t line = rows[i].line;
+    const std::vector<std::string>& f = rows[i].fields;
+    if (f.size() != 2) {
+      throw util::ParseError(path, line,
+                             "malformed request row (want `<key>,<op>`)");
     }
-    const auto key = static_cast<std::uint32_t>(std::stoul(rows[i][0]));
-    const OpType op = rows[i][1] == "read"     ? OpType::kRead
-                      : rows[i][1] == "insert" ? OpType::kInsert
-                                               : OpType::kUpdate;
-    reqs.push_back(Request{key, op});
+    const std::uint64_t key = parse_u64_field(path, line, f[0], "key");
+    if (key >= key_count) {
+      throw util::ParseError(path, line,
+                             "key " + std::to_string(key) +
+                                 " out of range (key_count " +
+                                 std::to_string(key_count) + ")");
+    }
+    OpType op;
+    if (f[1] == "read") {
+      op = OpType::kRead;
+    } else if (f[1] == "update") {
+      op = OpType::kUpdate;
+    } else if (f[1] == "insert") {
+      op = OpType::kInsert;
+    } else {
+      throw util::ParseError(
+          path, line, "unknown op '" + f[1] + "' (want read|update|insert)");
+    }
+    if (op == OpType::kInsert) {
+      if (key != next_insert) {
+        throw util::ParseError(path, line,
+                               "insert out of order: key " +
+                                   std::to_string(key) + ", expected " +
+                                   std::to_string(next_insert));
+      }
+      ++next_insert;
+    } else if (key >= next_insert) {
+      throw util::ParseError(path, line,
+                             "key " + std::to_string(key) +
+                                 " accessed before its insert");
+    }
+    reqs.push_back(Request{static_cast<std::uint32_t>(key), op});
+  }
+  if (next_insert != key_count) {
+    throw util::ParseError(path, rows.back().line,
+                           "trace ends with " + std::to_string(next_insert) +
+                               " of " + std::to_string(key_count) +
+                               " keys inserted");
   }
   return Trace(name, key_count, std::move(reqs), std::move(sizes),
                initial_keys);

@@ -215,5 +215,101 @@ TEST(Cli, PlanCoversTheSuite) {
   EXPECT_NE(r.out.find("news_feed"), std::string::npos);
 }
 
+TEST(Cli, ProfileWithFaultsDegradesAndPrintsTheLedger) {
+  // 20 % poisoned SlowMem lines: the all-SlowMem baseline cannot produce a
+  // fault-free measurement, so under the default degrade policy the
+  // profile completes (exit 0) with the baselines quarantined and the
+  // failure ledger printed.
+  const CliResult r = run_cli({"profile", "--workload", "trending",
+                               "--keys", "200", "--requests", "2000",
+                               "--repeats", "1", "--threads", "2",
+                               "--faults", "poison=0.2"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("faults: poisoned lines"), std::string::npos);
+  EXPECT_NE(r.out.find("policy degrade"), std::string::npos);
+  EXPECT_NE(r.out.find("baselines quarantined"), std::string::npos);
+  EXPECT_NE(r.out.find("partial results:"), std::string::npos);
+  EXPECT_NE(r.out.find("fault_injected"), std::string::npos);
+}
+
+TEST(Cli, ProfileAbortPolicyExitsNonzeroNamingTheCell) {
+  const CliResult r = run_cli({"profile", "--workload", "trending",
+                               "--keys", "200", "--requests", "2000",
+                               "--repeats", "1", "--threads", "2",
+                               "--faults", "poison=0.2",
+                               "--fail-policy", "abort"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("fault policy abort: cell #"), std::string::npos);
+  EXPECT_NE(r.err.find("quarantined:"), std::string::npos);
+  // The sweep itself still completed; abort only changes the exit status.
+  EXPECT_NE(r.out.find("partial results:"), std::string::npos);
+}
+
+TEST(Cli, ProfileHarmlessPlanReportsNoQuarantine) {
+  // An armed plan that draws no events: full advice comes out, with an
+  // explicit all-clear instead of silence.
+  const CliResult r = run_cli({"profile", "--workload", "trending",
+                               "--keys", "200", "--requests", "2000",
+                               "--repeats", "1",
+                               "--faults", "transient=1e-9"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("sweet spot"), std::string::npos);
+  EXPECT_NE(r.out.find("no campaign cells quarantined"), std::string::npos);
+}
+
+TEST(Cli, PlanWithFaultsCompletesTheSweepDegraded) {
+  const CliResult r = run_cli({"plan", "--repeats", "1",
+                               "--faults", "poison=0.2"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  // Every suite workload still gets its row — quarantined, not missing.
+  EXPECT_NE(r.out.find("trending"), std::string::npos);
+  EXPECT_NE(r.out.find("news_feed"), std::string::npos);
+  EXPECT_NE(r.out.find("quarantined"), std::string::npos);
+  EXPECT_NE(r.out.find("partial results:"), std::string::npos);
+}
+
+TEST(Cli, PlanAbortPolicyNamesWorkloadAndCell) {
+  const CliResult r = run_cli({"plan", "--repeats", "1",
+                               "--faults", "poison=0.2",
+                               "--fail-policy", "abort"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("fault policy abort: workload"), std::string::npos);
+  EXPECT_NE(r.err.find("cell #"), std::string::npos);
+}
+
+TEST(Cli, BadFaultSpecFails) {
+  const CliResult r = run_cli({"profile", "--workload", "trending",
+                               "--keys", "100", "--requests", "1000",
+                               "--faults", "bogus=1"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("unknown key"), std::string::npos);
+}
+
+TEST(Cli, MalformedSpecFileExitsTwoWithFileAndLine) {
+  const std::string path = ::testing::TempDir() + "/cli_bad_spec.conf";
+  {
+    std::ofstream spec(path);
+    spec << "name = broken\nread_fraction = 1.5\n";
+  }
+  const CliResult r = run_cli({"profile", "--spec", path});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("parse error: "), std::string::npos);
+  EXPECT_NE(r.err.find(path + ":2:"), std::string::npos);
+  std::filesystem::remove(path);
+}
+
+TEST(Cli, MalformedTraceFileExitsTwoWithFileAndLine) {
+  const std::string path = ::testing::TempDir() + "/cli_bad_trace.csv";
+  {
+    std::ofstream out(path);
+    out << "trace,t\nkey_count,2\nsizes,10,10\n0,read\n1,destroy\n";
+  }
+  const CliResult r = run_cli({"profile", "--trace", path});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("parse error: "), std::string::npos);
+  EXPECT_NE(r.err.find(path + ":5:"), std::string::npos);
+  std::filesystem::remove(path);
+}
+
 }  // namespace
 }  // namespace mnemo::cli

@@ -4,6 +4,7 @@
 
 #include <numeric>
 
+#include "faultinject/fault_plan.hpp"
 #include "workload/suite.hpp"
 
 namespace mnemo::kvstore {
@@ -42,7 +43,7 @@ TEST_P(DualServerTest, PopulateSplitsDatasetByPlacement) {
   std::vector<std::uint64_t> order(trace.key_count());
   std::iota(order.begin(), order.end(), 0);
   const Placement placement = Placement::from_order(order, 50);
-  servers.populate(trace, placement);
+  ASSERT_TRUE(servers.populate(trace, placement).ok());
   EXPECT_EQ(servers.fast().record_count(), 50u);
   EXPECT_EQ(servers.slow().record_count(), 150u);
   EXPECT_EQ(servers.fast().node(), NodeId::kFast);
@@ -54,14 +55,16 @@ TEST_P(DualServerTest, ExecuteRoutesByKeyPlacement) {
   const auto trace = small_trace();
   Placement placement(trace.key_count(), NodeId::kSlow);
   placement.set(7, NodeId::kFast);
-  servers.populate(trace, placement);
+  ASSERT_TRUE(servers.populate(trace, placement).ok());
 
   const auto fast_gets_before = servers.fast().stats().gets;
-  servers.execute(workload::Request{7, workload::OpType::kRead});
+  ASSERT_TRUE(
+      servers.execute(workload::Request{7, workload::OpType::kRead}).ok());
   EXPECT_EQ(servers.fast().stats().gets, fast_gets_before + 1);
 
   const auto slow_gets_before = servers.slow().stats().gets;
-  servers.execute(workload::Request{8, workload::OpType::kRead});
+  ASSERT_TRUE(
+      servers.execute(workload::Request{8, workload::OpType::kRead}).ok());
   EXPECT_EQ(servers.slow().stats().gets, slow_gets_before + 1);
 }
 
@@ -69,9 +72,9 @@ TEST_P(DualServerTest, UpdatesStayOnAssignedServer) {
   DualServer servers(memory_, GetParam(), quiet_config());
   const auto trace = small_trace(0.0);  // all updates
   Placement placement(trace.key_count(), NodeId::kSlow);
-  servers.populate(trace, placement);
+  ASSERT_TRUE(servers.populate(trace, placement).ok());
   for (const auto& req : trace.requests()) {
-    ASSERT_TRUE(servers.execute(req).ok);
+    ASSERT_TRUE(servers.execute(req).value().ok);
   }
   EXPECT_EQ(servers.fast().record_count(), 0u);
   EXPECT_EQ(servers.slow().record_count(), trace.key_count());
@@ -82,8 +85,10 @@ TEST_P(DualServerTest, CombinedStatsSumBothInstances) {
   const auto trace = small_trace();
   std::vector<std::uint64_t> order(trace.key_count());
   std::iota(order.begin(), order.end(), 0);
-  servers.populate(trace, Placement::from_order(order, 100));
-  for (const auto& req : trace.requests()) servers.execute(req);
+  ASSERT_TRUE(servers.populate(trace, Placement::from_order(order, 100)).ok());
+  for (const auto& req : trace.requests()) {
+    ASSERT_TRUE(servers.execute(req).ok());
+  }
   const StoreStats combined = servers.combined_stats();
   EXPECT_EQ(combined.gets,
             servers.fast().stats().gets + servers.slow().stats().gets);
@@ -99,10 +104,98 @@ TEST_P(DualServerTest, AllRequestsSucceedAfterPopulate) {
   DualServer servers(memory_, GetParam(), quiet_config());
   const auto trace = small_trace(0.5);
   Placement placement(trace.key_count(), NodeId::kFast);
-  servers.populate(trace, placement);
+  ASSERT_TRUE(servers.populate(trace, placement).ok());
   for (const auto& req : trace.requests()) {
-    ASSERT_TRUE(servers.execute(req).ok);
+    ASSERT_TRUE(servers.execute(req).value().ok);
   }
+}
+
+TEST_P(DualServerTest, PopulateErrorCarriesKeyAndCapacity) {
+  // A platform whose SlowMem cannot hold the whole dataset: the typed
+  // error must name the first key that did not fit and the node's
+  // remaining capacity at that point.
+  hybridmem::EmulationProfile tiny = hybridmem::paper_testbed_with_capacity(
+      64ULL * 1024 * 1024);
+  tiny.slow.capacity_bytes = 4 * 1024;
+  hybridmem::HybridMemory memory(tiny);
+  DualServer servers(memory, GetParam(), quiet_config());
+  const auto trace = small_trace();
+  const util::Status st =
+      servers.populate(trace, Placement(trace.key_count(), NodeId::kSlow));
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.error().code, util::ErrorCode::kCapacityExhausted);
+  EXPECT_NE(st.error().key, util::Error::kNoKey);
+  EXPECT_EQ(st.error().requested_bytes, trace.size_of(st.error().key));
+  EXPECT_LT(st.error().available_bytes, tiny.slow.capacity_bytes);
+  EXPECT_NE(st.error().to_string().find("capacity_exhausted"),
+            std::string::npos);
+}
+
+TEST_P(DualServerTest, MoveKeyRetriesTransientFaultsWithBackoff) {
+  // transient rate 1.0 with recover 1.0: the migration read faults every
+  // draw but always recovers on the first retry — move_key succeeds and
+  // its cost includes the retry and backoff surcharge.
+  faultinject::FaultPlan plan;
+  plan.transient_read_rate = 1.0;
+  plan.transient_recover_prob = 1.0;
+  memory_.arm_faults(plan, 7);
+  DualServer servers(memory_, GetParam(), quiet_config());
+  const auto trace = small_trace();
+  ASSERT_TRUE(
+      servers.populate(trace, Placement(trace.key_count(), NodeId::kSlow))
+          .ok());
+  memory_.drop_caches();  // faults fire on LLC misses only
+  const auto before = memory_.fault_stats();
+  const util::Result<double> moved = servers.move_key(5, NodeId::kFast);
+  ASSERT_TRUE(moved.ok());
+  EXPECT_GT(moved.value(), 0.0);
+  EXPECT_EQ(servers.placement().node_of(5), NodeId::kFast);
+  EXPECT_GT(memory_.fault_stats().transient_retries,
+            before.transient_retries);
+}
+
+TEST_P(DualServerTest, MoveKeyExhaustsRetriesIntoTypedError) {
+  // recover 0.0: every migration read fails its whole retry budget, so the
+  // bounded outer retry loop gives up with kRetriesExhausted and the key
+  // stays on SlowMem.
+  faultinject::FaultPlan plan;
+  plan.transient_read_rate = 1.0;
+  plan.transient_recover_prob = 0.0;
+  plan.transient_max_retries = 2;
+  memory_.arm_faults(plan, 7);
+  DualServer servers(memory_, GetParam(), quiet_config());
+  const auto trace = small_trace();
+  ASSERT_TRUE(
+      servers.populate(trace, Placement(trace.key_count(), NodeId::kSlow))
+          .ok());
+  memory_.drop_caches();  // faults fire on LLC misses only
+  const util::Result<double> moved = servers.move_key(5, NodeId::kFast);
+  ASSERT_FALSE(moved.ok());
+  EXPECT_EQ(moved.error().code, util::ErrorCode::kRetriesExhausted);
+  EXPECT_EQ(moved.error().key, 5u);
+  EXPECT_GT(moved.error().attempts, plan.transient_max_retries);
+  EXPECT_EQ(servers.placement().node_of(5), NodeId::kSlow);
+}
+
+TEST_P(DualServerTest, PoisonedReadRemapsKeyToFastMem) {
+  // poison rate 1.0: every SlowMem key is poisoned, so the first read
+  // forces a remap to FastMem and succeeds with the fault recorded.
+  faultinject::FaultPlan plan;
+  plan.poison_rate = 1.0;
+  memory_.arm_faults(plan, 11);
+  DualServer servers(memory_, GetParam(), quiet_config());
+  const auto trace = small_trace();
+  ASSERT_TRUE(
+      servers.populate(trace, Placement(trace.key_count(), NodeId::kSlow))
+          .ok());
+  memory_.drop_caches();  // faults fire on LLC misses only
+  const util::Result<OpResult> r =
+      servers.execute(workload::Request{9, workload::OpType::kRead});
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().ok);
+  EXPECT_EQ(r.value().fault, hybridmem::FaultKind::kPoisoned);
+  EXPECT_EQ(servers.placement().node_of(9), NodeId::kFast);
+  EXPECT_GT(memory_.fault_stats().poison_hits, 0u);
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -1,0 +1,92 @@
+#include "util/status.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace mnemo::util {
+namespace {
+
+TEST(ErrorCode, Names) {
+  EXPECT_EQ(to_string(ErrorCode::kOk), "ok");
+  EXPECT_EQ(to_string(ErrorCode::kCapacityExhausted), "capacity_exhausted");
+  EXPECT_EQ(to_string(ErrorCode::kFaultInjected), "fault_injected");
+  EXPECT_EQ(to_string(ErrorCode::kRetriesExhausted), "retries_exhausted");
+  EXPECT_EQ(to_string(ErrorCode::kInvalidArgument), "invalid_argument");
+  EXPECT_EQ(to_string(ErrorCode::kFailedPrecondition),
+            "failed_precondition");
+}
+
+TEST(Error, ToStringRendersOnlyTheFieldsThatAreSet) {
+  Error plain{ErrorCode::kInvalidArgument, "bad spec"};
+  EXPECT_EQ(plain.to_string(), "invalid_argument: bad spec");
+
+  Error capacity{ErrorCode::kCapacityExhausted, "node full"};
+  capacity.key = 42;
+  capacity.requested_bytes = 128;
+  capacity.available_bytes = 64;
+  EXPECT_EQ(capacity.to_string(),
+            "capacity_exhausted: node full [key=42] "
+            "[requested=128B available=64B]");
+
+  Error retries{ErrorCode::kRetriesExhausted, "gave up"};
+  retries.key = 7;
+  retries.attempts = 4;
+  EXPECT_EQ(retries.to_string(), "retries_exhausted: gave up [key=7] [tries=4]");
+}
+
+TEST(Error, EqualityComparesAllFields) {
+  Error a{ErrorCode::kFaultInjected, "boom"};
+  Error b = a;
+  EXPECT_EQ(a, b);
+  b.attempts = 1;
+  EXPECT_FALSE(a == b);
+}
+
+TEST(Status, DefaultIsOkAndErrorCarriesThrough) {
+  const Status ok;
+  EXPECT_TRUE(ok.ok());
+
+  const Status failed = Error{ErrorCode::kCapacityExhausted, "full"};
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.error().code, ErrorCode::kCapacityExhausted);
+  EXPECT_EQ(failed.error().message, "full");
+}
+
+TEST(Result, HoldsValueOrError) {
+  const Result<int> good = 5;
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good.value(), 5);
+  EXPECT_EQ(good.value_or(-1), 5);
+
+  const Result<int> bad = Error{ErrorCode::kRetriesExhausted, "no luck"};
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error().code, ErrorCode::kRetriesExhausted);
+  EXPECT_EQ(bad.value_or(-1), -1);
+}
+
+TEST(Result, MutableValueIsWritable) {
+  Result<std::string> r = std::string("abc");
+  r.value() += "d";
+  EXPECT_EQ(r.value(), "abcd");
+}
+
+TEST(ParseError, CarriesFileAndLineAndFormatsWhat) {
+  const ParseError e("spec.txt", 12, "unknown key 'foo'");
+  EXPECT_EQ(e.file(), "spec.txt");
+  EXPECT_EQ(e.line(), 12u);
+  EXPECT_STREQ(e.what(), "spec.txt:12: unknown key 'foo'");
+}
+
+TEST(ParseError, IsAnInvalidArgument) {
+  // Existing malformed-input expectations catch std::invalid_argument;
+  // ParseError must keep satisfying them.
+  try {
+    throw ParseError("f", 1, "m");
+  } catch (const std::invalid_argument& e) {
+    EXPECT_STREQ(e.what(), "f:1: m");
+  }
+}
+
+}  // namespace
+}  // namespace mnemo::util

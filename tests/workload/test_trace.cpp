@@ -5,6 +5,7 @@
 #include <filesystem>
 #include <fstream>
 
+#include "util/status.hpp"
 #include "workload/suite.hpp"
 
 namespace mnemo::workload {
@@ -117,7 +118,26 @@ TEST(Trace, LoadRejectsGarbage) {
     std::ofstream out(path);
     out << "not,a,trace\n1,2\n3,4\n";
   }
-  EXPECT_THROW(Trace::load_csv(path), std::runtime_error);
+  EXPECT_THROW(Trace::load_csv(path), util::ParseError);
+  std::filesystem::remove(path);
+}
+
+TEST(Trace, LoadErrorsNameFileAndLine) {
+  const std::string path = ::testing::TempDir() + "/badrow.csv";
+  {
+    std::ofstream out(path);
+    // Valid header + sizes for 2 keys, then a request row with a bad op.
+    out << "trace,t\nkey_count,2\nsizes,10,10\n0,read\n1,destroy\n";
+  }
+  try {
+    Trace::load_csv(path);
+    FAIL() << "expected util::ParseError";
+  } catch (const util::ParseError& e) {
+    EXPECT_EQ(e.file(), path);
+    EXPECT_EQ(e.line(), 5u);
+    EXPECT_NE(std::string(e.what()).find(path + ":5:"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("destroy"), std::string::npos);
+  }
   std::filesystem::remove(path);
 }
 
