@@ -1,5 +1,7 @@
 #include "hybridmem/hybrid_memory.hpp"
 
+#include <algorithm>
+
 #include "util/assert.hpp"
 
 namespace mnemo::hybridmem {
@@ -11,115 +13,93 @@ HybridMemory::HybridMemory(const EmulationProfile& profile)
       llc_(profile.llc_bytes, profile.llc_latency_ns,
            profile.llc_bandwidth_gbps, profile.llc_bypass_fraction) {}
 
-const MemoryNode& HybridMemory::node(NodeId id) const {
-  return id == NodeId::kFast ? fast_ : slow_;
-}
-
-MemoryNode& HybridMemory::node(NodeId id) {
-  return id == NodeId::kFast ? fast_ : slow_;
-}
-
 std::uint64_t HybridMemory::total_used_bytes() const noexcept {
   return fast_.used_bytes() + slow_.used_bytes();
 }
 
+HybridMemory::ObjectInfo* HybridMemory::find_object_slow(
+    std::uint64_t object_id) {
+  if (object_id < util::kDenseIdCap) return nullptr;  // table not grown yet
+  const auto it = overflow_objects_.find(object_id);
+  return it == overflow_objects_.end() ? nullptr : &it->second;
+}
+
+HybridMemory::ObjectInfo& HybridMemory::insert_object(
+    std::uint64_t object_id) {
+  ++object_count_;
+  if (object_id < util::kDenseIdCap) {
+    if (object_id >= dense_objects_.size()) {
+      std::size_t grown =
+          dense_objects_.empty() ? 64 : dense_objects_.size() * 2;
+      while (grown <= object_id) grown *= 2;
+      grown = std::min<std::size_t>(
+          grown, static_cast<std::size_t>(util::kDenseIdCap));
+      dense_objects_.resize(grown);
+    }
+    ObjectInfo& info = dense_objects_[static_cast<std::size_t>(object_id)];
+    info.present = true;
+    return info;
+  }
+  ObjectInfo& info = overflow_objects_[object_id];
+  info.present = true;
+  return info;
+}
+
+void HybridMemory::erase_object(std::uint64_t object_id) {
+  --object_count_;
+  if (object_id < util::kDenseIdCap) {
+    dense_objects_[static_cast<std::size_t>(object_id)] = ObjectInfo{};
+    return;
+  }
+  overflow_objects_.erase(object_id);
+}
+
+void HybridMemory::reserve_objects(std::size_t max_objects) {
+  const std::size_t dense = std::min<std::size_t>(
+      max_objects, static_cast<std::size_t>(util::kDenseIdCap));
+  if (dense > dense_objects_.size()) dense_objects_.resize(dense);
+  llc_.reserve(max_objects);
+}
+
 bool HybridMemory::place(std::uint64_t object_id, std::uint64_t bytes,
                          NodeId node_id) {
-  MNEMO_EXPECTS(!objects_.contains(object_id));
+  MNEMO_EXPECTS(find_object(object_id) == nullptr);
   if (!node(node_id).allocate(bytes)) return false;
-  objects_.emplace(object_id, ObjectInfo{bytes, node_id});
+  ObjectInfo& info = insert_object(object_id);
+  info.bytes = bytes;
+  info.node = node_id;
   return true;
 }
 
 void HybridMemory::remove(std::uint64_t object_id) {
-  const auto it = objects_.find(object_id);
-  if (it == objects_.end()) return;
-  node(it->second.node).release(it->second.bytes);
+  const ObjectInfo* info = find_object(object_id);
+  if (info == nullptr) return;
+  node(info->node).release(info->bytes);
   llc_.invalidate(object_id);
-  objects_.erase(it);
+  erase_object(object_id);
 }
 
 bool HybridMemory::migrate(std::uint64_t object_id, NodeId to) {
-  const auto it = objects_.find(object_id);
-  MNEMO_EXPECTS(it != objects_.end());
-  if (it->second.node == to) return true;
-  if (!node(to).allocate(it->second.bytes)) return false;
-  node(it->second.node).release(it->second.bytes);
-  it->second.node = to;
-  return true;
-}
-
-bool HybridMemory::resize(std::uint64_t object_id, std::uint64_t new_bytes) {
-  const auto it = objects_.find(object_id);
-  MNEMO_EXPECTS(it != objects_.end());
-  ObjectInfo& info = it->second;
-  if (new_bytes > info.bytes) {
-    if (!node(info.node).grow(new_bytes - info.bytes)) return false;
-  } else if (new_bytes < info.bytes) {
-    node(info.node).shrink(info.bytes - new_bytes);
-  }
-  info.bytes = new_bytes;
-  llc_.invalidate(object_id);
+  ObjectInfo* info = find_object(object_id);
+  MNEMO_EXPECTS(info != nullptr);
+  if (info->node == to) return true;
+  if (!node(to).allocate(info->bytes)) return false;
+  node(info->node).release(info->bytes);
+  info->node = to;
   return true;
 }
 
 std::optional<NodeId> HybridMemory::locate(std::uint64_t object_id) const {
-  const auto it = objects_.find(object_id);
-  if (it == objects_.end()) return std::nullopt;
-  return it->second.node;
+  const ObjectInfo* info = find_object(object_id);
+  if (info == nullptr) return std::nullopt;
+  return info->node;
 }
 
 std::optional<std::uint64_t> HybridMemory::object_size(
     std::uint64_t object_id) const {
-  const auto it = objects_.find(object_id);
-  if (it == objects_.end()) return std::nullopt;
-  return it->second.bytes;
-}
-
-AccessResult HybridMemory::access(std::uint64_t object_id, MemOp op,
-                                  const AccessTraits& traits) {
-  const auto it = objects_.find(object_id);
-  MNEMO_EXPECTS(it != objects_.end());
-  const ObjectInfo& info = it->second;
-
-  AccessTraits effective = traits;
-  if (effective.streamed_bytes == 0) effective.streamed_bytes = info.bytes;
-
-  AccessResult result;
-  const bool hit = llc_.access(object_id, info.bytes);
-  if (hit) {
-    result.llc_hit = true;
-    result.ns = llc_.hit_ns(effective.streamed_bytes) *
-                effective.latency_touches;
-    if (op == MemOp::kWrite) result.ns *= effective.write_discount;
-  } else {
-    // Faults live on the SlowMem medium and only fire on LLC misses; an
-    // unarmed (or paused) injector leaves this path bit-identical to the
-    // healthy platform.
-    double bw_factor = 1.0;
-    double extra_ns = 0.0;
-    if (injector_ && !injector_->paused() && info.node == NodeId::kSlow) {
-      if (op == MemOp::kRead && injector_->poisoned(object_id)) {
-        result.fault = FaultKind::kPoisoned;
-        injector_->note_poison_hit();
-      } else {
-        bw_factor = injector_->next_bandwidth_factor();
-        if (op == MemOp::kRead) {
-          const auto outcome = injector_->on_slow_read();
-          extra_ns = outcome.extra_ns;
-          result.fault_retries = outcome.retries;
-          if (outcome.faulted) result.fault = FaultKind::kTransient;
-          result.failed = outcome.failed;
-        }
-      }
-    }
-    result.ns = node(info.node).access_ns(effective, op, bw_factor) + extra_ns;
-    // A read whose retries exhausted delivered no data, so it must not
-    // leave the line cached — a retry has to face the medium again.
-    if (result.failed) llc_.invalidate(object_id);
-  }
-  node(info.node).note_traffic(op, effective.streamed_bytes);
-  return result;
+  const ObjectInfo* info = find_object(object_id);
+  if (info == nullptr) return std::nullopt;
+  return info->bytes;
 }
 
 void HybridMemory::arm_faults(const faultinject::FaultPlan& plan,

@@ -4,12 +4,15 @@
 #include <memory>
 #include <optional>
 #include <unordered_map>
+#include <vector>
 
 #include "faultinject/fault_injector.hpp"
 #include "hybridmem/access.hpp"
 #include "hybridmem/emulation_profile.hpp"
 #include "hybridmem/llc_model.hpp"
 #include "hybridmem/memory_node.hpp"
+#include "util/assert.hpp"
+#include "util/flat_lru.hpp"
 
 namespace mnemo::hybridmem {
 
@@ -40,7 +43,19 @@ class HybridMemory {
 
   /// Change an object's size in place (record update with a different
   /// value size). Returns false if the node cannot fit the growth.
-  [[nodiscard]] bool resize(std::uint64_t object_id, std::uint64_t new_bytes);
+  /// Inline: every record-update PUT resizes its object (DESIGN.md §8).
+  [[nodiscard]] bool resize(std::uint64_t object_id, std::uint64_t new_bytes) {
+    ObjectInfo* info = find_object(object_id);
+    MNEMO_EXPECTS(info != nullptr);
+    if (new_bytes > info->bytes) {
+      if (!node(info->node).grow(new_bytes - info->bytes)) return false;
+    } else if (new_bytes < info->bytes) {
+      node(info->node).shrink(info->bytes - new_bytes);
+    }
+    info->bytes = new_bytes;
+    llc_.invalidate(object_id);
+    return true;
+  }
 
   [[nodiscard]] std::optional<NodeId> locate(std::uint64_t object_id) const;
   [[nodiscard]] std::optional<std::uint64_t> object_size(
@@ -48,24 +63,78 @@ class HybridMemory {
 
   /// Price one logical access to a placed object. `traits.streamed_bytes`
   /// of 0 means "touch metadata only" and streams the object's own size
-  /// instead. Requires the object to be placed.
+  /// instead. Requires the object to be placed. Defined inline: every
+  /// GET/PUT payload touch lands here (DESIGN.md §8).
   AccessResult access(std::uint64_t object_id, MemOp op,
-                      const AccessTraits& traits);
+                      const AccessTraits& traits) {
+    const ObjectInfo* info = find_object(object_id);
+    MNEMO_EXPECTS(info != nullptr);
+
+    AccessTraits effective = traits;
+    if (effective.streamed_bytes == 0) effective.streamed_bytes = info->bytes;
+
+    AccessResult result;
+    const bool hit = llc_.access(object_id, info->bytes);
+    if (hit) {
+      result.llc_hit = true;
+      result.ns = llc_.hit_ns(effective.streamed_bytes) *
+                  effective.latency_touches;
+      if (op == MemOp::kWrite) result.ns *= effective.write_discount;
+    } else {
+      // Faults live on the SlowMem medium and only fire on LLC misses; an
+      // unarmed (or paused) injector leaves this path bit-identical to the
+      // healthy platform.
+      double bw_factor = 1.0;
+      double extra_ns = 0.0;
+      if (injector_ && !injector_->paused() && info->node == NodeId::kSlow) {
+        if (op == MemOp::kRead && injector_->poisoned(object_id)) {
+          result.fault = FaultKind::kPoisoned;
+          injector_->note_poison_hit();
+        } else {
+          bw_factor = injector_->next_bandwidth_factor();
+          if (op == MemOp::kRead) {
+            const auto outcome = injector_->on_slow_read();
+            extra_ns = outcome.extra_ns;
+            result.fault_retries = outcome.retries;
+            if (outcome.faulted) result.fault = FaultKind::kTransient;
+            result.failed = outcome.failed;
+          }
+        }
+      }
+      result.ns =
+          node(info->node).access_ns(effective, op, bw_factor) + extra_ns;
+      // A read whose retries exhausted delivered no data, so it must not
+      // leave the line cached — a retry has to face the medium again.
+      if (result.failed) llc_.invalidate(object_id);
+    }
+    node(info->node).note_traffic(op, effective.streamed_bytes);
+    return result;
+  }
 
   /// Price a raw access against a node, bypassing placement and LLC — used
   /// by microbenchmarks that characterize the nodes themselves (Table I).
   [[nodiscard]] double raw_access_ns(NodeId node, const AccessTraits& traits,
                                      MemOp op) const;
 
-  [[nodiscard]] const MemoryNode& node(NodeId id) const;
-  [[nodiscard]] MemoryNode& node(NodeId id);
+  [[nodiscard]] const MemoryNode& node(NodeId id) const noexcept {
+    return id == NodeId::kFast ? fast_ : slow_;
+  }
+  [[nodiscard]] MemoryNode& node(NodeId id) noexcept {
+    return id == NodeId::kFast ? fast_ : slow_;
+  }
   [[nodiscard]] const LlcModel& llc() const noexcept { return llc_; }
   [[nodiscard]] const EmulationProfile& profile() const noexcept {
     return profile_;
   }
   [[nodiscard]] std::size_t object_count() const noexcept {
-    return objects_.size();
+    return object_count_;
   }
+
+  /// Pre-size the object table and LLC for `max_objects` dense IDs so the
+  /// replay hot path performs no steady-state allocations (DESIGN.md §8).
+  /// Callers that know the trace key count (DualServer::populate) invoke
+  /// this once up front; everything still works, just slower, without it.
+  void reserve_objects(std::size_t max_objects);
 
   /// Total bytes resident across both nodes.
   [[nodiscard]] std::uint64_t total_used_bytes() const noexcept;
@@ -95,15 +164,37 @@ class HybridMemory {
 
  private:
   struct ObjectInfo {
-    std::uint64_t bytes;
-    NodeId node;
+    std::uint64_t bytes = 0;
+    NodeId node = NodeId::kFast;
+    bool present = false;
   };
+
+  // Object IDs are dense [0, key_count) for records (a Placement
+  // guarantee), so the table is a flat vector indexed by ID with a
+  // presence flag — no hashing on the access hot path. Tagged IDs at or
+  // above util::kDenseIdCap (per-store overhead objects) take the
+  // overflow map; they see only place/resize/remove, never access().
+  [[nodiscard]] ObjectInfo* find_object(std::uint64_t object_id) {
+    if (object_id < dense_objects_.size()) {
+      ObjectInfo& info = dense_objects_[static_cast<std::size_t>(object_id)];
+      return info.present ? &info : nullptr;
+    }
+    return find_object_slow(object_id);
+  }
+  [[nodiscard]] const ObjectInfo* find_object(std::uint64_t object_id) const {
+    return const_cast<HybridMemory*>(this)->find_object(object_id);
+  }
+  [[nodiscard]] ObjectInfo* find_object_slow(std::uint64_t object_id);
+  ObjectInfo& insert_object(std::uint64_t object_id);
+  void erase_object(std::uint64_t object_id);
 
   EmulationProfile profile_;
   MemoryNode fast_;
   MemoryNode slow_;
   LlcModel llc_;
-  std::unordered_map<std::uint64_t, ObjectInfo> objects_;
+  std::vector<ObjectInfo> dense_objects_;
+  std::unordered_map<std::uint64_t, ObjectInfo> overflow_objects_;
+  std::size_t object_count_ = 0;
   std::unique_ptr<faultinject::FaultInjector> injector_;
 };
 

@@ -1,6 +1,6 @@
 #include "hybridmem/llc_model.hpp"
 
-#include <cmath>
+#include <algorithm>
 
 #include "util/assert.hpp"
 
@@ -25,56 +25,46 @@ double LlcModel::hit_rate() const noexcept {
                     : static_cast<double>(hits_) / static_cast<double>(total);
 }
 
-double LlcModel::hit_ns(std::uint64_t bytes) const {
-  return hit_latency_ns_ + static_cast<double>(bytes) / hit_bandwidth_gbps_;
-}
-
-bool LlcModel::access(std::uint64_t id, std::uint64_t bytes) {
-  const auto it = index_.find(id);
-  if (it != index_.end()) {
-    // Size may have changed (record update); keep accounting honest.
-    used_ -= it->second->bytes;
-    used_ += bytes;
-    it->second->bytes = bytes;
-    lru_.splice(lru_.begin(), lru_, it->second);
-    ++hits_;
-    return true;
-  }
-  ++misses_;
-  if (bytes > bypass_threshold_) return false;
-  evict_to(bytes);
-  lru_.push_front(Entry{id, bytes});
-  index_[id] = lru_.begin();
-  used_ += bytes;
-  return false;
+void LlcModel::reserve(std::size_t max_objects) {
+  const std::size_t resident_cap = static_cast<std::size_t>(
+      std::min<std::uint64_t>(max_objects, capacity_ / kMinEntryBytes + 1));
+  lru_.reserve(max_objects, resident_cap);
 }
 
 void LlcModel::evict_to(std::uint64_t need) {
   MNEMO_EXPECTS(need <= capacity_);
   while (used_ + need > capacity_ && !lru_.empty()) {
-    const Entry victim = lru_.back();
+    used_ -= lru_.back();
     lru_.pop_back();
-    index_.erase(victim.id);
-    used_ -= victim.bytes;
+    ++evictions_;
   }
 }
 
-void LlcModel::invalidate(std::uint64_t id) {
-  const auto it = index_.find(id);
-  if (it == index_.end()) return;
-  used_ -= it->second->bytes;
-  lru_.erase(it->second);
-  index_.erase(it);
+void LlcModel::evict_grown(std::uint64_t grown_id) {
+  // Victims come from the LRU end; the grown entry itself sits at the MRU
+  // end and is only dropped if, alone, it still exceeds capacity.
+  while (used_ > capacity_ && lru_.size() > 1) {
+    used_ -= lru_.back();
+    lru_.pop_back();
+    ++evictions_;
+  }
+  if (used_ > capacity_) {
+    const std::uint64_t* bytes = lru_.find(grown_id);
+    MNEMO_ASSERT(bytes != nullptr);
+    used_ -= *bytes;
+    (void)lru_.erase(grown_id);
+    ++evictions_;
+  }
 }
 
 void LlcModel::clear() {
   lru_.clear();
-  index_.clear();
   used_ = 0;
   // Clearing marks a measurement boundary (e.g. after the load phase);
   // the hit statistics restart with the content.
   hits_ = 0;
   misses_ = 0;
+  evictions_ = 0;
 }
 
 }  // namespace mnemo::hybridmem

@@ -4,62 +4,9 @@
 
 namespace mnemo::hybridmem {
 
-double NodeSpec::stream_ns(std::uint64_t bytes) const {
-  MNEMO_EXPECTS(bandwidth_gbps > 0.0);
-  // GB/s == bytes/ns exactly (1e9 bytes per 1e9 ns).
-  return static_cast<double>(bytes) / bandwidth_gbps;
-}
-
 MemoryNode::MemoryNode(NodeSpec spec) : spec_(std::move(spec)) {
   MNEMO_EXPECTS(spec_.latency_ns > 0.0);
   MNEMO_EXPECTS(spec_.bandwidth_gbps > 0.0);
-}
-
-bool MemoryNode::allocate(std::uint64_t bytes) noexcept {
-  if (bytes > free_bytes()) return false;
-  used_ += bytes;
-  ++objects_;
-  return true;
-}
-
-void MemoryNode::release(std::uint64_t bytes) noexcept {
-  MNEMO_EXPECTS(bytes <= used_);
-  MNEMO_EXPECTS(objects_ > 0);
-  used_ -= bytes;
-  --objects_;
-}
-
-bool MemoryNode::grow(std::uint64_t bytes) noexcept {
-  if (bytes > free_bytes()) return false;
-  used_ += bytes;
-  return true;
-}
-
-void MemoryNode::shrink(std::uint64_t bytes) noexcept {
-  MNEMO_EXPECTS(bytes <= used_);
-  used_ -= bytes;
-}
-
-double MemoryNode::access_ns(const AccessTraits& t, MemOp op,
-                             double bandwidth_factor) const {
-  MNEMO_EXPECTS(bandwidth_factor > 0.0);
-  const double latency =
-      spec_.latency_ns * t.latency_touches * t.latency_sensitivity;
-  const double exposed = 1.0 - t.bandwidth_overlap;
-  const double stream =
-      spec_.stream_ns(t.streamed_bytes) * exposed / bandwidth_factor;
-  double ns = latency + stream;
-  if (op == MemOp::kWrite) ns *= t.write_discount;
-  return ns;
-}
-
-void MemoryNode::note_traffic(MemOp op, std::uint64_t bytes) noexcept {
-  if (op == MemOp::kRead) {
-    ++reads_;
-  } else {
-    ++writes_;
-  }
-  bytes_streamed_ += bytes;
 }
 
 }  // namespace mnemo::hybridmem

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "hybridmem/access.hpp"
+#include "util/assert.hpp"
 
 namespace mnemo::hybridmem {
 
@@ -16,7 +17,11 @@ struct NodeSpec {
   std::uint64_t capacity_bytes = 0;
 
   /// ns to stream `bytes` sequentially at this node's bandwidth.
-  [[nodiscard]] double stream_ns(std::uint64_t bytes) const;
+  [[nodiscard]] double stream_ns(std::uint64_t bytes) const {
+    MNEMO_EXPECTS(bandwidth_gbps > 0.0);
+    // GB/s == bytes/ns exactly (1e9 bytes per 1e9 ns).
+    return static_cast<double>(bytes) / bandwidth_gbps;
+  }
 };
 
 /// One memory component with capacity accounting. Allocation is
@@ -35,24 +40,54 @@ class MemoryNode {
 
   /// Reserve `bytes`; returns false (and changes nothing) if it would
   /// exceed capacity.
-  [[nodiscard]] bool allocate(std::uint64_t bytes) noexcept;
+  [[nodiscard]] bool allocate(std::uint64_t bytes) noexcept {
+    if (bytes > free_bytes()) return false;
+    used_ += bytes;
+    ++objects_;
+    return true;
+  }
 
   /// Release `bytes` previously allocated. Requires bytes <= used_bytes().
-  void release(std::uint64_t bytes) noexcept;
+  void release(std::uint64_t bytes) noexcept {
+    MNEMO_EXPECTS(bytes <= used_);
+    MNEMO_EXPECTS(objects_ > 0);
+    used_ -= bytes;
+    --objects_;
+  }
 
   /// Grow an existing object by `bytes` without changing the object count.
   /// Returns false if it would exceed capacity.
-  [[nodiscard]] bool grow(std::uint64_t bytes) noexcept;
+  [[nodiscard]] bool grow(std::uint64_t bytes) noexcept {
+    if (bytes > free_bytes()) return false;
+    used_ += bytes;
+    return true;
+  }
 
   /// Shrink an existing object by `bytes` without changing the object count.
-  void shrink(std::uint64_t bytes) noexcept;
+  void shrink(std::uint64_t bytes) noexcept {
+    MNEMO_EXPECTS(bytes <= used_);
+    used_ -= bytes;
+  }
 
   /// Price a raw access against this node (no LLC involved):
   /// touches serialized latencies plus an exposed bandwidth stream.
   /// `bandwidth_factor` scales the node's effective stream bandwidth
   /// (degradation episodes inject factors < 1); requires factor > 0.
+  /// Inline: priced on every LLC miss of the replay hot path.
   [[nodiscard]] double access_ns(const AccessTraits& t, MemOp op,
-                                 double bandwidth_factor = 1.0) const;
+                                 double bandwidth_factor = 1.0) const {
+    MNEMO_EXPECTS(bandwidth_factor > 0.0);
+    const double latency =
+        spec_.latency_ns * t.latency_touches * t.latency_sensitivity;
+    const double exposed = 1.0 - t.bandwidth_overlap;
+    double stream = spec_.stream_ns(t.streamed_bytes) * exposed;
+    // Healthy platforms always pass factor 1.0: skip the divide (x / 1.0
+    // is exactly x, so results are bit-identical either way).
+    if (bandwidth_factor != 1.0) stream /= bandwidth_factor;
+    double ns = latency + stream;
+    if (op == MemOp::kWrite) ns *= t.write_discount;
+    return ns;
+  }
 
   /// Lifetime traffic statistics.
   [[nodiscard]] std::uint64_t reads() const noexcept { return reads_; }
@@ -60,7 +95,14 @@ class MemoryNode {
   [[nodiscard]] std::uint64_t bytes_streamed() const noexcept {
     return bytes_streamed_;
   }
-  void note_traffic(MemOp op, std::uint64_t bytes) noexcept;
+  void note_traffic(MemOp op, std::uint64_t bytes) noexcept {
+    if (op == MemOp::kRead) {
+      ++reads_;
+    } else {
+      ++writes_;
+    }
+    bytes_streamed_ += bytes;
+  }
 
  private:
   NodeSpec spec_;

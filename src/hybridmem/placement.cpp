@@ -34,11 +34,6 @@ Placement Placement::from_order_with_budget(
   return p;
 }
 
-NodeId Placement::node_of(std::uint64_t key) const {
-  MNEMO_EXPECTS(key < nodes_.size());
-  return nodes_[key];
-}
-
 void Placement::set(std::uint64_t key, NodeId node) {
   MNEMO_EXPECTS(key < nodes_.size());
   if (nodes_[key] == node) return;

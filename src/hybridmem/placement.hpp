@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "hybridmem/access.hpp"
+#include "util/assert.hpp"
 
 namespace mnemo::hybridmem {
 
@@ -28,7 +29,11 @@ class Placement {
       std::span<const std::uint64_t> ordered_keys,
       std::span<const std::uint64_t> key_sizes, std::uint64_t fast_budget);
 
-  [[nodiscard]] NodeId node_of(std::uint64_t key) const;
+  // Inline: the dual-server router calls this once per replayed request.
+  [[nodiscard]] NodeId node_of(std::uint64_t key) const {
+    MNEMO_EXPECTS(key < nodes_.size());
+    return nodes_[key];
+  }
   void set(std::uint64_t key, NodeId node);
 
   [[nodiscard]] std::size_t key_count() const noexcept {

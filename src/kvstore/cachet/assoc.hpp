@@ -1,25 +1,30 @@
 #pragma once
 
 #include <cstdint>
-#include <forward_list>
-#include <list>
 #include <vector>
 
 #include "kvstore/record.hpp"
+#include "util/rng.hpp"
 
 namespace mnemo::kvstore::cachet {
 
-/// One cached item: payload plus the slab/LRU bookkeeping Cachet needs.
+/// One cached item: payload plus the slab bookkeeping Cachet needs. LRU
+/// position lives in the per-class util::FlatLru keyed by `key`, so the
+/// item carries no iterator into an external list.
 struct Item {
   std::uint64_t key = 0;
   Record value;
   std::size_t slab_class = 0;
-  std::list<std::uint64_t>::iterator lru_it;  ///< position in class LRU
 };
 
 /// Memcached's `assoc` hash table: power-of-two buckets with chaining,
 /// doubled when the load factor passes 1.5. Lookups report chain probes
 /// for memory-latency accounting.
+///
+/// Like vermilion::Dict, storage is flat (DESIGN.md §8): items live in a
+/// contiguous slot pool chained by int32 indices with a free list, and a
+/// bucket is the index of its chain head. Chain order and probe counts
+/// match the forward_list version exactly.
 class AssocTable {
  public:
   static constexpr std::size_t kInitialBuckets = 16;
@@ -31,7 +36,21 @@ class AssocTable {
     Item* item = nullptr;
     std::uint32_t probes = 0;
   };
-  FindResult find(std::uint64_t key);
+  /// Defined inline: every Cachet GET and PUT starts here (DESIGN.md §8).
+  FindResult find(std::uint64_t key) {
+    FindResult result;
+    for (std::int32_t n = buckets_[util::mix64(key) & (buckets_.size() - 1)];
+         n != kNil; n = pool_[static_cast<std::size_t>(n)].next) {
+      ++result.probes;
+      Node& node = pool_[static_cast<std::size_t>(n)];
+      if (node.item.key == key) {
+        result.item = &node.item;
+        return result;
+      }
+    }
+    if (result.probes == 0) result.probes = 1;
+    return result;
+  }
 
   /// Insert a new item (key must not already exist — Cachet checks first).
   /// Returns probes walked and a stable-until-next-mutation pointer.
@@ -52,17 +71,28 @@ class AssocTable {
 
   template <typename F>
   void for_each(F&& fn) const {
-    for (const auto& bucket : buckets_) {
-      for (const auto& item : bucket) fn(item);
+    for (const std::int32_t head : buckets_) {
+      for (std::int32_t n = head; n != kNil;
+           n = pool_[static_cast<std::size_t>(n)].next) {
+        fn(pool_[static_cast<std::size_t>(n)].item);
+      }
     }
   }
 
  private:
-  using Bucket = std::forward_list<Item>;
+  static constexpr std::int32_t kNil = -1;
 
+  struct Node {
+    Item item;
+    std::int32_t next = kNil;
+  };
+
+  [[nodiscard]] std::int32_t alloc_node(Item&& item);
   void maybe_expand();
 
-  std::vector<Bucket> buckets_;
+  std::vector<Node> pool_;
+  std::int32_t free_ = kNil;        ///< recycled slots, threaded via next
+  std::vector<std::int32_t> buckets_;  ///< chain heads, kNil when empty
   std::size_t used_ = 0;
 };
 

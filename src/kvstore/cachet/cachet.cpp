@@ -22,14 +22,13 @@ std::uint64_t Cachet::overhead_bytes() const {
 }
 
 void Cachet::lru_touch(Item& item) {
-  auto& lru = lru_[item.slab_class];
-  lru.splice(lru.begin(), lru, item.lru_it);
+  (void)lru_[item.slab_class].touch(item.key);
 }
 
 bool Cachet::evict_one(std::size_t cls) {
   auto& lru = lru_[cls];
   if (lru.empty()) return false;
-  const std::uint64_t victim = lru.back();
+  const std::uint64_t victim = lru.back_id();
   drop_item(victim);
   ++stats_.evictions;
   return true;
@@ -39,7 +38,8 @@ void Cachet::drop_item(std::uint64_t key) {
   auto erased = assoc_.erase(key);
   MNEMO_ASSERT(erased.erased);
   Item& item = erased.item;
-  lru_[item.slab_class].erase(item.lru_it);
+  const bool unlinked = lru_[item.slab_class].erase(key);
+  MNEMO_ASSERT(unlinked);
   slabs_.give_back(item.slab_class, item.value.size);
   memory().remove(key);
 }
@@ -89,10 +89,9 @@ OpResult Cachet::put(std::uint64_t key, std::uint64_t value_size) {
       // Item migrates slab class: release old chunk, take a new one.
       slabs_.give_back(found.item->slab_class, found.item->value.size);
       slabs_.take(new_cls, value_size);
-      lru_[found.item->slab_class].erase(found.item->lru_it);
-      lru_[new_cls].push_front(key);
+      (void)lru_[found.item->slab_class].erase(key);
+      lru_[new_cls].push_front(key, {});
       found.item->slab_class = new_cls;
-      found.item->lru_it = lru_[new_cls].begin();
     }
     if (!memory().resize(key, slabs_.chunk_bytes(new_cls, value_size))) {
       return finalize(false, ns, false);
@@ -117,8 +116,7 @@ OpResult Cachet::put(std::uint64_t key, std::uint64_t value_size) {
   item.key = key;
   item.value = make_record(key, value_size, payload_mode());
   item.slab_class = cls;
-  lru_[cls].push_front(key);
-  item.lru_it = lru_[cls].begin();
+  lru_[cls].push_front(key, {});
   std::uint32_t probes = 0;
   assoc_.insert(std::move(item), &probes);
   ns += index_walk_ns(0, probes);

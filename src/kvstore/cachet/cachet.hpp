@@ -1,11 +1,11 @@
 #pragma once
 
-#include <list>
 #include <vector>
 
 #include "kvstore/cachet/assoc.hpp"
 #include "kvstore/cachet/slab.hpp"
 #include "kvstore/kvstore.hpp"
+#include "util/flat_lru.hpp"
 
 namespace mnemo::kvstore {
 
@@ -48,8 +48,10 @@ class Cachet final : public KeyValueStore {
 
   cachet::AssocTable assoc_;
   cachet::SlabAllocator slabs_;
-  /// One LRU list per slab class (+1 for the huge class); front = hottest.
-  std::vector<std::list<std::uint64_t>> lru_;
+  /// One LRU per slab class (+1 for the huge class); front = hottest.
+  /// Array-backed intrusive lists keyed by the (dense) record key, so a
+  /// touch is pointer-free index surgery (DESIGN.md §8).
+  std::vector<util::FlatLru<util::NoPayload>> lru_;
 };
 
 }  // namespace mnemo::kvstore

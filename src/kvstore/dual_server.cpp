@@ -18,16 +18,15 @@ DualServer::DualServer(hybridmem::HybridMemory& memory, StoreKind kind,
   slow_ = make_store(kind, memory, slow_cfg);
 }
 
-KeyValueStore& DualServer::route(std::uint64_t key) {
-  return placement_.node_of(key) == hybridmem::NodeId::kFast ? *fast_
-                                                             : *slow_;
-}
-
 util::Status DualServer::populate(const workload::Trace& trace,
                                   const hybridmem::Placement& placement) {
   MNEMO_EXPECTS(placement.key_count() == trace.key_count());
   placement_ = placement;
-  key_sizes_ = trace.key_sizes();
+  key_sizes_ = std::span<const std::uint64_t>(trace.key_sizes());
+  // Pre-size the platform's flat tables for the dense key range so the
+  // replay loop runs allocation-free (DESIGN.md §8).
+  fast_->memory().reserve_objects(
+      static_cast<std::size_t>(placement.key_count()));
   // Only keys that exist before the run are loaded; keys beyond
   // initial_key_count() arrive via kInsert requests during execution.
   for (std::uint64_t key = 0; key < trace.initial_key_count(); ++key) {
@@ -48,15 +47,8 @@ util::Status DualServer::populate(const workload::Trace& trace,
   return {};
 }
 
-util::Result<OpResult> DualServer::execute(const workload::Request& request) {
-  MNEMO_EXPECTS(request.key < key_sizes_.size());
-  KeyValueStore& server = route(request.key);
-  if (request.op != workload::OpType::kRead) {
-    // kUpdate overwrites in place; kInsert creates the key (same put path —
-    // the stores upsert). Writes are not fault targets.
-    return server.put(request.key, key_sizes_[request.key]);
-  }
-  OpResult r = server.get(request.key);
+util::Result<OpResult> DualServer::recover_faulted_read(
+    const workload::Request& request, OpResult r) {
   if (r.fault == hybridmem::FaultKind::kPoisoned) {
     // The SlowMem copy is uncorrectable: remap the key to FastMem (the
     // move recovers the record at the plan's remap cost) and re-serve the

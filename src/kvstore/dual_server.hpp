@@ -1,9 +1,11 @@
 #pragma once
 
 #include <memory>
+#include <span>
 
 #include "hybridmem/placement.hpp"
 #include "kvstore/factory.hpp"
+#include "util/assert.hpp"
 #include "util/status.hpp"
 #include "workload/trace.hpp"
 
@@ -24,6 +26,11 @@ class DualServer {
   /// failure the typed error carries the offending key, the bytes it
   /// needed, and the node's remaining capacity; keys already loaded stay
   /// loaded (the caller owns the deployment's lifetime).
+  ///
+  /// The trace must outlive this DualServer: key sizes are viewed through
+  /// a span over the trace's own table, not deep-copied (every campaign
+  /// cell replays the same shared trace — copying its per-key size table
+  /// per cell was pure overhead).
   [[nodiscard]] util::Status populate(const workload::Trace& trace,
                                       const hybridmem::Placement& placement);
 
@@ -32,8 +39,22 @@ class DualServer {
   /// hits a poisoned SlowMem line is transparently remapped to FastMem
   /// (the move and remap costs charged to this request); a read whose
   /// transient retries exhaust is a typed error carrying the key.
+  ///
+  /// Defined inline — this is the replay loop's single entry point
+  /// (DESIGN.md §8); the rare fault-recovery tail lives out of line.
   [[nodiscard]] util::Result<OpResult> execute(
-      const workload::Request& request);
+      const workload::Request& request) {
+    MNEMO_EXPECTS(request.key < key_sizes_.size());
+    KeyValueStore& server = route(request.key);
+    if (request.op != workload::OpType::kRead) {
+      // kUpdate overwrites in place; kInsert creates the key (same put path
+      // — the stores upsert). Writes are not fault targets.
+      return server.put(request.key, key_sizes_[request.key]);
+    }
+    OpResult r = server.get(request.key);
+    if (r.fault == hybridmem::FaultKind::kNone) [[likely]] return r;
+    return recover_faulted_read(request, r);
+  }
 
   [[nodiscard]] KeyValueStore& fast() noexcept { return *fast_; }
   [[nodiscard]] KeyValueStore& slow() noexcept { return *slow_; }
@@ -61,13 +82,21 @@ class DualServer {
   }
 
  private:
-  [[nodiscard]] KeyValueStore& route(std::uint64_t key);
+  [[nodiscard]] KeyValueStore& route(std::uint64_t key) {
+    return placement_.node_of(key) == hybridmem::NodeId::kFast ? *fast_
+                                                               : *slow_;
+  }
+
+  /// Slow path of execute(): poisoned-line remap or transient-retry
+  /// exhaustion. Only reached when the read reported a fault.
+  [[nodiscard]] util::Result<OpResult> recover_faulted_read(
+      const workload::Request& request, OpResult r);
 
   StoreKind kind_;
   std::unique_ptr<KeyValueStore> fast_;
   std::unique_ptr<KeyValueStore> slow_;
   hybridmem::Placement placement_{0, hybridmem::NodeId::kFast};
-  std::vector<std::uint64_t> key_sizes_;
+  std::span<const std::uint64_t> key_sizes_;
 };
 
 }  // namespace mnemo::kvstore

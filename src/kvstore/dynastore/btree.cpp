@@ -1,6 +1,7 @@
 #include "kvstore/dynastore/btree.hpp"
 
 #include <algorithm>
+#include <iterator>
 #include <limits>
 
 #include "util/assert.hpp"
@@ -22,102 +23,76 @@ std::uint64_t BPlusTree::overhead_bytes() const noexcept {
   return nodes_ * kNodeBytes;
 }
 
-BPlusTree::Leaf* BPlusTree::descend(std::uint64_t key,
-                                    std::uint32_t* depth) const {
-  Node* node = root_.get();
-  std::uint32_t d = 1;
-  while (!node->is_leaf) {
-    auto& internal = static_cast<Internal&>(*node);
-    const auto it = std::upper_bound(internal.keys.begin(),
-                                     internal.keys.end(), key);
-    node = internal.children[static_cast<std::size_t>(
-                                 it - internal.keys.begin())]
-               .get();
-    ++d;
-  }
-  if (depth != nullptr) *depth = d;
-  return static_cast<Leaf*>(node);
-}
-
-BPlusTree::FindResult BPlusTree::find(std::uint64_t key) {
-  FindResult result;
-  Leaf* leaf = descend(key, &result.depth);
-  const auto it = std::lower_bound(leaf->keys.begin(), leaf->keys.end(), key);
-  if (it != leaf->keys.end() && *it == key) {
-    result.record =
-        &leaf->values[static_cast<std::size_t>(it - leaf->keys.begin())];
-  }
-  return result;
-}
-
 bool BPlusTree::insert_into(Node& node, std::uint64_t key, Record&& value,
                             std::uint32_t* depth, bool* existed,
                             SplitResult* split) {
   ++*depth;
   if (node.is_leaf) {
     auto& leaf = static_cast<Leaf&>(node);
-    const auto it =
-        std::lower_bound(leaf.keys.begin(), leaf.keys.end(), key);
-    const auto idx = static_cast<std::size_t>(it - leaf.keys.begin());
-    if (it != leaf.keys.end() && *it == key) {
+    const std::size_t idx = lower_idx(leaf.keys, leaf.nkeys, key);
+    if (idx < leaf.nkeys && leaf.keys[idx] == key) {
       leaf.values[idx] = std::move(value);
       *existed = true;
       return false;
     }
-    leaf.keys.insert(it, key);
+    for (std::size_t i = leaf.nkeys; i > idx; --i) leaf.keys[i] = leaf.keys[i - 1];
+    leaf.keys[idx] = key;
+    ++leaf.nkeys;
     leaf.values.insert(leaf.values.begin() + static_cast<std::ptrdiff_t>(idx),
                        std::move(value));
     ++size_;
-    if (leaf.keys.size() < kFanout) return false;
+    if (leaf.nkeys < kFanout) return false;
 
     // Split the leaf in half; right sibling joins the leaf chain.
     auto right = std::make_unique<Leaf>();
-    const std::size_t half = leaf.keys.size() / 2;
-    right->keys.assign(leaf.keys.begin() + static_cast<std::ptrdiff_t>(half),
-                       leaf.keys.end());
+    const std::size_t half = leaf.nkeys / 2;
+    right->nkeys = leaf.nkeys - static_cast<std::uint32_t>(half);
+    std::copy(leaf.keys + half, leaf.keys + leaf.nkeys, right->keys);
     right->values.assign(
         std::make_move_iterator(leaf.values.begin() +
                                 static_cast<std::ptrdiff_t>(half)),
         std::make_move_iterator(leaf.values.end()));
-    leaf.keys.resize(half);
+    leaf.nkeys = static_cast<std::uint32_t>(half);
     leaf.values.resize(half);
     right->next = leaf.next;
     leaf.next = right.get();
     ++nodes_;
-    split->separator = right->keys.front();
+    split->separator = right->keys[0];
     split->right = std::move(right);
     return true;
   }
 
   auto& internal = static_cast<Internal&>(node);
-  const auto it =
-      std::upper_bound(internal.keys.begin(), internal.keys.end(), key);
-  const auto child_idx = static_cast<std::size_t>(it - internal.keys.begin());
+  const std::size_t child_idx = upper_idx(internal.keys, internal.nkeys, key);
   SplitResult child_split;
   if (!insert_into(*internal.children[child_idx], key, std::move(value),
                    depth, existed, &child_split)) {
     return false;
   }
-  internal.keys.insert(internal.keys.begin() +
-                           static_cast<std::ptrdiff_t>(child_idx),
-                       child_split.separator);
-  internal.children.insert(
-      internal.children.begin() + static_cast<std::ptrdiff_t>(child_idx) + 1,
-      std::move(child_split.right));
-  if (internal.children.size() <= kFanout) return false;
+  // Insert the separator at child_idx and the new right child after the
+  // one that split (children count is nkeys + 1 before the bump).
+  for (std::size_t i = internal.nkeys; i > child_idx; --i) {
+    internal.keys[i] = internal.keys[i - 1];
+  }
+  internal.keys[child_idx] = child_split.separator;
+  for (std::size_t i = internal.nkeys + 1; i > child_idx + 1; --i) {
+    internal.children[i] = std::move(internal.children[i - 1]);
+  }
+  internal.children[child_idx + 1] = std::move(child_split.right);
+  ++internal.nkeys;
+  if (internal.nkeys + 1 <= kFanout) return false;
 
   // Split the internal node; the middle key moves up.
   auto right = std::make_unique<Internal>();
-  const std::size_t mid = internal.keys.size() / 2;
+  const std::size_t mid = internal.nkeys / 2;
   split->separator = internal.keys[mid];
-  right->keys.assign(internal.keys.begin() + static_cast<std::ptrdiff_t>(mid) + 1,
-                     internal.keys.end());
-  right->children.assign(
-      std::make_move_iterator(internal.children.begin() +
-                              static_cast<std::ptrdiff_t>(mid) + 1),
-      std::make_move_iterator(internal.children.end()));
-  internal.keys.resize(mid);
-  internal.children.resize(mid + 1);
+  right->nkeys = internal.nkeys - static_cast<std::uint32_t>(mid) - 1;
+  std::copy(internal.keys + mid + 1, internal.keys + internal.nkeys,
+            right->keys);
+  for (std::size_t i = 0; i <= right->nkeys; ++i) {
+    right->children[i] = std::move(internal.children[mid + 1 + i]);
+  }
+  internal.nkeys = static_cast<std::uint32_t>(mid);
   ++nodes_;
   split->right = std::move(right);
   return true;
@@ -129,9 +104,10 @@ BPlusTree::UpsertResult BPlusTree::upsert(std::uint64_t key, Record value) {
   if (insert_into(*root_, key, std::move(value), &result.depth,
                   &result.existed, &split)) {
     auto new_root = std::make_unique<Internal>();
-    new_root->keys.push_back(split.separator);
-    new_root->children.push_back(std::move(root_));
-    new_root->children.push_back(std::move(split.right));
+    new_root->nkeys = 1;
+    new_root->keys[0] = split.separator;
+    new_root->children[0] = std::move(root_);
+    new_root->children[1] = std::move(split.right);
     root_ = std::move(new_root);
     ++nodes_;
     ++height_;
@@ -142,10 +118,12 @@ BPlusTree::UpsertResult BPlusTree::upsert(std::uint64_t key, Record value) {
 BPlusTree::EraseResult BPlusTree::erase(std::uint64_t key) {
   EraseResult result;
   Leaf* leaf = descend(key, &result.depth);
-  const auto it = std::lower_bound(leaf->keys.begin(), leaf->keys.end(), key);
-  if (it == leaf->keys.end() || *it != key) return result;
-  const auto idx = static_cast<std::size_t>(it - leaf->keys.begin());
-  leaf->keys.erase(it);
+  const std::size_t idx = lower_idx(leaf->keys, leaf->nkeys, key);
+  if (idx >= leaf->nkeys || leaf->keys[idx] != key) return result;
+  for (std::size_t i = idx; i + 1 < leaf->nkeys; ++i) {
+    leaf->keys[i] = leaf->keys[i + 1];
+  }
+  --leaf->nkeys;
   leaf->values.erase(leaf->values.begin() + static_cast<std::ptrdiff_t>(idx));
   --size_;
   result.erased = true;
@@ -155,26 +133,29 @@ BPlusTree::EraseResult BPlusTree::erase(std::uint64_t key) {
 void BPlusTree::check_node(const Node& node, std::uint64_t lo,
                            std::uint64_t hi, std::uint32_t depth,
                            std::uint32_t expected_leaf_depth) const {
+  MNEMO_ASSERT(std::is_sorted(node.keys, node.keys + node.nkeys));
   if (node.is_leaf) {
     const auto& leaf = static_cast<const Leaf&>(node);
     MNEMO_ASSERT(depth == expected_leaf_depth);
-    MNEMO_ASSERT(leaf.keys.size() == leaf.values.size());
-    MNEMO_ASSERT(std::is_sorted(leaf.keys.begin(), leaf.keys.end()));
-    for (const auto k : leaf.keys) {
-      MNEMO_ASSERT(k >= lo && k < hi);
+    MNEMO_ASSERT(leaf.nkeys == leaf.values.size());
+    for (std::size_t i = 0; i < leaf.nkeys; ++i) {
+      MNEMO_ASSERT(leaf.keys[i] >= lo && leaf.keys[i] < hi);
     }
     return;
   }
   const auto& internal = static_cast<const Internal&>(node);
-  MNEMO_ASSERT(internal.children.size() == internal.keys.size() + 1);
-  MNEMO_ASSERT(internal.children.size() <= kFanout);
-  MNEMO_ASSERT(std::is_sorted(internal.keys.begin(), internal.keys.end()));
-  for (std::size_t i = 0; i < internal.children.size(); ++i) {
+  MNEMO_ASSERT(internal.nkeys + 1 <= kFanout);
+  for (std::size_t i = 0; i <= internal.nkeys; ++i) {
+    MNEMO_ASSERT(internal.children[i] != nullptr);
     const std::uint64_t child_lo = i == 0 ? lo : internal.keys[i - 1];
     const std::uint64_t child_hi =
-        i == internal.keys.size() ? hi : internal.keys[i];
+        i == internal.nkeys ? hi : internal.keys[i];
     check_node(*internal.children[i], child_lo, child_hi, depth + 1,
                expected_leaf_depth);
+  }
+  // Slots past the live range must not own nodes (moved-from after split).
+  for (std::size_t i = internal.nkeys + 1; i <= kFanout; ++i) {
+    MNEMO_ASSERT(internal.children[i] == nullptr);
   }
 }
 
@@ -187,7 +168,8 @@ void BPlusTree::check_invariants() const {
   bool first = true;
   const Leaf* leaf = first_leaf_;
   while (leaf != nullptr) {
-    for (const auto k : leaf->keys) {
+    for (std::size_t i = 0; i < leaf->nkeys; ++i) {
+      const std::uint64_t k = leaf->keys[i];
       MNEMO_ASSERT(first || k > prev);
       prev = k;
       first = false;

@@ -14,6 +14,12 @@ namespace mnemo::kvstore::dynastore {
 /// memory touches (the pointer-chasing that makes the DynamoDB-like engine
 /// the most SlowMem-sensitive architecture).
 ///
+/// Keys and child pointers live inline in the node (fixed-capacity arrays,
+/// not separately allocated vectors), so a descent's binary search touches
+/// only the node's own cache lines — one dependent load per level instead
+/// of three (DESIGN.md §8). Splits, ordering, and reported depths are
+/// identical to the vector-backed layout this replaces.
+///
 /// Deletion is tombstone-free but lazy: keys are removed from their leaf
 /// without rebalancing (underfull leaves persist). Real LSM/B-tree engines
 /// defer this work to compaction; Mnemo's workloads never shrink the key
@@ -32,7 +38,16 @@ class BPlusTree {
     Record* record = nullptr;
     std::uint32_t depth = 0;  ///< nodes touched root -> leaf
   };
-  FindResult find(std::uint64_t key);
+  /// Defined inline: every DynaStore GET descends here (DESIGN.md §8).
+  FindResult find(std::uint64_t key) {
+    FindResult result;
+    Leaf* leaf = descend(key, &result.depth);
+    const std::size_t idx = lower_idx(leaf->keys, leaf->nkeys, key);
+    if (idx < leaf->nkeys && leaf->keys[idx] == key) {
+      result.record = &leaf->values[idx];
+    }
+    return result;
+  }
 
   struct UpsertResult {
     bool existed = false;
@@ -59,7 +74,7 @@ class BPlusTree {
   void for_each(F&& fn) const {
     const Leaf* leaf = first_leaf_;
     while (leaf != nullptr) {
-      for (std::size_t i = 0; i < leaf->keys.size(); ++i) {
+      for (std::size_t i = 0; i < leaf->nkeys; ++i) {
         fn(leaf->keys[i], leaf->values[i]);
       }
       leaf = leaf->next;
@@ -73,7 +88,7 @@ class BPlusTree {
     std::uint32_t depth = 0;
     const Leaf* leaf = descend(start, &depth);
     while (leaf != nullptr) {
-      for (std::size_t i = 0; i < leaf->keys.size(); ++i) {
+      for (std::size_t i = 0; i < leaf->nkeys; ++i) {
         if (leaf->keys[i] < start) continue;
         if (!fn(leaf->keys[i], leaf->values[i])) return;
       }
@@ -92,21 +107,25 @@ class BPlusTree {
 
   struct Node {
     bool is_leaf;
+    /// Keys in use: keys[0, nkeys) sorted. Leaves hold up to kFanout keys
+    /// (split at kFanout); internals up to kFanout - 1 in steady state
+    /// (kFanout transiently, just before their split).
+    std::uint32_t nkeys = 0;
+    std::uint64_t keys[kFanout];
     explicit Node(bool leaf) : is_leaf(leaf) {}
     virtual ~Node() = default;
   };
 
   struct Internal final : Node {
     Internal() : Node(false) {}
-    // children.size() == keys.size() + 1; subtree i holds keys < keys[i].
-    std::vector<std::uint64_t> keys;
-    std::vector<std::unique_ptr<Node>> children;
+    // children[0, nkeys]; subtree i holds keys < keys[i]. One spare slot
+    // for the transient pre-split state (kFanout + 1 children).
+    std::unique_ptr<Node> children[kFanout + 1];
   };
 
   struct Leaf final : Node {
     Leaf() : Node(true) {}
-    std::vector<std::uint64_t> keys;
-    std::vector<Record> values;
+    std::vector<Record> values;  ///< values[i] belongs to keys[i]
     Leaf* next = nullptr;
   };
 
@@ -115,7 +134,41 @@ class BPlusTree {
     std::unique_ptr<Node> right;
   };
 
-  Leaf* descend(std::uint64_t key, std::uint32_t* depth) const;
+  /// Key searches returning the std::lower_bound / std::upper_bound index.
+  /// The search strategy is unobservable (reported depth counts nodes, not
+  /// comparisons), so it is chosen for cache behaviour: a branchless linear
+  /// count touches the key array's cache lines in order (hardware-
+  /// prefetchable, auto-vectorizable), where a binary search costs ~3
+  /// dependent line misses on a cold 512-byte array. On random descents
+  /// most nodes ARE cold, so the scan wins at every level (DESIGN.md §8).
+  [[nodiscard]] static std::size_t lower_idx(const std::uint64_t* a,
+                                             std::size_t n,
+                                             std::uint64_t key) {
+    std::size_t idx = 0;
+    for (std::size_t i = 0; i < n; ++i) idx += a[i] < key ? 1 : 0;
+    return idx;
+  }
+  [[nodiscard]] static std::size_t upper_idx(const std::uint64_t* a,
+                                             std::size_t n,
+                                             std::uint64_t key) {
+    std::size_t idx = 0;
+    for (std::size_t i = 0; i < n; ++i) idx += a[i] <= key ? 1 : 0;
+    return idx;
+  }
+
+  Leaf* descend(std::uint64_t key, std::uint32_t* depth) const {
+    Node* node = root_.get();
+    std::uint32_t d = 1;
+    while (!node->is_leaf) {
+      auto& internal = static_cast<Internal&>(*node);
+      node = internal.children[upper_idx(internal.keys, internal.nkeys, key)]
+                 .get();
+      ++d;
+    }
+    if (depth != nullptr) *depth = d;
+    return static_cast<Leaf*>(node);
+  }
+
   bool insert_into(Node& node, std::uint64_t key, Record&& value,
                    std::uint32_t* depth, bool* existed, SplitResult* split);
   void check_node(const Node& node, std::uint64_t lo, std::uint64_t hi,

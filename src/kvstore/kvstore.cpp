@@ -48,68 +48,6 @@ OpResult KeyValueStore::put_ttl(std::uint64_t key, std::uint64_t value_size,
   return result;
 }
 
-bool KeyValueStore::check_expired(const Record& rec) {
-  if (!rec.expired(now_ns())) return false;
-  ++stats_.expirations;
-  return true;
-}
-
-OpResult KeyValueStore::finalize(bool ok, double ns, bool llc_hit) {
-  const hybridmem::FaultKind fault = pending_fault_;
-  // A read whose transient retries exhausted never delivered the data:
-  // the operation fails regardless of what the store layer concluded.
-  if (pending_failed_) ok = false;
-  pending_fault_ = hybridmem::FaultKind::kNone;
-  pending_failed_ = false;
-  if (!config_.deterministic_service) {
-    // Multiplicative noise: the request-to-request variability a real
-    // client observes. The rng stream advances identically regardless of
-    // data placement, so measured-vs-estimated differences reflect model
-    // error, not divergent random sequences.
-    const double z = jitter_rng_.gaussian();
-    double factor = 1.0 + profile_.jitter_sigma * z;
-    factor = std::max(0.5, factor);
-    if (profile_.tail_spike_prob > 0.0 &&
-        jitter_rng_.next_double() < profile_.tail_spike_prob) {
-      factor *= profile_.tail_spike_mult;
-    }
-    ns *= factor;
-  }
-  stats_.busy_ns += ns;
-  return OpResult{ok, ns, llc_hit, fault};
-}
-
-double KeyValueStore::index_walk_ns(std::uint32_t hot_probes,
-                                    std::uint32_t cold_probes) const {
-  const auto& prof = memory_.profile();
-  const double hot = static_cast<double>(hot_probes) * prof.llc_latency_ns;
-  const double cold = static_cast<double>(cold_probes) *
-                      memory_.node(config_.node).spec().latency_ns *
-                      profile_.latency_sensitivity;
-  const double cpu = static_cast<double>(hot_probes + cold_probes) *
-                     profile_.cpu_per_probe_ns;
-  return hot + cold + cpu;
-}
-
-hybridmem::AccessResult KeyValueStore::payload_access(std::uint64_t key,
-                                                      std::uint64_t bytes,
-                                                      hybridmem::MemOp op) {
-  const double amp = op == hybridmem::MemOp::kRead
-                         ? profile_.read_stream_amplification
-                         : profile_.write_stream_amplification;
-  hybridmem::AccessTraits traits;
-  traits.latency_touches = 1;
-  traits.streamed_bytes =
-      static_cast<std::uint64_t>(static_cast<double>(bytes) * amp);
-  traits.latency_sensitivity = profile_.latency_sensitivity;
-  traits.bandwidth_overlap = profile_.bandwidth_overlap;
-  traits.write_discount = profile_.write_discount;
-  const hybridmem::AccessResult access = memory_.access(key, op, traits);
-  pending_fault_ = std::max(pending_fault_, access.fault);
-  pending_failed_ = pending_failed_ || access.failed;
-  return access;
-}
-
 void KeyValueStore::sync_overhead_accounting(std::uint64_t new_bytes) {
   if (new_bytes == accounted_overhead_) return;
   if (accounted_overhead_ == 0) {

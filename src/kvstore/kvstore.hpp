@@ -1,5 +1,6 @@
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -109,7 +110,31 @@ class KeyValueStore {
 
  protected:
   /// Apply jitter/tail noise, account busy time, and stamp the result.
-  OpResult finalize(bool ok, double ns, bool llc_hit);
+  /// Defined inline: it closes every operation on the replay hot path.
+  OpResult finalize(bool ok, double ns, bool llc_hit) {
+    const hybridmem::FaultKind fault = pending_fault_;
+    // A read whose transient retries exhausted never delivered the data:
+    // the operation fails regardless of what the store layer concluded.
+    if (pending_failed_) ok = false;
+    pending_fault_ = hybridmem::FaultKind::kNone;
+    pending_failed_ = false;
+    if (!config_.deterministic_service) {
+      // Multiplicative noise: the request-to-request variability a real
+      // client observes. The rng stream advances identically regardless of
+      // data placement, so measured-vs-estimated differences reflect model
+      // error, not divergent random sequences.
+      const double z = jitter_rng_.gaussian();
+      double factor = 1.0 + profile_.jitter_sigma * z;
+      factor = std::max(0.5, factor);
+      if (profile_.tail_spike_prob > 0.0 &&
+          jitter_rng_.next_double() < profile_.tail_spike_prob) {
+        factor *= profile_.tail_spike_mult;
+      }
+      ns *= factor;
+    }
+    stats_.busy_ns += ns;
+    return OpResult{ok, ns, llc_hit, fault};
+  }
 
   /// Access to the stored record for TTL stamping; nullptr if absent.
   /// Implementations may advance internal maintenance state (incremental
@@ -118,19 +143,48 @@ class KeyValueStore {
 
   /// True (and counts the expiration) if `rec` is past its TTL at the
   /// store's current clock — callers then drop the record and miss.
-  bool check_expired(const Record& rec);
+  bool check_expired(const Record& rec) {
+    if (!rec.expired(now_ns())) return false;
+    ++stats_.expirations;
+    return true;
+  }
 
   /// Price an index walk: `hot_probes` structure touches expected to be
   /// cache resident (upper tree levels, hot buckets) plus `cold_probes`
   /// dependent misses paid at node latency x the profile's sensitivity.
   [[nodiscard]] double index_walk_ns(std::uint32_t hot_probes,
-                                     std::uint32_t cold_probes) const;
+                                     std::uint32_t cold_probes) const {
+    const auto& prof = memory_.profile();
+    const double hot = static_cast<double>(hot_probes) * prof.llc_latency_ns;
+    const double cold = static_cast<double>(cold_probes) *
+                        memory_.node(config_.node).spec().latency_ns *
+                        profile_.latency_sensitivity;
+    const double cpu = static_cast<double>(hot_probes + cold_probes) *
+                       profile_.cpu_per_probe_ns;
+    return hot + cold + cpu;
+  }
 
   /// Price the payload movement of a GET/PUT against the hybrid memory
   /// (LLC-aware), applying the profile's amplification/overlap/discount.
+  /// Defined inline: one call per GET/PUT on the replay hot path.
   hybridmem::AccessResult payload_access(std::uint64_t key,
                                          std::uint64_t bytes,
-                                         hybridmem::MemOp op);
+                                         hybridmem::MemOp op) {
+    const double amp = op == hybridmem::MemOp::kRead
+                           ? profile_.read_stream_amplification
+                           : profile_.write_stream_amplification;
+    hybridmem::AccessTraits traits;
+    traits.latency_touches = 1;
+    traits.streamed_bytes =
+        static_cast<std::uint64_t>(static_cast<double>(bytes) * amp);
+    traits.latency_sensitivity = profile_.latency_sensitivity;
+    traits.bandwidth_overlap = profile_.bandwidth_overlap;
+    traits.write_discount = profile_.write_discount;
+    const hybridmem::AccessResult access = memory_.access(key, op, traits);
+    pending_fault_ = std::max(pending_fault_, access.fault);
+    pending_failed_ = pending_failed_ || access.failed;
+    return access;
+  }
 
   /// Keep the node-side accounting of index/journal overhead in sync.
   /// `overhead_object_id` must be unique per store instance.

@@ -5,11 +5,7 @@
 
 namespace mnemo::kvstore::vermilion {
 
-Dict::Dict() { tables_[0].resize(kInitialBuckets); }
-
-std::size_t Dict::bucket_of(std::uint64_t key, std::size_t buckets) {
-  return util::mix64(key) & (buckets - 1);
-}
+Dict::Dict() { tables_[0].assign(kInitialBuckets, kNil); }
 
 std::size_t Dict::bucket_count() const noexcept {
   return tables_[0].size() + tables_[1].size();
@@ -17,15 +13,34 @@ std::size_t Dict::bucket_count() const noexcept {
 
 std::uint64_t Dict::overhead_bytes() const noexcept {
   // One pointer per bucket head plus a per-entry header (key, size,
-  // checksum, next pointer) — the dictEntry analogue.
+  // checksum, next pointer) — the dictEntry analogue. The modelled sizes
+  // describe the simulated server's layout, not this implementation's, so
+  // they are unchanged by the flat storage.
   constexpr std::uint64_t kEntryHeader = 40;
   return bucket_count() * sizeof(void*) + used_ * kEntryHeader;
+}
+
+std::int32_t Dict::alloc_node(std::uint64_t key, Record&& value) {
+  std::int32_t n;
+  if (free_ != kNil) {
+    n = free_;
+    free_ = pool_[static_cast<std::size_t>(n)].next;
+  } else {
+    MNEMO_ASSERT(pool_.size() < static_cast<std::size_t>(kNil));
+    n = static_cast<std::int32_t>(pool_.size());
+    pool_.emplace_back();
+  }
+  Node& node = pool_[static_cast<std::size_t>(n)];
+  node.entry.key = key;
+  node.entry.value = std::move(value);
+  node.next = kNil;
+  return n;
 }
 
 void Dict::maybe_start_rehash() {
   if (rehashing()) return;
   if (used_ < tables_[0].size()) return;
-  tables_[1].assign(tables_[0].size() * 2, Bucket{});
+  tables_[1].assign(tables_[0].size() * 2, kNil);
   rehash_idx_ = 0;
 }
 
@@ -34,12 +49,17 @@ void Dict::rehash_step() {
   std::size_t migrated_buckets = 0;
   while (migrated_buckets < kRehashBucketsPerOp &&
          rehash_idx_ < static_cast<std::ptrdiff_t>(tables_[0].size())) {
-    Bucket& src = tables_[0][static_cast<std::size_t>(rehash_idx_)];
-    while (!src.empty()) {
-      const std::size_t dst_idx =
-          bucket_of(src.front().key, tables_[1].size());
-      Bucket& dst = tables_[1][dst_idx];
-      dst.splice_after(dst.before_begin(), src, src.before_begin());
+    std::int32_t& src = tables_[0][static_cast<std::size_t>(rehash_idx_)];
+    // Pop the source chain head-first onto the destination chain heads —
+    // the same order the forward_list splice_after migration produced.
+    while (src != kNil) {
+      const std::int32_t n = src;
+      Node& node = pool_[static_cast<std::size_t>(n)];
+      src = node.next;
+      std::int32_t& dst =
+          tables_[1][bucket_of(node.entry.key, tables_[1].size())];
+      node.next = dst;
+      dst = n;
     }
     ++rehash_idx_;
     ++migrated_buckets;
@@ -51,18 +71,19 @@ void Dict::rehash_step() {
   }
 }
 
-Dict::FindResult Dict::find(std::uint64_t key) {
+Dict::FindResult Dict::find_rehashing(std::uint64_t key) {
   rehash_step();
   FindResult result;
   const int table_limit = rehashing() ? 2 : 1;
   for (int t = 0; t < table_limit; ++t) {
     Table& table = tables_[t];
     if (table.empty()) continue;
-    Bucket& bucket = table[bucket_of(key, table.size())];
-    for (Entry& e : bucket) {
+    for (std::int32_t n = table[bucket_of(key, table.size())]; n != kNil;
+         n = pool_[static_cast<std::size_t>(n)].next) {
       ++result.probes;
-      if (e.key == key) {
-        result.entry = &e;
+      Node& node = pool_[static_cast<std::size_t>(n)];
+      if (node.entry.key == key) {
+        result.entry = &node.entry;
         return result;
       }
     }
@@ -79,24 +100,27 @@ Dict::UpsertResult Dict::upsert(std::uint64_t key, Record value) {
   for (int t = 0; t < table_limit; ++t) {
     Table& table = tables_[t];
     if (table.empty()) continue;
-    Bucket& bucket = table[bucket_of(key, table.size())];
-    for (Entry& e : bucket) {
+    for (std::int32_t n = table[bucket_of(key, table.size())]; n != kNil;
+         n = pool_[static_cast<std::size_t>(n)].next) {
       ++result.probes;
-      if (e.key == key) {
-        e.value = std::move(value);
+      Node& node = pool_[static_cast<std::size_t>(n)];
+      if (node.entry.key == key) {
+        node.entry.value = std::move(value);
         result.existed = true;
-        result.entry = &e;
+        result.entry = &node.entry;
         return result;
       }
     }
   }
   // Insert into the table new keys should land in (table 1 mid-rehash).
   Table& target = rehashing() ? tables_[1] : tables_[0];
-  Bucket& bucket = target[bucket_of(key, target.size())];
-  bucket.push_front(Entry{key, std::move(value)});
+  std::int32_t& bucket = target[bucket_of(key, target.size())];
+  const std::int32_t n = alloc_node(key, std::move(value));
+  pool_[static_cast<std::size_t>(n)].next = bucket;
+  bucket = n;
   ++used_;
   ++result.probes;
-  result.entry = &bucket.front();
+  result.entry = &pool_[static_cast<std::size_t>(n)].entry;
   return result;
 }
 
@@ -107,16 +131,21 @@ Dict::EraseResult Dict::erase(std::uint64_t key) {
   for (int t = 0; t < table_limit; ++t) {
     Table& table = tables_[t];
     if (table.empty()) continue;
-    Bucket& bucket = table[bucket_of(key, table.size())];
-    auto prev = bucket.before_begin();
-    for (auto it = bucket.begin(); it != bucket.end(); ++it, ++prev) {
+    std::int32_t* link = &table[bucket_of(key, table.size())];
+    while (*link != kNil) {
+      const std::int32_t n = *link;
+      Node& node = pool_[static_cast<std::size_t>(n)];
       ++result.probes;
-      if (it->key == key) {
-        bucket.erase_after(prev);
+      if (node.entry.key == key) {
+        *link = node.next;
+        node.entry.value = Record{};  // release any payload promptly
+        node.next = free_;
+        free_ = n;
         --used_;
         result.erased = true;
         return result;
       }
+      link = &node.next;
     }
   }
   return result;

@@ -1,10 +1,10 @@
 #pragma once
 
 #include <cstdint>
-#include <forward_list>
 #include <vector>
 
 #include "kvstore/record.hpp"
+#include "util/rng.hpp"
 
 namespace mnemo::kvstore::vermilion {
 
@@ -15,6 +15,13 @@ namespace mnemo::kvstore::vermilion {
 ///
 /// find/insert/erase report how many chain links they walked so the store
 /// can charge memory latency per dependent probe.
+///
+/// Storage is flat (DESIGN.md §8): entries live in one contiguous slot
+/// pool chained by int32 indices, and a bucket is just the index of its
+/// chain head. Chain order, probe counts, and rehash migration order are
+/// exactly those of the forward_list version this replaces — only the
+/// memory layout changed (no per-entry heap node, erased slots recycled
+/// through a free list).
 class Dict {
  public:
   static constexpr std::size_t kInitialBuckets = 16;
@@ -34,7 +41,25 @@ class Dict {
     std::uint32_t probes = 0;
   };
 
-  FindResult find(std::uint64_t key);
+  /// Defined inline in the steady state — every Vermilion GET starts here
+  /// (DESIGN.md §8). Mid-rehash lookups (which must also migrate buckets
+  /// and probe both tables) take the out-of-line tail.
+  FindResult find(std::uint64_t key) {
+    if (rehashing()) [[unlikely]] { return find_rehashing(key); }
+    FindResult result;
+    Table& table = tables_[0];
+    for (std::int32_t n = table[bucket_of(key, table.size())]; n != kNil;
+         n = pool_[static_cast<std::size_t>(n)].next) {
+      ++result.probes;
+      Node& node = pool_[static_cast<std::size_t>(n)];
+      if (node.entry.key == key) {
+        result.entry = &node.entry;
+        return result;
+      }
+    }
+    if (result.probes == 0) result.probes = 1;  // empty-bucket inspection
+    return result;
+  }
 
   /// Insert a new key or overwrite an existing one. Returns the probe
   /// count and whether the key already existed.
@@ -60,25 +85,41 @@ class Dict {
   /// excluding payload bytes.
   [[nodiscard]] std::uint64_t overhead_bytes() const noexcept;
 
-  /// Visit every entry (order unspecified).
+  /// Visit every entry (table 0 then table 1, buckets in order, chains
+  /// front to back — the order RNG-sampling callers rely on).
   template <typename F>
   void for_each(F&& fn) const {
     for (const auto& table : tables_) {
-      for (const auto& bucket : table) {
-        for (const auto& e : bucket) fn(e);
+      for (const std::int32_t head : table) {
+        for (std::int32_t n = head; n != kNil; n = pool_[n].next) {
+          fn(pool_[static_cast<std::size_t>(n)].entry);
+        }
       }
     }
   }
 
  private:
-  using Bucket = std::forward_list<Entry>;
-  using Table = std::vector<Bucket>;
+  static constexpr std::int32_t kNil = -1;
+
+  struct Node {
+    Entry entry;
+    std::int32_t next = kNil;
+  };
+
+  /// Bucket = index of its chain head in the pool (kNil when empty).
+  using Table = std::vector<std::int32_t>;
 
   [[nodiscard]] static std::size_t bucket_of(std::uint64_t key,
-                                             std::size_t buckets);
+                                             std::size_t buckets) {
+    return util::mix64(key) & (buckets - 1);
+  }
+  FindResult find_rehashing(std::uint64_t key);
+  [[nodiscard]] std::int32_t alloc_node(std::uint64_t key, Record&& value);
   void maybe_start_rehash();
   void rehash_step();
 
+  std::vector<Node> pool_;
+  std::int32_t free_ = kNil;  ///< recycled slots, threaded via next
   Table tables_[2];
   std::ptrdiff_t rehash_idx_ = -1;  ///< next bucket of tables_[0] to migrate
   std::size_t used_ = 0;

@@ -1,5 +1,7 @@
 #include "kvstore/vermilion/vermilion.hpp"
 
+#include <algorithm>
+
 #include "util/assert.hpp"
 
 namespace mnemo::kvstore {
@@ -24,6 +26,43 @@ Vermilion::Vermilion(hybridmem::HybridMemory& memory,
       eviction_(eviction),
       eviction_rng_(config.seed ^ 0xe71c7) {}
 
+void Vermilion::stamp_access(std::uint64_t key) {
+  const std::uint64_t stamp = ++access_clock_;
+  if (key < util::kDenseIdCap) {
+    if (key >= last_access_dense_.size()) {
+      std::size_t grown =
+          last_access_dense_.empty() ? 64 : last_access_dense_.size() * 2;
+      while (grown <= key) grown *= 2;
+      grown = std::min<std::size_t>(
+          grown, static_cast<std::size_t>(util::kDenseIdCap));
+      last_access_dense_.resize(grown, 0);
+    }
+    last_access_dense_[static_cast<std::size_t>(key)] = stamp;
+    return;
+  }
+  last_access_overflow_[key] = stamp;
+}
+
+void Vermilion::clear_stamp(std::uint64_t key) {
+  if (key < util::kDenseIdCap) {
+    if (key < last_access_dense_.size()) {
+      last_access_dense_[static_cast<std::size_t>(key)] = 0;
+    }
+    return;
+  }
+  last_access_overflow_.erase(key);
+}
+
+std::uint64_t Vermilion::stamp_of(std::uint64_t key) const {
+  if (key < util::kDenseIdCap) {
+    return key < last_access_dense_.size()
+               ? last_access_dense_[static_cast<std::size_t>(key)]
+               : 0;
+  }
+  const auto it = last_access_overflow_.find(key);
+  return it == last_access_overflow_.end() ? 0 : it->second;
+}
+
 std::uint64_t Vermilion::pick_random_victim(std::uint64_t protect_key) {
   // Sample dict entries reservoir-style; cheap at Mnemo's scales and
   // policy-faithful (Redis samples its dict too).
@@ -43,8 +82,7 @@ std::uint64_t Vermilion::pick_lru_victim(std::uint64_t protect_key) {
   for (int i = 0; i < kEvictionSamples; ++i) {
     const std::uint64_t candidate = pick_random_victim(protect_key);
     if (candidate == protect_key) continue;
-    const auto it = last_access_.find(candidate);
-    const std::uint64_t stamp = it == last_access_.end() ? 0 : it->second;
+    const std::uint64_t stamp = stamp_of(candidate);
     if (stamp < victim_stamp) {
       victim_stamp = stamp;
       victim = candidate;
@@ -63,7 +101,7 @@ bool Vermilion::evict_for(std::uint64_t need, std::uint64_t protect_key) {
     if (victim == protect_key) return false;  // nothing else to evict
     (void)dict_.erase(victim);
     memory().remove(victim);
-    last_access_.erase(victim);
+    clear_stamp(victim);
     ++stats_.evictions;
   }
   sync_overhead_accounting(dict_.overhead_bytes());
@@ -84,7 +122,7 @@ Record* Vermilion::mutable_record(std::uint64_t key) {
 void Vermilion::drop_expired(std::uint64_t key) {
   (void)dict_.erase(key);
   memory().remove(key);
-  last_access_.erase(key);
+  clear_stamp(key);
   sync_overhead_accounting(dict_.overhead_bytes());
 }
 
@@ -103,7 +141,7 @@ OpResult Vermilion::get(std::uint64_t key) {
     return finalize(false, ns, false);
   }
   ++stats_.hits;
-  last_access_[key] = ++access_clock_;
+  stamp_access(key);
   const Record& rec = found.entry->value;
   if (rec.stored()) {
     // End-to-end integrity: the payload really round-trips.
@@ -140,7 +178,7 @@ OpResult Vermilion::put(std::uint64_t key, std::uint64_t value_size) {
       }
     }
   }
-  last_access_[key] = ++access_clock_;
+  stamp_access(key);
   sync_overhead_accounting(dict_.overhead_bytes());
   const auto access = payload_access(key, value_size, MemOp::kWrite);
   ns += access.ns;
@@ -153,7 +191,7 @@ OpResult Vermilion::erase(std::uint64_t key) {
   const double ns = profile().cpu_write_ns + index_walk_ns(1, er.probes);
   if (!er.erased) return finalize(false, ns, false);
   memory().remove(key);
-  last_access_.erase(key);
+  clear_stamp(key);
   sync_overhead_accounting(dict_.overhead_bytes());
   return finalize(true, ns, false);
 }

@@ -1,9 +1,11 @@
 #pragma once
 
 #include <unordered_map>
+#include <vector>
 
 #include "kvstore/kvstore.hpp"
 #include "kvstore/vermilion/dict.hpp"
+#include "util/flat_lru.hpp"
 
 namespace mnemo::kvstore {
 
@@ -59,12 +61,20 @@ class Vermilion final : public KeyValueStore {
 
   static constexpr int kEvictionSamples = 5;  // Redis maxmemory-samples
 
+  /// Per-key last-access stamps, flat-table edition (DESIGN.md §8): a
+  /// stamp of 0 means "never touched", exactly what the old map returned
+  /// for a missing key, so erasing a key is resetting its slot to 0.
+  void stamp_access(std::uint64_t key);
+  void clear_stamp(std::uint64_t key);
+  [[nodiscard]] std::uint64_t stamp_of(std::uint64_t key) const;
+
   vermilion::Dict dict_;
   EvictionPolicy eviction_;
   util::Rng eviction_rng_;
   /// Approximate LRU clock: per-key last-access stamps (op counter).
   std::uint64_t access_clock_ = 0;
-  std::unordered_map<std::uint64_t, std::uint64_t> last_access_;
+  std::vector<std::uint64_t> last_access_dense_;
+  std::unordered_map<std::uint64_t, std::uint64_t> last_access_overflow_;
 };
 
 }  // namespace mnemo::kvstore

@@ -1,0 +1,223 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace mnemo::util {
+
+/// Boundary between the dense-ID fast path and the overflow hash map for
+/// the flat tables on the replay hot path (FlatLru below, and the object
+/// table in HybridMemory). IDs below this index a flat vector directly;
+/// rarer IDs above it (tagged namespaces like per-store overhead objects,
+/// see kvstore.cpp) fall back to a hash map, so correctness never depends
+/// on density — only speed does. 2^20 comfortably covers every trace the
+/// repo generates while bounding the table size even for adversarial
+/// sparse IDs.
+inline constexpr std::uint64_t kDenseIdCap = 1ULL << 20;
+
+/// Payload type for FlatLru users that only need recency order (e.g. the
+/// per-slab-class LRUs in Cachet, where the key itself is the value).
+struct NoPayload {};
+
+/// Array-backed intrusive LRU keyed by 64-bit IDs, built for the replay
+/// hot path (DESIGN.md §8): the simulator guarantees record keys are dense
+/// integers [0, key_count), so membership is a vector index instead of a
+/// hash lookup, and recency is prev/next *slot indices* inside one
+/// contiguous slot pool instead of a std::list of heap nodes. Moving an
+/// entry to the MRU end rewrites four integers; nothing is allocated once
+/// the pool has grown to the working-set size (reserve() up front makes
+/// steady state allocation-free).
+///
+/// IDs below kAutoDenseCap index a flat table directly; rarer IDs above it
+/// (tagged namespaces like per-store overhead objects, see kvstore.cpp)
+/// fall back to a small overflow hash map, so correctness never depends on
+/// density — only speed does.
+///
+/// Order semantics are exactly those of the std::list-based LRUs this
+/// replaces: push_front/touch make an entry most-recent, back() is the
+/// eviction victim.
+template <typename Payload>
+class FlatLru {
+ public:
+  /// IDs below this are indexed by a flat vector (grown on demand, at most
+  /// 4 bytes per ID); IDs at or above it go to the overflow map.
+  static constexpr std::uint64_t kAutoDenseCap = kDenseIdCap;
+
+  /// Pre-size the dense index for IDs [0, ids) and the slot pool for
+  /// `slots` resident entries, so steady-state operation never allocates.
+  void reserve(std::size_t ids, std::size_t slots) {
+    const std::size_t dense =
+        ids < kAutoDenseCap ? ids : static_cast<std::size_t>(kAutoDenseCap);
+    if (dense > dense_.size()) dense_.resize(dense, kAbsent);
+    slots_.reserve(slots);
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  /// Payload of `id` without disturbing recency; nullptr if absent.
+  [[nodiscard]] Payload* find(std::uint64_t id) {
+    const std::int32_t slot = slot_of(id);
+    return slot == kAbsent ? nullptr : &slots_[static_cast<std::size_t>(slot)]
+                                            .payload;
+  }
+  [[nodiscard]] const Payload* find(std::uint64_t id) const {
+    const std::int32_t slot = slot_of(id);
+    return slot == kAbsent ? nullptr : &slots_[static_cast<std::size_t>(slot)]
+                                            .payload;
+  }
+
+  /// Move `id` to the MRU end and return its payload; nullptr if absent.
+  [[nodiscard]] Payload* touch(std::uint64_t id) {
+    const std::int32_t slot = slot_of(id);
+    if (slot == kAbsent) return nullptr;
+    move_to_front(slot);
+    return &slots_[static_cast<std::size_t>(slot)].payload;
+  }
+
+  /// Insert `id` (must be absent) at the MRU end.
+  void push_front(std::uint64_t id, Payload payload) {
+    std::int32_t slot;
+    if (free_ != kAbsent) {
+      slot = free_;
+      free_ = slots_[static_cast<std::size_t>(slot)].next;
+    } else {
+      MNEMO_ASSERT(slots_.size() <
+                   static_cast<std::size_t>(kAbsent));
+      slot = static_cast<std::int32_t>(slots_.size());
+      slots_.emplace_back();
+    }
+    Slot& s = slots_[static_cast<std::size_t>(slot)];
+    s.id = id;
+    s.payload = std::move(payload);
+    s.prev = kAbsent;
+    s.next = head_;
+    if (head_ != kAbsent) slots_[static_cast<std::size_t>(head_)].prev = slot;
+    head_ = slot;
+    if (tail_ == kAbsent) tail_ = slot;
+    set_slot_of(id, slot);
+    ++size_;
+  }
+
+  /// LRU-end entry; requires a non-empty LRU.
+  [[nodiscard]] std::uint64_t back_id() const {
+    MNEMO_EXPECTS(tail_ != kAbsent);
+    return slots_[static_cast<std::size_t>(tail_)].id;
+  }
+  [[nodiscard]] const Payload& back() const {
+    MNEMO_EXPECTS(tail_ != kAbsent);
+    return slots_[static_cast<std::size_t>(tail_)].payload;
+  }
+
+  /// Drop the LRU-end entry (the eviction victim).
+  void pop_back() {
+    MNEMO_EXPECTS(tail_ != kAbsent);
+    erase_slot(tail_);
+  }
+
+  /// Drop `id` if present; returns whether it was.
+  bool erase(std::uint64_t id) {
+    const std::int32_t slot = slot_of(id);
+    if (slot == kAbsent) return false;
+    erase_slot(slot);
+    return true;
+  }
+
+  void clear() {
+    // Keep the grown capacity (dense table + slot pool) so a clear between
+    // measurement phases does not re-trigger warm-up allocations.
+    for (std::size_t i = 0; i < dense_.size(); ++i) dense_[i] = kAbsent;
+    overflow_.clear();
+    slots_.clear();
+    head_ = tail_ = free_ = kAbsent;
+    size_ = 0;
+  }
+
+ private:
+  static constexpr std::int32_t kAbsent = -1;
+
+  struct Slot {
+    std::uint64_t id = 0;
+    std::int32_t prev = kAbsent;
+    std::int32_t next = kAbsent;
+    Payload payload{};
+  };
+
+  [[nodiscard]] std::int32_t slot_of(std::uint64_t id) const {
+    if (id < dense_.size()) return dense_[static_cast<std::size_t>(id)];
+    if (id < kAutoDenseCap) return kAbsent;  // dense region not grown yet
+    const auto it = overflow_.find(id);
+    return it == overflow_.end() ? kAbsent : it->second;
+  }
+
+  void set_slot_of(std::uint64_t id, std::int32_t slot) {
+    if (id < kAutoDenseCap) {
+      if (id >= dense_.size()) {
+        std::size_t grown = dense_.empty() ? 64 : dense_.size() * 2;
+        while (grown <= id) grown *= 2;
+        if (grown > kAutoDenseCap) {
+          grown = static_cast<std::size_t>(kAutoDenseCap);
+        }
+        dense_.resize(grown, kAbsent);
+      }
+      dense_[static_cast<std::size_t>(id)] = slot;
+      return;
+    }
+    overflow_[id] = slot;
+  }
+
+  void clear_slot_of(std::uint64_t id) {
+    if (id < kAutoDenseCap) {
+      dense_[static_cast<std::size_t>(id)] = kAbsent;
+      return;
+    }
+    overflow_.erase(id);
+  }
+
+  void unlink(std::int32_t slot) {
+    Slot& s = slots_[static_cast<std::size_t>(slot)];
+    if (s.prev != kAbsent) {
+      slots_[static_cast<std::size_t>(s.prev)].next = s.next;
+    } else {
+      head_ = s.next;
+    }
+    if (s.next != kAbsent) {
+      slots_[static_cast<std::size_t>(s.next)].prev = s.prev;
+    } else {
+      tail_ = s.prev;
+    }
+  }
+
+  void move_to_front(std::int32_t slot) {
+    if (slot == head_) return;
+    unlink(slot);
+    Slot& s = slots_[static_cast<std::size_t>(slot)];
+    s.prev = kAbsent;
+    s.next = head_;
+    slots_[static_cast<std::size_t>(head_)].prev = slot;
+    head_ = slot;
+    if (tail_ == kAbsent) tail_ = slot;
+  }
+
+  void erase_slot(std::int32_t slot) {
+    unlink(slot);
+    Slot& s = slots_[static_cast<std::size_t>(slot)];
+    clear_slot_of(s.id);
+    s.next = free_;
+    free_ = slot;
+    --size_;
+  }
+
+  std::vector<Slot> slots_;                         ///< entry pool
+  std::vector<std::int32_t> dense_;                 ///< id → slot, -1 absent
+  std::unordered_map<std::uint64_t, std::int32_t> overflow_;
+  std::int32_t head_ = kAbsent;  ///< MRU end
+  std::int32_t tail_ = kAbsent;  ///< LRU end (eviction victim)
+  std::int32_t free_ = kAbsent;  ///< slot free list, threaded via next
+  std::size_t size_ = 0;
+};
+
+}  // namespace mnemo::util

@@ -79,6 +79,67 @@ TEST(Llc, UsedNeverExceedsCapacity) {
   }
 }
 
+TEST(Llc, HitPathGrowthEvictsDownToCapacity) {
+  // Regression: an in-place growth served from the cache used to leave
+  // used_ above capacity_ because the hit path never ran eviction. The
+  // grown entry is MRU, so the victims must be the colder entries.
+  LlcModel llc = make_llc(1000);
+  EXPECT_FALSE(llc.access(1, 300));
+  EXPECT_FALSE(llc.access(2, 300));
+  EXPECT_FALSE(llc.access(3, 300));
+  EXPECT_EQ(llc.used(), 900u);
+  EXPECT_TRUE(llc.access(1, 500));  // grows 300 → 500: 1100 > capacity
+  EXPECT_LE(llc.used(), llc.capacity());
+  EXPECT_TRUE(llc.resident(1)) << "the touched entry survives";
+  EXPECT_FALSE(llc.resident(2)) << "the LRU victim goes first";
+  EXPECT_TRUE(llc.resident(3));
+  EXPECT_EQ(llc.used(), 800u);
+  EXPECT_EQ(llc.evictions(), 1u);
+}
+
+TEST(Llc, HitPathGrowthBeyondCapacityDropsTheEntryItself) {
+  // 500 is cacheable (= bypass threshold) but a growth to 1200 exceeds
+  // total capacity: everything else is evicted first, then the grown
+  // entry is dropped too. The access still counts as a hit — the data
+  // was served before the growth took effect.
+  LlcModel llc = make_llc(1000);
+  EXPECT_FALSE(llc.access(1, 200));
+  EXPECT_FALSE(llc.access(2, 500));
+  EXPECT_TRUE(llc.access(2, 1200));
+  EXPECT_FALSE(llc.resident(2));
+  EXPECT_FALSE(llc.resident(1));
+  EXPECT_EQ(llc.used(), 0u);
+  EXPECT_EQ(llc.hits(), 1u);
+  EXPECT_EQ(llc.evictions(), 2u);
+}
+
+TEST(Llc, EvictionCounterTracksCapacityPressureOnly) {
+  LlcModel llc = make_llc(1000);
+  llc.access(1, 400);
+  llc.access(2, 400);
+  llc.access(3, 400);  // evicts 1
+  EXPECT_EQ(llc.evictions(), 1u);
+  llc.invalidate(2);  // not an eviction
+  EXPECT_EQ(llc.evictions(), 1u);
+  llc.clear();
+  EXPECT_EQ(llc.evictions(), 0u);
+}
+
+TEST(Llc, ReservePreservesBehaviour) {
+  LlcModel reserved = make_llc(1000);
+  reserved.reserve(64);
+  LlcModel plain = make_llc(1000);
+  for (int round = 0; round < 4; ++round) {
+    for (std::uint64_t id = 0; id < 8; ++id) {
+      const std::uint64_t bytes = 100 + 37 * ((id + round) % 5);
+      ASSERT_EQ(reserved.access(id, bytes), plain.access(id, bytes));
+      ASSERT_EQ(reserved.used(), plain.used());
+    }
+  }
+  EXPECT_EQ(reserved.hits(), plain.hits());
+  EXPECT_EQ(reserved.evictions(), plain.evictions());
+}
+
 TEST(Llc, WorkingSetLargerThanCacheThrashes) {
   LlcModel llc = make_llc(1000);
   // Cycle over 5 objects of 400 bytes: only 2 fit, LRU order guarantees
