@@ -1,0 +1,251 @@
+// Session-pipeline microbenchmark: what the content-addressed artifact
+// cache is worth in wall-clock terms. Three phases, each a fresh
+// core::Session against the same workload:
+//
+//   cold     empty cache directory — the full campaign grid runs
+//   warm     same cache directory — every stage loads, zero replays
+//   requery  warm grid, new SLO each repeat — advise/report only
+//
+// Results go to BENCH_pipeline.json in a stable schema
+// ("mnemo.bench.pipeline/v1") that future PRs diff against. The smoke
+// mode also asserts the cache contract: warm sessions execute zero
+// campaign cells and reproduce the cold report byte for byte.
+//
+//   ./micro_pipeline               full run, writes BENCH_pipeline.json
+//   ./micro_pipeline --smoke       tiny workload + schema self-check (CI)
+//   ./micro_pipeline --out FILE    alternate output path
+//   ./micro_pipeline --repeats N   timing repeats per phase (min/median)
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/session.hpp"
+#include "util/argparse.hpp"
+#include "util/timer.hpp"
+#include "workload/trace.hpp"
+#include "workload/workload_spec.hpp"
+
+namespace {
+
+using namespace mnemo;
+
+struct PhaseResult {
+  double min_s = 0.0;
+  double median_s = 0.0;
+  std::size_t campaign_cells = 0;  ///< per repeat (identical across them)
+};
+
+double median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  const std::size_t n = v.size();
+  return n % 2 == 1 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
+}
+
+PhaseResult reduce(const std::vector<double>& seconds, std::size_t cells) {
+  PhaseResult r;
+  r.min_s = *std::min_element(seconds.begin(), seconds.end());
+  r.median_s = median(seconds);
+  r.campaign_cells = cells;
+  return r;
+}
+
+workload::Trace make_trace(bool smoke) {
+  workload::WorkloadSpec spec;
+  spec.name = smoke ? "pipeline_smoke" : "pipeline";
+  spec.distribution = workload::DistributionKind::kZipfian;
+  spec.dist_params.zipf_theta = 0.9;
+  spec.read_fraction = 0.9;
+  spec.record_size = workload::RecordSizeType::kPreviewMix;
+  spec.key_count = smoke ? 200 : 2'000;
+  spec.request_count = smoke ? 2'000 : 50'000;
+  spec.seed = 0x5eed;
+  return workload::Trace::generate(spec);
+}
+
+core::SessionConfig make_config(const std::string& cache_dir) {
+  core::SessionConfig sc;
+  sc.mnemo.repeats = 2;
+  sc.cache_dir = cache_dir;
+  return sc;
+}
+
+void write_json(const std::string& path, const workload::Trace& trace,
+                bool smoke, int repeats, const PhaseResult& cold,
+                const PhaseResult& warm, const PhaseResult& requery) {
+  std::ostringstream out;
+  char buf[64];
+  const auto phase = [&](const char* name, const PhaseResult& r,
+                         const char* tail) {
+    std::snprintf(buf, sizeof buf, "%.6f", r.min_s);
+    out << "    \"" << name << "\": {\"min_s\": " << buf;
+    std::snprintf(buf, sizeof buf, "%.6f", r.median_s);
+    out << ", \"median_s\": " << buf
+        << ", \"campaign_cells\": " << r.campaign_cells << "}" << tail
+        << "\n";
+  };
+  out << "{\n";
+  out << "  \"schema\": \"mnemo.bench.pipeline/v1\",\n";
+  out << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n";
+  out << "  \"repeats\": " << repeats << ",\n";
+  out << "  \"workload\": {\"name\": \"" << trace.name()
+      << "\", \"key_count\": " << trace.key_count()
+      << ", \"request_count\": " << trace.requests().size() << "},\n";
+  out << "  \"results\": {\n";
+  phase("cold", cold, ",");
+  phase("warm", warm, ",");
+  phase("requery", requery, ",");
+  std::snprintf(buf, sizeof buf, "%.1f",
+                warm.median_s > 0.0 ? cold.median_s / warm.median_s : 0.0);
+  out << "    \"warm_speedup_median\": " << buf << "\n";
+  out << "  }\n";
+  out << "}\n";
+
+  std::ofstream file(path);
+  file << out.str();
+  if (!file.good()) {
+    std::fprintf(stderr, "micro_pipeline: cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+}
+
+/// Schema self-check for --smoke: the stable keys are present and the
+/// braces balance (not a full parser, just enough to catch a malformed
+/// writer before a CI consumer does).
+bool validate_json(const std::string& path) {
+  std::ifstream file(path);
+  std::stringstream ss;
+  ss << file.rdbuf();
+  const std::string text = ss.str();
+  if (text.empty()) return false;
+  for (const char* key :
+       {"\"schema\": \"mnemo.bench.pipeline/v1\"", "\"repeats\"",
+        "\"workload\"", "\"results\"", "\"cold\"", "\"warm\"",
+        "\"requery\"", "\"campaign_cells\"", "\"warm_speedup_median\""}) {
+    if (text.find(key) == std::string::npos) {
+      std::fprintf(stderr, "micro_pipeline: missing key %s\n", key);
+      return false;
+    }
+  }
+  long depth = 0;
+  for (const char ch : text) {
+    if (ch == '{') ++depth;
+    if (ch == '}') --depth;
+    if (depth < 0) return false;
+  }
+  return depth == 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::ArgParser parser("micro_pipeline",
+                         "cold vs warm session latency microbenchmark");
+  parser.add_flag("smoke", "tiny workload + schema self-check (CI)");
+  parser.add_option("out", "output JSON path", "BENCH_pipeline.json");
+  parser.add_option("repeats", "timing repeats per phase", "");
+  std::vector<std::string> args(argv + 1, argv + argc);
+  std::string error;
+  if (!parser.parse(args, &error)) {
+    std::fprintf(stderr, "%s\n%s", error.c_str(), parser.help().c_str());
+    return 2;
+  }
+  const bool smoke = parser.has_flag("smoke");
+  const int repeats = parser.get("repeats").empty()
+                          ? (smoke ? 2 : 5)
+                          : static_cast<int>(parser.get_u64("repeats"));
+  const std::string out = parser.get("out");
+
+  const workload::Trace trace = make_trace(smoke);
+  namespace fs = std::filesystem;
+  const fs::path cache =
+      fs::temp_directory_path() /
+      ("mnemo_bench_pipeline_" + std::to_string(::getpid()));
+  fs::remove_all(cache);
+
+  std::printf(
+      "== micro_pipeline: %s, %llu keys, %zu requests, %d repeats ==\n",
+      trace.name().c_str(),
+      static_cast<unsigned long long>(trace.key_count()),
+      trace.requests().size(), repeats);
+
+  // Cold: every repeat starts from an empty cache directory.
+  std::vector<double> cold_s;
+  std::size_t cold_cells = 0;
+  std::string cold_text;
+  for (int r = 0; r < repeats; ++r) {
+    fs::remove_all(cache);
+    core::Session session(trace, make_config(cache.string()));
+    util::WallTimer timer;
+    cold_text = session.report().text;
+    cold_s.push_back(timer.elapsed_s());
+    cold_cells = session.campaign_cells_run();
+  }
+
+  // Warm: fresh sessions over the cache the last cold repeat filled.
+  std::vector<double> warm_s;
+  std::size_t warm_cells = 0;
+  std::string warm_text;
+  for (int r = 0; r < repeats; ++r) {
+    core::Session session(trace, make_config(cache.string()));
+    util::WallTimer timer;
+    warm_text = session.report().text;
+    warm_s.push_back(timer.elapsed_s());
+    warm_cells = session.campaign_cells_run();
+  }
+
+  // Requery: one warm session answering a different SLO per repeat — the
+  // incremental-rerun path (estimate/advise/report only, never the grid).
+  std::vector<double> requery_s;
+  std::size_t requery_cells = 0;
+  {
+    core::Session session(trace, make_config(cache.string()));
+    for (int r = 0; r < repeats; ++r) {
+      session.set_slo(0.05 + 0.01 * r);
+      util::WallTimer timer;
+      (void)session.report().text;
+      requery_s.push_back(timer.elapsed_s());
+    }
+    requery_cells = session.campaign_cells_run();
+  }
+  fs::remove_all(cache);
+
+  const PhaseResult cold = reduce(cold_s, cold_cells);
+  const PhaseResult warm = reduce(warm_s, warm_cells);
+  const PhaseResult requery = reduce(requery_s, requery_cells);
+  std::printf("cold    %10.3f ms (min %10.3f)  %zu campaign cells\n",
+              cold.median_s * 1e3, cold.min_s * 1e3, cold.campaign_cells);
+  std::printf("warm    %10.3f ms (min %10.3f)  %zu campaign cells\n",
+              warm.median_s * 1e3, warm.min_s * 1e3, warm.campaign_cells);
+  std::printf("requery %10.3f ms (min %10.3f)  %zu campaign cells\n",
+              requery.median_s * 1e3, requery.min_s * 1e3,
+              requery.campaign_cells);
+
+  write_json(out, trace, smoke, repeats, cold, warm, requery);
+  std::printf("wrote %s\n", out.c_str());
+
+  if (smoke) {
+    if (warm.campaign_cells != 0 || requery.campaign_cells != 0) {
+      std::fprintf(stderr,
+                   "micro_pipeline: warm session replayed the emulator\n");
+      return 1;
+    }
+    if (warm_text != cold_text) {
+      std::fprintf(stderr,
+                   "micro_pipeline: warm report differs from cold\n");
+      return 1;
+    }
+    if (!validate_json(out)) {
+      std::fprintf(stderr, "micro_pipeline: schema validation FAILED\n");
+      return 1;
+    }
+    std::printf("schema ok\n");
+  }
+  return 0;
+}

@@ -1,18 +1,19 @@
-// Quickstart: profile one workload with Mnemo end to end.
+// Quickstart: profile one workload through the staged pipeline.
 //
 // 1. Describe (or generate) a workload: key sequence + request types +
 //    record sizes. Here: the paper's "Trending" workload — hotspot reads
 //    of ~100 KB thumbnails.
-// 2. Run Mnemo. It measures the FastMem-only and SlowMem-only baselines by
-//    actually executing the workload on the emulated hybrid-memory
-//    platform, then analytically estimates the full cost/performance
-//    tradeoff curve at key granularity.
+// 2. Open a core::Session — the consultant as an explicit pipeline:
+//    characterize -> measure -> estimate -> advise -> report. Each stage
+//    is lazy: asking for the report pulls exactly what it needs, and the
+//    measure stage is the only one that touches the emulator.
 // 3. Pick the sweet spot: the cheapest configuration within a 10%
-//    slowdown SLO, and write the paper's 3-column CSV artifact.
+//    slowdown SLO, write the paper's 3-column CSV artifact — then ask a
+//    second SLO question against the same measured grid for free.
 
 #include <cstdio>
 
-#include "core/mnemo.hpp"
+#include "core/session.hpp"
 #include "util/bytes.hpp"
 #include "util/table.hpp"
 #include "workload/suite.hpp"
@@ -30,44 +31,53 @@ int main() {
               trace.requests().size(),
               util::format_bytes(trace.dataset_bytes()).c_str());
 
-  // -- 2. profile -------------------------------------------------------
-  core::MnemoConfig config;
-  config.store = kvstore::StoreKind::kVermilion;  // the Redis-like engine
-  config.repeats = 2;
-  core::Mnemo mnemo(config);
-  const core::MnemoReport report = mnemo.profile(trace);
+  // -- 2. the pipeline session -----------------------------------------
+  // Passing a cache_dir here would persist every stage to a
+  // content-addressed store, so the next process skips the emulator
+  // entirely (try `mnemo run --cache-dir .mnemo-cache`).
+  core::SessionConfig config;
+  config.mnemo.store = kvstore::StoreKind::kVermilion;  // Redis-like
+  config.mnemo.repeats = 2;
+  core::Session session(trace, config);
 
-  std::printf("\nbaselines (measured):\n");
+  const core::CharacterizeArtifact& shape = session.characterize();
+  std::printf("\ncharacterize: %zu keys ordered by %s\n",
+              shape.order.size(), core::to_string(shape.ordering).data());
+
+  const core::MeasureArtifact& grid = session.measure();
+  std::printf("measure: %zu campaign cells executed\n",
+              session.campaign_cells_run());
   std::printf("  FastMem-only: %.0f ops/s, avg %.1f us\n",
-              report.baselines.fast.throughput_ops,
-              report.baselines.fast.avg_latency_ns / 1e3);
+              grid.baselines.fast.throughput_ops,
+              grid.baselines.fast.avg_latency_ns / 1e3);
   std::printf("  SlowMem-only: %.0f ops/s, avg %.1f us\n",
-              report.baselines.slow.throughput_ops,
-              report.baselines.slow.avg_latency_ns / 1e3);
+              grid.baselines.slow.throughput_ops,
+              grid.baselines.slow.avg_latency_ns / 1e3);
   std::printf("  sensitivity: +%.1f%% throughput from FastMem\n",
-              report.baselines.sensitivity() * 100.0);
+              grid.baselines.sensitivity() * 100.0);
 
   // -- 3. the tradeoff curve and the sweet spot ------------------------
+  const core::EstimateCurve& curve = session.estimate().curve;
   util::TablePrinter table({"FastMem keys", "FastMem bytes", "cost R(p)",
                             "est. ops/s", "vs FastMem-only"});
   for (const double frac : {0.0, 0.1, 0.2, 0.35, 0.5, 0.75, 1.0}) {
     const auto idx = static_cast<std::size_t>(
-        frac * static_cast<double>(report.curve.points.size() - 1));
-    const core::EstimatePoint& p = report.curve.points[idx];
+        frac * static_cast<double>(curve.points.size() - 1));
+    const core::EstimatePoint& p = curve.points[idx];
     table.add_row({std::to_string(p.fast_keys),
                    util::format_bytes(p.fast_bytes),
                    util::TablePrinter::num(p.cost_factor, 3),
                    util::TablePrinter::num(p.est_throughput_ops, 0),
                    util::TablePrinter::pct(p.est_throughput_ops /
-                                               report.baselines.fast
+                                               grid.baselines.fast
                                                    .throughput_ops -
                                            1.0)});
   }
   std::printf("\nestimate curve (excerpt):\n");
   table.print();
 
-  if (report.slo_choice) {
-    const core::SloChoice& c = *report.slo_choice;
+  if (session.advise().result.choice) {
+    const core::SloChoice& c = *session.advise().result.choice;
     std::printf(
         "\nsweet spot @ 10%% SLO: %zu keys in FastMem -> memory cost %.0f%% "
         "of FastMem-only (%.0f%% savings), slowdown %.1f%%\n",
@@ -75,7 +85,22 @@ int main() {
         c.slowdown_vs_fast * 100.0);
   }
 
+  core::MnemoReport report = session.to_report();
   report.write_csv("mnemo_trending.csv");
   std::printf("\nwrote mnemo_trending.csv (key id, est throughput, cost)\n");
+
+  // -- 4. a second question, for free ----------------------------------
+  // Tightening the SLO drops only the advise/report memos; the measured
+  // grid is reused in place — zero additional emulator replays.
+  const std::size_t cells_before = session.campaign_cells_run();
+  session.set_slo(0.05);
+  if (session.advise().result.choice) {
+    std::printf(
+        "re-advise @ 5%% SLO: %zu keys in FastMem (cost %.0f%%), "
+        "%zu extra campaign cells\n",
+        session.advise().result.choice->point.fast_keys,
+        session.advise().result.choice->cost_factor * 100.0,
+        session.campaign_cells_run() - cells_before);
+  }
   return 0;
 }

@@ -4,591 +4,15 @@
 #include <functional>
 #include <map>
 
-#include "core/campaign.hpp"
-#include "core/migration.hpp"
-#include "core/mnemo.hpp"
-#include "core/tail_estimator.hpp"
-#include "faultinject/fault_plan.hpp"
-#include "kvstore/factory.hpp"
+#include "cli/commands.hpp"
 #include "util/argparse.hpp"
-#include "util/bytes.hpp"
 #include "util/status.hpp"
-#include "util/table.hpp"
-#include "workload/characterize.hpp"
-#include "workload/downsample.hpp"
-#include "workload/spec_file.hpp"
-#include "workload/suite.hpp"
 
+/// Dispatcher only: each subcommand lives in its own cmd_*.cpp (see
+/// commands.hpp for the grouping); shared option plumbing in
+/// cli_common.cpp. This file owns command lookup, "did you mean"
+/// suggestions and the exit-code conventions.
 namespace mnemo::cli {
-
-namespace {
-
-kvstore::StoreKind parse_store(const std::string& name) {
-  for (const kvstore::StoreKind kind : kvstore::kAllStoreKinds) {
-    if (name == kvstore::to_string(kind)) return kind;
-  }
-  throw std::invalid_argument(
-      "--store: expected vermilion, cachet or dynastore, got " + name);
-}
-
-core::EstimateModel parse_model(const std::string& name) {
-  if (name == "uniform") return core::EstimateModel::kUniformDelta;
-  if (name == "size-aware") return core::EstimateModel::kSizeAware;
-  throw std::invalid_argument(
-      "--model: expected uniform or size-aware, got " + name);
-}
-
-/// Shared workload-source options: either --trace file.csv or --workload
-/// plus optional overrides.
-void add_workload_options(util::ArgParser& parser) {
-  parser.add_option("trace", "load the workload from a trace CSV", "");
-  parser.add_option("spec", "load the workload from a spec file "
-                            "(see `spec` command for a template)",
-                    "");
-  parser.add_option("workload",
-                    "built-in Table III workload name (see `workloads`)",
-                    "trending");
-  parser.add_option("keys", "override key count", "0");
-  parser.add_option("requests", "override request count", "0");
-  parser.add_option("seed", "workload seed", "0");
-}
-
-workload::Trace load_workload(const util::ArgParser& parser) {
-  if (!parser.get("trace").empty()) {
-    return workload::Trace::load_csv(parser.get("trace"));
-  }
-  workload::WorkloadSpec spec =
-      parser.get("spec").empty()
-          ? workload::paper_workload(parser.get("workload"))
-          : workload::load_spec_file(parser.get("spec"));
-  if (parser.get_u64("keys") > 0) spec.key_count = parser.get_u64("keys");
-  if (parser.get_u64("requests") > 0) {
-    spec.request_count = parser.get_u64("requests");
-  }
-  if (parser.get_u64("seed") > 0) spec.seed = parser.get_u64("seed");
-  return workload::Trace::generate(spec);
-}
-
-void add_mnemo_options(util::ArgParser& parser) {
-  parser.add_option("store", "store architecture: vermilion (Redis-like), "
-                             "cachet (Memcached-like), dynastore "
-                             "(DynamoDB-like)",
-                    "vermilion");
-  parser.add_flag("tiered", "use MnemoT's accesses/size key ordering");
-  parser.add_option("model", "estimate model: uniform | size-aware",
-                    "size-aware");
-  parser.add_option("p", "SlowMem price factor (cost floor)", "0.2");
-  parser.add_option("slo", "permissible slowdown vs FastMem-only", "0.1");
-  parser.add_option("repeats", "runs per measurement", "2");
-  parser.add_option("threads",
-                    "measurement-campaign worker threads (0 = hardware; "
-                    "results are identical at any count)",
-                    "0");
-  parser.add_flag("stats",
-                  "print campaign timing/occupancy stats after the run");
-}
-
-core::MnemoConfig mnemo_config(const util::ArgParser& parser) {
-  core::MnemoConfig cfg;
-  cfg.store = parse_store(parser.get("store"));
-  cfg.ordering = parser.has_flag("tiered") ? core::OrderingPolicy::kTiered
-                                           : core::OrderingPolicy::kTouchOrder;
-  cfg.estimate_model = parse_model(parser.get("model"));
-  cfg.price_factor = parser.get_double("p");
-  cfg.slo_slowdown = parser.get_double("slo");
-  cfg.repeats = static_cast<int>(parser.get_u64("repeats"));
-  cfg.threads = static_cast<std::size_t>(parser.get_u64("threads"));
-  return cfg;
-}
-
-/// Fault-injection options — only `profile` and `plan` take them, so the
-/// other commands keep rejecting the flags with their usage text.
-void add_fault_options(util::ArgParser& parser) {
-  parser.add_option("faults",
-                    "deterministic fault plan, comma-separated key=value "
-                    "(keys: seed, transient, retries, retry_cost, recover, "
-                    "poison, remap_cost, bw_period, bw_window, bw_factor)",
-                    "");
-  parser.add_option("fail-policy",
-                    "quarantined-cell handling: degrade (complete with "
-                    "partial results) | abort (exit nonzero)",
-                    "degrade");
-}
-
-void apply_fault_options(const util::ArgParser& parser,
-                         core::MnemoConfig& cfg) {
-  if (!parser.get("faults").empty()) {
-    cfg.faults = faultinject::FaultPlan::parse(parser.get("faults"));
-  }
-  cfg.fail_policy =
-      faultinject::parse_fail_policy(parser.get("fail-policy"));
-}
-
-/// Banner printed only when a fault plan is armed, so fault-free output
-/// stays byte-identical to the healthy tool's.
-void print_fault_banner(const core::MnemoConfig& cfg, std::ostream& out) {
-  if (cfg.faults.empty()) return;
-  out << "faults: " << cfg.faults.summary() << " | policy "
-      << faultinject::to_string(cfg.fail_policy) << "\n";
-}
-
-/// Append the process-wide campaign accounting when --stats was given.
-void maybe_print_campaign_stats(const util::ArgParser& parser,
-                                std::ostream& out) {
-  if (!parser.has_flag("stats")) return;
-  out << "\n" << core::campaign_totals().render("campaign totals");
-}
-
-// ------------------------------------------------------------- commands
-
-int cmd_workloads(const std::vector<std::string>&, std::ostream& out,
-                  std::ostream&) {
-  util::TablePrinter table({"name", "distribution", "ratio", "record size",
-                            "use case"});
-  for (const auto& spec : workload::paper_suite()) {
-    table.add_row({spec.name, std::string(to_string(spec.distribution)),
-                   spec.ratio_label(),
-                   std::string(to_string(spec.record_size)), spec.use_case});
-  }
-  out << table.render();
-  out << "\nall workloads: 10,000 keys and 100,000 requests (Table III).\n";
-  return 0;
-}
-
-int cmd_generate(const std::vector<std::string>& args, std::ostream& out,
-                 std::ostream& err) {
-  util::ArgParser parser("mnemo generate", "materialize a workload trace");
-  add_workload_options(parser);
-  parser.add_option("out", "output trace CSV path", "trace.csv");
-  std::string error;
-  if (!parser.parse(args, &error)) {
-    err << error << "\n" << parser.help();
-    return 2;
-  }
-  const workload::Trace trace = load_workload(parser);
-  trace.save_csv(parser.get("out"));
-  out << "wrote " << parser.get("out") << ": " << trace.requests().size()
-      << " requests over " << trace.key_count() << " keys ("
-      << util::format_bytes(trace.dataset_bytes()) << " dataset)\n";
-  return 0;
-}
-
-int cmd_profile(const std::vector<std::string>& args, std::ostream& out,
-                std::ostream& err) {
-  util::ArgParser parser("mnemo profile",
-                         "profile a workload and emit sizing advice");
-  add_workload_options(parser);
-  add_mnemo_options(parser);
-  add_fault_options(parser);
-  parser.add_option("out", "advice CSV path (key id, est throughput, cost)",
-                    "");
-  std::string error;
-  if (!parser.parse(args, &error)) {
-    err << error << "\n" << parser.help();
-    return 2;
-  }
-  const workload::Trace trace = load_workload(parser);
-  core::MnemoConfig cfg = mnemo_config(parser);
-  apply_fault_options(parser, cfg);
-  const core::Mnemo mnemo(cfg);
-  print_fault_banner(cfg, out);
-  const core::MnemoReport report = mnemo.profile(trace);
-
-  out << "workload: " << trace.name() << " on "
-      << kvstore::to_string(cfg.store) << " (" << to_string(report.ordering)
-      << " ordering, " << to_string(cfg.estimate_model) << " model)\n";
-  char line[160];
-  if (report.degraded) {
-    out << "baselines quarantined: no estimate (see failure ledger)\n";
-  } else {
-    std::snprintf(line, sizeof line,
-                  "baselines: FastMem-only %.0f ops/s | SlowMem-only %.0f "
-                  "ops/s | sensitivity +%.1f%%\n",
-                  report.baselines.fast.throughput_ops,
-                  report.baselines.slow.throughput_ops,
-                  report.baselines.sensitivity() * 100.0);
-    out << line;
-    if (report.slo_choice) {
-      const core::SloChoice& c = *report.slo_choice;
-      std::snprintf(line, sizeof line,
-                    "sweet spot @ %.0f%% SLO: %zu keys (%s) in FastMem -> "
-                    "memory cost %.0f%% of FastMem-only (%.0f%% savings)\n",
-                    cfg.slo_slowdown * 100.0, c.point.fast_keys,
-                    util::format_bytes(c.point.fast_bytes).c_str(),
-                    c.cost_factor * 100.0, c.savings_vs_fast * 100.0);
-      out << line;
-    } else {
-      out << "no configuration satisfies the SLO\n";
-    }
-    if (!parser.get("out").empty()) {
-      report.write_csv(parser.get("out"));
-      out << "wrote " << parser.get("out") << " ("
-          << report.curve.points.size() - 1 << " rows)\n";
-    }
-  }
-  if (report.partial()) {
-    out << "\npartial results: " << report.cell_failures.size()
-        << " campaign cell(s) quarantined\n"
-        << core::render_failure_ledger(report.cell_failures);
-  } else if (!cfg.faults.empty()) {
-    out << "no campaign cells quarantined\n";
-  }
-  maybe_print_campaign_stats(parser, out);
-  if (report.partial() &&
-      cfg.fail_policy == faultinject::FailPolicy::kAbort) {
-    const core::CellFailure& f = report.cell_failures.front();
-    err << "fault policy abort: cell #" << f.cell << " (fast keys "
-        << f.fast_keys << ", repeat " << f.repeat
-        << ") quarantined: " << f.error.to_string() << "\n";
-    return 1;
-  }
-  return 0;
-}
-
-int cmd_plan(const std::vector<std::string>& args, std::ostream& out,
-             std::ostream& err) {
-  util::ArgParser parser("mnemo plan",
-                         "capacity plan for the Table III suite");
-  add_mnemo_options(parser);
-  add_fault_options(parser);
-  std::string error;
-  if (!parser.parse(args, &error)) {
-    err << error << "\n" << parser.help();
-    return 2;
-  }
-  core::MnemoConfig cfg = mnemo_config(parser);
-  apply_fault_options(parser, cfg);
-  const core::Mnemo mnemo(cfg);
-  print_fault_banner(cfg, out);
-  util::TablePrinter table(
-      {"workload", "DRAM", "NVM", "cost vs DRAM-only", "slowdown"});
-  std::vector<core::CellFailure> all_failures;
-  std::string first_failed_workload;
-  for (const auto& spec : workload::paper_suite()) {
-    const workload::Trace trace = workload::Trace::generate(spec);
-    const core::MnemoReport report = mnemo.profile(trace);
-    if (report.partial()) {
-      if (all_failures.empty()) first_failed_workload = spec.name;
-      all_failures.insert(all_failures.end(), report.cell_failures.begin(),
-                          report.cell_failures.end());
-    }
-    if (report.degraded) {
-      table.add_row({spec.name, "-", "-", "quarantined", "-"});
-      continue;
-    }
-    if (!report.slo_choice) {
-      table.add_row({spec.name, "-", "-", "SLO unreachable", "-"});
-      continue;
-    }
-    const core::SloChoice& c = *report.slo_choice;
-    table.add_row(
-        {spec.name, util::format_bytes(c.point.fast_bytes),
-         util::format_bytes(trace.dataset_bytes() - c.point.fast_bytes),
-         util::TablePrinter::pct(c.cost_factor, 0),
-         util::TablePrinter::pct(c.slowdown_vs_fast, 1)});
-  }
-  out << table.render();
-  if (!cfg.faults.empty()) {
-    if (!all_failures.empty()) {
-      out << "\npartial results: " << all_failures.size()
-          << " campaign cell(s) quarantined\n"
-          << core::render_failure_ledger(all_failures);
-    } else {
-      out << "\nno campaign cells quarantined\n";
-    }
-  }
-  maybe_print_campaign_stats(parser, out);
-  if (!all_failures.empty() &&
-      cfg.fail_policy == faultinject::FailPolicy::kAbort) {
-    const core::CellFailure& f = all_failures.front();
-    err << "fault policy abort: workload " << first_failed_workload
-        << " cell #" << f.cell << " (fast keys " << f.fast_keys
-        << ", repeat " << f.repeat
-        << ") quarantined: " << f.error.to_string() << "\n";
-    return 1;
-  }
-  return 0;
-}
-
-int cmd_downsample(const std::vector<std::string>& args, std::ostream& out,
-                   std::ostream& err) {
-  util::ArgParser parser("mnemo downsample",
-                         "shrink a trace, preserving its distribution");
-  add_workload_options(parser);
-  parser.add_option("keep", "fraction of requests to keep", "0.1");
-  parser.add_option("out", "output trace CSV path", "downsampled.csv");
-  std::string error;
-  if (!parser.parse(args, &error)) {
-    err << error << "\n" << parser.help();
-    return 2;
-  }
-  const workload::Trace trace = load_workload(parser);
-  const double keep = parser.get_double("keep");
-  if (keep <= 0.0 || keep > 1.0) {
-    err << "--keep must be in (0, 1]\n";
-    return 2;
-  }
-  const workload::Trace down =
-      workload::downsample(trace, keep, trace.key_count() ^ 0xd5);
-  down.save_csv(parser.get("out"));
-  char line[160];
-  std::snprintf(line, sizeof line,
-                "kept %zu of %zu requests; key-distribution distance %.4f\n",
-                down.requests().size(), trace.requests().size(),
-                workload::key_distribution_distance(trace, down));
-  out << line << "wrote " << parser.get("out") << "\n";
-  return 0;
-}
-
-int cmd_tails(const std::vector<std::string>& args, std::ostream& out,
-              std::ostream& err) {
-  util::ArgParser parser("mnemo tails",
-                         "mixture-model tail estimates along the curve");
-  add_workload_options(parser);
-  add_mnemo_options(parser);
-  std::string error;
-  if (!parser.parse(args, &error)) {
-    err << error << "\n" << parser.help();
-    return 2;
-  }
-  const workload::Trace trace = load_workload(parser);
-  const core::MnemoConfig cfg = mnemo_config(parser);
-  const core::Mnemo mnemo(cfg);
-  const core::MnemoReport report = mnemo.profile(trace);
-  util::TablePrinter table({"FastMem keys", "cost R(p)", "fast req share",
-                            "est p50 (us)", "est p95 (us)", "est p99 (us)"});
-  for (const double frac : {0.0, 0.25, 0.5, 0.75, 1.0}) {
-    const auto idx = static_cast<std::size_t>(
-        frac * static_cast<double>(report.curve.points.size() - 1));
-    const core::EstimatePoint& p = report.curve.points[idx];
-    const core::TailEstimate est = core::TailEstimator::estimate(
-        report.pattern, report.order, p.fast_keys, report.baselines);
-    table.add_row({std::to_string(p.fast_keys),
-                   util::TablePrinter::num(p.cost_factor, 3),
-                   util::TablePrinter::pct(est.fast_request_share, 1),
-                   util::TablePrinter::num(est.p50_ns / 1e3, 1),
-                   util::TablePrinter::num(est.p95_ns / 1e3, 1),
-                   util::TablePrinter::num(est.p99_ns / 1e3, 1)});
-  }
-  out << table.render();
-  out << "\ntails use the baseline-mixture extension (the paper reports "
-         "but does not estimate tails).\n";
-  maybe_print_campaign_stats(parser, out);
-  return 0;
-}
-
-int cmd_spec(const std::vector<std::string>& args, std::ostream& out,
-             std::ostream& err) {
-  util::ArgParser parser("mnemo spec",
-                         "print a workload spec file (template for "
-                         "custom workloads)");
-  parser.add_option("workload", "built-in workload to dump", "trending");
-  std::string error;
-  if (!parser.parse(args, &error)) {
-    err << error << "\n" << parser.help();
-    return 2;
-  }
-  out << workload::format_spec(
-      workload::paper_workload(parser.get("workload")));
-  return 0;
-}
-
-int cmd_compare(const std::vector<std::string>& args, std::ostream& out,
-                std::ostream& err) {
-  util::ArgParser parser("mnemo compare",
-                         "profile one workload across all three store "
-                         "architectures");
-  add_workload_options(parser);
-  add_mnemo_options(parser);
-  std::string error;
-  if (!parser.parse(args, &error)) {
-    err << error << "\n" << parser.help();
-    return 2;
-  }
-  const workload::Trace trace = load_workload(parser);
-  core::MnemoConfig cfg = mnemo_config(parser);
-  util::TablePrinter table({"store", "FastMem-only ops/s",
-                            "SlowMem-only ops/s", "sensitivity",
-                            "SLO cost R(p)", "savings"});
-  for (const kvstore::StoreKind kind : kvstore::kAllStoreKinds) {
-    cfg.store = kind;
-    const core::Mnemo mnemo(cfg);
-    const core::MnemoReport report = mnemo.profile(trace);
-    std::string cost = "-";
-    std::string savings = "-";
-    if (report.slo_choice) {
-      cost = util::TablePrinter::num(report.slo_choice->cost_factor, 3);
-      savings =
-          util::TablePrinter::pct(report.slo_choice->savings_vs_fast, 1);
-    }
-    table.add_row(
-        {std::string(kvstore::to_string(kind)),
-         util::TablePrinter::num(report.baselines.fast.throughput_ops, 0),
-         util::TablePrinter::num(report.baselines.slow.throughput_ops, 0),
-         util::TablePrinter::pct(report.baselines.sensitivity(), 1), cost,
-         savings});
-  }
-  out << "workload: " << trace.name() << "\n" << table.render();
-  maybe_print_campaign_stats(parser, out);
-  return 0;
-}
-
-int cmd_inspect(const std::vector<std::string>& args, std::ostream& out,
-                std::ostream& err) {
-  util::ArgParser parser("mnemo inspect",
-                         "characterize a workload: skew, reuse distances, "
-                         "cache-fit prediction");
-  add_workload_options(parser);
-  std::string error;
-  if (!parser.parse(args, &error)) {
-    err << error << "\n" << parser.help();
-    return 2;
-  }
-  const workload::Trace trace = load_workload(parser);
-  const workload::Characterization c = workload::characterize(trace);
-
-  util::TablePrinter table({"metric", "value"});
-  table.add_row({"keys", std::to_string(c.keys)});
-  table.add_row({"requests", std::to_string(c.requests)});
-  table.add_row({"dataset", util::format_bytes(c.dataset_bytes)});
-  table.add_row({"read fraction", util::TablePrinter::pct(c.read_fraction, 1)});
-  table.add_row(
-      {"insert fraction", util::TablePrinter::pct(c.insert_fraction, 1)});
-  table.add_row({"hot-10% share", util::TablePrinter::pct(c.hot10_share, 1)});
-  table.add_row({"hot-20% share", util::TablePrinter::pct(c.hot20_share, 1)});
-  table.add_row({"gini (popularity)", util::TablePrinter::num(c.gini, 3)});
-  table.add_row({"reuse distance p50",
-                 util::format_bytes(
-                     static_cast<std::uint64_t>(c.reuse_p50_bytes))});
-  table.add_row({"reuse distance p90",
-                 util::format_bytes(
-                     static_cast<std::uint64_t>(c.reuse_p90_bytes))});
-  table.add_row({"reuse distance p99",
-                 util::format_bytes(
-                     static_cast<std::uint64_t>(c.reuse_p99_bytes))});
-  table.add_row({"cold accesses", std::to_string(c.cold_accesses)});
-  const auto platform = hybridmem::paper_testbed();
-  const auto bypass = static_cast<std::uint64_t>(
-      platform.llc_bypass_fraction * static_cast<double>(platform.llc_bytes));
-  table.add_row(
-      {"predicted LLC hit rate (12 MiB)",
-       util::TablePrinter::pct(
-           c.predicted_hit_rate(platform.llc_bytes, bypass), 1)});
-  out << "workload: " << trace.name() << "\n" << table.render();
-  out << "\nreuse distances are byte-granular LRU stack distances; the "
-         "LLC prediction follows from them directly.\n";
-  return 0;
-}
-
-int cmd_migrate(const std::vector<std::string>& args, std::ostream& out,
-                std::ostream& err) {
-  util::ArgParser parser(
-      "mnemo migrate",
-      "dynamic re-tiering (MnemoDyn extension) vs static placement");
-  add_workload_options(parser);
-  parser.add_option("store", "store architecture", "vermilion");
-  parser.add_option("threads",
-                    "measurement-campaign worker threads (0 = hardware)",
-                    "0");
-  parser.add_option("budget", "FastMem budget as a dataset fraction", "0.3");
-  parser.add_option("epoch", "requests per re-tiering epoch", "2000");
-  parser.add_option("cap", "max migrated bytes per epoch (0 = unlimited)",
-                    "16777216");
-  parser.add_flag("background", "migrations do not stall the client");
-  parser.add_flag("reactive", "disable drift prediction");
-  std::string error;
-  if (!parser.parse(args, &error)) {
-    err << error << "\n" << parser.help();
-    return 2;
-  }
-  const workload::Trace trace = load_workload(parser);
-  const double budget = parser.get_double("budget");
-  if (budget <= 0.0 || budget > 1.0) {
-    err << "--budget must be in (0, 1]\n";
-    return 2;
-  }
-
-  core::SensitivityConfig sens;
-  sens.store = parse_store(parser.get("store"));
-  sens.repeats = 1;
-  sens.threads = static_cast<std::size_t>(parser.get_u64("threads"));
-  core::MigrationConfig mig;
-  mig.fast_budget_bytes = static_cast<std::uint64_t>(
-      budget * static_cast<double>(trace.dataset_bytes()));
-  mig.epoch_requests = parser.get_u64("epoch");
-  mig.migration_bytes_per_epoch = parser.get_u64("cap");
-  mig.foreground = !parser.has_flag("background");
-  mig.predictive = !parser.has_flag("reactive");
-
-  const core::DynamicTierer tierer(sens, mig);
-  const core::RunMeasurement oracle = tierer.run_static_oracle(trace);
-  const core::MigrationResult dynamic = tierer.run(trace);
-
-  util::TablePrinter table({"strategy", "throughput (ops/s)", "vs static",
-                            "keys moved", "migration (ms)"});
-  table.add_row({"static oracle (MnemoT advice)",
-                 util::TablePrinter::num(oracle.throughput_ops, 0), "0.0%",
-                 "0", "0"});
-  table.add_row(
-      {mig.predictive ? "dynamic (predictive)" : "dynamic (reactive)",
-       util::TablePrinter::num(dynamic.measurement.throughput_ops, 0),
-       util::TablePrinter::pct(
-           dynamic.measurement.throughput_ops / oracle.throughput_ops - 1.0,
-           1),
-       std::to_string(dynamic.migrations),
-       util::TablePrinter::num(dynamic.migration_ns / 1e6, 0)});
-  out << "workload: " << trace.name() << ", FastMem budget "
-      << util::format_bytes(mig.fast_budget_bytes) << "\n"
-      << table.render();
-  return 0;
-}
-
-int cmd_testbed(const std::vector<std::string>&, std::ostream& out,
-                std::ostream&) {
-  const auto p = hybridmem::paper_testbed();
-  util::TablePrinter table({"node", "latency (ns)", "bandwidth (GB/s)",
-                            "capacity"});
-  table.add_row({std::string(p.fast.name),
-                 util::TablePrinter::num(p.fast.latency_ns, 1),
-                 util::TablePrinter::num(p.fast.bandwidth_gbps, 2),
-                 util::format_bytes(p.fast.capacity_bytes)});
-  table.add_row({std::string(p.slow.name),
-                 util::TablePrinter::num(p.slow.latency_ns, 1),
-                 util::TablePrinter::num(p.slow.bandwidth_gbps, 2),
-                 util::format_bytes(p.slow.capacity_bytes)});
-  out << table.render();
-  char line[160];
-  std::snprintf(line, sizeof line,
-                "factors: B %.2fx bandwidth, L %.2fx latency; LLC %s\n",
-                p.bandwidth_factor(), p.latency_factor(),
-                util::format_bytes(p.llc_bytes).c_str());
-  out << line;
-  return 0;
-}
-
-int cmd_help(std::ostream& out) {
-  out << "mnemo — memory sizing & data tiering consultant for hybrid "
-         "memory systems\n\n"
-         "usage: mnemo <command> [options]\n\n"
-         "commands:\n"
-         "  workloads    list the built-in Table III workload suite\n"
-         "  generate     materialize a workload trace to CSV\n"
-         "  inspect      characterize a workload (skew, reuse, cache fit)\n"
-         "  profile      run Mnemo/MnemoT on a workload, emit the advice\n"
-         "  compare      profile one workload across all three stores\n"
-         "  plan         capacity plan for the whole suite at an SLO\n"
-         "  spec         print a workload spec-file template\n"
-         "  downsample   shrink a trace while preserving its distribution\n"
-         "  tails        mixture-model tail estimates along the curve\n"
-         "  migrate      dynamic re-tiering vs static placement\n"
-         "  testbed      show the emulated platform (Table I)\n"
-         "  help         this text\n\n"
-         "run `mnemo <command> --help` is not needed: invalid options "
-         "print the command's usage.\n";
-  return 0;
-}
-
-}  // namespace
 
 int run(const std::vector<std::string>& args, std::ostream& out,
         std::ostream& err) {
@@ -598,20 +22,38 @@ int run(const std::vector<std::string>& args, std::ostream& out,
   }
   const std::string& command = args.front();
   const std::vector<std::string> rest(args.begin() + 1, args.end());
-  using Handler = std::function<int(const std::vector<std::string>&,
-                                    std::ostream&, std::ostream&)>;
+  using Handler =
+      std::function<int(const Args&, std::ostream&, std::ostream&)>;
   const std::map<std::string, Handler> commands = {
-      {"workloads", cmd_workloads}, {"generate", cmd_generate},
-      {"profile", cmd_profile},     {"plan", cmd_plan},
-      {"downsample", cmd_downsample}, {"tails", cmd_tails},
-      {"testbed", cmd_testbed},     {"spec", cmd_spec},
-      {"compare", cmd_compare},     {"migrate", cmd_migrate},
+      {"workloads", cmd_workloads},
+      {"generate", cmd_generate},
+      {"spec", cmd_spec},
       {"inspect", cmd_inspect},
+      {"downsample", cmd_downsample},
+      {"profile", cmd_profile},
+      {"plan", cmd_plan},
+      {"compare", cmd_compare},
+      {"tails", cmd_tails},
+      {"run", cmd_run},
+      {"characterize", cmd_characterize},
+      {"measure", cmd_measure},
+      {"advise", cmd_advise},
+      {"report", cmd_report},
+      {"migrate", cmd_migrate},
+      {"testbed", cmd_testbed},
   };
   if (command == "help" || command == "--help") return cmd_help(out);
   const auto it = commands.find(command);
   if (it == commands.end()) {
-    err << "unknown command: " << command << "\n";
+    err << "unknown command: " << command;
+    std::vector<std::string> names;
+    names.reserve(commands.size());
+    for (const auto& [name, handler] : commands) names.push_back(name);
+    const std::string suggestion = util::closest_match(command, names);
+    if (!suggestion.empty()) {
+      err << " (did you mean " << suggestion << "?)";
+    }
+    err << "\n";
     cmd_help(err);
     return 2;
   }

@@ -1,0 +1,185 @@
+#include "cli/cli_common.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "core/campaign.hpp"
+#include "faultinject/fault_plan.hpp"
+#include "kvstore/factory.hpp"
+#include "workload/spec_file.hpp"
+#include "workload/suite.hpp"
+
+namespace mnemo::cli {
+
+kvstore::StoreKind parse_store(const std::string& name) {
+  for (const kvstore::StoreKind kind : kvstore::kAllStoreKinds) {
+    if (name == kvstore::to_string(kind)) return kind;
+  }
+  throw std::invalid_argument(
+      "--store: expected vermilion, cachet or dynastore, got " + name);
+}
+
+core::EstimateModel parse_model(const std::string& name) {
+  if (name == "uniform") return core::EstimateModel::kUniformDelta;
+  if (name == "size-aware") return core::EstimateModel::kSizeAware;
+  throw std::invalid_argument(
+      "--model: expected uniform or size-aware, got " + name);
+}
+
+void add_workload_options(util::ArgParser& parser) {
+  parser.add_option("trace", "load the workload from a trace CSV", "");
+  parser.add_option("spec", "load the workload from a spec file "
+                            "(see `spec` command for a template)",
+                    "");
+  parser.add_option("workload",
+                    "built-in Table III workload name (see `workloads`)",
+                    "trending");
+  parser.add_option("keys", "override key count", "0");
+  parser.add_option("requests", "override request count", "0");
+  parser.add_option("seed", "workload seed", "0");
+}
+
+workload::Trace load_workload(const util::ArgParser& parser) {
+  if (!parser.get("trace").empty()) {
+    return workload::Trace::load_csv(parser.get("trace"));
+  }
+  workload::WorkloadSpec spec =
+      parser.get("spec").empty()
+          ? workload::paper_workload(parser.get("workload"))
+          : workload::load_spec_file(parser.get("spec"));
+  if (parser.get_u64("keys") > 0) spec.key_count = parser.get_u64("keys");
+  if (parser.get_u64("requests") > 0) {
+    spec.request_count = parser.get_u64("requests");
+  }
+  if (parser.get_u64("seed") > 0) spec.seed = parser.get_u64("seed");
+  return workload::Trace::generate(spec);
+}
+
+void add_mnemo_options(util::ArgParser& parser) {
+  parser.add_option("store", "store architecture: vermilion (Redis-like), "
+                             "cachet (Memcached-like), dynastore "
+                             "(DynamoDB-like)",
+                    "vermilion");
+  parser.add_flag("tiered", "use MnemoT's accesses/size key ordering");
+  parser.add_option("model", "estimate model: uniform | size-aware",
+                    "size-aware");
+  parser.add_option("p", "SlowMem price factor (cost floor)", "0.2");
+  parser.add_option("slo", "permissible slowdown vs FastMem-only", "0.1");
+  parser.add_option("repeats", "runs per measurement", "2");
+  parser.add_option("threads",
+                    "measurement-campaign worker threads (0 = hardware; "
+                    "results are identical at any count)",
+                    "0");
+  parser.add_flag("stats",
+                  "print campaign timing/occupancy stats after the run");
+}
+
+core::MnemoConfig mnemo_config(const util::ArgParser& parser) {
+  core::MnemoConfig cfg;
+  cfg.store = parse_store(parser.get("store"));
+  cfg.ordering = parser.has_flag("tiered") ? core::OrderingPolicy::kTiered
+                                           : core::OrderingPolicy::kTouchOrder;
+  cfg.estimate_model = parse_model(parser.get("model"));
+  cfg.price_factor = parser.get_double("p");
+  cfg.slo_slowdown = parser.get_double("slo");
+  cfg.repeats = static_cast<int>(parser.get_u64("repeats"));
+  cfg.threads = static_cast<std::size_t>(parser.get_u64("threads"));
+  return cfg;
+}
+
+void add_fault_options(util::ArgParser& parser) {
+  parser.add_option("faults",
+                    "deterministic fault plan, comma-separated key=value "
+                    "(keys: seed, transient, retries, retry_cost, recover, "
+                    "poison, remap_cost, bw_period, bw_window, bw_factor)",
+                    "");
+  parser.add_option("fail-policy",
+                    "quarantined-cell handling: degrade (complete with "
+                    "partial results) | abort (exit nonzero)",
+                    "degrade");
+}
+
+void apply_fault_options(const util::ArgParser& parser,
+                         core::MnemoConfig& cfg) {
+  if (!parser.get("faults").empty()) {
+    cfg.faults = faultinject::FaultPlan::parse(parser.get("faults"));
+  }
+  cfg.fail_policy =
+      faultinject::parse_fail_policy(parser.get("fail-policy"));
+}
+
+void print_fault_banner(const core::MnemoConfig& cfg, std::ostream& out) {
+  if (cfg.faults.empty()) return;
+  out << "faults: " << cfg.faults.summary() << " | policy "
+      << faultinject::to_string(cfg.fail_policy) << "\n";
+}
+
+void maybe_print_campaign_stats(const util::ArgParser& parser,
+                                std::ostream& out) {
+  if (!parser.has_flag("stats")) return;
+  out << "\n" << core::campaign_totals().render("campaign totals");
+}
+
+void add_cache_options(util::ArgParser& parser) {
+  parser.add_option("cache-dir",
+                    "content-addressed artifact cache directory "
+                    "(empty = no caching)",
+                    "");
+  parser.add_flag("no-cache",
+                  "bypass the cache even when --cache-dir is set");
+  parser.add_flag("explain-cache",
+                  "print per-stage cache keys and hit/miss decisions");
+}
+
+core::SessionConfig session_config(const util::ArgParser& parser) {
+  core::SessionConfig sc;
+  sc.mnemo = mnemo_config(parser);
+  apply_fault_options(parser, sc.mnemo);
+  sc.cache_dir = parser.get("cache-dir");
+  sc.use_cache = !parser.has_flag("no-cache");
+  return sc;
+}
+
+void maybe_explain_cache(const util::ArgParser& parser,
+                         core::Session& session, std::ostream& out) {
+  if (!parser.has_flag("explain-cache")) return;
+  out << "\n" << session.explain_cache();
+}
+
+int emit_session_report(const util::ArgParser& parser,
+                        core::Session& session, std::ostream& out,
+                        std::ostream& err) {
+  const core::MnemoConfig& cfg = session.config().mnemo;
+  out << session.report().text;
+  const core::MeasureArtifact& m = session.measure();
+  if (!m.degraded && !parser.get("out").empty()) {
+    std::ofstream file(parser.get("out"), std::ios::binary);
+    if (!file) {
+      err << "error: cannot open " << parser.get("out") << "\n";
+      return 1;
+    }
+    file << session.report().csv;
+    out << "wrote " << parser.get("out") << " ("
+        << session.estimate().curve.points.size() - 1 << " rows)\n";
+  }
+  if (!m.failures.empty()) {
+    out << "\npartial results: " << m.failures.size()
+        << " campaign cell(s) quarantined\n"
+        << core::render_failure_ledger(m.failures);
+  } else if (!cfg.faults.empty()) {
+    out << "no campaign cells quarantined\n";
+  }
+  maybe_explain_cache(parser, session, out);
+  maybe_print_campaign_stats(parser, out);
+  if (!m.failures.empty() &&
+      cfg.fail_policy == faultinject::FailPolicy::kAbort) {
+    const core::CellFailure& f = m.failures.front();
+    err << "fault policy abort: cell #" << f.cell << " (fast keys "
+        << f.fast_keys << ", repeat " << f.repeat
+        << ") quarantined: " << f.error.to_string() << "\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace mnemo::cli

@@ -1,0 +1,197 @@
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+#include "cli/cli_common.hpp"
+#include "cli/commands.hpp"
+#include "core/campaign.hpp"
+#include "util/bytes.hpp"
+
+/// The staged pipeline exposed as subcommands: each one materializes its
+/// stage (and the stages it depends on) through a core::Session, so a
+/// warm artifact cache lets `advise`/`report` answer without a single
+/// emulator replay. All of them share the profile flag set plus
+/// --cache-dir/--no-cache/--explain-cache.
+namespace mnemo::cli {
+
+namespace {
+
+void add_pipeline_options(util::ArgParser& parser) {
+  add_workload_options(parser);
+  add_mnemo_options(parser);
+  add_fault_options(parser);
+  add_cache_options(parser);
+  parser.add_option("out", "advice CSV path (key id, est throughput, cost)",
+                    "");
+}
+
+/// "campaign cells executed: N" — the observable behind the incremental
+/// re-run contract: 0 on a warm cache, grid-size on a cold one.
+void print_cells_executed(const core::Session& session, std::ostream& out) {
+  out << "campaign cells executed: " << session.campaign_cells_run() << "\n";
+}
+
+/// Render the measured baselines exactly as the report does.
+void print_baselines(const core::MeasureArtifact& m, std::ostream& out) {
+  char line[160];
+  std::snprintf(line, sizeof line,
+                "baselines: FastMem-only %.0f ops/s | SlowMem-only %.0f "
+                "ops/s | sensitivity +%.1f%%\n",
+                m.baselines.fast.throughput_ops,
+                m.baselines.slow.throughput_ops,
+                m.baselines.sensitivity() * 100.0);
+  out << line;
+}
+
+int fault_abort_exit(const core::Session& session,
+                     const core::MeasureArtifact& m, std::ostream& err) {
+  if (m.failures.empty() || session.config().mnemo.fail_policy !=
+                                faultinject::FailPolicy::kAbort) {
+    return 0;
+  }
+  const core::CellFailure& f = m.failures.front();
+  err << "fault policy abort: cell #" << f.cell << " (fast keys "
+      << f.fast_keys << ", repeat " << f.repeat
+      << ") quarantined: " << f.error.to_string() << "\n";
+  return 1;
+}
+
+}  // namespace
+
+int cmd_run(const Args& args, std::ostream& out, std::ostream& err) {
+  util::ArgParser parser("mnemo run",
+                         "run the full pipeline: characterize -> measure "
+                         "-> estimate -> advise -> report");
+  add_pipeline_options(parser);
+  std::string error;
+  if (!parser.parse(args, &error)) {
+    err << error << "\n" << parser.help();
+    return 2;
+  }
+  core::Session session(load_workload(parser), session_config(parser));
+  print_fault_banner(session.config().mnemo, out);
+  return emit_session_report(parser, session, out, err);
+}
+
+int cmd_characterize(const Args& args, std::ostream& out,
+                     std::ostream& err) {
+  util::ArgParser parser("mnemo characterize",
+                         "stage 1 only: access pattern and key ordering");
+  add_pipeline_options(parser);
+  std::string error;
+  if (!parser.parse(args, &error)) {
+    err << error << "\n" << parser.help();
+    return 2;
+  }
+  core::Session session(load_workload(parser), session_config(parser));
+  const core::CharacterizeArtifact& c = session.characterize();
+  const workload::Trace& trace = session.trace();
+  out << "workload: " << trace.name() << ": " << trace.key_count()
+      << " keys, " << trace.requests().size() << " requests ("
+      << util::format_bytes(trace.dataset_bytes()) << " dataset)\n";
+  out << "ordering: " << to_string(c.ordering) << " | front of the order:";
+  const std::size_t head = std::min<std::size_t>(8, c.order.size());
+  for (std::size_t i = 0; i < head; ++i) out << ' ' << c.order[i];
+  out << "\n";
+  maybe_explain_cache(parser, session, out);
+  return 0;
+}
+
+int cmd_measure(const Args& args, std::ostream& out, std::ostream& err) {
+  util::ArgParser parser("mnemo measure",
+                         "stage 2 only: run (or load) the baseline "
+                         "measurement campaign");
+  add_pipeline_options(parser);
+  std::string error;
+  if (!parser.parse(args, &error)) {
+    err << error << "\n" << parser.help();
+    return 2;
+  }
+  core::Session session(load_workload(parser), session_config(parser));
+  print_fault_banner(session.config().mnemo, out);
+  const core::MeasureArtifact& m = session.measure();
+  if (m.degraded) {
+    out << "baselines quarantined: no estimate (see failure ledger)\n";
+  } else {
+    print_baselines(m, out);
+  }
+  print_cells_executed(session, out);
+  if (!m.failures.empty()) {
+    out << "\npartial results: " << m.failures.size()
+        << " campaign cell(s) quarantined\n"
+        << core::render_failure_ledger(m.failures);
+  }
+  maybe_explain_cache(parser, session, out);
+  maybe_print_campaign_stats(parser, out);
+  return fault_abort_exit(session, m, err);
+}
+
+int cmd_advise(const Args& args, std::ostream& out, std::ostream& err) {
+  util::ArgParser parser("mnemo advise",
+                         "stages 1-4: SLO verdict for --slo/--p, reusing "
+                         "any cached measurement grid");
+  add_pipeline_options(parser);
+  std::string error;
+  if (!parser.parse(args, &error)) {
+    err << error << "\n" << parser.help();
+    return 2;
+  }
+  core::Session session(load_workload(parser), session_config(parser));
+  print_fault_banner(session.config().mnemo, out);
+  const core::AdviseArtifact& verdict = session.advise();
+  const core::MeasureArtifact& m = session.measure();
+  if (verdict.degraded) {
+    out << "baselines quarantined: no estimate (see failure ledger)\n";
+  } else {
+    print_baselines(m, out);
+    if (verdict.result.choice) {
+      const core::SloChoice& c = *verdict.result.choice;
+      char line[160];
+      std::snprintf(line, sizeof line,
+                    "sweet spot @ %.0f%% SLO: %zu keys (%s) in FastMem -> "
+                    "memory cost %.0f%% of FastMem-only (%.0f%% savings)\n",
+                    verdict.slo_slowdown * 100.0, c.point.fast_keys,
+                    util::format_bytes(c.point.fast_bytes).c_str(),
+                    c.cost_factor * 100.0, c.savings_vs_fast * 100.0);
+      out << line;
+    } else {
+      out << "no configuration satisfies the SLO\n";
+    }
+  }
+  print_cells_executed(session, out);
+  if (!m.failures.empty()) {
+    out << "\npartial results: " << m.failures.size()
+        << " campaign cell(s) quarantined\n"
+        << core::render_failure_ledger(m.failures);
+  }
+  maybe_explain_cache(parser, session, out);
+  maybe_print_campaign_stats(parser, out);
+  return fault_abort_exit(session, m, err);
+}
+
+int cmd_report(const Args& args, std::ostream& out, std::ostream& err) {
+  util::ArgParser parser("mnemo report",
+                         "stages 1-5: the rendered report artifact only "
+                         "(byte-stable; diffable across runs)");
+  add_pipeline_options(parser);
+  std::string error;
+  if (!parser.parse(args, &error)) {
+    err << error << "\n" << parser.help();
+    return 2;
+  }
+  core::Session session(load_workload(parser), session_config(parser));
+  const core::ReportArtifact& report = session.report();
+  out << report.text;
+  if (!parser.get("out").empty() && !session.measure().degraded) {
+    std::ofstream file(parser.get("out"), std::ios::binary);
+    if (!file) {
+      err << "error: cannot open " << parser.get("out") << "\n";
+      return 1;
+    }
+    file << report.csv;
+  }
+  maybe_explain_cache(parser, session, out);
+  return fault_abort_exit(session, session.measure(), err);
+}
+
+}  // namespace mnemo::cli

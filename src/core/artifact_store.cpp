@@ -1,0 +1,160 @@
+#include "core/artifact_store.hpp"
+
+#include <filesystem>
+#include <utility>
+
+#include "util/hash.hpp"
+#include "util/logging.hpp"
+
+namespace mnemo::core {
+
+namespace {
+
+constexpr std::string_view kMagic = "MNA1";
+
+}  // namespace
+
+std::string_view to_string(CacheMiss miss) {
+  switch (miss) {
+    case CacheMiss::kNone:
+      return "none";
+    case CacheMiss::kDisabled:
+      return "cache disabled";
+    case CacheMiss::kAbsent:
+      return "absent";
+    case CacheMiss::kBadMagic:
+      return "bad magic";
+    case CacheMiss::kSchemaMismatch:
+      return "schema mismatch";
+    case CacheMiss::kVersionMismatch:
+      return "version mismatch";
+    case CacheMiss::kTruncated:
+      return "truncated";
+    case CacheMiss::kChecksumMismatch:
+      return "checksum mismatch";
+    case CacheMiss::kCorrupt:
+      return "corrupt payload";
+  }
+  return "?";
+}
+
+ArtifactStore::ArtifactStore(std::string dir) : dir_(std::move(dir)) {}
+
+std::string ArtifactStore::path_for(std::string_view stage,
+                                    std::string_view key) const {
+  std::string path = dir_;
+  if (!path.empty() && path.back() != '/') path += '/';
+  path += stage;
+  path += '-';
+  path += key;
+  path += ".mna";
+  return path;
+}
+
+std::optional<std::string> ArtifactStore::load_payload(
+    std::string_view stage, std::string_view schema, std::uint32_t version,
+    std::string_view key, CacheMiss* why) {
+  const auto miss = [&](CacheMiss m, std::string detail) {
+    if (why != nullptr) *why = m;
+    if (m == CacheMiss::kDisabled || m == CacheMiss::kAbsent) {
+      record_miss(stage, key, m, std::move(detail));
+    } else {
+      reject(stage, key, m, std::move(detail));
+    }
+    return std::nullopt;
+  };
+
+  if (!enabled()) return miss(CacheMiss::kDisabled, "");
+  std::string raw;
+  if (!util::read_file(path_for(stage, key), &raw)) {
+    return miss(CacheMiss::kAbsent, "");
+  }
+  if (raw.size() < kMagic.size() ||
+      std::string_view(raw).substr(0, kMagic.size()) != kMagic) {
+    return miss(CacheMiss::kBadMagic, "not an artifact file");
+  }
+
+  try {
+    util::BinReader r(std::string_view(raw).substr(kMagic.size()));
+    const std::string file_schema = r.str();
+    if (file_schema != schema) {
+      return miss(CacheMiss::kSchemaMismatch,
+                  "holds '" + file_schema + "'");
+    }
+    const std::uint32_t file_version = r.u32();
+    if (file_version != version) {
+      return miss(CacheMiss::kVersionMismatch,
+                  "v" + std::to_string(file_version) + " != v" +
+                      std::to_string(version));
+    }
+    std::string payload = r.str();
+    const std::uint64_t lo = r.u64();
+    const std::uint64_t hi = r.u64();
+    util::StableHasher h;
+    h.bytes(payload.data(), payload.size());
+    if (h.lo() != lo || h.hi() != hi) {
+      return miss(CacheMiss::kChecksumMismatch, "payload digest differs");
+    }
+    if (why != nullptr) *why = CacheMiss::kNone;
+    return payload;
+  } catch (const util::ArtifactError& e) {
+    return miss(CacheMiss::kTruncated, e.what());
+  }
+}
+
+util::Status ArtifactStore::save_payload(std::string_view stage,
+                                         std::string_view schema,
+                                         std::uint32_t version,
+                                         std::string_view key,
+                                         std::string_view payload) {
+  if (!enabled()) return {};
+
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec) {
+    util::Error err;
+    err.code = util::ErrorCode::kInvalidArgument;
+    err.message = "cannot create cache dir " + dir_ + ": " + ec.message();
+    MNEMO_LOG_WARN("artifact store: %s", err.message.c_str());
+    return err;
+  }
+
+  util::StableHasher h;
+  h.bytes(payload.data(), payload.size());
+
+  util::BinWriter w;
+  w.str(schema);
+  w.u32(version);
+  w.str(payload);
+  w.u64(h.lo());
+  w.u64(h.hi());
+
+  std::string file(kMagic);
+  file += w.buffer();
+  util::Status status = util::write_file_atomic(path_for(stage, key), file);
+  if (!status.ok()) {
+    MNEMO_LOG_WARN("artifact store: %s", status.error().message.c_str());
+  }
+  return status;
+}
+
+void ArtifactStore::record_hit(std::string_view stage, std::string_view key) {
+  events_.push_back(StoreEvent{std::string(stage), std::string(key), true,
+                               CacheMiss::kNone, ""});
+}
+
+void ArtifactStore::record_miss(std::string_view stage, std::string_view key,
+                                CacheMiss why, std::string detail) {
+  events_.push_back(StoreEvent{std::string(stage), std::string(key), false,
+                               why, std::move(detail)});
+}
+
+void ArtifactStore::reject(std::string_view stage, std::string_view key,
+                           CacheMiss why, std::string detail) {
+  MNEMO_LOG_WARN("artifact store: rejecting %s (%s: %s) -> cache miss",
+                 path_for(stage, key).c_str(),
+                 std::string(to_string(why)).c_str(), detail.c_str());
+  record_miss(stage, key, why, std::move(detail));
+}
+
+}  // namespace mnemo::core

@@ -1,0 +1,134 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/artifact_io.hpp"
+#include "util/status.hpp"
+
+namespace mnemo::core {
+
+/// Why a cache lookup came back empty. kDisabled and kAbsent are the
+/// ordinary cold-cache cases; the remaining codes mean an on-disk file
+/// existed but was rejected — always a miss with a logged reason, never an
+/// error (satellite: a truncated or foreign artifact must not crash a run).
+enum class CacheMiss : std::uint8_t {
+  kNone = 0,          ///< not a miss (the lookup hit)
+  kDisabled,          ///< the store has no directory (caching off)
+  kAbsent,            ///< no file for this key — a cold cell
+  kBadMagic,          ///< file does not start with the artifact magic
+  kSchemaMismatch,    ///< file holds a different artifact type
+  kVersionMismatch,   ///< schema matches but the version moved on
+  kTruncated,         ///< payload shorter than its own framing claims
+  kChecksumMismatch,  ///< payload bytes do not hash to the stored digest
+  kCorrupt,           ///< payload framing intact but undecodable
+};
+
+std::string_view to_string(CacheMiss miss);
+
+/// One cache decision, kept for --explain-cache and the store tests.
+struct StoreEvent {
+  std::string stage;
+  std::string key;
+  bool hit = false;
+  CacheMiss miss = CacheMiss::kNone;
+  std::string detail;  ///< human-readable reason for a rejected file
+};
+
+/// Content-addressed on-disk artifact store. Each artifact lives in its
+/// own file `<dir>/<stage>-<key>.mna` where `key` is the 128-bit stable
+/// hash of everything the artifact's bytes depend on (see Session's
+/// cache-key builders). File format:
+///
+///   "MNA1" | schema (len-prefixed) | version u32 | payload (len-prefixed)
+///        | payload checksum (two u64 lanes, StableHasher)
+///
+/// Writes are crash-safe (temp file + rename), so a reader observes either
+/// the previous artifact or the new one, never a torn file. Every load
+/// failure short of an I/O race is classified into a CacheMiss and logged;
+/// load() never throws.
+class ArtifactStore {
+ public:
+  /// A default-constructed (or empty-dir) store is disabled: every load
+  /// misses with kDisabled and saves are dropped.
+  ArtifactStore() = default;
+  explicit ArtifactStore(std::string dir);
+
+  [[nodiscard]] bool enabled() const noexcept { return !dir_.empty(); }
+  [[nodiscard]] const std::string& dir() const noexcept { return dir_; }
+
+  /// File this (stage, key) pair addresses — exposed for tests and
+  /// --explain-cache output.
+  [[nodiscard]] std::string path_for(std::string_view stage,
+                                     std::string_view key) const;
+
+  /// Load the raw payload for (stage, key), verifying magic, schema,
+  /// version and checksum. nullopt on any miss; *why (when non-null)
+  /// says which kind. Misses are recorded as events here; the hit event
+  /// is recorded by the typed load() once the payload also decodes.
+  [[nodiscard]] std::optional<std::string> load_payload(
+      std::string_view stage, std::string_view schema, std::uint32_t version,
+      std::string_view key, CacheMiss* why = nullptr);
+
+  /// Persist a payload under (stage, key). No-op when disabled; an I/O
+  /// failure is returned (and logged) but callers treat the cache as
+  /// best-effort and continue.
+  util::Status save_payload(std::string_view stage, std::string_view schema,
+                            std::uint32_t version, std::string_view key,
+                            std::string_view payload);
+
+  /// Typed load: deserializes an artifact type A (kStage/kSchema/kVersion
+  /// plus serialize/deserialize). A payload that passes the checksum but
+  /// fails to decode is a kCorrupt miss, not an error.
+  template <typename A>
+  [[nodiscard]] std::optional<A> load(std::string_view key) {
+    CacheMiss why = CacheMiss::kNone;
+    std::optional<std::string> payload =
+        load_payload(A::kStage, A::kSchema, A::kVersion, key, &why);
+    if (!payload) return std::nullopt;
+    try {
+      util::BinReader r(*payload);
+      A artifact = A::deserialize(r);
+      if (!r.exhausted()) {
+        reject(A::kStage, key, CacheMiss::kCorrupt, "trailing bytes");
+        return std::nullopt;
+      }
+      record_hit(A::kStage, key);
+      return artifact;
+    } catch (const util::ArtifactError& e) {
+      reject(A::kStage, key, CacheMiss::kCorrupt, e.what());
+      return std::nullopt;
+    }
+  }
+
+  /// Typed save (see save_payload for semantics).
+  template <typename A>
+  util::Status save(std::string_view key, const A& artifact) {
+    util::BinWriter w;
+    artifact.serialize(w);
+    return save_payload(A::kStage, A::kSchema, A::kVersion, key, w.buffer());
+  }
+
+  /// Every hit/miss decision since construction (or clear_events), in
+  /// order — the raw material of --explain-cache.
+  [[nodiscard]] const std::vector<StoreEvent>& events() const noexcept {
+    return events_;
+  }
+  void clear_events() { events_.clear(); }
+
+ private:
+  void record_hit(std::string_view stage, std::string_view key);
+  void record_miss(std::string_view stage, std::string_view key,
+                   CacheMiss why, std::string detail);
+  /// A miss caused by a rejected on-disk file: recorded AND logged.
+  void reject(std::string_view stage, std::string_view key, CacheMiss why,
+              std::string detail);
+
+  std::string dir_;
+  std::vector<StoreEvent> events_;
+};
+
+}  // namespace mnemo::core

@@ -1,0 +1,259 @@
+#include "core/artifacts.hpp"
+
+#include <array>
+
+namespace mnemo::core {
+
+namespace {
+
+void write_line(util::BinWriter& w, const stats::Line& line) {
+  w.f64(line.intercept);
+  w.f64(line.slope);
+}
+
+stats::Line read_line(util::BinReader& r) {
+  stats::Line line;
+  line.intercept = r.f64();
+  line.slope = r.f64();
+  return line;
+}
+
+void write_histogram(util::BinWriter& w, const stats::LogHistogram& h) {
+  for (std::size_t i = 0; i < stats::LogHistogram::kBuckets; ++i) {
+    w.u64(h.bucket(i));
+  }
+}
+
+stats::LogHistogram read_histogram(util::BinReader& r) {
+  std::array<std::uint64_t, stats::LogHistogram::kBuckets> counts{};
+  for (auto& c : counts) c = r.u64();
+  stats::LogHistogram h;
+  h.restore(counts);
+  return h;
+}
+
+void write_fault_stats(util::BinWriter& w,
+                       const faultinject::FaultStats& s) {
+  w.u64(s.transient_faults);
+  w.u64(s.transient_retries);
+  w.u64(s.transient_failures);
+  w.u64(s.poison_hits);
+  w.u64(s.degraded_accesses);
+}
+
+faultinject::FaultStats read_fault_stats(util::BinReader& r) {
+  faultinject::FaultStats s;
+  s.transient_faults = r.u64();
+  s.transient_retries = r.u64();
+  s.transient_failures = r.u64();
+  s.poison_hits = r.u64();
+  s.degraded_accesses = r.u64();
+  return s;
+}
+
+void write_error(util::BinWriter& w, const util::Error& e) {
+  w.u8(static_cast<std::uint8_t>(e.code));
+  w.str(e.message);
+  w.u64(e.key);
+  w.u64(e.requested_bytes);
+  w.u64(e.available_bytes);
+  w.i32(e.attempts);
+}
+
+util::Error read_error(util::BinReader& r) {
+  util::Error e;
+  e.code = static_cast<util::ErrorCode>(r.u8());
+  e.message = r.str();
+  e.key = r.u64();
+  e.requested_bytes = r.u64();
+  e.available_bytes = r.u64();
+  e.attempts = r.i32();
+  return e;
+}
+
+void write_point(util::BinWriter& w, const EstimatePoint& p) {
+  w.u64(p.last_key);
+  w.u64(p.fast_keys);
+  w.u64(p.fast_bytes);
+  w.f64(p.est_runtime_ns);
+  w.f64(p.est_throughput_ops);
+  w.f64(p.est_avg_latency_ns);
+  w.f64(p.cost_factor);
+}
+
+EstimatePoint read_point(util::BinReader& r) {
+  EstimatePoint p;
+  p.last_key = r.u64();
+  p.fast_keys = r.u64();
+  p.fast_bytes = r.u64();
+  p.est_runtime_ns = r.f64();
+  p.est_throughput_ops = r.f64();
+  p.est_avg_latency_ns = r.f64();
+  p.cost_factor = r.f64();
+  return p;
+}
+
+void write_choice(util::BinWriter& w, const SloChoice& c) {
+  write_point(w, c.point);
+  w.f64(c.slowdown_vs_fast);
+  w.f64(c.cost_factor);
+  w.f64(c.savings_vs_fast);
+}
+
+SloChoice read_choice(util::BinReader& r) {
+  SloChoice c;
+  c.point = read_point(r);
+  c.slowdown_vs_fast = r.f64();
+  c.cost_factor = r.f64();
+  c.savings_vs_fast = r.f64();
+  return c;
+}
+
+}  // namespace
+
+void write_measurement(util::BinWriter& w, const RunMeasurement& m) {
+  w.f64(m.runtime_ns);
+  w.f64(m.throughput_ops);
+  w.f64(m.avg_latency_ns);
+  w.f64(m.avg_read_ns);
+  w.f64(m.avg_write_ns);
+  w.f64(m.p95_ns);
+  w.f64(m.p99_ns);
+  w.u64(m.requests);
+  w.u64(m.reads);
+  w.u64(m.writes);
+  w.f64(m.llc_hit_rate);
+  write_line(w, m.read_vs_bytes);
+  write_line(w, m.write_vs_bytes);
+  write_histogram(w, m.latency_hist);
+  write_fault_stats(w, m.faults);
+}
+
+RunMeasurement read_measurement(util::BinReader& r) {
+  RunMeasurement m;
+  m.runtime_ns = r.f64();
+  m.throughput_ops = r.f64();
+  m.avg_latency_ns = r.f64();
+  m.avg_read_ns = r.f64();
+  m.avg_write_ns = r.f64();
+  m.p95_ns = r.f64();
+  m.p99_ns = r.f64();
+  m.requests = r.u64();
+  m.reads = r.u64();
+  m.writes = r.u64();
+  m.llc_hit_rate = r.f64();
+  m.read_vs_bytes = read_line(r);
+  m.write_vs_bytes = read_line(r);
+  m.latency_hist = read_histogram(r);
+  m.faults = read_fault_stats(r);
+  return m;
+}
+
+void write_cell_failure(util::BinWriter& w, const CellFailure& f) {
+  w.u64(f.cell);
+  w.u64(f.fast_keys);
+  w.i32(f.repeat);
+  w.i32(f.attempts);
+  write_error(w, f.error);
+  write_fault_stats(w, f.faults);
+}
+
+CellFailure read_cell_failure(util::BinReader& r) {
+  CellFailure f;
+  f.cell = r.u64();
+  f.fast_keys = r.u64();
+  f.repeat = r.i32();
+  f.attempts = r.i32();
+  f.error = read_error(r);
+  f.faults = read_fault_stats(r);
+  return f;
+}
+
+void CharacterizeArtifact::serialize(util::BinWriter& w) const {
+  w.u8(static_cast<std::uint8_t>(ordering));
+  w.u64_vec(pattern.reads);
+  w.u64_vec(pattern.writes);
+  w.u64_vec(pattern.sizes);
+  w.u64_vec(pattern.touch_order);
+  w.u64_vec(order);
+}
+
+CharacterizeArtifact CharacterizeArtifact::deserialize(util::BinReader& r) {
+  CharacterizeArtifact a;
+  a.ordering = static_cast<OrderingPolicy>(r.u8());
+  a.pattern.reads = r.u64_vec();
+  a.pattern.writes = r.u64_vec();
+  a.pattern.sizes = r.u64_vec();
+  a.pattern.touch_order = r.u64_vec();
+  a.order = r.u64_vec();
+  return a;
+}
+
+void MeasureArtifact::serialize(util::BinWriter& w) const {
+  write_measurement(w, baselines.fast);
+  write_measurement(w, baselines.slow);
+  w.u64(failures.size());
+  for (const CellFailure& f : failures) write_cell_failure(w, f);
+  w.b(degraded);
+}
+
+MeasureArtifact MeasureArtifact::deserialize(util::BinReader& r) {
+  MeasureArtifact a;
+  a.baselines.fast = read_measurement(r);
+  a.baselines.slow = read_measurement(r);
+  const std::uint64_t n = r.u64();
+  a.failures.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    a.failures.push_back(read_cell_failure(r));
+  }
+  a.degraded = r.b();
+  return a;
+}
+
+void EstimateArtifact::serialize(util::BinWriter& w) const {
+  w.u64(curve.points.size());
+  for (const EstimatePoint& p : curve.points) write_point(w, p);
+}
+
+EstimateArtifact EstimateArtifact::deserialize(util::BinReader& r) {
+  EstimateArtifact a;
+  const std::uint64_t n = r.u64();
+  a.curve.points.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    a.curve.points.push_back(read_point(r));
+  }
+  return a;
+}
+
+void AdviseArtifact::serialize(util::BinWriter& w) const {
+  w.f64(slo_slowdown);
+  w.f64(price_factor);
+  w.b(degraded);
+  w.u8(static_cast<std::uint8_t>(result.outcome));
+  w.b(result.choice.has_value());
+  if (result.choice) write_choice(w, *result.choice);
+}
+
+AdviseArtifact AdviseArtifact::deserialize(util::BinReader& r) {
+  AdviseArtifact a;
+  a.slo_slowdown = r.f64();
+  a.price_factor = r.f64();
+  a.degraded = r.b();
+  a.result.outcome = static_cast<SloOutcome>(r.u8());
+  if (r.b()) a.result.choice = read_choice(r);
+  return a;
+}
+
+void ReportArtifact::serialize(util::BinWriter& w) const {
+  w.str(text);
+  w.str(csv);
+}
+
+ReportArtifact ReportArtifact::deserialize(util::BinReader& r) {
+  ReportArtifact a;
+  a.text = r.str();
+  a.csv = r.str();
+  return a;
+}
+
+}  // namespace mnemo::core

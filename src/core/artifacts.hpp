@@ -1,0 +1,128 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/campaign.hpp"
+#include "core/estimate_engine.hpp"
+#include "core/mnemo.hpp"
+#include "core/pattern_engine.hpp"
+#include "core/slo_advisor.hpp"
+#include "util/artifact_io.hpp"
+
+namespace mnemo::core {
+
+/// Typed artifacts flowing between the consultant pipeline's stages
+/// (characterize -> measure -> estimate -> advise -> report). Every
+/// artifact serializes to a deterministic byte stream (util::BinWriter)
+/// and carries a stage name, schema id and version so the ArtifactStore
+/// can reject foreign or out-of-date files as cache misses.
+///
+/// The serialization is total: load(save(x)) == x bit for bit, for every
+/// field including latency histograms and failure ledgers — the property
+/// tests in tests/core/test_artifacts.cpp enforce it per type.
+
+/// Stage 1 — characterize: the access pattern and the key ordering the
+/// configured policy derives from it. Pure function of the workload (and,
+/// for kExternal, the supplied order), so it is cacheable by workload
+/// identity alone.
+struct CharacterizeArtifact {
+  static constexpr std::string_view kStage = "characterize";
+  static constexpr std::string_view kSchema = "mnemo.artifact.characterize";
+  static constexpr std::uint32_t kVersion = 1;
+
+  OrderingPolicy ordering = OrderingPolicy::kTouchOrder;
+  AccessPattern pattern;
+  std::vector<std::uint64_t> order;
+
+  void serialize(util::BinWriter& w) const;
+  static CharacterizeArtifact deserialize(util::BinReader& r);
+  [[nodiscard]] friend bool operator==(const CharacterizeArtifact&,
+                                       const CharacterizeArtifact&) = default;
+};
+
+/// Stage 2 — measure: the campaign grid's output. The only stage that
+/// touches the emulator, hence the expensive one the cache exists for.
+/// A degraded grid (quarantined cells) is carried for reporting but is
+/// never written to the store — degraded cells must not be cached as
+/// clean (see ArtifactStore usage in Session).
+struct MeasureArtifact {
+  static constexpr std::string_view kStage = "measure";
+  static constexpr std::string_view kSchema = "mnemo.artifact.measure";
+  static constexpr std::uint32_t kVersion = 1;
+
+  PerfBaselines baselines;
+  std::vector<CellFailure> failures;
+  /// A baseline placement lost at least one repeat: baselines are not
+  /// usable and downstream stages must not estimate from them.
+  bool degraded = false;
+
+  void serialize(util::BinWriter& w) const;
+  static MeasureArtifact deserialize(util::BinReader& r);
+  [[nodiscard]] friend bool operator==(const MeasureArtifact&,
+                                       const MeasureArtifact&) = default;
+};
+
+/// Stage 3 — estimate: the full cost/performance tradeoff curve. Empty
+/// when the measure stage was degraded.
+struct EstimateArtifact {
+  static constexpr std::string_view kStage = "estimate";
+  static constexpr std::string_view kSchema = "mnemo.artifact.estimate";
+  static constexpr std::uint32_t kVersion = 1;
+
+  EstimateCurve curve;
+
+  void serialize(util::BinWriter& w) const;
+  static EstimateArtifact deserialize(util::BinReader& r);
+  [[nodiscard]] friend bool operator==(const EstimateArtifact&,
+                                       const EstimateArtifact&) = default;
+};
+
+/// Stage 4 — advise: the SLO verdict at one (slo, price) query point.
+/// Re-querying with a different SLO or price only re-runs this stage and
+/// the estimate — never the emulator.
+struct AdviseArtifact {
+  static constexpr std::string_view kStage = "advise";
+  static constexpr std::string_view kSchema = "mnemo.artifact.advise";
+  static constexpr std::uint32_t kVersion = 1;
+
+  double slo_slowdown = SloAdvisor::kPaperSlowdown;
+  double price_factor = CostModel::kPaperPriceFactor;
+  /// Baselines were quarantined: no verdict is possible.
+  bool degraded = false;
+  SloResult result;
+
+  void serialize(util::BinWriter& w) const;
+  static AdviseArtifact deserialize(util::BinReader& r);
+  [[nodiscard]] friend bool operator==(const AdviseArtifact&,
+                                       const AdviseArtifact&) = default;
+};
+
+/// Stage 5 — report: the rendered consultant answer. `text` is the
+/// human-readable report body; `csv` is the paper's 3-column output
+/// artifact (empty when degraded). Byte-stable so cold and warm runs can
+/// be diffed byte for byte.
+struct ReportArtifact {
+  static constexpr std::string_view kStage = "report";
+  static constexpr std::string_view kSchema = "mnemo.artifact.report";
+  static constexpr std::uint32_t kVersion = 1;
+
+  std::string text;
+  std::string csv;
+
+  void serialize(util::BinWriter& w) const;
+  static ReportArtifact deserialize(util::BinReader& r);
+  [[nodiscard]] friend bool operator==(const ReportArtifact&,
+                                       const ReportArtifact&) = default;
+};
+
+/// Shared piecewise serializers (also used by tests that need to
+/// round-trip the component structs directly).
+void write_measurement(util::BinWriter& w, const RunMeasurement& m);
+RunMeasurement read_measurement(util::BinReader& r);
+void write_cell_failure(util::BinWriter& w, const CellFailure& f);
+CellFailure read_cell_failure(util::BinReader& r);
+
+}  // namespace mnemo::core

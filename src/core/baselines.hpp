@@ -41,6 +41,11 @@ struct RunMeasurement {
   /// healthy platform, and all-zero is exactly the condition under which
   /// the measurement is bit-identical to the fault-free platform's.
   faultinject::FaultStats faults{};
+
+  /// Field-for-field (hence bit-for-bit on identical computations)
+  /// equality — the check behind the "cached == recomputed" contract.
+  [[nodiscard]] friend bool operator==(const RunMeasurement&,
+                                       const RunMeasurement&) = default;
 };
 
 /// The two extreme configurations that bound Mnemo's estimation curve.
@@ -62,6 +67,9 @@ struct PerfBaselines {
   [[nodiscard]] double sensitivity() const {
     return fast.throughput_ops / slow.throughput_ops - 1.0;
   }
+
+  [[nodiscard]] friend bool operator==(const PerfBaselines&,
+                                       const PerfBaselines&) = default;
 };
 
 /// Reduce repeated runs to a representative measurement (mean of every

@@ -21,6 +21,9 @@ struct EstimatePoint {
   double est_throughput_ops = 0.0;
   double est_avg_latency_ns = 0.0;
   double cost_factor = 0.0;  ///< R(p) at this capacity split
+
+  [[nodiscard]] friend bool operator==(const EstimatePoint&,
+                                       const EstimatePoint&) = default;
 };
 
 /// The full tradeoff curve: row 0 is the SlowMem-only configuration, the
@@ -35,6 +38,9 @@ struct EstimateCurve {
 
   /// Estimated throughput at a FastMem byte budget (convenience).
   [[nodiscard]] double throughput_at(std::uint64_t fast_bytes) const;
+
+  [[nodiscard]] friend bool operator==(const EstimateCurve&,
+                                       const EstimateCurve&) = default;
 };
 
 /// How a key's per-request SlowMem penalty ("refund" when it moves to

@@ -1,7 +1,7 @@
 #include "core/mnemo.hpp"
 
 #include "core/placement_engine.hpp"
-#include "core/tiering.hpp"
+#include "core/session.hpp"
 #include "util/assert.hpp"
 #include "util/csv.hpp"
 
@@ -39,77 +39,33 @@ SensitivityConfig to_sensitivity_config(const MnemoConfig& cfg) {
 
 Mnemo::Mnemo(MnemoConfig config)
     : config_(std::move(config)),
-      sensitivity_(to_sensitivity_config(config_)),
-      estimator_(CostModel(config_.price_factor), config_.estimate_model),
-      advisor_(config_.slo_slowdown) {}
+      sensitivity_(to_sensitivity_config(config_)) {}
 
 MnemoT::MnemoT(MnemoConfig config) : Mnemo([&] {
       config.ordering = OrderingPolicy::kTiered;
       return std::move(config);
     }()) {}
 
-MnemoReport Mnemo::build_report(const workload::Trace& trace,
-                                std::vector<std::uint64_t> order,
-                                OrderingPolicy policy) const {
-  MnemoReport report;
-  report.workload = trace.name();
-  report.store = config_.store;
-  report.ordering = policy;
-  report.pattern = PatternEngine::analyze(trace);
-  report.order = std::move(order);
-
-  if (config_.faults.empty()) {
-    report.baselines = sensitivity_.baselines(trace);
-  } else {
-    // Degraded-mode campaign: each baseline cell is accepted only when it
-    // is bit-identical to the fault-free platform (zero events after one
-    // retry), so a non-degraded report matches the healthy profile
-    // exactly; a lost baseline quarantines the estimates instead of
-    // silently skewing them.
-    CampaignRunner runner(config_.threads);
-    CampaignResult grid = runner.measure_grid_checked(
-        sensitivity_, trace,
-        {hybridmem::Placement(trace.key_count(), hybridmem::NodeId::kFast),
-         hybridmem::Placement(trace.key_count(), hybridmem::NodeId::kSlow)});
-    report.cell_failures = std::move(grid.failures);
-    if (!grid.measurements[0] || !grid.measurements[1]) {
-      report.degraded = true;
-      return report;
-    }
-    report.baselines.fast = *grid.measurements[0];
-    report.baselines.slow = *grid.measurements[1];
-  }
-
-  report.curve =
-      estimator_.estimate(report.pattern, report.order, report.baselines);
-  report.slo_choice = advisor_.choose(report.curve, report.baselines);
-  return report;
-}
-
 MnemoReport Mnemo::profile(const workload::Trace& trace) const {
-  const AccessPattern pattern = PatternEngine::analyze(trace);
-  std::vector<std::uint64_t> order;
-  switch (config_.ordering) {
-    case OrderingPolicy::kTouchOrder:
-      order = pattern.touch_order;
-      break;
-    case OrderingPolicy::kTiered:
-      order = TieringEngine::priority_order(pattern);
-      break;
-    case OrderingPolicy::kExternal:
-      MNEMO_EXPECTS(false &&
-                    "external ordering requires profile_with_order()");
-      break;
-  }
-  return build_report(trace, std::move(order), config_.ordering);
+  MNEMO_EXPECTS(config_.ordering != OrderingPolicy::kExternal &&
+                "external ordering requires profile_with_order()");
+  // The facade is an uncached session: every profiling flow — CLI,
+  // examples, benches — funnels through the same staged pipeline.
+  SessionConfig sc;
+  sc.mnemo = config_;
+  Session session(trace, std::move(sc));
+  return session.to_report();
 }
 
 MnemoReport Mnemo::profile_with_order(
     const workload::Trace& trace,
     std::vector<std::uint64_t> external_order) const {
   MNEMO_EXPECTS(external_order.size() == trace.key_count());
-  return build_report(trace, std::move(external_order),
-                      OrderingPolicy::kExternal);
+  SessionConfig sc;
+  sc.mnemo = config_;
+  sc.external_order = std::move(external_order);
+  Session session(trace, std::move(sc));
+  return session.to_report();
 }
 
 RunMeasurement Mnemo::validate(const workload::Trace& trace,

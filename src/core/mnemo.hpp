@@ -111,14 +111,10 @@ class Mnemo {
   }
 
  private:
-  [[nodiscard]] MnemoReport build_report(
-      const workload::Trace& trace, std::vector<std::uint64_t> order,
-      OrderingPolicy policy) const;
-
   MnemoConfig config_;
+  /// Kept for validate() and direct measurement callers; the profiling
+  /// flow itself runs through core::Session (the one orchestration path).
   SensitivityEngine sensitivity_;
-  EstimateEngine estimator_;
-  SloAdvisor advisor_;
 };
 
 /// MnemoT: identical components, with the Pattern Engine extended to emit

@@ -25,6 +25,9 @@ struct AccessPattern {
     return reads[key] + writes[key];
   }
   [[nodiscard]] std::uint64_t total_bytes() const;
+
+  [[nodiscard]] friend bool operator==(const AccessPattern&,
+                                       const AccessPattern&) = default;
 };
 
 /// The paper's Pattern Engine: analyzes the request access pattern and

@@ -1,0 +1,439 @@
+#include "core/session.hpp"
+
+#include <cstdio>
+#include <sstream>
+#include <utility>
+
+#include "core/campaign.hpp"
+#include "core/estimate_engine.hpp"
+#include "core/pattern_engine.hpp"
+#include "core/sensitivity_engine.hpp"
+#include "core/slo_advisor.hpp"
+#include "core/tiering.hpp"
+#include "hybridmem/placement.hpp"
+#include "kvstore/kvstore.hpp"
+#include "util/assert.hpp"
+#include "util/bytes.hpp"
+#include "util/csv.hpp"
+#include "util/hash.hpp"
+
+namespace mnemo::core {
+
+namespace {
+
+SensitivityConfig to_sensitivity_config(const MnemoConfig& cfg) {
+  SensitivityConfig s;
+  s.store = cfg.store;
+  s.platform = cfg.platform;
+  s.payload_mode = cfg.payload_mode;
+  s.repeats = cfg.repeats;
+  s.seed = cfg.seed;
+  s.threads = cfg.threads;
+  s.faults = cfg.faults;
+  return s;
+}
+
+/// Workload identity: the materialized trace bytes. Uniform across CSV-
+/// loaded and spec-generated workloads — two specs that materialize the
+/// same requests share every cached artifact.
+void hash_trace(util::StableHasher& h, const workload::Trace& trace) {
+  h.str(trace.name());
+  h.u64(trace.key_count());
+  h.u64(trace.initial_key_count());
+  h.u64_span(trace.key_sizes());
+  h.u64(trace.requests().size());
+  for (const workload::Request& req : trace.requests()) {
+    h.u32(req.key);
+    h.u8(static_cast<std::uint8_t>(req.op));
+  }
+}
+
+void hash_node(util::StableHasher& h, const hybridmem::NodeSpec& node) {
+  h.str(node.name);
+  h.f64(node.latency_ns);
+  h.f64(node.bandwidth_gbps);
+  h.u64(node.capacity_bytes);
+}
+
+/// Every emulator constant a measurement depends on.
+void hash_platform(util::StableHasher& h,
+                   const hybridmem::EmulationProfile& p) {
+  hash_node(h, p.fast);
+  hash_node(h, p.slow);
+  h.u64(p.llc_bytes);
+  h.f64(p.llc_latency_ns);
+  h.f64(p.llc_bandwidth_gbps);
+  h.f64(p.llc_bypass_fraction);
+}
+
+void hash_fault_plan(util::StableHasher& h,
+                     const faultinject::FaultPlan& plan) {
+  h.u64(plan.seed);
+  h.f64(plan.transient_read_rate);
+  h.i32(plan.transient_max_retries);
+  h.f64(plan.transient_retry_cost_ns);
+  h.f64(plan.transient_recover_prob);
+  h.f64(plan.poison_rate);
+  h.f64(plan.poison_remap_cost_ns);
+  h.u64(plan.bw_period_accesses);
+  h.u64(plan.bw_window_accesses);
+  h.f64(plan.bw_degraded_factor);
+}
+
+}  // namespace
+
+Session::Session(workload::Trace trace, SessionConfig config)
+    : trace_(std::move(trace)),
+      config_(std::move(config)),
+      store_(config_.cache_dir) {
+  util::StableHasher h;
+  hash_trace(h, trace_);
+  trace_key_ = h.hex();
+  if (config_.mnemo.ordering == OrderingPolicy::kExternal) {
+    MNEMO_EXPECTS(config_.external_order.has_value());
+  }
+  if (config_.external_order) {
+    MNEMO_EXPECTS(config_.external_order->size() == trace_.key_count());
+  }
+}
+
+OrderingPolicy Session::effective_ordering() const {
+  return config_.external_order ? OrderingPolicy::kExternal
+                                : config_.mnemo.ordering;
+}
+
+std::string Session::trace_key() const { return trace_key_; }
+
+std::string Session::characterize_key() const {
+  util::StableHasher h;
+  h.str("characterize");
+  h.str(trace_key_);
+  h.str(to_string(effective_ordering()));
+  if (config_.external_order) h.u64_span(*config_.external_order);
+  return h.hex();
+}
+
+std::string Session::measure_key() const {
+  // Everything the campaign grid's output depends on — and nothing it
+  // does not: thread count and fail policy change scheduling and
+  // presentation, never measured bytes (DESIGN.md §6), so they are
+  // deliberately absent and a cache written at --threads 8 serves a
+  // --threads 1 run.
+  util::StableHasher h;
+  h.str("measure");
+  h.str(trace_key_);
+  h.str(kvstore::to_string(config_.mnemo.store));
+  hash_platform(h, config_.mnemo.platform);
+  h.u8(static_cast<std::uint8_t>(config_.mnemo.payload_mode));
+  h.i32(config_.mnemo.repeats);
+  h.u64(config_.mnemo.seed);
+  hash_fault_plan(h, config_.mnemo.faults);
+  return h.hex();
+}
+
+std::string Session::estimate_key() const {
+  util::StableHasher h;
+  h.str("estimate");
+  h.str(measure_key());
+  h.str(characterize_key());
+  h.str(to_string(config_.mnemo.estimate_model));
+  h.f64(config_.mnemo.price_factor);
+  return h.hex();
+}
+
+std::string Session::advise_key() const {
+  util::StableHasher h;
+  h.str("advise");
+  h.str(estimate_key());
+  h.f64(config_.mnemo.slo_slowdown);
+  return h.hex();
+}
+
+std::string Session::report_key() const {
+  util::StableHasher h;
+  h.str("report");
+  h.str(advise_key());
+  return h.hex();
+}
+
+void Session::trace_stage(std::string_view stage, const std::string& key,
+                          bool from_cache, bool saved) {
+  traces_.push_back(
+      StageTrace{std::string(stage), key, from_cache, !from_cache, saved});
+}
+
+const CharacterizeArtifact& Session::characterize() {
+  if (characterize_) return *characterize_;
+  const std::string key = characterize_key();
+  if (cache_on()) {
+    if (auto cached = store_.load<CharacterizeArtifact>(key)) {
+      characterize_ = std::move(*cached);
+      trace_stage(CharacterizeArtifact::kStage, key, true, false);
+      return *characterize_;
+    }
+  }
+
+  CharacterizeArtifact a;
+  a.ordering = effective_ordering();
+  a.pattern = PatternEngine::analyze(trace_);
+  switch (a.ordering) {
+    case OrderingPolicy::kTouchOrder:
+      a.order = a.pattern.touch_order;
+      break;
+    case OrderingPolicy::kTiered:
+      a.order = TieringEngine::priority_order(a.pattern);
+      break;
+    case OrderingPolicy::kExternal:
+      a.order = *config_.external_order;
+      break;
+  }
+  bool saved = false;
+  if (cache_on()) saved = store_.save(key, a).ok();
+  characterize_ = std::move(a);
+  trace_stage(CharacterizeArtifact::kStage, key, false, saved);
+  return *characterize_;
+}
+
+const MeasureArtifact& Session::measure() {
+  if (measure_) return *measure_;
+  const std::string key = measure_key();
+  if (cache_on()) {
+    if (auto cached = store_.load<MeasureArtifact>(key)) {
+      // Belt and braces: a degraded artifact is never written (below),
+      // but if one ever appears on disk, recompute rather than trust it.
+      if (!cached->degraded && cached->failures.empty()) {
+        measure_ = std::move(*cached);
+        trace_stage(MeasureArtifact::kStage, key, true, false);
+        return *measure_;
+      }
+    }
+  }
+
+  const std::size_t cells_before = campaign_totals().cells;
+  MeasureArtifact a;
+  const SensitivityEngine sensitivity(to_sensitivity_config(config_.mnemo));
+  if (config_.mnemo.faults.empty()) {
+    a.baselines = sensitivity.baselines(trace_);
+  } else {
+    // Degraded-mode campaign (DESIGN.md §7): a cell is accepted only when
+    // it is bit-identical to the fault-free platform; a lost baseline
+    // quarantines the estimates instead of silently skewing them.
+    CampaignRunner runner(config_.mnemo.threads);
+    CampaignResult grid = runner.measure_grid_checked(
+        sensitivity, trace_,
+        {hybridmem::Placement(trace_.key_count(), hybridmem::NodeId::kFast),
+         hybridmem::Placement(trace_.key_count(),
+                              hybridmem::NodeId::kSlow)});
+    a.failures = std::move(grid.failures);
+    if (!grid.measurements[0] || !grid.measurements[1]) {
+      a.degraded = true;
+    } else {
+      a.baselines.fast = *grid.measurements[0];
+      a.baselines.slow = *grid.measurements[1];
+    }
+  }
+  cells_run_ += campaign_totals().cells - cells_before;
+
+  // Never cache a degraded grid as if it were clean: only an artifact
+  // with zero quarantined cells may persist.
+  bool saved = false;
+  if (cache_on() && !a.degraded && a.failures.empty()) {
+    saved = store_.save(key, a).ok();
+  }
+  measure_ = std::move(a);
+  trace_stage(MeasureArtifact::kStage, key, false, saved);
+  return *measure_;
+}
+
+const EstimateArtifact& Session::estimate() {
+  if (estimate_) return *estimate_;
+  const std::string key = estimate_key();
+  if (cache_on()) {
+    if (auto cached = store_.load<EstimateArtifact>(key)) {
+      estimate_ = std::move(*cached);
+      trace_stage(EstimateArtifact::kStage, key, true, false);
+      return *estimate_;
+    }
+  }
+
+  EstimateArtifact a;
+  const MeasureArtifact& m = measure();
+  if (!m.degraded) {
+    const CharacterizeArtifact& c = characterize();
+    const EstimateEngine estimator(CostModel(config_.mnemo.price_factor),
+                                   config_.mnemo.estimate_model);
+    a.curve = estimator.estimate(c.pattern, c.order, m.baselines);
+  }
+  bool saved = false;
+  if (cache_on() && !m.degraded) saved = store_.save(key, a).ok();
+  estimate_ = std::move(a);
+  trace_stage(EstimateArtifact::kStage, key, false, saved);
+  return *estimate_;
+}
+
+const AdviseArtifact& Session::advise() {
+  if (advise_) return *advise_;
+  const std::string key = advise_key();
+  if (cache_on()) {
+    if (auto cached = store_.load<AdviseArtifact>(key)) {
+      advise_ = std::move(*cached);
+      trace_stage(AdviseArtifact::kStage, key, true, false);
+      return *advise_;
+    }
+  }
+
+  AdviseArtifact a;
+  a.slo_slowdown = config_.mnemo.slo_slowdown;
+  a.price_factor = config_.mnemo.price_factor;
+  const MeasureArtifact& m = measure();
+  if (m.degraded) {
+    a.degraded = true;
+  } else {
+    const SloAdvisor advisor(config_.mnemo.slo_slowdown);
+    a.result = advisor.advise(estimate().curve, m.baselines);
+  }
+  bool saved = false;
+  if (cache_on() && !m.degraded) saved = store_.save(key, a).ok();
+  advise_ = std::move(a);
+  trace_stage(AdviseArtifact::kStage, key, false, saved);
+  return *advise_;
+}
+
+const ReportArtifact& Session::report() {
+  if (report_) return *report_;
+  const std::string key = report_key();
+  if (cache_on()) {
+    if (auto cached = store_.load<ReportArtifact>(key)) {
+      report_ = std::move(*cached);
+      trace_stage(ReportArtifact::kStage, key, true, false);
+      return *report_;
+    }
+  }
+
+  ReportArtifact a;
+  std::ostringstream text;
+  text << "workload: " << trace_.name() << " on "
+       << kvstore::to_string(config_.mnemo.store) << " ("
+       << to_string(effective_ordering()) << " ordering, "
+       << to_string(config_.mnemo.estimate_model) << " model)\n";
+  const MeasureArtifact& m = measure();
+  if (m.degraded) {
+    text << "baselines quarantined: no estimate (see failure ledger)\n";
+  } else {
+    char line[160];
+    std::snprintf(line, sizeof line,
+                  "baselines: FastMem-only %.0f ops/s | SlowMem-only %.0f "
+                  "ops/s | sensitivity +%.1f%%\n",
+                  m.baselines.fast.throughput_ops,
+                  m.baselines.slow.throughput_ops,
+                  m.baselines.sensitivity() * 100.0);
+    text << line;
+    const AdviseArtifact& v = advise();
+    if (v.result.choice) {
+      const SloChoice& c = *v.result.choice;
+      std::snprintf(line, sizeof line,
+                    "sweet spot @ %.0f%% SLO: %zu keys (%s) in FastMem -> "
+                    "memory cost %.0f%% of FastMem-only (%.0f%% savings)\n",
+                    v.slo_slowdown * 100.0, c.point.fast_keys,
+                    util::format_bytes(c.point.fast_bytes).c_str(),
+                    c.cost_factor * 100.0, c.savings_vs_fast * 100.0);
+      text << line;
+    } else {
+      text << "no configuration satisfies the SLO\n";
+    }
+
+    // The paper's CSV artifact, rendered to a string so cold and warm
+    // runs can be diffed byte for byte (MnemoReport::write_csv writes the
+    // identical bytes to a file).
+    std::ostringstream csv_stream;
+    {
+      util::csv::Writer w(csv_stream);
+      w.row({"key_id", "est_throughput_ops", "cost_reduction_factor"});
+      const EstimateCurve& curve = estimate().curve;
+      for (std::size_t i = 1; i < curve.points.size(); ++i) {
+        const EstimatePoint& p = curve.points[i];
+        w.field(p.last_key)
+            .field(p.est_throughput_ops, 10)
+            .field(p.cost_factor, 6);
+        w.end_row();
+      }
+    }
+    a.csv = csv_stream.str();
+  }
+  a.text = text.str();
+
+  bool saved = false;
+  if (cache_on() && !m.degraded) saved = store_.save(key, a).ok();
+  report_ = std::move(a);
+  trace_stage(ReportArtifact::kStage, key, false, saved);
+  return *report_;
+}
+
+void Session::set_slo(double slo_slowdown) {
+  if (slo_slowdown == config_.mnemo.slo_slowdown) return;
+  config_.mnemo.slo_slowdown = slo_slowdown;
+  advise_.reset();
+  report_.reset();
+}
+
+void Session::set_price(double price_factor) {
+  if (price_factor == config_.mnemo.price_factor) return;
+  config_.mnemo.price_factor = price_factor;
+  estimate_.reset();
+  advise_.reset();
+  report_.reset();
+}
+
+std::string Session::explain_cache() const {
+  std::ostringstream out;
+  out << "cache: "
+      << (store_.enabled()
+              ? (config_.use_cache ? store_.dir() : store_.dir() +
+                                                        " (bypassed)")
+              : "disabled")
+      << "\n";
+  out << "stages:\n";
+  for (const StageTrace& t : traces_) {
+    out << "  " << t.stage;
+    for (std::size_t i = t.stage.size(); i < 12; ++i) out << ' ';
+    out << ' ' << t.key << "  "
+        << (t.from_cache ? "cached" : (t.saved ? "computed, saved"
+                                               : "computed"))
+        << "\n";
+  }
+  bool any_reject = false;
+  for (const StoreEvent& e : store_.events()) {
+    if (e.hit || e.miss == CacheMiss::kAbsent ||
+        e.miss == CacheMiss::kDisabled) {
+      continue;
+    }
+    if (!any_reject) {
+      out << "rejected artifacts (treated as misses):\n";
+      any_reject = true;
+    }
+    out << "  " << e.stage << '-' << e.key << ".mna: " << to_string(e.miss);
+    if (!e.detail.empty()) out << " (" << e.detail << ")";
+    out << "\n";
+  }
+  return out.str();
+}
+
+MnemoReport Session::to_report() {
+  MnemoReport r;
+  r.workload = trace_.name();
+  r.store = config_.mnemo.store;
+  const CharacterizeArtifact& c = characterize();
+  r.ordering = c.ordering;
+  r.pattern = c.pattern;
+  r.order = c.order;
+  const MeasureArtifact& m = measure();
+  r.cell_failures = m.failures;
+  r.degraded = m.degraded;
+  if (m.degraded) return r;
+  r.baselines = m.baselines;
+  r.curve = estimate().curve;
+  r.slo_choice = advise().result.choice;
+  return r;
+}
+
+}  // namespace mnemo::core

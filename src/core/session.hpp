@@ -1,0 +1,128 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/artifact_store.hpp"
+#include "core/artifacts.hpp"
+#include "core/mnemo.hpp"
+#include "workload/trace.hpp"
+
+namespace mnemo::core {
+
+/// Configuration of a pipeline session: the Mnemo knobs plus the caching
+/// policy. `cache_dir` empty (the default) runs everything in memory.
+struct SessionConfig {
+  MnemoConfig mnemo;
+  /// Directory of the content-addressed artifact store; empty = no cache.
+  std::string cache_dir;
+  /// --no-cache: keep the directory configured but bypass it entirely.
+  bool use_cache = true;
+  /// Scenario 2b (ordering == kExternal): the externally produced tiering
+  /// order. Required iff the ordering policy is kExternal.
+  std::optional<std::vector<std::uint64_t>> external_order;
+};
+
+/// How one stage of a session run was satisfied — the --explain-cache
+/// ledger entry.
+struct StageTrace {
+  std::string stage;
+  std::string key;      ///< content hash addressing the stage's artifact
+  bool from_cache = false;
+  bool computed = false;
+  bool saved = false;   ///< written back to the store this run
+};
+
+/// The consultant as an explicit staged pipeline:
+///
+///   characterize -> measure -> estimate -> advise -> report
+///
+/// Each stage is lazy and memoized: asking for report() pulls exactly the
+/// stages it needs, and each stage first consults the ArtifactStore under
+/// a content hash of everything its output depends on. The measure stage
+/// — the only one that touches the emulator — keys on the materialized
+/// trace bytes, the store kind, the platform constants, the campaign grid
+/// shape (payload mode, repeats, seed) and the fault plan; NOT on the
+/// thread count (results are bit-identical at any count, DESIGN.md §6)
+/// and NOT on presentation knobs like the fail policy. Downstream keys
+/// chain on their upstream keys, so changing the SLO or the price factor
+/// re-runs only the cheap analytic stages against a warm grid: a second
+/// advise never touches the emulator (campaign_cells_run() == 0).
+///
+/// Degraded results never enter the store: a measure artifact with
+/// quarantined cells is recomputed every run, so a cache can never launder
+/// a faulted grid into a clean one.
+class Session {
+ public:
+  Session(workload::Trace trace, SessionConfig config);
+
+  /// Stage accessors: compute (or load) on first use, memoized after.
+  const CharacterizeArtifact& characterize();
+  const MeasureArtifact& measure();
+  const EstimateArtifact& estimate();
+  const AdviseArtifact& advise();
+  const ReportArtifact& report();
+
+  /// Re-query against the same grid: drops only the downstream memos, so
+  /// the next advise()/report() reuses the measured baselines in place.
+  void set_slo(double slo_slowdown);
+  void set_price(double price_factor);
+
+  /// Emulator campaign cells this session actually executed — 0 on a
+  /// fully warm run (the incremental-rerun acceptance criterion).
+  [[nodiscard]] std::size_t campaign_cells_run() const noexcept {
+    return cells_run_;
+  }
+
+  /// The per-stage cache keys (computed on demand; stable across runs).
+  [[nodiscard]] std::string trace_key() const;
+  [[nodiscard]] std::string characterize_key() const;
+  [[nodiscard]] std::string measure_key() const;
+  [[nodiscard]] std::string estimate_key() const;
+  [[nodiscard]] std::string advise_key() const;
+  [[nodiscard]] std::string report_key() const;
+
+  /// Stage-by-stage account of the run so far, for --explain-cache.
+  [[nodiscard]] const std::vector<StageTrace>& stage_traces() const noexcept {
+    return traces_;
+  }
+  [[nodiscard]] std::string explain_cache() const;
+
+  /// The legacy one-shot report shape (Mnemo::profile's return type),
+  /// assembled from the staged artifacts.
+  [[nodiscard]] MnemoReport to_report();
+
+  [[nodiscard]] const SessionConfig& config() const noexcept {
+    return config_;
+  }
+  [[nodiscard]] const workload::Trace& trace() const noexcept {
+    return trace_;
+  }
+  [[nodiscard]] ArtifactStore& store() noexcept { return store_; }
+
+ private:
+  [[nodiscard]] OrderingPolicy effective_ordering() const;
+  [[nodiscard]] bool cache_on() const noexcept {
+    return config_.use_cache && store_.enabled();
+  }
+  void trace_stage(std::string_view stage, const std::string& key,
+                   bool from_cache, bool saved);
+
+  workload::Trace trace_;
+  SessionConfig config_;
+  ArtifactStore store_;
+  std::string trace_key_;  ///< hashed once in the constructor
+
+  std::optional<CharacterizeArtifact> characterize_;
+  std::optional<MeasureArtifact> measure_;
+  std::optional<EstimateArtifact> estimate_;
+  std::optional<AdviseArtifact> advise_;
+  std::optional<ReportArtifact> report_;
+
+  std::size_t cells_run_ = 0;
+  std::vector<StageTrace> traces_;
+};
+
+}  // namespace mnemo::core

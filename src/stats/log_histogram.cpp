@@ -56,6 +56,15 @@ void LogHistogram::merge(const LogHistogram& other) noexcept {
   total_ += other.total_;
 }
 
+void LogHistogram::restore(
+    std::span<const std::uint64_t, kBuckets> counts) noexcept {
+  total_ = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    counts_[i] = counts[i];
+    total_ += counts[i];
+  }
+}
+
 double mixture_quantile(const LogHistogram& a, double wa,
                         const LogHistogram& b, double wb, double q) {
   MNEMO_EXPECTS(wa >= 0.0 && wb >= 0.0 && wa + wb > 0.0);

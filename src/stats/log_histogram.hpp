@@ -2,6 +2,7 @@
 
 #include <array>
 #include <cstdint>
+#include <span>
 
 namespace mnemo::stats {
 
@@ -35,6 +36,14 @@ class LogHistogram {
 
   /// Accumulate another histogram (e.g. across repeated runs).
   void merge(const LogHistogram& other) noexcept;
+
+  /// Overwrite the bucket counts (artifact deserialization). The total is
+  /// recomputed — every add() lands in exactly one bucket, so the sum of
+  /// buckets is the count by construction.
+  void restore(std::span<const std::uint64_t, kBuckets> counts) noexcept;
+
+  [[nodiscard]] friend bool operator==(const LogHistogram&,
+                                       const LogHistogram&) = default;
 
  private:
   std::array<std::uint64_t, kBuckets> counts_{};

@@ -32,6 +32,7 @@ struct Line {
   double intercept = 0.0;
   double slope = 0.0;
   [[nodiscard]] double at(double x) const { return intercept + slope * x; }
+  [[nodiscard]] friend bool operator==(const Line&, const Line&) = default;
 };
 Line fit_line(std::span<const double> x, std::span<const double> y);
 

@@ -1,11 +1,57 @@
 #include "util/argparse.hpp"
 
+#include <algorithm>
 #include <sstream>
 #include <stdexcept>
 
 #include "util/assert.hpp"
 
 namespace mnemo::util {
+
+namespace {
+
+/// Damerau-Levenshtein distance (insert/delete/substitute/transpose), the
+/// classic typo metric: "moedl" is one transposition from "model".
+std::size_t edit_distance(const std::string& a, const std::string& b) {
+  const std::size_t n = a.size();
+  const std::size_t m = b.size();
+  std::vector<std::vector<std::size_t>> d(n + 1,
+                                          std::vector<std::size_t>(m + 1));
+  for (std::size_t i = 0; i <= n; ++i) d[i][0] = i;
+  for (std::size_t j = 0; j <= m; ++j) d[0][j] = j;
+  for (std::size_t i = 1; i <= n; ++i) {
+    for (std::size_t j = 1; j <= m; ++j) {
+      const std::size_t sub = a[i - 1] == b[j - 1] ? 0 : 1;
+      d[i][j] = std::min({d[i - 1][j] + 1, d[i][j - 1] + 1,
+                          d[i - 1][j - 1] + sub});
+      if (i > 1 && j > 1 && a[i - 1] == b[j - 2] && a[i - 2] == b[j - 1]) {
+        d[i][j] = std::min(d[i][j], d[i - 2][j - 2] + 1);
+      }
+    }
+  }
+  return d[n][m];
+}
+
+}  // namespace
+
+std::string closest_match(const std::string& query,
+                          const std::vector<std::string>& candidates) {
+  std::string best;
+  std::size_t best_distance = 0;
+  for (const std::string& candidate : candidates) {
+    const std::size_t distance = edit_distance(query, candidate);
+    if (best.empty() || distance < best_distance) {
+      best = candidate;
+      best_distance = distance;
+    }
+  }
+  // Only suggest when the candidate is plausibly a typo of the query, not
+  // a different word entirely.
+  if (best.empty() || best_distance > 2 || best_distance >= query.size()) {
+    return "";
+  }
+  return best;
+}
 
 ArgParser::ArgParser(std::string program, std::string description)
     : program_(std::move(program)), description_(std::move(description)) {}
@@ -45,10 +91,27 @@ bool ArgParser::parse(const std::vector<std::string>& args,
     }
     const auto it = specs_.find(name);
     if (it == specs_.end()) {
-      if (error != nullptr) *error = "unknown option --" + name;
+      if (error != nullptr) {
+        std::vector<std::string> known;
+        known.reserve(specs_.size());
+        for (const auto& [known_name, _] : specs_) {
+          known.push_back(known_name);
+        }
+        *error = "unknown option --" + name;
+        const std::string suggestion = closest_match(name, known);
+        if (!suggestion.empty()) {
+          *error += " (did you mean --" + suggestion + "?)";
+        }
+      }
       return false;
     }
     Spec& spec = it->second;
+    if (spec.seen) {
+      if (error != nullptr) {
+        *error = "duplicate option --" + name + " (given more than once)";
+      }
+      return false;
+    }
     spec.seen = true;
     if (spec.is_flag) {
       if (has_inline) {

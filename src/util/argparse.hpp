@@ -6,10 +6,19 @@
 
 namespace mnemo::util {
 
+/// Case-sensitive nearest-match over `candidates` by Damerau-Levenshtein
+/// edit distance, for "did you mean" diagnostics. Returns the closest
+/// candidate when its distance is small relative to the query (<= 2, and
+/// strictly less than the query length), empty string otherwise.
+[[nodiscard]] std::string closest_match(
+    const std::string& query, const std::vector<std::string>& candidates);
+
 /// Minimal command-line parser for the mnemo CLI: boolean flags and
 /// string-valued options (`--name value` or `--name=value`), plus
-/// positional arguments. Unknown flags and missing values are reported as
-/// errors rather than ignored.
+/// positional arguments. Unknown flags (reported with a "did you mean"
+/// nearest-match suggestion), duplicated flags and missing values are
+/// errors rather than being ignored — callers print the message plus
+/// help() and exit 2, the CLI's usage-error convention.
 class ArgParser {
  public:
   ArgParser(std::string program, std::string description);

@@ -1,0 +1,142 @@
+#include "util/artifact_io.hpp"
+
+#include <unistd.h>
+
+#include <bit>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace mnemo::util {
+
+void BinWriter::u8(std::uint8_t v) {
+  buf_.push_back(static_cast<char>(v));
+}
+
+void BinWriter::u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    buf_.push_back(static_cast<char>(v >> (8 * i)));
+  }
+}
+
+void BinWriter::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    buf_.push_back(static_cast<char>(v >> (8 * i)));
+  }
+}
+
+void BinWriter::f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+void BinWriter::str(std::string_view s) {
+  u64(s.size());
+  buf_.append(s);
+}
+
+void BinWriter::u64_vec(const std::vector<std::uint64_t>& v) {
+  u64(v.size());
+  for (const std::uint64_t x : v) u64(x);
+}
+
+void BinReader::need(std::size_t n) const {
+  if (remaining() < n) {
+    throw ArtifactError("artifact truncated: need " + std::to_string(n) +
+                        " bytes, " + std::to_string(remaining()) + " left");
+  }
+}
+
+std::uint8_t BinReader::u8() {
+  need(1);
+  return static_cast<std::uint8_t>(data_[pos_++]);
+}
+
+std::uint32_t BinReader::u32() {
+  need(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(
+             static_cast<unsigned char>(data_[pos_ + i]))
+         << (8 * i);
+  }
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t BinReader::u64() {
+  need(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(
+             static_cast<unsigned char>(data_[pos_ + i]))
+         << (8 * i);
+  }
+  pos_ += 8;
+  return v;
+}
+
+double BinReader::f64() { return std::bit_cast<double>(u64()); }
+
+std::string BinReader::str() {
+  const std::uint64_t n = u64();
+  need(n);
+  std::string s(data_.substr(pos_, n));
+  pos_ += n;
+  return s;
+}
+
+std::vector<std::uint64_t> BinReader::u64_vec() {
+  const std::uint64_t n = u64();
+  // Validate before allocating. Divide instead of multiplying: a corrupt
+  // length like 2^61 would wrap n * 8 to a passing need() and then throw
+  // std::length_error out of reserve() instead of ArtifactError.
+  if (n > remaining() / 8) {
+    throw ArtifactError("artifact truncated: vector claims " +
+                        std::to_string(n) + " elements, " +
+                        std::to_string(remaining()) + " bytes left");
+  }
+  std::vector<std::uint64_t> v;
+  v.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) v.push_back(u64());
+  return v;
+}
+
+Status write_file_atomic(const std::string& path,
+                         std::string_view contents) {
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Error{ErrorCode::kInvalidArgument,
+                   "cannot open " + tmp + " for writing"};
+    }
+    out.write(contents.data(),
+              static_cast<std::streamsize>(contents.size()));
+    out.flush();
+    if (!out.good()) {
+      std::error_code ignored;
+      std::filesystem::remove(tmp, ignored);
+      return Error{ErrorCode::kInvalidArgument, "short write to " + tmp};
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::error_code ignored;
+    std::filesystem::remove(tmp, ignored);
+    return Error{ErrorCode::kInvalidArgument,
+                 "rename " + tmp + " -> " + path + ": " + ec.message()};
+  }
+  return {};
+}
+
+bool read_file(const std::string& path, std::string* contents) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *contents = ss.str();
+  return true;
+}
+
+}  // namespace mnemo::util

@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace mnemo::util {
+
+/// Thrown by BinReader when the byte stream is shorter or shaped
+/// differently than the schema expects — a truncated or corrupt artifact.
+/// Consumers (the ArtifactStore) treat it as a cache miss, never a crash.
+class ArtifactError : public std::runtime_error {
+ public:
+  explicit ArtifactError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Append-only binary serializer for pipeline artifacts. Fixed-width
+/// little-endian integers, bit-cast doubles and length-prefixed strings,
+/// so the byte stream is identical across platforms and runs — the
+/// property the "cached == recomputed, bit for bit" contract rests on.
+class BinWriter {
+ public:
+  void u8(std::uint8_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+  void f64(double v);
+  void b(bool v) { u8(v ? 1 : 0); }
+  void str(std::string_view s);
+  void u64_vec(const std::vector<std::uint64_t>& v);
+
+  [[nodiscard]] const std::string& buffer() const noexcept { return buf_; }
+
+ private:
+  std::string buf_;
+};
+
+/// Mirror of BinWriter. Every accessor throws ArtifactError on underrun,
+/// and vector/string lengths are validated against the bytes actually
+/// remaining, so a truncated payload can never trigger a huge allocation.
+class BinReader {
+ public:
+  explicit BinReader(std::string_view data) : data_(data) {}
+
+  std::uint8_t u8();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  double f64();
+  bool b() { return u8() != 0; }
+  std::string str();
+  std::vector<std::uint64_t> u64_vec();
+
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return data_.size() - pos_;
+  }
+  [[nodiscard]] bool exhausted() const noexcept { return remaining() == 0; }
+
+ private:
+  void need(std::size_t n) const;
+
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+/// Crash-safe whole-file write: the contents land in `path + ".tmp.<pid>"`
+/// first and are renamed into place, so a reader never observes a
+/// half-written file — it sees either the old content or the new, and a
+/// crash leaves at worst a stale temp file that later writes ignore.
+Status write_file_atomic(const std::string& path, std::string_view contents);
+
+/// Read a whole file. Returns false if the file does not exist or cannot
+/// be opened (the caller decides whether that is a miss or an error).
+bool read_file(const std::string& path, std::string* contents);
+
+}  // namespace mnemo::util

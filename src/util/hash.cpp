@@ -1,0 +1,55 @@
+#include "util/hash.hpp"
+
+#include <bit>
+#include <cstdio>
+
+namespace mnemo::util {
+
+namespace {
+constexpr std::uint64_t kPrimeA = 0x100000001b3ULL;   // FNV 64 prime
+constexpr std::uint64_t kPrimeB = 0x00000100000001b3ULL ^ 0x9e3779b97f4a7c15ULL;
+}  // namespace
+
+void StableHasher::bytes(const void* data, std::size_t n) noexcept {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    a_ = (a_ ^ p[i]) * kPrimeA;
+    b_ = (b_ ^ p[i]) * kPrimeB;
+  }
+}
+
+void StableHasher::u32(std::uint32_t v) noexcept {
+  unsigned char buf[4];
+  for (int i = 0; i < 4; ++i) buf[i] = static_cast<unsigned char>(v >> (8 * i));
+  bytes(buf, sizeof buf);
+}
+
+void StableHasher::u64(std::uint64_t v) noexcept {
+  unsigned char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<unsigned char>(v >> (8 * i));
+  bytes(buf, sizeof buf);
+}
+
+void StableHasher::f64(double v) noexcept {
+  u64(std::bit_cast<std::uint64_t>(v));
+}
+
+void StableHasher::str(std::string_view s) noexcept {
+  u64(s.size());
+  bytes(s.data(), s.size());
+}
+
+void StableHasher::u64_span(const std::vector<std::uint64_t>& v) noexcept {
+  u64(v.size());
+  for (const std::uint64_t x : v) u64(x);
+}
+
+std::string StableHasher::hex() const {
+  char buf[33];
+  std::snprintf(buf, sizeof buf, "%016llx%016llx",
+                static_cast<unsigned long long>(a_),
+                static_cast<unsigned long long>(b_));
+  return buf;
+}
+
+}  // namespace mnemo::util

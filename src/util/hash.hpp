@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mnemo::util {
+
+/// Stable 128-bit content hash for cache keys and artifact checksums.
+/// Two independent FNV-1a lanes over the same byte stream; the digest is a
+/// pure function of the fed bytes — no pointers, no addresses, no
+/// locale — so keys are identical across runs, thread counts and builds.
+/// Not cryptographic: it addresses a local cache, not an adversary.
+///
+/// Multi-byte values are fed in a fixed little-endian order and strings
+/// are length-prefixed, so field boundaries cannot alias (("ab","c") and
+/// ("a","bc") hash differently).
+class StableHasher {
+ public:
+  void bytes(const void* data, std::size_t n) noexcept;
+
+  void u8(std::uint8_t v) noexcept { bytes(&v, 1); }
+  void u32(std::uint32_t v) noexcept;
+  void u64(std::uint64_t v) noexcept;
+  void i32(std::int32_t v) noexcept { u32(static_cast<std::uint32_t>(v)); }
+  void b(bool v) noexcept { u8(v ? 1 : 0); }
+  /// IEEE-754 bit pattern — two doubles hash equal iff they are
+  /// bit-identical (so +0.0 and -0.0 differ, as bit-identity demands).
+  void f64(double v) noexcept;
+  /// Length-prefixed, so adjacent strings cannot alias.
+  void str(std::string_view s) noexcept;
+  void u64_span(const std::vector<std::uint64_t>& v) noexcept;
+
+  [[nodiscard]] std::uint64_t lo() const noexcept { return a_; }
+  [[nodiscard]] std::uint64_t hi() const noexcept { return b_; }
+
+  /// 32-char lowercase hex digest of the 128-bit state.
+  [[nodiscard]] std::string hex() const;
+
+ private:
+  // Lane A: standard FNV-1a 64. Lane B: same scheme from a different
+  // offset basis with a different prime, so the lanes do not collapse
+  // into one another.
+  std::uint64_t a_ = 0xcbf29ce484222325ULL;
+  std::uint64_t b_ = 0x6c62272e07bb0142ULL;
+};
+
+}  // namespace mnemo::util

@@ -1,0 +1,52 @@
+# Cache-correctness harness (ctest label: pipeline). Drives the real
+# `mnemo` binary the way a user would: a cold `report` into a fresh
+# --cache-dir, then a warm one, and fails unless the two outputs are
+# byte-identical. A third run with a different SLO must still answer from
+# the cached measurement grid (campaign cells executed: 0).
+#
+# Expects: -DMNEMO_BIN=<path to mnemo> -DWORK_DIR=<scratch dir>
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+set(CACHE_DIR "${WORK_DIR}/cache")
+set(ARGS --workload trending --keys 150 --requests 1500 --repeats 1
+    --cache-dir "${CACHE_DIR}")
+
+execute_process(
+  COMMAND "${MNEMO_BIN}" report ${ARGS}
+  OUTPUT_FILE "${WORK_DIR}/cold.txt"
+  RESULT_VARIABLE cold_rc ERROR_VARIABLE cold_err)
+if(NOT cold_rc EQUAL 0)
+  message(FATAL_ERROR "cold run failed (${cold_rc}): ${cold_err}")
+endif()
+
+execute_process(
+  COMMAND "${MNEMO_BIN}" report ${ARGS}
+  OUTPUT_FILE "${WORK_DIR}/warm.txt"
+  RESULT_VARIABLE warm_rc ERROR_VARIABLE warm_err)
+if(NOT warm_rc EQUAL 0)
+  message(FATAL_ERROR "warm run failed (${warm_rc}): ${warm_err}")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+          "${WORK_DIR}/cold.txt" "${WORK_DIR}/warm.txt"
+  RESULT_VARIABLE diff_rc)
+if(NOT diff_rc EQUAL 0)
+  message(FATAL_ERROR "cold and warm `mnemo report` outputs differ — the "
+                      "artifact cache changed the answer")
+endif()
+
+# Incremental re-run: a new SLO against the warm grid must not replay.
+execute_process(
+  COMMAND "${MNEMO_BIN}" advise --slo 0.3 ${ARGS}
+  OUTPUT_VARIABLE advise_out
+  RESULT_VARIABLE advise_rc ERROR_VARIABLE advise_err)
+if(NOT advise_rc EQUAL 0)
+  message(FATAL_ERROR "warm advise failed (${advise_rc}): ${advise_err}")
+endif()
+if(NOT advise_out MATCHES "campaign cells executed: 0")
+  message(FATAL_ERROR "warm advise replayed the emulator:\n${advise_out}")
+endif()
+
+file(REMOVE_RECURSE "${WORK_DIR}")

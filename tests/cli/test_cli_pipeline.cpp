@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cli/cli.hpp"
+
+namespace mnemo::cli {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct CliResult {
+  int code;
+  std::string out;
+  std::string err;
+};
+
+CliResult run_cli(std::vector<std::string> args) {
+  std::ostringstream out;
+  std::ostringstream err;
+  const int code = run(args, out, err);
+  return {code, out.str(), err.str()};
+}
+
+/// Shared small workload so every invocation stays fast and every test
+/// that reuses these flags addresses the same cache entries.
+const std::vector<std::string> kWorkload = {"--workload", "trending",
+                                            "--keys", "150", "--requests",
+                                            "1500", "--repeats", "1"};
+
+std::vector<std::string> with_workload(std::vector<std::string> extra) {
+  std::vector<std::string> args = extra;
+  args.insert(args.begin() + 1, kWorkload.begin(), kWorkload.end());
+  return args;
+}
+
+struct PipelineCliTest : ::testing::Test {
+  fs::path cache;
+  void SetUp() override {
+    cache = fs::path(testing::TempDir()) /
+            (std::string("mnemo_cli_cache_") +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(cache);
+  }
+  void TearDown() override { fs::remove_all(cache); }
+
+  std::vector<std::string> cached(std::vector<std::string> args) const {
+    args.push_back("--cache-dir");
+    args.push_back(cache.string());
+    return args;
+  }
+};
+
+TEST_F(PipelineCliTest, RunIsByteIdenticalColdAndWarm) {
+  const CliResult cold = run_cli(cached(with_workload({"run"})));
+  ASSERT_EQ(cold.code, 0) << cold.err;
+  EXPECT_NE(cold.out.find("workload: trending"), std::string::npos);
+  EXPECT_NE(cold.out.find("baselines:"), std::string::npos);
+
+  const CliResult warm = run_cli(cached(with_workload({"run"})));
+  ASSERT_EQ(warm.code, 0) << warm.err;
+  EXPECT_EQ(warm.out, cold.out);  // byte-for-byte, not merely similar
+  EXPECT_EQ(warm.err, cold.err);
+}
+
+TEST_F(PipelineCliTest, ReportMatchesRunAndStaysStable) {
+  const CliResult run1 = run_cli(cached(with_workload({"report"})));
+  ASSERT_EQ(run1.code, 0) << run1.err;
+  const CliResult run2 = run_cli(cached(with_workload({"report"})));
+  ASSERT_EQ(run2.code, 0) << run2.err;
+  EXPECT_EQ(run1.out, run2.out);
+}
+
+TEST_F(PipelineCliTest, MeasureReportsCellsThenAdviseRunsZero) {
+  const CliResult measure = run_cli(cached(with_workload({"measure"})));
+  ASSERT_EQ(measure.code, 0) << measure.err;
+  EXPECT_NE(measure.out.find("campaign cells executed: "), std::string::npos);
+  EXPECT_EQ(measure.out.find("campaign cells executed: 0"),
+            std::string::npos);  // cold run really measured
+
+  // A different SLO against the warm grid: zero emulator replays.
+  const CliResult advise =
+      run_cli(cached(with_workload({"advise", "--slo", "0.3"})));
+  ASSERT_EQ(advise.code, 0) << advise.err;
+  EXPECT_NE(advise.out.find("campaign cells executed: 0"), std::string::npos);
+  EXPECT_NE(advise.out.find("baselines:"), std::string::npos);
+}
+
+TEST_F(PipelineCliTest, NoCacheForcesRecomputation) {
+  ASSERT_EQ(run_cli(cached(with_workload({"measure"}))).code, 0);
+  const CliResult bypass =
+      run_cli(cached(with_workload({"measure", "--no-cache"})));
+  ASSERT_EQ(bypass.code, 0) << bypass.err;
+  EXPECT_EQ(bypass.out.find("campaign cells executed: 0"), std::string::npos);
+}
+
+TEST_F(PipelineCliTest, ExplainCacheShowsStageDecisions) {
+  ASSERT_EQ(run_cli(cached(with_workload({"run"}))).code, 0);
+  const CliResult explain =
+      run_cli(cached(with_workload({"advise", "--explain-cache"})));
+  ASSERT_EQ(explain.code, 0) << explain.err;
+  EXPECT_NE(explain.out.find("cache: " + cache.string()), std::string::npos);
+  EXPECT_NE(explain.out.find("measure"), std::string::npos);
+  EXPECT_NE(explain.out.find("cached"), std::string::npos);
+}
+
+TEST_F(PipelineCliTest, CharacterizeSummarizesTheOrdering) {
+  const CliResult r = run_cli(with_workload({"characterize"}));
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("workload: trending"), std::string::npos);
+  EXPECT_NE(r.out.find("ordering: touch_order"), std::string::npos);
+  EXPECT_NE(r.out.find("front of the order:"), std::string::npos);
+}
+
+TEST_F(PipelineCliTest, CacheDirectoryHoldsOneFilePerStage) {
+  ASSERT_EQ(run_cli(cached(with_workload({"run"}))).code, 0);
+  std::size_t artifacts = 0;
+  for (const auto& e : fs::directory_iterator(cache)) {
+    EXPECT_EQ(e.path().extension().string(), ".mna") << e.path();
+    ++artifacts;
+  }
+  EXPECT_EQ(artifacts, 5u);  // characterize, measure, estimate, advise, report
+}
+
+TEST_F(PipelineCliTest, CorruptedCacheIsRepairedNotFatal) {
+  ASSERT_EQ(run_cli(cached(with_workload({"report"}))).code, 0);
+  const CliResult clean = run_cli(cached(with_workload({"report"})));
+  for (const auto& e : fs::directory_iterator(cache)) {
+    fs::resize_file(e.path(), 2);
+  }
+  const CliResult repaired = run_cli(cached(with_workload({"report"})));
+  ASSERT_EQ(repaired.code, 0) << repaired.err;
+  EXPECT_EQ(repaired.out, clean.out);
+}
+
+TEST_F(PipelineCliTest, PipelineWithoutCacheDirStillWorks) {
+  const CliResult r = run_cli(with_workload({"advise"}));
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("campaign cells executed: "), std::string::npos);
+}
+
+TEST(PipelineCli, UnknownCommandSuggestsNearestMatch) {
+  std::ostringstream out;
+  std::ostringstream err;
+  EXPECT_EQ(run({"advize"}, out, err), 2);
+  EXPECT_NE(err.str().find("unknown command: advize"), std::string::npos);
+  EXPECT_NE(err.str().find("did you mean advise?"), std::string::npos);
+}
+
+TEST(PipelineCli, UnknownFlagSuggestsAndExitsTwo) {
+  std::ostringstream out;
+  std::ostringstream err;
+  EXPECT_EQ(run({"run", "--cache-dri", "/tmp/x"}, out, err), 2);
+  EXPECT_NE(err.str().find("unknown option --cache-dri"), std::string::npos);
+  EXPECT_NE(err.str().find("did you mean --cache-dir?"), std::string::npos);
+}
+
+TEST(PipelineCli, DuplicateFlagExitsTwo) {
+  std::ostringstream out;
+  std::ostringstream err;
+  EXPECT_EQ(run({"run", "--slo", "0.1", "--slo", "0.2"}, out, err), 2);
+  EXPECT_NE(err.str().find("duplicate option --slo"), std::string::npos);
+}
+
+TEST(PipelineCli, HelpListsThePipelineCommands) {
+  std::ostringstream out;
+  std::ostringstream err;
+  EXPECT_EQ(run({"help"}, out, err), 0);
+  for (const char* cmd : {"run", "characterize", "measure", "advise",
+                          "report", "--cache-dir"}) {
+    EXPECT_NE(out.str().find(cmd), std::string::npos) << cmd;
+  }
+}
+
+}  // namespace
+}  // namespace mnemo::cli

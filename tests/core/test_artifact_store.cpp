@@ -1,0 +1,192 @@
+#include "core/artifact_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "core/artifacts.hpp"
+
+namespace mnemo::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr std::string_view kKey = "0123456789abcdef0123456789abcdef";
+
+struct StoreFixture : ::testing::Test {
+  fs::path dir;
+  void SetUp() override {
+    dir = fs::path(testing::TempDir()) /
+          (std::string("mnemo_store_") +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(dir);
+  }
+  void TearDown() override { fs::remove_all(dir); }
+
+  static ReportArtifact sample() {
+    ReportArtifact a;
+    a.text = "workload: trending\n";
+    a.csv = "key_id,est_throughput_ops,cost_reduction_factor\n";
+    return a;
+  }
+
+  /// The store's file for the sample artifact's (stage, key) address.
+  std::string sample_path(const ArtifactStore& store) const {
+    return store.path_for(ReportArtifact::kStage, kKey);
+  }
+
+  static CacheMiss last_miss(const ArtifactStore& store) {
+    EXPECT_FALSE(store.events().empty());
+    return store.events().back().miss;
+  }
+};
+
+TEST_F(StoreFixture, SaveThenLoadRoundTrips) {
+  ArtifactStore store(dir.string());
+  ASSERT_TRUE(store.save(kKey, sample()).ok());
+  const auto back = store.load<ReportArtifact>(kKey);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(*back == sample());
+  EXPECT_TRUE(store.events().back().hit);
+  EXPECT_EQ(store.events().back().miss, CacheMiss::kNone);
+}
+
+TEST_F(StoreFixture, DisabledStoreAlwaysMissesAndDropsSaves) {
+  ArtifactStore store;  // no directory
+  EXPECT_FALSE(store.enabled());
+  EXPECT_TRUE(store.save(kKey, sample()).ok());  // dropped, not an error
+  EXPECT_FALSE(store.load<ReportArtifact>(kKey).has_value());
+  EXPECT_EQ(last_miss(store), CacheMiss::kDisabled);
+}
+
+TEST_F(StoreFixture, AbsentKeyIsAColdMiss) {
+  ArtifactStore store(dir.string());
+  EXPECT_FALSE(store.load<ReportArtifact>(kKey).has_value());
+  EXPECT_EQ(last_miss(store), CacheMiss::kAbsent);
+}
+
+TEST_F(StoreFixture, SaveLeavesNoTempFiles) {
+  ArtifactStore store(dir.string());
+  ASSERT_TRUE(store.save(kKey, sample()).ok());
+  for (const auto& e : fs::directory_iterator(dir)) {
+    EXPECT_EQ(e.path().extension().string(), ".mna") << e.path();
+  }
+}
+
+TEST_F(StoreFixture, PathEncodesStageAndKey) {
+  const ArtifactStore store(dir.string());
+  const std::string path = sample_path(store);
+  EXPECT_NE(path.find("report-"), std::string::npos);
+  EXPECT_NE(path.find(kKey), std::string::npos);
+  EXPECT_NE(path.find(".mna"), std::string::npos);
+}
+
+TEST_F(StoreFixture, TruncatedFileIsAMissNeverAnError) {
+  ArtifactStore store(dir.string());
+  ASSERT_TRUE(store.save(kKey, sample()).ok());
+  const std::string path = sample_path(store);
+  const auto full = fs::file_size(path);
+  fs::resize_file(path, full / 2);
+
+  EXPECT_FALSE(store.load<ReportArtifact>(kKey).has_value());
+  EXPECT_EQ(last_miss(store), CacheMiss::kTruncated);
+  EXPECT_FALSE(store.events().back().detail.empty());
+}
+
+TEST_F(StoreFixture, BadMagicIsAMiss) {
+  ArtifactStore store(dir.string());
+  ASSERT_TRUE(store.save(kKey, sample()).ok());
+  std::ofstream(sample_path(store), std::ios::binary) << "not an artifact";
+  EXPECT_FALSE(store.load<ReportArtifact>(kKey).has_value());
+  EXPECT_EQ(last_miss(store), CacheMiss::kBadMagic);
+}
+
+TEST_F(StoreFixture, ForeignSchemaIsAMiss) {
+  ArtifactStore store(dir.string());
+  // Write a *measure* artifact into the file the *report* key addresses —
+  // e.g. a renamed file or a colliding key from an old layout.
+  util::BinWriter w;
+  MeasureArtifact{}.serialize(w);
+  ASSERT_TRUE(store
+                  .save_payload(ReportArtifact::kStage,
+                                MeasureArtifact::kSchema,
+                                MeasureArtifact::kVersion, kKey, w.buffer())
+                  .ok());
+  EXPECT_FALSE(store.load<ReportArtifact>(kKey).has_value());
+  EXPECT_EQ(last_miss(store), CacheMiss::kSchemaMismatch);
+  EXPECT_NE(store.events().back().detail.find("mnemo.artifact.measure"),
+            std::string::npos);
+}
+
+TEST_F(StoreFixture, StaleVersionIsAMiss) {
+  ArtifactStore store(dir.string());
+  util::BinWriter w;
+  sample().serialize(w);
+  ASSERT_TRUE(store
+                  .save_payload(ReportArtifact::kStage, ReportArtifact::kSchema,
+                                ReportArtifact::kVersion + 1, kKey, w.buffer())
+                  .ok());
+  EXPECT_FALSE(store.load<ReportArtifact>(kKey).has_value());
+  EXPECT_EQ(last_miss(store), CacheMiss::kVersionMismatch);
+}
+
+TEST_F(StoreFixture, FlippedPayloadByteFailsTheChecksum) {
+  ArtifactStore store(dir.string());
+  ASSERT_TRUE(store.save(kKey, sample()).ok());
+  const std::string path = sample_path(store);
+  std::string bytes;
+  ASSERT_TRUE(util::read_file(path, &bytes));
+  bytes[bytes.size() - 20] ^= 0x01;  // inside the payload region
+  std::ofstream(path, std::ios::binary) << bytes;
+
+  EXPECT_FALSE(store.load<ReportArtifact>(kKey).has_value());
+  EXPECT_EQ(last_miss(store), CacheMiss::kChecksumMismatch);
+}
+
+TEST_F(StoreFixture, ChecksummedButUndecodablePayloadIsCorrupt) {
+  ArtifactStore store(dir.string());
+  // A validly framed file whose payload is not a ReportArtifact stream.
+  ASSERT_TRUE(store
+                  .save_payload(ReportArtifact::kStage, ReportArtifact::kSchema,
+                                ReportArtifact::kVersion, kKey, "\x01")
+                  .ok());
+  EXPECT_FALSE(store.load<ReportArtifact>(kKey).has_value());
+  EXPECT_EQ(last_miss(store), CacheMiss::kCorrupt);
+}
+
+TEST_F(StoreFixture, RejectedFileStaysOnDiskAndRecomputeOverwritesIt) {
+  ArtifactStore store(dir.string());
+  ASSERT_TRUE(store.save(kKey, sample()).ok());
+  fs::resize_file(sample_path(store), 3);
+  EXPECT_FALSE(store.load<ReportArtifact>(kKey).has_value());
+  // The recompute path writes the fresh artifact over the bad file.
+  ASSERT_TRUE(store.save(kKey, sample()).ok());
+  EXPECT_TRUE(store.load<ReportArtifact>(kKey).has_value());
+}
+
+TEST_F(StoreFixture, EventsLedgerRecordsEveryDecisionInOrder) {
+  ArtifactStore store(dir.string());
+  EXPECT_FALSE(store.load<ReportArtifact>(kKey).has_value());  // cold
+  ASSERT_TRUE(store.save(kKey, sample()).ok());
+  EXPECT_TRUE(store.load<ReportArtifact>(kKey).has_value());  // warm
+
+  ASSERT_EQ(store.events().size(), 2u);
+  EXPECT_EQ(store.events()[0].miss, CacheMiss::kAbsent);
+  EXPECT_TRUE(store.events()[1].hit);
+  EXPECT_EQ(store.events()[0].stage, "report");
+  EXPECT_EQ(store.events()[0].key, kKey);
+
+  store.clear_events();
+  EXPECT_TRUE(store.events().empty());
+}
+
+TEST_F(StoreFixture, MissReasonsHaveNames) {
+  EXPECT_EQ(to_string(CacheMiss::kAbsent), "absent");
+  EXPECT_EQ(to_string(CacheMiss::kTruncated), "truncated");
+  EXPECT_EQ(to_string(CacheMiss::kChecksumMismatch), "checksum mismatch");
+}
+
+}  // namespace
+}  // namespace mnemo::core

@@ -1,0 +1,196 @@
+#include "core/artifacts.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace mnemo::core {
+namespace {
+
+/// The pipeline's cache contract: load(save(x)) is bit-identical for every
+/// artifact type. Checked two ways — field equality after a round trip,
+/// and byte equality of the re-serialized stream (so a field that decodes
+/// "close enough" but re-encodes differently still fails).
+template <typename A>
+void expect_bit_identical_round_trip(const A& artifact) {
+  util::BinWriter w;
+  artifact.serialize(w);
+
+  util::BinReader r(w.buffer());
+  const A back = A::deserialize(r);
+  EXPECT_TRUE(r.exhausted()) << A::kStage << ": trailing bytes after decode";
+  EXPECT_TRUE(back == artifact) << A::kStage << ": fields changed";
+
+  util::BinWriter w2;
+  back.serialize(w2);
+  EXPECT_EQ(w2.buffer(), w.buffer()) << A::kStage << ": bytes changed";
+}
+
+RunMeasurement full_measurement(double scale) {
+  RunMeasurement m;
+  m.runtime_ns = 1.5e9 * scale;
+  m.throughput_ops = 123456.25 * scale;
+  m.avg_latency_ns = 812.5 / scale;
+  m.avg_read_ns = 700.125;
+  m.avg_write_ns = 950.875;
+  m.p95_ns = 2100.0;
+  m.p99_ns = 4200.0;
+  m.requests = 200000;
+  m.reads = 150001;
+  m.writes = 49999;
+  m.llc_hit_rate = 0.912345;
+  m.read_vs_bytes = {600.0, 0.25};
+  m.write_vs_bytes = {800.0, 0.5};
+  for (int i = 0; i < 500; ++i) m.latency_hist.add(10.0 + 37.0 * i);
+  m.faults.transient_faults = 7;
+  m.faults.transient_retries = 9;
+  m.faults.transient_failures = 1;
+  m.faults.poison_hits = 3;
+  m.faults.degraded_accesses = 42;
+  return m;
+}
+
+CellFailure full_failure() {
+  CellFailure f;
+  f.cell = 11;
+  f.fast_keys = 250;
+  f.repeat = 2;
+  f.attempts = 3;
+  f.error.code = util::ErrorCode::kRetriesExhausted;
+  f.error.message = "read of key 98 kept faulting";
+  f.error.key = 98;
+  f.error.requested_bytes = 4096;
+  f.error.available_bytes = 1024;
+  f.error.attempts = 3;
+  f.faults.transient_faults = 5;
+  f.faults.transient_retries = 5;
+  return f;
+}
+
+TEST(ArtifactRoundTrip, Measurement) {
+  util::BinWriter w;
+  write_measurement(w, full_measurement(1.0));
+  util::BinReader r(w.buffer());
+  const RunMeasurement back = read_measurement(r);
+  EXPECT_TRUE(r.exhausted());
+  EXPECT_TRUE(back == full_measurement(1.0));
+}
+
+TEST(ArtifactRoundTrip, CellFailure) {
+  util::BinWriter w;
+  write_cell_failure(w, full_failure());
+  util::BinReader r(w.buffer());
+  EXPECT_TRUE(read_cell_failure(r) == full_failure());
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(ArtifactRoundTrip, Characterize) {
+  CharacterizeArtifact a;
+  a.ordering = OrderingPolicy::kTiered;
+  a.pattern.reads = {5, 0, 12};
+  a.pattern.writes = {1, 2, 0};
+  a.pattern.sizes = {64, 900, 128};
+  a.pattern.touch_order = {2, 0, 1};
+  a.order = {2, 0, 1};
+  expect_bit_identical_round_trip(a);
+}
+
+TEST(ArtifactRoundTrip, CharacterizeEmpty) {
+  expect_bit_identical_round_trip(CharacterizeArtifact{});
+}
+
+TEST(ArtifactRoundTrip, MeasureHealthy) {
+  MeasureArtifact a;
+  a.baselines.fast = full_measurement(1.0);
+  a.baselines.slow = full_measurement(0.5);
+  expect_bit_identical_round_trip(a);
+}
+
+TEST(ArtifactRoundTrip, MeasureDegradedWithLedger) {
+  MeasureArtifact a;
+  a.baselines.fast = full_measurement(1.0);
+  a.degraded = true;
+  a.failures = {full_failure(), full_failure()};
+  a.failures[1].cell = 12;
+  a.failures[1].error.code = util::ErrorCode::kFaultInjected;
+  expect_bit_identical_round_trip(a);
+}
+
+TEST(ArtifactRoundTrip, Estimate) {
+  EstimateArtifact a;
+  for (int i = 0; i < 8; ++i) {
+    EstimatePoint p;
+    p.last_key = static_cast<std::uint64_t>(i * 3);
+    p.fast_keys = static_cast<std::size_t>(i);
+    p.fast_bytes = static_cast<std::uint64_t>(i) * 512;
+    p.est_runtime_ns = 1e9 - 1e7 * i;
+    p.est_throughput_ops = 1000.0 + 10.5 * i;
+    p.est_avg_latency_ns = 900.0 - 5.25 * i;
+    p.cost_factor = 0.2 + 0.1 * i;
+    a.curve.points.push_back(p);
+  }
+  expect_bit_identical_round_trip(a);
+}
+
+TEST(ArtifactRoundTrip, AdviseWithChoice) {
+  AdviseArtifact a;
+  a.slo_slowdown = 0.07;
+  a.price_factor = 0.15;
+  a.result.outcome = SloOutcome::kChosen;
+  SloChoice c;
+  c.point.last_key = 17;
+  c.point.fast_keys = 40;
+  c.point.fast_bytes = 8192;
+  c.point.est_throughput_ops = 930.5;
+  c.point.cost_factor = 0.44;
+  c.slowdown_vs_fast = 0.069;
+  c.cost_factor = 0.44;
+  c.savings_vs_fast = 0.56;
+  a.result.choice = c;
+  expect_bit_identical_round_trip(a);
+}
+
+TEST(ArtifactRoundTrip, AdviseInfeasibleAndDegraded) {
+  AdviseArtifact infeasible;
+  infeasible.slo_slowdown = -0.05;
+  infeasible.result.outcome = SloOutcome::kNoFeasibleSplit;
+  expect_bit_identical_round_trip(infeasible);
+
+  AdviseArtifact degraded;
+  degraded.degraded = true;
+  expect_bit_identical_round_trip(degraded);
+}
+
+TEST(ArtifactRoundTrip, Report) {
+  ReportArtifact a;
+  a.text = "workload: trending\nbaselines: ...\n";
+  a.csv = "key_id,est_throughput_ops,cost_reduction_factor\n1,2.5,0.3\n";
+  expect_bit_identical_round_trip(a);
+  expect_bit_identical_round_trip(ReportArtifact{});
+}
+
+TEST(ArtifactRoundTrip, HistogramCountsSurviveExactly) {
+  // The histogram is the largest fixed-shape field; make sure restore()
+  // rebuilds the total, not just the buckets.
+  MeasureArtifact a;
+  for (int i = 0; i < 1000; ++i) a.baselines.fast.latency_hist.add(50.0 * i);
+  util::BinWriter w;
+  a.serialize(w);
+  util::BinReader r(w.buffer());
+  const MeasureArtifact back = MeasureArtifact::deserialize(r);
+  EXPECT_EQ(back.baselines.fast.latency_hist.count(),
+            a.baselines.fast.latency_hist.count());
+  EXPECT_TRUE(back.baselines.fast.latency_hist ==
+              a.baselines.fast.latency_hist);
+}
+
+TEST(ArtifactSchema, StagesAndSchemasAreDistinct) {
+  EXPECT_NE(CharacterizeArtifact::kSchema, MeasureArtifact::kSchema);
+  EXPECT_NE(MeasureArtifact::kSchema, EstimateArtifact::kSchema);
+  EXPECT_NE(EstimateArtifact::kSchema, AdviseArtifact::kSchema);
+  EXPECT_NE(AdviseArtifact::kSchema, ReportArtifact::kSchema);
+  EXPECT_EQ(std::string(MeasureArtifact::kSchema), "mnemo.artifact.measure");
+}
+
+}  // namespace
+}  // namespace mnemo::core

@@ -80,5 +80,61 @@ TEST(SloAdvisor, DefaultIsPaperTenPercent) {
   EXPECT_DOUBLE_EQ(advisor.permissible_slowdown(), 0.10);
 }
 
+TEST(SloAdvisor, UnreachableSloIsAnExplicitNoFeasibleSplit) {
+  Fixture f;
+  f.baselines.fast.throughput_ops = 5000.0;  // no point can satisfy this
+  const SloAdvisor advisor(0.01);
+  const SloResult result = advisor.advise(f.curve, f.baselines);
+  EXPECT_EQ(result.outcome, SloOutcome::kNoFeasibleSplit);
+  EXPECT_FALSE(result.feasible());
+  EXPECT_FALSE(result.choice.has_value());
+  EXPECT_EQ(to_string(result.outcome), "no_feasible_split");
+}
+
+TEST(SloAdvisor, SloTighterThanFastMemOnlyIsNoFeasibleSplit) {
+  // A negative permissible slowdown demands throughput above the measured
+  // FastMem-only baseline — tighter than the best the platform can do.
+  const Fixture f;
+  const SloAdvisor advisor(-0.05);  // floor: 1050 > fast baseline 1000
+  const SloResult result = advisor.advise(f.curve, f.baselines);
+  EXPECT_EQ(result.outcome, SloOutcome::kNoFeasibleSplit);
+  EXPECT_FALSE(result.choice.has_value());
+}
+
+TEST(SloAdvisor, SloMetAtZeroFastMemPicksTheEmptySplit) {
+  // When even the SlowMem-only configuration satisfies the SLO, the
+  // verdict is the 0-key split: all data in SlowMem, maximum savings.
+  const Fixture f;
+  const SloAdvisor advisor(0.55);  // floor 450 <= slow-only 500
+  const SloResult result = advisor.advise(f.curve, f.baselines);
+  ASSERT_TRUE(result.feasible());
+  EXPECT_EQ(result.choice->point.fast_keys, 0u);
+  EXPECT_EQ(result.choice->point.fast_bytes, 0u);
+  EXPECT_DOUBLE_EQ(result.choice->cost_factor, 0.2);
+}
+
+TEST(SloAdvisor, CostTiesBreakTowardTheSmallerFastMemFootprint) {
+  // Two SLO-satisfying points with identical cost but different FastMem
+  // footprints: the advisor must pick the cheaper-to-provision one.
+  Fixture f;
+  f.curve.points[9].cost_factor = f.curve.points[8].cost_factor;
+  const SloAdvisor advisor(0.10);  // floor 900: points 8, 9, 10 qualify
+  const SloResult result = advisor.advise(f.curve, f.baselines);
+  ASSERT_TRUE(result.feasible());
+  EXPECT_EQ(result.choice->point.fast_keys, 8u);
+  EXPECT_LT(result.choice->point.fast_bytes,
+            f.curve.points[9].fast_bytes);
+}
+
+TEST(SloAdvisor, ChooseMatchesAdvise) {
+  const Fixture f;
+  const SloAdvisor advisor(0.10);
+  const auto choice = advisor.choose(f.curve, f.baselines);
+  const SloResult result = advisor.advise(f.curve, f.baselines);
+  ASSERT_TRUE(choice.has_value());
+  ASSERT_TRUE(result.choice.has_value());
+  EXPECT_TRUE(*choice == *result.choice);
+}
+
 }  // namespace
 }  // namespace mnemo::core

@@ -75,6 +75,57 @@ TEST(ArgParser, GetDoubleParses) {
   EXPECT_DOUBLE_EQ(p.get_double("count"), 0.25);
 }
 
+TEST(ArgParser, UnknownOptionSuggestsNearestMatch) {
+  ArgParser p = make_parser();
+  std::string error;
+  EXPECT_FALSE(p.parse({"--nmae", "x"}, &error));
+  EXPECT_NE(error.find("unknown option --nmae"), std::string::npos);
+  EXPECT_NE(error.find("did you mean --name?"), std::string::npos);
+}
+
+TEST(ArgParser, UnknownOptionWithoutCloseMatchGetsNoSuggestion) {
+  ArgParser p = make_parser();
+  std::string error;
+  EXPECT_FALSE(p.parse({"--frobnicate"}, &error));
+  EXPECT_NE(error.find("unknown option --frobnicate"), std::string::npos);
+  EXPECT_EQ(error.find("did you mean"), std::string::npos);
+}
+
+TEST(ArgParser, DuplicateOptionFails) {
+  ArgParser p = make_parser();
+  std::string error;
+  EXPECT_FALSE(p.parse({"--count", "1", "--count", "2"}, &error));
+  EXPECT_NE(error.find("duplicate option --count"), std::string::npos);
+}
+
+TEST(ArgParser, DuplicateFlagFails) {
+  ArgParser p = make_parser();
+  std::string error;
+  EXPECT_FALSE(p.parse({"--verbose", "--verbose"}, &error));
+  EXPECT_NE(error.find("duplicate option --verbose"), std::string::npos);
+}
+
+TEST(ArgParser, MixedFormDuplicateAlsoFails) {
+  ArgParser p = make_parser();
+  std::string error;
+  EXPECT_FALSE(p.parse({"--count=1", "--count", "2"}, &error));
+  EXPECT_NE(error.find("duplicate option"), std::string::npos);
+}
+
+TEST(ClosestMatch, FindsTransposedTypo) {
+  EXPECT_EQ(closest_match("moedl", {"model", "store", "threads"}), "model");
+}
+
+TEST(ClosestMatch, FindsOneEditAway) {
+  EXPECT_EQ(closest_match("measrue", {"measure", "advise", "report"}),
+            "measure");
+}
+
+TEST(ClosestMatch, RejectsDistantStrings) {
+  EXPECT_EQ(closest_match("zzz", {"model", "store"}), "");
+  EXPECT_EQ(closest_match("a", {"ab"}), "");  // distance >= query length
+}
+
 TEST(ArgParser, HelpMentionsEveryOption) {
   const ArgParser p = make_parser();
   const std::string help = p.help();

@@ -1,0 +1,188 @@
+#include "util/artifact_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace mnemo::util {
+namespace {
+
+namespace fs = std::filesystem;
+
+TEST(BinRoundTrip, EveryScalarTypeSurvives) {
+  BinWriter w;
+  w.u8(0xab);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefULL);
+  w.i32(-42);
+  w.f64(-0.125);
+  w.b(true);
+  w.b(false);
+
+  BinReader r(w.buffer());
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.i32(), -42);
+  EXPECT_EQ(r.f64(), -0.125);
+  EXPECT_TRUE(r.b());
+  EXPECT_FALSE(r.b());
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(BinRoundTrip, DoublesAreBitExact) {
+  BinWriter w;
+  w.f64(-0.0);
+  w.f64(std::numeric_limits<double>::infinity());
+  w.f64(std::numeric_limits<double>::denorm_min());
+  BinReader r(w.buffer());
+  EXPECT_TRUE(std::signbit(r.f64()));
+  EXPECT_EQ(r.f64(), std::numeric_limits<double>::infinity());
+  EXPECT_EQ(r.f64(), std::numeric_limits<double>::denorm_min());
+}
+
+TEST(BinRoundTrip, StringsKeepEmbeddedNulAndHighBytes) {
+  const std::string gnarly = std::string("a\0b", 3) + "\xff\x80";
+  BinWriter w;
+  w.str(gnarly);
+  w.str("");
+  BinReader r(w.buffer());
+  EXPECT_EQ(r.str(), gnarly);
+  EXPECT_EQ(r.str(), "");
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(BinRoundTrip, U64VectorSurvives) {
+  const std::vector<std::uint64_t> v = {0, 1, ~0ULL, 0x8000000000000000ULL};
+  BinWriter w;
+  w.u64_vec(v);
+  w.u64_vec({});
+  BinReader r(w.buffer());
+  EXPECT_EQ(r.u64_vec(), v);
+  EXPECT_TRUE(r.u64_vec().empty());
+}
+
+TEST(BinReader, TruncatedStreamThrowsArtifactError) {
+  BinWriter w;
+  w.u64(7);
+  const std::string& full = w.buffer();
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    BinReader r(std::string_view(full).substr(0, cut));
+    EXPECT_THROW((void)r.u64(), ArtifactError) << "cut at " << cut;
+  }
+}
+
+TEST(BinReader, TruncatedStringPayloadThrows) {
+  BinWriter w;
+  w.str("four chars short of a full string");
+  std::string bytes = w.buffer();
+  bytes.resize(bytes.size() - 4);
+  BinReader r(bytes);
+  EXPECT_THROW((void)r.str(), ArtifactError);
+}
+
+TEST(BinReader, HugeClaimedVectorLengthIsRejectedBeforeAllocating) {
+  // A corrupt length prefix claiming 2^61 elements must throw, not try to
+  // allocate; the length is validated against the bytes actually present.
+  BinWriter w;
+  w.u64(1ULL << 61);
+  BinReader r(w.buffer());
+  EXPECT_THROW((void)r.u64_vec(), ArtifactError);
+}
+
+TEST(BinReader, ErrorsMentionTruncation) {
+  BinReader r("");
+  try {
+    (void)r.u32();
+    FAIL() << "expected ArtifactError";
+  } catch (const ArtifactError& e) {
+    EXPECT_NE(std::string(e.what()).find("truncated"), std::string::npos);
+  }
+}
+
+TEST(BinReader, RemainingTracksConsumption) {
+  BinWriter w;
+  w.u32(1);
+  w.u32(2);
+  BinReader r(w.buffer());
+  EXPECT_EQ(r.remaining(), 8u);
+  (void)r.u32();
+  EXPECT_EQ(r.remaining(), 4u);
+  (void)r.u32();
+  EXPECT_TRUE(r.exhausted());
+}
+
+struct TempDir {
+  fs::path path;
+  TempDir() {
+    path = fs::path(testing::TempDir()) /
+           ("mnemo_io_" +
+            std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+            "_" + ::testing::UnitTest::GetInstance()
+                      ->current_test_info()
+                      ->name());
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~TempDir() { fs::remove_all(path); }
+};
+
+TEST(AtomicWrite, WritesContentAndLeavesNoTempFile) {
+  const TempDir dir;
+  const std::string target = (dir.path / "artifact.mna").string();
+  const Status st = write_file_atomic(target, "payload bytes");
+  ASSERT_TRUE(st.ok()) << (st.ok() ? "" : st.error().to_string());
+
+  std::string back;
+  ASSERT_TRUE(read_file(target, &back));
+  EXPECT_EQ(back, "payload bytes");
+
+  std::size_t entries = 0;
+  for (const auto& e : fs::directory_iterator(dir.path)) {
+    ++entries;
+    EXPECT_EQ(e.path().filename().string(), "artifact.mna");
+  }
+  EXPECT_EQ(entries, 1u);  // no .tmp.* debris
+}
+
+TEST(AtomicWrite, ReplacesExistingFileWholesale) {
+  const TempDir dir;
+  const std::string target = (dir.path / "artifact.mna").string();
+  ASSERT_TRUE(write_file_atomic(target, "old").ok());
+  ASSERT_TRUE(write_file_atomic(target, "new and longer").ok());
+  std::string back;
+  ASSERT_TRUE(read_file(target, &back));
+  EXPECT_EQ(back, "new and longer");
+}
+
+TEST(AtomicWrite, UnwritableDirectoryIsAStatusNotAThrow) {
+  const Status st =
+      write_file_atomic("/nonexistent-dir-mnemo/none.mna", "x");
+  EXPECT_FALSE(st.ok());
+}
+
+TEST(ReadFile, MissingFileReturnsFalse) {
+  const TempDir dir;
+  std::string contents = "sentinel";
+  EXPECT_FALSE(read_file((dir.path / "ghost.mna").string(), &contents));
+}
+
+TEST(ReadFile, RoundTripsBinaryBytes) {
+  const TempDir dir;
+  BinWriter w;
+  w.str(std::string("\0\1\2\xff", 4));
+  w.u64(~0ULL);
+  const std::string target = (dir.path / "bin.mna").string();
+  ASSERT_TRUE(write_file_atomic(target, w.buffer()).ok());
+  std::string back;
+  ASSERT_TRUE(read_file(target, &back));
+  EXPECT_EQ(back, w.buffer());
+}
+
+}  // namespace
+}  // namespace mnemo::util

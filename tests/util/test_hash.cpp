@@ -1,0 +1,115 @@
+#include "util/hash.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <string>
+
+namespace mnemo::util {
+namespace {
+
+/// The store's cache keys must be stable across processes and builds, so
+/// these digests are pinned: if one changes, every on-disk artifact ever
+/// written silently misses. Bump artifact versions instead of the hash.
+TEST(StableHasher, EmptyDigestIsTheOffsetBases) {
+  const StableHasher h;
+  EXPECT_EQ(h.lo(), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(h.hi(), 0x6c62272e07bb0142ULL);
+  EXPECT_EQ(h.hex(), "cbf29ce4842223256c62272e07bb0142");
+}
+
+TEST(StableHasher, DigestIsAPureFunctionOfTheFedBytes) {
+  StableHasher a;
+  StableHasher b;
+  a.str("measure");
+  a.u64(42);
+  a.f64(0.1);
+  b.str("measure");
+  b.u64(42);
+  b.f64(0.1);
+  EXPECT_EQ(a.hex(), b.hex());
+  EXPECT_EQ(a.lo(), b.lo());
+  EXPECT_EQ(a.hi(), b.hi());
+}
+
+TEST(StableHasher, HexIs32LowercaseHexChars) {
+  StableHasher h;
+  h.str("anything");
+  const std::string hex = h.hex();
+  ASSERT_EQ(hex.size(), 32u);
+  for (const char c : hex) {
+    EXPECT_TRUE(std::isxdigit(static_cast<unsigned char>(c)));
+    EXPECT_FALSE(std::isupper(static_cast<unsigned char>(c)));
+  }
+}
+
+TEST(StableHasher, AdjacentStringsCannotAlias) {
+  // Length prefixes mean ("ab","c") and ("a","bc") feed different byte
+  // streams even though their concatenation is identical.
+  StableHasher ab_c;
+  ab_c.str("ab");
+  ab_c.str("c");
+  StableHasher a_bc;
+  a_bc.str("a");
+  a_bc.str("bc");
+  EXPECT_NE(ab_c.hex(), a_bc.hex());
+}
+
+TEST(StableHasher, ChunkedBytesEqualOneShot) {
+  const std::string data = "the campaign grid payload";
+  StableHasher whole;
+  whole.bytes(data.data(), data.size());
+  StableHasher chunks;
+  chunks.bytes(data.data(), 7);
+  chunks.bytes(data.data() + 7, data.size() - 7);
+  EXPECT_EQ(whole.hex(), chunks.hex());
+}
+
+TEST(StableHasher, IntegerWidthsAreDistinct) {
+  // u32(1) and u64(1) must not produce the same stream, or schema changes
+  // that widen a field would silently keep old cache keys alive.
+  StableHasher narrow;
+  narrow.u32(1);
+  StableHasher wide;
+  wide.u64(1);
+  EXPECT_NE(narrow.hex(), wide.hex());
+}
+
+TEST(StableHasher, DoublesHashTheirBitPattern) {
+  StableHasher pos;
+  pos.f64(0.0);
+  StableHasher neg;
+  neg.f64(-0.0);
+  EXPECT_NE(pos.hex(), neg.hex());  // bit-identity, not value equality
+}
+
+TEST(StableHasher, SingleBitFlipsChangeBothLanes) {
+  StableHasher a;
+  a.u64(0);
+  StableHasher b;
+  b.u64(1);
+  EXPECT_NE(a.lo(), b.lo());
+  EXPECT_NE(a.hi(), b.hi());
+}
+
+TEST(StableHasher, U64SpanIsLengthPrefixed) {
+  StableHasher one;
+  one.u64_span({1, 2});
+  StableHasher two;
+  two.u64_span({1});
+  two.u64_span({2});
+  EXPECT_NE(one.hex(), two.hex());
+}
+
+TEST(StableHasher, BoolAndU8AreOneByteEach) {
+  StableHasher flags;
+  flags.b(true);
+  flags.b(false);
+  StableHasher raw;
+  raw.u8(1);
+  raw.u8(0);
+  EXPECT_EQ(flags.hex(), raw.hex());
+}
+
+}  // namespace
+}  // namespace mnemo::util
