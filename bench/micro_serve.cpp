@@ -1,0 +1,286 @@
+// Serve-mode microbenchmark: what single-flight deduplication is worth
+// when concurrent clients ask the consultant the same question. Three
+// phases against one Server (caching off, so the only dedup layer is the
+// in-memory single-flight memo):
+//
+//   cold       one client, distinct measure keys — every request replays
+//   warm       one client, repeats of a memoized key — zero replays
+//   contended  N clients × one identical request each, fresh server —
+//              one leader replays, everyone else joins or memo-hits
+//
+// Results go to BENCH_serve.json in a stable schema
+// ("mnemo.bench.serve/v1") that future PRs diff against. The smoke mode
+// also asserts the dedup contract: the warm phase replays zero campaign
+// cells, and the contended phase replays exactly one leader's worth.
+//
+//   ./micro_serve               full run, writes BENCH_serve.json
+//   ./micro_serve --smoke       tiny workload + schema self-check (CI)
+//   ./micro_serve --out FILE    alternate output path
+//   ./micro_serve --repeats N   timing repeats per phase (min/median)
+//   ./micro_serve --clients N   contended-phase client threads
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <future>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/campaign.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "util/argparse.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace mnemo;
+
+struct PhaseResult {
+  double min_s = 0.0;
+  double median_s = 0.0;
+  std::size_t campaign_cells = 0;  ///< per repeat (identical across them)
+};
+
+double median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  const std::size_t n = v.size();
+  return n % 2 == 1 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
+}
+
+PhaseResult reduce(const std::vector<double>& seconds, std::size_t cells) {
+  PhaseResult r;
+  r.min_s = *std::min_element(seconds.begin(), seconds.end());
+  r.median_s = median(seconds);
+  r.campaign_cells = cells;
+  return r;
+}
+
+serve::Request make_request(bool smoke, std::string id, std::uint64_t seed) {
+  serve::Request req;
+  req.id = std::move(id);
+  req.op = serve::RequestOp::kAdvise;
+  req.keys = smoke ? 150 : 1'000;
+  req.requests = smoke ? 1'500 : 20'000;
+  req.repeats = 1;
+  if (seed > 0) req.seed = seed;  // distinct seed => distinct measure key
+  return req;
+}
+
+void write_json(const std::string& path, bool smoke, int repeats,
+                std::size_t clients, const PhaseResult& cold,
+                const PhaseResult& warm, const PhaseResult& contended,
+                const serve::ServeStats& stats) {
+  std::ostringstream out;
+  char buf[64];
+  const auto phase = [&](const char* name, const PhaseResult& r,
+                         const char* tail) {
+    std::snprintf(buf, sizeof buf, "%.6f", r.min_s);
+    out << "    \"" << name << "\": {\"min_s\": " << buf;
+    std::snprintf(buf, sizeof buf, "%.6f", r.median_s);
+    out << ", \"median_s\": " << buf
+        << ", \"campaign_cells\": " << r.campaign_cells << "}" << tail
+        << "\n";
+  };
+  const std::uint64_t dedup = stats.single_flight_joins +
+                              stats.measure_memo_hits;
+  const double join_rate =
+      stats.requests > 0
+          ? static_cast<double>(dedup) / static_cast<double>(stats.requests)
+          : 0.0;
+  out << "{\n";
+  out << "  \"schema\": \"mnemo.bench.serve/v1\",\n";
+  out << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n";
+  out << "  \"repeats\": " << repeats << ",\n";
+  out << "  \"clients\": " << clients << ",\n";
+  out << "  \"results\": {\n";
+  phase("cold", cold, ",");
+  phase("warm", warm, ",");
+  phase("contended", contended, ",");
+  out << "    \"single_flight\": {\"leads\": " << stats.measure_leads
+      << ", \"joins\": " << stats.single_flight_joins
+      << ", \"memo_hits\": " << stats.measure_memo_hits << ", ";
+  std::snprintf(buf, sizeof buf, "%.3f", join_rate);
+  out << "\"join_rate\": " << buf << "}\n";
+  out << "  }\n";
+  out << "}\n";
+
+  std::ofstream file(path);
+  file << out.str();
+  if (!file.good()) {
+    std::fprintf(stderr, "micro_serve: cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+}
+
+/// Schema self-check for --smoke: the stable keys are present and the
+/// braces balance (not a full parser, just enough to catch a malformed
+/// writer before a CI consumer does).
+bool validate_json(const std::string& path) {
+  std::ifstream file(path);
+  std::stringstream ss;
+  ss << file.rdbuf();
+  const std::string text = ss.str();
+  if (text.empty()) return false;
+  for (const char* key :
+       {"\"schema\": \"mnemo.bench.serve/v1\"", "\"repeats\"", "\"clients\"",
+        "\"results\"", "\"cold\"", "\"warm\"", "\"contended\"",
+        "\"campaign_cells\"", "\"single_flight\"", "\"join_rate\""}) {
+    if (text.find(key) == std::string::npos) {
+      std::fprintf(stderr, "micro_serve: missing key %s\n", key);
+      return false;
+    }
+  }
+  long depth = 0;
+  for (const char ch : text) {
+    if (ch == '{') ++depth;
+    if (ch == '}') --depth;
+    if (depth < 0) return false;
+  }
+  return depth == 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::ArgParser parser("micro_serve",
+                         "serve-mode single-flight dedup microbenchmark");
+  parser.add_flag("smoke", "tiny workload + schema self-check (CI)");
+  parser.add_option("out", "output JSON path", "BENCH_serve.json");
+  parser.add_option("repeats", "timing repeats per phase", "");
+  parser.add_option("clients", "contended-phase client threads", "8");
+  std::vector<std::string> args(argv + 1, argv + argc);
+  std::string error;
+  if (!parser.parse(args, &error)) {
+    std::fprintf(stderr, "%s\n%s", error.c_str(), parser.help().c_str());
+    return 2;
+  }
+  const bool smoke = parser.has_flag("smoke");
+  const int repeats = parser.get("repeats").empty()
+                          ? (smoke ? 2 : 5)
+                          : static_cast<int>(parser.get_u64("repeats"));
+  const std::size_t clients =
+      static_cast<std::size_t>(parser.get_u64("clients"));
+  const std::string out = parser.get("out");
+
+  std::printf("== micro_serve: %s, %d repeats, %zu clients ==\n",
+              smoke ? "smoke" : "full", repeats, clients);
+
+  // Cold: one client, a distinct measure key per repeat (seed-varied), so
+  // every request pays a full emulator replay.
+  std::vector<double> cold_s;
+  std::size_t cold_cells = 0;
+  serve::ServeOptions cold_options;
+  cold_options.threads = 1;
+  serve::Server cold_server(std::move(cold_options));
+  for (int r = 0; r < repeats; ++r) {
+    const std::size_t before = core::campaign_totals().cells;
+    util::WallTimer timer;
+    const serve::Response resp = cold_server.handle(
+        make_request(smoke, "cold-" + std::to_string(r),
+                     0x5eed0000ULL + static_cast<std::uint64_t>(r)));
+    cold_s.push_back(timer.elapsed_s());
+    if (!resp.ok) {
+      std::fprintf(stderr, "micro_serve: cold request failed: %s\n",
+                   resp.error_message.c_str());
+      return 1;
+    }
+    cold_cells = core::campaign_totals().cells - before;
+  }
+
+  // Warm: repeats of a key the cold phase memoized — pure memo hits.
+  std::vector<double> warm_s;
+  std::size_t warm_cells = 0;
+  for (int r = 0; r < repeats; ++r) {
+    const std::size_t before = core::campaign_totals().cells;
+    util::WallTimer timer;
+    const serve::Response resp = cold_server.handle(
+        make_request(smoke, "warm-" + std::to_string(r), 0x5eed0000ULL));
+    warm_s.push_back(timer.elapsed_s());
+    if (!resp.ok) return 1;
+    warm_cells = core::campaign_totals().cells - before;
+  }
+
+  // Contended: a fresh server per repeat; N clients fire one identical
+  // request each, concurrently. Wall clock covers admission to the last
+  // response — one leader replays while the rest block and join.
+  std::vector<double> contended_s;
+  std::size_t contended_cells = 0;
+  serve::ServeStats contended_stats;
+  for (int r = 0; r < repeats; ++r) {
+    serve::ServeOptions options;
+    options.threads = clients;
+    options.queue_capacity = clients;
+    serve::Server server(std::move(options));
+    const std::size_t before = core::campaign_totals().cells;
+
+    std::vector<std::future<std::string>> responses(clients);
+    util::WallTimer timer;
+    {
+      std::vector<std::thread> workers;
+      workers.reserve(clients);
+      for (std::size_t c = 0; c < clients; ++c) {
+        workers.emplace_back([&, c] {
+          responses[c] = server.submit_line(
+              make_request(smoke, "cont-" + std::to_string(c), 0x5eed0000ULL)
+                  .to_json_line());
+        });
+      }
+      for (std::thread& t : workers) t.join();
+    }
+    for (std::future<std::string>& f : responses) (void)f.get();
+    contended_s.push_back(timer.elapsed_s());
+    contended_cells = core::campaign_totals().cells - before;
+    contended_stats = server.stats();
+  }
+
+  const PhaseResult cold = reduce(cold_s, cold_cells);
+  const PhaseResult warm = reduce(warm_s, warm_cells);
+  const PhaseResult contended = reduce(contended_s, contended_cells);
+  std::printf("cold      %10.3f ms (min %10.3f)  %zu campaign cells\n",
+              cold.median_s * 1e3, cold.min_s * 1e3, cold.campaign_cells);
+  std::printf("warm      %10.3f ms (min %10.3f)  %zu campaign cells\n",
+              warm.median_s * 1e3, warm.min_s * 1e3, warm.campaign_cells);
+  std::printf("contended %10.3f ms (min %10.3f)  %zu campaign cells\n",
+              contended.median_s * 1e3, contended.min_s * 1e3,
+              contended.campaign_cells);
+  std::printf("single-flight: %llu leads, %llu joins, %llu memo hits\n",
+              static_cast<unsigned long long>(contended_stats.measure_leads),
+              static_cast<unsigned long long>(
+                  contended_stats.single_flight_joins),
+              static_cast<unsigned long long>(
+                  contended_stats.measure_memo_hits));
+
+  write_json(out, smoke, repeats, clients, cold, warm, contended,
+             contended_stats);
+  std::printf("wrote %s\n", out.c_str());
+
+  if (smoke) {
+    if (warm.campaign_cells != 0) {
+      std::fprintf(stderr, "micro_serve: warm request replayed the grid\n");
+      return 1;
+    }
+    if (contended.campaign_cells != cold.campaign_cells) {
+      std::fprintf(stderr,
+                   "micro_serve: contended phase replayed more than one "
+                   "leader's worth (%zu vs %zu cells)\n",
+                   contended.campaign_cells, cold.campaign_cells);
+      return 1;
+    }
+    if (contended_stats.measure_leads != 1 ||
+        contended_stats.single_flight_joins +
+                contended_stats.measure_memo_hits !=
+            clients - 1) {
+      std::fprintf(stderr, "micro_serve: dedup accounting is off\n");
+      return 1;
+    }
+    if (!validate_json(out)) {
+      std::fprintf(stderr, "micro_serve: schema validation FAILED\n");
+      return 1;
+    }
+    std::printf("schema ok\n");
+  }
+  return 0;
+}

@@ -39,6 +39,7 @@ int run(const std::vector<std::string>& args, std::ostream& out,
       {"measure", cmd_measure},
       {"advise", cmd_advise},
       {"report", cmd_report},
+      {"serve", cmd_serve},
       {"migrate", cmd_migrate},
       {"testbed", cmd_testbed},
   };

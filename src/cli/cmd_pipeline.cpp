@@ -5,6 +5,7 @@
 #include "cli/cli_common.hpp"
 #include "cli/commands.hpp"
 #include "core/campaign.hpp"
+#include "core/render.hpp"
 #include "util/bytes.hpp"
 
 /// The staged pipeline exposed as subcommands: each one materializes its
@@ -29,18 +30,6 @@ void add_pipeline_options(util::ArgParser& parser) {
 /// re-run contract: 0 on a warm cache, grid-size on a cold one.
 void print_cells_executed(const core::Session& session, std::ostream& out) {
   out << "campaign cells executed: " << session.campaign_cells_run() << "\n";
-}
-
-/// Render the measured baselines exactly as the report does.
-void print_baselines(const core::MeasureArtifact& m, std::ostream& out) {
-  char line[160];
-  std::snprintf(line, sizeof line,
-                "baselines: FastMem-only %.0f ops/s | SlowMem-only %.0f "
-                "ops/s | sensitivity +%.1f%%\n",
-                m.baselines.fast.throughput_ops,
-                m.baselines.slow.throughput_ops,
-                m.baselines.sensitivity() * 100.0);
-  out << line;
 }
 
 int fault_abort_exit(const core::Session& session,
@@ -84,15 +73,7 @@ int cmd_characterize(const Args& args, std::ostream& out,
     return 2;
   }
   core::Session session(load_workload(parser), session_config(parser));
-  const core::CharacterizeArtifact& c = session.characterize();
-  const workload::Trace& trace = session.trace();
-  out << "workload: " << trace.name() << ": " << trace.key_count()
-      << " keys, " << trace.requests().size() << " requests ("
-      << util::format_bytes(trace.dataset_bytes()) << " dataset)\n";
-  out << "ordering: " << to_string(c.ordering) << " | front of the order:";
-  const std::size_t head = std::min<std::size_t>(8, c.order.size());
-  for (std::size_t i = 0; i < head; ++i) out << ' ' << c.order[i];
-  out << "\n";
+  out << core::render_characterize(session.trace(), session.characterize());
   maybe_explain_cache(parser, session, out);
   return 0;
 }
@@ -110,11 +91,7 @@ int cmd_measure(const Args& args, std::ostream& out, std::ostream& err) {
   core::Session session(load_workload(parser), session_config(parser));
   print_fault_banner(session.config().mnemo, out);
   const core::MeasureArtifact& m = session.measure();
-  if (m.degraded) {
-    out << "baselines quarantined: no estimate (see failure ledger)\n";
-  } else {
-    print_baselines(m, out);
-  }
+  out << core::render_measure(m);
   print_cells_executed(session, out);
   if (!m.failures.empty()) {
     out << "\npartial results: " << m.failures.size()
@@ -140,24 +117,7 @@ int cmd_advise(const Args& args, std::ostream& out, std::ostream& err) {
   print_fault_banner(session.config().mnemo, out);
   const core::AdviseArtifact& verdict = session.advise();
   const core::MeasureArtifact& m = session.measure();
-  if (verdict.degraded) {
-    out << "baselines quarantined: no estimate (see failure ledger)\n";
-  } else {
-    print_baselines(m, out);
-    if (verdict.result.choice) {
-      const core::SloChoice& c = *verdict.result.choice;
-      char line[160];
-      std::snprintf(line, sizeof line,
-                    "sweet spot @ %.0f%% SLO: %zu keys (%s) in FastMem -> "
-                    "memory cost %.0f%% of FastMem-only (%.0f%% savings)\n",
-                    verdict.slo_slowdown * 100.0, c.point.fast_keys,
-                    util::format_bytes(c.point.fast_bytes).c_str(),
-                    c.cost_factor * 100.0, c.savings_vs_fast * 100.0);
-      out << line;
-    } else {
-      out << "no configuration satisfies the SLO\n";
-    }
-  }
+  out << core::render_advise(m, verdict);
   print_cells_executed(session, out);
   if (!m.failures.empty()) {
     out << "\npartial results: " << m.failures.size()

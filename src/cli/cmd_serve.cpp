@@ -1,0 +1,94 @@
+#include <csignal>
+#include <iostream>
+
+#include "cli/cli_common.hpp"
+#include "cli/commands.hpp"
+#include "serve/server.hpp"
+#include "serve/socket.hpp"
+
+/// `mnemo serve` — the consultant as a long-running service. One Server
+/// answers the newline-delimited JSON protocol either over stdin/stdout
+/// (pipe mode, the default: trivially scriptable and transcript-testable)
+/// or over a Unix-domain socket (--socket PATH) for multiple concurrent
+/// clients. All clients share one artifact store and one single-flight
+/// measure memo, so identical questions cost one emulator replay total.
+namespace mnemo::cli {
+
+namespace {
+
+/// The endpoint the signal handler must reach. Written once before the
+/// handlers are installed; the handler only calls the async-signal-safe
+/// SocketEndpoint::stop().
+serve::SocketEndpoint* g_endpoint = nullptr;
+
+void handle_stop_signal(int) {
+  if (g_endpoint != nullptr) g_endpoint->stop();
+}
+
+}  // namespace
+
+int cmd_serve(const Args& args, std::ostream& out, std::ostream& err) {
+  util::ArgParser parser("mnemo serve",
+                         "serve the consultant over newline-delimited JSON: "
+                         "stdin/stdout by default, or --socket PATH for "
+                         "concurrent clients");
+  parser.add_option("socket",
+                    "Unix-domain socket path (empty = stdin/stdout pipe "
+                    "mode)",
+                    "");
+  parser.add_option("threads", "worker threads (0 = hardware)", "0");
+  parser.add_option("queue",
+                    "max requests in service before refusing with "
+                    "'overloaded'",
+                    "64");
+  parser.add_option("cache-dir",
+                    "content-addressed artifact cache directory shared by "
+                    "all requests (empty = no disk cache)",
+                    "");
+  parser.add_flag("no-cache",
+                  "bypass the cache even when --cache-dir is set");
+  parser.add_flag("stats", "print the serve ledger to stderr on shutdown");
+  std::string error;
+  if (!parser.parse(args, &error)) {
+    err << error << "\n" << parser.help();
+    return 2;
+  }
+
+  serve::ServeOptions options;
+  options.threads = static_cast<std::size_t>(parser.get_u64("threads"));
+  options.queue_capacity =
+      static_cast<std::size_t>(parser.get_u64("queue"));
+  options.cache_dir = parser.get("cache-dir");
+  options.use_cache = !parser.has_flag("no-cache");
+  if (options.queue_capacity == 0) {
+    err << "--queue must be >= 1\n";
+    return 2;
+  }
+
+  serve::Server server(std::move(options));
+  int exit_code = 0;
+
+  const std::string socket_path = parser.get("socket");
+  if (socket_path.empty()) {
+    server.serve_stream(std::cin, out);
+  } else {
+    serve::SocketEndpoint endpoint(server, socket_path);
+    g_endpoint = &endpoint;
+    std::signal(SIGINT, handle_stop_signal);
+    std::signal(SIGTERM, handle_stop_signal);
+    err << "serving on " << socket_path << "\n";
+    const util::Status status = endpoint.serve();
+    std::signal(SIGINT, SIG_DFL);
+    std::signal(SIGTERM, SIG_DFL);
+    g_endpoint = nullptr;
+    if (!status.ok()) {
+      err << "error: " << status.error().to_string() << "\n";
+      exit_code = 1;
+    }
+  }
+
+  if (parser.has_flag("stats")) err << server.stats().render();
+  return exit_code;
+}
+
+}  // namespace mnemo::cli

@@ -3,6 +3,7 @@
 #include <filesystem>
 #include <utility>
 
+#include "util/assert.hpp"
 #include "util/hash.hpp"
 #include "util/logging.hpp"
 
@@ -11,6 +12,34 @@ namespace mnemo::core {
 namespace {
 
 constexpr std::string_view kMagic = "MNA1";
+
+/// True iff `raw` is a complete, checksum-valid artifact frame for
+/// (schema, version); *payload receives its payload bytes. Used by the
+/// concurrent-writer assertion in save_payload — deliberately quiet (no
+/// events, no logging), unlike load_payload's classifying path.
+bool decode_valid_frame(const std::string& raw, std::string_view schema,
+                        std::uint32_t version, std::string* payload) {
+  if (raw.size() < kMagic.size() ||
+      std::string_view(raw).substr(0, kMagic.size()) != kMagic) {
+    return false;
+  }
+  try {
+    util::BinReader r(std::string_view(raw).substr(kMagic.size()));
+    if (r.str() != schema) return false;
+    if (r.u32() != version) return false;
+    std::string body = r.str();
+    const std::uint64_t lo = r.u64();
+    const std::uint64_t hi = r.u64();
+    if (!r.exhausted()) return false;
+    util::StableHasher h;
+    h.bytes(body.data(), body.size());
+    if (h.lo() != lo || h.hi() != hi) return false;
+    *payload = std::move(body);
+    return true;
+  } catch (const util::ArtifactError&) {
+    return false;
+  }
+}
 
 }  // namespace
 
@@ -131,7 +160,28 @@ util::Status ArtifactStore::save_payload(std::string_view stage,
 
   std::string file(kMagic);
   file += w.buffer();
-  util::Status status = util::write_file_atomic(path_for(stage, key), file);
+
+  // Concurrent sessions may race to fill the same key. The store is
+  // content-addressed, so every writer of a key must be carrying the same
+  // bytes: if a valid artifact is already in place we can skip the write
+  // outright (last-writer-wins degenerates to first-writer-wins), and a
+  // valid incumbent whose payload differs is a broken key function — an
+  // invariant violation, not a recoverable condition. An *invalid*
+  // incumbent (truncated, foreign, corrupted) is simply overwritten.
+  const std::string path = path_for(stage, key);
+  std::string existing;
+  if (util::read_file(path, &existing)) {
+    if (existing == file) return {};
+    std::string existing_payload;
+    if (decode_valid_frame(existing, schema, version, &existing_payload)) {
+      // Framing is deterministic, so a valid incumbent with different
+      // bytes can only mean a different payload under the same key.
+      MNEMO_ASSERT(existing_payload == payload &&
+                   "two writers of one content-addressed key disagreed");
+      return {};
+    }
+  }
+  util::Status status = util::write_file_atomic(path, file);
   if (!status.ok()) {
     MNEMO_LOG_WARN("artifact store: %s", status.error().message.c_str());
   }
@@ -139,12 +189,14 @@ util::Status ArtifactStore::save_payload(std::string_view stage,
 }
 
 void ArtifactStore::record_hit(std::string_view stage, std::string_view key) {
+  std::lock_guard lock(mu_);
   events_.push_back(StoreEvent{std::string(stage), std::string(key), true,
                                CacheMiss::kNone, ""});
 }
 
 void ArtifactStore::record_miss(std::string_view stage, std::string_view key,
                                 CacheMiss why, std::string detail) {
+  std::lock_guard lock(mu_);
   events_.push_back(StoreEvent{std::string(stage), std::string(key), false,
                                why, std::move(detail)});
 }

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -47,9 +48,17 @@ struct StoreEvent {
 ///        | payload checksum (two u64 lanes, StableHasher)
 ///
 /// Writes are crash-safe (temp file + rename), so a reader observes either
-/// the previous artifact or the new one, never a torn file. Every load
-/// failure short of an I/O race is classified into a CacheMiss and logged;
-/// load() never throws.
+/// the previous artifact or the new one, never a torn file. Concurrent
+/// writers of the same key — sessions racing to fill one cache dir —
+/// resolve to last-writer-wins through writer-unique temp files; because
+/// the store is content-addressed, both must be writing the same bytes,
+/// which save_payload asserts whenever the incumbent file is a valid
+/// artifact. Every load failure short of an I/O race is classified into a
+/// CacheMiss and logged; load() never throws.
+///
+/// The store is thread-safe: one instance may be shared across sessions
+/// on different threads (`mnemo serve` does), with the event ledger
+/// guarded internally.
 class ArtifactStore {
  public:
   /// A default-constructed (or empty-dir) store is disabled: every load
@@ -113,11 +122,17 @@ class ArtifactStore {
   }
 
   /// Every hit/miss decision since construction (or clear_events), in
-  /// order — the raw material of --explain-cache.
-  [[nodiscard]] const std::vector<StoreEvent>& events() const noexcept {
+  /// order — the raw material of --explain-cache. Returned by value: the
+  /// ledger may be appended to concurrently by other threads sharing the
+  /// store, so callers get a consistent snapshot.
+  [[nodiscard]] std::vector<StoreEvent> events() const {
+    std::lock_guard lock(mu_);
     return events_;
   }
-  void clear_events() { events_.clear(); }
+  void clear_events() {
+    std::lock_guard lock(mu_);
+    events_.clear();
+  }
 
  private:
   void record_hit(std::string_view stage, std::string_view key);
@@ -128,6 +143,7 @@ class ArtifactStore {
               std::string detail);
 
   std::string dir_;
+  mutable std::mutex mu_;  ///< guards events_ only; file I/O needs no lock
   std::vector<StoreEvent> events_;
 };
 

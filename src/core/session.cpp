@@ -7,6 +7,7 @@
 #include "core/campaign.hpp"
 #include "core/estimate_engine.hpp"
 #include "core/pattern_engine.hpp"
+#include "core/render.hpp"
 #include "core/sensitivity_engine.hpp"
 #include "core/slo_advisor.hpp"
 #include "core/tiering.hpp"
@@ -85,7 +86,8 @@ void hash_fault_plan(util::StableHasher& h,
 Session::Session(workload::Trace trace, SessionConfig config)
     : trace_(std::move(trace)),
       config_(std::move(config)),
-      store_(config_.cache_dir) {
+      own_store_(config_.shared_store != nullptr ? std::string()
+                                                 : config_.cache_dir) {
   util::StableHasher h;
   hash_trace(h, trace_);
   trace_key_ = h.hex();
@@ -157,16 +159,23 @@ std::string Session::report_key() const {
 }
 
 void Session::trace_stage(std::string_view stage, const std::string& key,
-                          bool from_cache, bool saved) {
-  traces_.push_back(
-      StageTrace{std::string(stage), key, from_cache, !from_cache, saved});
+                          bool from_cache, bool saved, bool joined) {
+  traces_.push_back(StageTrace{std::string(stage), key, from_cache,
+                               !from_cache && !joined, saved, joined});
+}
+
+void Session::adopt_measure(MeasureArtifact measure) {
+  MNEMO_EXPECTS(!measure_);
+  MNEMO_EXPECTS(!measure.degraded && measure.failures.empty());
+  measure_ = std::move(measure);
+  trace_stage(MeasureArtifact::kStage, measure_key(), false, false, true);
 }
 
 const CharacterizeArtifact& Session::characterize() {
   if (characterize_) return *characterize_;
   const std::string key = characterize_key();
   if (cache_on()) {
-    if (auto cached = store_.load<CharacterizeArtifact>(key)) {
+    if (auto cached = store().load<CharacterizeArtifact>(key)) {
       characterize_ = std::move(*cached);
       trace_stage(CharacterizeArtifact::kStage, key, true, false);
       return *characterize_;
@@ -188,7 +197,7 @@ const CharacterizeArtifact& Session::characterize() {
       break;
   }
   bool saved = false;
-  if (cache_on()) saved = store_.save(key, a).ok();
+  if (cache_on()) saved = store().save(key, a).ok();
   characterize_ = std::move(a);
   trace_stage(CharacterizeArtifact::kStage, key, false, saved);
   return *characterize_;
@@ -198,7 +207,7 @@ const MeasureArtifact& Session::measure() {
   if (measure_) return *measure_;
   const std::string key = measure_key();
   if (cache_on()) {
-    if (auto cached = store_.load<MeasureArtifact>(key)) {
+    if (auto cached = store().load<MeasureArtifact>(key)) {
       // Belt and braces: a degraded artifact is never written (below),
       // but if one ever appears on disk, recompute rather than trust it.
       if (!cached->degraded && cached->failures.empty()) {
@@ -238,7 +247,7 @@ const MeasureArtifact& Session::measure() {
   // with zero quarantined cells may persist.
   bool saved = false;
   if (cache_on() && !a.degraded && a.failures.empty()) {
-    saved = store_.save(key, a).ok();
+    saved = store().save(key, a).ok();
   }
   measure_ = std::move(a);
   trace_stage(MeasureArtifact::kStage, key, false, saved);
@@ -249,7 +258,7 @@ const EstimateArtifact& Session::estimate() {
   if (estimate_) return *estimate_;
   const std::string key = estimate_key();
   if (cache_on()) {
-    if (auto cached = store_.load<EstimateArtifact>(key)) {
+    if (auto cached = store().load<EstimateArtifact>(key)) {
       estimate_ = std::move(*cached);
       trace_stage(EstimateArtifact::kStage, key, true, false);
       return *estimate_;
@@ -265,7 +274,7 @@ const EstimateArtifact& Session::estimate() {
     a.curve = estimator.estimate(c.pattern, c.order, m.baselines);
   }
   bool saved = false;
-  if (cache_on() && !m.degraded) saved = store_.save(key, a).ok();
+  if (cache_on() && !m.degraded) saved = store().save(key, a).ok();
   estimate_ = std::move(a);
   trace_stage(EstimateArtifact::kStage, key, false, saved);
   return *estimate_;
@@ -275,7 +284,7 @@ const AdviseArtifact& Session::advise() {
   if (advise_) return *advise_;
   const std::string key = advise_key();
   if (cache_on()) {
-    if (auto cached = store_.load<AdviseArtifact>(key)) {
+    if (auto cached = store().load<AdviseArtifact>(key)) {
       advise_ = std::move(*cached);
       trace_stage(AdviseArtifact::kStage, key, true, false);
       return *advise_;
@@ -293,7 +302,7 @@ const AdviseArtifact& Session::advise() {
     a.result = advisor.advise(estimate().curve, m.baselines);
   }
   bool saved = false;
-  if (cache_on() && !m.degraded) saved = store_.save(key, a).ok();
+  if (cache_on() && !m.degraded) saved = store().save(key, a).ok();
   advise_ = std::move(a);
   trace_stage(AdviseArtifact::kStage, key, false, saved);
   return *advise_;
@@ -303,7 +312,7 @@ const ReportArtifact& Session::report() {
   if (report_) return *report_;
   const std::string key = report_key();
   if (cache_on()) {
-    if (auto cached = store_.load<ReportArtifact>(key)) {
+    if (auto cached = store().load<ReportArtifact>(key)) {
       report_ = std::move(*cached);
       trace_stage(ReportArtifact::kStage, key, true, false);
       return *report_;
@@ -317,30 +326,9 @@ const ReportArtifact& Session::report() {
        << to_string(effective_ordering()) << " ordering, "
        << to_string(config_.mnemo.estimate_model) << " model)\n";
   const MeasureArtifact& m = measure();
-  if (m.degraded) {
-    text << "baselines quarantined: no estimate (see failure ledger)\n";
-  } else {
-    char line[160];
-    std::snprintf(line, sizeof line,
-                  "baselines: FastMem-only %.0f ops/s | SlowMem-only %.0f "
-                  "ops/s | sensitivity +%.1f%%\n",
-                  m.baselines.fast.throughput_ops,
-                  m.baselines.slow.throughput_ops,
-                  m.baselines.sensitivity() * 100.0);
-    text << line;
-    const AdviseArtifact& v = advise();
-    if (v.result.choice) {
-      const SloChoice& c = *v.result.choice;
-      std::snprintf(line, sizeof line,
-                    "sweet spot @ %.0f%% SLO: %zu keys (%s) in FastMem -> "
-                    "memory cost %.0f%% of FastMem-only (%.0f%% savings)\n",
-                    v.slo_slowdown * 100.0, c.point.fast_keys,
-                    util::format_bytes(c.point.fast_bytes).c_str(),
-                    c.cost_factor * 100.0, c.savings_vs_fast * 100.0);
-      text << line;
-    } else {
-      text << "no configuration satisfies the SLO\n";
-    }
+  text << render_measure(m);
+  if (!m.degraded) {
+    text << render_verdict(advise());
 
     // The paper's CSV artifact, rendered to a string so cold and warm
     // runs can be diffed byte for byte (MnemoReport::write_csv writes the
@@ -363,7 +351,7 @@ const ReportArtifact& Session::report() {
   a.text = text.str();
 
   bool saved = false;
-  if (cache_on() && !m.degraded) saved = store_.save(key, a).ok();
+  if (cache_on() && !m.degraded) saved = store().save(key, a).ok();
   report_ = std::move(a);
   trace_stage(ReportArtifact::kStage, key, false, saved);
   return *report_;
@@ -387,8 +375,8 @@ void Session::set_price(double price_factor) {
 std::string Session::explain_cache() const {
   std::ostringstream out;
   out << "cache: "
-      << (store_.enabled()
-              ? (config_.use_cache ? store_.dir() : store_.dir() +
+      << (store().enabled()
+              ? (config_.use_cache ? store().dir() : store().dir() +
                                                         " (bypassed)")
               : "disabled")
       << "\n";
@@ -397,12 +385,14 @@ std::string Session::explain_cache() const {
     out << "  " << t.stage;
     for (std::size_t i = t.stage.size(); i < 12; ++i) out << ' ';
     out << ' ' << t.key << "  "
-        << (t.from_cache ? "cached" : (t.saved ? "computed, saved"
-                                               : "computed"))
+        << (t.from_cache
+                ? "cached"
+                : (t.joined ? "joined (single-flight)"
+                            : (t.saved ? "computed, saved" : "computed")))
         << "\n";
   }
   bool any_reject = false;
-  for (const StoreEvent& e : store_.events()) {
+  for (const StoreEvent& e : store().events()) {
     if (e.hit || e.miss == CacheMiss::kAbsent ||
         e.miss == CacheMiss::kDisabled) {
       continue;

@@ -20,6 +20,11 @@ struct SessionConfig {
   std::string cache_dir;
   /// --no-cache: keep the directory configured but bypass it entirely.
   bool use_cache = true;
+  /// Borrow an externally owned (thread-safe) store instead of opening
+  /// `cache_dir`: `mnemo serve` shares one ArtifactStore across every
+  /// client session. Non-owning; must outlive the Session. When set,
+  /// `cache_dir` is ignored.
+  ArtifactStore* shared_store = nullptr;
   /// Scenario 2b (ordering == kExternal): the externally produced tiering
   /// order. Required iff the ordering policy is kExternal.
   std::optional<std::vector<std::uint64_t>> external_order;
@@ -33,6 +38,7 @@ struct StageTrace {
   bool from_cache = false;
   bool computed = false;
   bool saved = false;   ///< written back to the store this run
+  bool joined = false;  ///< adopted from another session's in-flight work
 };
 
 /// The consultant as an explicit staged pipeline:
@@ -70,6 +76,19 @@ class Session {
   void set_slo(double slo_slowdown);
   void set_price(double price_factor);
 
+  /// Whether the measure stage has already been materialized (loaded,
+  /// computed, or adopted) — the single-flight dispatcher's probe.
+  [[nodiscard]] bool measured() const noexcept {
+    return measure_.has_value();
+  }
+
+  /// Single-flight join: install a measure artifact computed by another
+  /// session with the identical measure key, instead of replaying the
+  /// grid here. The artifact must be clean (never adopt a degraded or
+  /// partial grid) and the stage must not have been materialized yet.
+  /// Recorded in the stage trace as "joined".
+  void adopt_measure(MeasureArtifact measure);
+
   /// Emulator campaign cells this session actually executed — 0 on a
   /// fully warm run (the incremental-rerun acceptance criterion).
   [[nodiscard]] std::size_t campaign_cells_run() const noexcept {
@@ -100,19 +119,28 @@ class Session {
   [[nodiscard]] const workload::Trace& trace() const noexcept {
     return trace_;
   }
-  [[nodiscard]] ArtifactStore& store() noexcept { return store_; }
+  /// The store this session consults: the shared one when configured,
+  /// otherwise the session-owned store opened on `cache_dir`.
+  [[nodiscard]] ArtifactStore& store() noexcept {
+    return config_.shared_store != nullptr ? *config_.shared_store
+                                           : own_store_;
+  }
+  [[nodiscard]] const ArtifactStore& store() const noexcept {
+    return config_.shared_store != nullptr ? *config_.shared_store
+                                           : own_store_;
+  }
 
  private:
   [[nodiscard]] OrderingPolicy effective_ordering() const;
   [[nodiscard]] bool cache_on() const noexcept {
-    return config_.use_cache && store_.enabled();
+    return config_.use_cache && store().enabled();
   }
   void trace_stage(std::string_view stage, const std::string& key,
-                   bool from_cache, bool saved);
+                   bool from_cache, bool saved, bool joined = false);
 
   workload::Trace trace_;
   SessionConfig config_;
-  ArtifactStore store_;
+  ArtifactStore own_store_;
   std::string trace_key_;  ///< hashed once in the constructor
 
   std::optional<CharacterizeArtifact> characterize_;

@@ -1,0 +1,355 @@
+#include "serve/json.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <system_error>
+
+#include "util/status.hpp"
+
+namespace mnemo::serve {
+
+namespace {
+
+/// Recursive-descent parser over a bounded string_view. Positions are
+/// byte offsets; every error path funnels through fail() so the offset
+/// convention (1-based, pointing at the offending byte) is uniform.
+class Parser {
+ public:
+  Parser(std::string_view text, const JsonLimits& limits)
+      : text_(text), limits_(limits) {}
+
+  JsonValue parse_document() {
+    if (text_.size() > limits_.max_input) {
+      fail(limits_.max_input, "request exceeds " +
+                                  std::to_string(limits_.max_input) +
+                                  " bytes");
+    }
+    skip_ws();
+    JsonValue v = parse_value(0);
+    skip_ws();
+    if (pos_ != text_.size()) fail(pos_, "trailing bytes after document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(std::size_t pos, const std::string& message) const {
+    throw util::ParseError("request", pos + 1, message);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() const {
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  void expect(char c, const char* what) {
+    if (pos_ >= text_.size() || text_[pos_] != c) {
+      fail(pos_, std::string("expected ") + what);
+    }
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  JsonValue parse_value(std::size_t depth) {
+    if (depth > limits_.max_depth) {
+      fail(pos_, "nesting deeper than " + std::to_string(limits_.max_depth));
+    }
+    if (pos_ >= text_.size()) fail(pos_, "unexpected end of input");
+    const char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return parse_object(depth);
+      case '[':
+        return parse_array(depth);
+      case '"': {
+        JsonValue v;
+        v.kind = JsonValue::Kind::kString;
+        v.string = parse_string();
+        return v;
+      }
+      case 't': {
+        if (!consume_literal("true")) fail(pos_, "invalid literal");
+        JsonValue v;
+        v.kind = JsonValue::Kind::kBool;
+        v.boolean = true;
+        return v;
+      }
+      case 'f': {
+        if (!consume_literal("false")) fail(pos_, "invalid literal");
+        JsonValue v;
+        v.kind = JsonValue::Kind::kBool;
+        v.boolean = false;
+        return v;
+      }
+      case 'n': {
+        if (!consume_literal("null")) fail(pos_, "invalid literal");
+        return JsonValue{};
+      }
+      default:
+        if (c == '-' || (c >= '0' && c <= '9')) return parse_number();
+        fail(pos_, std::string("unexpected character '") + c + "'");
+    }
+  }
+
+  JsonValue parse_object(std::size_t depth) {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kObject;
+    expect('{', "'{'");
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      skip_ws();
+      const std::size_t key_pos = pos_;
+      if (peek() != '"') fail(pos_, "expected member key string");
+      std::string key = parse_string();
+      for (const JsonValue::Member& m : v.object) {
+        if (m.key == key) fail(key_pos, "duplicate field '" + key + "'");
+      }
+      if (v.object.size() >= limits_.max_members) {
+        fail(key_pos,
+             "more than " + std::to_string(limits_.max_members) + " members");
+      }
+      skip_ws();
+      expect(':', "':'");
+      skip_ws();
+      JsonValue member = parse_value(depth + 1);
+      v.object.push_back(
+          JsonValue::Member{std::move(key), std::move(member), key_pos + 1});
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}', "',' or '}'");
+      return v;
+    }
+  }
+
+  JsonValue parse_array(std::size_t depth) {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kArray;
+    expect('[', "'['");
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      skip_ws();
+      if (v.array.size() >= limits_.max_members) {
+        fail(pos_,
+             "more than " + std::to_string(limits_.max_members) + " elements");
+      }
+      v.array.push_back(parse_value(depth + 1));
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']', "',' or ']'");
+      return v;
+    }
+  }
+
+  std::string parse_string() {
+    const std::size_t start = pos_;
+    expect('"', "'\"'");
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) fail(start, "unterminated string");
+      if (out.size() > limits_.max_string) {
+        fail(start, "string longer than " +
+                        std::to_string(limits_.max_string) + " bytes");
+      }
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return out;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        fail(pos_, "unescaped control character in string");
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        ++pos_;
+        continue;
+      }
+      ++pos_;  // backslash
+      if (pos_ >= text_.size()) fail(start, "unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': append_unicode_escape(&out); break;
+        default:
+          fail(pos_ - 1, std::string("invalid escape '\\") + e + "'");
+      }
+    }
+  }
+
+  /// \uXXXX -> UTF-8. Surrogate pairs are rejected (the protocol carries
+  /// ASCII identifiers; full UTF-16 plumbing would be dead weight).
+  void append_unicode_escape(std::string* out) {
+    if (pos_ + 4 > text_.size()) fail(pos_, "truncated \\u escape");
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char h = text_[pos_ + static_cast<std::size_t>(i)];
+      code <<= 4;
+      if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+      else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+      else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+      else fail(pos_ + static_cast<std::size_t>(i), "invalid \\u escape digit");
+    }
+    if (code >= 0xD800 && code <= 0xDFFF) {
+      fail(pos_ - 2, "surrogate \\u escapes are not supported");
+    }
+    pos_ += 4;
+    if (code < 0x80) {
+      out->push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    JsonValue v;
+    v.kind = JsonValue::Kind::kNumber;
+    if (peek() == '-') {
+      v.negative = true;
+      ++pos_;
+    }
+    if (peek() < '0' || peek() > '9') fail(pos_, "expected digit");
+    while (peek() >= '0' && peek() <= '9') ++pos_;
+    bool fractional = false;
+    if (peek() == '.') {
+      fractional = true;
+      ++pos_;
+      if (peek() < '0' || peek() > '9') fail(pos_, "expected fraction digit");
+      while (peek() >= '0' && peek() <= '9') ++pos_;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      fractional = true;
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      if (peek() < '0' || peek() > '9') fail(pos_, "expected exponent digit");
+      while (peek() >= '0' && peek() <= '9') ++pos_;
+    }
+    const std::string_view token = text_.substr(start, pos_ - start);
+    const char* first = token.data();
+    const char* last = token.data() + token.size();
+    if (!fractional) {
+      // Exact 64-bit integer view, so u64 fields survive round-trips.
+      const char* digits = v.negative ? first + 1 : first;
+      std::uint64_t mag = 0;
+      const auto [ptr, ec] = std::from_chars(digits, last, mag);
+      if (ec == std::errc() && ptr == last) {
+        v.integral = true;
+        v.magnitude = mag;
+      } else if (ec == std::errc::result_out_of_range) {
+        fail(start, "integer out of 64-bit range");
+      }
+    }
+    double d = 0.0;
+    const auto [ptr, ec] = std::from_chars(first, last, d);
+    if (ec != std::errc() || ptr != last || !std::isfinite(d)) {
+      fail(start, "number out of range");
+    }
+    v.number = d;
+    return v;
+  }
+
+  std::string_view text_;
+  const JsonLimits& limits_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+const JsonValue::Member* JsonValue::find(std::string_view key) const {
+  for (const Member& m : object) {
+    if (m.key == key) return &m;
+  }
+  return nullptr;
+}
+
+std::string_view to_string(JsonValue::Kind kind) {
+  switch (kind) {
+    case JsonValue::Kind::kNull: return "null";
+    case JsonValue::Kind::kBool: return "bool";
+    case JsonValue::Kind::kNumber: return "number";
+    case JsonValue::Kind::kString: return "string";
+    case JsonValue::Kind::kArray: return "array";
+    case JsonValue::Kind::kObject: return "object";
+  }
+  return "?";
+}
+
+JsonValue json_parse(std::string_view text, const JsonLimits& limits) {
+  return Parser(text, limits).parse_document();
+}
+
+std::string json_quote(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string json_number(double v) {
+  char buf[32];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  if (ec != std::errc()) return "0";
+  std::string out(buf, ptr);
+  // Bare integers like "1" are also valid JSON; keep them as-is.
+  return out;
+}
+
+}  // namespace mnemo::serve

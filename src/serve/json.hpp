@@ -1,0 +1,84 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mnemo::serve {
+
+/// Minimal JSON document model for the serve line protocol. Hand-rolled
+/// (the repo takes no external dependencies) and deliberately strict: the
+/// parser rejects duplicate object keys, oversized inputs and strings,
+/// and over-deep nesting with a typed util::ParseError carrying the
+/// 1-based byte offset of the offending content — malformed requests must
+/// produce a diagnosable error, never a crash or an allocation blow-up.
+struct JsonValue {
+  enum class Kind : std::uint8_t {
+    kNull,
+    kBool,
+    kNumber,
+    kString,
+    kArray,
+    kObject,
+  };
+
+  /// One object member, with the byte offset of its key token so the
+  /// protocol layer can point at the exact field in its own errors.
+  /// Defined after the enclosing struct: it holds a JsonValue by value.
+  struct Member;
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  /// Numbers keep both views: `number` is the double value; when the
+  /// token was integral (no '.', no exponent) `integral` is set and
+  /// `magnitude`/`negative` hold the exact 64-bit form, so u64 fields
+  /// (seeds) never round-trip through double precision.
+  double number = 0.0;
+  std::uint64_t magnitude = 0;
+  bool integral = false;
+  bool negative = false;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<Member> object;
+
+  [[nodiscard]] bool is_object() const noexcept {
+    return kind == Kind::kObject;
+  }
+  /// Member lookup (objects only); nullptr when absent.
+  [[nodiscard]] const Member* find(std::string_view key) const;
+};
+
+struct JsonValue::Member {
+  std::string key;
+  JsonValue value;
+  std::size_t pos = 0;  ///< 1-based byte offset of the key's opening '"'
+};
+
+std::string_view to_string(JsonValue::Kind kind);
+
+/// Hard bounds the parser enforces (each violation is a ParseError, with
+/// the input-size check first so a hostile line cannot cost more than
+/// max_input bytes of work).
+struct JsonLimits {
+  std::size_t max_input = 1 << 20;  ///< whole-document byte budget
+  std::size_t max_string = 4096;    ///< per-string byte budget (unescaped)
+  std::size_t max_depth = 16;       ///< array/object nesting
+  std::size_t max_members = 256;    ///< members per object / array elements
+};
+
+/// Parse exactly one JSON document (trailing bytes are an error). Throws
+/// util::ParseError("request", <1-based byte offset>, message) on any
+/// violation; never crashes on truncated or garbage input.
+[[nodiscard]] JsonValue json_parse(std::string_view text,
+                                   const JsonLimits& limits = {});
+
+/// Quote + escape a string per JSON (control chars as \u00XX).
+[[nodiscard]] std::string json_quote(std::string_view s);
+
+/// Shortest round-trip decimal rendering of a double (std::to_chars), so
+/// serialize -> parse returns the bit-identical value.
+[[nodiscard]] std::string json_number(double v);
+
+}  // namespace mnemo::serve

@@ -1,0 +1,89 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "util/status.hpp"
+
+namespace mnemo::serve {
+
+/// The serve line protocol: one JSON object per line in, one JSON object
+/// per line out. Requests mirror the pipeline subcommands; the protocol
+/// layer is strict (unknown fields, wrong types and out-of-range values
+/// are ParseErrors with byte positions) so a malformed client can never
+/// silently get a default-configured answer.
+
+/// What the client wants computed — the pipeline stage to stop at, plus
+/// `stats` for the server's own ledger.
+enum class RequestOp : std::uint8_t {
+  kCharacterize,
+  kMeasure,
+  kAdvise,
+  kReport,
+  kStats,
+};
+
+std::string_view to_string(RequestOp op);
+/// nullopt when `name` is not a known op.
+std::optional<RequestOp> parse_op(std::string_view name);
+
+/// One parsed request line. Defaults match the CLI option defaults, so a
+/// request carrying only {"id","op"} answers exactly like the bare
+/// subcommand. Field semantics are the subcommand flags of the same name.
+struct Request {
+  std::string id;  ///< client-chosen correlation id, echoed in the response
+  RequestOp op = RequestOp::kAdvise;
+  std::string workload = "trending";  ///< built-in Table III workload name
+  std::uint64_t keys = 0;             ///< 0 = workload default
+  std::uint64_t requests = 0;         ///< 0 = workload default
+  std::uint64_t seed = 0;             ///< 0 = workload default
+  std::string store = "vermilion";
+  bool tiered = false;
+  std::string model = "size-aware";
+  double p = 0.2;    ///< SlowMem price factor
+  double slo = 0.1;  ///< permissible slowdown vs FastMem-only
+  std::uint32_t repeats = 2;
+
+  bool operator==(const Request&) const = default;
+
+  /// Canonical one-line JSON form: every field, fixed order. parse_line()
+  /// of the result reproduces the struct exactly (round-trip property).
+  [[nodiscard]] std::string to_json_line() const;
+
+  /// Strict parse of one request line. Throws util::ParseError("request",
+  /// <1-based byte offset>, message) on malformed JSON, unknown or
+  /// duplicate fields, wrong types, unknown op/store/model names, or
+  /// out-of-range sizes. Never crashes on hostile input.
+  [[nodiscard]] static Request parse_line(std::string_view line);
+};
+
+/// One response line. `ok` responses carry the stage's rendered answer
+/// (bit-identical to the CLI answer for the same configuration); report
+/// responses additionally carry the CSV body. Error responses carry a
+/// typed code, a message, and — for parse errors — the byte position.
+struct Response {
+  std::string id;
+  RequestOp op = RequestOp::kAdvise;
+  bool ok = false;
+  std::string output;
+  std::string csv;  ///< report only
+  std::string error_code;
+  std::string error_message;
+  std::size_t error_position = 0;  ///< 1-based byte offset; 0 = none
+
+  [[nodiscard]] std::string to_json_line() const;
+};
+
+/// Error response from a typed util::Error (code rendered via
+/// util::to_string(ErrorCode)).
+[[nodiscard]] Response error_response(std::string id, RequestOp op,
+                                      const util::Error& error);
+
+/// Error response for a line that failed to parse: code "parse_error",
+/// position from the exception. The id is empty — a line that did not
+/// parse has no trustworthy id.
+[[nodiscard]] Response parse_error_response(const util::ParseError& e);
+
+}  // namespace mnemo::serve

@@ -1,0 +1,270 @@
+#include "serve/server.hpp"
+
+#include <condition_variable>
+#include <deque>
+#include <istream>
+#include <memory>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "core/render.hpp"
+#include "core/session.hpp"
+#include "kvstore/factory.hpp"
+#include "serve/json.hpp"
+#include "workload/suite.hpp"
+
+namespace mnemo::serve {
+
+namespace {
+
+kvstore::StoreKind store_kind(const std::string& name) {
+  for (const kvstore::StoreKind kind : kvstore::kAllStoreKinds) {
+    if (name == kvstore::to_string(kind)) return kind;
+  }
+  throw std::invalid_argument("unknown store " + name);
+}
+
+core::EstimateModel estimate_model(const std::string& name) {
+  if (name == "uniform") return core::EstimateModel::kUniformDelta;
+  return core::EstimateModel::kSizeAware;
+}
+
+workload::Trace request_trace(const Request& req) {
+  // paper_workload() treats an unknown name as a caller contract violation
+  // (abort); for a server it is client input, so pre-validate into a typed
+  // error response instead.
+  bool known = false;
+  for (const workload::WorkloadSpec& s : workload::paper_suite()) {
+    known = known || s.name == req.workload;
+  }
+  if (!known) {
+    throw std::invalid_argument("unknown workload " + req.workload);
+  }
+  workload::WorkloadSpec spec = workload::paper_workload(req.workload);
+  if (req.keys > 0) spec.key_count = req.keys;
+  if (req.requests > 0) spec.request_count = req.requests;
+  if (req.seed > 0) spec.seed = req.seed;
+  return workload::Trace::generate(spec);
+}
+
+}  // namespace
+
+std::string ServeStats::render() const {
+  std::ostringstream out;
+  out << "serve stats\n"
+      << "  requests            " << requests << "\n"
+      << "  ok                  " << ok << "\n"
+      << "  errors              " << errors << "\n"
+      << "  parse errors        " << parse_errors << "\n"
+      << "  overloaded          " << overloaded << "\n"
+      << "  measure leads       " << measure_leads << "\n"
+      << "  measure memo hits   " << measure_memo_hits << "\n"
+      << "  single-flight joins " << single_flight_joins << "\n"
+      << "  queue depth (hwm)   " << queue_depth_hwm << "\n";
+  return out.str();
+}
+
+Server::Server(ServeOptions options)
+    : options_(std::move(options)),
+      store_(options_.cache_dir),
+      pool_(options_.threads) {}
+
+Response Server::handle(const Request& request) {
+  if (options_.on_request) options_.on_request(request);
+  Response resp;
+  resp.id = request.id;
+  resp.op = request.op;
+  try {
+    if (request.op == RequestOp::kStats) {
+      resp.ok = true;
+      resp.output = stats().render();
+      return resp;
+    }
+
+    core::SessionConfig sc;
+    sc.mnemo.store = store_kind(request.store);
+    sc.mnemo.ordering = request.tiered ? core::OrderingPolicy::kTiered
+                                       : core::OrderingPolicy::kTouchOrder;
+    sc.mnemo.estimate_model = estimate_model(request.model);
+    sc.mnemo.price_factor = request.p;
+    sc.mnemo.slo_slowdown = request.slo;
+    sc.mnemo.repeats = static_cast<int>(request.repeats);
+    // One campaign thread per request: concurrency lives across requests,
+    // and campaign results are thread-count-invariant (DESIGN.md §6).
+    sc.mnemo.threads = 1;
+    sc.use_cache = options_.use_cache;
+    sc.shared_store = &store_;
+
+    core::Session session(request_trace(request), sc);
+
+    if (request.op != RequestOp::kCharacterize) resolve_measure(session);
+
+    switch (request.op) {
+      case RequestOp::kCharacterize:
+        resp.output =
+            core::render_characterize(session.trace(), session.characterize());
+        break;
+      case RequestOp::kMeasure:
+        resp.output = core::render_measure(session.measure());
+        break;
+      case RequestOp::kAdvise:
+        resp.output = session.measure().degraded
+                          ? core::render_measure(session.measure())
+                          : core::render_advise(session.measure(),
+                                                session.advise());
+        break;
+      case RequestOp::kReport:
+        resp.output = session.report().text;
+        resp.csv = session.report().csv;
+        break;
+      case RequestOp::kStats:
+        break;  // handled above
+    }
+    resp.ok = true;
+  } catch (const std::invalid_argument& e) {
+    resp = error_response(
+        request.id, request.op,
+        util::Error{util::ErrorCode::kInvalidArgument, e.what()});
+  } catch (const std::exception& e) {
+    resp = error_response(
+        request.id, request.op,
+        util::Error{util::ErrorCode::kFailedPrecondition, e.what()});
+  }
+  {
+    std::lock_guard lock(mu_);
+    if (resp.ok) {
+      ++stats_.ok;
+    } else {
+      ++stats_.errors;
+    }
+  }
+  return resp;
+}
+
+void Server::resolve_measure(core::Session& session) {
+  const std::string key = session.measure_key();
+  // Fast path: a prior stage load already materialized it (disk cache).
+  if (session.measured()) return;
+  MeasureCache::Lease lease = measures_.acquire(key);
+  if (!lease.leader) {
+    session.adopt_measure(*lease.artifact);
+    std::lock_guard lock(mu_);
+    if (lease.joined) {
+      ++stats_.single_flight_joins;
+    } else {
+      ++stats_.measure_memo_hits;
+    }
+    return;
+  }
+  try {
+    const core::MeasureArtifact& m = session.measure();
+    // Degraded grids never enter the memo, matching the artifact store's
+    // rule: a faulted campaign must not be laundered into later requests.
+    if (!m.degraded && m.failures.empty()) {
+      measures_.publish(key,
+                        std::make_shared<const core::MeasureArtifact>(m));
+    } else {
+      measures_.abandon(key);
+    }
+    std::lock_guard lock(mu_);
+    ++stats_.measure_leads;
+  } catch (...) {
+    measures_.abandon(key);
+    throw;
+  }
+}
+
+std::future<std::string> Server::submit_line(std::string line) {
+  auto ready = [](Response resp) {
+    std::promise<std::string> p;
+    p.set_value(resp.to_json_line());
+    return p.get_future();
+  };
+
+  Request req;
+  try {
+    req = Request::parse_line(line);
+  } catch (const util::ParseError& e) {
+    std::lock_guard lock(mu_);
+    ++stats_.requests;
+    ++stats_.parse_errors;
+    return ready(parse_error_response(e));
+  }
+
+  {
+    std::lock_guard lock(mu_);
+    ++stats_.requests;
+    if (pending_ >= options_.queue_capacity) {
+      ++stats_.overloaded;
+      return ready(error_response(
+          req.id, req.op,
+          util::Error{util::ErrorCode::kOverloaded,
+                      "queue full (" +
+                          std::to_string(options_.queue_capacity) +
+                          " requests in service) — retry later"}));
+    }
+    ++pending_;
+    if (pending_ > stats_.queue_depth_hwm) stats_.queue_depth_hwm = pending_;
+  }
+
+  return pool_.submit([this, req = std::move(req)]() -> std::string {
+    const Response resp = handle(req);
+    {
+      std::lock_guard lock(mu_);
+      --pending_;
+    }
+    return resp.to_json_line();
+  });
+}
+
+void Server::serve_stream(std::istream& in, std::ostream& out) {
+  // Responses are emitted strictly in request arrival order: the reader
+  // appends futures to a queue and a single writer drains it front to
+  // back. Workers may finish out of order; the transcript never does.
+  std::mutex qmu;
+  std::condition_variable qcv;
+  std::deque<std::future<std::string>> queue;
+  bool done = false;
+
+  std::thread writer([&] {
+    for (;;) {
+      std::future<std::string> next;
+      {
+        std::unique_lock lock(qmu);
+        qcv.wait(lock, [&] { return !queue.empty() || done; });
+        if (queue.empty()) return;
+        next = std::move(queue.front());
+        queue.pop_front();
+      }
+      out << next.get() << "\n" << std::flush;
+    }
+  });
+
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    std::future<std::string> fut = submit_line(std::move(line));
+    {
+      std::lock_guard lock(qmu);
+      queue.push_back(std::move(fut));
+    }
+    qcv.notify_one();
+  }
+  {
+    std::lock_guard lock(qmu);
+    done = true;
+  }
+  qcv.notify_one();
+  writer.join();  // graceful drain: every admitted request is answered
+}
+
+ServeStats Server::stats() const {
+  std::lock_guard lock(mu_);
+  return stats_;
+}
+
+}  // namespace mnemo::serve

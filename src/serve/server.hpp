@@ -1,0 +1,112 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+
+#include "core/artifact_store.hpp"
+#include "serve/protocol.hpp"
+#include "serve/single_flight.hpp"
+#include "util/thread_pool.hpp"
+
+namespace mnemo::core {
+class Session;
+}  // namespace mnemo::core
+
+namespace mnemo::serve {
+
+/// Tuning of one Server instance.
+struct ServeOptions {
+  /// Worker threads answering requests (0 = hardware concurrency). Each
+  /// request's campaign runs single-threaded inside its worker — results
+  /// are bit-identical at any campaign thread count (DESIGN.md §6), and
+  /// concurrency across *requests* is what serving mode is for.
+  std::size_t threads = 0;
+  /// Bound on requests admitted but not yet answered. Submissions beyond
+  /// it are refused immediately with a typed `overloaded` error instead
+  /// of queueing without bound (backpressure).
+  std::size_t queue_capacity = 64;
+  /// Artifact-store directory shared by every request (empty = no disk
+  /// cache; the in-memory single-flight memo still applies).
+  std::string cache_dir;
+  bool use_cache = true;
+  /// Test seam: runs on the worker thread just before a request is
+  /// handled. Lets tests hold workers inside the pool to make queue
+  /// pressure deterministic. Not called for refused (overloaded) or
+  /// unparseable requests.
+  std::function<void(const Request&)> on_request;
+};
+
+/// The server's own ledger, returned by the `stats` op and printed on
+/// shutdown. Counters cover the whole server lifetime.
+struct ServeStats {
+  std::uint64_t requests = 0;       ///< lines submitted (incl. refused)
+  std::uint64_t ok = 0;             ///< successful responses
+  std::uint64_t errors = 0;         ///< failed responses (excl. parse/overload)
+  std::uint64_t parse_errors = 0;   ///< lines that did not parse
+  std::uint64_t overloaded = 0;     ///< refused by backpressure
+  std::uint64_t measure_leads = 0;  ///< campaigns actually replayed
+  std::uint64_t measure_memo_hits = 0;   ///< measure served from the memo
+  std::uint64_t single_flight_joins = 0; ///< blocked on an in-flight leader
+  std::uint64_t queue_depth_hwm = 0;     ///< max in-service requests seen
+
+  [[nodiscard]] std::string render() const;
+};
+
+/// The concurrent consultant: a bounded worker pool answering protocol
+/// requests against one shared ArtifactStore and one single-flight
+/// measure memo. Every response's answer text is produced by the same
+/// core::render_* functions the CLI subcommands use, so a serve response
+/// is bit-identical to the single-client CLI answer for the same
+/// configuration. Destruction drains: in-service requests complete
+/// before the pool joins (graceful shutdown).
+class Server {
+ public:
+  explicit Server(ServeOptions options);
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Answer one already-parsed request synchronously on this thread.
+  [[nodiscard]] Response handle(const Request& request);
+
+  /// Parse one line and enqueue it. Parse failures and backpressure
+  /// refusals yield an immediately ready future, so every submitted line
+  /// produces exactly one response either way.
+  [[nodiscard]] std::future<std::string> submit_line(std::string line);
+
+  /// Run the line protocol over a stream pair until EOF: one JSON object
+  /// per input line, one response line per request, *in arrival order*
+  /// regardless of completion order — a transcript is byte-stable at any
+  /// worker count. Returns after every admitted request has been
+  /// answered and written (graceful drain).
+  void serve_stream(std::istream& in, std::ostream& out);
+
+  [[nodiscard]] ServeStats stats() const;
+  [[nodiscard]] const ServeOptions& options() const noexcept {
+    return options_;
+  }
+
+ private:
+  /// Materialize the session's measure stage through the single-flight
+  /// memo: lead, join, or adopt from the memo.
+  void resolve_measure(core::Session& session);
+
+  ServeOptions options_;
+  core::ArtifactStore store_;
+  MeasureCache measures_;
+
+  mutable std::mutex mu_;  ///< guards stats_ and pending_
+  ServeStats stats_;
+  std::size_t pending_ = 0;  ///< admitted, not yet completed
+
+  /// Declared last: destroyed first, draining outstanding work while the
+  /// members above are still alive for the workers to use.
+  util::ThreadPool pool_;
+};
+
+}  // namespace mnemo::serve

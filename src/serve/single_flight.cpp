@@ -1,0 +1,59 @@
+#include "serve/single_flight.hpp"
+
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace mnemo::serve {
+
+MeasureCache::Lease MeasureCache::acquire(const std::string& key) {
+  std::unique_lock lock(mu_);
+  for (;;) {
+    if (const auto done = done_.find(key); done != done_.end()) {
+      return Lease{false, done->second, false};
+    }
+    const auto flight = flights_.find(key);
+    if (flight == flights_.end()) {
+      flights_.emplace(key, std::make_shared<Flight>());
+      return Lease{true, nullptr, false};
+    }
+    // Hold our own reference: publish/abandon erase the map entry while
+    // we sleep, and a fresh flight under the same key is a *different*
+    // Flight object we must not confuse with ours.
+    const std::shared_ptr<Flight> ours = flight->second;
+    cv_.wait(lock, [&] {
+      return ours->abandoned || done_.contains(key);
+    });
+    if (const auto done = done_.find(key); done != done_.end()) {
+      return Lease{false, done->second, true};
+    }
+    // Leader abandoned: loop to either become the new leader or wait on
+    // whoever beat us to it.
+  }
+}
+
+void MeasureCache::publish(
+    const std::string& key,
+    std::shared_ptr<const core::MeasureArtifact> artifact) {
+  MNEMO_EXPECTS(artifact != nullptr);
+  std::lock_guard lock(mu_);
+  done_[key] = std::move(artifact);
+  flights_.erase(key);
+  cv_.notify_all();
+}
+
+void MeasureCache::abandon(const std::string& key) {
+  std::lock_guard lock(mu_);
+  const auto flight = flights_.find(key);
+  MNEMO_EXPECTS(flight != flights_.end());
+  flight->second->abandoned = true;
+  flights_.erase(flight);
+  cv_.notify_all();
+}
+
+std::size_t MeasureCache::memo_size() const {
+  std::lock_guard lock(mu_);
+  return done_.size();
+}
+
+}  // namespace mnemo::serve

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "core/artifacts.hpp"
+
+namespace mnemo::serve {
+
+/// Single-flight deduplication of the measure stage, keyed on
+/// Session::measure_key(). The first requester of a key becomes the
+/// *leader* and runs the emulator campaign; concurrent requesters of the
+/// same key block until the leader publishes, then adopt the leader's
+/// artifact (*join*). Published artifacts are memoized for the server's
+/// lifetime, so each distinct measure key is replayed at most once per
+/// server — later requests are memo hits even with the artifact cache
+/// disabled. A leader that fails (exception, degraded grid) abandons the
+/// flight; one waiter is promoted to leader and the rest keep waiting, so
+/// a transient failure never wedges the key.
+class MeasureCache {
+ public:
+  /// The outcome of acquire(): either this caller must compute and then
+  /// publish()/abandon() (leader), or the artifact is already here.
+  struct Lease {
+    bool leader = false;
+    /// Set iff !leader: the artifact to adopt.
+    std::shared_ptr<const core::MeasureArtifact> artifact;
+    /// True when this caller blocked on another request's in-flight
+    /// computation (as opposed to hitting the memo without waiting).
+    bool joined = false;
+  };
+
+  /// Claim the key: returns a leader lease, a memo hit, or blocks until
+  /// the in-flight leader publishes.
+  [[nodiscard]] Lease acquire(const std::string& key);
+
+  /// Leader completion: memoize the artifact and wake all joiners.
+  void publish(const std::string& key,
+               std::shared_ptr<const core::MeasureArtifact> artifact);
+
+  /// Leader failure: release the key without a result. Waiters race to be
+  /// promoted; each request still fails (or retries) independently.
+  void abandon(const std::string& key);
+
+  /// Distinct keys memoized so far.
+  [[nodiscard]] std::size_t memo_size() const;
+
+ private:
+  struct Flight {
+    bool abandoned = false;
+  };
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::unordered_map<std::string, std::shared_ptr<Flight>> flights_;
+  std::unordered_map<std::string, std::shared_ptr<const core::MeasureArtifact>>
+      done_;
+};
+
+}  // namespace mnemo::serve

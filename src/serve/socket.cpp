@@ -1,0 +1,145 @@
+#include "serve/socket.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <istream>
+#include <mutex>
+#include <ostream>
+#include <streambuf>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace mnemo::serve {
+
+namespace {
+
+/// iostream adapter over a connected socket fd. Writes use send() with
+/// MSG_NOSIGNAL so a client that hangs up mid-response surfaces as a
+/// stream error, not SIGPIPE.
+class FdBuf : public std::streambuf {
+ public:
+  explicit FdBuf(int fd) : fd_(fd) {
+    setg(in_, in_, in_);
+    setp(out_, out_ + sizeof(out_));
+  }
+
+ protected:
+  int_type underflow() override {
+    const ssize_t n = ::read(fd_, in_, sizeof(in_));
+    if (n <= 0) return traits_type::eof();
+    setg(in_, in_, in_ + n);
+    return traits_type::to_int_type(in_[0]);
+  }
+
+  int_type overflow(int_type c) override {
+    if (!flush_out()) return traits_type::eof();
+    if (!traits_type::eq_int_type(c, traits_type::eof())) {
+      *pptr() = traits_type::to_char_type(c);
+      pbump(1);
+    }
+    return traits_type::not_eof(c);
+  }
+
+  int sync() override { return flush_out() ? 0 : -1; }
+
+ private:
+  bool flush_out() {
+    const char* p = pbase();
+    while (p < pptr()) {
+      const ssize_t n = ::send(fd_, p, static_cast<std::size_t>(pptr() - p),
+                               MSG_NOSIGNAL);
+      if (n <= 0) return false;
+      p += n;
+    }
+    setp(out_, out_ + sizeof(out_));
+    return true;
+  }
+
+  int fd_;
+  char in_[4096];
+  char out_[4096];
+};
+
+}  // namespace
+
+SocketEndpoint::SocketEndpoint(Server& server, std::string path)
+    : server_(server), path_(std::move(path)) {}
+
+util::Status SocketEndpoint::serve() {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path_.size() >= sizeof(addr.sun_path)) {
+    return util::Error{util::ErrorCode::kInvalidArgument,
+                       "socket path too long: " + path_};
+  }
+  std::memcpy(addr.sun_path, path_.c_str(), path_.size() + 1);
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return util::Error{util::ErrorCode::kFailedPrecondition,
+                       std::string("socket: ") + std::strerror(errno)};
+  }
+  ::unlink(path_.c_str());  // replace a stale socket file
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+          0 ||
+      ::listen(fd, 16) < 0) {
+    const int err = errno;
+    ::close(fd);
+    return util::Error{util::ErrorCode::kFailedPrecondition,
+                       "bind/listen " + path_ + ": " + std::strerror(err)};
+  }
+  listen_fd_.store(fd, std::memory_order_release);
+
+  std::mutex conns_mu;
+  std::vector<int> conn_fds;
+  std::vector<std::thread> conn_threads;
+
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const int conn = ::accept(fd, nullptr, nullptr);
+    if (conn < 0) {
+      if (stopping_.load(std::memory_order_acquire)) break;
+      if (errno == EINTR) continue;
+      break;
+    }
+    {
+      std::lock_guard lock(conns_mu);
+      conn_fds.push_back(conn);
+    }
+    conn_threads.emplace_back([this, conn] {
+      FdBuf buf(conn);
+      std::istream in(&buf);
+      std::ostream out(&buf);
+      server_.serve_stream(in, out);
+      ::close(conn);
+    });
+  }
+
+  // Shutdown: kick every open connection so its serve_stream sees EOF,
+  // then join. Admitted requests still complete (graceful drain) — only
+  // unread input is abandoned.
+  {
+    std::lock_guard lock(conns_mu);
+    for (const int conn : conn_fds) ::shutdown(conn, SHUT_RDWR);
+  }
+  for (std::thread& t : conn_threads) t.join();
+  ::close(fd);
+  listen_fd_.store(-1, std::memory_order_release);
+  ::unlink(path_.c_str());
+  return {};
+}
+
+void SocketEndpoint::stop() {
+  // Async-signal-safe: one atomic store plus shutdown(2). The accept loop
+  // wakes with an error, observes stopping_, and does the cleanup on its
+  // own thread.
+  stopping_.store(true, std::memory_order_release);
+  const int fd = listen_fd_.load(std::memory_order_acquire);
+  if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+}
+
+}  // namespace mnemo::serve

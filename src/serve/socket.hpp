@@ -1,0 +1,42 @@
+#pragma once
+
+#include <atomic>
+#include <string>
+
+#include "serve/server.hpp"
+#include "util/status.hpp"
+
+namespace mnemo::serve {
+
+/// Unix-domain-socket front end for a Server: accepts connections on
+/// `path` and runs the line protocol (Server::serve_stream) on each, one
+/// thread per connection. All connections share the Server — and thus
+/// the artifact store, the single-flight memo, and the backpressure
+/// budget.
+class SocketEndpoint {
+ public:
+  /// Borrows `server`; it must outlive the endpoint.
+  SocketEndpoint(Server& server, std::string path);
+
+  SocketEndpoint(const SocketEndpoint&) = delete;
+  SocketEndpoint& operator=(const SocketEndpoint&) = delete;
+
+  /// Bind, listen and accept until stop(). Replaces a stale socket file
+  /// at `path`. Returns non-ok on bind/listen failures. On return every
+  /// connection thread has been joined and the socket file removed.
+  [[nodiscard]] util::Status serve();
+
+  /// Unblock serve() from another thread (or a signal handler — only
+  /// async-signal-safe calls are made). Idempotent.
+  void stop();
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  Server& server_;
+  std::string path_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<int> listen_fd_{-1};
+};
+
+}  // namespace mnemo::serve

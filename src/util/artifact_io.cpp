@@ -2,6 +2,7 @@
 
 #include <unistd.h>
 
+#include <atomic>
 #include <bit>
 #include <cstdio>
 #include <filesystem>
@@ -102,8 +103,16 @@ std::vector<std::uint64_t> BinReader::u64_vec() {
 
 Status write_file_atomic(const std::string& path,
                          std::string_view contents) {
+  // The temp name must be unique per *writer*, not per process: two
+  // threads saving the same path concurrently (e.g. sessions racing on
+  // one cache key) would otherwise interleave writes into one temp file
+  // and rename a torn artifact into place. pid + a process-wide counter
+  // keeps names unique across processes sharing a cache dir and across
+  // threads within one.
+  static std::atomic<std::uint64_t> counter{0};
   const std::string tmp =
-      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid())) + "." +
+      std::to_string(counter.fetch_add(1, std::memory_order_relaxed));
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
     if (!out) {

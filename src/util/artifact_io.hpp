@@ -68,10 +68,12 @@ class BinReader {
   std::size_t pos_ = 0;
 };
 
-/// Crash-safe whole-file write: the contents land in `path + ".tmp.<pid>"`
-/// first and are renamed into place, so a reader never observes a
-/// half-written file — it sees either the old content or the new, and a
-/// crash leaves at worst a stale temp file that later writes ignore.
+/// Crash-safe whole-file write: the contents land in a writer-unique
+/// `path + ".tmp.<pid>.<n>"` first and are renamed into place, so a reader
+/// never observes a half-written file — it sees either the old content or
+/// the new — and two concurrent writers of the same path resolve to
+/// last-writer-wins, never a torn file. A crash leaves at worst a stale
+/// temp file that later writes ignore.
 Status write_file_atomic(const std::string& path, std::string_view contents);
 
 /// Read a whole file. Returns false if the file does not exist or cannot

@@ -16,6 +16,8 @@ std::string_view to_string(ErrorCode code) {
       return "invalid_argument";
     case ErrorCode::kFailedPrecondition:
       return "failed_precondition";
+    case ErrorCode::kOverloaded:
+      return "overloaded";
   }
   return "?";
 }

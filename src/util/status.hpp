@@ -22,6 +22,7 @@ enum class ErrorCode : std::uint8_t {
   kRetriesExhausted,    ///< bounded retry gave up
   kInvalidArgument,     ///< malformed configuration or input
   kFailedPrecondition,  ///< upstream result unusable (e.g. dead baseline)
+  kOverloaded,          ///< bounded queue full — retry later (backpressure)
 };
 
 std::string_view to_string(ErrorCode code);

@@ -5,6 +5,8 @@
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "core/artifacts.hpp"
 
@@ -180,6 +182,73 @@ TEST_F(StoreFixture, EventsLedgerRecordsEveryDecisionInOrder) {
 
   store.clear_events();
   EXPECT_TRUE(store.events().empty());
+}
+
+TEST_F(StoreFixture, IdenticalIncumbentSkipsTheRewrite) {
+  ArtifactStore store(dir.string());
+  ASSERT_TRUE(store.save(kKey, sample()).ok());
+  const auto mtime = fs::last_write_time(sample_path(store));
+  // Second writer of the same content-addressed bytes: a no-op, not a
+  // rewrite (no temp-file churn, no mtime bump).
+  ASSERT_TRUE(store.save(kKey, sample()).ok());
+  EXPECT_EQ(fs::last_write_time(sample_path(store)), mtime);
+}
+
+TEST_F(StoreFixture, ConcurrentSameKeyWritersNeverProduceATornRead) {
+  // Two sessions sharing one cache dir race to save the same key. Every
+  // interleaving must end with one valid, loadable file — last writer
+  // wins, and a concurrent reader sees either a valid frame or a miss,
+  // never a torn artifact decoded as something else.
+  ArtifactStore writer_a(dir.string());
+  ArtifactStore writer_b(dir.string());
+  ArtifactStore reader(dir.string());
+
+  constexpr int kRounds = 200;
+  std::thread ta([&] {
+    for (int i = 0; i < kRounds; ++i) {
+      ASSERT_TRUE(writer_a.save(kKey, sample()).ok());
+    }
+  });
+  std::thread tb([&] {
+    for (int i = 0; i < kRounds; ++i) {
+      ASSERT_TRUE(writer_b.save(kKey, sample()).ok());
+    }
+  });
+  std::thread tr([&] {
+    for (int i = 0; i < kRounds; ++i) {
+      const auto got = reader.load<ReportArtifact>(kKey);
+      if (got.has_value()) {
+        EXPECT_TRUE(*got == sample());
+      }
+    }
+  });
+  ta.join();
+  tb.join();
+  tr.join();
+
+  const auto got = reader.load<ReportArtifact>(kKey);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_TRUE(*got == sample());
+  // Atomic rename cleanup: no temp files survive the race.
+  for (const auto& e : fs::directory_iterator(dir)) {
+    EXPECT_EQ(e.path().extension().string(), ".mna") << e.path();
+  }
+}
+
+TEST_F(StoreFixture, EventsLedgerIsThreadSafe) {
+  ArtifactStore store(dir.string());
+  ASSERT_TRUE(store.save(kKey, sample()).ok());
+  std::vector<std::thread> threads;
+  threads.reserve(4);
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 100; ++i) {
+        EXPECT_TRUE(store.load<ReportArtifact>(kKey).has_value());
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(store.events().size(), 400u);
 }
 
 TEST_F(StoreFixture, MissReasonsHaveNames) {

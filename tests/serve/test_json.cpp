@@ -1,0 +1,140 @@
+#include "serve/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/status.hpp"
+
+namespace mnemo::serve {
+namespace {
+
+JsonValue parse(std::string_view text) { return json_parse(text); }
+
+/// The 1-based byte position a parse of `text` fails at, or 0 when it
+/// parses cleanly.
+std::size_t fail_pos(std::string_view text, const JsonLimits& limits = {}) {
+  try {
+    (void)json_parse(text, limits);
+    return 0;
+  } catch (const util::ParseError& e) {
+    EXPECT_EQ(e.file(), "request");
+    return e.line();
+  }
+}
+
+TEST(ServeJson, ParsesScalars) {
+  EXPECT_EQ(parse("null").kind, JsonValue::Kind::kNull);
+  EXPECT_TRUE(parse("true").boolean);
+  EXPECT_FALSE(parse("false").boolean);
+  EXPECT_EQ(parse("\"hi\"").string, "hi");
+  EXPECT_DOUBLE_EQ(parse("2.5").number, 2.5);
+}
+
+TEST(ServeJson, IntegersKeepTheExact64BitValue) {
+  const JsonValue v = parse("18446744073709551615");  // 2^64 - 1
+  ASSERT_TRUE(v.integral);
+  EXPECT_FALSE(v.negative);
+  EXPECT_EQ(v.magnitude, 18446744073709551615ULL);
+
+  const JsonValue neg = parse("-7");
+  ASSERT_TRUE(neg.integral);
+  EXPECT_TRUE(neg.negative);
+  EXPECT_EQ(neg.magnitude, 7u);
+
+  EXPECT_FALSE(parse("1.5").integral);
+  EXPECT_FALSE(parse("1e3").integral);
+}
+
+TEST(ServeJson, ObjectsKeepMemberOrderAndPositions) {
+  const JsonValue v = parse(R"({"a":1,"b":"x"})");
+  ASSERT_TRUE(v.is_object());
+  ASSERT_EQ(v.object.size(), 2u);
+  EXPECT_EQ(v.object[0].key, "a");
+  EXPECT_EQ(v.object[0].pos, 2u);  // the '"' of "a" is byte 2, 1-based
+  EXPECT_EQ(v.object[1].key, "b");
+  ASSERT_NE(v.find("b"), nullptr);
+  EXPECT_EQ(v.find("b")->value.string, "x");
+  EXPECT_EQ(v.find("absent"), nullptr);
+}
+
+TEST(ServeJson, StringEscapes) {
+  EXPECT_EQ(parse(R"("a\"b\\c\nd\te")").string, "a\"b\\c\nd\te");
+  EXPECT_EQ(parse(R"("\u0041\u00e9")").string, "A\xc3\xa9");
+}
+
+TEST(ServeJson, QuoteRoundTripsThroughParse) {
+  const std::string nasty = "line\nwith \"quotes\", tab\t, and \x01 ctrl";
+  EXPECT_EQ(parse(json_quote(nasty)).string, nasty);
+}
+
+TEST(ServeJson, NumberRoundTripsThroughParse) {
+  for (const double d : {0.2, 0.1, 1.0, 123456.789, 1e-9}) {
+    EXPECT_DOUBLE_EQ(parse(json_number(d)).number, d) << json_number(d);
+  }
+}
+
+TEST(ServeJson, DuplicateKeysAreRejectedAtTheDuplicatePosition) {
+  //                 123456789012345
+  EXPECT_EQ(fail_pos(R"({"a":1,"a":2})"), 8u);
+}
+
+TEST(ServeJson, TrailingBytesAreRejected) {
+  EXPECT_EQ(fail_pos("{} {}"), 4u);
+  EXPECT_EQ(fail_pos("1 2"), 3u);
+}
+
+TEST(ServeJson, TruncationsAtEveryPrefixAreTypedErrorsNotCrashes) {
+  const std::string doc =
+      R"({"id":"r-1","op":"advise","keys":150,"nested":{"x":[1,2,"\u0041"]}})";
+  for (std::size_t n = 0; n < doc.size(); ++n) {
+    EXPECT_NE(fail_pos(doc.substr(0, n)), 0u) << "prefix length " << n;
+  }
+  EXPECT_EQ(fail_pos(doc), 0u);  // the full document parses
+}
+
+TEST(ServeJson, GarbageBytesAreTypedErrors) {
+  for (const std::string_view bad :
+       {"", "  ", "{", "}", "[", "\"", "tru", "nul", "-", "1.", "1e",
+        "{\"a\"}", "{\"a\":}", "{\"a\":1,}", "[1,]", "\"\\q\"", "\"\\u12g4\"",
+        "\"\\ud800\"", "{1:2}", "\x01", "{\"a\"\n:1}x"}) {
+    EXPECT_NE(fail_pos(bad), 0u) << '"' << bad << '"';
+  }
+}
+
+TEST(ServeJson, OversizedInputIsRefusedUpFront) {
+  JsonLimits limits;
+  limits.max_input = 8;
+  EXPECT_NE(fail_pos("\"123456789\"", limits), 0u);
+  EXPECT_EQ(fail_pos("\"1234\"", limits), 0u);
+}
+
+TEST(ServeJson, OversizedStringIsRefused) {
+  JsonLimits limits;
+  limits.max_string = 4;
+  EXPECT_NE(fail_pos("\"12345678\"", limits), 0u);
+  EXPECT_EQ(fail_pos("\"1234\"", limits), 0u);
+}
+
+TEST(ServeJson, OverDeepNestingIsRefused) {
+  JsonLimits limits;
+  limits.max_depth = 4;
+  EXPECT_NE(fail_pos("[[[[[[1]]]]]]", limits), 0u);
+  EXPECT_EQ(fail_pos("[[[1]]]", limits), 0u);
+}
+
+TEST(ServeJson, TooManyMembersIsRefused) {
+  JsonLimits limits;
+  limits.max_members = 2;
+  EXPECT_NE(fail_pos(R"({"a":1,"b":2,"c":3})", limits), 0u);
+  EXPECT_EQ(fail_pos(R"({"a":1,"b":2})", limits), 0u);
+  EXPECT_NE(fail_pos("[1,2,3]", limits), 0u);
+}
+
+TEST(ServeJson, IntegerOverflowIsATypedError) {
+  EXPECT_NE(fail_pos("18446744073709551616"), 0u);  // 2^64
+  EXPECT_NE(fail_pos("1e999"), 0u);
+}
+
+}  // namespace
+}  // namespace mnemo::serve

@@ -1,0 +1,46 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "serve/server.hpp"
+
+namespace mnemo::serve {
+namespace {
+
+std::string read_fixture(const std::string& name) {
+  const std::string path = std::string(MNEMO_FIXTURE_DIR) + "/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in) << "missing fixture " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// The end-to-end transcript contract: replaying the canned request
+/// stream produces the checked-in response bytes — at any worker count.
+/// Responses are emitted in arrival order, so concurrency must never
+/// show up in the transcript.
+class ServeGolden : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ServeGolden, TranscriptIsByteStable) {
+  ServeOptions options;
+  options.threads = GetParam();
+  Server server(std::move(options));
+
+  std::istringstream in(read_fixture("serve_transcript.in"));
+  std::ostringstream out;
+  server.serve_stream(in, out);
+
+  EXPECT_EQ(out.str(), read_fixture("serve_transcript.out"));
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ServeGolden,
+                         ::testing::Values(1u, 2u, 8u),
+                         [](const auto& info) {
+                           return "threads" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace mnemo::serve

@@ -1,0 +1,228 @@
+#include "serve/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <condition_variable>
+#include <filesystem>
+#include <future>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cli/cli.hpp"
+#include "core/campaign.hpp"
+#include "serve/json.hpp"
+
+namespace mnemo::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// The shared small workload: tiny enough for unit-test latency, same
+/// flags the CLI pipeline tests use.
+Request small_advise(std::string id) {
+  Request req;
+  req.id = std::move(id);
+  req.op = RequestOp::kAdvise;
+  req.keys = 150;
+  req.requests = 1500;
+  req.repeats = 1;
+  return req;
+}
+
+/// The CLI's answer for the same configuration, minus the presentation
+/// lines serve deliberately omits ("campaign cells executed: N" depends
+/// on how the run was satisfied, not on the answer).
+std::string cli_answer(const std::vector<std::string>& args) {
+  std::ostringstream out;
+  std::ostringstream err;
+  EXPECT_EQ(cli::run(args, out, err), 0) << err.str();
+  std::istringstream lines(out.str());
+  std::string line;
+  std::string answer;
+  while (std::getline(lines, line)) {
+    if (line.rfind("campaign cells executed:", 0) == 0) continue;
+    answer += line + "\n";
+  }
+  return answer;
+}
+
+TEST(ServeServer, AdviseResponseIsBitIdenticalToTheCliAnswer) {
+  Server server(ServeOptions{});
+  const Response resp = server.handle(small_advise("r1"));
+  ASSERT_TRUE(resp.ok) << resp.error_message;
+  EXPECT_EQ(resp.output,
+            cli_answer({"advise", "--workload", "trending", "--keys", "150",
+                        "--requests", "1500", "--repeats", "1"}));
+}
+
+TEST(ServeServer, EveryOpAnswersLikeTheCli) {
+  Server server(ServeOptions{});
+  const std::vector<std::string> base = {"--workload", "trending",  "--keys",
+                                         "150",        "--requests", "1500",
+                                         "--repeats",  "1"};
+  for (const RequestOp op : {RequestOp::kCharacterize, RequestOp::kMeasure,
+                             RequestOp::kReport}) {
+    Request req = small_advise(std::string("op-") +
+                               std::string(to_string(op)));
+    req.op = op;
+    const Response resp = server.handle(req);
+    ASSERT_TRUE(resp.ok) << resp.error_message;
+    std::vector<std::string> args = {std::string(to_string(op))};
+    args.insert(args.end(), base.begin(), base.end());
+    EXPECT_EQ(resp.output, cli_answer(args)) << to_string(op);
+  }
+}
+
+TEST(ServeServer, ReportResponseCarriesTheCsvArtifact) {
+  Server server(ServeOptions{});
+  Request req = small_advise("csv");
+  req.op = RequestOp::kReport;
+  const Response resp = server.handle(req);
+  ASSERT_TRUE(resp.ok);
+  EXPECT_NE(resp.csv.find("key_id"), std::string::npos);
+}
+
+TEST(ServeServer, InvalidWorkloadIsATypedErrorResponse) {
+  Server server(ServeOptions{});
+  Request req = small_advise("bad");
+  req.workload = "no-such-workload";
+  const Response resp = server.handle(req);
+  EXPECT_FALSE(resp.ok);
+  EXPECT_EQ(resp.error_code, "invalid_argument");
+  EXPECT_EQ(resp.id, "bad");
+  EXPECT_EQ(server.stats().errors, 1u);
+}
+
+TEST(ServeServer, IdenticalRequestsReplayTheCampaignOnce) {
+  ServeOptions options;
+  options.threads = 1;
+  Server server(std::move(options));
+  const std::size_t before = core::campaign_totals().cells;
+  ASSERT_TRUE(server.handle(small_advise("a")).ok);
+  const std::size_t once = core::campaign_totals().cells - before;
+  ASSERT_GT(once, 0u);
+  ASSERT_TRUE(server.handle(small_advise("b")).ok);
+  EXPECT_EQ(core::campaign_totals().cells - before, once);
+  EXPECT_EQ(server.stats().measure_leads, 1u);
+  EXPECT_EQ(server.stats().measure_memo_hits, 1u);
+}
+
+TEST(ServeServer, ZeroCapacityRefusesEverythingWithOverloaded) {
+  ServeOptions options;
+  options.queue_capacity = 0;
+  Server server(std::move(options));
+  std::future<std::string> fut =
+      server.submit_line(small_advise("r1").to_json_line());
+  const std::string line = fut.get();
+  const JsonValue v = json_parse(line);
+  EXPECT_FALSE(v.find("ok")->value.boolean);
+  EXPECT_EQ(v.find("error")->value.find("code")->value.string, "overloaded");
+  EXPECT_EQ(v.find("id")->value.string, "r1");  // refusals echo the id
+  EXPECT_EQ(server.stats().overloaded, 1u);
+  EXPECT_EQ(server.stats().requests, 1u);
+}
+
+TEST(ServeServer, FullQueueRefusesTheExcessRequestDeterministically) {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+
+  ServeOptions options;
+  options.threads = 1;
+  options.queue_capacity = 1;
+  options.on_request = [&](const Request&) {
+    std::unique_lock lock(mu);
+    cv.wait(lock, [&] { return release; });
+  };
+  Server server(std::move(options));
+
+  // First request admitted; its worker parks inside on_request, keeping
+  // pending == capacity.
+  std::future<std::string> first =
+      server.submit_line(small_advise("held").to_json_line());
+  std::future<std::string> refused =
+      server.submit_line(small_advise("extra").to_json_line());
+  const JsonValue v = json_parse(refused.get());
+  EXPECT_EQ(v.find("error")->value.find("code")->value.string, "overloaded");
+
+  {
+    std::lock_guard lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  EXPECT_TRUE(json_parse(first.get()).find("ok")->value.boolean);
+  EXPECT_EQ(server.stats().overloaded, 1u);
+  EXPECT_EQ(server.stats().queue_depth_hwm, 1u);
+}
+
+TEST(ServeServer, ParseFailuresAnswerImmediatelyAndAreCounted) {
+  Server server(ServeOptions{});
+  std::future<std::string> fut = server.submit_line("{truncated");
+  const JsonValue v = json_parse(fut.get());
+  EXPECT_FALSE(v.find("ok")->value.boolean);
+  EXPECT_EQ(v.find("error")->value.find("code")->value.string,
+            "parse_error");
+  EXPECT_GT(v.find("error")->value.find("position")->value.magnitude, 0u);
+  EXPECT_EQ(server.stats().parse_errors, 1u);
+}
+
+TEST(ServeServer, ServeStreamAnswersInArrivalOrderAndDrains) {
+  ServeOptions options;
+  options.threads = 4;
+  Server server(std::move(options));
+  std::istringstream in(small_advise("s1").to_json_line() + "\n" +
+                        "garbage\n" +
+                        "\n" +  // blank lines are skipped, not answered
+                        small_advise("s2").to_json_line() + "\r\n" +
+                        small_advise("s3").to_json_line() + "\n");
+  std::ostringstream out;
+  server.serve_stream(in, out);
+
+  std::istringstream lines(out.str());
+  std::string line;
+  std::vector<std::string> ids;
+  while (std::getline(lines, line)) {
+    ids.push_back(json_parse(line).find("id")->value.string);
+  }
+  EXPECT_EQ(ids, (std::vector<std::string>{"s1", "", "s2", "s3"}));
+  EXPECT_EQ(server.stats().requests, 4u);
+  EXPECT_EQ(server.stats().ok, 3u);
+}
+
+TEST(ServeServer, StatsOpReportsTheLedger) {
+  Server server(ServeOptions{});
+  ASSERT_TRUE(server.handle(small_advise("a")).ok);
+  Request stats;
+  stats.id = "st";
+  stats.op = RequestOp::kStats;
+  const Response resp = server.handle(stats);
+  ASSERT_TRUE(resp.ok);
+  EXPECT_NE(resp.output.find("measure leads       1"), std::string::npos);
+}
+
+TEST(ServeServer, SharedCacheDirWarmsAcrossServerInstances) {
+  const fs::path dir =
+      fs::path(testing::TempDir()) / "mnemo_serve_shared_cache";
+  fs::remove_all(dir);
+  ServeOptions options;
+  options.cache_dir = dir.string();
+  {
+    Server cold(options);
+    ASSERT_TRUE(cold.handle(small_advise("cold")).ok);
+  }
+  const std::size_t before = core::campaign_totals().cells;
+  {
+    Server warm(options);
+    const Response resp = warm.handle(small_advise("warm"));
+    ASSERT_TRUE(resp.ok);
+    // The disk cache satisfied the measure stage: the "lead" replayed
+    // nothing.
+    EXPECT_EQ(core::campaign_totals().cells, before);
+  }
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace mnemo::serve
