@@ -7,11 +7,16 @@
 //   warm       one client, repeats of a memoized key — zero replays
 //   contended  N clients × one identical request each, fresh server —
 //              one leader replays, everyone else joins or memo-hits
+//   deadlines  N clients against chaos-stalled campaigns, half carrying a
+//              hair-trigger request deadline (the rest ride the server
+//              default) — every hair-trigger settles typed via the
+//              watchdog, the rest complete
 //
 // Results go to BENCH_serve.json in a stable schema
 // ("mnemo.bench.serve/v1") that future PRs diff against. The smoke mode
 // also asserts the dedup contract: the warm phase replays zero campaign
-// cells, and the contended phase replays exactly one leader's worth.
+// cells, the contended phase replays exactly one leader's worth, and the
+// deadline phase's hit rate is exactly the hair-trigger fraction.
 //
 //   ./micro_serve               full run, writes BENCH_serve.json
 //   ./micro_serve --smoke       tiny workload + schema self-check (CI)
@@ -29,6 +34,7 @@
 #include <vector>
 
 #include "core/campaign.hpp"
+#include "faultinject/io_fault.hpp"
 #include "serve/protocol.hpp"
 #include "serve/server.hpp"
 #include "util/argparse.hpp"
@@ -72,7 +78,9 @@ serve::Request make_request(bool smoke, std::string id, std::uint64_t seed) {
 void write_json(const std::string& path, bool smoke, int repeats,
                 std::size_t clients, const PhaseResult& cold,
                 const PhaseResult& warm, const PhaseResult& contended,
-                const serve::ServeStats& stats) {
+                const serve::ServeStats& stats,
+                const PhaseResult& deadlines,
+                const serve::ServeStats& deadline_stats) {
   std::ostringstream out;
   char buf[64];
   const auto phase = [&](const char* name, const PhaseResult& r,
@@ -99,11 +107,21 @@ void write_json(const std::string& path, bool smoke, int repeats,
   phase("cold", cold, ",");
   phase("warm", warm, ",");
   phase("contended", contended, ",");
+  phase("deadline", deadlines, ",");
   out << "    \"single_flight\": {\"leads\": " << stats.measure_leads
       << ", \"joins\": " << stats.single_flight_joins
       << ", \"memo_hits\": " << stats.measure_memo_hits << ", ";
   std::snprintf(buf, sizeof buf, "%.3f", join_rate);
-  out << "\"join_rate\": " << buf << "}\n";
+  out << "\"join_rate\": " << buf << "},\n";
+  const double hit_rate =
+      deadline_stats.requests > 0
+          ? static_cast<double>(deadline_stats.deadline_hits) /
+                static_cast<double>(deadline_stats.requests)
+          : 0.0;
+  out << "    \"deadlines\": {\"requests\": " << deadline_stats.requests
+      << ", \"hits\": " << deadline_stats.deadline_hits << ", ";
+  std::snprintf(buf, sizeof buf, "%.3f", hit_rate);
+  out << "\"hit_rate\": " << buf << "}\n";
   out << "  }\n";
   out << "}\n";
 
@@ -127,7 +145,8 @@ bool validate_json(const std::string& path) {
   for (const char* key :
        {"\"schema\": \"mnemo.bench.serve/v1\"", "\"repeats\"", "\"clients\"",
         "\"results\"", "\"cold\"", "\"warm\"", "\"contended\"",
-        "\"campaign_cells\"", "\"single_flight\"", "\"join_rate\""}) {
+        "\"campaign_cells\"", "\"single_flight\"", "\"join_rate\"",
+        "\"deadlines\"", "\"hit_rate\""}) {
     if (text.find(key) == std::string::npos) {
       std::fprintf(stderr, "micro_serve: missing key %s\n", key);
       return false;
@@ -236,9 +255,45 @@ int main(int argc, char** argv) {
     contended_stats = server.stats();
   }
 
+  // Deadlines: a fresh server per repeat with every campaign cell stalled
+  // by injected chaos (so a hair-trigger deadline always lapses
+  // mid-campaign). Even-numbered clients carry a 1ms request deadline —
+  // the watchdog turns each into a typed deadline_exceeded answer — while
+  // the rest carry none and ride the generous server default to a full
+  // answer. Distinct seeds keep the flights separate, so the hit count is
+  // exactly the hair-trigger fraction.
+  std::vector<double> deadline_s;
+  serve::ServeStats deadline_stats;
+  for (int r = 0; r < repeats; ++r) {
+    faultinject::IoFaultPlan plan;
+    plan.slow_cell_rate = 1.0;
+    plan.slow_cell_ms = smoke ? 20.0 : 5.0;
+    faultinject::ScopedIoFaults chaos(plan);
+
+    serve::ServeOptions options;
+    options.threads = clients;
+    options.queue_capacity = clients;
+    options.default_deadline_ms = 600'000;
+    serve::Server server(std::move(options));
+
+    std::vector<std::future<std::string>> responses(clients);
+    util::WallTimer timer;
+    for (std::size_t c = 0; c < clients; ++c) {
+      serve::Request req =
+          make_request(smoke, "dl-" + std::to_string(c),
+                       0xdead0000ULL + static_cast<std::uint64_t>(c));
+      if (c % 2 == 0) req.deadline_ms = 1;
+      responses[c] = server.submit_line(req.to_json_line());
+    }
+    for (std::future<std::string>& f : responses) (void)f.get();
+    deadline_s.push_back(timer.elapsed_s());
+    deadline_stats = server.stats();
+  }
+
   const PhaseResult cold = reduce(cold_s, cold_cells);
   const PhaseResult warm = reduce(warm_s, warm_cells);
   const PhaseResult contended = reduce(contended_s, contended_cells);
+  const PhaseResult deadlines = reduce(deadline_s, 0);
   std::printf("cold      %10.3f ms (min %10.3f)  %zu campaign cells\n",
               cold.median_s * 1e3, cold.min_s * 1e3, cold.campaign_cells);
   std::printf("warm      %10.3f ms (min %10.3f)  %zu campaign cells\n",
@@ -246,6 +301,10 @@ int main(int argc, char** argv) {
   std::printf("contended %10.3f ms (min %10.3f)  %zu campaign cells\n",
               contended.median_s * 1e3, contended.min_s * 1e3,
               contended.campaign_cells);
+  std::printf("deadline  %10.3f ms (min %10.3f)  %llu/%llu hit\n",
+              deadlines.median_s * 1e3, deadlines.min_s * 1e3,
+              static_cast<unsigned long long>(deadline_stats.deadline_hits),
+              static_cast<unsigned long long>(deadline_stats.requests));
   std::printf("single-flight: %llu leads, %llu joins, %llu memo hits\n",
               static_cast<unsigned long long>(contended_stats.measure_leads),
               static_cast<unsigned long long>(
@@ -254,7 +313,7 @@ int main(int argc, char** argv) {
                   contended_stats.measure_memo_hits));
 
   write_json(out, smoke, repeats, clients, cold, warm, contended,
-             contended_stats);
+             contended_stats, deadlines, deadline_stats);
   std::printf("wrote %s\n", out.c_str());
 
   if (smoke) {
@@ -274,6 +333,19 @@ int main(int argc, char** argv) {
                 contended_stats.measure_memo_hits !=
             clients - 1) {
       std::fprintf(stderr, "micro_serve: dedup accounting is off\n");
+      return 1;
+    }
+    const std::uint64_t hair_trigger = (clients + 1) / 2;
+    if (deadline_stats.deadline_hits != hair_trigger ||
+        deadline_stats.ok != clients - hair_trigger) {
+      std::fprintf(stderr,
+                   "micro_serve: deadline accounting is off "
+                   "(%llu hits, %llu ok; expected %llu/%llu)\n",
+                   static_cast<unsigned long long>(
+                       deadline_stats.deadline_hits),
+                   static_cast<unsigned long long>(deadline_stats.ok),
+                   static_cast<unsigned long long>(hair_trigger),
+                   static_cast<unsigned long long>(clients - hair_trigger));
       return 1;
     }
     if (!validate_json(out)) {

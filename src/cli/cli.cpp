@@ -40,6 +40,7 @@ int run(const std::vector<std::string>& args, std::ostream& out,
       {"advise", cmd_advise},
       {"report", cmd_report},
       {"serve", cmd_serve},
+      {"fsck", cmd_fsck},
       {"migrate", cmd_migrate},
       {"testbed", cmd_testbed},
   };

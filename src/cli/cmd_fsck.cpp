@@ -1,0 +1,46 @@
+#include <ostream>
+
+#include "cli/cli_common.hpp"
+#include "cli/commands.hpp"
+#include "core/artifact_store.hpp"
+
+/// `mnemo fsck` — crash recovery for an artifact cache directory. Scans
+/// every artifact file for torn, truncated or foreign content, moves the
+/// damaged ones into `<dir>/quarantine/` (with a ledger of why), reaps
+/// temp files left behind by dead writers, and reconciles the write
+/// journal. After a repair pass, a warm pipeline run recomputes exactly
+/// the quarantined keys and serves everything else from cache.
+namespace mnemo::cli {
+
+int cmd_fsck(const Args& args, std::ostream& out, std::ostream& err) {
+  util::ArgParser parser("mnemo fsck",
+                         "scan an artifact cache directory for crash "
+                         "damage; quarantine torn or foreign artifacts and "
+                         "reap dead writers' temp files");
+  parser.add_option("cache-dir",
+                    "content-addressed artifact cache directory to check",
+                    "");
+  parser.add_flag("dry-run",
+                  "report damage without moving or deleting anything; "
+                  "exit 1 when damage is found");
+  std::string error;
+  if (!parser.parse(args, &error)) {
+    err << error << "\n" << parser.help();
+    return 2;
+  }
+  const std::string dir = parser.get("cache-dir");
+  if (dir.empty()) {
+    err << "--cache-dir is required\n" << parser.help();
+    return 2;
+  }
+
+  const bool dry_run = parser.has_flag("dry-run");
+  core::ArtifactStore store(dir);
+  const core::FsckReport report = store.fsck(/*repair=*/!dry_run);
+  out << report.render();
+  // Repair leaves a healthy directory (exit 0); a dry run that found
+  // damage exits 1, the conventional "errors remain on disk".
+  return dry_run && !report.clean() ? 1 : 0;
+}
+
+}  // namespace mnemo::cli

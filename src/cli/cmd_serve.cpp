@@ -1,3 +1,5 @@
+#include <signal.h>
+
 #include <csignal>
 #include <iostream>
 
@@ -21,8 +23,33 @@ namespace {
 /// SocketEndpoint::stop().
 serve::SocketEndpoint* g_endpoint = nullptr;
 
+/// Set by the handler so the main path knows shutdown was signal-driven
+/// (graceful drain + ledger + exit 0, not an error).
+volatile std::sig_atomic_t g_drain = 0;
+
 void handle_stop_signal(int) {
+  g_drain = 1;
   if (g_endpoint != nullptr) g_endpoint->stop();
+}
+
+/// Install via sigaction with sa_flags = 0 — deliberately no SA_RESTART.
+/// glibc's std::signal() installs BSD semantics (SA_RESTART), under which
+/// the read(2) beneath std::getline would silently resume and pipe-mode
+/// SIGTERM could never interrupt an idle server. Without SA_RESTART the
+/// read fails EINTR, getline fails, and serve_stream falls into its
+/// graceful drain.
+void install_stop_handlers() {
+  struct sigaction sa {};
+  sa.sa_handler = handle_stop_signal;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+}
+
+void restore_default_handlers() {
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
 }
 
 }  // namespace
@@ -47,6 +74,13 @@ int cmd_serve(const Args& args, std::ostream& out, std::ostream& err) {
                     "");
   parser.add_flag("no-cache",
                   "bypass the cache even when --cache-dir is set");
+  parser.add_option("deadline-ms",
+                    "default per-request deadline in milliseconds, "
+                    "measured from admission (0 = none; a request's own "
+                    "deadline_ms field overrides)",
+                    "0");
+  parser.add_flag("no-fsck",
+                  "skip the startup crash-recovery scan of --cache-dir");
   parser.add_flag("stats", "print the serve ledger to stderr on shutdown");
   std::string error;
   if (!parser.parse(args, &error)) {
@@ -60,6 +94,8 @@ int cmd_serve(const Args& args, std::ostream& out, std::ostream& err) {
       static_cast<std::size_t>(parser.get_u64("queue"));
   options.cache_dir = parser.get("cache-dir");
   options.use_cache = !parser.has_flag("no-cache");
+  options.default_deadline_ms = parser.get_u64("deadline-ms");
+  options.fsck_on_start = !parser.has_flag("no-fsck");
   if (options.queue_capacity == 0) {
     err << "--queue must be >= 1\n";
     return 2;
@@ -67,19 +103,20 @@ int cmd_serve(const Args& args, std::ostream& out, std::ostream& err) {
 
   serve::Server server(std::move(options));
   int exit_code = 0;
+  g_drain = 0;
 
   const std::string socket_path = parser.get("socket");
   if (socket_path.empty()) {
+    install_stop_handlers();
     server.serve_stream(std::cin, out);
+    restore_default_handlers();
   } else {
     serve::SocketEndpoint endpoint(server, socket_path);
     g_endpoint = &endpoint;
-    std::signal(SIGINT, handle_stop_signal);
-    std::signal(SIGTERM, handle_stop_signal);
+    install_stop_handlers();
     err << "serving on " << socket_path << "\n";
     const util::Status status = endpoint.serve();
-    std::signal(SIGINT, SIG_DFL);
-    std::signal(SIGTERM, SIG_DFL);
+    restore_default_handlers();
     g_endpoint = nullptr;
     if (!status.ok()) {
       err << "error: " << status.error().to_string() << "\n";
@@ -87,7 +124,12 @@ int cmd_serve(const Args& args, std::ostream& out, std::ostream& err) {
     }
   }
 
-  if (parser.has_flag("stats")) err << server.stats().render();
+  // A signal-driven shutdown always prints the ledger: the operator who
+  // sent SIGTERM gets the lifetime accounting for free, and the drain
+  // above guarantees every admitted request was answered first.
+  if (parser.has_flag("stats") || g_drain != 0) {
+    err << server.stats().render();
+  }
   return exit_code;
 }
 

@@ -108,6 +108,7 @@ int cmd_help(std::ostream& out) {
          "  advise       stages 1-4: SLO verdict (warm cache: no replays)\n"
          "  report       stages 1-5: byte-stable report artifact\n"
          "  serve        long-running JSON service (pipe or Unix socket)\n"
+         "  fsck         scan an artifact cache for crash damage\n"
          "  compare      profile one workload across all three stores\n"
          "  plan         capacity plan for the whole suite at an SLO\n"
          "  spec         print a workload spec-file template\n"

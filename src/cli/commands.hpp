@@ -35,6 +35,9 @@ int cmd_report(const Args& args, std::ostream& out, std::ostream& err);
 // cmd_serve.cpp — long-running consultant service
 int cmd_serve(const Args& args, std::ostream& out, std::ostream& err);
 
+// cmd_fsck.cpp — artifact cache crash recovery
+int cmd_fsck(const Args& args, std::ostream& out, std::ostream& err);
+
 // cmd_system.cpp — platform/system commands
 int cmd_migrate(const Args& args, std::ostream& out, std::ostream& err);
 int cmd_testbed(const Args& args, std::ostream& out, std::ostream& err);

@@ -1,17 +1,28 @@
 #include "core/artifact_store.hpp"
 
+#include <signal.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
 #include <filesystem>
+#include <set>
+#include <sstream>
 #include <utility>
 
 #include "util/assert.hpp"
 #include "util/hash.hpp"
 #include "util/logging.hpp"
+#include "util/table.hpp"
 
 namespace mnemo::core {
 
 namespace {
 
 constexpr std::string_view kMagic = "MNA1";
+constexpr std::string_view kJournalName = "journal.mnj";
+constexpr std::string_view kQuarantineDir = "quarantine";
 
 /// True iff `raw` is a complete, checksum-valid artifact frame for
 /// (schema, version); *payload receives its payload bytes. Used by the
@@ -41,6 +52,62 @@ bool decode_valid_frame(const std::string& raw, std::string_view schema,
   }
 }
 
+/// Generic (schema-agnostic) frame validation for fsck: any stage's
+/// artifact passes as long as magic, framing and checksum hold. Returns
+/// true when healthy; otherwise sets *problem / *detail.
+bool validate_generic_frame(const std::string& raw, FsckProblem* problem,
+                            std::string* detail) {
+  if (raw.size() < kMagic.size() ||
+      std::string_view(raw).substr(0, kMagic.size()) != kMagic) {
+    *problem = FsckProblem::kBadMagic;
+    *detail = "not an artifact file";
+    return false;
+  }
+  try {
+    util::BinReader r(std::string_view(raw).substr(kMagic.size()));
+    (void)r.str();  // schema: any
+    (void)r.u32();  // version: any
+    const std::string payload = r.str();
+    const std::uint64_t lo = r.u64();
+    const std::uint64_t hi = r.u64();
+    if (!r.exhausted()) {
+      *problem = FsckProblem::kTrailingBytes;
+      *detail = std::to_string(r.remaining()) + " bytes past the frame";
+      return false;
+    }
+    util::StableHasher h;
+    h.bytes(payload.data(), payload.size());
+    if (h.lo() != lo || h.hi() != hi) {
+      *problem = FsckProblem::kChecksumMismatch;
+      *detail = "payload digest differs";
+      return false;
+    }
+  } catch (const util::ArtifactError& e) {
+    *problem = FsckProblem::kTruncatedFrame;
+    *detail = e.what();
+    return false;
+  }
+  return true;
+}
+
+/// Writer pid of a `<name>.tmp.<pid>.<n>` temp file; 0 when the name
+/// does not parse (foreign file — left alone, never reaped).
+long temp_writer_pid(const std::string& name) {
+  const std::size_t mark = name.rfind(".tmp.");
+  if (mark == std::string::npos) return 0;
+  const char* begin = name.c_str() + mark + 5;
+  char* end = nullptr;
+  const long pid = std::strtol(begin, &end, 10);
+  if (end == begin || pid <= 0 || end == nullptr || *end != '.') return 0;
+  return pid;
+}
+
+/// True when no process with this pid exists (ESRCH). A pid we cannot
+/// probe (EPERM) is conservatively treated as alive.
+bool pid_is_dead(long pid) {
+  return ::kill(static_cast<pid_t>(pid), 0) != 0 && errno == ESRCH;
+}
+
 }  // namespace
 
 std::string_view to_string(CacheMiss miss) {
@@ -65,6 +132,44 @@ std::string_view to_string(CacheMiss miss) {
       return "corrupt payload";
   }
   return "?";
+}
+
+std::string_view to_string(FsckProblem problem) {
+  switch (problem) {
+    case FsckProblem::kBadMagic:
+      return "bad magic";
+    case FsckProblem::kTruncatedFrame:
+      return "truncated frame";
+    case FsckProblem::kChecksumMismatch:
+      return "checksum mismatch";
+    case FsckProblem::kTrailingBytes:
+      return "trailing bytes";
+    case FsckProblem::kOrphanTemp:
+      return "orphaned temp";
+    case FsckProblem::kJournalMissing:
+      return "journaled, missing";
+  }
+  return "?";
+}
+
+std::string FsckReport::render() const {
+  std::ostringstream out;
+  out << "fsck: " << scanned << " artifacts scanned, " << healthy
+      << " healthy, " << quarantined << " quarantined, " << reaped_temps
+      << " temp files reaped\n";
+  if (findings.empty()) return out.str();
+  util::TablePrinter table({"file", "problem", "action", "detail"});
+  for (const FsckFinding& f : findings) {
+    const char* action = "reported";
+    if (f.repaired) {
+      action = f.problem == FsckProblem::kOrphanTemp ? "reaped"
+                                                     : "quarantined";
+    }
+    table.add_row({f.file, std::string(to_string(f.problem)), action,
+                   f.detail});
+  }
+  out << table.render();
+  return out.str();
 }
 
 ArtifactStore::ArtifactStore(std::string dir) : dir_(std::move(dir)) {}
@@ -184,8 +289,156 @@ util::Status ArtifactStore::save_payload(std::string_view stage,
   util::Status status = util::write_file_atomic(path, file);
   if (!status.ok()) {
     MNEMO_LOG_WARN("artifact store: %s", status.error().message.c_str());
+    return status;
   }
+
+  // Advisory write journal: one O_APPEND record per committed artifact,
+  // written *after* the rename so a journaled file was durable at commit
+  // time. fsck reads it to report journaled-but-missing artifacts; it
+  // never condemns unjournaled files (pre-journal caches are legitimate),
+  // so a lost or torn journal line costs a report, never an answer.
+  util::StableHasher fh;
+  fh.bytes(file.data(), file.size());
+  std::string base(stage);
+  base += '-';
+  base += key;
+  base += ".mna";
+  std::ostringstream rec;
+  rec << "commit " << base << ' ' << file.size() << ' ' << fh.lo() << ' '
+      << fh.hi() << '\n';
+  std::string journal = dir_;
+  if (!journal.empty() && journal.back() != '/') journal += '/';
+  journal += kJournalName;
+  (void)util::append_file(journal, rec.str());  // best-effort, advisory
   return status;
+}
+
+FsckReport ArtifactStore::fsck(bool repair) {
+  FsckReport report;
+  if (!enabled()) return report;
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  const fs::path root(dir_);
+  if (!fs::is_directory(root, ec)) return report;
+
+  // Deterministic scan order: findings sort by filename no matter how the
+  // directory iterator enumerates.
+  std::vector<std::string> artifacts;
+  std::vector<std::string> temps;
+  for (const fs::directory_entry& entry : fs::directory_iterator(root, ec)) {
+    std::error_code file_ec;
+    if (!entry.is_regular_file(file_ec)) continue;
+    const std::string name = entry.path().filename().string();
+    if (name == kJournalName) continue;
+    if (name.find(".tmp.") != std::string::npos) {
+      temps.push_back(name);
+    } else if (name.size() > 4 && name.ends_with(".mna")) {
+      artifacts.push_back(name);
+    }
+  }
+  std::sort(artifacts.begin(), artifacts.end());
+  std::sort(temps.begin(), temps.end());
+
+  const fs::path qdir = root / kQuarantineDir;
+  const auto quarantine = [&](const std::string& name, FsckProblem problem,
+                              std::string detail) {
+    FsckFinding finding;
+    finding.file = name;
+    finding.problem = problem;
+    finding.detail = std::move(detail);
+    if (repair) {
+      std::error_code qec;
+      fs::create_directories(qdir, qec);
+      fs::rename(root / name, qdir / name, qec);
+      if (!qec) {
+        finding.repaired = true;
+        ++report.quarantined;
+        (void)util::append_file(
+            (qdir / "ledger.log").string(),
+            name + " " + std::string(to_string(problem)) + " " +
+                finding.detail + "\n");
+      }
+    }
+    report.findings.push_back(std::move(finding));
+  };
+
+  for (const std::string& name : artifacts) {
+    ++report.scanned;
+    std::string raw;
+    if (!util::read_file((root / name).string(), &raw)) continue;
+    FsckProblem problem = FsckProblem::kBadMagic;
+    std::string detail;
+    if (validate_generic_frame(raw, &problem, &detail)) {
+      ++report.healthy;
+    } else {
+      quarantine(name, problem, detail);
+    }
+  }
+
+  // Crash litter: a temp file whose writer pid no longer exists can never
+  // be renamed into place — reap it. A live pid's temp is an in-flight
+  // write and is left strictly alone.
+  for (const std::string& name : temps) {
+    const long pid = temp_writer_pid(name);
+    if (pid == 0 || !pid_is_dead(pid)) continue;
+    FsckFinding finding;
+    finding.file = name;
+    finding.problem = FsckProblem::kOrphanTemp;
+    finding.detail = "writer pid " + std::to_string(pid) + " is dead";
+    if (repair) {
+      std::error_code rec_;
+      if (fs::remove(root / name, rec_)) {
+        finding.repaired = true;
+        ++report.reaped_temps;
+      }
+    }
+    report.findings.push_back(std::move(finding));
+  }
+
+  // Journal reconciliation (advisory). A committed file that has since
+  // vanished — without this pass having quarantined it — is worth a
+  // report: something outside the store deleted cache state.
+  std::string journal_raw;
+  std::string journal_path = (root / kJournalName).string();
+  if (util::read_file(journal_path, &journal_raw)) {
+    std::set<std::string> present(artifacts.begin(), artifacts.end());
+    // A file quarantined (this pass or a previous one) is accounted for,
+    // not "missing": its absence has already been reported once.
+    std::error_code qec;
+    for (const fs::directory_entry& entry :
+         fs::directory_iterator(qdir, qec)) {
+      std::error_code file_ec;
+      if (!entry.is_regular_file(file_ec)) continue;
+      present.insert(entry.path().filename().string());
+    }
+    std::set<std::string> reported;
+    std::istringstream lines(journal_raw);
+    std::string line;
+    while (std::getline(lines, line)) {
+      // A torn final record (crash mid-append) has no terminating
+      // newline; getline yields it last with lines.eof() — skip it.
+      if (lines.eof() && !journal_raw.empty() &&
+          journal_raw.back() != '\n') {
+        break;
+      }
+      std::istringstream fields(line);
+      std::string verb;
+      std::string file;
+      if (!(fields >> verb >> file) || verb != "commit") continue;
+      if (present.contains(file) || !reported.insert(file).second) continue;
+      FsckFinding finding;
+      finding.file = file;
+      finding.problem = FsckProblem::kJournalMissing;
+      finding.detail = "journaled commit, file absent";
+      report.findings.push_back(std::move(finding));
+    }
+  }
+
+  std::sort(report.findings.begin(), report.findings.end(),
+            [](const FsckFinding& a, const FsckFinding& b) {
+              return a.file < b.file;
+            });
+  return report;
 }
 
 void ArtifactStore::record_hit(std::string_view stage, std::string_view key) {

@@ -30,6 +30,44 @@ enum class CacheMiss : std::uint8_t {
 
 std::string_view to_string(CacheMiss miss);
 
+/// What fsck found wrong with one file in the cache directory.
+enum class FsckProblem : std::uint8_t {
+  kBadMagic,          ///< .mna file that is not an artifact (foreign/torn)
+  kTruncatedFrame,    ///< frame shorter than its own framing claims
+  kChecksumMismatch,  ///< payload bytes do not hash to the stored digest
+  kTrailingBytes,     ///< valid frame followed by junk
+  kOrphanTemp,        ///< temp file left by a dead writer (crash litter)
+  kJournalMissing,    ///< journaled commit whose file is gone (advisory)
+};
+
+std::string_view to_string(FsckProblem problem);
+
+/// One damaged (or suspicious) file found by fsck.
+struct FsckFinding {
+  std::string file;  ///< basename within the cache dir
+  FsckProblem problem = FsckProblem::kBadMagic;
+  std::string detail;
+  /// True when fsck acted: damaged artifacts moved to quarantine/,
+  /// orphaned temps deleted. Always false on a dry run, and for the
+  /// advisory kJournalMissing (there is nothing to move).
+  bool repaired = false;
+};
+
+/// Outcome of one recovery pass over a cache directory.
+struct FsckReport {
+  std::size_t scanned = 0;      ///< .mna artifacts examined
+  std::size_t healthy = 0;      ///< artifacts with a valid frame
+  std::size_t quarantined = 0;  ///< damaged artifacts moved aside
+  std::size_t reaped_temps = 0; ///< dead writers' temp files deleted
+  std::vector<FsckFinding> findings;
+
+  /// True when the directory needed no repairs.
+  [[nodiscard]] bool clean() const noexcept { return findings.empty(); }
+
+  /// Human-readable summary table (one row per finding).
+  [[nodiscard]] std::string render() const;
+};
+
 /// One cache decision, kept for --explain-cache and the store tests.
 struct StoreEvent {
   std::string stage;
@@ -120,6 +158,27 @@ class ArtifactStore {
     artifact.serialize(w);
     return save_payload(A::kStage, A::kSchema, A::kVersion, key, w.buffer());
   }
+
+  /// Crash-recovery pass over the cache directory (`mnemo fsck`, and the
+  /// server's startup scan). Validates every `*.mna` file's generic frame
+  /// — magic, framing, checksum — without caring which stage wrote it,
+  /// and with `repair`:
+  ///
+  ///   - damaged artifacts move to `<dir>/quarantine/` (recorded in
+  ///     `quarantine/ledger.log`), so later loads see kAbsent misses and
+  ///     recompute — damage degrades to a cold cell, never a crash;
+  ///   - temp files whose writer pid is dead are deleted (crash litter);
+  ///     temps of live pids are left alone (in-flight writers).
+  ///
+  /// The write journal (`journal.mnj`, appended on every successful save)
+  /// is advisory: a journaled file that has gone missing is *reported*
+  /// (kJournalMissing) but nothing is condemned for being unjournaled —
+  /// pre-journal caches and foreign writers are legitimate. A torn final
+  /// journal record (crash mid-append) is tolerated silently.
+  ///
+  /// With repair=false (dry run) the same findings are returned and
+  /// nothing on disk changes. No-op (empty report) when disabled.
+  [[nodiscard]] FsckReport fsck(bool repair = true);
 
   /// Every hit/miss decision since construction (or clear_events), in
   /// order — the raw material of --explain-cache. Returned by value: the

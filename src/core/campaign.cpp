@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <mutex>
 
+#include "faultinject/io_fault.hpp"
 #include "stats/summary.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
@@ -80,8 +81,16 @@ std::string CampaignStats::render(const std::string& title) const {
   return table.render();
 }
 
-CampaignRunner::CampaignRunner(std::size_t threads)
-    : threads_(threads == 0 ? util::hardware_threads() : threads) {}
+CampaignRunner::CampaignRunner(std::size_t threads,
+                               const util::CancelToken* cancel)
+    : threads_(threads == 0 ? util::hardware_threads() : threads),
+      cancel_(cancel) {}
+
+void CampaignRunner::throw_if_canceled() const {
+  if (cancel_ != nullptr && cancel_->canceled()) {
+    throw util::CanceledError(cancel_->reason());
+  }
+}
 
 std::vector<RunMeasurement> CampaignRunner::run(
     const SensitivityEngine& engine, const workload::Trace& trace,
@@ -101,6 +110,11 @@ std::vector<RunMeasurement> CampaignRunner::run(
   util::parallel_for(
       cells.size(),
       [&](std::size_t i) {
+        // Cancellation point *between* cells: a canceled campaign skips
+        // cells it has not started, never interrupts one mid-flight. The
+        // skipped slots are discarded below by the throw.
+        if (cancel_ != nullptr && cancel_->canceled()) return;
+        faultinject::chaos_cell_delay(i);
         // Thread-CPU time, not wall: a cell's cost must not include the
         // time its worker spent descheduled, or an oversubscribed pool
         // would fabricate speedup.
@@ -111,6 +125,7 @@ std::vector<RunMeasurement> CampaignRunner::run(
       },
       threads_);
   stats_.wall_s = wall.elapsed_s();
+  throw_if_canceled();
 
   std::vector<double> sorted = cell_s;
   std::sort(sorted.begin(), sorted.end());
@@ -141,6 +156,8 @@ CampaignResult CampaignRunner::run_checked(
   util::parallel_for(
       cells.size(),
       [&](std::size_t i) {
+        if (cancel_ != nullptr && cancel_->canceled()) return;
+        faultinject::chaos_cell_delay(i);
         util::ThreadCpuTimer cell_timer;
         // Accept only runs that are provably unperturbed: success AND zero
         // fault events. Anything else gets exactly one retry under an
@@ -183,6 +200,7 @@ CampaignResult CampaignRunner::run_checked(
       },
       threads_);
   stats_.wall_s = wall.elapsed_s();
+  throw_if_canceled();
 
   for (std::optional<CellFailure>& f : failed) {
     if (f) result.failures.push_back(std::move(*f));

@@ -8,6 +8,7 @@
 #include "core/sensitivity_engine.hpp"
 #include "faultinject/fault_plan.hpp"
 #include "hybridmem/placement.hpp"
+#include "util/cancel.hpp"
 #include "util/status.hpp"
 #include "workload/trace.hpp"
 
@@ -87,8 +88,14 @@ struct CampaignStats {
 class CampaignRunner {
  public:
   /// `threads` = 0 picks hardware concurrency; the pool never exceeds the
-  /// cell count.
-  explicit CampaignRunner(std::size_t threads = 0);
+  /// cell count. `cancel` (optional, not owned, must outlive the runner's
+  /// calls) makes every run a cooperative cancellation point: the token is
+  /// checked *between* cells — a cell that has started always finishes, so
+  /// the cells that did complete are bit-identical to an uncanceled
+  /// campaign — and a canceled run throws util::CanceledError instead of
+  /// returning, so partial grids can never flow into caches or artifacts.
+  explicit CampaignRunner(std::size_t threads = 0,
+                          const util::CancelToken* cancel = nullptr);
 
   /// Execute every cell and return one measurement per cell, in cell
   /// order regardless of scheduling.
@@ -131,7 +138,13 @@ class CampaignRunner {
   [[nodiscard]] const CampaignStats& stats() const noexcept { return stats_; }
 
  private:
+  /// Throws util::CanceledError when the token says stop. Called after
+  /// the fan-out returns on the coordinating thread, so the throw never
+  /// crosses the thread pool.
+  void throw_if_canceled() const;
+
   std::size_t threads_;
+  const util::CancelToken* cancel_;
   CampaignStats stats_;
 };
 

@@ -50,6 +50,12 @@ struct MnemoConfig {
   /// identifying the failing cell. Only consulted by the CLI layer — the
   /// library always completes and reports.
   faultinject::FailPolicy fail_policy = faultinject::FailPolicy::kDegrade;
+  /// Optional cooperative cancellation (not owned; must outlive the
+  /// session's stage calls). Checked at stage entry and between campaign
+  /// cells; a canceled stage throws util::CanceledError. Deliberately not
+  /// part of any cache key: a deadline changes whether an answer arrives,
+  /// never what it is.
+  const util::CancelToken* cancel = nullptr;
 
   MnemoConfig();
 };

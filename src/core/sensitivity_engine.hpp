@@ -8,6 +8,7 @@
 #include "hybridmem/placement.hpp"
 #include "kvstore/kvstore.hpp"
 #include "kvstore/service_profile.hpp"
+#include "util/cancel.hpp"
 #include "util/status.hpp"
 #include "workload/trace.hpp"
 
@@ -28,6 +29,11 @@ struct SensitivityConfig {
   /// Deterministic fault plan armed on every deployment the engine builds
   /// (DESIGN.md §7). Empty = healthy platform; the default.
   faultinject::FaultPlan faults;
+  /// Optional cooperative cancellation for the campaigns the engine fans
+  /// out (not owned; must outlive the engine's calls). Checked between
+  /// campaign cells; never hashed into cache keys — a request's deadline
+  /// does not change what the answer *is*, only whether it finishes.
+  const util::CancelToken* cancel = nullptr;
 
   SensitivityConfig();
 };

@@ -31,7 +31,16 @@ SensitivityConfig to_sensitivity_config(const MnemoConfig& cfg) {
   s.seed = cfg.seed;
   s.threads = cfg.threads;
   s.faults = cfg.faults;
+  s.cancel = cfg.cancel;
   return s;
+}
+
+/// Stage-entry cancellation point. Placed *after* the in-memory memo
+/// check in each accessor: an answer this session already computed is
+/// returned even past the deadline (it costs nothing), but no new work —
+/// not even a disk load — starts for a canceled request.
+void check_cancel(const MnemoConfig& cfg) {
+  if (cfg.cancel != nullptr) cfg.cancel->check();
 }
 
 /// Workload identity: the materialized trace bytes. Uniform across CSV-
@@ -173,6 +182,7 @@ void Session::adopt_measure(MeasureArtifact measure) {
 
 const CharacterizeArtifact& Session::characterize() {
   if (characterize_) return *characterize_;
+  check_cancel(config_.mnemo);
   const std::string key = characterize_key();
   if (cache_on()) {
     if (auto cached = store().load<CharacterizeArtifact>(key)) {
@@ -205,6 +215,7 @@ const CharacterizeArtifact& Session::characterize() {
 
 const MeasureArtifact& Session::measure() {
   if (measure_) return *measure_;
+  check_cancel(config_.mnemo);
   const std::string key = measure_key();
   if (cache_on()) {
     if (auto cached = store().load<MeasureArtifact>(key)) {
@@ -227,7 +238,7 @@ const MeasureArtifact& Session::measure() {
     // Degraded-mode campaign (DESIGN.md §7): a cell is accepted only when
     // it is bit-identical to the fault-free platform; a lost baseline
     // quarantines the estimates instead of silently skewing them.
-    CampaignRunner runner(config_.mnemo.threads);
+    CampaignRunner runner(config_.mnemo.threads, config_.mnemo.cancel);
     CampaignResult grid = runner.measure_grid_checked(
         sensitivity, trace_,
         {hybridmem::Placement(trace_.key_count(), hybridmem::NodeId::kFast),
@@ -256,6 +267,7 @@ const MeasureArtifact& Session::measure() {
 
 const EstimateArtifact& Session::estimate() {
   if (estimate_) return *estimate_;
+  check_cancel(config_.mnemo);
   const std::string key = estimate_key();
   if (cache_on()) {
     if (auto cached = store().load<EstimateArtifact>(key)) {
@@ -282,6 +294,7 @@ const EstimateArtifact& Session::estimate() {
 
 const AdviseArtifact& Session::advise() {
   if (advise_) return *advise_;
+  check_cancel(config_.mnemo);
   const std::string key = advise_key();
   if (cache_on()) {
     if (auto cached = store().load<AdviseArtifact>(key)) {
@@ -310,6 +323,7 @@ const AdviseArtifact& Session::advise() {
 
 const ReportArtifact& Session::report() {
   if (report_) return *report_;
+  check_cancel(config_.mnemo);
   const std::string key = report_key();
   if (cache_on()) {
     if (auto cached = store().load<ReportArtifact>(key)) {

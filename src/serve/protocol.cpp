@@ -14,6 +14,9 @@ namespace {
 constexpr std::uint64_t kMaxKeys = 1'000'000;
 constexpr std::uint64_t kMaxRequests = 10'000'000;
 constexpr std::uint32_t kMaxRepeats = 16;
+/// One day. Large enough for any real request; small enough that the
+/// watchdog arithmetic can never overflow on hostile input.
+constexpr std::uint64_t kMaxDeadlineMs = 86'400'000;
 
 [[noreturn]] void fail_at(std::size_t pos, const std::string& message) {
   throw util::ParseError("request", pos, message);
@@ -84,6 +87,7 @@ std::string Request::to_json_line() const {
   out += ",\"p\":" + json_number(p);
   out += ",\"slo\":" + json_number(slo);
   out += ",\"repeats\":" + std::to_string(repeats);
+  out += ",\"deadline_ms\":" + std::to_string(deadline_ms);
   out += "}";
   return out;
 }
@@ -142,6 +146,8 @@ Request Request::parse_line(std::string_view line) {
       const std::uint64_t r = read_u64(m, kMaxRepeats);
       if (r == 0) fail_at(m.pos, "field 'repeats' must be >= 1");
       req.repeats = static_cast<std::uint32_t>(r);
+    } else if (m.key == "deadline_ms") {
+      req.deadline_ms = read_u64(m, kMaxDeadlineMs);
     } else {
       fail_at(m.pos, "unknown field '" + m.key + "'");
     }

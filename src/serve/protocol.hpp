@@ -45,6 +45,12 @@ struct Request {
   double p = 0.2;    ///< SlowMem price factor
   double slo = 0.1;  ///< permissible slowdown vs FastMem-only
   std::uint32_t repeats = 2;
+  /// Per-request deadline in wall-clock milliseconds; 0 (the default)
+  /// falls back to the server's default_deadline_ms (which may also be
+  /// "none"). A request past its deadline stops at the next cancellation
+  /// point and answers with a typed `deadline_exceeded` error; work that
+  /// completed stays deterministic and nothing partial is published.
+  std::uint64_t deadline_ms = 0;
 
   bool operator==(const Request&) const = default;
 

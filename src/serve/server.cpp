@@ -14,6 +14,7 @@
 #include "core/session.hpp"
 #include "kvstore/factory.hpp"
 #include "serve/json.hpp"
+#include "util/logging.hpp"
 #include "workload/suite.hpp"
 
 namespace mnemo::serve {
@@ -63,16 +64,30 @@ std::string ServeStats::render() const {
       << "  measure leads       " << measure_leads << "\n"
       << "  measure memo hits   " << measure_memo_hits << "\n"
       << "  single-flight joins " << single_flight_joins << "\n"
-      << "  queue depth (hwm)   " << queue_depth_hwm << "\n";
+      << "  queue depth (hwm)   " << queue_depth_hwm << "\n"
+      << "  deadline exceeded   " << deadline_hits << "\n"
+      << "  canceled            " << canceled << "\n"
+      << "  dropped connections " << disconnects << "\n";
   return out.str();
 }
 
 Server::Server(ServeOptions options)
     : options_(std::move(options)),
       store_(options_.cache_dir),
-      pool_(options_.threads) {}
+      pool_(options_.threads) {
+  // Crash recovery before the first request: a cache dir damaged by a
+  // previous crash (torn writes, dead writers' temps) is quarantined so
+  // every key degrades to a recomputable miss, never a poisoned answer.
+  if (options_.fsck_on_start && store_.enabled()) {
+    const core::FsckReport report = store_.fsck(/*repair=*/true);
+    if (!report.clean()) {
+      MNEMO_LOG_WARN("serve: startup fsck repaired %s:\n%s",
+                     store_.dir().c_str(), report.render().c_str());
+    }
+  }
+}
 
-Response Server::handle(const Request& request) {
+Response Server::handle(const Request& request, util::CancelToken* cancel) {
   if (options_.on_request) options_.on_request(request);
   Response resp;
   resp.id = request.id;
@@ -95,12 +110,15 @@ Response Server::handle(const Request& request) {
     // One campaign thread per request: concurrency lives across requests,
     // and campaign results are thread-count-invariant (DESIGN.md §6).
     sc.mnemo.threads = 1;
+    sc.mnemo.cancel = cancel;
     sc.use_cache = options_.use_cache;
     sc.shared_store = &store_;
 
     core::Session session(request_trace(request), sc);
 
-    if (request.op != RequestOp::kCharacterize) resolve_measure(session);
+    if (request.op != RequestOp::kCharacterize) {
+      resolve_measure(session, cancel);
+    }
 
     switch (request.op) {
       case RequestOp::kCharacterize:
@@ -124,6 +142,12 @@ Response Server::handle(const Request& request) {
         break;  // handled above
     }
     resp.ok = true;
+  } catch (const util::CanceledError& e) {
+    // The one settle path for a deadlined/canceled request: the worker
+    // reaches a cancellation point and answers typed. Nothing partial
+    // was published (the session never caches a canceled stage) and the
+    // completed cells before the cut stayed deterministic.
+    resp = error_response(request.id, request.op, e.error());
   } catch (const std::invalid_argument& e) {
     resp = error_response(
         request.id, request.op,
@@ -139,16 +163,24 @@ Response Server::handle(const Request& request) {
       ++stats_.ok;
     } else {
       ++stats_.errors;
+      if (resp.error_code ==
+          util::to_string(util::ErrorCode::kDeadlineExceeded)) {
+        ++stats_.deadline_hits;
+      } else if (resp.error_code ==
+                 util::to_string(util::ErrorCode::kCanceled)) {
+        ++stats_.canceled;
+      }
     }
   }
   return resp;
 }
 
-void Server::resolve_measure(core::Session& session) {
+void Server::resolve_measure(core::Session& session,
+                             util::CancelToken* cancel) {
   const std::string key = session.measure_key();
   // Fast path: a prior stage load already materialized it (disk cache).
   if (session.measured()) return;
-  MeasureCache::Lease lease = measures_.acquire(key);
+  MeasureCache::Lease lease = measures_.acquire(key, cancel);
   if (!lease.leader) {
     session.adopt_measure(*lease.artifact);
     std::lock_guard lock(mu_);
@@ -210,14 +242,34 @@ std::future<std::string> Server::submit_line(std::string line) {
     if (pending_ > stats_.queue_depth_hwm) stats_.queue_depth_hwm = pending_;
   }
 
-  return pool_.submit([this, req = std::move(req)]() -> std::string {
-    const Response resp = handle(req);
-    {
-      std::lock_guard lock(mu_);
-      --pending_;
-    }
-    return resp.to_json_line();
-  });
+  // Deadline plumbing: the token is shared between the worker (which
+  // polls it at cancellation points) and the watchdog ticket (which
+  // cancels it when the deadline strikes). The clock starts here, at
+  // admission, so time spent queued counts against the deadline.
+  const std::uint64_t deadline_ms =
+      req.deadline_ms != 0 ? req.deadline_ms : options_.default_deadline_ms;
+  std::shared_ptr<util::CancelToken> token;
+  DeadlineWatchdog::Ticket ticket = 0;
+  if (deadline_ms != 0) {
+    token = std::make_shared<util::CancelToken>(
+        util::Deadline::after_ms(deadline_ms));
+    ticket = watchdog_.arm(token->deadline().when(), [token] {
+      // Only cancels — never settles. The worker produces the one and
+      // only response when it reaches its next cancellation point.
+      token->cancel(util::CancelToken::deadline_error());
+    });
+  }
+
+  return pool_.submit(
+      [this, req = std::move(req), token, ticket]() -> std::string {
+        const Response resp = handle(req, token.get());
+        if (token != nullptr) watchdog_.disarm(ticket);
+        {
+          std::lock_guard lock(mu_);
+          --pending_;
+        }
+        return resp.to_json_line();
+      });
 }
 
 void Server::serve_stream(std::istream& in, std::ostream& out) {
@@ -230,6 +282,7 @@ void Server::serve_stream(std::istream& in, std::ostream& out) {
   bool done = false;
 
   std::thread writer([&] {
+    bool sink_alive = true;
     for (;;) {
       std::future<std::string> next;
       {
@@ -239,7 +292,20 @@ void Server::serve_stream(std::istream& in, std::ostream& out) {
         next = std::move(queue.front());
         queue.pop_front();
       }
-      out << next.get() << "\n" << std::flush;
+      if (sink_alive) {
+        out << next.get() << "\n" << std::flush;
+        if (!out) {
+          // Client vanished mid-stream (EPIPE/ECONNRESET surfaces as a
+          // failed stream). Keep draining so every admitted request
+          // still completes and updates the memo/stats — just stop
+          // writing into the void. The server keeps serving others.
+          sink_alive = false;
+          std::lock_guard lock(mu_);
+          ++stats_.disconnects;
+        }
+      } else {
+        next.get();  // drain: completion still matters, the bytes don't
+      }
     }
   });
 

@@ -11,6 +11,8 @@
 #include "core/artifact_store.hpp"
 #include "serve/protocol.hpp"
 #include "serve/single_flight.hpp"
+#include "serve/watchdog.hpp"
+#include "util/cancel.hpp"
 #include "util/thread_pool.hpp"
 
 namespace mnemo::core {
@@ -34,6 +36,15 @@ struct ServeOptions {
   /// cache; the in-memory single-flight memo still applies).
   std::string cache_dir;
   bool use_cache = true;
+  /// Deadline applied to requests that do not carry their own
+  /// `deadline_ms`; 0 = no default (requests without a deadline run to
+  /// completion). The clock starts at admission, so queue wait counts —
+  /// a request stuck behind a saturated pool times out like any other.
+  std::uint64_t default_deadline_ms = 0;
+  /// Run ArtifactStore::fsck over cache_dir before serving (crash
+  /// recovery): torn or foreign files are quarantined so a damaged cache
+  /// degrades to cache misses instead of poisoning responses.
+  bool fsck_on_start = true;
   /// Test seam: runs on the worker thread just before a request is
   /// handled. Lets tests hold workers inside the pool to make queue
   /// pressure deterministic. Not called for refused (overloaded) or
@@ -53,6 +64,9 @@ struct ServeStats {
   std::uint64_t measure_memo_hits = 0;   ///< measure served from the memo
   std::uint64_t single_flight_joins = 0; ///< blocked on an in-flight leader
   std::uint64_t queue_depth_hwm = 0;     ///< max in-service requests seen
+  std::uint64_t deadline_hits = 0;  ///< requests answered deadline_exceeded
+  std::uint64_t canceled = 0;       ///< requests canceled for other reasons
+  std::uint64_t disconnects = 0;    ///< clients that vanished mid-stream
 
   [[nodiscard]] std::string render() const;
 };
@@ -72,7 +86,13 @@ class Server {
   Server& operator=(const Server&) = delete;
 
   /// Answer one already-parsed request synchronously on this thread.
-  [[nodiscard]] Response handle(const Request& request);
+  /// `cancel` (optional) makes the work cooperative-cancelable: a token
+  /// canceled (by the deadline watchdog, or out-of-band) settles the
+  /// request with a typed deadline_exceeded/canceled error at the next
+  /// cancellation point. This is the *only* settle path — the watchdog
+  /// never fabricates a response of its own.
+  [[nodiscard]] Response handle(const Request& request,
+                                util::CancelToken* cancel = nullptr);
 
   /// Parse one line and enqueue it. Parse failures and backpressure
   /// refusals yield an immediately ready future, so every submitted line
@@ -93,8 +113,9 @@ class Server {
 
  private:
   /// Materialize the session's measure stage through the single-flight
-  /// memo: lead, join, or adopt from the memo.
-  void resolve_measure(core::Session& session);
+  /// memo: lead, join, or adopt from the memo. The token makes both the
+  /// join wait and the led campaign cancelable.
+  void resolve_measure(core::Session& session, util::CancelToken* cancel);
 
   ServeOptions options_;
   core::ArtifactStore store_;
@@ -103,6 +124,11 @@ class Server {
   mutable std::mutex mu_;  ///< guards stats_ and pending_
   ServeStats stats_;
   std::size_t pending_ = 0;  ///< admitted, not yet completed
+
+  /// Declared after the members its callbacks reach (tokens notify the
+  /// measure cache's cv) and before the pool: destruction joins the
+  /// timer thread only after every worker has settled.
+  DeadlineWatchdog watchdog_;
 
   /// Declared last: destroyed first, draining outstanding work while the
   /// members above are still alive for the workers to use.

@@ -6,12 +6,35 @@
 
 namespace mnemo::serve {
 
-MeasureCache::Lease MeasureCache::acquire(const std::string& key) {
+MeasureCache::Lease MeasureCache::acquire(const std::string& key,
+                                          util::CancelToken* cancel) {
+  // Wake-up plumbing: the watchdog's cancel() must rouse a joiner parked
+  // on cv_. The callback takes mu_ before notifying so the wake can never
+  // slip between a joiner's predicate check and its wait. Removal on every
+  // exit path; the RAII guard keeps the throw paths honest.
+  std::size_t callback_id = 0;
+  if (cancel != nullptr) {
+    callback_id = cancel->on_cancel([this] {
+      std::lock_guard lock(mu_);
+      cv_.notify_all();
+    });
+  }
+  struct CallbackGuard {
+    util::CancelToken* token;
+    std::size_t id;
+    ~CallbackGuard() {
+      if (token != nullptr) token->remove_callback(id);
+    }
+  } guard{cancel, callback_id};
+
   std::unique_lock lock(mu_);
   for (;;) {
     if (const auto done = done_.find(key); done != done_.end()) {
       return Lease{false, done->second, false};
     }
+    // A canceled caller must not become leader: it would immediately
+    // abandon and thrash the election.
+    if (cancel != nullptr) cancel->check();
     const auto flight = flights_.find(key);
     if (flight == flights_.end()) {
       flights_.emplace(key, std::make_shared<Flight>());
@@ -21,14 +44,26 @@ MeasureCache::Lease MeasureCache::acquire(const std::string& key) {
     // we sleep, and a fresh flight under the same key is a *different*
     // Flight object we must not confuse with ours.
     const std::shared_ptr<Flight> ours = flight->second;
-    cv_.wait(lock, [&] {
-      return ours->abandoned || done_.contains(key);
-    });
+    const auto woken = [&] {
+      return ours->abandoned || done_.contains(key) ||
+             (cancel != nullptr && cancel->canceled());
+    };
+    while (!woken()) {
+      // A deadline-armed token bounds the sleep directly: expiry is
+      // passive (no one need call cancel()) yet still wakes the joiner.
+      const util::Deadline deadline =
+          cancel != nullptr ? cancel->deadline() : util::Deadline::never();
+      if (deadline.armed()) {
+        cv_.wait_until(lock, deadline.when());
+      } else {
+        cv_.wait(lock);
+      }
+    }
     if (const auto done = done_.find(key); done != done_.end()) {
       return Lease{false, done->second, true};
     }
-    // Leader abandoned: loop to either become the new leader or wait on
-    // whoever beat us to it.
+    // Leader abandoned or we were canceled: the next loop iteration
+    // either re-elects, joins the replacement leader, or throws.
   }
 }
 

@@ -8,6 +8,7 @@
 #include <unordered_map>
 
 #include "core/artifacts.hpp"
+#include "util/cancel.hpp"
 
 namespace mnemo::serve {
 
@@ -35,8 +36,16 @@ class MeasureCache {
   };
 
   /// Claim the key: returns a leader lease, a memo hit, or blocks until
-  /// the in-flight leader publishes.
-  [[nodiscard]] Lease acquire(const std::string& key);
+  /// the in-flight leader publishes. When `cancel` is given, the wait is
+  /// a cancellation point: a canceled joiner wakes (the token's cancel
+  /// callbacks notify this cache's cv) and throws util::CanceledError
+  /// instead of waiting on a leader it no longer cares about — and a
+  /// token whose deadline is armed also bounds the sleep itself, so a
+  /// joiner never outsleeps its deadline even with no watchdog running.
+  /// A memo hit is still returned when available: adopting a finished
+  /// artifact costs nothing. A canceled caller never becomes leader.
+  [[nodiscard]] Lease acquire(const std::string& key,
+                              util::CancelToken* cancel = nullptr);
 
   /// Leader completion: memoize the artifact and wake all joiners.
   void publish(const std::string& key,

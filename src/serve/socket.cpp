@@ -30,7 +30,12 @@ class FdBuf : public std::streambuf {
 
  protected:
   int_type underflow() override {
-    const ssize_t n = ::read(fd_, in_, sizeof(in_));
+    // EINTR is an interruption, not a hangup: retrying keeps a stray
+    // signal from masquerading as client EOF and dropping a connection.
+    ssize_t n = 0;
+    do {
+      n = ::read(fd_, in_, sizeof(in_));
+    } while (n < 0 && errno == EINTR);
     if (n <= 0) return traits_type::eof();
     setg(in_, in_, in_ + n);
     return traits_type::to_int_type(in_[0]);
@@ -49,10 +54,14 @@ class FdBuf : public std::streambuf {
 
  private:
   bool flush_out() {
+    // Full-write loop: short sends continue where they left off, EINTR
+    // retries. Only a real error (EPIPE from a vanished client) fails
+    // the stream — which serve_stream absorbs as a disconnect.
     const char* p = pbase();
     while (p < pptr()) {
       const ssize_t n = ::send(fd_, p, static_cast<std::size_t>(pptr() - p),
                                MSG_NOSIGNAL);
+      if (n < 0 && errno == EINTR) continue;
       if (n <= 0) return false;
       p += n;
     }

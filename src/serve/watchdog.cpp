@@ -1,0 +1,88 @@
+#include "serve/watchdog.hpp"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace mnemo::serve {
+
+DeadlineWatchdog::DeadlineWatchdog() : thread_([this] { run(); }) {}
+
+DeadlineWatchdog::~DeadlineWatchdog() {
+  {
+    std::lock_guard lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+}
+
+DeadlineWatchdog::Ticket DeadlineWatchdog::arm(
+    std::chrono::steady_clock::time_point when, std::function<void()> fire) {
+  Ticket ticket = 0;
+  {
+    std::lock_guard lock(mu_);
+    ticket = next_++;
+    entries_.emplace(ticket, Entry{when, std::move(fire)});
+  }
+  cv_.notify_all();
+  return ticket;
+}
+
+void DeadlineWatchdog::disarm(Ticket ticket) {
+  std::lock_guard lock(mu_);
+  entries_.erase(ticket);
+}
+
+std::size_t DeadlineWatchdog::armed() const {
+  std::lock_guard lock(mu_);
+  return entries_.size();
+}
+
+void DeadlineWatchdog::run() {
+  std::unique_lock lock(mu_);
+  for (;;) {
+    if (stop_) return;
+    if (entries_.empty()) {
+      cv_.wait(lock);
+      continue;
+    }
+    // Earliest deadline among the (queue-bounded, so tiny) armed set.
+    auto earliest = entries_.begin();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->second.when < earliest->second.when) earliest = it;
+    }
+    const auto now = std::chrono::steady_clock::now();
+    // Copied out of the map node: wait_until re-reads its time point on
+    // every wakeup, and a concurrent disarm() may erase the node while
+    // we are blocked.
+    const auto next_due = earliest->second.when;
+    if (next_due > now) {
+      cv_.wait_until(lock, next_due);
+      continue;  // re-evaluate: arms/disarms may have changed the set
+    }
+    // Collect everything due, then fire outside the lock: a callback
+    // cancels a token whose own callbacks may grab other locks. The map
+    // is keyed by ticket, so sort the batch by deadline — a stalled
+    // sweep that finds several tickets due must still fire them in the
+    // order their deadlines struck.
+    std::vector<Entry> due;
+    for (auto it = entries_.begin(); it != entries_.end();) {
+      if (it->second.when <= now) {
+        due.push_back(std::move(it->second));
+        it = entries_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    std::stable_sort(due.begin(), due.end(),
+                     [](const Entry& a, const Entry& b) {
+                       return a.when < b.when;
+                     });
+    lock.unlock();
+    for (Entry& entry : due) entry.fire();
+    lock.lock();
+  }
+}
+
+}  // namespace mnemo::serve

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <thread>
+
+namespace mnemo::serve {
+
+/// One timer thread firing per-request deadline callbacks. The server
+/// arms a ticket when it admits a deadlined request and disarms it when
+/// the request settles; if the deadline strikes first, the callback runs
+/// on the watchdog thread (it only cancels the request's CancelToken —
+/// never touches the response, so there is exactly one settle path).
+///
+/// Firing and disarming race benignly: disarm() of an already-fired
+/// ticket is a no-op, and a callback that fires just as the request
+/// completes cancels a token nobody reads again. Armed entries are
+/// bounded by the server's admission queue, so the scan is tiny.
+class DeadlineWatchdog {
+ public:
+  using Ticket = std::uint64_t;
+
+  DeadlineWatchdog();
+  /// Joins the timer thread. Pending callbacks that have not fired are
+  /// dropped, so destruction must precede (or outlive) whatever the
+  /// callbacks touch — in the Server, the watchdog is destroyed after
+  /// the worker pool drains.
+  ~DeadlineWatchdog();
+
+  DeadlineWatchdog(const DeadlineWatchdog&) = delete;
+  DeadlineWatchdog& operator=(const DeadlineWatchdog&) = delete;
+
+  /// Schedule `fire` to run once at `when` (watchdog thread). Returns a
+  /// ticket for disarm(). `fire` must not call back into the watchdog.
+  [[nodiscard]] Ticket arm(std::chrono::steady_clock::time_point when,
+                           std::function<void()> fire);
+
+  /// Cancel a pending ticket. No-op when the ticket already fired.
+  void disarm(Ticket ticket);
+
+  /// Tickets currently pending (test introspection).
+  [[nodiscard]] std::size_t armed() const;
+
+ private:
+  struct Entry {
+    std::chrono::steady_clock::time_point when;
+    std::function<void()> fire;
+  };
+
+  void run();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<Ticket, Entry> entries_;
+  Ticket next_ = 1;
+  bool stop_ = false;
+  std::thread thread_;  ///< declared last: started after, joined before
+};
+
+}  // namespace mnemo::serve

@@ -1,15 +1,62 @@
 #include "util/artifact_io.hpp"
 
+#include <fcntl.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <bit>
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <mutex>
 #include <sstream>
+#include <utility>
 
 namespace mnemo::util {
+
+namespace {
+
+std::mutex g_write_fault_mu;
+WriteFaultHook g_write_fault_hook;
+
+WriteFault consult_write_fault(const std::string& path) {
+  std::lock_guard lock(g_write_fault_mu);
+  if (!g_write_fault_hook) return {};
+  return g_write_fault_hook(path);
+}
+
+/// Full-write loop over write(2): retries EINTR and short writes until
+/// every byte landed or a real error surfaced. Returns 0 on success,
+/// errno otherwise.
+int write_all(int fd, const char* data, std::size_t size) {
+  std::size_t off = 0;
+  while (off < size) {
+    const ssize_t n = ::write(fd, data + off, size - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;  // interrupted, not failed: retry
+      return errno;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return 0;
+}
+
+/// EINTR-safe close. A failed close after successful writes is reported:
+/// on NFS-like filesystems it is where short storage surfaces.
+int close_checked(int fd) {
+  if (::close(fd) == 0) return 0;
+  return errno == EINTR ? 0 : errno;  // POSIX: fd is gone either way
+}
+
+}  // namespace
+
+void set_write_fault_hook(WriteFaultHook hook) {
+  std::lock_guard lock(g_write_fault_mu);
+  g_write_fault_hook = std::move(hook);
+}
 
 void BinWriter::u8(std::uint8_t v) {
   buf_.push_back(static_cast<char>(v));
@@ -113,21 +160,49 @@ Status write_file_atomic(const std::string& path,
   const std::string tmp =
       path + ".tmp." + std::to_string(static_cast<long>(::getpid())) + "." +
       std::to_string(counter.fetch_add(1, std::memory_order_relaxed));
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) {
-      return Error{ErrorCode::kInvalidArgument,
-                   "cannot open " + tmp + " for writing"};
-    }
-    out.write(contents.data(),
-              static_cast<std::streamsize>(contents.size()));
-    out.flush();
-    if (!out.good()) {
-      std::error_code ignored;
-      std::filesystem::remove(tmp, ignored);
-      return Error{ErrorCode::kInvalidArgument, "short write to " + tmp};
-    }
+
+  const WriteFault fault = consult_write_fault(path);
+  if (fault.fail_open) {
+    return Error{ErrorCode::kFaultInjected,
+                 "injected write failure: cannot open " + tmp};
   }
+
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Error{ErrorCode::kInvalidArgument,
+                 "cannot open " + tmp + " for writing: " +
+                     std::strerror(errno)};
+  }
+
+  // A torn write simulates a crash mid-write: only a prefix lands and the
+  // temp is deliberately left behind (not cleaned up), exactly the litter
+  // a power cut produces. fsck's orphan reaper is what collects it.
+  const std::size_t to_write =
+      fault.torn() ? static_cast<std::size_t>(
+                         fault.torn_fraction < 0.0
+                             ? 0.0
+                             : fault.torn_fraction *
+                                   static_cast<double>(contents.size()))
+                   : contents.size();
+  const int write_err = write_all(fd, contents.data(), to_write);
+  const int close_err = close_checked(fd);
+  if (write_err != 0 || close_err != 0) {
+    std::error_code ignored;
+    std::filesystem::remove(tmp, ignored);
+    return Error{ErrorCode::kInvalidArgument,
+                 "short write to " + tmp + ": " +
+                     std::strerror(write_err != 0 ? write_err : close_err)};
+  }
+  if (fault.torn()) {
+    return Error{ErrorCode::kFaultInjected,
+                 "injected torn write: " + std::to_string(to_write) + "/" +
+                     std::to_string(contents.size()) + " bytes of " + tmp};
+  }
+  if (fault.fail_rename) {
+    return Error{ErrorCode::kFaultInjected,
+                 "injected crash before rename of " + tmp};
+  }
+
   std::error_code ec;
   std::filesystem::rename(tmp, path, ec);
   if (ec) {
@@ -135,6 +210,24 @@ Status write_file_atomic(const std::string& path,
     std::filesystem::remove(tmp, ignored);
     return Error{ErrorCode::kInvalidArgument,
                  "rename " + tmp + " -> " + path + ": " + ec.message()};
+  }
+  return {};
+}
+
+Status append_file(const std::string& path, std::string_view line) {
+  const int fd =
+      ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) {
+    return Error{ErrorCode::kInvalidArgument,
+                 "cannot open " + path + " for append: " +
+                     std::strerror(errno)};
+  }
+  const int write_err = write_all(fd, line.data(), line.size());
+  const int close_err = close_checked(fd);
+  if (write_err != 0 || close_err != 0) {
+    return Error{ErrorCode::kInvalidArgument,
+                 "short append to " + path + ": " +
+                     std::strerror(write_err != 0 ? write_err : close_err)};
   }
   return {};
 }

@@ -1,6 +1,8 @@
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <stdexcept>
 #include <string>
 #include <string_view>
@@ -68,13 +70,43 @@ class BinReader {
   std::size_t pos_ = 0;
 };
 
+/// What the injected-fault hook may do to one atomic write. The default
+/// (all fields untouched) lets the write through unharmed. A torn write
+/// models a crash mid-write: only a prefix of the temp file lands and
+/// the rename never happens, so the orphaned temp is exactly what a real
+/// power cut would leave for fsck to reap.
+struct WriteFault {
+  bool fail_open = false;    ///< temp file cannot be created
+  bool fail_rename = false;  ///< crash between write and rename
+  /// Fraction of the payload that lands before the simulated crash;
+  /// < 1.0 tears the write (the temp holds only that prefix and the
+  /// rename never runs), 1.0 (the default) writes everything.
+  double torn_fraction = 1.0;
+
+  [[nodiscard]] bool torn() const noexcept { return torn_fraction < 1.0; }
+};
+
+/// Chaos seam consulted by write_file_atomic before every write. Installed
+/// by the deterministic I/O fault injector (faultinject/io_fault) in chaos
+/// tests; never set in production. nullptr clears it.
+using WriteFaultHook = std::function<WriteFault(const std::string& path)>;
+void set_write_fault_hook(WriteFaultHook hook);
+
 /// Crash-safe whole-file write: the contents land in a writer-unique
 /// `path + ".tmp.<pid>.<n>"` first and are renamed into place, so a reader
 /// never observes a half-written file — it sees either the old content or
 /// the new — and two concurrent writers of the same path resolve to
 /// last-writer-wins, never a torn file. A crash leaves at worst a stale
-/// temp file that later writes ignore.
+/// temp file that fsck later reaps. Raw write(2) loop underneath: EINTR
+/// retries and short writes are handled, so a slow filesystem can never
+/// silently truncate an artifact.
 Status write_file_atomic(const std::string& path, std::string_view contents);
+
+/// EINTR-safe single-call append (O_APPEND) — the artifact-store journal's
+/// write primitive. `line` should be one newline-terminated record; one
+/// append maps to one write(2) burst so concurrent appenders interleave at
+/// record granularity, never mid-record.
+Status append_file(const std::string& path, std::string_view line);
 
 /// Read a whole file. Returns false if the file does not exist or cannot
 /// be opened (the caller decides whether that is a miss or an error).

@@ -1,0 +1,64 @@
+#include "util/cancel.hpp"
+
+namespace mnemo::util {
+
+Error CancelToken::deadline_error() {
+  Error e;
+  e.code = ErrorCode::kDeadlineExceeded;
+  e.message = "deadline exceeded";
+  return e;
+}
+
+void CancelToken::cancel(Error reason) {
+  MNEMO_EXPECTS(reason.code != ErrorCode::kOk);
+  std::vector<std::pair<std::size_t, std::function<void()>>> run;
+  {
+    std::lock_guard lock(mu_);
+    if (flagged_) return;  // first reason wins
+    flagged_ = true;
+    reason_ = std::move(reason);
+    run.swap(callbacks_);
+  }
+  for (auto& [id, fn] : run) fn();
+}
+
+bool CancelToken::canceled() const {
+  std::lock_guard lock(mu_);
+  return flagged_ || deadline_.expired();
+}
+
+Error CancelToken::reason() const {
+  std::lock_guard lock(mu_);
+  if (flagged_) return reason_;
+  if (deadline_.expired()) return deadline_error();
+  return Error{};
+}
+
+std::size_t CancelToken::on_cancel(std::function<void()> fn) {
+  bool run_now = false;
+  std::size_t id = 0;
+  {
+    std::lock_guard lock(mu_);
+    if (flagged_) {
+      run_now = true;
+    } else {
+      id = next_id_++;
+      callbacks_.emplace_back(id, std::move(fn));
+    }
+  }
+  if (run_now) fn();
+  return id;
+}
+
+void CancelToken::remove_callback(std::size_t id) {
+  if (id == 0) return;
+  std::lock_guard lock(mu_);
+  for (auto it = callbacks_.begin(); it != callbacks_.end(); ++it) {
+    if (it->first == id) {
+      callbacks_.erase(it);
+      return;
+    }
+  }
+}
+
+}  // namespace mnemo::util

@@ -18,6 +18,10 @@ std::string_view to_string(ErrorCode code) {
       return "failed_precondition";
     case ErrorCode::kOverloaded:
       return "overloaded";
+    case ErrorCode::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case ErrorCode::kCanceled:
+      return "canceled";
   }
   return "?";
 }

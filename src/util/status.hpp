@@ -23,6 +23,8 @@ enum class ErrorCode : std::uint8_t {
   kInvalidArgument,     ///< malformed configuration or input
   kFailedPrecondition,  ///< upstream result unusable (e.g. dead baseline)
   kOverloaded,          ///< bounded queue full — retry later (backpressure)
+  kDeadlineExceeded,    ///< the request's deadline passed before completion
+  kCanceled,            ///< cooperatively canceled (client gone, shutdown)
 };
 
 std::string_view to_string(ErrorCode code);

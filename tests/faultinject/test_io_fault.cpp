@@ -1,0 +1,193 @@
+// The deterministic I/O chaos source: every injected decision is a pure
+// function of (seed, site identity), so a chaos campaign replays
+// bit-identically under any thread interleaving — the property that lets
+// the chaos ctest label run under TSan without becoming flaky.
+
+#include "faultinject/io_fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "util/artifact_io.hpp"
+
+namespace mnemo::faultinject {
+namespace {
+
+namespace fs = std::filesystem;
+
+TEST(IoFaultPlan, DefaultIsEmpty) {
+  const IoFaultPlan plan;
+  EXPECT_TRUE(plan.empty());
+}
+
+TEST(IoFaultPlan, AnyEnabledClassMakesItNonEmpty) {
+  IoFaultPlan plan;
+  plan.write_fail_rate = 0.1;
+  EXPECT_FALSE(plan.empty());
+  plan = IoFaultPlan{};
+  plan.torn_write_rate = 0.1;
+  EXPECT_FALSE(plan.empty());
+  plan = IoFaultPlan{};
+  plan.slow_cell_rate = 0.5;
+  EXPECT_TRUE(plan.empty());  // a stall of 0 ms is no stall
+  plan.slow_cell_ms = 5.0;
+  EXPECT_FALSE(plan.empty());
+}
+
+TEST(IoFaultInjector, DecisionsReplayBitIdenticallyAcrossInterleavings) {
+  IoFaultPlan plan;
+  plan.seed = 0xfeed;
+  plan.write_fail_rate = 0.3;
+  plan.torn_write_rate = 0.3;
+
+  // Injector A sees path x's writes and path y's writes interleaved one
+  // way, injector B another way. The k-th decision for each path must
+  // match exactly: decisions hash (seed, path, per-path ordinal), never
+  // global arrival order.
+  IoFaultInjector a(plan);
+  IoFaultInjector b(plan);
+  std::vector<util::WriteFault> ax;
+  std::vector<util::WriteFault> ay;
+  for (int i = 0; i < 16; ++i) {
+    ax.push_back(a.on_write("x"));
+    ay.push_back(a.on_write("y"));
+  }
+  std::vector<util::WriteFault> bx;
+  std::vector<util::WriteFault> by;
+  for (int i = 0; i < 16; ++i) by.push_back(b.on_write("y"));
+  for (int i = 0; i < 16; ++i) bx.push_back(b.on_write("x"));
+
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(ax[static_cast<std::size_t>(i)].fail_open,
+              bx[static_cast<std::size_t>(i)].fail_open);
+    EXPECT_EQ(ax[static_cast<std::size_t>(i)].torn(),
+              bx[static_cast<std::size_t>(i)].torn());
+    EXPECT_EQ(ay[static_cast<std::size_t>(i)].fail_open,
+              by[static_cast<std::size_t>(i)].fail_open);
+    EXPECT_EQ(ay[static_cast<std::size_t>(i)].torn(),
+              by[static_cast<std::size_t>(i)].torn());
+  }
+}
+
+TEST(IoFaultInjector, RateOneAlwaysFiresRateZeroNever) {
+  IoFaultPlan always;
+  always.write_fail_rate = 1.0;
+  IoFaultInjector hot(always);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_TRUE(hot.on_write("p").fail_open);
+  }
+  EXPECT_EQ(hot.stats().writes_seen, 8u);
+  EXPECT_EQ(hot.stats().write_failures, 8u);
+
+  IoFaultInjector cold{IoFaultPlan{}};
+  for (int i = 0; i < 8; ++i) {
+    const util::WriteFault fault = cold.on_write("p");
+    EXPECT_FALSE(fault.fail_open);
+    EXPECT_FALSE(fault.fail_rename);
+    EXPECT_FALSE(fault.torn());
+  }
+  EXPECT_EQ(cold.stats().write_failures, 0u);
+  EXPECT_EQ(cold.stats().torn_writes, 0u);
+}
+
+TEST(IoFaultInjector, TornFractionOneStillTearsWhenDrawn) {
+  // A plan asking for torn writes with torn_fraction = 1.0 must not
+  // silently produce un-torn writes: the injector clamps the fraction
+  // strictly below 1.0 so WriteFault::torn() stays true.
+  IoFaultPlan plan;
+  plan.torn_write_rate = 1.0;
+  plan.torn_fraction = 1.0;
+  IoFaultInjector injector(plan);
+  const util::WriteFault fault = injector.on_write("p");
+  EXPECT_TRUE(fault.torn());
+  EXPECT_LT(fault.torn_fraction, 1.0);
+  EXPECT_EQ(injector.stats().torn_writes, 1u);
+}
+
+TEST(IoFaultInjector, CellDelaysAreDeterministicPerCell) {
+  IoFaultPlan plan;
+  plan.seed = 0xabc;
+  plan.slow_cell_rate = 0.5;
+  plan.slow_cell_ms = 7.0;
+  IoFaultInjector a(plan);
+  IoFaultInjector b(plan);
+  std::uint64_t hits = 0;
+  for (std::size_t cell = 0; cell < 64; ++cell) {
+    const double da = a.cell_delay_ms(cell);
+    EXPECT_EQ(da, b.cell_delay_ms(cell)) << "cell " << cell;
+    EXPECT_TRUE(da == 0.0 || da == 7.0);
+    if (da > 0.0) ++hits;
+  }
+  EXPECT_GT(hits, 0u);
+  EXPECT_LT(hits, 64u);  // rate 0.5: some stalled, some not
+  EXPECT_EQ(a.stats().delayed_cells, hits);
+}
+
+TEST(ScopedIoFaults, HooksAtomicWritesAndUninstallsOnExit) {
+  const fs::path dir = fs::path(testing::TempDir()) / "mnemo_io_fault_hook";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const std::string path = (dir / "victim.bin").string();
+
+  {
+    IoFaultPlan plan;
+    plan.write_fail_rate = 1.0;
+    ScopedIoFaults chaos(plan);
+    const util::Status status = util::write_file_atomic(path, "payload");
+    ASSERT_FALSE(status.ok());
+    EXPECT_EQ(status.error().code, util::ErrorCode::kFaultInjected);
+    EXPECT_FALSE(fs::exists(path));
+    EXPECT_EQ(chaos.injector().stats().write_failures, 1u);
+  }
+  // Scope exited: the hook is gone and writes succeed again.
+  ASSERT_TRUE(util::write_file_atomic(path, "payload").ok());
+  std::string back;
+  ASSERT_TRUE(util::read_file(path, &back));
+  EXPECT_EQ(back, "payload");
+  fs::remove_all(dir);
+}
+
+TEST(ScopedIoFaults, TornWriteLeavesAPrefixTempAndNoFinalFile) {
+  const fs::path dir = fs::path(testing::TempDir()) / "mnemo_io_fault_torn";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const std::string path = (dir / "victim.bin").string();
+  const std::string payload(1000, 'x');
+
+  IoFaultPlan plan;
+  plan.torn_write_rate = 1.0;
+  plan.torn_fraction = 0.25;
+  ScopedIoFaults chaos(plan);
+  const util::Status status = util::write_file_atomic(path, payload);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code, util::ErrorCode::kFaultInjected);
+  EXPECT_FALSE(fs::exists(path));  // the rename never happened
+
+  // Exactly the crash litter a power cut would leave: one temp holding
+  // the torn prefix.
+  std::size_t temps = 0;
+  for (const auto& e : fs::directory_iterator(dir)) {
+    const std::string name = e.path().filename().string();
+    ASSERT_NE(name.find(".tmp."), std::string::npos) << name;
+    EXPECT_EQ(fs::file_size(e.path()), 250u);
+    ++temps;
+  }
+  EXPECT_EQ(temps, 1u);
+  fs::remove_all(dir);
+}
+
+TEST(ChaosCellDelay, NoInjectorMeansNoStall) {
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t cell = 0; cell < 1000; ++cell) chaos_cell_delay(cell);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            500);
+}
+
+}  // namespace
+}  // namespace mnemo::faultinject

@@ -1,0 +1,291 @@
+// Deadline + cancellation behavior of the serve layer (tentpole
+// acceptance: a deadline-exceeded request returns a typed response while
+// other requests complete with zero partial artifacts and bit-identical
+// answers). Chaos slow cells (faultinject) make campaigns reliably
+// outlive short deadlines without real-time guesswork.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <filesystem>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cli/cli.hpp"
+#include "faultinject/io_fault.hpp"
+#include "serve/json.hpp"
+#include "serve/server.hpp"
+#include "serve/single_flight.hpp"
+#include "serve/watchdog.hpp"
+#include "util/cancel.hpp"
+
+namespace mnemo::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+Request small_advise(std::string id) {
+  Request req;
+  req.id = std::move(id);
+  req.op = RequestOp::kAdvise;
+  req.keys = 150;
+  req.requests = 1500;
+  req.repeats = 1;
+  return req;
+}
+
+std::string cli_answer(const std::vector<std::string>& args) {
+  std::ostringstream out;
+  std::ostringstream err;
+  EXPECT_EQ(cli::run(args, out, err), 0) << err.str();
+  std::istringstream lines(out.str());
+  std::string line;
+  std::string answer;
+  while (std::getline(lines, line)) {
+    if (line.rfind("campaign cells executed:", 0) == 0) continue;
+    answer += line + "\n";
+  }
+  return answer;
+}
+
+TEST(ServeDeadline, ExpiredTokenAnswersTypedDeadlineExceeded) {
+  Server server(ServeOptions{});
+  util::CancelToken token{util::Deadline::after_ms(0)};
+  const Response resp = server.handle(small_advise("late"), &token);
+  EXPECT_FALSE(resp.ok);
+  EXPECT_EQ(resp.error_code, "deadline_exceeded");
+  EXPECT_EQ(resp.id, "late");
+  EXPECT_EQ(server.stats().deadline_hits, 1u);
+  EXPECT_EQ(server.stats().canceled, 0u);
+}
+
+TEST(ServeDeadline, ExplicitCancelAnswersTypedCanceled) {
+  Server server(ServeOptions{});
+  util::CancelToken token;
+  token.cancel({util::ErrorCode::kCanceled, "client went away"});
+  const Response resp = server.handle(small_advise("gone"), &token);
+  EXPECT_FALSE(resp.ok);
+  EXPECT_EQ(resp.error_code, "canceled");
+  EXPECT_EQ(server.stats().canceled, 1u);
+  EXPECT_EQ(server.stats().deadline_hits, 0u);
+}
+
+TEST(ServeDeadline, CanceledRequestPublishesNothingAndOthersStayIdentical) {
+  const fs::path dir =
+      fs::path(testing::TempDir()) / "mnemo_deadline_no_partial";
+  fs::remove_all(dir);
+  ServeOptions options;
+  options.cache_dir = dir.string();
+  Server server(std::move(options));
+
+  util::CancelToken token{util::Deadline::after_ms(0)};
+  EXPECT_EQ(server.handle(small_advise("late"), &token).error_code,
+            "deadline_exceeded");
+  // Zero partial artifacts: the canceled request reached no save point.
+  EXPECT_FALSE(fs::exists(dir) &&
+               !fs::is_empty(dir));
+
+  // The same server still answers an undeadlined request with the exact
+  // CLI bytes — the canceled flight poisoned no shared state.
+  const Response good = server.handle(small_advise("fine"));
+  ASSERT_TRUE(good.ok) << good.error_message;
+  EXPECT_EQ(good.output,
+            cli_answer({"advise", "--workload", "trending", "--keys", "150",
+                        "--requests", "1500", "--repeats", "1"}));
+  fs::remove_all(dir);
+}
+
+TEST(ServeDeadline, RequestDeadlineFieldCutsASlowCampaignShort) {
+  // Chaos stalls make every campaign cell take >= 30ms; a 1ms request
+  // deadline therefore always lapses mid-campaign. The watchdog turns it
+  // into a typed response — and the next cell is skipped, never killed.
+  faultinject::IoFaultPlan plan;
+  plan.slow_cell_rate = 1.0;
+  plan.slow_cell_ms = 30.0;
+  faultinject::ScopedIoFaults chaos(plan);
+
+  Server server(ServeOptions{});
+  Request req = small_advise("rushed");
+  req.deadline_ms = 1;
+  const std::string line = server.submit_line(req.to_json_line()).get();
+  const JsonValue v = json_parse(line);
+  EXPECT_FALSE(v.find("ok")->value.boolean);
+  EXPECT_EQ(v.find("error")->value.find("code")->value.string,
+            "deadline_exceeded");
+  EXPECT_EQ(v.find("id")->value.string, "rushed");
+  EXPECT_EQ(server.stats().deadline_hits, 1u);
+}
+
+TEST(ServeDeadline, ServerDefaultDeadlineAppliesWhenRequestCarriesNone) {
+  faultinject::IoFaultPlan plan;
+  plan.slow_cell_rate = 1.0;
+  plan.slow_cell_ms = 30.0;
+  faultinject::ScopedIoFaults chaos(plan);
+
+  ServeOptions options;
+  options.default_deadline_ms = 1;
+  Server server(std::move(options));
+  const std::string line =
+      server.submit_line(small_advise("default").to_json_line()).get();
+  EXPECT_EQ(json_parse(line).find("error")->value.find("code")->value.string,
+            "deadline_exceeded");
+}
+
+TEST(ServeDeadline, RequestDeadlineOverridesTheServerDefault) {
+  // A generous per-request deadline beats a hair-trigger server default:
+  // the request completes and matches the CLI bit for bit.
+  ServeOptions options;
+  options.default_deadline_ms = 1;
+  Server server(std::move(options));
+  Request req = small_advise("patient");
+  req.deadline_ms = 600'000;
+  const std::string line = server.submit_line(req.to_json_line()).get();
+  const JsonValue v = json_parse(line);
+  ASSERT_TRUE(v.find("ok")->value.boolean) << line;
+  EXPECT_EQ(server.stats().deadline_hits, 0u);
+  EXPECT_EQ(server.stats().ok, 1u);
+}
+
+TEST(ServeDeadline, StatsLedgerRendersTheDeadlineRows) {
+  Server server(ServeOptions{});
+  util::CancelToken token{util::Deadline::after_ms(0)};
+  (void)server.handle(small_advise("late"), &token);
+  const std::string ledger = server.stats().render();
+  EXPECT_NE(ledger.find("deadline exceeded"), std::string::npos);
+  EXPECT_NE(ledger.find("canceled"), std::string::npos);
+  EXPECT_NE(ledger.find("dropped connections"), std::string::npos);
+}
+
+TEST(DeadlineWatchdogTest, FiresItsCallbackAfterTheDeadline) {
+  DeadlineWatchdog watchdog;
+  std::mutex mu;
+  std::condition_variable cv;
+  bool fired = false;
+  (void)watchdog.arm(
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(5), [&] {
+        std::lock_guard lock(mu);
+        fired = true;
+        cv.notify_all();
+      });
+  std::unique_lock lock(mu);
+  EXPECT_TRUE(cv.wait_for(lock, std::chrono::seconds(10),
+                          [&] { return fired; }));
+  EXPECT_EQ(watchdog.armed(), 0u);
+}
+
+TEST(DeadlineWatchdogTest, DisarmedTicketNeverFires) {
+  DeadlineWatchdog watchdog;
+  std::atomic<bool> fired{false};
+  const DeadlineWatchdog::Ticket ticket = watchdog.arm(
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(20),
+      [&] { fired = true; });
+  watchdog.disarm(ticket);
+  EXPECT_EQ(watchdog.armed(), 0u);
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  EXPECT_FALSE(fired.load());
+}
+
+TEST(DeadlineWatchdogTest, FiresInDeadlineOrderAcrossManyTickets) {
+  DeadlineWatchdog watchdog;
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<int> order;
+  for (int i = 4; i >= 0; --i) {  // armed in reverse deadline order
+    (void)watchdog.arm(std::chrono::steady_clock::now() +
+                           std::chrono::milliseconds(5 + 10 * i),
+                       [&, i] {
+                         std::lock_guard lock(mu);
+                         order.push_back(i);
+                         cv.notify_all();
+                       });
+  }
+  std::unique_lock lock(mu);
+  ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(30),
+                          [&] { return order.size() == 5u; }));
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SingleFlightCancel, CanceledCallerNeverBecomesLeader) {
+  MeasureCache cache;
+  util::CancelToken token;
+  token.cancel({util::ErrorCode::kCanceled, "too late"});
+  EXPECT_THROW((void)cache.acquire("key", &token), util::CanceledError);
+}
+
+TEST(SingleFlightCancel, MemoHitIsServedEvenWhenCanceled) {
+  // Adopting a finished artifact costs nothing, so a canceled caller
+  // still gets it — cancellation stops new work, not free answers.
+  MeasureCache cache;
+  const MeasureCache::Lease leader = cache.acquire("key");
+  ASSERT_TRUE(leader.leader);
+  cache.publish("key", std::make_shared<core::MeasureArtifact>());
+
+  util::CancelToken token{util::Deadline::after_ms(0)};
+  const MeasureCache::Lease hit = cache.acquire("key", &token);
+  EXPECT_FALSE(hit.leader);
+  EXPECT_FALSE(hit.joined);
+  EXPECT_NE(hit.artifact, nullptr);
+}
+
+TEST(SingleFlightCancel, CanceledJoinerWakesAndThrowsWhileLeaderFinishes) {
+  // The active wake-up path: a joiner blocked on an in-flight leader is
+  // notified by the token's cancel callback, throws the typed error, and
+  // the leader's flight is untouched — later callers adopt its artifact.
+  MeasureCache cache;
+  const MeasureCache::Lease leader = cache.acquire("key");
+  ASSERT_TRUE(leader.leader);
+
+  util::CancelToken token;
+  std::atomic<bool> joined{false};
+  std::thread joiner([&] {
+    try {
+      (void)cache.acquire("key", &token);
+      FAIL() << "canceled joiner must throw, not adopt";
+    } catch (const util::CanceledError& e) {
+      EXPECT_EQ(e.error().code, util::ErrorCode::kCanceled);
+    }
+    joined = true;
+  });
+  // Let the joiner reach its wait, then cancel out-of-band (the watchdog
+  // path does exactly this).
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  token.cancel({util::ErrorCode::kCanceled, "watchdog"});
+  joiner.join();
+  ASSERT_TRUE(joined.load());
+
+  cache.publish("key", std::make_shared<core::MeasureArtifact>());
+  const MeasureCache::Lease after = cache.acquire("key");
+  EXPECT_FALSE(after.leader);
+  EXPECT_NE(after.artifact, nullptr);
+}
+
+TEST(SingleFlightCancel, DeadlineArmedJoinerWakesWithNoWatchdogAtAll) {
+  // The passive path: the joiner bounds its own sleep with the token's
+  // deadline (wait_until), so even with nobody calling cancel() it wakes
+  // and throws deadline_exceeded instead of sleeping forever.
+  MeasureCache cache;
+  const MeasureCache::Lease leader = cache.acquire("key");
+  ASSERT_TRUE(leader.leader);
+
+  util::CancelToken token{util::Deadline::after_ms(30)};
+  const auto start = std::chrono::steady_clock::now();
+  try {
+    (void)cache.acquire("key", &token);
+    FAIL() << "joiner outlived its deadline";
+  } catch (const util::CanceledError& e) {
+    EXPECT_EQ(e.error().code, util::ErrorCode::kDeadlineExceeded);
+  }
+  const auto waited = std::chrono::steady_clock::now() - start;
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::seconds>(waited).count(),
+            30);  // woke via its own wait_until, not a test timeout
+  cache.abandon("key");
+}
+
+}  // namespace
+}  // namespace mnemo::serve

@@ -23,7 +23,12 @@ std::vector<Request> stress_requests() {
   for (int round = 0; round < 8; ++round) {
     for (int variant = 0; variant < 3; ++variant) {
       Request req;
-      req.id = "r" + std::to_string(round) + "-" + std::to_string(variant);
+      // Built up in place: the one-expression concatenation trips GCC
+      // 12's -Wrestrict false positive (PR105651) at -O2.
+      req.id = "r";
+      req.id += std::to_string(round);
+      req.id += '-';
+      req.id += std::to_string(variant);
       req.op = RequestOp::kAdvise;
       req.repeats = 1;
       switch (variant) {
