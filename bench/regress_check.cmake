@@ -1,0 +1,30 @@
+# Non-fatal perf regression gate: diff a freshly produced BENCH_*.json
+# against the checked-in baseline with bench_diff. Wall-clock numbers are
+# machine-dependent, so drift is surfaced as a WARNING for a human to
+# read in the ctest log — this script always succeeds.
+#
+# Invoked by ctest as:
+#   cmake -DBENCH_DIFF=... -DBASELINE=... -DCANDIDATE=... -P regress_check.cmake
+
+if(NOT EXISTS "${BASELINE}")
+  message(WARNING "bench baseline ${BASELINE} missing; skipping diff")
+  return()
+endif()
+if(NOT EXISTS "${CANDIDATE}")
+  message(WARNING
+    "candidate ${CANDIDATE} missing; run the bench smoke test first")
+  return()
+endif()
+
+execute_process(
+  COMMAND "${BENCH_DIFF}" "${BASELINE}" "${CANDIDATE}" --max-regress 25
+  OUTPUT_VARIABLE diff_output
+  ERROR_VARIABLE diff_output
+  RESULT_VARIABLE diff_status)
+message(STATUS "bench_diff output:\n${diff_output}")
+if(NOT diff_status EQUAL 0)
+  message(WARNING
+    "bench_diff reports regressions beyond 25% against the checked-in "
+    "baseline (non-fatal: wall-clock medians vary across machines):\n"
+    "${diff_output}")
+endif()

@@ -2,12 +2,15 @@
 
 #include <algorithm>
 #include <mutex>
+#include <optional>
 
 #include "faultinject/io_fault.hpp"
 #include "stats/summary.hpp"
+#include "util/arena.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
+#include "workload/compiled_trace.hpp"
 
 namespace mnemo::core {
 
@@ -104,6 +107,12 @@ std::vector<RunMeasurement> CampaignRunner::run(
   std::vector<double> cell_s(cells.size(), 0.0);
   if (cells.empty()) return merged;
 
+  // Compile once per campaign: the per-key hashes/digests/byte streams are
+  // placement- and repeat-invariant, so every cell shares one read-only
+  // artifact instead of re-deriving them (DESIGN.md §12).
+  std::optional<workload::CompiledTrace> compiled;
+  if (mode_ == ReplayMode::kCompiled) compiled.emplace(trace);
+
   util::WallTimer wall;
   // Shared-nothing fan-out: cell i writes only slot i, so the merge order
   // is the cell order by construction, independent of scheduling.
@@ -119,8 +128,18 @@ std::vector<RunMeasurement> CampaignRunner::run(
         // time its worker spent descheduled, or an oversubscribed pool
         // would fabricate speedup.
         util::ThreadCpuTimer cell_timer;
-        merged[i] =
-            engine.run_once(trace, cells[i].placement, cells[i].repeat);
+        if (compiled) {
+          // Each worker owns one arena for the whole campaign; resetting
+          // rewinds the bump pointer while keeping the grown chunks, so
+          // only a worker's first cell pays allocation at all.
+          thread_local util::Arena arena;
+          arena.reset();
+          merged[i] = engine.run_once(*compiled, cells[i].placement,
+                                      cells[i].repeat, &arena);
+        } else {
+          merged[i] =
+              engine.run_once(trace, cells[i].placement, cells[i].repeat);
+        }
         cell_s[i] = cell_timer.elapsed_s();
       },
       threads_);
@@ -152,6 +171,9 @@ CampaignResult CampaignRunner::run_checked(
   std::vector<double> cell_s(cells.size(), 0.0);
   if (cells.empty()) return result;
 
+  std::optional<workload::CompiledTrace> compiled;
+  if (mode_ == ReplayMode::kCompiled) compiled.emplace(trace);
+
   util::WallTimer wall;
   util::parallel_for(
       cells.size(),
@@ -168,8 +190,18 @@ CampaignResult CampaignRunner::run_checked(
         int attempts = 0;
         bool accepted = false;
         for (int attempt = 0; attempt < 2 && !accepted; ++attempt) {
-          util::Result<RunMeasurement> run = engine.try_run_once(
-              trace, cells[i].placement, cells[i].repeat, attempt);
+          util::Result<RunMeasurement> run = [&] {
+            if (compiled) {
+              thread_local util::Arena arena;
+              // An attempt's state is fully torn down before the next
+              // starts, so the rewind is safe between attempts too.
+              arena.reset();
+              return engine.try_run_once(*compiled, cells[i].placement,
+                                         cells[i].repeat, attempt, &arena);
+            }
+            return engine.try_run_once(trace, cells[i].placement,
+                                       cells[i].repeat, attempt);
+          }();
           ++attempts;
           if (run.ok() && run.value().faults.events() == 0) {
             result.measurements[i] = run.value();

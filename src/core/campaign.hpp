@@ -21,6 +21,18 @@ struct CampaignCell {
   int repeat = 0;
 };
 
+/// How the runner replays each cell (DESIGN.md §12). kCompiled — the
+/// default — builds one workload::CompiledTrace per campaign (hoisting the
+/// per-key hashes, digests, byte streams and dataset size out of the cell
+/// loop) and backs each worker's per-cell allocations with a thread-local
+/// reusable util::Arena. kLegacy replays the raw Trace per cell on the
+/// heap. Both produce bit-identical measurements — kLegacy exists as the
+/// equivalence oracle for tests and the "before" arm of bench_campaign.
+enum class ReplayMode : std::uint8_t {
+  kCompiled = 0,
+  kLegacy = 1,
+};
+
 /// Ledger entry for a campaign cell quarantined by the fault-injection
 /// campaign: the cell either errored out (typed error preserved) or its
 /// measurement absorbed fault events — meaning it is *not* bit-identical
@@ -134,6 +146,11 @@ class CampaignRunner {
 
   [[nodiscard]] std::size_t threads() const noexcept { return threads_; }
 
+  /// Replay strategy for subsequent run()/measure_grid() calls; results
+  /// are bit-identical either way (see ReplayMode).
+  void set_replay_mode(ReplayMode mode) noexcept { mode_ = mode; }
+  [[nodiscard]] ReplayMode replay_mode() const noexcept { return mode_; }
+
   /// Accounting of the most recent run()/measure_grid() on this runner.
   [[nodiscard]] const CampaignStats& stats() const noexcept { return stats_; }
 
@@ -145,6 +162,7 @@ class CampaignRunner {
 
   std::size_t threads_;
   const util::CancelToken* cancel_;
+  ReplayMode mode_ = ReplayMode::kCompiled;
   CampaignStats stats_;
 };
 

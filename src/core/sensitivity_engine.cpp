@@ -1,13 +1,17 @@
 #include "core/sensitivity_engine.hpp"
 
 #include <algorithm>
+#include <memory_resource>
+#include <span>
 #include <vector>
 
 #include "core/campaign.hpp"
 #include "hybridmem/hybrid_memory.hpp"
 #include "kvstore/dual_server.hpp"
 #include "stats/summary.hpp"
+#include "util/arena.hpp"
 #include "util/assert.hpp"
+#include "workload/compiled_trace.hpp"
 
 namespace mnemo::core {
 
@@ -19,8 +23,8 @@ namespace {
 /// Fit service ≈ a + b·bytes; degenerate samples (empty, or a single
 /// record size) collapse to a flat line at the mean, which makes the
 /// size-aware estimate model coincide with the uniform-delta one.
-stats::Line fit_service_line(const std::vector<double>& bytes,
-                             const std::vector<double>& latency) {
+stats::Line fit_service_line(std::span<const double> bytes,
+                             std::span<const double> latency) {
   if (latency.empty()) return stats::Line{};
   const double first = bytes.front();
   bool distinct = false;
@@ -36,6 +40,120 @@ stats::Line fit_service_line(const std::vector<double>& bytes,
   return stats::fit_line(bytes, latency);
 }
 
+/// fit_service_line with the campaign-invariant x-side work (distinct
+/// scan + normal-equation moments) precomputed by CompiledTrace. Same
+/// guards, same solver inputs, bit-identical Line — the byte stream is
+/// only re-read for the y-side products.
+stats::Line fit_service_line(const workload::ServiceFitMoments& moments,
+                             std::span<const double> bytes,
+                             std::span<const double> latency) {
+  if (latency.empty()) return stats::Line{};
+  if (!moments.distinct || latency.size() < 2) {
+    return stats::Line{stats::mean(latency), 0.0};
+  }
+  return stats::fit_line_moments(moments.n, moments.sum_x, moments.sum_xx,
+                                 bytes, latency);
+}
+
+/// How the tail percentiles are extracted from the latency multiset.
+/// Both strategies interpolate between the same two sorted-rank values,
+/// so they produce bit-identical p95/p99 — the compiled-replay
+/// equivalence suite holds them against each other.
+enum class PercentileMode : std::uint8_t {
+  kSortMerge,  ///< legacy arm: sort both streams, merge, index (n log n)
+  kSelect,     ///< compiled arm: rank selection, no sort (O(n))
+};
+
+/// percentile_sorted without the sort: nth_element places exactly the
+/// value that would sit at sorted rank `lo`, and the interpolation
+/// partner at rank lo+1 is the minimum of the right partition. The
+/// interpolation arithmetic is identical to stats::percentile_sorted, so
+/// the result is the same double to the last bit. Mutates `scratch`
+/// (partial ordering); O(n) per call.
+template <typename Vec>
+[[nodiscard]] double percentile_select(Vec& scratch, double q) {
+  MNEMO_EXPECTS(!scratch.empty());
+  if (scratch.size() == 1) return scratch[0];
+  const double pos = q * static_cast<double>(scratch.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  const auto nth = scratch.begin() + static_cast<std::ptrdiff_t>(lo);
+  std::nth_element(scratch.begin(), nth, scratch.end());
+  if (lo + 1 >= scratch.size()) return scratch[scratch.size() - 1];
+  const double next = *std::min_element(nth + 1, scratch.end());
+  return *nth * (1.0 - frac) + next * frac;
+}
+
+/// Shared tail of both replay paths: derive every per-run statistic from
+/// the latency streams. Means and fits read the vectors in request order
+/// *before* any reordering. kSortMerge then merges the two individually
+/// sorted streams — the same sorted multiset (hence byte-identical
+/// percentiles) as the concatenate-then-sort it replaced, without
+/// re-comparing elements each stream already ordered. kSelect skips
+/// sorting entirely and extracts the two tail ranks by selection; the
+/// percentile values are provably the same doubles, and the compiled ≡
+/// legacy tests plus the golden fixtures pin it.
+///
+/// `Vec` is std::vector<double> (heap replay) or std::pmr::vector<double>
+/// (arena-backed compiled replay); `merged` scratch must use the same
+/// allocator strategy as the inputs. The compiled path hands in the
+/// CompiledTrace's precomputed fit moments; the legacy path passes
+/// nullptr and recomputes the x-side per cell.
+template <typename Vec>
+[[nodiscard]] util::Status derive_measurement(
+    RunMeasurement& m, std::span<const double> read_bytes,
+    std::span<const double> write_bytes, Vec& read_lat, Vec& write_lat,
+    Vec& merged, PercentileMode percentiles,
+    const workload::ServiceFitMoments* read_fit = nullptr,
+    const workload::ServiceFitMoments* write_fit = nullptr) {
+  m.reads = read_lat.size();
+  m.writes = write_lat.size();
+  m.avg_read_ns = read_lat.empty() ? 0.0 : stats::mean(read_lat);
+  m.avg_write_ns = write_lat.empty() ? 0.0 : stats::mean(write_lat);
+  m.read_vs_bytes = read_fit
+                        ? fit_service_line(*read_fit, read_bytes, read_lat)
+                        : fit_service_line(read_bytes, read_lat);
+  m.write_vs_bytes =
+      write_fit ? fit_service_line(*write_fit, write_bytes, write_lat)
+                : fit_service_line(write_bytes, write_lat);
+  if (!(m.runtime_ns > 0.0)) {
+    // Every request cost 0ns (a degenerate profile): division would turn
+    // avg_latency_ns/throughput_ops into NaN/inf and quietly poison every
+    // downstream mean. Refuse with a typed error instead.
+    util::Error e;
+    e.code = util::ErrorCode::kFailedPrecondition;
+    e.message = "run accumulated zero simulated runtime; "
+                "throughput and average latency are undefined";
+    return e;
+  }
+  m.avg_latency_ns = m.runtime_ns / static_cast<double>(m.requests);
+  m.throughput_ops = static_cast<double>(m.requests) / (m.runtime_ns / 1e9);
+  if (percentiles == PercentileMode::kSortMerge) {
+    std::sort(read_lat.begin(), read_lat.end());
+    std::sort(write_lat.begin(), write_lat.end());
+    merged.resize(read_lat.size() + write_lat.size());
+    std::merge(read_lat.begin(), read_lat.end(), write_lat.begin(),
+               write_lat.end(), merged.begin());
+    m.p95_ns = stats::percentile_sorted(merged, 0.95);
+    m.p99_ns = stats::percentile_sorted(merged, 0.99);
+  } else {
+    merged.resize(read_lat.size() + write_lat.size());
+    const auto split = std::copy(read_lat.begin(), read_lat.end(),
+                                 merged.begin());
+    std::copy(write_lat.begin(), write_lat.end(), split);
+    m.p95_ns = percentile_select(merged, 0.95);
+    m.p99_ns = percentile_select(merged, 0.99);
+  }
+  return {};
+}
+
+[[nodiscard]] util::Error empty_trace_error() {
+  util::Error e;
+  e.code = util::ErrorCode::kInvalidArgument;
+  e.message = "trace has no requests to replay; measurement is undefined";
+  return e;
+}
+
 }  // namespace
 
 SensitivityEngine::SensitivityEngine(SensitivityConfig config)
@@ -44,12 +162,11 @@ SensitivityEngine::SensitivityEngine(SensitivityConfig config)
 }
 
 hybridmem::EmulationProfile SensitivityEngine::sized_platform(
-    const workload::Trace& trace) const {
+    std::uint64_t dataset_bytes) const {
   hybridmem::EmulationProfile platform = config_.platform;
   // Headroom for index/journal overhead and slab rounding: 2x dataset.
   const std::uint64_t need =
-      std::max<std::uint64_t>(trace.dataset_bytes() * 2,
-                              64ULL * 1024 * 1024);
+      std::max<std::uint64_t>(dataset_bytes * 2, 64ULL * 1024 * 1024);
   platform.fast.capacity_bytes =
       std::max(platform.fast.capacity_bytes, need);
   platform.slow.capacity_bytes =
@@ -68,7 +185,8 @@ RunMeasurement SensitivityEngine::run_once(
 util::Result<RunMeasurement> SensitivityEngine::try_run_once(
     const workload::Trace& trace, const hybridmem::Placement& placement,
     int repeat, int attempt) const {
-  hybridmem::HybridMemory memory(sized_platform(trace));
+  if (trace.requests().empty()) return empty_trace_error();
+  hybridmem::HybridMemory memory(sized_platform(trace.dataset_bytes()));
 
   kvstore::StoreConfig store_cfg;
   store_cfg.payload_mode = config_.payload_mode;
@@ -95,7 +213,12 @@ util::Result<RunMeasurement> SensitivityEngine::try_run_once(
   std::vector<double> write_lat;
   std::vector<double> read_bytes;
   std::vector<double> write_bytes;
+  // The read/write split is unknown until the loop runs; full-length
+  // reserves trade a little address space for zero growth reallocations.
   read_lat.reserve(trace.requests().size());
+  write_lat.reserve(trace.requests().size());
+  read_bytes.reserve(trace.requests().size());
+  write_bytes.reserve(trace.requests().size());
 
   RunMeasurement m;
   m.requests = trace.requests().size();
@@ -116,22 +239,100 @@ util::Result<RunMeasurement> SensitivityEngine::try_run_once(
       write_bytes.push_back(bytes);
     }
   }
-  m.reads = read_lat.size();
-  m.writes = write_lat.size();
-  m.avg_read_ns = read_lat.empty() ? 0.0 : stats::mean(read_lat);
-  m.avg_write_ns = write_lat.empty() ? 0.0 : stats::mean(write_lat);
-  m.read_vs_bytes = fit_service_line(read_bytes, read_lat);
-  m.write_vs_bytes = fit_service_line(write_bytes, write_lat);
-  m.avg_latency_ns = m.runtime_ns / static_cast<double>(m.requests);
-  m.throughput_ops = static_cast<double>(m.requests) / (m.runtime_ns / 1e9);
+  std::vector<double> merged;
+  const util::Status derived =
+      derive_measurement(m, read_bytes, write_bytes, read_lat, write_lat,
+                         merged, PercentileMode::kSortMerge);
+  if (!derived.ok()) return derived.error();
+  m.llc_hit_rate = memory.llc().hit_rate();
+  m.faults = memory.fault_stats();
+  return m;
+}
 
-  std::vector<double> all;
-  all.reserve(read_lat.size() + write_lat.size());
-  all.insert(all.end(), read_lat.begin(), read_lat.end());
-  all.insert(all.end(), write_lat.begin(), write_lat.end());
-  std::sort(all.begin(), all.end());
-  m.p95_ns = stats::percentile_sorted(all, 0.95);
-  m.p99_ns = stats::percentile_sorted(all, 0.99);
+RunMeasurement SensitivityEngine::run_once(
+    const workload::CompiledTrace& compiled,
+    const hybridmem::Placement& placement, int repeat,
+    util::Arena* arena) const {
+  util::Result<RunMeasurement> run =
+      try_run_once(compiled, placement, repeat, 0, arena);
+  MNEMO_ASSERT(run.ok() && "run_once requires a run that cannot fail");
+  return run.value();
+}
+
+util::Result<RunMeasurement> SensitivityEngine::try_run_once(
+    const workload::CompiledTrace& compiled,
+    const hybridmem::Placement& placement, int repeat, int attempt,
+    util::Arena* arena) const {
+  if (compiled.request_count() == 0) return empty_trace_error();
+
+  // One resource backs every per-cell allocation below — the platform's
+  // flat tables, both stores' slot pools, and the latency streams. With an
+  // arena those become grow-once bump allocations the worker reuses across
+  // cells; without one this is exactly the heap the Trace overload uses.
+  std::pmr::memory_resource* cell_memory =
+      arena != nullptr ? static_cast<std::pmr::memory_resource*>(arena)
+                       : std::pmr::get_default_resource();
+
+  hybridmem::HybridMemory memory(sized_platform(compiled.dataset_bytes()),
+                                 cell_memory);
+
+  kvstore::StoreConfig store_cfg;
+  store_cfg.payload_mode = config_.payload_mode;
+  store_cfg.seed = config_.seed + static_cast<std::uint64_t>(repeat) * 0x9e37;
+  store_cfg.table_memory = cell_memory;
+
+  kvstore::DualServer servers(memory, config_.store, store_cfg);
+  {
+    util::Status loaded = servers.populate(compiled, placement);
+    if (!loaded.ok()) return loaded.error();
+  }
+  memory.drop_caches();
+  if (!config_.faults.empty()) {
+    memory.arm_faults(config_.faults,
+                      (static_cast<std::uint64_t>(repeat) << 16) +
+                          static_cast<std::uint64_t>(attempt));
+  }
+
+  std::pmr::vector<double> read_lat(cell_memory);
+  std::pmr::vector<double> write_lat(cell_memory);
+  // Exact counts are campaign invariants the compile step already paid for.
+  read_lat.reserve(compiled.read_count());
+  write_lat.reserve(compiled.write_count());
+
+  RunMeasurement m;
+  m.requests = compiled.request_count();
+  const std::span<const std::uint64_t> hashes = compiled.key_hashes();
+  const std::span<const std::uint64_t> digests = compiled.key_digests();
+  // Replay off the compiled flat streams (1-byte ops + 4-byte keys) rather
+  // than the Trace's Request structs, through the unchecked execute form —
+  // every key was bounds-validated once when the trace compiled.
+  const std::span<const workload::OpType> ops = compiled.ops();
+  const std::span<const std::uint32_t> keys = compiled.keys();
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    const std::uint32_t key = keys[i];
+    const kvstore::KeyHints hints{hashes[key], digests[key]};
+    const util::Result<kvstore::OpResult> served =
+        servers.execute(ops[i], key, hints);
+    if (!served.ok()) return served.error();
+    const kvstore::OpResult r = served.value();
+    MNEMO_ASSERT(r.ok && "all requested keys were populated");
+    m.runtime_ns += r.service_ns;
+    m.latency_hist.add(r.service_ns);
+    if (ops[i] == workload::OpType::kRead) {
+      read_lat.push_back(r.service_ns);
+    } else {
+      write_lat.push_back(r.service_ns);
+    }
+  }
+  std::pmr::vector<double> merged(cell_memory);
+  // The per-request byte streams are placement-invariant: the compiled
+  // trace carries them pre-split, in the same order the pushes above used.
+  const util::Status derived =
+      derive_measurement(m, compiled.read_bytes(), compiled.write_bytes(),
+                         read_lat, write_lat, merged,
+                         PercentileMode::kSelect, &compiled.read_fit(),
+                         &compiled.write_fit());
+  if (!derived.ok()) return derived.error();
   m.llc_hit_rate = memory.llc().hit_rate();
   m.faults = memory.fault_stats();
   return m;

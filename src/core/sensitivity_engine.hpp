@@ -12,6 +12,14 @@
 #include "util/status.hpp"
 #include "workload/trace.hpp"
 
+namespace mnemo::util {
+class Arena;
+}
+
+namespace mnemo::workload {
+class CompiledTrace;
+}
+
 namespace mnemo::core {
 
 /// Configuration of a measurement campaign: which store architecture, on
@@ -64,6 +72,23 @@ class SensitivityEngine {
       const workload::Trace& trace, const hybridmem::Placement& placement,
       int repeat = 0, int attempt = 0) const;
 
+  /// Compiled-campaign variants (DESIGN.md §12): replay a CompiledTrace,
+  /// passing each request's precomputed hash/digest through to the stores
+  /// and (optionally) backing every per-cell allocation — platform tables,
+  /// store slot pools, latency vectors — with `arena`. Results are
+  /// bit-identical to the Trace overloads; the arena is an allocation
+  /// strategy, never a behaviour change. The caller owns the arena's
+  /// reset cycle (reset between cells, after the cell's state is gone).
+  [[nodiscard]] RunMeasurement run_once(
+      const workload::CompiledTrace& compiled,
+      const hybridmem::Placement& placement, int repeat = 0,
+      util::Arena* arena = nullptr) const;
+
+  [[nodiscard]] util::Result<RunMeasurement> try_run_once(
+      const workload::CompiledTrace& compiled,
+      const hybridmem::Placement& placement, int repeat = 0, int attempt = 0,
+      util::Arena* arena = nullptr) const;
+
   /// Mean of `repeats` runs for one placement, fanned out as a
   /// measurement campaign over config().threads workers.
   [[nodiscard]] RunMeasurement measure(
@@ -82,7 +107,7 @@ class SensitivityEngine {
   /// Node capacity big enough for the dataset plus engine overhead so
   /// either extreme placement fits on one node.
   [[nodiscard]] hybridmem::EmulationProfile sized_platform(
-      const workload::Trace& trace) const;
+      std::uint64_t dataset_bytes) const;
 
   SensitivityConfig config_;
 };

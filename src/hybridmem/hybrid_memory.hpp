@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <memory_resource>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -27,7 +28,12 @@ namespace mnemo::hybridmem {
 /// the wall clock.
 class HybridMemory {
  public:
-  explicit HybridMemory(const EmulationProfile& profile);
+  /// `memory` (optional) backs the platform's flat tables (object table,
+  /// LLC recency) — a campaign cell's arena when one is plumbed through
+  /// (DESIGN.md §12), the default heap otherwise. The rare overflow map
+  /// for tagged overhead IDs stays on the heap either way.
+  explicit HybridMemory(const EmulationProfile& profile,
+                        std::pmr::memory_resource* memory = nullptr);
 
   /// Place a new object. Returns false if the node is out of capacity.
   [[nodiscard]] bool place(std::uint64_t object_id, std::uint64_t bytes,
@@ -192,7 +198,7 @@ class HybridMemory {
   MemoryNode fast_;
   MemoryNode slow_;
   LlcModel llc_;
-  std::vector<ObjectInfo> dense_objects_;
+  std::pmr::vector<ObjectInfo> dense_objects_;
   std::unordered_map<std::uint64_t, ObjectInfo> overflow_objects_;
   std::size_t object_count_ = 0;
   std::unique_ptr<faultinject::FaultInjector> injector_;

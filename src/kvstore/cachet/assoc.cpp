@@ -7,7 +7,11 @@
 
 namespace mnemo::kvstore::cachet {
 
-AssocTable::AssocTable() : buckets_(kInitialBuckets, kNil) {}
+AssocTable::AssocTable(std::pmr::memory_resource* memory)
+    : pool_(memory != nullptr ? memory : std::pmr::get_default_resource()),
+      buckets_(pool_.get_allocator()) {
+  buckets_.assign(kInitialBuckets, kNil);
+}
 
 std::uint64_t AssocTable::overhead_bytes() const noexcept {
   // One pointer per bucket head — the modelled server's layout, unchanged
@@ -36,7 +40,9 @@ void AssocTable::maybe_expand() {
       kMaxLoad * static_cast<double>(buckets_.size())) {
     return;
   }
-  std::vector<std::int32_t> bigger(buckets_.size() * 2, kNil);
+  // Same-resource construction keeps the final move-assign an O(1) steal.
+  std::pmr::vector<std::int32_t> bigger(buckets_.size() * 2, kNil,
+                                        buckets_.get_allocator());
   for (std::int32_t& head : buckets_) {
     // Pop each chain head-first onto the new chain heads — the same
     // order the forward_list splice_after expansion produced.
@@ -52,9 +58,10 @@ void AssocTable::maybe_expand() {
   buckets_ = std::move(bigger);
 }
 
-Item* AssocTable::insert(Item item, std::uint32_t* probes) {
+Item* AssocTable::insert(Item item, std::uint32_t* probes,
+                         std::uint64_t hash) {
   maybe_expand();
-  std::int32_t& bucket = buckets_[util::mix64(item.key) & (buckets_.size() - 1)];
+  std::int32_t& bucket = buckets_[hash & (buckets_.size() - 1)];
   if (probes != nullptr) *probes = 1;
   const std::int32_t n = alloc_node(std::move(item));
   pool_[static_cast<std::size_t>(n)].next = bucket;

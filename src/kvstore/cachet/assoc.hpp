@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory_resource>
 #include <vector>
 
 #include "kvstore/record.hpp"
@@ -30,16 +31,22 @@ class AssocTable {
   static constexpr std::size_t kInitialBuckets = 16;
   static constexpr double kMaxLoad = 1.5;
 
-  AssocTable();
+  /// `memory` (optional) backs the slot pool and bucket array — a campaign
+  /// cell's arena when one is plumbed through, the heap otherwise.
+  explicit AssocTable(std::pmr::memory_resource* memory = nullptr);
 
   struct FindResult {
     Item* item = nullptr;
     std::uint32_t probes = 0;
   };
   /// Defined inline: every Cachet GET and PUT starts here (DESIGN.md §8).
-  FindResult find(std::uint64_t key) {
+  /// The hash-taking overload lets campaign replay pass the precomputed
+  /// util::mix64(key) (DESIGN.md §12); it MUST equal mix64(key), so probe
+  /// sequences are exactly those of the hashing overload.
+  FindResult find(std::uint64_t key) { return find(key, util::mix64(key)); }
+  FindResult find(std::uint64_t key, std::uint64_t hash) {
     FindResult result;
-    for (std::int32_t n = buckets_[util::mix64(key) & (buckets_.size() - 1)];
+    for (std::int32_t n = buckets_[hash & (buckets_.size() - 1)];
          n != kNil; n = pool_[static_cast<std::size_t>(n)].next) {
       ++result.probes;
       Node& node = pool_[static_cast<std::size_t>(n)];
@@ -53,8 +60,18 @@ class AssocTable {
   }
 
   /// Insert a new item (key must not already exist — Cachet checks first).
-  /// Returns probes walked and a stable-until-next-mutation pointer.
-  Item* insert(Item item, std::uint32_t* probes);
+  /// Returns probes walked and a stable-until-next-mutation pointer. The
+  /// hash-taking overload obeys the same contract as find(key, hash).
+  Item* insert(Item item, std::uint32_t* probes) {
+    const std::uint64_t hash = util::mix64(item.key);
+    return insert(std::move(item), probes, hash);
+  }
+  Item* insert(Item item, std::uint32_t* probes, std::uint64_t hash);
+
+  /// Pre-size the slot pool for `n` items. The bucket array is NOT
+  /// pre-sized: its doubling schedule is part of the modelled behaviour
+  /// and overhead accounting.
+  void reserve(std::size_t n) { pool_.reserve(n); }
 
   struct EraseResult {
     bool erased = false;
@@ -90,9 +107,9 @@ class AssocTable {
   [[nodiscard]] std::int32_t alloc_node(Item&& item);
   void maybe_expand();
 
-  std::vector<Node> pool_;
-  std::int32_t free_ = kNil;        ///< recycled slots, threaded via next
-  std::vector<std::int32_t> buckets_;  ///< chain heads, kNil when empty
+  std::pmr::vector<Node> pool_;
+  std::int32_t free_ = kNil;  ///< recycled slots, threaded via next
+  std::pmr::vector<std::int32_t> buckets_;  ///< chain heads, kNil when empty
   std::size_t used_ = 0;
 };
 

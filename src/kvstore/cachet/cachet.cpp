@@ -9,7 +9,19 @@ using hybridmem::MemOp;
 
 Cachet::Cachet(hybridmem::HybridMemory& memory, const StoreConfig& config)
     : KeyValueStore(memory, config, StoreKind::kCachet),
-      lru_(slabs_.class_count() + 1) {}
+      assoc_(config.table_memory) {
+  lru_.reserve(slabs_.class_count() + 1);
+  for (std::size_t i = 0; i < slabs_.class_count() + 1; ++i) {
+    lru_.emplace_back(config.table_memory);
+  }
+}
+
+void Cachet::reserve_keys(std::size_t keys) {
+  assoc_.reserve(keys);
+  // Per-class residency is unknown up front; pre-size only the dense
+  // id→slot indexes (4 bytes/id), which every class consults.
+  for (auto& lru : lru_) lru.reserve(keys, 0);
+}
 
 Cachet::~Cachet() {
   assoc_.for_each([this](const Item& item) { this->memory().remove(item.key); });
@@ -50,8 +62,16 @@ Record* Cachet::mutable_record(std::uint64_t key) {
 }
 
 OpResult Cachet::get(std::uint64_t key) {
+  return get_impl(key, util::mix64(key));
+}
+
+OpResult Cachet::get(std::uint64_t key, const KeyHints& hints) {
+  return get_impl(key, hints.hash);
+}
+
+OpResult Cachet::get_impl(std::uint64_t key, std::uint64_t hash) {
   ++stats_.gets;
-  const auto found = assoc_.find(key);
+  const auto found = assoc_.find(key, hash);
   double ns = profile().cpu_read_ns + index_walk_ns(1, found.probes);
   if (found.item == nullptr) {
     ++stats_.misses;
@@ -77,11 +97,22 @@ OpResult Cachet::get(std::uint64_t key) {
 }
 
 OpResult Cachet::put(std::uint64_t key, std::uint64_t value_size) {
+  return put_impl(key, value_size, util::mix64(key),
+                  util::record_digest(key, value_size));
+}
+
+OpResult Cachet::put(std::uint64_t key, std::uint64_t value_size,
+                     const KeyHints& hints) {
+  return put_impl(key, value_size, hints.hash, hints.digest);
+}
+
+OpResult Cachet::put_impl(std::uint64_t key, std::uint64_t value_size,
+                          std::uint64_t hash, std::uint64_t digest) {
   ++stats_.puts;
   double ns = profile().cpu_write_ns;
 
   // Update in place if present (memcached `set` on an existing key).
-  auto found = assoc_.find(key);
+  auto found = assoc_.find(key, hash);
   ns += index_walk_ns(1, found.probes);
   if (found.item != nullptr) {
     const std::size_t new_cls = slabs_.class_for(value_size);
@@ -96,7 +127,7 @@ OpResult Cachet::put(std::uint64_t key, std::uint64_t value_size) {
     if (!memory().resize(key, slabs_.chunk_bytes(new_cls, value_size))) {
       return finalize(false, ns, false);
     }
-    found.item->value = make_record(key, value_size, payload_mode());
+    found.item->value = make_record(key, value_size, payload_mode(), digest);
     lru_touch(*found.item);
     const auto access = payload_access(key, value_size, MemOp::kWrite);
     ns += access.ns;
@@ -114,11 +145,11 @@ OpResult Cachet::put(std::uint64_t key, std::uint64_t value_size) {
   slabs_.take(cls, value_size);
   Item item;
   item.key = key;
-  item.value = make_record(key, value_size, payload_mode());
+  item.value = make_record(key, value_size, payload_mode(), digest);
   item.slab_class = cls;
   lru_[cls].push_front(key, {});
   std::uint32_t probes = 0;
-  assoc_.insert(std::move(item), &probes);
+  assoc_.insert(std::move(item), &probes, hash);
   ns += index_walk_ns(0, probes);
   sync_overhead_accounting(overhead_bytes());
   const auto access = payload_access(key, value_size, MemOp::kWrite);

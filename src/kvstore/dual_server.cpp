@@ -2,6 +2,7 @@
 
 #include "faultinject/fault_injector.hpp"
 #include "util/assert.hpp"
+#include "workload/compiled_trace.hpp"
 
 namespace mnemo::kvstore {
 
@@ -32,6 +33,41 @@ util::Status DualServer::populate(const workload::Trace& trace,
   for (std::uint64_t key = 0; key < trace.initial_key_count(); ++key) {
     KeyValueStore& server = route(key);
     const OpResult r = server.put(key, key_sizes_[key]);
+    if (!r.ok) {
+      util::Error e;
+      e.code = util::ErrorCode::kCapacityExhausted;
+      e.message = std::string("populate: ") +
+                  std::string(hybridmem::to_string(server.node())) +
+                  " cannot fit key";
+      e.key = key;
+      e.requested_bytes = key_sizes_[key];
+      e.available_bytes = server.memory().node(server.node()).free_bytes();
+      return e;
+    }
+  }
+  return {};
+}
+
+util::Status DualServer::populate(const workload::CompiledTrace& compiled,
+                                  const hybridmem::Placement& placement) {
+  const workload::Trace& trace = compiled.trace();
+  MNEMO_EXPECTS(placement.key_count() == trace.key_count());
+  placement_ = placement;
+  key_sizes_ = compiled.key_sizes();
+  fast_->memory().reserve_objects(
+      static_cast<std::size_t>(placement.key_count()));
+  // Allocation hint only: slot pools sized for the dense key range (a key
+  // lives on exactly one server, so this over-reserves each pool, which an
+  // arena-backed cell absorbs once); observable bucket/rehash growth
+  // schedules are never pre-sized.
+  fast_->reserve_keys(static_cast<std::size_t>(placement.key_count()));
+  slow_->reserve_keys(static_cast<std::size_t>(placement.key_count()));
+  const std::span<const std::uint64_t> hashes = compiled.key_hashes();
+  const std::span<const std::uint64_t> digests = compiled.key_digests();
+  for (std::uint64_t key = 0; key < trace.initial_key_count(); ++key) {
+    KeyValueStore& server = route(key);
+    const KeyHints hints{hashes[key], digests[key]};
+    const OpResult r = server.put(key, key_sizes_[key], hints);
     if (!r.ok) {
       util::Error e;
       e.code = util::ErrorCode::kCapacityExhausted;

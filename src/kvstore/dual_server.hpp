@@ -9,6 +9,10 @@
 #include "util/status.hpp"
 #include "workload/trace.hpp"
 
+namespace mnemo::workload {
+class CompiledTrace;
+}
+
 namespace mnemo::kvstore {
 
 /// The paper's two-server deployment: one server instance pinned to
@@ -34,6 +38,14 @@ class DualServer {
   [[nodiscard]] util::Status populate(const workload::Trace& trace,
                                       const hybridmem::Placement& placement);
 
+  /// Compiled-campaign populate (DESIGN.md §12): same key order, same
+  /// routing, same typed errors as the Trace overload — but the per-key
+  /// hash/digest come precomputed from the CompiledTrace, and each
+  /// instance's slot pools are pre-sized (an allocation hint only; bucket
+  /// growth schedules are part of the model and stay untouched).
+  [[nodiscard]] util::Status populate(const workload::CompiledTrace& compiled,
+                                      const hybridmem::Placement& placement);
+
   /// Execute one client request, routed by the placement given at
   /// populate(). Updates keep the key on its assigned server. A read that
   /// hits a poisoned SlowMem line is transparently remapped to FastMem
@@ -54,6 +66,33 @@ class DualServer {
     OpResult r = server.get(request.key);
     if (r.fault == hybridmem::FaultKind::kNone) [[likely]] return r;
     return recover_faulted_read(request, r);
+  }
+
+  /// Hinted variant of execute() for compiled-campaign replay: `hints`
+  /// must be the KeyHints of request.key (CompiledTrace::key_hashes /
+  /// key_digests). Behaviour is bit-identical to execute(request); the
+  /// rare fault-recovery tail is shared.
+  [[nodiscard]] util::Result<OpResult> execute(const workload::Request& request,
+                                               const KeyHints& hints) {
+    MNEMO_EXPECTS(request.key < key_sizes_.size());
+    return execute(request.op, request.key, hints);
+  }
+
+  /// Unchecked hot-loop form taking the op/key streams directly: the
+  /// compiled replay iterates CompiledTrace's flat arrays, whose keys were
+  /// all bounds-validated once at compile time, so the per-request
+  /// precondition check is hoisted along with the hashes.
+  [[nodiscard]] util::Result<OpResult> execute(workload::OpType op,
+                                               std::uint64_t key,
+                                               const KeyHints& hints) {
+    KeyValueStore& server = route(key);
+    if (op != workload::OpType::kRead) {
+      return server.put(key, key_sizes_[key], hints);
+    }
+    OpResult r = server.get(key, hints);
+    if (r.fault == hybridmem::FaultKind::kNone) [[likely]] return r;
+    return recover_faulted_read(
+        workload::Request{static_cast<std::uint32_t>(key), op}, r);
   }
 
   [[nodiscard]] KeyValueStore& fast() noexcept { return *fast_; }

@@ -80,8 +80,18 @@ OpResult DynaStore::get(std::uint64_t key) {
 }
 
 OpResult DynaStore::put(std::uint64_t key, std::uint64_t value_size) {
+  return put_impl(key, value_size, util::record_digest(key, value_size));
+}
+
+OpResult DynaStore::put(std::uint64_t key, std::uint64_t value_size,
+                        const KeyHints& hints) {
+  return put_impl(key, value_size, hints.digest);
+}
+
+OpResult DynaStore::put_impl(std::uint64_t key, std::uint64_t value_size,
+                             std::uint64_t digest) {
   ++stats_.puts;
-  Record rec = make_record(key, value_size, payload_mode());
+  Record rec = make_record(key, value_size, payload_mode(), digest);
 
   // 1. Journal append (WAL discipline: log before applying).
   const auto logged = journal_.append(key, value_size);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <memory>
+#include <memory_resource>
 #include <string>
 
 #include "hybridmem/hybrid_memory.hpp"
@@ -49,6 +50,23 @@ struct StoreConfig {
   const ServiceProfile* profile_override = nullptr;
   /// Disable service-time jitter and tail spikes (ablation).
   bool deterministic_service = false;
+  /// Optional backing for the store's internal flat tables (slot pools,
+  /// bucket arrays, access stamps): a campaign cell's arena when one is
+  /// plumbed through (DESIGN.md §12), the default heap when null. Not
+  /// owned; must outlive the store.
+  std::pmr::memory_resource* table_memory = nullptr;
+};
+
+/// Campaign-invariant per-key values a caller may precompute once and
+/// replay into every cell (workload::CompiledTrace, DESIGN.md §12). The
+/// values MUST equal what the store would compute itself — they are an
+/// optimization contract, not an override: `hash` is util::mix64(key)
+/// (the bucket hash of both chained tables) and `digest` is
+/// util::record_digest(key, size) (the payload-generator seed). Probe
+/// counts, chain order and rehash schedule are therefore untouched.
+struct KeyHints {
+  std::uint64_t hash = 0;
+  std::uint64_t digest = 0;
 };
 
 /// Abstract in-memory key-value store bound to one memory node of the
@@ -73,6 +91,24 @@ class KeyValueStore {
   /// Insert or update `key` with a `value_size`-byte value.
   /// ok == false if the node lacks capacity and nothing could be evicted.
   virtual OpResult put(std::uint64_t key, std::uint64_t value_size) = 0;
+
+  /// Hinted variants: behaviour is bit-identical to get/put — the hints
+  /// carry values the store would otherwise recompute per operation
+  /// (KeyHints contract above). Architectures that can use them override;
+  /// the defaults ignore the hints and delegate.
+  virtual OpResult get(std::uint64_t key, const KeyHints& /*hints*/) {
+    return get(key);
+  }
+  virtual OpResult put(std::uint64_t key, std::uint64_t value_size,
+                       const KeyHints& /*hints*/) {
+    return put(key, value_size);
+  }
+
+  /// Pre-size internal tables for `keys` dense keys so populate/replay
+  /// avoid growth reallocations. Purely an allocation hint: observable
+  /// bucket/rehash schedules are never pre-sized (their growth is part of
+  /// the modelled overhead accounting). Default: no-op.
+  virtual void reserve_keys(std::size_t /*keys*/) {}
 
   /// put() with a time-to-live on the store's simulated clock (now() +
   /// ttl_ns). Expired keys are lazily reclaimed by the next get().

@@ -33,6 +33,14 @@ struct Record {
 /// repeatable byte pattern whose checksum get() can verify end-to-end.
 Record make_record(std::uint64_t key, std::uint64_t size, PayloadMode mode);
 
+/// make_record with the util::record_digest(key, size) value already in
+/// hand — the campaign-invariant generator seed workload::CompiledTrace
+/// precomputes once per key. Produces bit-identical records to the
+/// three-argument form; passing a digest that is not record_digest(key,
+/// size) is a contract violation.
+Record make_record(std::uint64_t key, std::uint64_t size, PayloadMode mode,
+                   std::uint64_t digest);
+
 /// The checksum make_record would produce for (key, size) — lets synthetic
 /// mode verify integrity without materializing bytes.
 std::uint64_t expected_checksum(std::uint64_t key, std::uint64_t size);

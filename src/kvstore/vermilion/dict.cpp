@@ -5,7 +5,11 @@
 
 namespace mnemo::kvstore::vermilion {
 
-Dict::Dict() { tables_[0].assign(kInitialBuckets, kNil); }
+Dict::Dict(std::pmr::memory_resource* memory)
+    : pool_(memory != nullptr ? memory : std::pmr::get_default_resource()),
+      tables_{Table(pool_.get_allocator()), Table(pool_.get_allocator())} {
+  tables_[0].assign(kInitialBuckets, kNil);
+}
 
 std::size_t Dict::bucket_count() const noexcept {
   return tables_[0].size() + tables_[1].size();
@@ -71,14 +75,15 @@ void Dict::rehash_step() {
   }
 }
 
-Dict::FindResult Dict::find_rehashing(std::uint64_t key) {
+Dict::FindResult Dict::find_rehashing(std::uint64_t key,
+                                      std::uint64_t hash) {
   rehash_step();
   FindResult result;
   const int table_limit = rehashing() ? 2 : 1;
   for (int t = 0; t < table_limit; ++t) {
     Table& table = tables_[t];
     if (table.empty()) continue;
-    for (std::int32_t n = table[bucket_of(key, table.size())]; n != kNil;
+    for (std::int32_t n = table[hash & (table.size() - 1)]; n != kNil;
          n = pool_[static_cast<std::size_t>(n)].next) {
       ++result.probes;
       Node& node = pool_[static_cast<std::size_t>(n)];
@@ -92,7 +97,8 @@ Dict::FindResult Dict::find_rehashing(std::uint64_t key) {
   return result;
 }
 
-Dict::UpsertResult Dict::upsert(std::uint64_t key, Record value) {
+Dict::UpsertResult Dict::upsert(std::uint64_t key, Record value,
+                                std::uint64_t hash) {
   maybe_start_rehash();
   rehash_step();
   UpsertResult result;
@@ -100,7 +106,7 @@ Dict::UpsertResult Dict::upsert(std::uint64_t key, Record value) {
   for (int t = 0; t < table_limit; ++t) {
     Table& table = tables_[t];
     if (table.empty()) continue;
-    for (std::int32_t n = table[bucket_of(key, table.size())]; n != kNil;
+    for (std::int32_t n = table[hash & (table.size() - 1)]; n != kNil;
          n = pool_[static_cast<std::size_t>(n)].next) {
       ++result.probes;
       Node& node = pool_[static_cast<std::size_t>(n)];
@@ -114,7 +120,7 @@ Dict::UpsertResult Dict::upsert(std::uint64_t key, Record value) {
   }
   // Insert into the table new keys should land in (table 1 mid-rehash).
   Table& target = rehashing() ? tables_[1] : tables_[0];
-  std::int32_t& bucket = target[bucket_of(key, target.size())];
+  std::int32_t& bucket = target[hash & (target.size() - 1)];
   const std::int32_t n = alloc_node(key, std::move(value));
   pool_[static_cast<std::size_t>(n)].next = bucket;
   bucket = n;

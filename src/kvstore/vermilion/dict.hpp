@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory_resource>
 #include <vector>
 
 #include "kvstore/record.hpp"
@@ -27,7 +28,9 @@ class Dict {
   static constexpr std::size_t kInitialBuckets = 16;
   static constexpr std::size_t kRehashBucketsPerOp = 2;
 
-  Dict();
+  /// `memory` (optional) backs the slot pool and bucket arrays — a
+  /// campaign cell's arena when one is plumbed through, the heap otherwise.
+  explicit Dict(std::pmr::memory_resource* memory = nullptr);
 
   struct Entry {
     std::uint64_t key;
@@ -44,11 +47,16 @@ class Dict {
   /// Defined inline in the steady state — every Vermilion GET starts here
   /// (DESIGN.md §8). Mid-rehash lookups (which must also migrate buckets
   /// and probe both tables) take the out-of-line tail.
-  FindResult find(std::uint64_t key) {
-    if (rehashing()) [[unlikely]] { return find_rehashing(key); }
+  ///
+  /// The hash-taking overload lets campaign replay pass the precomputed
+  /// util::mix64(key) (DESIGN.md §12); it MUST equal mix64(key), so probe
+  /// sequences are exactly those of the hashing overload.
+  FindResult find(std::uint64_t key) { return find(key, util::mix64(key)); }
+  FindResult find(std::uint64_t key, std::uint64_t hash) {
+    if (rehashing()) [[unlikely]] { return find_rehashing(key, hash); }
     FindResult result;
     Table& table = tables_[0];
-    for (std::int32_t n = table[bucket_of(key, table.size())]; n != kNil;
+    for (std::int32_t n = table[hash & (table.size() - 1)]; n != kNil;
          n = pool_[static_cast<std::size_t>(n)].next) {
       ++result.probes;
       Node& node = pool_[static_cast<std::size_t>(n)];
@@ -68,7 +76,15 @@ class Dict {
     std::uint32_t probes = 0;
     Entry* entry = nullptr;
   };
-  UpsertResult upsert(std::uint64_t key, Record value);
+  UpsertResult upsert(std::uint64_t key, Record value) {
+    return upsert(key, std::move(value), util::mix64(key));
+  }
+  UpsertResult upsert(std::uint64_t key, Record value, std::uint64_t hash);
+
+  /// Pre-size the slot pool for `n` entries. The bucket tables are NOT
+  /// pre-sized: their growth schedule (incremental rehash) is part of the
+  /// modelled behaviour and overhead accounting.
+  void reserve(std::size_t n) { pool_.reserve(n); }
 
   /// Remove a key; returns probes and whether it was present.
   struct EraseResult {
@@ -107,18 +123,18 @@ class Dict {
   };
 
   /// Bucket = index of its chain head in the pool (kNil when empty).
-  using Table = std::vector<std::int32_t>;
+  using Table = std::pmr::vector<std::int32_t>;
 
   [[nodiscard]] static std::size_t bucket_of(std::uint64_t key,
                                              std::size_t buckets) {
     return util::mix64(key) & (buckets - 1);
   }
-  FindResult find_rehashing(std::uint64_t key);
+  FindResult find_rehashing(std::uint64_t key, std::uint64_t hash);
   [[nodiscard]] std::int32_t alloc_node(std::uint64_t key, Record&& value);
   void maybe_start_rehash();
   void rehash_step();
 
-  std::vector<Node> pool_;
+  std::pmr::vector<Node> pool_;
   std::int32_t free_ = kNil;  ///< recycled slots, threaded via next
   Table tables_[2];
   std::ptrdiff_t rehash_idx_ = -1;  ///< next bucket of tables_[0] to migrate

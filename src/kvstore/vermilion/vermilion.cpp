@@ -23,8 +23,21 @@ std::string_view to_string(EvictionPolicy policy) {
 Vermilion::Vermilion(hybridmem::HybridMemory& memory,
                      const StoreConfig& config, EvictionPolicy eviction)
     : KeyValueStore(memory, config, StoreKind::kVermilion),
+      dict_(config.table_memory),
       eviction_(eviction),
-      eviction_rng_(config.seed ^ 0xe71c7) {}
+      eviction_rng_(config.seed ^ 0xe71c7),
+      last_access_dense_(config.table_memory != nullptr
+                             ? config.table_memory
+                             : std::pmr::get_default_resource()) {}
+
+void Vermilion::reserve_keys(std::size_t keys) {
+  dict_.reserve(keys);
+  // Stamps are pure bookkeeping (never part of overhead accounting), so
+  // pre-growing them is behaviour-neutral: absent slots read as 0 either way.
+  const std::size_t dense =
+      std::min<std::size_t>(keys, static_cast<std::size_t>(util::kDenseIdCap));
+  if (dense > last_access_dense_.size()) last_access_dense_.resize(dense, 0);
+}
 
 void Vermilion::stamp_access(std::uint64_t key) {
   const std::uint64_t stamp = ++access_clock_;
@@ -127,8 +140,16 @@ void Vermilion::drop_expired(std::uint64_t key) {
 }
 
 OpResult Vermilion::get(std::uint64_t key) {
+  return get_impl(key, util::mix64(key));
+}
+
+OpResult Vermilion::get(std::uint64_t key, const KeyHints& hints) {
+  return get_impl(key, hints.hash);
+}
+
+OpResult Vermilion::get_impl(std::uint64_t key, std::uint64_t hash) {
   ++stats_.gets;
-  const auto found = dict_.find(key);
+  const auto found = dict_.find(key, hash);
   double ns = profile().cpu_read_ns + index_walk_ns(1, found.probes);
   if (found.entry == nullptr) {
     ++stats_.misses;
@@ -153,9 +174,20 @@ OpResult Vermilion::get(std::uint64_t key) {
 }
 
 OpResult Vermilion::put(std::uint64_t key, std::uint64_t value_size) {
+  return put_impl(key, value_size, util::mix64(key),
+                  util::record_digest(key, value_size));
+}
+
+OpResult Vermilion::put(std::uint64_t key, std::uint64_t value_size,
+                        const KeyHints& hints) {
+  return put_impl(key, value_size, hints.hash, hints.digest);
+}
+
+OpResult Vermilion::put_impl(std::uint64_t key, std::uint64_t value_size,
+                             std::uint64_t hash, std::uint64_t digest) {
   ++stats_.puts;
-  Record rec = make_record(key, value_size, payload_mode());
-  const auto up = dict_.upsert(key, std::move(rec));
+  Record rec = make_record(key, value_size, payload_mode(), digest);
+  const auto up = dict_.upsert(key, std::move(rec), hash);
   double ns = profile().cpu_write_ns + index_walk_ns(1, up.probes);
 
   if (up.existed) {

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <memory_resource>
 #include <unordered_map>
 #include <vector>
 
@@ -36,7 +37,12 @@ class Vermilion final : public KeyValueStore {
 
   OpResult get(std::uint64_t key) override;
   OpResult put(std::uint64_t key, std::uint64_t value_size) override;
+  OpResult get(std::uint64_t key, const KeyHints& hints) override;
+  OpResult put(std::uint64_t key, std::uint64_t value_size,
+               const KeyHints& hints) override;
   OpResult erase(std::uint64_t key) override;
+
+  void reserve_keys(std::size_t keys) override;
 
   [[nodiscard]] bool contains(std::uint64_t key) const override;
   [[nodiscard]] std::size_t record_count() const override {
@@ -50,6 +56,13 @@ class Vermilion final : public KeyValueStore {
   Record* mutable_record(std::uint64_t key) override;
 
  private:
+  /// Shared bodies of the hinted/unhinted entry points. `hash` must equal
+  /// util::mix64(key) and `digest` util::record_digest(key, value_size)
+  /// (the KeyHints contract) — both paths are then bit-identical.
+  OpResult get_impl(std::uint64_t key, std::uint64_t hash);
+  OpResult put_impl(std::uint64_t key, std::uint64_t value_size,
+                    std::uint64_t hash, std::uint64_t digest);
+
   void drop_expired(std::uint64_t key);
   /// Free space for `need` bytes per the eviction policy. Returns false
   /// if no victim can be found (empty store or kNoEviction).
@@ -73,7 +86,7 @@ class Vermilion final : public KeyValueStore {
   util::Rng eviction_rng_;
   /// Approximate LRU clock: per-key last-access stamps (op counter).
   std::uint64_t access_clock_ = 0;
-  std::vector<std::uint64_t> last_access_dense_;
+  std::pmr::vector<std::uint64_t> last_access_dense_;
   std::unordered_map<std::uint64_t, std::uint64_t> last_access_overflow_;
 };
 

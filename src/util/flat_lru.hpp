@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory_resource>
 #include <unordered_map>
 #include <vector>
 
@@ -45,6 +46,15 @@ class FlatLru {
   /// IDs below this are indexed by a flat vector (grown on demand, at most
   /// 4 bytes per ID); IDs at or above it go to the overflow map.
   static constexpr std::uint64_t kAutoDenseCap = kDenseIdCap;
+
+  /// The slot pool and dense index allocate from `memory` — a campaign
+  /// cell's arena when one is plumbed through (DESIGN.md §12), the default
+  /// heap resource otherwise. The rare overflow map stays on the heap.
+  FlatLru() = default;
+  explicit FlatLru(std::pmr::memory_resource* memory)
+      : slots_(memory != nullptr ? memory : std::pmr::get_default_resource()),
+        dense_(memory != nullptr ? memory : std::pmr::get_default_resource()) {
+  }
 
   /// Pre-size the dense index for IDs [0, ids) and the slot pool for
   /// `slots` resident entries, so steady-state operation never allocates.
@@ -211,8 +221,8 @@ class FlatLru {
     --size_;
   }
 
-  std::vector<Slot> slots_;                         ///< entry pool
-  std::vector<std::int32_t> dense_;                 ///< id → slot, -1 absent
+  std::pmr::vector<Slot> slots_;                    ///< entry pool
+  std::pmr::vector<std::int32_t> dense_;            ///< id → slot, -1 absent
   std::unordered_map<std::uint64_t, std::int32_t> overflow_;
   std::int32_t head_ = kAbsent;  ///< MRU end
   std::int32_t tail_ = kAbsent;  ///< LRU end (eviction victim)
