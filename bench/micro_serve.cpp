@@ -7,10 +7,17 @@
 //   warm       one client, repeats of a memoized key — zero replays
 //   contended  N clients × one identical request each, fresh server —
 //              one leader replays, everyone else joins or memo-hits
+//   mixed      big and small requests with distinct keys contending for
+//              one worker pool: cell-granular scheduling (submit_line on
+//              the shared TaskScheduler, smalls deadline-armed so EDF
+//              lifts their cells to the head of each round) vs a
+//              one-worker-per-request emulation (FIFO dispatchers owning
+//              a whole request each). Reports small-request p95 both
+//              ways and the speedup — the tentpole acceptance is >= 2x.
 //   deadlines  N clients against chaos-stalled campaigns, half carrying a
 //              hair-trigger request deadline (the rest ride the server
 //              default) — every hair-trigger settles typed via the
-//              watchdog, the rest complete
+//              scheduler's deadline timer, the rest complete
 //
 // Results go to BENCH_serve.json in a stable schema
 // ("mnemo.bench.serve/v1") that future PRs diff against. The smoke mode
@@ -25,6 +32,7 @@
 //   ./micro_serve --clients N   contended-phase client threads
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <fstream>
 #include <future>
@@ -64,6 +72,13 @@ PhaseResult reduce(const std::vector<double>& seconds, std::size_t cells) {
   return r;
 }
 
+/// Nearest-rank p95 (n >= 1).
+double p95(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  const std::size_t rank = (95 * v.size() + 99) / 100;  // ceil(0.95 n)
+  return v[rank - 1];
+}
+
 serve::Request make_request(bool smoke, std::string id, std::uint64_t seed) {
   serve::Request req;
   req.id = std::move(id);
@@ -75,10 +90,16 @@ serve::Request make_request(bool smoke, std::string id, std::uint64_t seed) {
   return req;
 }
 
+struct MixedResult {
+  double sched_p95_s = 0.0;  ///< small-request p95, cell-granular server
+  double base_p95_s = 0.0;   ///< small-request p95, whole-request baseline
+  double speedup = 0.0;      ///< base / sched (higher is better)
+};
+
 void write_json(const std::string& path, bool smoke, int repeats,
                 std::size_t clients, const PhaseResult& cold,
                 const PhaseResult& warm, const PhaseResult& contended,
-                const serve::ServeStats& stats,
+                const serve::ServeStats& stats, const MixedResult& mixed,
                 const PhaseResult& deadlines,
                 const serve::ServeStats& deadline_stats) {
   std::ostringstream out;
@@ -113,6 +134,12 @@ void write_json(const std::string& path, bool smoke, int repeats,
       << ", \"memo_hits\": " << stats.measure_memo_hits << ", ";
   std::snprintf(buf, sizeof buf, "%.3f", join_rate);
   out << "\"join_rate\": " << buf << "},\n";
+  std::snprintf(buf, sizeof buf, "%.6f", mixed.sched_p95_s);
+  out << "    \"mixed\": {\"small_p95_s\": " << buf;
+  std::snprintf(buf, sizeof buf, "%.6f", mixed.base_p95_s);
+  out << ", \"baseline_small_p95_s\": " << buf;
+  std::snprintf(buf, sizeof buf, "%.3f", mixed.speedup);
+  out << ", \"speedup\": " << buf << "},\n";
   const double hit_rate =
       deadline_stats.requests > 0
           ? static_cast<double>(deadline_stats.deadline_hits) /
@@ -146,6 +173,7 @@ bool validate_json(const std::string& path) {
        {"\"schema\": \"mnemo.bench.serve/v1\"", "\"repeats\"", "\"clients\"",
         "\"results\"", "\"cold\"", "\"warm\"", "\"contended\"",
         "\"campaign_cells\"", "\"single_flight\"", "\"join_rate\"",
+        "\"mixed\"", "\"small_p95_s\"", "\"speedup\"",
         "\"deadlines\"", "\"hit_rate\""}) {
     if (text.find(key) == std::string::npos) {
       std::fprintf(stderr, "micro_serve: missing key %s\n", key);
@@ -255,10 +283,121 @@ int main(int argc, char** argv) {
     contended_stats = server.stats();
   }
 
+  // Mixed: the cell-granular scheduling payoff. 6 big requests (8 grid
+  // repeats => 16 chaos-stalled cells each) are admitted ahead of 8 small
+  // ones (2 cells each), every key distinct so single-flight can't help.
+  // Scheduler mode submits everything to one Server: requests share the
+  // worker pool at cell granularity and the smalls carry a (generous)
+  // deadline, so EDF dispatches their cells at the head of every round.
+  // The baseline emulates the old one-worker-per-request server: FIFO
+  // dispatcher threads each own a whole request at a time, so a small
+  // request admitted behind the bigs waits for whole campaigns to clear.
+  constexpr std::size_t kMixedBigs = 6;
+  constexpr std::size_t kMixedSmalls = 8;
+  constexpr std::size_t kMixedThreads = 4;
+  const auto mixed_request = [&](std::size_t i, bool big) {
+    serve::Request req = make_request(
+        smoke, (big ? "big-" : "small-") + std::to_string(i),
+        (big ? 0xb160000ULL : 0x5a110000ULL) +
+            static_cast<std::uint64_t>(i));
+    req.repeats = big ? 8 : 1;
+    if (!big) req.deadline_ms = 600'000;  // EDF key, far from expiring
+    return req;
+  };
+  std::vector<double> mixed_sched_p95;
+  std::vector<double> mixed_base_p95;
+  for (int r = 0; r < repeats; ++r) {
+    faultinject::IoFaultPlan plan;
+    plan.slow_cell_rate = 1.0;
+    plan.slow_cell_ms = smoke ? 10.0 : 5.0;
+    faultinject::ScopedIoFaults chaos(plan);
+
+    // Cell-granular: all requests in service at once on one scheduler.
+    {
+      serve::ServeOptions options;
+      options.threads = kMixedThreads;
+      options.queue_capacity = kMixedBigs + kMixedSmalls;
+      serve::Server server(std::move(options));
+      util::WallTimer timer;
+      std::vector<std::future<std::string>> bigs;
+      for (std::size_t i = 0; i < kMixedBigs; ++i) {
+        bigs.push_back(
+            server.submit_line(mixed_request(i, true).to_json_line()));
+      }
+      std::vector<std::future<std::string>> smalls;
+      for (std::size_t i = 0; i < kMixedSmalls; ++i) {
+        smalls.push_back(
+            server.submit_line(mixed_request(i, false).to_json_line()));
+      }
+      std::vector<double> small_done(kMixedSmalls);
+      std::vector<std::thread> waiters;
+      for (std::size_t i = 0; i < kMixedSmalls; ++i) {
+        waiters.emplace_back([&, i] {
+          const std::string line = smalls[i].get();
+          small_done[i] = timer.elapsed_s();
+          if (line.find("\"ok\":true") == std::string::npos) {
+            std::fprintf(stderr, "micro_serve: mixed small failed: %s\n",
+                         line.c_str());
+            std::exit(1);
+          }
+        });
+      }
+      for (std::thread& t : waiters) t.join();
+      for (std::future<std::string>& f : bigs) (void)f.get();
+      mixed_sched_p95.push_back(p95(small_done));
+    }
+
+    // Whole-request baseline: same request mix and arrival order, but
+    // dispatcher threads own one request each from admission to answer.
+    {
+      serve::ServeOptions options;
+      options.threads = kMixedThreads;
+      options.queue_capacity = kMixedBigs + kMixedSmalls;
+      serve::Server server(std::move(options));
+      std::vector<serve::Request> fifo;
+      for (std::size_t i = 0; i < kMixedBigs; ++i) {
+        fifo.push_back(mixed_request(i, true));
+      }
+      for (std::size_t i = 0; i < kMixedSmalls; ++i) {
+        fifo.push_back(mixed_request(i, false));
+      }
+      std::vector<double> done(fifo.size());
+      std::atomic<std::size_t> next{0};
+      util::WallTimer timer;
+      std::vector<std::thread> dispatchers;
+      for (std::size_t t = 0; t < kMixedThreads; ++t) {
+        dispatchers.emplace_back([&] {
+          for (;;) {
+            const std::size_t i = next.fetch_add(1);
+            if (i >= fifo.size()) return;
+            const serve::Response resp = server.handle(fifo[i]);
+            done[i] = timer.elapsed_s();
+            if (!resp.ok) {
+              std::fprintf(stderr,
+                           "micro_serve: mixed baseline failed: %s\n",
+                           resp.error_message.c_str());
+              std::exit(1);
+            }
+          }
+        });
+      }
+      for (std::thread& t : dispatchers) t.join();
+      mixed_base_p95.push_back(p95(
+          {done.begin() + static_cast<std::ptrdiff_t>(kMixedBigs),
+           done.end()}));
+    }
+  }
+  MixedResult mixed;
+  mixed.sched_p95_s = median(mixed_sched_p95);
+  mixed.base_p95_s = median(mixed_base_p95);
+  mixed.speedup =
+      mixed.sched_p95_s > 0.0 ? mixed.base_p95_s / mixed.sched_p95_s : 0.0;
+
   // Deadlines: a fresh server per repeat with every campaign cell stalled
   // by injected chaos (so a hair-trigger deadline always lapses
   // mid-campaign). Even-numbered clients carry a 1ms request deadline —
-  // the watchdog turns each into a typed deadline_exceeded answer — while
+  // the scheduler's deadline timer turns each into a typed
+  // deadline_exceeded answer — while
   // the rest carry none and ride the generous server default to a full
   // answer. Distinct seeds keep the flights separate, so the hit count is
   // exactly the hair-trigger fraction.
@@ -301,6 +440,10 @@ int main(int argc, char** argv) {
   std::printf("contended %10.3f ms (min %10.3f)  %zu campaign cells\n",
               contended.median_s * 1e3, contended.min_s * 1e3,
               contended.campaign_cells);
+  std::printf("mixed     small p95 %8.3f ms vs baseline %8.3f ms "
+              "(%.2fx)\n",
+              mixed.sched_p95_s * 1e3, mixed.base_p95_s * 1e3,
+              mixed.speedup);
   std::printf("deadline  %10.3f ms (min %10.3f)  %llu/%llu hit\n",
               deadlines.median_s * 1e3, deadlines.min_s * 1e3,
               static_cast<unsigned long long>(deadline_stats.deadline_hits),
@@ -313,7 +456,7 @@ int main(int argc, char** argv) {
                   contended_stats.measure_memo_hits));
 
   write_json(out, smoke, repeats, clients, cold, warm, contended,
-             contended_stats, deadlines, deadline_stats);
+             contended_stats, mixed, deadlines, deadline_stats);
   std::printf("wrote %s\n", out.c_str());
 
   if (smoke) {
@@ -333,6 +476,15 @@ int main(int argc, char** argv) {
                 contended_stats.measure_memo_hits !=
             clients - 1) {
       std::fprintf(stderr, "micro_serve: dedup accounting is off\n");
+      return 1;
+    }
+    if (mixed.speedup < 2.0) {
+      std::fprintf(stderr,
+                   "micro_serve: mixed-phase small-request p95 speedup "
+                   "%.2fx is below the 2x acceptance floor (sched %.3f ms "
+                   "vs baseline %.3f ms)\n",
+                   mixed.speedup, mixed.sched_p95_s * 1e3,
+                   mixed.base_p95_s * 1e3);
       return 1;
     }
     const std::uint64_t hair_trigger = (clients + 1) / 2;

@@ -67,8 +67,9 @@ void add_mnemo_options(util::ArgParser& parser) {
   parser.add_option("slo", "permissible slowdown vs FastMem-only", "0.1");
   parser.add_option("repeats", "runs per measurement", "2");
   parser.add_option("threads",
-                    "measurement-campaign worker threads (0 = hardware; "
-                    "results are identical at any count)",
+                    "task-scheduler worker threads for measurement "
+                    "campaigns (0 = hardware; results are identical at any "
+                    "count)",
                     "0");
   parser.add_flag("stats",
                   "print campaign timing/occupancy stats after the run");

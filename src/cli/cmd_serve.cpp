@@ -63,7 +63,11 @@ int cmd_serve(const Args& args, std::ostream& out, std::ostream& err) {
                     "Unix-domain socket path (empty = stdin/stdout pipe "
                     "mode)",
                     "");
-  parser.add_option("threads", "worker threads (0 = hardware)", "0");
+  parser.add_option("threads",
+                    "worker threads in the global task scheduler shared by "
+                    "all requests at campaign-cell granularity (0 = "
+                    "hardware)",
+                    "0");
   parser.add_option("queue",
                     "max requests in service before refusing with "
                     "'overloaded'",

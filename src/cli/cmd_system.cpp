@@ -16,7 +16,8 @@ int cmd_migrate(const Args& args, std::ostream& out, std::ostream& err) {
   add_workload_options(parser);
   parser.add_option("store", "store architecture", "vermilion");
   parser.add_option("threads",
-                    "measurement-campaign worker threads (0 = hardware)",
+                    "task-scheduler worker threads for measurement "
+                    "campaigns (0 = hardware)",
                     "0");
   parser.add_option("budget", "FastMem budget as a dataset fraction", "0.3");
   parser.add_option("epoch", "requests per re-tiering epoch", "2000");

@@ -1,8 +1,10 @@
 #include "core/campaign.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <mutex>
 #include <optional>
+#include <utility>
 
 #include "faultinject/io_fault.hpp"
 #include "stats/summary.hpp"
@@ -40,6 +42,114 @@ void record_campaign(const CampaignStats& stats,
   reg.threads = std::max(reg.threads, stats.threads);
   reg.wall_s += stats.wall_s;
   reg.cpu_s += stats.cpu_s;
+}
+
+/// The checked per-cell attempt loop shared by run_checked and the async
+/// grid: accept only runs that are provably unperturbed (success AND zero
+/// fault events), retry exactly once under an attempt-shifted fault
+/// stream, then quarantine. Writes exactly one of `slot` / `failure`.
+void execute_checked_cell(const SensitivityEngine& engine,
+                          const workload::Trace& trace,
+                          const workload::CompiledTrace* compiled,
+                          const CampaignCell& cell, std::size_t index,
+                          std::optional<RunMeasurement>& slot,
+                          std::optional<CellFailure>& failure) {
+  util::Error last_error;
+  faultinject::FaultStats last_stats;
+  int attempts = 0;
+  bool accepted = false;
+  for (int attempt = 0; attempt < 2 && !accepted; ++attempt) {
+    util::Result<RunMeasurement> run = [&] {
+      if (compiled != nullptr) {
+        thread_local util::Arena arena;
+        // An attempt's state is fully torn down before the next starts,
+        // so the rewind is safe between attempts too.
+        arena.reset();
+        return engine.try_run_once(*compiled, cell.placement, cell.repeat,
+                                   attempt, &arena);
+      }
+      return engine.try_run_once(trace, cell.placement, cell.repeat, attempt);
+    }();
+    ++attempts;
+    if (run.ok() && run.value().faults.events() == 0) {
+      slot = run.value();
+      accepted = true;
+    } else if (run.ok()) {
+      last_stats = run.value().faults;
+      last_error.code = util::ErrorCode::kFaultInjected;
+      last_error.message = "measurement perturbed: " +
+                           std::to_string(last_stats.events()) +
+                           " fault events absorbed";
+    } else {
+      last_error = run.error();
+      last_stats = faultinject::FaultStats{};
+    }
+  }
+  if (!accepted) {
+    CellFailure f;
+    f.cell = index;
+    f.fast_keys = cell.placement.fast_keys();
+    f.repeat = cell.repeat;
+    f.attempts = attempts;
+    f.error = last_error;
+    f.faults = last_stats;
+    failure = std::move(f);
+  }
+}
+
+/// The repeat-major cell vector behind every measurement grid.
+[[nodiscard]] std::vector<CampaignCell> build_grid_cells(
+    const std::vector<hybridmem::Placement>& placements, int repeats) {
+  std::vector<CampaignCell> cells;
+  cells.reserve(placements.size() * static_cast<std::size_t>(repeats));
+  for (const hybridmem::Placement& placement : placements) {
+    for (int r = 0; r < repeats; ++r) cells.push_back({placement, r});
+  }
+  return cells;
+}
+
+/// Fold a repeat-major checked grid down to one slot per placement,
+/// all-or-nothing: averaging a subset of the repeats would differ from
+/// the fault-free average even if every surviving repeat is clean, so one
+/// quarantined repeat quarantines the merge.
+[[nodiscard]] CampaignResult merge_placement_grid(CampaignResult grid,
+                                                  std::size_t num_placements,
+                                                  int repeats) {
+  CampaignResult merged;
+  merged.failures = std::move(grid.failures);
+  merged.measurements.reserve(num_placements);
+  std::vector<RunMeasurement> group;
+  for (std::size_t p = 0; p < num_placements; ++p) {
+    group.clear();
+    bool complete = true;
+    for (int r = 0; r < repeats && complete; ++r) {
+      const std::optional<RunMeasurement>& slot =
+          grid.measurements[p * static_cast<std::size_t>(repeats) +
+                            static_cast<std::size_t>(r)];
+      if (slot) {
+        group.push_back(*slot);
+      } else {
+        complete = false;
+      }
+    }
+    if (complete) {
+      merged.measurements.emplace_back(average_runs(group));
+    } else {
+      merged.measurements.emplace_back(std::nullopt);
+    }
+  }
+  return merged;
+}
+
+/// Order statistics + totals fill shared by the sync and async paths.
+void finalize_stats(CampaignStats& accounting,
+                    const std::vector<double>& cell_s) {
+  std::vector<double> sorted = cell_s;
+  std::sort(sorted.begin(), sorted.end());
+  for (const double s : sorted) accounting.cpu_s += s;
+  accounting.cell_p50_s = stats::percentile_sorted(sorted, 0.50);
+  accounting.cell_p95_s = stats::percentile_sorted(sorted, 0.95);
+  record_campaign(accounting, cell_s);
 }
 
 }  // namespace
@@ -85,14 +195,46 @@ std::string CampaignStats::render(const std::string& title) const {
 }
 
 CampaignRunner::CampaignRunner(std::size_t threads,
-                               const util::CancelToken* cancel)
+                               const util::CancelToken* cancel,
+                               util::TaskScheduler* scheduler,
+                               util::TaskScheduler::Group* group)
     : threads_(threads == 0 ? util::hardware_threads() : threads),
-      cancel_(cancel) {}
+      cancel_(cancel),
+      scheduler_(scheduler),
+      group_(group) {}
 
 void CampaignRunner::throw_if_canceled() const {
   if (cancel_ != nullptr && cancel_->canceled()) {
     throw util::CanceledError(cancel_->reason());
   }
+}
+
+void CampaignRunner::fan_out(std::size_t n,
+                             const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  util::TaskScheduler::GroupOptions opts;
+  opts.cancel = cancel_;
+  if (scheduler_ != nullptr) {
+    // Shared scheduler: cells interleave with every other campaign's under
+    // its fairness policy; the calling thread helps run cells meanwhile.
+    if (group_ != nullptr) {
+      scheduler_->run_batch(*group_, n, fn);
+    } else {
+      auto group = scheduler_->make_group(opts);
+      scheduler_->run_batch(*group, n, fn);
+    }
+    return;
+  }
+  const std::size_t workers = std::max<std::size_t>(1, std::min(threads_, n));
+  if (workers == 1) {
+    // Serial fast path: no workers at all, cells in cell order — the
+    // reference schedule every parallel fan-out must be bit-identical to.
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  util::TaskScheduler local(workers);
+  auto group = local.make_group(opts);
+  local.run_batch(*group, n, fn);
 }
 
 std::vector<RunMeasurement> CampaignRunner::run(
@@ -116,42 +258,33 @@ std::vector<RunMeasurement> CampaignRunner::run(
   util::WallTimer wall;
   // Shared-nothing fan-out: cell i writes only slot i, so the merge order
   // is the cell order by construction, independent of scheduling.
-  util::parallel_for(
-      cells.size(),
-      [&](std::size_t i) {
-        // Cancellation point *between* cells: a canceled campaign skips
-        // cells it has not started, never interrupts one mid-flight. The
-        // skipped slots are discarded below by the throw.
-        if (cancel_ != nullptr && cancel_->canceled()) return;
-        faultinject::chaos_cell_delay(i);
-        // Thread-CPU time, not wall: a cell's cost must not include the
-        // time its worker spent descheduled, or an oversubscribed pool
-        // would fabricate speedup.
-        util::ThreadCpuTimer cell_timer;
-        if (compiled) {
-          // Each worker owns one arena for the whole campaign; resetting
-          // rewinds the bump pointer while keeping the grown chunks, so
-          // only a worker's first cell pays allocation at all.
-          thread_local util::Arena arena;
-          arena.reset();
-          merged[i] = engine.run_once(*compiled, cells[i].placement,
-                                      cells[i].repeat, &arena);
-        } else {
-          merged[i] =
-              engine.run_once(trace, cells[i].placement, cells[i].repeat);
-        }
-        cell_s[i] = cell_timer.elapsed_s();
-      },
-      threads_);
+  fan_out(cells.size(), [&](std::size_t i) {
+    // Cancellation point *between* cells: a canceled campaign skips
+    // cells it has not started, never interrupts one mid-flight. The
+    // skipped slots are discarded below by the throw.
+    if (cancel_ != nullptr && cancel_->canceled()) return;
+    faultinject::chaos_cell_delay(i);
+    // Thread-CPU time, not wall: a cell's cost must not include the
+    // time its worker spent descheduled, or an oversubscribed scheduler
+    // would fabricate speedup.
+    util::ThreadCpuTimer cell_timer;
+    if (compiled) {
+      // Each worker owns one arena for the whole campaign; resetting
+      // rewinds the bump pointer while keeping the grown chunks, so
+      // only a worker's first cell pays allocation at all.
+      thread_local util::Arena arena;
+      arena.reset();
+      merged[i] = engine.run_once(*compiled, cells[i].placement,
+                                  cells[i].repeat, &arena);
+    } else {
+      merged[i] = engine.run_once(trace, cells[i].placement, cells[i].repeat);
+    }
+    cell_s[i] = cell_timer.elapsed_s();
+  });
   stats_.wall_s = wall.elapsed_s();
   throw_if_canceled();
 
-  std::vector<double> sorted = cell_s;
-  std::sort(sorted.begin(), sorted.end());
-  for (const double s : sorted) stats_.cpu_s += s;
-  stats_.cell_p50_s = stats::percentile_sorted(sorted, 0.50);
-  stats_.cell_p95_s = stats::percentile_sorted(sorted, 0.95);
-  record_campaign(stats_, cell_s);
+  finalize_stats(stats_, cell_s);
   return merged;
 }
 
@@ -175,62 +308,14 @@ CampaignResult CampaignRunner::run_checked(
   if (mode_ == ReplayMode::kCompiled) compiled.emplace(trace);
 
   util::WallTimer wall;
-  util::parallel_for(
-      cells.size(),
-      [&](std::size_t i) {
-        if (cancel_ != nullptr && cancel_->canceled()) return;
-        faultinject::chaos_cell_delay(i);
-        util::ThreadCpuTimer cell_timer;
-        // Accept only runs that are provably unperturbed: success AND zero
-        // fault events. Anything else gets exactly one retry under an
-        // attempt-shifted fault stream (the workload/service seed is
-        // untouched), then quarantine.
-        util::Error last_error;
-        faultinject::FaultStats last_stats;
-        int attempts = 0;
-        bool accepted = false;
-        for (int attempt = 0; attempt < 2 && !accepted; ++attempt) {
-          util::Result<RunMeasurement> run = [&] {
-            if (compiled) {
-              thread_local util::Arena arena;
-              // An attempt's state is fully torn down before the next
-              // starts, so the rewind is safe between attempts too.
-              arena.reset();
-              return engine.try_run_once(*compiled, cells[i].placement,
-                                         cells[i].repeat, attempt, &arena);
-            }
-            return engine.try_run_once(trace, cells[i].placement,
-                                       cells[i].repeat, attempt);
-          }();
-          ++attempts;
-          if (run.ok() && run.value().faults.events() == 0) {
-            result.measurements[i] = run.value();
-            accepted = true;
-          } else if (run.ok()) {
-            last_stats = run.value().faults;
-            last_error.code = util::ErrorCode::kFaultInjected;
-            last_error.message =
-                "measurement perturbed: " +
-                std::to_string(last_stats.events()) +
-                " fault events absorbed";
-          } else {
-            last_error = run.error();
-            last_stats = faultinject::FaultStats{};
-          }
-        }
-        if (!accepted) {
-          CellFailure f;
-          f.cell = i;
-          f.fast_keys = cells[i].placement.fast_keys();
-          f.repeat = cells[i].repeat;
-          f.attempts = attempts;
-          f.error = last_error;
-          f.faults = last_stats;
-          failed[i] = std::move(f);
-        }
-        cell_s[i] = cell_timer.elapsed_s();
-      },
-      threads_);
+  fan_out(cells.size(), [&](std::size_t i) {
+    if (cancel_ != nullptr && cancel_->canceled()) return;
+    faultinject::chaos_cell_delay(i);
+    util::ThreadCpuTimer cell_timer;
+    execute_checked_cell(engine, trace, compiled ? &*compiled : nullptr,
+                         cells[i], i, result.measurements[i], failed[i]);
+    cell_s[i] = cell_timer.elapsed_s();
+  });
   stats_.wall_s = wall.elapsed_s();
   throw_if_canceled();
 
@@ -238,12 +323,7 @@ CampaignResult CampaignRunner::run_checked(
     if (f) result.failures.push_back(std::move(*f));
   }
 
-  std::vector<double> sorted = cell_s;
-  std::sort(sorted.begin(), sorted.end());
-  for (const double s : sorted) stats_.cpu_s += s;
-  stats_.cell_p50_s = stats::percentile_sorted(sorted, 0.50);
-  stats_.cell_p95_s = stats::percentile_sorted(sorted, 0.95);
-  record_campaign(stats_, cell_s);
+  finalize_stats(stats_, cell_s);
   return result;
 }
 
@@ -251,40 +331,115 @@ CampaignResult CampaignRunner::measure_grid_checked(
     const SensitivityEngine& engine, const workload::Trace& trace,
     const std::vector<hybridmem::Placement>& placements) {
   const int repeats = engine.config().repeats;
-  std::vector<CampaignCell> cells;
-  cells.reserve(placements.size() * static_cast<std::size_t>(repeats));
-  for (const hybridmem::Placement& placement : placements) {
-    for (int r = 0; r < repeats; ++r) cells.push_back({placement, r});
-  }
-  CampaignResult grid = run_checked(engine, trace, cells);
+  const std::vector<CampaignCell> cells = build_grid_cells(placements, repeats);
+  return merge_placement_grid(run_checked(engine, trace, cells),
+                              placements.size(), repeats);
+}
 
-  CampaignResult merged;
-  merged.failures = std::move(grid.failures);
-  merged.measurements.reserve(placements.size());
-  std::vector<RunMeasurement> group;
-  for (std::size_t p = 0; p < placements.size(); ++p) {
-    // All-or-nothing per placement: averaging a subset of the repeats
-    // would differ from the fault-free average even if every surviving
-    // repeat is clean, so one quarantined repeat quarantines the merge.
-    group.clear();
-    bool complete = true;
-    for (int r = 0; r < repeats && complete; ++r) {
-      const std::optional<RunMeasurement>& slot =
-          grid.measurements[p * static_cast<std::size_t>(repeats) +
-                            static_cast<std::size_t>(r)];
-      if (slot) {
-        group.push_back(*slot);
-      } else {
-        complete = false;
-      }
+namespace {
+
+/// Shared state of one in-flight async grid. Owned jointly by the cell
+/// closures and the merge continuation; the last reference dying frees it.
+struct AsyncGrid {
+  std::shared_ptr<const SensitivityEngine> engine;
+  const workload::Trace* trace = nullptr;
+  std::optional<workload::CompiledTrace> compiled;
+  std::vector<CampaignCell> cells;
+  std::size_t num_placements = 0;
+  int repeats = 0;
+  const util::CancelToken* cancel = nullptr;
+  std::shared_ptr<util::TaskScheduler::Group> group;
+  std::function<void(CampaignRunner::AsyncOutcome)> done;
+
+  util::WallTimer wall;
+  std::vector<std::optional<RunMeasurement>> slots;
+  std::vector<std::optional<CellFailure>> failed;
+  std::vector<double> cell_s;
+  std::atomic<std::size_t> remaining{0};
+};
+
+/// The merge continuation: runs once, as a kRequest task, after the last
+/// cell settles. Mirrors run_checked's tail exactly (including skipping
+/// the totals ledger for canceled campaigns).
+void merge_async_grid(const std::shared_ptr<AsyncGrid>& grid) {
+  CampaignRunner::AsyncOutcome outcome;
+  outcome.stats.cells = grid->cells.size();
+  outcome.stats.threads = std::max<std::size_t>(
+      1, std::min(grid->group->scheduler().threads(),
+                  std::max<std::size_t>(1, grid->cells.size())));
+  outcome.stats.wall_s = grid->wall.elapsed_s();
+  if (grid->cancel != nullptr && grid->cancel->canceled()) {
+    outcome.error =
+        std::make_exception_ptr(util::CanceledError(grid->cancel->reason()));
+  } else {
+    CampaignResult raw;
+    raw.measurements = std::move(grid->slots);
+    for (std::optional<CellFailure>& f : grid->failed) {
+      if (f) raw.failures.push_back(std::move(*f));
     }
-    if (complete) {
-      merged.measurements.emplace_back(average_runs(group));
-    } else {
-      merged.measurements.emplace_back(std::nullopt);
-    }
+    finalize_stats(outcome.stats, grid->cell_s);
+    outcome.grid = merge_placement_grid(std::move(raw), grid->num_placements,
+                                        grid->repeats);
   }
-  return merged;
+  grid->done(std::move(outcome));
+}
+
+}  // namespace
+
+void CampaignRunner::measure_grid_checked_async(
+    std::shared_ptr<const SensitivityEngine> engine,
+    const workload::Trace& trace,
+    std::vector<hybridmem::Placement> placements,
+    const util::CancelToken* cancel,
+    std::shared_ptr<util::TaskScheduler::Group> group,
+    std::function<void(AsyncOutcome)> done) {
+  auto grid = std::make_shared<AsyncGrid>();
+  grid->repeats = engine->config().repeats;
+  grid->num_placements = placements.size();
+  grid->cells = build_grid_cells(placements, grid->repeats);
+  grid->engine = std::move(engine);
+  grid->trace = &trace;
+  grid->compiled.emplace(trace);
+  grid->cancel = cancel;
+  grid->group = std::move(group);
+  grid->done = std::move(done);
+
+  const std::size_t n = grid->cells.size();
+  if (n == 0) {
+    // Degenerate grid: still deliver asynchronously, as a group task, so
+    // callers observe one completion path.
+    grid->group->submit(util::TaskScheduler::TaskClass::kRequest,
+                        [grid] { merge_async_grid(grid); });
+    return;
+  }
+  grid->slots.resize(n);
+  grid->failed.resize(n);
+  grid->cell_s.assign(n, 0.0);
+  grid->remaining.store(n, std::memory_order_relaxed);
+
+  util::TaskScheduler::Group& g = *grid->group;
+  for (std::size_t i = 0; i < n; ++i) {
+    g.submit(util::TaskScheduler::TaskClass::kCell, [grid, i] {
+      // Same cell body as run_checked: cancellation between cells, chaos
+      // delay, thread-CPU timing, checked attempt loop.
+      if (grid->cancel == nullptr || !grid->cancel->canceled()) {
+        faultinject::chaos_cell_delay(i);
+        util::ThreadCpuTimer cell_timer;
+        execute_checked_cell(*grid->engine, *grid->trace,
+                             grid->compiled ? &*grid->compiled : nullptr,
+                             grid->cells[i], i, grid->slots[i],
+                             grid->failed[i]);
+        grid->cell_s[i] = cell_timer.elapsed_s();
+      }
+      // The last cell to settle hands off to the merge continuation —
+      // submitted from inside a still-outstanding task, so the scheduler
+      // never observes a quiescent gap mid-campaign.
+      if (grid->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        grid->group->submit(util::TaskScheduler::TaskClass::kRequest,
+                            [grid] { merge_async_grid(grid); });
+      }
+    });
+  }
 }
 
 std::string render_failure_ledger(const std::vector<CellFailure>& failures) {
@@ -306,11 +461,7 @@ std::vector<RunMeasurement> CampaignRunner::measure_grid(
     const SensitivityEngine& engine, const workload::Trace& trace,
     const std::vector<hybridmem::Placement>& placements) {
   const int repeats = engine.config().repeats;
-  std::vector<CampaignCell> cells;
-  cells.reserve(placements.size() * static_cast<std::size_t>(repeats));
-  for (const hybridmem::Placement& placement : placements) {
-    for (int r = 0; r < repeats; ++r) cells.push_back({placement, r});
-  }
+  const std::vector<CampaignCell> cells = build_grid_cells(placements, repeats);
   const std::vector<RunMeasurement> runs = run(engine, trace, cells);
 
   std::vector<RunMeasurement> merged;

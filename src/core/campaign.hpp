@@ -1,6 +1,9 @@
 #pragma once
 
 #include <cstddef>
+#include <exception>
+#include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -10,6 +13,7 @@
 #include "hybridmem/placement.hpp"
 #include "util/cancel.hpp"
 #include "util/status.hpp"
+#include "util/task_scheduler.hpp"
 #include "workload/trace.hpp"
 
 namespace mnemo::core {
@@ -89,8 +93,8 @@ struct CampaignStats {
   [[nodiscard]] std::string render(const std::string& title) const;
 };
 
-/// The campaign runner: takes a set of (placement, repeat) cells and fans
-/// them out across a util::ThreadPool as shared-nothing simulation tasks.
+/// The campaign runner: takes a set of (placement, repeat) cells and
+/// submits them to a util::TaskScheduler as shared-nothing cell tasks.
 /// Each cell builds its own deployment and seed-shifted RNG inside
 /// SensitivityEngine::run_once, and results are merged in the fixed cell
 /// order — so aggregates are bit-identical to the serial path at any
@@ -99,15 +103,25 @@ struct CampaignStats {
 /// parallel_for over measurements.
 class CampaignRunner {
  public:
-  /// `threads` = 0 picks hardware concurrency; the pool never exceeds the
-  /// cell count. `cancel` (optional, not owned, must outlive the runner's
-  /// calls) makes every run a cooperative cancellation point: the token is
-  /// checked *between* cells — a cell that has started always finishes, so
-  /// the cells that did complete are bit-identical to an uncanceled
-  /// campaign — and a canceled run throws util::CanceledError instead of
-  /// returning, so partial grids can never flow into caches or artifacts.
+  /// `threads` = 0 picks hardware concurrency; the fan-out never exceeds
+  /// the cell count. `cancel` (optional, not owned, must outlive the
+  /// runner's calls) makes every run a cooperative cancellation point: the
+  /// token is checked *between* cells — a cell that has started always
+  /// finishes, so the cells that did complete are bit-identical to an
+  /// uncanceled campaign — and a canceled run throws util::CanceledError
+  /// instead of returning, so partial grids can never flow into caches or
+  /// artifacts.
+  ///
+  /// When `scheduler` is set the runner owns no workers at all: cells run
+  /// as tasks of `group` (or of a transient group when `group` is null) on
+  /// the shared scheduler, interleaved with every other campaign's cells
+  /// under its fairness policy, while the calling thread cooperatively
+  /// helps. Without a scheduler the runner spins up a transient one sized
+  /// by `threads` (a plain serial loop when that is 1).
   explicit CampaignRunner(std::size_t threads = 0,
-                          const util::CancelToken* cancel = nullptr);
+                          const util::CancelToken* cancel = nullptr,
+                          util::TaskScheduler* scheduler = nullptr,
+                          util::TaskScheduler::Group* group = nullptr);
 
   /// Execute every cell and return one measurement per cell, in cell
   /// order regardless of scheduling.
@@ -144,6 +158,33 @@ class CampaignRunner {
       const SensitivityEngine& engine, const workload::Trace& trace,
       const std::vector<hybridmem::Placement>& placements);
 
+  /// What measure_grid_checked_async hands its continuation: either the
+  /// merged grid + accounting, or the exception the synchronous path
+  /// would have thrown (util::CanceledError for canceled campaigns),
+  /// preserved as-is so callers keep one error-mapping path.
+  struct AsyncOutcome {
+    std::exception_ptr error;  ///< null on success
+    CampaignResult grid;       ///< one slot per placement (merged repeats)
+    CampaignStats stats;
+  };
+
+  /// Continuation-based counterpart of measure_grid_checked for the serve
+  /// scheduler: submits every cell of the {placement × repeat} grid to
+  /// `group` and returns immediately — no thread blocks on the campaign.
+  /// After the last cell settles, the merge runs as a kRequest task of
+  /// the same group and invokes `done` exactly once with the outcome
+  /// (bit-identical to what measure_grid_checked would have returned).
+  /// `engine` is kept alive by the in-flight cells; `trace` must outlive
+  /// `done`. `cancel` follows the same between-cells contract as the
+  /// synchronous path.
+  static void measure_grid_checked_async(
+      std::shared_ptr<const SensitivityEngine> engine,
+      const workload::Trace& trace,
+      std::vector<hybridmem::Placement> placements,
+      const util::CancelToken* cancel,
+      std::shared_ptr<util::TaskScheduler::Group> group,
+      std::function<void(AsyncOutcome)> done);
+
   [[nodiscard]] std::size_t threads() const noexcept { return threads_; }
 
   /// Replay strategy for subsequent run()/measure_grid() calls; results
@@ -157,11 +198,17 @@ class CampaignRunner {
  private:
   /// Throws util::CanceledError when the token says stop. Called after
   /// the fan-out returns on the coordinating thread, so the throw never
-  /// crosses the thread pool.
+  /// crosses the scheduler.
   void throw_if_canceled() const;
+
+  /// Run fn(0..n) to completion: on the injected scheduler group when one
+  /// was provided, else on a transient scheduler (serial loop at 1).
+  void fan_out(std::size_t n, const std::function<void(std::size_t)>& fn);
 
   std::size_t threads_;
   const util::CancelToken* cancel_;
+  util::TaskScheduler* scheduler_;
+  util::TaskScheduler::Group* group_;
   ReplayMode mode_ = ReplayMode::kCompiled;
   CampaignStats stats_;
 };

@@ -341,13 +341,15 @@ util::Result<RunMeasurement> SensitivityEngine::try_run_once(
 RunMeasurement SensitivityEngine::measure(
     const workload::Trace& trace,
     const hybridmem::Placement& placement) const {
-  CampaignRunner runner(config_.threads, config_.cancel);
+  CampaignRunner runner(config_.threads, config_.cancel, config_.scheduler,
+                        config_.group);
   return runner.measure_grid(*this, trace, {placement}).front();
 }
 
 PerfBaselines SensitivityEngine::baselines(
     const workload::Trace& trace) const {
-  CampaignRunner runner(config_.threads, config_.cancel);
+  CampaignRunner runner(config_.threads, config_.cancel, config_.scheduler,
+                        config_.group);
   const std::vector<RunMeasurement> merged = runner.measure_grid(
       *this, trace,
       {hybridmem::Placement(trace.key_count(), hybridmem::NodeId::kFast),

@@ -32,6 +32,8 @@ SensitivityConfig to_sensitivity_config(const MnemoConfig& cfg) {
   s.threads = cfg.threads;
   s.faults = cfg.faults;
   s.cancel = cfg.cancel;
+  s.scheduler = cfg.scheduler;
+  s.group = cfg.group;
   return s;
 }
 
@@ -229,30 +231,47 @@ const MeasureArtifact& Session::measure() {
     }
   }
 
-  const std::size_t cells_before = campaign_totals().cells;
   MeasureArtifact a;
   const SensitivityEngine sensitivity(to_sensitivity_config(config_.mnemo));
   if (config_.mnemo.faults.empty()) {
     a.baselines = sensitivity.baselines(trace_);
-  } else {
-    // Degraded-mode campaign (DESIGN.md §7): a cell is accepted only when
-    // it is bit-identical to the fault-free platform; a lost baseline
-    // quarantines the estimates instead of silently skewing them.
-    CampaignRunner runner(config_.mnemo.threads, config_.mnemo.cancel);
-    CampaignResult grid = runner.measure_grid_checked(
-        sensitivity, trace_,
-        {hybridmem::Placement(trace_.key_count(), hybridmem::NodeId::kFast),
-         hybridmem::Placement(trace_.key_count(),
-                              hybridmem::NodeId::kSlow)});
-    a.failures = std::move(grid.failures);
-    if (!grid.measurements[0] || !grid.measurements[1]) {
-      a.degraded = true;
-    } else {
-      a.baselines.fast = *grid.measurements[0];
-      a.baselines.slow = *grid.measurements[1];
-    }
+    // The grid the campaign just ran: {Fast, Slow} × repeats. Counted from
+    // the grid shape, not the process-wide totals delta, so concurrent
+    // sessions on a shared scheduler never bleed into each other's count.
+    cells_run_ += grid_cells();
+    bool saved = false;
+    if (cache_on()) saved = store().save(key, a).ok();
+    measure_ = std::move(a);
+    trace_stage(MeasureArtifact::kStage, key, false, saved);
+    return *measure_;
   }
-  cells_run_ += campaign_totals().cells - cells_before;
+  // Degraded-mode campaign (DESIGN.md §7): a cell is accepted only when
+  // it is bit-identical to the fault-free platform; a lost baseline
+  // quarantines the estimates instead of silently skewing them.
+  CampaignRunner runner(config_.mnemo.threads, config_.mnemo.cancel,
+                        config_.mnemo.scheduler, config_.mnemo.group);
+  CampaignResult grid = runner.measure_grid_checked(
+      sensitivity, trace_,
+      {hybridmem::Placement(trace_.key_count(), hybridmem::NodeId::kFast),
+       hybridmem::Placement(trace_.key_count(), hybridmem::NodeId::kSlow)});
+  install_measured_grid(std::move(grid));
+  return *measure_;
+}
+
+/// Everything after the checked baseline grid lands, shared by the sync
+/// and async measure paths: artifact assembly, the degraded verdict, the
+/// clean-only cache write, memoization, and the stage trace.
+void Session::install_measured_grid(CampaignResult grid) {
+  const std::string key = measure_key();
+  MeasureArtifact a;
+  a.failures = std::move(grid.failures);
+  if (!grid.measurements[0] || !grid.measurements[1]) {
+    a.degraded = true;
+  } else {
+    a.baselines.fast = *grid.measurements[0];
+    a.baselines.slow = *grid.measurements[1];
+  }
+  cells_run_ += grid_cells();
 
   // Never cache a degraded grid as if it were clean: only an artifact
   // with zero quarantined cells may persist.
@@ -262,7 +281,55 @@ const MeasureArtifact& Session::measure() {
   }
   measure_ = std::move(a);
   trace_stage(MeasureArtifact::kStage, key, false, saved);
-  return *measure_;
+}
+
+void Session::measure_async(std::shared_ptr<util::TaskScheduler::Group> group,
+                            std::function<void(std::exception_ptr)> done) {
+  MNEMO_EXPECTS(group != nullptr);
+  // The cheap resolutions — memo hit, cancellation, disk probe — mirror
+  // measure() exactly and settle inline, in the calling task. Only a real
+  // campaign goes asynchronous: its cells are submitted to `group` and
+  // `done` runs later as a scheduler task, with the exception the sync
+  // path would have thrown (or null). Exactly-once either way.
+  try {
+    if (measure_) {
+      done(nullptr);
+      return;
+    }
+    check_cancel(config_.mnemo);
+    const std::string key = measure_key();
+    if (cache_on()) {
+      if (auto cached = store().load<MeasureArtifact>(key)) {
+        if (!cached->degraded && cached->failures.empty()) {
+          measure_ = std::move(*cached);
+          trace_stage(MeasureArtifact::kStage, key, true, false);
+          done(nullptr);
+          return;
+        }
+      }
+    }
+  } catch (...) {
+    done(std::current_exception());
+    return;
+  }
+
+  // The engine must outlive the in-flight cells, which outlive this
+  // session method: the async grid keeps it alive via shared_ptr.
+  auto engine = std::make_shared<const SensitivityEngine>(
+      to_sensitivity_config(config_.mnemo));
+  CampaignRunner::measure_grid_checked_async(
+      std::move(engine), trace_,
+      {hybridmem::Placement(trace_.key_count(), hybridmem::NodeId::kFast),
+       hybridmem::Placement(trace_.key_count(), hybridmem::NodeId::kSlow)},
+      config_.mnemo.cancel, std::move(group),
+      [this, done = std::move(done)](CampaignRunner::AsyncOutcome outcome) {
+        if (outcome.error != nullptr) {
+          done(outcome.error);
+          return;
+        }
+        install_measured_grid(std::move(outcome.grid));
+        done(nullptr);
+      });
 }
 
 const EstimateArtifact& Session::estimate() {

@@ -1,5 +1,8 @@
 #pragma once
 
+#include <exception>
+#include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -89,6 +92,16 @@ class Session {
   /// Recorded in the stage trace as "joined".
   void adopt_measure(MeasureArtifact measure);
 
+  /// Continuation-based measure() for the serve scheduler: memo hits,
+  /// cancellation, and disk-cache hits settle inline; otherwise the
+  /// campaign's cells are submitted to `group` and `done` runs later as a
+  /// scheduler task — no thread blocks on the grid. `done(error)` carries
+  /// the exception measure() would have thrown (null on success, after
+  /// which measured() is true). Exactly-once. The session must outlive
+  /// `done`; results are bit-identical to measure() at any worker count.
+  void measure_async(std::shared_ptr<util::TaskScheduler::Group> group,
+                     std::function<void(std::exception_ptr)> done);
+
   /// Emulator campaign cells this session actually executed — 0 on a
   /// fully warm run (the incremental-rerun acceptance criterion).
   [[nodiscard]] std::size_t campaign_cells_run() const noexcept {
@@ -135,6 +148,11 @@ class Session {
   [[nodiscard]] bool cache_on() const noexcept {
     return config_.use_cache && store().enabled();
   }
+  /// Cells of this session's measure grid: {Fast, Slow} × repeats.
+  [[nodiscard]] std::size_t grid_cells() const noexcept {
+    return 2 * static_cast<std::size_t>(config_.mnemo.repeats);
+  }
+  void install_measured_grid(CampaignResult grid);
   void trace_stage(std::string_view stage, const std::string& key,
                    bool from_cache, bool saved, bool joined = false);
 

@@ -88,6 +88,7 @@ std::string Request::to_json_line() const {
   out += ",\"slo\":" + json_number(slo);
   out += ",\"repeats\":" + std::to_string(repeats);
   out += ",\"deadline_ms\":" + std::to_string(deadline_ms);
+  out += std::string(",\"timing\":") + (timing ? "true" : "false");
   out += "}";
   return out;
 }
@@ -148,6 +149,8 @@ Request Request::parse_line(std::string_view line) {
       req.repeats = static_cast<std::uint32_t>(r);
     } else if (m.key == "deadline_ms") {
       req.deadline_ms = read_u64(m, kMaxDeadlineMs);
+    } else if (m.key == "timing") {
+      req.timing = expect_kind(m, JsonValue::Kind::kBool).boolean;
     } else {
       fail_at(m.pos, "unknown field '" + m.key + "'");
     }
@@ -174,6 +177,12 @@ std::string Response::to_json_line() const {
     if (error_position > 0) {
       out += ",\"position\":" + std::to_string(error_position);
     }
+    out += "}";
+  }
+  if (timing) {
+    out += ",\"timing\":{\"queue_ms\":" + json_number(queue_ms);
+    out += ",\"run_ms\":" + json_number(run_ms);
+    out += ",\"cells_run\":" + std::to_string(cells_run);
     out += "}";
   }
   out += "}";

@@ -51,6 +51,10 @@ struct Request {
   /// point and answers with a typed `deadline_exceeded` error; work that
   /// completed stays deterministic and nothing partial is published.
   std::uint64_t deadline_ms = 0;
+  /// Opt into the response's per-request timing block (queue_ms / run_ms
+  /// / cells_run). Off by default: the numbers are wall-clock and would
+  /// break the byte-stable transcript property for clients that diff.
+  bool timing = false;
 
   bool operator==(const Request&) const = default;
 
@@ -78,6 +82,15 @@ struct Response {
   std::string error_code;
   std::string error_message;
   std::size_t error_position = 0;  ///< 1-based byte offset; 0 = none
+
+  /// Per-request cost accounting, serialized only when the request set
+  /// `timing` (the values are wall-clock and nondeterministic). Present
+  /// on both ok and error responses, so a deadline miss still reports
+  /// how long it queued and how many cells it burned before the cut.
+  bool timing = false;
+  double queue_ms = 0.0;        ///< admission -> first scheduled work
+  double run_ms = 0.0;          ///< first scheduled work -> settle
+  std::uint64_t cells_run = 0;  ///< campaign cells this request executed
 
   [[nodiscard]] std::string to_json_line() const;
 };

@@ -1,7 +1,9 @@
 #include "serve/server.hpp"
 
+#include <chrono>
 #include <condition_variable>
 #include <deque>
+#include <iomanip>
 #include <istream>
 #include <memory>
 #include <ostream>
@@ -14,7 +16,9 @@
 #include "core/session.hpp"
 #include "kvstore/factory.hpp"
 #include "serve/json.hpp"
+#include "util/assert.hpp"
 #include "util/logging.hpp"
+#include "util/timer.hpp"
 #include "workload/suite.hpp"
 
 namespace mnemo::serve {
@@ -51,6 +55,33 @@ workload::Trace request_trace(const Request& req) {
   return workload::Trace::generate(spec);
 }
 
+/// The one exception -> typed response mapping, shared by the sync and
+/// async paths. Must be called from inside a catch block.
+Response response_for_exception(const Request& request) {
+  try {
+    throw;
+  } catch (const util::CanceledError& e) {
+    // The one settle path for a deadlined/canceled request: the request
+    // reaches a cancellation point and answers typed. Nothing partial
+    // was published (the session never caches a canceled stage) and the
+    // completed cells before the cut stayed deterministic.
+    return error_response(request.id, request.op, e.error());
+  } catch (const std::invalid_argument& e) {
+    return error_response(
+        request.id, request.op,
+        util::Error{util::ErrorCode::kInvalidArgument, e.what()});
+  } catch (const std::exception& e) {
+    return error_response(
+        request.id, request.op,
+        util::Error{util::ErrorCode::kFailedPrecondition, e.what()});
+  }
+}
+
+[[nodiscard]] double ms_between(std::chrono::steady_clock::time_point from,
+                                std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double, std::milli>(to - from).count();
+}
+
 }  // namespace
 
 std::string ServeStats::render() const {
@@ -67,14 +98,41 @@ std::string ServeStats::render() const {
       << "  queue depth (hwm)   " << queue_depth_hwm << "\n"
       << "  deadline exceeded   " << deadline_hits << "\n"
       << "  canceled            " << canceled << "\n"
-      << "  dropped connections " << disconnects << "\n";
+      << "  dropped connections " << disconnects << "\n"
+      << "  cells run           " << cells_run << "\n"
+      << std::fixed << std::setprecision(1)
+      << "  queue wait ms (sum) " << queue_ms_total << "\n"
+      << "  run time ms (sum)   " << run_ms_total << "\n";
   return out.str();
 }
+
+/// One admitted asynchronous request. Its lifecycle is a chain of
+/// kRequest scheduler tasks (start -> resolve -> finish -> settle), each
+/// submitting the next, so exactly one task touches the context at a
+/// time and the struct needs no lock. Kept alive by the task closures;
+/// settles its promise exactly once.
+struct Server::RequestCtx {
+  Request req;
+  /// Null when the request carries no deadline. Shared with the timer
+  /// ticket (which only cancels — never settles).
+  std::shared_ptr<util::CancelToken> token;
+  std::shared_ptr<util::TaskScheduler::Group> group;
+  util::TaskScheduler::Ticket ticket = 0;
+  std::promise<std::string> promise;
+  std::chrono::steady_clock::time_point admitted;
+  std::chrono::steady_clock::time_point started;
+  std::unique_ptr<core::Session> session;
+  std::string measure_key;
+  /// True once this request parked behind an in-flight leader at least
+  /// once — the lease it eventually adopts counts as a join, not a memo
+  /// hit.
+  bool waited = false;
+};
 
 Server::Server(ServeOptions options)
     : options_(std::move(options)),
       store_(options_.cache_dir),
-      pool_(options_.threads) {
+      scheduler_(options_.threads) {
   // Crash recovery before the first request: a cache dir damaged by a
   // previous crash (torn writes, dead writers' temps) is quarantined so
   // every key degrades to a recomputable miss, never a poisoned answer.
@@ -87,91 +145,115 @@ Server::Server(ServeOptions options)
   }
 }
 
+Server::~Server() {
+  // Graceful drain: every admitted request settles before the scheduler
+  // (declared last, destroyed first) joins its workers.
+  std::unique_lock lock(mu_);
+  drain_cv_.wait(lock, [this] { return pending_ == 0; });
+}
+
+core::SessionConfig Server::make_session_config(
+    const Request& request, util::CancelToken* cancel,
+    util::TaskScheduler::Group* group) {
+  core::SessionConfig sc;
+  sc.mnemo.store = store_kind(request.store);
+  sc.mnemo.ordering = request.tiered ? core::OrderingPolicy::kTiered
+                                     : core::OrderingPolicy::kTouchOrder;
+  sc.mnemo.estimate_model = estimate_model(request.model);
+  sc.mnemo.price_factor = request.p;
+  sc.mnemo.slo_slowdown = request.slo;
+  sc.mnemo.repeats = static_cast<int>(request.repeats);
+  // Cells fan out on the one global scheduler: concurrency is shared
+  // across requests, not owned per request, and campaign results are
+  // thread-count-invariant (DESIGN.md §6).
+  sc.mnemo.threads = scheduler_.threads();
+  sc.mnemo.cancel = cancel;
+  sc.mnemo.scheduler = &scheduler_;
+  sc.mnemo.group = group;
+  sc.use_cache = options_.use_cache;
+  sc.shared_store = &store_;
+  return sc;
+}
+
+void Server::render_answer(const Request& request, core::Session& session,
+                           Response& resp) {
+  switch (request.op) {
+    case RequestOp::kCharacterize:
+      resp.output =
+          core::render_characterize(session.trace(), session.characterize());
+      break;
+    case RequestOp::kMeasure:
+      resp.output = core::render_measure(session.measure());
+      break;
+    case RequestOp::kAdvise:
+      resp.output = session.measure().degraded
+                        ? core::render_measure(session.measure())
+                        : core::render_advise(session.measure(),
+                                              session.advise());
+      break;
+    case RequestOp::kReport:
+      resp.output = session.report().text;
+      resp.csv = session.report().csv;
+      break;
+    case RequestOp::kStats:
+      break;  // answered before a session exists
+  }
+  resp.ok = true;
+}
+
+void Server::account(Response& resp, const Request& request, double queue_ms,
+                     double run_ms, std::uint64_t cells) {
+  if (request.timing) {
+    resp.timing = true;
+    resp.queue_ms = queue_ms;
+    resp.run_ms = run_ms;
+    resp.cells_run = cells;
+  }
+  std::lock_guard lock(mu_);
+  stats_.queue_ms_total += queue_ms;
+  stats_.run_ms_total += run_ms;
+  stats_.cells_run += cells;
+  // The ledger op reports the counters without perturbing them.
+  if (request.op == RequestOp::kStats) return;
+  if (resp.ok) {
+    ++stats_.ok;
+  } else {
+    ++stats_.errors;
+    if (resp.error_code ==
+        util::to_string(util::ErrorCode::kDeadlineExceeded)) {
+      ++stats_.deadline_hits;
+    } else if (resp.error_code ==
+               util::to_string(util::ErrorCode::kCanceled)) {
+      ++stats_.canceled;
+    }
+  }
+}
+
 Response Server::handle(const Request& request, util::CancelToken* cancel) {
   if (options_.on_request) options_.on_request(request);
+  util::WallTimer run_timer;
   Response resp;
   resp.id = request.id;
   resp.op = request.op;
+  std::unique_ptr<core::Session> session;
   try {
     if (request.op == RequestOp::kStats) {
       resp.ok = true;
       resp.output = stats().render();
-      return resp;
-    }
-
-    core::SessionConfig sc;
-    sc.mnemo.store = store_kind(request.store);
-    sc.mnemo.ordering = request.tiered ? core::OrderingPolicy::kTiered
-                                       : core::OrderingPolicy::kTouchOrder;
-    sc.mnemo.estimate_model = estimate_model(request.model);
-    sc.mnemo.price_factor = request.p;
-    sc.mnemo.slo_slowdown = request.slo;
-    sc.mnemo.repeats = static_cast<int>(request.repeats);
-    // One campaign thread per request: concurrency lives across requests,
-    // and campaign results are thread-count-invariant (DESIGN.md §6).
-    sc.mnemo.threads = 1;
-    sc.mnemo.cancel = cancel;
-    sc.use_cache = options_.use_cache;
-    sc.shared_store = &store_;
-
-    core::Session session(request_trace(request), sc);
-
-    if (request.op != RequestOp::kCharacterize) {
-      resolve_measure(session, cancel);
-    }
-
-    switch (request.op) {
-      case RequestOp::kCharacterize:
-        resp.output =
-            core::render_characterize(session.trace(), session.characterize());
-        break;
-      case RequestOp::kMeasure:
-        resp.output = core::render_measure(session.measure());
-        break;
-      case RequestOp::kAdvise:
-        resp.output = session.measure().degraded
-                          ? core::render_measure(session.measure())
-                          : core::render_advise(session.measure(),
-                                                session.advise());
-        break;
-      case RequestOp::kReport:
-        resp.output = session.report().text;
-        resp.csv = session.report().csv;
-        break;
-      case RequestOp::kStats:
-        break;  // handled above
-    }
-    resp.ok = true;
-  } catch (const util::CanceledError& e) {
-    // The one settle path for a deadlined/canceled request: the worker
-    // reaches a cancellation point and answers typed. Nothing partial
-    // was published (the session never caches a canceled stage) and the
-    // completed cells before the cut stayed deterministic.
-    resp = error_response(request.id, request.op, e.error());
-  } catch (const std::invalid_argument& e) {
-    resp = error_response(
-        request.id, request.op,
-        util::Error{util::ErrorCode::kInvalidArgument, e.what()});
-  } catch (const std::exception& e) {
-    resp = error_response(
-        request.id, request.op,
-        util::Error{util::ErrorCode::kFailedPrecondition, e.what()});
-  }
-  {
-    std::lock_guard lock(mu_);
-    if (resp.ok) {
-      ++stats_.ok;
     } else {
-      ++stats_.errors;
-      if (resp.error_code ==
-          util::to_string(util::ErrorCode::kDeadlineExceeded)) {
-        ++stats_.deadline_hits;
-      } else if (resp.error_code ==
-                 util::to_string(util::ErrorCode::kCanceled)) {
-        ++stats_.canceled;
+      session = std::make_unique<core::Session>(
+          request_trace(request),
+          make_session_config(request, cancel, /*group=*/nullptr));
+      if (request.op != RequestOp::kCharacterize) {
+        resolve_measure(*session, cancel);
       }
+      render_answer(request, *session, resp);
     }
+  } catch (...) {
+    resp = response_for_exception(request);
   }
+  account(resp, request, /*queue_ms=*/0.0, run_timer.elapsed_s() * 1e3,
+          session != nullptr ? session->campaign_cells_run() : 0);
   return resp;
 }
 
@@ -209,6 +291,130 @@ void Server::resolve_measure(core::Session& session,
   }
 }
 
+void Server::start_request(const std::shared_ptr<RequestCtx>& ctx) {
+  ctx->started = std::chrono::steady_clock::now();
+  try {
+    if (options_.on_request) options_.on_request(ctx->req);
+    if (ctx->req.op == RequestOp::kStats) {
+      Response resp;
+      resp.id = ctx->req.id;
+      resp.op = ctx->req.op;
+      resp.ok = true;
+      resp.output = stats().render();
+      settle(ctx, std::move(resp));
+      return;
+    }
+    ctx->session = std::make_unique<core::Session>(
+        request_trace(ctx->req),
+        make_session_config(ctx->req, ctx->token.get(), ctx->group.get()));
+    if (ctx->req.op == RequestOp::kCharacterize) {
+      finish(ctx);
+      return;
+    }
+    resolve_measure_async(ctx);
+  } catch (...) {
+    settle(ctx, response_for_exception(ctx->req));
+  }
+}
+
+void Server::resolve_measure_async(const std::shared_ptr<RequestCtx>& ctx) {
+  try {
+    core::Session& session = *ctx->session;
+    if (session.measured()) {
+      finish(ctx);
+      return;
+    }
+    if (ctx->measure_key.empty()) ctx->measure_key = session.measure_key();
+    // Continuation-style single flight: a parked joiner occupies no
+    // worker — the wake re-submits this step as a fresh task when the
+    // leader publishes, abandons, or the deadline cancels the token.
+    std::optional<MeasureCache::Lease> lease = measures_.try_acquire(
+        ctx->measure_key, ctx->token.get(), [this, ctx] {
+          ctx->group->submit(util::TaskScheduler::TaskClass::kRequest,
+                             [this, ctx] { resolve_measure_async(ctx); });
+        });
+    if (!lease.has_value()) {
+      ctx->waited = true;
+      return;
+    }
+    if (!lease->leader) {
+      session.adopt_measure(*lease->artifact);
+      {
+        std::lock_guard lock(mu_);
+        if (ctx->waited) {
+          ++stats_.single_flight_joins;
+        } else {
+          ++stats_.measure_memo_hits;
+        }
+      }
+      finish(ctx);
+      return;
+    }
+    // Leader: the campaign's cells join this request's group and fan out
+    // across the scheduler; the continuation publishes (or abandons) and
+    // renders. Cheap resolutions (disk hit, canceled) run it inline.
+    session.measure_async(
+        ctx->group, [this, ctx](std::exception_ptr error) {
+          if (error != nullptr) {
+            measures_.abandon(ctx->measure_key);
+            try {
+              std::rethrow_exception(error);
+            } catch (...) {
+              settle(ctx, response_for_exception(ctx->req));
+            }
+            return;
+          }
+          const core::MeasureArtifact& m = ctx->session->measure();
+          // Degraded grids never enter the memo, matching the artifact
+          // store's rule: a faulted campaign must not be laundered into
+          // later requests.
+          if (!m.degraded && m.failures.empty()) {
+            measures_.publish(
+                ctx->measure_key,
+                std::make_shared<const core::MeasureArtifact>(m));
+          } else {
+            measures_.abandon(ctx->measure_key);
+          }
+          {
+            std::lock_guard lock(mu_);
+            ++stats_.measure_leads;
+          }
+          finish(ctx);
+        });
+  } catch (...) {
+    settle(ctx, response_for_exception(ctx->req));
+  }
+}
+
+void Server::finish(const std::shared_ptr<RequestCtx>& ctx) {
+  Response resp;
+  resp.id = ctx->req.id;
+  resp.op = ctx->req.op;
+  try {
+    // The analytic stages carry their own cancellation points, so a
+    // deadline that strikes after the grid still answers typed.
+    render_answer(ctx->req, *ctx->session, resp);
+  } catch (...) {
+    resp = response_for_exception(ctx->req);
+  }
+  settle(ctx, std::move(resp));
+}
+
+void Server::settle(const std::shared_ptr<RequestCtx>& ctx, Response resp) {
+  if (ctx->ticket != 0) scheduler_.disarm(ctx->ticket);
+  const auto now = std::chrono::steady_clock::now();
+  account(resp, ctx->req, ms_between(ctx->admitted, ctx->started),
+          ms_between(ctx->started, now),
+          ctx->session != nullptr ? ctx->session->campaign_cells_run() : 0);
+  {
+    std::lock_guard lock(mu_);
+    MNEMO_ASSERT(pending_ > 0);
+    --pending_;
+  }
+  drain_cv_.notify_all();
+  ctx->promise.set_value(resp.to_json_line());
+}
+
 std::future<std::string> Server::submit_line(std::string line) {
   auto ready = [](Response resp) {
     std::promise<std::string> p;
@@ -242,40 +448,44 @@ std::future<std::string> Server::submit_line(std::string line) {
     if (pending_ > stats_.queue_depth_hwm) stats_.queue_depth_hwm = pending_;
   }
 
-  // Deadline plumbing: the token is shared between the worker (which
-  // polls it at cancellation points) and the watchdog ticket (which
-  // cancels it when the deadline strikes). The clock starts here, at
-  // admission, so time spent queued counts against the deadline.
-  const std::uint64_t deadline_ms =
-      req.deadline_ms != 0 ? req.deadline_ms : options_.default_deadline_ms;
-  std::shared_ptr<util::CancelToken> token;
-  DeadlineWatchdog::Ticket ticket = 0;
-  if (deadline_ms != 0) {
-    token = std::make_shared<util::CancelToken>(
-        util::Deadline::after_ms(deadline_ms));
-    ticket = watchdog_.arm(token->deadline().when(), [token] {
-      // Only cancels — never settles. The worker produces the one and
-      // only response when it reaches its next cancellation point.
-      token->cancel(util::CancelToken::deadline_error());
-    });
-  }
+  auto ctx = std::make_shared<RequestCtx>();
+  ctx->req = std::move(req);
+  ctx->admitted = std::chrono::steady_clock::now();
 
-  return pool_.submit(
-      [this, req = std::move(req), token, ticket]() -> std::string {
-        const Response resp = handle(req, token.get());
-        if (token != nullptr) watchdog_.disarm(ticket);
-        {
-          std::lock_guard lock(mu_);
-          --pending_;
-        }
-        return resp.to_json_line();
-      });
+  // Deadline plumbing: the token is shared between the request's tasks
+  // (which poll it at cancellation points) and a scheduler timer ticket
+  // (which cancels it when the deadline strikes). The clock starts here,
+  // at admission, so time spent queued counts against the deadline — and
+  // the same deadline is the group's EDF key, so the closer a request is
+  // to its deadline the sooner its cells dispatch.
+  const std::uint64_t deadline_ms = ctx->req.deadline_ms != 0
+                                        ? ctx->req.deadline_ms
+                                        : options_.default_deadline_ms;
+  util::TaskScheduler::GroupOptions gopts;
+  if (deadline_ms != 0) {
+    ctx->token = std::make_shared<util::CancelToken>(
+        util::Deadline::after_ms(deadline_ms));
+    gopts.deadline = ctx->token->deadline();
+    gopts.cancel = ctx->token.get();
+    ctx->ticket = scheduler_.arm(
+        ctx->token->deadline().when(), [token = ctx->token] {
+          // Only cancels — never settles. The request produces the one
+          // and only response when it reaches a cancellation point.
+          token->cancel(util::CancelToken::deadline_error());
+        });
+  }
+  ctx->group = scheduler_.make_group(gopts);
+
+  std::future<std::string> fut = ctx->promise.get_future();
+  ctx->group->submit(util::TaskScheduler::TaskClass::kRequest,
+                     [this, ctx] { start_request(ctx); });
+  return fut;
 }
 
 void Server::serve_stream(std::istream& in, std::ostream& out) {
   // Responses are emitted strictly in request arrival order: the reader
   // appends futures to a queue and a single writer drains it front to
-  // back. Workers may finish out of order; the transcript never does.
+  // back. Requests may finish out of order; the transcript never does.
   std::mutex qmu;
   std::condition_variable qcv;
   std::deque<std::future<std::string>> queue;

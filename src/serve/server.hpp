@@ -1,32 +1,35 @@
 #pragma once
 
+#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <future>
 #include <iosfwd>
+#include <memory>
 #include <mutex>
 #include <string>
 
 #include "core/artifact_store.hpp"
 #include "serve/protocol.hpp"
 #include "serve/single_flight.hpp"
-#include "serve/watchdog.hpp"
 #include "util/cancel.hpp"
-#include "util/thread_pool.hpp"
+#include "util/task_scheduler.hpp"
 
 namespace mnemo::core {
 class Session;
+struct SessionConfig;
 }  // namespace mnemo::core
 
 namespace mnemo::serve {
 
 /// Tuning of one Server instance.
 struct ServeOptions {
-  /// Worker threads answering requests (0 = hardware concurrency). Each
-  /// request's campaign runs single-threaded inside its worker — results
-  /// are bit-identical at any campaign thread count (DESIGN.md §6), and
-  /// concurrency across *requests* is what serving mode is for.
+  /// Workers of the global task scheduler (0 = hardware concurrency).
+  /// Requests do not own workers: every request's campaign cells
+  /// interleave with every other's on this one pool, so a small request
+  /// overtakes a big one mid-grid instead of queueing behind it. Results
+  /// are bit-identical at any count (DESIGN.md §6).
   std::size_t threads = 0;
   /// Bound on requests admitted but not yet answered. Submissions beyond
   /// it are refused immediately with a typed `overloaded` error instead
@@ -39,16 +42,17 @@ struct ServeOptions {
   /// Deadline applied to requests that do not carry their own
   /// `deadline_ms`; 0 = no default (requests without a deadline run to
   /// completion). The clock starts at admission, so queue wait counts —
-  /// a request stuck behind a saturated pool times out like any other.
+  /// a request stuck behind a saturated scheduler times out like any
+  /// other.
   std::uint64_t default_deadline_ms = 0;
   /// Run ArtifactStore::fsck over cache_dir before serving (crash
   /// recovery): torn or foreign files are quarantined so a damaged cache
   /// degrades to cache misses instead of poisoning responses.
   bool fsck_on_start = true;
-  /// Test seam: runs on the worker thread just before a request is
-  /// handled. Lets tests hold workers inside the pool to make queue
-  /// pressure deterministic. Not called for refused (overloaded) or
-  /// unparseable requests.
+  /// Test seam: runs on the scheduler thread just before a request is
+  /// handled. Lets tests hold workers to make queue pressure
+  /// deterministic. Not called for refused (overloaded) or unparseable
+  /// requests.
   std::function<void(const Request&)> on_request;
 };
 
@@ -62,41 +66,54 @@ struct ServeStats {
   std::uint64_t overloaded = 0;     ///< refused by backpressure
   std::uint64_t measure_leads = 0;  ///< campaigns actually replayed
   std::uint64_t measure_memo_hits = 0;   ///< measure served from the memo
-  std::uint64_t single_flight_joins = 0; ///< blocked on an in-flight leader
+  std::uint64_t single_flight_joins = 0; ///< parked on an in-flight leader
   std::uint64_t queue_depth_hwm = 0;     ///< max in-service requests seen
   std::uint64_t deadline_hits = 0;  ///< requests answered deadline_exceeded
   std::uint64_t canceled = 0;       ///< requests canceled for other reasons
   std::uint64_t disconnects = 0;    ///< clients that vanished mid-stream
+  std::uint64_t cells_run = 0;      ///< campaign cells executed by requests
+  double queue_ms_total = 0.0;      ///< summed admission -> start waits
+  double run_ms_total = 0.0;        ///< summed start -> settle times
 
   [[nodiscard]] std::string render() const;
 };
 
-/// The concurrent consultant: a bounded worker pool answering protocol
-/// requests against one shared ArtifactStore and one single-flight
-/// measure memo. Every response's answer text is produced by the same
-/// core::render_* functions the CLI subcommands use, so a serve response
-/// is bit-identical to the single-client CLI answer for the same
-/// configuration. Destruction drains: in-service requests complete
-/// before the pool joins (graceful shutdown).
+/// The concurrent consultant as a scheduler-driven state machine: every
+/// submitted request becomes a task group on one global TaskScheduler,
+/// its campaign cells interleaving with every other request's under
+/// deadline-aware weighted fair dispatch. No request owns a worker —
+/// drivers run as short scheduler tasks, single-flight joiners park as
+/// continuations (zero threads blocked), and deadlines live in the
+/// scheduler's own timer queue. Every response's answer text is produced
+/// by the same core::render_* functions the CLI subcommands use, so a
+/// serve response is bit-identical to the single-client CLI answer for
+/// the same configuration. Destruction drains: admitted requests settle
+/// before the scheduler joins (graceful shutdown).
 class Server {
  public:
   explicit Server(ServeOptions options);
+  /// Waits until every admitted request has settled, then joins the
+  /// scheduler's workers.
+  ~Server();
 
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
   /// Answer one already-parsed request synchronously on this thread.
-  /// `cancel` (optional) makes the work cooperative-cancelable: a token
-  /// canceled (by the deadline watchdog, or out-of-band) settles the
-  /// request with a typed deadline_exceeded/canceled error at the next
-  /// cancellation point. This is the *only* settle path — the watchdog
-  /// never fabricates a response of its own.
+  /// The campaign still fans out on the global scheduler (the caller
+  /// helps run cells); `cancel` (optional) makes the work
+  /// cooperative-cancelable: a token canceled (by a deadline ticket, or
+  /// out-of-band) settles the request with a typed
+  /// deadline_exceeded/canceled error at the next cancellation point.
+  /// This is the *only* settle path — timers only cancel, they never
+  /// fabricate a response.
   [[nodiscard]] Response handle(const Request& request,
                                 util::CancelToken* cancel = nullptr);
 
-  /// Parse one line and enqueue it. Parse failures and backpressure
-  /// refusals yield an immediately ready future, so every submitted line
-  /// produces exactly one response either way.
+  /// Parse one line and enqueue it as a scheduler task group. Parse
+  /// failures and backpressure refusals yield an immediately ready
+  /// future, so every submitted line produces exactly one response
+  /// either way.
   [[nodiscard]] std::future<std::string> submit_line(std::string line);
 
   /// Run the line protocol over a stream pair until EOF: one JSON object
@@ -110,11 +127,36 @@ class Server {
   [[nodiscard]] const ServeOptions& options() const noexcept {
     return options_;
   }
+  /// The global scheduler (test introspection: timer queue, threads).
+  [[nodiscard]] util::TaskScheduler& scheduler() noexcept {
+    return scheduler_;
+  }
 
  private:
-  /// Materialize the session's measure stage through the single-flight
-  /// memo: lead, join, or adopt from the memo. The token makes both the
-  /// join wait and the led campaign cancelable.
+  /// One admitted asynchronous request: the group its tasks run under,
+  /// the deadline plumbing, the session being driven, and the promise
+  /// that settles exactly once. Tasks of a request run one at a time
+  /// (each continuation submits the next), so the mutable state needs no
+  /// lock of its own.
+  struct RequestCtx;
+
+  /// State-machine steps, each running as a kRequest scheduler task.
+  void start_request(const std::shared_ptr<RequestCtx>& ctx);
+  void resolve_measure_async(const std::shared_ptr<RequestCtx>& ctx);
+  void finish(const std::shared_ptr<RequestCtx>& ctx);
+  void settle(const std::shared_ptr<RequestCtx>& ctx, Response resp);
+
+  /// Shared sync/async helpers.
+  [[nodiscard]] core::SessionConfig make_session_config(
+      const Request& request, util::CancelToken* cancel,
+      util::TaskScheduler::Group* group);
+  void render_answer(const Request& request, core::Session& session,
+                     Response& resp);
+  void account(Response& resp, const Request& request, double queue_ms,
+               double run_ms, std::uint64_t cells);
+
+  /// Blocking single-flight resolution for the synchronous handle()
+  /// path: lead, join, or adopt from the memo.
   void resolve_measure(core::Session& session, util::CancelToken* cancel);
 
   ServeOptions options_;
@@ -122,17 +164,14 @@ class Server {
   MeasureCache measures_;
 
   mutable std::mutex mu_;  ///< guards stats_ and pending_
+  std::condition_variable drain_cv_;  ///< pending_ -> 0 (destructor)
   ServeStats stats_;
-  std::size_t pending_ = 0;  ///< admitted, not yet completed
+  std::size_t pending_ = 0;  ///< admitted, not yet settled
 
-  /// Declared after the members its callbacks reach (tokens notify the
-  /// measure cache's cv) and before the pool: destruction joins the
-  /// timer thread only after every worker has settled.
-  DeadlineWatchdog watchdog_;
-
-  /// Declared last: destroyed first, draining outstanding work while the
-  /// members above are still alive for the workers to use.
-  util::ThreadPool pool_;
+  /// Declared last: destroyed first, draining outstanding tasks while
+  /// the members above are still alive for them to use. Also hosts the
+  /// deadline timer queue (the former watchdog thread).
+  util::TaskScheduler scheduler_;
 };
 
 }  // namespace mnemo::serve

@@ -67,23 +67,69 @@ MeasureCache::Lease MeasureCache::acquire(const std::string& key,
   }
 }
 
+std::optional<MeasureCache::Lease> MeasureCache::try_acquire(
+    const std::string& key, util::CancelToken* cancel,
+    std::function<void()> wake) {
+  std::shared_ptr<Waiter> waiter;
+  {
+    std::unique_lock lock(mu_);
+    if (const auto done = done_.find(key); done != done_.end()) {
+      return Lease{false, done->second, false};
+    }
+    if (cancel != nullptr) cancel->check();
+    const auto flight = flights_.find(key);
+    if (flight == flights_.end()) {
+      flights_.emplace(key, std::make_shared<Flight>());
+      return Lease{true, nullptr, false};
+    }
+    waiter = std::make_shared<Waiter>();
+    waiter->wake = std::move(wake);
+    flight->second->waiters.push_back(waiter);
+  }
+  if (cancel != nullptr) {
+    // Registered outside mu_ (on_cancel may invoke the callback inline if
+    // the token is already canceled) and deliberately never removed: once
+    // fired, the callback is a no-op holding only the small Waiter shell —
+    // the wake itself, with whatever request context it captures, has
+    // already been moved out and released.
+    (void)cancel->on_cancel([waiter] { waiter->fire(); });
+  }
+  return std::nullopt;
+}
+
 void MeasureCache::publish(
     const std::string& key,
     std::shared_ptr<const core::MeasureArtifact> artifact) {
   MNEMO_EXPECTS(artifact != nullptr);
-  std::lock_guard lock(mu_);
-  done_[key] = std::move(artifact);
-  flights_.erase(key);
-  cv_.notify_all();
+  std::vector<std::shared_ptr<Waiter>> waiters;
+  {
+    std::lock_guard lock(mu_);
+    done_[key] = std::move(artifact);
+    if (const auto flight = flights_.find(key); flight != flights_.end()) {
+      waiters = std::move(flight->second->waiters);
+      flights_.erase(flight);
+    }
+    cv_.notify_all();
+  }
+  // Outside mu_: a wake may re-enter try_acquire immediately.
+  for (const std::shared_ptr<Waiter>& w : waiters) w->fire();
 }
 
 void MeasureCache::abandon(const std::string& key) {
-  std::lock_guard lock(mu_);
-  const auto flight = flights_.find(key);
-  MNEMO_EXPECTS(flight != flights_.end());
-  flight->second->abandoned = true;
-  flights_.erase(flight);
-  cv_.notify_all();
+  std::vector<std::shared_ptr<Waiter>> waiters;
+  {
+    std::lock_guard lock(mu_);
+    const auto flight = flights_.find(key);
+    MNEMO_EXPECTS(flight != flights_.end());
+    flight->second->abandoned = true;
+    waiters = std::move(flight->second->waiters);
+    flights_.erase(flight);
+    cv_.notify_all();
+  }
+  // Woken waiters race back through try_acquire; the first re-entrant
+  // becomes the replacement leader, the rest re-park — the same
+  // promotion the blocking path gets from its cv loop.
+  for (const std::shared_ptr<Waiter>& w : waiters) w->fire();
 }
 
 std::size_t MeasureCache::memo_size() const {

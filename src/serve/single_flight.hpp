@@ -1,11 +1,15 @@
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "core/artifacts.hpp"
 #include "util/cancel.hpp"
@@ -47,6 +51,19 @@ class MeasureCache {
   [[nodiscard]] Lease acquire(const std::string& key,
                               util::CancelToken* cancel = nullptr);
 
+  /// Non-blocking acquire for continuation-style callers (the serve
+  /// scheduler): a memo hit or leadership returns a Lease immediately;
+  /// an in-flight leader returns nullopt after registering `wake`, which
+  /// runs exactly once when the flight publishes, abandons, or `cancel`
+  /// fires — the caller parks no thread and re-enters try_acquire from
+  /// the wake-up. A canceled caller throws util::CanceledError like
+  /// acquire() (memo hits are still served first). Note the cancel wake
+  /// is driven by cancel() callbacks only: a caller whose token has a
+  /// deadline but no watchdog arming cancel() must bound its own wait.
+  [[nodiscard]] std::optional<Lease> try_acquire(const std::string& key,
+                                                 util::CancelToken* cancel,
+                                                 std::function<void()> wake);
+
   /// Leader completion: memoize the artifact and wake all joiners.
   void publish(const std::string& key,
                std::shared_ptr<const core::MeasureArtifact> artifact);
@@ -59,8 +76,25 @@ class MeasureCache {
   [[nodiscard]] std::size_t memo_size() const;
 
  private:
+  /// One parked try_acquire() caller. `fire()` is idempotent and safe
+  /// from any thread: whichever of publish/abandon/cancel gets there
+  /// first moves the wake out (breaking any reference cycle through the
+  /// caller's context) and runs it; later firers are no-ops.
+  struct Waiter {
+    std::atomic<bool> fired{false};
+    std::function<void()> wake;
+
+    void fire() {
+      if (!fired.exchange(true)) {
+        std::function<void()> w = std::move(wake);
+        if (w) w();
+      }
+    }
+  };
+
   struct Flight {
     bool abandoned = false;
+    std::vector<std::shared_ptr<Waiter>> waiters;  ///< guarded by mu_
   };
 
   mutable std::mutex mu_;

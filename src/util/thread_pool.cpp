@@ -27,18 +27,18 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::worker_loop() {
   for (;;) {
-    std::function<void()> task;
+    TaskNode* node = nullptr;
     {
       std::unique_lock lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
-      if (queue_.empty()) {
+      cv_.wait(lock, [this] { return stop_ || head_ != nullptr; });
+      node = pop_locked();
+      if (node == nullptr) {
         if (stop_) return;
         continue;
       }
-      task = std::move(queue_.front());
-      queue_.pop();
     }
-    task();
+    node->run();
+    delete node;
   }
 }
 

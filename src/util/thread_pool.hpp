@@ -5,8 +5,9 @@
 #include <functional>
 #include <future>
 #include <mutex>
-#include <queue>
 #include <thread>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 namespace mnemo::util {
@@ -14,6 +15,11 @@ namespace mnemo::util {
 /// Fixed-size thread pool. Benches use it to fan sweep points out across
 /// cores; each submitted task is a self-contained, shared-nothing simulation
 /// run so results stay deterministic regardless of scheduling order.
+///
+/// Queue representation: an intrusive singly-linked list of task nodes.
+/// submit() performs exactly one allocation (the node, which embeds the
+/// callable and its promise) instead of the three a
+/// shared_ptr<packaged_task> wrapped in a std::function used to cost.
 class ThreadPool {
  public:
   /// Spawns `threads` workers (defaults to hardware concurrency, min 1).
@@ -27,14 +33,14 @@ class ThreadPool {
 
   /// Enqueue a task; the returned future yields its result.
   template <typename F>
-  auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
-    using R = std::invoke_result_t<F>;
-    auto task =
-        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
-    std::future<R> fut = task->get_future();
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using Fn = std::decay_t<F>;
+    using R = std::invoke_result_t<Fn>;
+    auto* node = new TaskImpl<Fn, R>(std::forward<F>(fn));
+    std::future<R> fut = node->promise.get_future();
     {
       std::lock_guard lock(mu_);
-      queue_.emplace([task] { (*task)(); });
+      push_locked(node);
     }
     cv_.notify_one();
     return fut;
@@ -43,10 +49,58 @@ class ThreadPool {
   [[nodiscard]] std::size_t size() const { return workers_.size(); }
 
  private:
+  /// Intrusive queue node: the link lives inside the task object itself.
+  struct TaskNode {
+    TaskNode* next = nullptr;
+    virtual ~TaskNode() = default;
+    /// Runs the task; failures land in the embedded promise, never escape.
+    virtual void run() noexcept = 0;
+  };
+
+  template <typename Fn, typename R>
+  struct TaskImpl final : TaskNode {
+    Fn fn;
+    std::promise<R> promise;
+
+    explicit TaskImpl(Fn f) : fn(std::move(f)) {}
+
+    void run() noexcept override {
+      try {
+        if constexpr (std::is_void_v<R>) {
+          fn();
+          promise.set_value();
+        } else {
+          promise.set_value(fn());
+        }
+      } catch (...) {
+        promise.set_exception(std::current_exception());
+      }
+    }
+  };
+
+  void push_locked(TaskNode* node) {
+    if (tail_ == nullptr) {
+      head_ = tail_ = node;
+    } else {
+      tail_->next = node;
+      tail_ = node;
+    }
+  }
+
+  [[nodiscard]] TaskNode* pop_locked() {
+    TaskNode* node = head_;
+    if (node != nullptr) {
+      head_ = node->next;
+      if (head_ == nullptr) tail_ = nullptr;
+    }
+    return node;
+  }
+
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
+  TaskNode* head_ = nullptr;
+  TaskNode* tail_ = nullptr;
   std::mutex mu_;
   std::condition_variable cv_;
   bool stop_ = false;

@@ -66,6 +66,21 @@ TEST_F(PipelineCliTest, RunIsByteIdenticalColdAndWarm) {
   EXPECT_EQ(warm.err, cold.err);
 }
 
+TEST_F(PipelineCliTest, RunIsByteIdenticalAtAnyThreadCount) {
+  // The one-shot path on the task scheduler: --threads only changes
+  // wall clock, never a byte of the answer. No cache dir, so every
+  // invocation really recomputes its campaign.
+  const CliResult serial =
+      run_cli(with_workload({"run", "--threads", "1"}));
+  ASSERT_EQ(serial.code, 0) << serial.err;
+  for (const char* threads : {"2", "8"}) {
+    const CliResult parallel =
+        run_cli(with_workload({"run", "--threads", threads}));
+    ASSERT_EQ(parallel.code, 0) << parallel.err;
+    EXPECT_EQ(parallel.out, serial.out) << "--threads " << threads;
+  }
+}
+
 TEST_F(PipelineCliTest, ReportMatchesRunAndStaysStable) {
   const CliResult run1 = run_cli(cached(with_workload({"report"})));
   ASSERT_EQ(run1.code, 0) << run1.err;

@@ -22,7 +22,6 @@
 #include "serve/json.hpp"
 #include "serve/server.hpp"
 #include "serve/single_flight.hpp"
-#include "serve/watchdog.hpp"
 #include "util/cancel.hpp"
 
 namespace mnemo::serve {
@@ -103,8 +102,9 @@ TEST(ServeDeadline, CanceledRequestPublishesNothingAndOthersStayIdentical) {
 
 TEST(ServeDeadline, RequestDeadlineFieldCutsASlowCampaignShort) {
   // Chaos stalls make every campaign cell take >= 30ms; a 1ms request
-  // deadline therefore always lapses mid-campaign. The watchdog turns it
-  // into a typed response — and the next cell is skipped, never killed.
+  // deadline therefore always lapses mid-campaign. The scheduler's
+  // deadline timer cancels the token, the campaign sheds its remaining
+  // cells, and the request answers typed — skipped, never killed.
   faultinject::IoFaultPlan plan;
   plan.slow_cell_rate = 1.0;
   plan.slow_cell_ms = 30.0;
@@ -162,55 +162,6 @@ TEST(ServeDeadline, StatsLedgerRendersTheDeadlineRows) {
   EXPECT_NE(ledger.find("dropped connections"), std::string::npos);
 }
 
-TEST(DeadlineWatchdogTest, FiresItsCallbackAfterTheDeadline) {
-  DeadlineWatchdog watchdog;
-  std::mutex mu;
-  std::condition_variable cv;
-  bool fired = false;
-  (void)watchdog.arm(
-      std::chrono::steady_clock::now() + std::chrono::milliseconds(5), [&] {
-        std::lock_guard lock(mu);
-        fired = true;
-        cv.notify_all();
-      });
-  std::unique_lock lock(mu);
-  EXPECT_TRUE(cv.wait_for(lock, std::chrono::seconds(10),
-                          [&] { return fired; }));
-  EXPECT_EQ(watchdog.armed(), 0u);
-}
-
-TEST(DeadlineWatchdogTest, DisarmedTicketNeverFires) {
-  DeadlineWatchdog watchdog;
-  std::atomic<bool> fired{false};
-  const DeadlineWatchdog::Ticket ticket = watchdog.arm(
-      std::chrono::steady_clock::now() + std::chrono::milliseconds(20),
-      [&] { fired = true; });
-  watchdog.disarm(ticket);
-  EXPECT_EQ(watchdog.armed(), 0u);
-  std::this_thread::sleep_for(std::chrono::milliseconds(60));
-  EXPECT_FALSE(fired.load());
-}
-
-TEST(DeadlineWatchdogTest, FiresInDeadlineOrderAcrossManyTickets) {
-  DeadlineWatchdog watchdog;
-  std::mutex mu;
-  std::condition_variable cv;
-  std::vector<int> order;
-  for (int i = 4; i >= 0; --i) {  // armed in reverse deadline order
-    (void)watchdog.arm(std::chrono::steady_clock::now() +
-                           std::chrono::milliseconds(5 + 10 * i),
-                       [&, i] {
-                         std::lock_guard lock(mu);
-                         order.push_back(i);
-                         cv.notify_all();
-                       });
-  }
-  std::unique_lock lock(mu);
-  ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(30),
-                          [&] { return order.size() == 5u; }));
-  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
-}
-
 TEST(SingleFlightCancel, CanceledCallerNeverBecomesLeader) {
   MeasureCache cache;
   util::CancelToken token;
@@ -252,10 +203,10 @@ TEST(SingleFlightCancel, CanceledJoinerWakesAndThrowsWhileLeaderFinishes) {
     }
     joined = true;
   });
-  // Let the joiner reach its wait, then cancel out-of-band (the watchdog
-  // path does exactly this).
+  // Let the joiner reach its wait, then cancel out-of-band (the
+  // scheduler's deadline timer does exactly this).
   std::this_thread::sleep_for(std::chrono::milliseconds(20));
-  token.cancel({util::ErrorCode::kCanceled, "watchdog"});
+  token.cancel({util::ErrorCode::kCanceled, "timer"});
   joiner.join();
   ASSERT_TRUE(joined.load());
 
@@ -265,7 +216,7 @@ TEST(SingleFlightCancel, CanceledJoinerWakesAndThrowsWhileLeaderFinishes) {
   EXPECT_NE(after.artifact, nullptr);
 }
 
-TEST(SingleFlightCancel, DeadlineArmedJoinerWakesWithNoWatchdogAtAll) {
+TEST(SingleFlightCancel, DeadlineArmedJoinerWakesWithNoTimerAtAll) {
   // The passive path: the joiner bounds its own sleep with the token's
   // deadline (wait_until), so even with nobody calling cancel() it wakes
   // and throws deadline_exceeded instead of sleeping forever.

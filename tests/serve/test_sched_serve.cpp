@@ -1,0 +1,167 @@
+// Scheduler-level serve properties (tentpole): a parked single-flight
+// joiner occupies no worker thread, so even a one-worker server makes
+// progress with joiners outstanding — and a deadline that strikes while
+// a joiner is parked produces its typed answer without waiting for the
+// leader. Chaos slow cells (faultinject) stretch campaigns so overlap is
+// reliable without real-time guesswork.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "faultinject/io_fault.hpp"
+#include "serve/json.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+
+namespace mnemo::serve {
+namespace {
+
+Request small_advise(std::string id) {
+  Request req;
+  req.id = std::move(id);
+  req.op = RequestOp::kAdvise;
+  req.keys = 150;
+  req.requests = 1500;
+  req.repeats = 1;
+  return req;
+}
+
+/// Spin until `count` reaches at least `floor` (the on_request seam
+/// signals when a request's driver has started).
+void wait_for_at_least(const std::atomic<int>& count, int floor) {
+  const auto give_up =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (count.load() < floor &&
+         std::chrono::steady_clock::now() < give_up) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_GE(count.load(), floor);
+}
+
+TEST(ServeSched, ParkedJoinersBlockNoWorkerEvenOnAOneWorkerServer) {
+  // One worker, one leader mid-campaign, four identical joiners and the
+  // leader all in service at once. If a joiner held the worker while
+  // waiting for the leader, this would deadlock: the leader's remaining
+  // cells could never run. Completion *is* the zero-blocked-workers
+  // property; the ledger then proves the joiners really parked behind
+  // the in-flight leader rather than hitting a finished memo.
+  faultinject::IoFaultPlan plan;
+  plan.slow_cell_rate = 1.0;
+  plan.slow_cell_ms = 20.0;
+  faultinject::ScopedIoFaults chaos(plan);
+
+  ServeOptions options;
+  options.threads = 1;
+  Server server(std::move(options));
+
+  Request lead = small_advise("lead");
+  lead.repeats = 4;  // 8 chaos-stalled cells: the leader is busy a while
+  std::vector<std::future<std::string>> futures;
+  futures.push_back(server.submit_line(lead.to_json_line()));
+  for (int i = 0; i < 4; ++i) {
+    Request join = small_advise("join" + std::to_string(i));
+    join.repeats = 4;  // identical measure key
+    futures.push_back(server.submit_line(join.to_json_line()));
+  }
+  for (std::future<std::string>& f : futures) {
+    const std::string line = f.get();
+    EXPECT_TRUE(json_parse(line).find("ok")->value.boolean) << line;
+  }
+  const ServeStats stats = server.stats();
+  EXPECT_EQ(stats.measure_leads, 1u);
+  EXPECT_EQ(stats.single_flight_joins + stats.measure_memo_hits, 4u);
+  EXPECT_EQ(stats.ok, 5u);
+}
+
+TEST(ServeSched, IndependentRequestCompletesWhileALeaderIsMidCampaign) {
+  // Cell-granular sharing: with the big campaign still in flight on the
+  // same (single-worker!) scheduler, a request for a *different* key
+  // finishes — its cells interleave with the big one's instead of
+  // queueing behind the whole request.
+  faultinject::IoFaultPlan plan;
+  plan.slow_cell_rate = 1.0;
+  plan.slow_cell_ms = 20.0;
+  faultinject::ScopedIoFaults chaos(plan);
+
+  std::atomic<int> started{0};
+  ServeOptions options;
+  options.threads = 1;
+  options.on_request = [&](const Request&) { ++started; };
+  Server server(std::move(options));
+
+  Request big = small_advise("big");
+  big.repeats = 8;  // 16 chaos-stalled cells: ~320ms of campaign
+  std::future<std::string> big_future =
+      server.submit_line(big.to_json_line());
+  wait_for_at_least(started, 1);  // the big request's driver is running
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  Request small = small_advise("small");
+  small.keys = 120;
+  small.requests = 1200;  // distinct measure key
+  const std::string small_line =
+      server.submit_line(small.to_json_line()).get();
+  EXPECT_TRUE(json_parse(small_line).find("ok")->value.boolean)
+      << small_line;
+  // The small request settled while the big one was still in service —
+  // it overtook mid-grid rather than waiting for the campaign to end.
+  EXPECT_EQ(big_future.wait_for(std::chrono::seconds(0)),
+            std::future_status::timeout);
+  const std::string big_line = big_future.get();
+  EXPECT_TRUE(json_parse(big_line).find("ok")->value.boolean) << big_line;
+  EXPECT_EQ(server.stats().measure_leads, 2u);
+}
+
+TEST(ServeSched, DeadlineFiresForAParkedJoinerWithoutUnparkingTheLeader) {
+  // The joiner parks behind a slow leader and its deadline lapses while
+  // parked: the scheduler's timer cancels the token, the registered wake
+  // re-submits the joiner, and it answers typed deadline_exceeded — all
+  // while the leader keeps running to a successful answer.
+  faultinject::IoFaultPlan plan;
+  plan.slow_cell_rate = 1.0;
+  plan.slow_cell_ms = 30.0;
+  faultinject::ScopedIoFaults chaos(plan);
+
+  std::atomic<int> started{0};
+  ServeOptions options;
+  options.threads = 2;
+  options.on_request = [&](const Request&) { ++started; };
+  Server server(std::move(options));
+
+  Request lead = small_advise("lead");
+  lead.repeats = 4;  // 8 cells x 30ms: far longer than the deadline
+  std::future<std::string> lead_future =
+      server.submit_line(lead.to_json_line());
+  // Give the leader a head start so it owns the flight before the
+  // deadlined request arrives. (Even if the rushed request won the
+  // election instead, the assertions below still hold: its campaign
+  // would be canceled mid-grid, it would abandon, and the parked "lead"
+  // would be promoted to a successful leader.)
+  wait_for_at_least(started, 1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+
+  Request rushed = small_advise("rushed");
+  rushed.repeats = 4;  // identical measure key -> parks behind the leader
+  rushed.deadline_ms = 40;
+  const std::string rushed_line =
+      server.submit_line(rushed.to_json_line()).get();
+  const JsonValue v = json_parse(rushed_line);
+  ASSERT_FALSE(v.find("ok")->value.boolean) << rushed_line;
+  EXPECT_EQ(v.find("error")->value.find("code")->value.string,
+            "deadline_exceeded");
+
+  const std::string lead_line = lead_future.get();
+  EXPECT_TRUE(json_parse(lead_line).find("ok")->value.boolean) << lead_line;
+  const ServeStats stats = server.stats();
+  EXPECT_EQ(stats.deadline_hits, 1u);
+  EXPECT_EQ(stats.measure_leads, 1u);
+  EXPECT_EQ(stats.ok, 1u);
+}
+
+}  // namespace
+}  // namespace mnemo::serve

@@ -202,6 +202,44 @@ TEST(ServeServer, StatsOpReportsTheLedger) {
   EXPECT_NE(resp.output.find("measure leads       1"), std::string::npos);
 }
 
+TEST(ServeServer, TimingBlockIsOptInAndCountsTheCampaignCells) {
+  Server server(ServeOptions{});
+  Request timed = small_advise("timed");
+  timed.timing = true;
+  const std::string line =
+      server.submit_line(timed.to_json_line()).get();
+  const JsonValue v = json_parse(line);
+  ASSERT_TRUE(v.find("ok")->value.boolean) << line;
+  const JsonValue::Member* timing = v.find("timing");
+  ASSERT_NE(timing, nullptr) << line;
+  EXPECT_GE(timing->value.find("queue_ms")->value.number, 0.0);
+  EXPECT_GT(timing->value.find("run_ms")->value.number, 0.0);
+  // This request joined nothing: it led its own campaign, so its cell
+  // count is the full grid (2 placements x 1 repeat).
+  EXPECT_EQ(timing->value.find("cells_run")->value.magnitude, 2u);
+
+  // Off by default: a response carries no timing block (wall-clock
+  // numbers would break byte-stable transcripts).
+  const std::string plain =
+      server.submit_line(small_advise("plain").to_json_line()).get();
+  EXPECT_EQ(plain.find("\"timing\""), std::string::npos) << plain;
+
+  // A memo hit runs zero cells — per-request accounting, not a copy of
+  // the global counter.
+  Request warm = small_advise("warm");
+  warm.timing = true;
+  const JsonValue w =
+      json_parse(server.submit_line(warm.to_json_line()).get());
+  EXPECT_EQ(w.find("timing")->value.find("cells_run")->value.magnitude, 0u);
+
+  // The ledger aggregates: cells and times accumulate across requests.
+  const ServeStats stats = server.stats();
+  EXPECT_EQ(stats.cells_run, 2u);
+  EXPECT_GT(stats.run_ms_total, 0.0);
+  EXPECT_NE(stats.render().find("cells run           2"),
+            std::string::npos);
+}
+
 TEST(ServeServer, SharedCacheDirWarmsAcrossServerInstances) {
   const fs::path dir =
       fs::path(testing::TempDir()) / "mnemo_serve_shared_cache";
