@@ -1,9 +1,12 @@
 #include "core/campaign.hpp"
 
 #include <algorithm>
+#include <array>
 #include <atomic>
+#include <memory>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <utility>
 
 #include "faultinject/io_fault.hpp"
@@ -27,6 +30,8 @@ struct TotalsRegistry {
   std::size_t threads = 0;  ///< widest fan-out seen
   double wall_s = 0.0;
   double cpu_s = 0.0;
+  std::size_t lane_width = 0;        ///< widest fused band seen
+  std::size_t arena_peak_bytes = 0;  ///< largest single-arena high-water
 };
 
 TotalsRegistry& totals_registry() {
@@ -42,6 +47,30 @@ void record_campaign(const CampaignStats& stats,
   reg.threads = std::max(reg.threads, stats.threads);
   reg.wall_s += stats.wall_s;
   reg.cpu_s += stats.cpu_s;
+  reg.lane_width = std::max(reg.lane_width, stats.lane_width);
+  reg.arena_peak_bytes =
+      std::max(reg.arena_peak_bytes, stats.arena_peak_bytes);
+}
+
+/// Worker-local arena pool for fused bands: lane j of every band this
+/// worker runs reuses arenas[j] under the same grow-once/reset-per-cell
+/// cycle as the per-cell thread_local arena, so after a worker's first
+/// band warmed its lanes up, later bands allocate without touching
+/// malloc. Arenas are not movable, hence the unique_ptr indirection.
+util::Arena& worker_arena(std::size_t lane) {
+  thread_local std::vector<std::unique_ptr<util::Arena>> arenas;
+  while (arenas.size() <= lane) {
+    arenas.push_back(std::make_unique<util::Arena>());
+  }
+  return *arenas[lane];
+}
+
+/// Lock-free running max for the campaign-wide arena high-water mark.
+void raise_peak(std::atomic<std::size_t>& peak, std::size_t candidate) {
+  std::size_t seen = peak.load(std::memory_order_relaxed);
+  while (candidate > seen && !peak.compare_exchange_weak(
+                                 seen, candidate, std::memory_order_relaxed)) {
+  }
 }
 
 /// The checked per-cell attempt loop shared by run_checked and the async
@@ -53,20 +82,26 @@ void execute_checked_cell(const SensitivityEngine& engine,
                           const workload::CompiledTrace* compiled,
                           const CampaignCell& cell, std::size_t index,
                           std::optional<RunMeasurement>& slot,
-                          std::optional<CellFailure>& failure) {
+                          std::optional<CellFailure>& failure,
+                          std::size_t& arena_bytes) {
   util::Error last_error;
   faultinject::FaultStats last_stats;
   int attempts = 0;
   bool accepted = false;
+  arena_bytes = 0;
   for (int attempt = 0; attempt < 2 && !accepted; ++attempt) {
     util::Result<RunMeasurement> run = [&] {
       if (compiled != nullptr) {
-        thread_local util::Arena arena;
+        util::Arena& arena = worker_arena(0);
         // An attempt's state is fully torn down before the next starts,
         // so the rewind is safe between attempts too.
         arena.reset();
-        return engine.try_run_once(*compiled, cell.placement, cell.repeat,
-                                   attempt, &arena);
+        util::Result<RunMeasurement> r = engine.try_run_once(
+            *compiled, cell.placement, cell.repeat, attempt, &arena);
+        // Deallocation is a no-op, so bytes_allocated() still reports the
+        // attempt's full footprint after its state is gone.
+        arena_bytes = std::max(arena_bytes, arena.bytes_allocated());
+        return r;
       }
       return engine.try_run_once(trace, cell.placement, cell.repeat, attempt);
     }();
@@ -95,6 +130,98 @@ void execute_checked_cell(const SensitivityEngine& engine,
     f.faults = last_stats;
     failure = std::move(f);
   }
+}
+
+/// Checked counterpart of one fused band: attempt 0 replays every lane of
+/// cells [first, first + count) in a single LaneBand pass; a lane that
+/// comes back provably unperturbed (success AND zero fault events) is
+/// accepted, and every other lane *sheds to per-cell* — an attempt-1 retry
+/// through engine.try_run_once on the lane's own arena, exactly the retry
+/// execute_checked_cell would have run. Ledger parity is exact: the same
+/// attempts counts, errors and fault stats as per-cell checked replay,
+/// because each lane's attempt sequence is the same instruction stream,
+/// only attempt 0 is interleaved with its bandmates.
+void execute_checked_band(const SensitivityEngine& engine,
+                          const workload::CompiledTrace& compiled,
+                          const std::vector<CampaignCell>& cells,
+                          std::size_t first, std::size_t count,
+                          std::vector<std::optional<RunMeasurement>>& slots,
+                          std::vector<std::optional<CellFailure>>& failed,
+                          std::size_t& arena_bytes) {
+  std::array<LaneBand::Lane, LaneBand::kMaxLanes> lanes;
+  std::array<std::optional<util::Result<RunMeasurement>>, LaneBand::kMaxLanes>
+      outs;
+  for (std::size_t j = 0; j < count; ++j) {
+    util::Arena& arena = worker_arena(j);
+    arena.reset();
+    lanes[j] = LaneBand::Lane{&cells[first + j].placement,
+                              cells[first + j].repeat, 0, &arena};
+  }
+  LaneBand::replay(
+      engine, compiled,
+      std::span<const LaneBand::Lane>(lanes.data(), count),
+      std::span<std::optional<util::Result<RunMeasurement>>>(outs.data(),
+                                                             count));
+  // Record every lane's attempt-0 footprint before any retry resets its
+  // arena (deallocation is a no-op, so the counts are still live).
+  arena_bytes = 0;
+  for (std::size_t j = 0; j < count; ++j) {
+    arena_bytes = std::max(arena_bytes, worker_arena(j).bytes_allocated());
+  }
+  for (std::size_t j = 0; j < count; ++j) {
+    const std::size_t i = first + j;
+    const CampaignCell& cell = cells[i];
+    util::Result<RunMeasurement>& first_try = *outs[j];
+    if (first_try.ok() && first_try.value().faults.events() == 0) {
+      slots[i] = first_try.value();
+      continue;
+    }
+    util::Error last_error;
+    faultinject::FaultStats last_stats;
+    if (first_try.ok()) {
+      last_stats = first_try.value().faults;
+      last_error.code = util::ErrorCode::kFaultInjected;
+      last_error.message = "measurement perturbed: " +
+                           std::to_string(last_stats.events()) +
+                           " fault events absorbed";
+    } else {
+      last_error = first_try.error();
+      last_stats = faultinject::FaultStats{};
+    }
+    util::Arena& arena = worker_arena(j);
+    arena.reset();
+    util::Result<RunMeasurement> retry =
+        engine.try_run_once(compiled, cell.placement, cell.repeat, 1, &arena);
+    arena_bytes = std::max(arena_bytes, arena.bytes_allocated());
+    if (retry.ok() && retry.value().faults.events() == 0) {
+      slots[i] = retry.value();
+      continue;
+    }
+    if (retry.ok()) {
+      last_stats = retry.value().faults;
+      last_error.code = util::ErrorCode::kFaultInjected;
+      last_error.message = "measurement perturbed: " +
+                           std::to_string(last_stats.events()) +
+                           " fault events absorbed";
+    } else {
+      last_error = retry.error();
+      last_stats = faultinject::FaultStats{};
+    }
+    CellFailure f;
+    f.cell = i;
+    f.fast_keys = cell.placement.fast_keys();
+    f.repeat = cell.repeat;
+    f.attempts = 2;
+    f.error = last_error;
+    f.faults = last_stats;
+    failed[i] = std::move(f);
+  }
+}
+
+/// Fused band partition: bands of `width` consecutive cells; depends only
+/// on the cell count and the width, never on threads or scheduling.
+[[nodiscard]] std::size_t band_count(std::size_t cells, std::size_t width) {
+  return cells == 0 ? 0 : (cells + width - 1) / width;
 }
 
 /// The repeat-major cell vector behind every measurement grid.
@@ -176,12 +303,18 @@ void CampaignStats::merge(const CampaignStats& other) {
   threads = std::max(threads, other.threads);
   wall_s += other.wall_s;
   cpu_s += other.cpu_s;
+  lane_width = std::max(lane_width, other.lane_width);
+  arena_peak_bytes = std::max(arena_peak_bytes, other.arena_peak_bytes);
 }
 
 std::string CampaignStats::render(const std::string& title) const {
   util::TablePrinter table({title, "value"});
   table.add_row({"cells run", std::to_string(cells)});
   table.add_row({"threads", std::to_string(threads)});
+  table.add_row({"lane width", std::to_string(lane_width)});
+  table.add_row({"arena peak (KiB)",
+                 util::TablePrinter::num(
+                     static_cast<double>(arena_peak_bytes) / 1024.0, 1)});
   table.add_row({"wall time (ms)", util::TablePrinter::num(wall_s * 1e3, 1)});
   table.add_row({"cpu time (ms)", util::TablePrinter::num(cpu_s * 1e3, 1)});
   table.add_row(
@@ -240,10 +373,15 @@ void CampaignRunner::fan_out(std::size_t n,
 std::vector<RunMeasurement> CampaignRunner::run(
     const SensitivityEngine& engine, const workload::Trace& trace,
     const std::vector<CampaignCell>& cells) {
+  const std::size_t width = mode_ == ReplayMode::kFused ? lane_width_ : 1;
+  const std::size_t bands = band_count(cells.size(), width);
   stats_ = CampaignStats{};
   stats_.cells = cells.size();
+  stats_.lane_width = width;
+  // The scheduling unit is the band, so the fan-out never exceeds the
+  // band count (== cell count when replay is per-cell).
   stats_.threads = std::max<std::size_t>(
-      1, std::min(threads_, std::max<std::size_t>(1, cells.size())));
+      1, std::min(threads_, std::max<std::size_t>(1, bands)));
 
   std::vector<RunMeasurement> merged(cells.size());
   std::vector<double> cell_s(cells.size(), 0.0);
@@ -253,37 +391,86 @@ std::vector<RunMeasurement> CampaignRunner::run(
   // placement- and repeat-invariant, so every cell shares one read-only
   // artifact instead of re-deriving them (DESIGN.md §12).
   std::optional<workload::CompiledTrace> compiled;
-  if (mode_ == ReplayMode::kCompiled) compiled.emplace(trace);
+  if (mode_ != ReplayMode::kLegacy) compiled.emplace(trace);
 
+  std::atomic<std::size_t> arena_peak{0};
   util::WallTimer wall;
-  // Shared-nothing fan-out: cell i writes only slot i, so the merge order
-  // is the cell order by construction, independent of scheduling.
-  fan_out(cells.size(), [&](std::size_t i) {
-    // Cancellation point *between* cells: a canceled campaign skips
-    // cells it has not started, never interrupts one mid-flight. The
-    // skipped slots are discarded below by the throw.
-    if (cancel_ != nullptr && cancel_->canceled()) return;
-    faultinject::chaos_cell_delay(i);
-    // Thread-CPU time, not wall: a cell's cost must not include the
-    // time its worker spent descheduled, or an oversubscribed scheduler
-    // would fabricate speedup.
-    util::ThreadCpuTimer cell_timer;
-    if (compiled) {
-      // Each worker owns one arena for the whole campaign; resetting
-      // rewinds the bump pointer while keeping the grown chunks, so
-      // only a worker's first cell pays allocation at all.
-      thread_local util::Arena arena;
-      arena.reset();
-      merged[i] = engine.run_once(*compiled, cells[i].placement,
-                                  cells[i].repeat, &arena);
-    } else {
-      merged[i] = engine.run_once(trace, cells[i].placement, cells[i].repeat);
-    }
-    cell_s[i] = cell_timer.elapsed_s();
-  });
+  if (mode_ == ReplayMode::kFused) {
+    // Shared-nothing band fan-out: band b writes only its members' slots,
+    // so the merge order is the cell order by construction — and the band
+    // partition ignores threads, so grids are bit-identical at any count.
+    fan_out(bands, [&](std::size_t b) {
+      // Cancellation point *between* bands: a canceled campaign skips
+      // bands it has not started, never interrupts one mid-flight.
+      if (cancel_ != nullptr && cancel_->canceled()) return;
+      const std::size_t first = b * width;
+      const std::size_t count = std::min(width, cells.size() - first);
+      faultinject::chaos_band_delay(first, count);
+      util::ThreadCpuTimer band_timer;
+      std::array<LaneBand::Lane, LaneBand::kMaxLanes> lanes;
+      std::array<std::optional<util::Result<RunMeasurement>>,
+                 LaneBand::kMaxLanes>
+          outs;
+      for (std::size_t j = 0; j < count; ++j) {
+        util::Arena& arena = worker_arena(j);
+        arena.reset();
+        lanes[j] = LaneBand::Lane{&cells[first + j].placement,
+                                  cells[first + j].repeat, 0, &arena};
+      }
+      LaneBand::replay(
+          engine, *compiled,
+          std::span<const LaneBand::Lane>(lanes.data(), count),
+          std::span<std::optional<util::Result<RunMeasurement>>>(outs.data(),
+                                                                 count));
+      std::size_t band_arena = 0;
+      for (std::size_t j = 0; j < count; ++j) {
+        MNEMO_ASSERT(outs[j].has_value() && outs[j]->ok() &&
+                     "run requires cells that cannot fail");
+        merged[first + j] = outs[j]->value();
+        band_arena = std::max(band_arena, worker_arena(j).bytes_allocated());
+      }
+      raise_peak(arena_peak, band_arena);
+      // The fused pass is genuinely shared work; attribute it evenly so
+      // per-cell accounting stays comparable across replay modes.
+      const double per_cell_s =
+          band_timer.elapsed_s() / static_cast<double>(count);
+      for (std::size_t j = 0; j < count; ++j) {
+        cell_s[first + j] = per_cell_s;
+      }
+    });
+  } else {
+    // Per-cell fan-out: cell i writes only slot i, so the merge order is
+    // the cell order by construction, independent of scheduling.
+    fan_out(cells.size(), [&](std::size_t i) {
+      // Cancellation point *between* cells: a canceled campaign skips
+      // cells it has not started, never interrupts one mid-flight. The
+      // skipped slots are discarded below by the throw.
+      if (cancel_ != nullptr && cancel_->canceled()) return;
+      faultinject::chaos_cell_delay(i);
+      // Thread-CPU time, not wall: a cell's cost must not include the
+      // time its worker spent descheduled, or an oversubscribed scheduler
+      // would fabricate speedup.
+      util::ThreadCpuTimer cell_timer;
+      if (compiled) {
+        // Each worker owns one arena for the whole campaign; resetting
+        // rewinds the bump pointer while keeping the grown chunks, so
+        // only a worker's first cell pays allocation at all.
+        util::Arena& arena = worker_arena(0);
+        arena.reset();
+        merged[i] = engine.run_once(*compiled, cells[i].placement,
+                                    cells[i].repeat, &arena);
+        raise_peak(arena_peak, arena.bytes_allocated());
+      } else {
+        merged[i] =
+            engine.run_once(trace, cells[i].placement, cells[i].repeat);
+      }
+      cell_s[i] = cell_timer.elapsed_s();
+    });
+  }
   stats_.wall_s = wall.elapsed_s();
   throw_if_canceled();
 
+  stats_.arena_peak_bytes = arena_peak.load(std::memory_order_relaxed);
   finalize_stats(stats_, cell_s);
   return merged;
 }
@@ -291,10 +478,13 @@ std::vector<RunMeasurement> CampaignRunner::run(
 CampaignResult CampaignRunner::run_checked(
     const SensitivityEngine& engine, const workload::Trace& trace,
     const std::vector<CampaignCell>& cells) {
+  const std::size_t width = mode_ == ReplayMode::kFused ? lane_width_ : 1;
+  const std::size_t bands = band_count(cells.size(), width);
   stats_ = CampaignStats{};
   stats_.cells = cells.size();
+  stats_.lane_width = width;
   stats_.threads = std::max<std::size_t>(
-      1, std::min(threads_, std::max<std::size_t>(1, cells.size())));
+      1, std::min(threads_, std::max<std::size_t>(1, bands)));
 
   CampaignResult result;
   result.measurements.resize(cells.size());
@@ -305,17 +495,40 @@ CampaignResult CampaignRunner::run_checked(
   if (cells.empty()) return result;
 
   std::optional<workload::CompiledTrace> compiled;
-  if (mode_ == ReplayMode::kCompiled) compiled.emplace(trace);
+  if (mode_ != ReplayMode::kLegacy) compiled.emplace(trace);
 
+  std::atomic<std::size_t> arena_peak{0};
   util::WallTimer wall;
-  fan_out(cells.size(), [&](std::size_t i) {
-    if (cancel_ != nullptr && cancel_->canceled()) return;
-    faultinject::chaos_cell_delay(i);
-    util::ThreadCpuTimer cell_timer;
-    execute_checked_cell(engine, trace, compiled ? &*compiled : nullptr,
-                         cells[i], i, result.measurements[i], failed[i]);
-    cell_s[i] = cell_timer.elapsed_s();
-  });
+  if (mode_ == ReplayMode::kFused) {
+    fan_out(bands, [&](std::size_t b) {
+      if (cancel_ != nullptr && cancel_->canceled()) return;
+      const std::size_t first = b * width;
+      const std::size_t count = std::min(width, cells.size() - first);
+      faultinject::chaos_band_delay(first, count);
+      util::ThreadCpuTimer band_timer;
+      std::size_t band_arena = 0;
+      execute_checked_band(engine, *compiled, cells, first, count,
+                           result.measurements, failed, band_arena);
+      raise_peak(arena_peak, band_arena);
+      const double per_cell_s =
+          band_timer.elapsed_s() / static_cast<double>(count);
+      for (std::size_t j = 0; j < count; ++j) {
+        cell_s[first + j] = per_cell_s;
+      }
+    });
+  } else {
+    fan_out(cells.size(), [&](std::size_t i) {
+      if (cancel_ != nullptr && cancel_->canceled()) return;
+      faultinject::chaos_cell_delay(i);
+      util::ThreadCpuTimer cell_timer;
+      std::size_t cell_arena = 0;
+      execute_checked_cell(engine, trace, compiled ? &*compiled : nullptr,
+                           cells[i], i, result.measurements[i], failed[i],
+                           cell_arena);
+      raise_peak(arena_peak, cell_arena);
+      cell_s[i] = cell_timer.elapsed_s();
+    });
+  }
   stats_.wall_s = wall.elapsed_s();
   throw_if_canceled();
 
@@ -323,6 +536,7 @@ CampaignResult CampaignRunner::run_checked(
     if (f) result.failures.push_back(std::move(*f));
   }
 
+  stats_.arena_peak_bytes = arena_peak.load(std::memory_order_relaxed);
   finalize_stats(stats_, cell_s);
   return result;
 }
@@ -351,23 +565,32 @@ struct AsyncGrid {
   std::shared_ptr<util::TaskScheduler::Group> group;
   std::function<void(CampaignRunner::AsyncOutcome)> done;
 
+  /// Lanes per fused band; the async grid always replays fused with the
+  /// default width (the band partition never depends on the scheduler).
+  std::size_t lane_width = LaneBand::kDefaultLanes;
+  std::size_t bands = 0;
+
   util::WallTimer wall;
   std::vector<std::optional<RunMeasurement>> slots;
   std::vector<std::optional<CellFailure>> failed;
   std::vector<double> cell_s;
-  std::atomic<std::size_t> remaining{0};
+  std::atomic<std::size_t> arena_peak{0};
+  std::atomic<std::size_t> remaining{0};  ///< bands still outstanding
 };
 
 /// The merge continuation: runs once, as a kRequest task, after the last
-/// cell settles. Mirrors run_checked's tail exactly (including skipping
+/// band settles. Mirrors run_checked's tail exactly (including skipping
 /// the totals ledger for canceled campaigns).
 void merge_async_grid(const std::shared_ptr<AsyncGrid>& grid) {
   CampaignRunner::AsyncOutcome outcome;
   outcome.stats.cells = grid->cells.size();
+  outcome.stats.lane_width = grid->lane_width;
   outcome.stats.threads = std::max<std::size_t>(
       1, std::min(grid->group->scheduler().threads(),
-                  std::max<std::size_t>(1, grid->cells.size())));
+                  std::max<std::size_t>(1, grid->bands)));
   outcome.stats.wall_s = grid->wall.elapsed_s();
+  outcome.stats.arena_peak_bytes =
+      grid->arena_peak.load(std::memory_order_relaxed);
   if (grid->cancel != nullptr && grid->cancel->canceled()) {
     outcome.error =
         std::make_exception_ptr(util::CanceledError(grid->cancel->reason()));
@@ -415,23 +638,34 @@ void CampaignRunner::measure_grid_checked_async(
   grid->slots.resize(n);
   grid->failed.resize(n);
   grid->cell_s.assign(n, 0.0);
-  grid->remaining.store(n, std::memory_order_relaxed);
+  grid->bands = band_count(n, grid->lane_width);
+  grid->remaining.store(grid->bands, std::memory_order_relaxed);
 
   util::TaskScheduler::Group& g = *grid->group;
-  for (std::size_t i = 0; i < n; ++i) {
-    g.submit(util::TaskScheduler::TaskClass::kCell, [grid, i] {
-      // Same cell body as run_checked: cancellation between cells, chaos
-      // delay, thread-CPU timing, checked attempt loop.
+  for (std::size_t b = 0; b < grid->bands; ++b) {
+    // A kCell task is now a lane band (fused attempt 0, per-cell retry
+    // shedding) — same fairness unit across serve, session and campaigns.
+    g.submit(util::TaskScheduler::TaskClass::kCell, [grid, b] {
+      // Same band body as run_checked: cancellation between bands, chaos
+      // delay, thread-CPU timing, checked band with per-cell shedding.
       if (grid->cancel == nullptr || !grid->cancel->canceled()) {
-        faultinject::chaos_cell_delay(i);
-        util::ThreadCpuTimer cell_timer;
-        execute_checked_cell(*grid->engine, *grid->trace,
-                             grid->compiled ? &*grid->compiled : nullptr,
-                             grid->cells[i], i, grid->slots[i],
-                             grid->failed[i]);
-        grid->cell_s[i] = cell_timer.elapsed_s();
+        const std::size_t first = b * grid->lane_width;
+        const std::size_t count =
+            std::min(grid->lane_width, grid->cells.size() - first);
+        faultinject::chaos_band_delay(first, count);
+        util::ThreadCpuTimer band_timer;
+        std::size_t band_arena = 0;
+        execute_checked_band(*grid->engine, *grid->compiled, grid->cells,
+                             first, count, grid->slots, grid->failed,
+                             band_arena);
+        raise_peak(grid->arena_peak, band_arena);
+        const double per_cell_s =
+            band_timer.elapsed_s() / static_cast<double>(count);
+        for (std::size_t j = 0; j < count; ++j) {
+          grid->cell_s[first + j] = per_cell_s;
+        }
       }
-      // The last cell to settle hands off to the merge continuation —
+      // The last band to settle hands off to the merge continuation —
       // submitted from inside a still-outstanding task, so the scheduler
       // never observes a quiescent gap mid-campaign.
       if (grid->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
@@ -486,6 +720,8 @@ CampaignStats campaign_totals() {
   totals.threads = reg.threads;
   totals.wall_s = reg.wall_s;
   totals.cpu_s = reg.cpu_s;
+  totals.lane_width = reg.lane_width;
+  totals.arena_peak_bytes = reg.arena_peak_bytes;
   if (!reg.cell_s.empty()) {
     std::vector<double> sorted = reg.cell_s;
     std::sort(sorted.begin(), sorted.end());
@@ -502,6 +738,8 @@ void reset_campaign_totals() {
   reg.threads = 0;
   reg.wall_s = 0.0;
   reg.cpu_s = 0.0;
+  reg.lane_width = 0;
+  reg.arena_peak_bytes = 0;
 }
 
 }  // namespace mnemo::core

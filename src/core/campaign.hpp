@@ -1,5 +1,6 @@
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <exception>
 #include <functional>
@@ -8,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "core/lane_band.hpp"
 #include "core/sensitivity_engine.hpp"
 #include "faultinject/fault_plan.hpp"
 #include "hybridmem/placement.hpp"
@@ -25,16 +27,20 @@ struct CampaignCell {
   int repeat = 0;
 };
 
-/// How the runner replays each cell (DESIGN.md §12). kCompiled — the
-/// default — builds one workload::CompiledTrace per campaign (hoisting the
-/// per-key hashes, digests, byte streams and dataset size out of the cell
-/// loop) and backs each worker's per-cell allocations with a thread-local
-/// reusable util::Arena. kLegacy replays the raw Trace per cell on the
-/// heap. Both produce bit-identical measurements — kLegacy exists as the
-/// equivalence oracle for tests and the "before" arm of bench_campaign.
+/// How the runner replays each cell (DESIGN.md §12, §14). kFused — the
+/// default — partitions the cell vector into bands of lane_width()
+/// consecutive cells and replays each band with core::LaneBand: one pass
+/// over the shared CompiledTrace advances every lane's independent state
+/// machine, amortizing the op-stream decode and hint loads across lanes.
+/// kCompiled replays the same CompiledTrace one cell at a time (the PR 8
+/// per-cell baseline and the fused path's pairwise oracle). kLegacy
+/// replays the raw Trace per cell on the heap. All three produce
+/// bit-identical measurements — the slower modes exist as equivalence
+/// oracles for tests and as the "before" arms of bench_campaign.
 enum class ReplayMode : std::uint8_t {
-  kCompiled = 0,
-  kLegacy = 1,
+  kFused = 0,
+  kCompiled = 1,
+  kLegacy = 2,
 };
 
 /// Ledger entry for a campaign cell quarantined by the fault-injection
@@ -77,6 +83,14 @@ struct CampaignStats {
   double cpu_s = 0.0;       ///< sum of per-cell wall times
   double cell_p50_s = 0.0;  ///< median cell duration
   double cell_p95_s = 0.0;  ///< p95 cell duration
+  /// Lanes per fused band this campaign replayed with (1 = per-cell
+  /// replay, i.e. ReplayMode::kCompiled/kLegacy). Max-merged: the widest
+  /// band any merged campaign used.
+  std::size_t lane_width = 0;
+  /// High-water mark of any single cell arena's bytes_allocated() across
+  /// the campaign — the grow-once footprint one lane of replay needs.
+  /// Max-merged; 0 when no arena was used (kLegacy).
+  std::size_t arena_peak_bytes = 0;
 
   /// cpu / wall: average number of cells in flight — the wall-clock
   /// speedup over running the same cells serially.
@@ -192,6 +206,16 @@ class CampaignRunner {
   void set_replay_mode(ReplayMode mode) noexcept { mode_ = mode; }
   [[nodiscard]] ReplayMode replay_mode() const noexcept { return mode_; }
 
+  /// Lanes per fused band under ReplayMode::kFused, clamped to
+  /// [1, LaneBand::kMaxLanes]; width 1 replays the same schedule one cell
+  /// per band. The band partition depends only on the cell count and this
+  /// width — never on the thread count — so grids stay bit-identical at
+  /// any `threads`, and fixed lane widths stay comparable across runs.
+  void set_lane_width(std::size_t width) noexcept {
+    lane_width_ = std::clamp<std::size_t>(width, 1, LaneBand::kMaxLanes);
+  }
+  [[nodiscard]] std::size_t lane_width() const noexcept { return lane_width_; }
+
   /// Accounting of the most recent run()/measure_grid() on this runner.
   [[nodiscard]] const CampaignStats& stats() const noexcept { return stats_; }
 
@@ -209,7 +233,8 @@ class CampaignRunner {
   const util::CancelToken* cancel_;
   util::TaskScheduler* scheduler_;
   util::TaskScheduler::Group* group_;
-  ReplayMode mode_ = ReplayMode::kCompiled;
+  ReplayMode mode_ = ReplayMode::kFused;
+  std::size_t lane_width_ = LaneBand::kDefaultLanes;
   CampaignStats stats_;
 };
 

@@ -117,6 +117,11 @@ class SensitivityEngine {
   [[nodiscard]] hybridmem::EmulationProfile sized_platform(
       std::uint64_t dataset_bytes) const;
 
+  /// The lane-fused executor (core/lane_band) replays K cells per trace
+  /// pass; it builds each lane's deployment exactly like try_run_once, so
+  /// it needs the same platform-sizing internals.
+  friend class LaneBand;
+
   SensitivityConfig config_;
 };
 

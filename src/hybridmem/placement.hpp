@@ -39,6 +39,11 @@ class Placement {
   [[nodiscard]] std::size_t key_count() const noexcept {
     return nodes_.size();
   }
+
+  /// Two placements are equal when every key lives on the same node. Used
+  /// by the lane-fused replay (core::LaneBand) to recognize repeat-sibling
+  /// lanes: cells that share a placement and differ only in repeat.
+  friend bool operator==(const Placement&, const Placement&) = default;
   [[nodiscard]] std::size_t fast_keys() const noexcept { return fast_keys_; }
   [[nodiscard]] std::size_t slow_keys() const noexcept {
     return nodes_.size() - fast_keys_;

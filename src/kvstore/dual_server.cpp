@@ -14,7 +14,7 @@ DualServer::DualServer(hybridmem::HybridMemory& memory, StoreKind kind,
   StoreConfig slow_cfg = base_config;
   slow_cfg.node = hybridmem::NodeId::kSlow;
   // Distinct jitter streams per instance, like two independent processes.
-  slow_cfg.seed = base_config.seed ^ 0x510'3141ULL;
+  slow_cfg.seed = base_config.seed ^ kSlowSeedMix;
   fast_ = make_store(kind, memory, fast_cfg);
   slow_ = make_store(kind, memory, slow_cfg);
 }

@@ -22,6 +22,12 @@ namespace mnemo::kvstore {
 /// server instances" according to the key placement.
 class DualServer {
  public:
+  /// Seed perturbation applied to the SlowMem instance's StoreConfig so
+  /// the two instances draw distinct jitter streams, like two independent
+  /// processes. Public so skeleton replay (core::LaneBand, DESIGN.md §14)
+  /// can reproduce an instance's noise stream without building the store.
+  static constexpr std::uint64_t kSlowSeedMix = 0x510'3141ULL;
+
   DualServer(hybridmem::HybridMemory& memory, StoreKind kind,
              const StoreConfig& base_config);
 

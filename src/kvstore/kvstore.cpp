@@ -27,7 +27,7 @@ KeyValueStore::KeyValueStore(hybridmem::HybridMemory& memory,
       kind_(kind),
       profile_(config.profile_override ? *config.profile_override
                                        : default_profile(kind)),
-      jitter_rng_(config.seed ^ (static_cast<std::uint64_t>(kind) << 56)),
+      noise_(ServiceNoise::for_instance(config, kind)),
       overhead_object_id_(kOverheadTag | next_instance_id()) {}
 
 KeyValueStore::~KeyValueStore() {

@@ -69,6 +69,55 @@ struct KeyHints {
   std::uint64_t digest = 0;
 };
 
+/// The stochastic service-time tail every operation passes through
+/// (KeyValueStore::finalize): multiplicative gaussian jitter with a floor,
+/// plus an occasional tail spike. A standalone value type so the
+/// lane-fused replay (core::LaneBand, DESIGN.md §14) can advance a repeat
+/// sibling's noise stream over a recorded deterministic skeleton with the
+/// exact arithmetic and rng consumption of a full replay.
+class ServiceNoise {
+ public:
+  ServiceNoise(const ServiceProfile& profile, bool deterministic,
+               std::uint64_t seed)
+      : jitter_sigma_(profile.jitter_sigma),
+        tail_spike_prob_(profile.tail_spike_prob),
+        tail_spike_mult_(profile.tail_spike_mult),
+        deterministic_(deterministic),
+        rng_(seed) {}
+
+  /// The noise stream of one server instance: the same profile resolution
+  /// and rng seeding KeyValueStore's constructor performs.
+  [[nodiscard]] static ServiceNoise for_instance(const StoreConfig& config,
+                                                 StoreKind kind) {
+    return ServiceNoise(config.profile_override ? *config.profile_override
+                                                : default_profile(kind),
+                        config.deterministic_service,
+                        config.seed ^ (static_cast<std::uint64_t>(kind) << 56));
+  }
+
+  /// Scale one operation's deterministic service time by the next noise
+  /// draw. Every call consumes exactly the rng sequence one served
+  /// operation would, so an independent replica of the same
+  /// (profile, seed) stream stays in lockstep with a live instance.
+  double apply(double ns) {
+    if (deterministic_) return ns;
+    const double z = rng_.gaussian();
+    double factor = 1.0 + jitter_sigma_ * z;
+    factor = std::max(0.5, factor);
+    if (tail_spike_prob_ > 0.0 && rng_.next_double() < tail_spike_prob_) {
+      factor *= tail_spike_mult_;
+    }
+    return ns * factor;
+  }
+
+ private:
+  double jitter_sigma_;
+  double tail_spike_prob_;
+  double tail_spike_mult_;
+  bool deterministic_;
+  util::Rng rng_;
+};
+
 /// Abstract in-memory key-value store bound to one memory node of the
 /// hybrid system — the analogue of the paper's `numactl`-pinned server
 /// process. Keys are dense 64-bit IDs; values carry an explicit size.
@@ -144,6 +193,15 @@ class KeyValueStore {
   /// time advances as requests are served).
   [[nodiscard]] double now_ns() const noexcept { return stats_.busy_ns; }
 
+  /// Skeleton tap for the lane-fused replay (core::LaneBand, DESIGN.md
+  /// §14): while armed, finalize() records each operation's deterministic
+  /// pre-noise service time through `cursor` before applying noise. The
+  /// cursor is shared across both DualServer instances so the writes land
+  /// in op order. Arm only on a fault-free deployment after populate;
+  /// pass nullptr to disarm. Purely observational — results, rng streams
+  /// and statistics are untouched.
+  void set_skeleton_tap(double** cursor) noexcept { skeleton_tap_ = cursor; }
+
  protected:
   /// Apply jitter/tail noise, account busy time, and stamp the result.
   /// Defined inline: it closes every operation on the replay hot path.
@@ -154,20 +212,12 @@ class KeyValueStore {
     if (pending_failed_) ok = false;
     pending_fault_ = hybridmem::FaultKind::kNone;
     pending_failed_ = false;
-    if (!config_.deterministic_service) {
-      // Multiplicative noise: the request-to-request variability a real
-      // client observes. The rng stream advances identically regardless of
-      // data placement, so measured-vs-estimated differences reflect model
-      // error, not divergent random sequences.
-      const double z = jitter_rng_.gaussian();
-      double factor = 1.0 + profile_.jitter_sigma * z;
-      factor = std::max(0.5, factor);
-      if (profile_.tail_spike_prob > 0.0 &&
-          jitter_rng_.next_double() < profile_.tail_spike_prob) {
-        factor *= profile_.tail_spike_mult;
-      }
-      ns *= factor;
-    }
+    if (skeleton_tap_ != nullptr) *(*skeleton_tap_)++ = ns;
+    // Multiplicative noise: the request-to-request variability a real
+    // client observes. The rng stream advances identically regardless of
+    // data placement, so measured-vs-estimated differences reflect model
+    // error, not divergent random sequences.
+    ns = noise_.apply(ns);
     stats_.busy_ns += ns;
     return OpResult{ok, ns, llc_hit, fault};
   }
@@ -237,7 +287,8 @@ class KeyValueStore {
   StoreConfig config_;
   StoreKind kind_;
   ServiceProfile profile_;
-  util::Rng jitter_rng_;
+  ServiceNoise noise_;
+  double** skeleton_tap_ = nullptr;
   std::uint64_t overhead_object_id_;
   std::uint64_t accounted_overhead_ = 0;
   /// Fault absorbed by payload_access since the last finalize (sticky,

@@ -1,9 +1,13 @@
 #include "stats/log_histogram.hpp"
 
 #include <algorithm>
+#include <array>
+#include <bit>
 #include <cmath>
+#include <limits>
 
 #include "util/assert.hpp"
+#include "util/simd.hpp"
 
 namespace mnemo::stats {
 
@@ -14,14 +18,78 @@ double log_min() { return std::log10(LogHistogram::kMinNs); }
 constexpr double kBucketWidthLog =
     1.0 / static_cast<double>(LogHistogram::kBucketsPerDecade);
 
+/// Build the exact boundary table: for each bucket i, the smallest double
+/// x with bucket_index(x) == i. The index function is monotone
+/// non-decreasing (log10, scale, clamp and floor all are), so for
+/// positive doubles — whose IEEE bit patterns order the same way as their
+/// values — the boundary can be found by bisecting bit patterns between a
+/// point below the step and a point at-or-above it. 64 compares per
+/// bucket, once per process.
+std::array<double, 256> build_bounds() {
+  std::array<double, 256> bounds;
+  bounds[0] = -std::numeric_limits<double>::infinity();
+  for (std::size_t i = 1; i < LogHistogram::kBuckets; ++i) {
+    // Seed the bracket from the pow estimate of the boundary, then widen
+    // until it actually straddles the step (pow is within a few ULP).
+    const double guess = std::pow(
+        10.0, log_min() + kBucketWidthLog * static_cast<double>(i));
+    double lo = guess * (1.0 - 1e-9);
+    double hi = guess * (1.0 + 1e-9);
+    while (LogHistogram::bucket_index(lo) >= i) lo *= 1.0 - 1e-9;
+    while (LogHistogram::bucket_index(hi) < i) hi *= 1.0 + 1e-9;
+    std::uint64_t lo_bits = std::bit_cast<std::uint64_t>(lo);
+    std::uint64_t hi_bits = std::bit_cast<std::uint64_t>(hi);
+    while (hi_bits - lo_bits > 1) {
+      const std::uint64_t mid_bits = lo_bits + (hi_bits - lo_bits) / 2;
+      const double mid = std::bit_cast<double>(mid_bits);
+      if (LogHistogram::bucket_index(mid) >= i) {
+        hi_bits = mid_bits;
+      } else {
+        lo_bits = mid_bits;
+      }
+    }
+    bounds[i] = std::bit_cast<double>(hi_bits);
+    MNEMO_ASSERT(LogHistogram::bucket_index(bounds[i]) == i);
+    MNEMO_ASSERT(LogHistogram::bucket_index(std::bit_cast<double>(
+                     hi_bits - 1)) == i - 1);
+  }
+  for (std::size_t i = LogHistogram::kBuckets; i < bounds.size(); ++i) {
+    bounds[i] = std::numeric_limits<double>::infinity();
+  }
+  return bounds;
+}
+
 }  // namespace
 
-void LogHistogram::add(double ns) noexcept {
+std::size_t LogHistogram::bucket_index(double ns) noexcept {
   double idx =
       (std::log10(std::max(ns, kMinNs)) - log_min()) / kBucketWidthLog;
   idx = std::clamp(idx, 0.0, static_cast<double>(kBuckets) - 1.0);
-  ++counts_[static_cast<std::size_t>(idx)];
+  return static_cast<std::size_t>(idx);
+}
+
+std::span<const double, 256> LogHistogram::bucket_bounds() noexcept {
+  static const std::array<double, 256> bounds = build_bounds();
+  return bounds;
+}
+
+void LogHistogram::add(double ns) noexcept {
+  ++counts_[bucket_index(ns)];
   ++total_;
+}
+
+void LogHistogram::add_batch(std::span<const double> ns) noexcept {
+  const double* bounds = bucket_bounds().data();
+  constexpr std::size_t kChunk = 128;
+  std::uint32_t idx[kChunk];
+  std::size_t i = 0;
+  while (i < ns.size()) {
+    const std::size_t n = std::min(kChunk, ns.size() - i);
+    util::simd::partition_index_batch(bounds, ns.data() + i, idx, n);
+    for (std::size_t j = 0; j < n; ++j) ++counts_[idx[j]];
+    i += n;
+  }
+  total_ += ns.size();
 }
 
 double LogHistogram::bucket_lo_ns(std::size_t i) {

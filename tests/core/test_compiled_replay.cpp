@@ -93,7 +93,11 @@ TEST(CompiledReplay, GridBitIdenticalToLegacyAcrossStoresAndThreads) {
       CampaignRunner legacy(threads);
       legacy.set_replay_mode(ReplayMode::kLegacy);
       CampaignRunner fast(threads);
-      ASSERT_EQ(fast.replay_mode(), ReplayMode::kCompiled);
+      // The default is now the lane-fused executor; this suite pins the
+      // per-cell compiled arm against legacy (the fused ≡ per-cell leg
+      // lives in test_lane_fusion.cpp).
+      ASSERT_EQ(fast.replay_mode(), ReplayMode::kFused);
+      fast.set_replay_mode(ReplayMode::kCompiled);
 
       const std::vector<RunMeasurement> before =
           legacy.measure_grid(engine, trace, placements);

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
+#include <span>
 #include <vector>
 
 #include "stats/summary.hpp"
@@ -99,6 +101,60 @@ TEST(MixtureQuantile, WeightsShiftTheTail) {
     EXPECT_GE(v, prev);
     prev = v;
   }
+}
+
+TEST(LogHistogram, BucketBoundsTableIsExactAtEveryBoundary) {
+  // bucket_bounds() is the 256-entry partition table the lane-fused
+  // replay feeds to util::simd::partition_index_batch: bounds[i] must be
+  // the smallest double classified into bucket i, so batch bucketing by
+  // "largest i with bounds[i] <= x" reproduces bucket_index() bit for
+  // bit. Probe every boundary and its one-ulp neighbour.
+  const std::span<const double, 256> bounds = LogHistogram::bucket_bounds();
+  EXPECT_EQ(bounds[0], -std::numeric_limits<double>::infinity());
+  for (std::size_t i = 1; i < LogHistogram::kBuckets; ++i) {
+    ASSERT_LT(bounds[i - 1], bounds[i]) << "i=" << i;
+    ASSERT_EQ(LogHistogram::bucket_index(bounds[i]), i) << "i=" << i;
+    ASSERT_EQ(LogHistogram::bucket_index(std::nextafter(bounds[i], 0.0)),
+              i - 1)
+        << "i=" << i;
+  }
+  // The padding past the live buckets is +inf so no finite sample can
+  // ever partition beyond kBuckets - 1.
+  for (std::size_t i = LogHistogram::kBuckets; i < 256; ++i) {
+    ASSERT_EQ(bounds[i], std::numeric_limits<double>::infinity())
+        << "i=" << i;
+  }
+}
+
+TEST(LogHistogram, AddBatchMatchesPerOpAdd) {
+  util::Rng rng(6);
+  std::vector<double> samples;
+  for (int i = 0; i < 10'000; ++i) {
+    // Log-uniform across the full range plus both saturation ends.
+    samples.push_back(std::pow(10.0, rng.next_double() * 14.0 - 2.0));
+  }
+  const std::span<const double, 256> bounds = LogHistogram::bucket_bounds();
+  for (std::size_t i = 1; i < LogHistogram::kBuckets; ++i) {
+    samples.push_back(bounds[i]);
+    samples.push_back(std::nextafter(bounds[i], 0.0));
+  }
+
+  LogHistogram scalar;
+  for (const double s : samples) scalar.add(s);
+  LogHistogram batched;
+  batched.add_batch(samples);
+  EXPECT_EQ(batched, scalar);
+
+  // Batch appends compose with prior per-op contents, and an empty batch
+  // is a no-op.
+  LogHistogram mixed;
+  mixed.add(100.0);
+  mixed.add_batch(std::span<const double>(samples.data(), samples.size()));
+  mixed.add_batch(std::span<const double>{});
+  LogHistogram mixed_scalar;
+  mixed_scalar.add(100.0);
+  for (const double s : samples) mixed_scalar.add(s);
+  EXPECT_EQ(mixed, mixed_scalar);
 }
 
 TEST(MixtureQuantile, UnnormalizedWeightsAreEquivalent) {

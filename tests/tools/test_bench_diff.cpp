@@ -1,0 +1,178 @@
+// Unit tests for the bench_diff comparison engine (tools/bench_diff_lib.hpp)
+// — the exact logic the CLI shim ships. The contract under test is the
+// exit-code policy: 0 clean, 1 on regression OR coverage loss in either
+// direction, 2 when the files share no comparable metrics at all (the
+// graceful missing-section path: clear message, nonzero exit, no crash).
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "bench_diff_lib.hpp"
+
+namespace mnemo::benchdiff {
+namespace {
+
+Parser parse(const std::string& text) {
+  Parser p(text);
+  p.parse_value("");
+  EXPECT_FALSE(p.failed) << text;
+  return p;
+}
+
+const std::string kBaseline = R"({
+  "schema": "mnemo.bench.campaign/v2",
+  "aggregate": {"legacy_s": 2.0, "compiled_s": 1.0, "speedup": 2.0},
+  "results": [
+    {"store": "cachet", "threads": 2,
+     "execute": {"median_ops_per_s": 1000.0, "min_s": 0.5},
+     "median_s": 0.25}
+  ]
+})";
+
+TEST(BenchDiff, IdenticalFilesCompareCleanWithExitZero) {
+  const std::string text = kBaseline;  // Parser keeps a reference
+  const Parser base = parse(text);
+  const DiffResult diff = diff_metrics(base, base, 10.0);
+  EXPECT_EQ(diff.compared, 3u);  // speedup, median_ops_per_s, median_s
+  EXPECT_EQ(diff.regressed, 0u);
+  EXPECT_EQ(diff.missing_in_candidate, 0u);
+  EXPECT_EQ(diff.missing_in_baseline, 0u);
+  EXPECT_EQ(diff.exit_code(), 0);
+  // min_s and *_s config echoes are not part of the comparison surface.
+  EXPECT_EQ(diff.report.find("min_s"), std::string::npos);
+}
+
+TEST(BenchDiff, DirectionAwareRegressionIsExitOne) {
+  const std::string base_text = kBaseline;
+  // Time metric up 50% and throughput-style speedup down 50%: both are
+  // regressions despite moving in opposite numeric directions.
+  const std::string cand_text = R"({
+    "schema": "mnemo.bench.campaign/v2",
+    "aggregate": {"legacy_s": 2.0, "compiled_s": 1.0, "speedup": 1.0},
+    "results": [
+      {"store": "cachet", "threads": 2,
+       "execute": {"median_ops_per_s": 1000.0, "min_s": 0.5},
+       "median_s": 0.375}
+    ]
+  })";
+  const Parser base = parse(base_text);
+  const Parser cand = parse(cand_text);
+  const DiffResult diff = diff_metrics(base, cand, 10.0);
+  EXPECT_EQ(diff.compared, 3u);
+  EXPECT_EQ(diff.regressed, 2u);
+  EXPECT_EQ(diff.exit_code(), 1);
+  EXPECT_NE(diff.report.find("REGRESSED"), std::string::npos);
+  // Row labels carry the identifying siblings, not just the JSON path.
+  EXPECT_NE(diff.report.find("[cachet t2]"), std::string::npos);
+}
+
+TEST(BenchDiff, ImprovementsAndSlackWithinThresholdPass) {
+  const std::string base_text = kBaseline;
+  const std::string cand_text = R"({
+    "schema": "mnemo.bench.campaign/v2",
+    "aggregate": {"legacy_s": 2.0, "compiled_s": 1.0, "speedup": 3.0},
+    "results": [
+      {"store": "cachet", "threads": 2,
+       "execute": {"median_ops_per_s": 960.0, "min_s": 0.5},
+       "median_s": 0.26}
+    ]
+  })";
+  const Parser base = parse(base_text);
+  const Parser cand = parse(cand_text);
+  // -4% throughput and +4% time are inside the 10% budget; +50% speedup
+  // is an improvement, never a regression.
+  const DiffResult diff = diff_metrics(base, cand, 10.0);
+  EXPECT_EQ(diff.regressed, 0u);
+  EXPECT_EQ(diff.exit_code(), 0);
+}
+
+TEST(BenchDiff, MetricMissingInCandidateIsCoverageLossExitOne) {
+  const std::string base_text = kBaseline;
+  const std::string cand_text = R"({
+    "schema": "mnemo.bench.campaign/v2",
+    "aggregate": {"legacy_s": 2.0, "compiled_s": 1.0, "speedup": 2.0},
+    "results": [
+      {"store": "cachet", "threads": 2,
+       "execute": {"min_s": 0.5},
+       "median_s": 0.25}
+    ]
+  })";
+  const Parser base = parse(base_text);
+  const Parser cand = parse(cand_text);
+  const DiffResult diff = diff_metrics(base, cand, 10.0);
+  EXPECT_EQ(diff.compared, 2u);
+  EXPECT_EQ(diff.regressed, 0u);
+  EXPECT_EQ(diff.missing_in_candidate, 1u);
+  EXPECT_EQ(diff.exit_code(), 1) << "coverage loss must not read as a pass";
+  EXPECT_NE(diff.report.find("MISSING"), std::string::npos);
+  EXPECT_NE(diff.report.find("median_ops_per_s"), std::string::npos);
+}
+
+TEST(BenchDiff, MetricMissingInBaselineIsFlaggedExitOne) {
+  const std::string base_text = R"({
+    "schema": "mnemo.bench.campaign/v2",
+    "aggregate": {"speedup": 2.0}
+  })";
+  const std::string cand_text = R"({
+    "schema": "mnemo.bench.campaign/v2",
+    "aggregate": {"speedup": 2.0, "fused_speedup": 1.5}
+  })";
+  const Parser base = parse(base_text);
+  const Parser cand = parse(cand_text);
+  const DiffResult diff = diff_metrics(base, cand, 10.0);
+  EXPECT_EQ(diff.compared, 1u);
+  EXPECT_EQ(diff.missing_in_baseline, 1u);
+  EXPECT_EQ(diff.exit_code(), 1);
+  EXPECT_NE(diff.report.find("UNEXPECTED"), std::string::npos);
+  EXPECT_NE(diff.report.find("refresh the baseline?"), std::string::npos);
+}
+
+TEST(BenchDiff, NoComparableMetricsIsExitTwoWithClearMessage) {
+  // Renamed sections: both files are valid JSON, neither shares a
+  // median/speedup key with the other — in fact the baseline has none.
+  const std::string base_text = R"({
+    "schema": "mnemo.bench.campaign/v2",
+    "aggregate": {"elapsed_total": 2.0}
+  })";
+  const std::string cand_text = R"({
+    "schema": "mnemo.bench.campaign/v2",
+    "totals": {"median_s": 1.0}
+  })";
+  const Parser base = parse(base_text);
+  const Parser cand = parse(cand_text);
+  const DiffResult diff = diff_metrics(base, cand, 10.0);
+  EXPECT_EQ(diff.compared, 0u);
+  EXPECT_EQ(diff.exit_code(), 2);
+  EXPECT_NE(diff.report.find("no comparable median metrics found"),
+            std::string::npos);
+  EXPECT_NE(diff.report.find("missing or renamed sections?"),
+            std::string::npos);
+}
+
+TEST(BenchDiff, ZeroBaselineValueDoesNotDivide) {
+  const std::string base_text = R"({"phase": {"median_s": 0.0}})";
+  const std::string cand_text = R"({"phase": {"median_s": 5.0}})";
+  const Parser base = parse(base_text);
+  const Parser cand = parse(cand_text);
+  const DiffResult diff = diff_metrics(base, cand, 10.0);
+  EXPECT_EQ(diff.compared, 1u);
+  EXPECT_EQ(diff.regressed, 0u);  // delta undefined -> treated as 0%
+  EXPECT_EQ(diff.exit_code(), 0);
+}
+
+TEST(BenchDiff, ParserFlattensNestedArraysAndStrings) {
+  const std::string text = kBaseline;
+  const Parser p = parse(text);
+  EXPECT_EQ(p.strings.at("schema"), "mnemo.bench.campaign/v2");
+  EXPECT_EQ(p.strings.at("results[0].store"), "cachet");
+  EXPECT_DOUBLE_EQ(p.numbers.at("aggregate.speedup"), 2.0);
+  EXPECT_DOUBLE_EQ(p.numbers.at("results[0].execute.median_ops_per_s"),
+                   1000.0);
+  Parser bad("{\"oops\": }");
+  bad.parse_value("");
+  EXPECT_TRUE(bad.failed);
+}
+
+}  // namespace
+}  // namespace mnemo::benchdiff

@@ -1,140 +1,38 @@
 // bench_diff: compare two BENCH_*.json files produced by the bench
-// binaries (mnemo.bench.replay/v1, mnemo.bench.campaign/v1, ...) and
+// binaries (mnemo.bench.replay/v1, mnemo.bench.campaign/v2, ...) and
 // report per-phase deltas for every median metric.
 //
 //   bench_diff BASELINE.json CANDIDATE.json [--max-regress PCT]
 //
-// Exit status: 0 when no compared metric regressed by more than
-// --max-regress percent (default 10), 1 when at least one did, 2 on
-// usage/parse errors. Metric direction is inferred from the key name:
-// throughput-style keys (ops_per_s, speedup, throughput) regress when
-// they go down; time-style keys (*_s, *_ns) regress when they go up.
+// Exit status: 0 when every compared metric is within --max-regress
+// percent (default 10) and both files cover the same metrics; 1 when a
+// metric regressed OR one side is missing metrics the other has (coverage
+// loss must not read as a pass); 2 on usage/parse errors or when the
+// files share no comparable metrics at all. Metric direction is inferred
+// from the key name: throughput-style keys (ops_per_s, speedup,
+// throughput) regress when they go down; time-style keys (*_s, *_ns)
+// regress when they go up.
 //
-// The parser below is a deliberately small recursive-descent reader for
-// the machine-generated JSON our writers emit — objects, arrays, strings,
-// numbers, bools — not a general-purpose JSON library.
+// The comparison engine lives in bench_diff_lib.hpp (header-only) so the
+// unit tests exercise exactly the logic this binary ships.
 
-#include <cctype>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <fstream>
-#include <map>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "bench_diff_lib.hpp"
+
 namespace {
 
-struct Parser {
-  const std::string& text;
-  std::size_t pos = 0;
-  bool failed = false;
+using mnemo::benchdiff::DiffResult;
+using mnemo::benchdiff::Parser;
 
-  /// Flattened numeric leaves: "results[2].execute.median_ops_per_s" -> v.
-  std::map<std::string, double> numbers;
-  /// String leaves, used to label result rows ("store", workload name).
-  std::map<std::string, std::string> strings;
-
-  explicit Parser(const std::string& t) : text(t) {}
-
-  void skip_ws() {
-    while (pos < text.size() &&
-           std::isspace(static_cast<unsigned char>(text[pos])) != 0) {
-      ++pos;
-    }
-  }
-
-  [[nodiscard]] char peek() {
-    skip_ws();
-    return pos < text.size() ? text[pos] : '\0';
-  }
-
-  bool expect(char ch) {
-    if (peek() != ch) {
-      failed = true;
-      return false;
-    }
-    ++pos;
-    return true;
-  }
-
-  std::string parse_string() {
-    if (!expect('"')) return {};
-    std::string out;
-    while (pos < text.size() && text[pos] != '"') {
-      if (text[pos] == '\\' && pos + 1 < text.size()) ++pos;
-      out.push_back(text[pos++]);
-    }
-    if (!expect('"')) return {};
-    return out;
-  }
-
-  void parse_value(const std::string& path) {
-    const char ch = peek();
-    if (ch == '{') {
-      parse_object(path);
-    } else if (ch == '[') {
-      parse_array(path);
-    } else if (ch == '"') {
-      strings[path] = parse_string();
-    } else if (std::strncmp(text.c_str() + pos, "true", 4) == 0) {
-      pos += 4;
-    } else if (std::strncmp(text.c_str() + pos, "false", 5) == 0) {
-      pos += 5;
-    } else if (std::strncmp(text.c_str() + pos, "null", 4) == 0) {
-      pos += 4;
-    } else {
-      char* end = nullptr;
-      const double v = std::strtod(text.c_str() + pos, &end);
-      if (end == text.c_str() + pos) {
-        failed = true;
-        return;
-      }
-      pos = static_cast<std::size_t>(end - text.c_str());
-      numbers[path] = v;
-    }
-  }
-
-  void parse_object(const std::string& path) {
-    if (!expect('{')) return;
-    if (peek() == '}') {
-      ++pos;
-      return;
-    }
-    while (!failed) {
-      const std::string key = parse_string();
-      if (!expect(':')) return;
-      parse_value(path.empty() ? key : path + "." + key);
-      if (peek() == ',') {
-        ++pos;
-        continue;
-      }
-      expect('}');
-      return;
-    }
-  }
-
-  void parse_array(const std::string& path) {
-    if (!expect('[')) return;
-    if (peek() == ']') {
-      ++pos;
-      return;
-    }
-    std::size_t index = 0;
-    while (!failed) {
-      parse_value(path + "[" + std::to_string(index++) + "]");
-      if (peek() == ',') {
-        ++pos;
-        continue;
-      }
-      expect(']');
-      return;
-    }
-  }
-};
-
-bool load(const std::string& path, Parser** out, std::string* storage) {
+bool load(const std::string& path, std::unique_ptr<Parser>* out,
+          std::string* storage) {
   std::ifstream file(path);
   if (!file.good()) {
     std::fprintf(stderr, "bench_diff: cannot read %s\n", path.c_str());
@@ -143,54 +41,14 @@ bool load(const std::string& path, Parser** out, std::string* storage) {
   std::stringstream ss;
   ss << file.rdbuf();
   *storage = ss.str();
-  auto* parser = new Parser(*storage);
+  auto parser = std::make_unique<Parser>(*storage);
   parser->parse_value("");
   if (parser->failed) {
     std::fprintf(stderr, "bench_diff: %s is not valid JSON\n", path.c_str());
-    delete parser;
     return false;
   }
-  *out = parser;
+  *out = std::move(parser);
   return true;
-}
-
-/// Median metrics are the stable comparison surface; min_* values are
-/// machine-noise floors and everything else is configuration echo.
-bool compared_metric(const std::string& path) {
-  return path.find("median") != std::string::npos ||
-         path.find("speedup") != std::string::npos;
-}
-
-/// True when larger values are better (throughput-style); false when
-/// smaller is better (elapsed-time-style).
-bool higher_is_better(const std::string& path) {
-  return path.find("ops_per_s") != std::string::npos ||
-         path.find("throughput") != std::string::npos ||
-         path.find("speedup") != std::string::npos;
-}
-
-/// Annotate a result-row metric with its identifying siblings, e.g.
-/// "results[3].execute.median_ops_per_s [cachet t2]".
-std::string row_label(const Parser& p, const std::string& path) {
-  const std::size_t bracket = path.find(']');
-  if (bracket == std::string::npos) return path;
-  const std::string row = path.substr(0, bracket + 1);
-  std::string label;
-  if (const auto it = p.strings.find(row + ".store");
-      it != p.strings.end()) {
-    label += it->second;
-  }
-  if (const auto it = p.numbers.find(row + ".threads");
-      it != p.numbers.end()) {
-    label += " t" + std::to_string(static_cast<long>(it->second));
-  }
-  if (const auto it = p.numbers.find(row + ".fast_fraction");
-      it != p.numbers.end()) {
-    char buf[32];
-    std::snprintf(buf, sizeof buf, " f=%.3f", it->second);
-    label += buf;
-  }
-  return label.empty() ? path : path + " [" + label + "]";
 }
 
 }  // namespace
@@ -224,8 +82,8 @@ int main(int argc, char** argv) {
 
   std::string base_text;
   std::string cand_text;
-  Parser* base = nullptr;
-  Parser* cand = nullptr;
+  std::unique_ptr<Parser> base;
+  std::unique_ptr<Parser> cand;
   if (!load(files[0], &base, &base_text) ||
       !load(files[1], &cand, &cand_text)) {
     return 2;
@@ -241,39 +99,13 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  std::size_t compared = 0;
-  std::size_t regressed = 0;
-  for (const auto& [path, base_value] : base->numbers) {
-    if (!compared_metric(path)) continue;
-    const auto it = cand->numbers.find(path);
-    if (it == cand->numbers.end()) {
-      std::printf("MISSING   %s (baseline %.6f, no candidate value)\n",
-                  row_label(*base, path).c_str(), base_value);
-      continue;
-    }
-    const double cand_value = it->second;
-    ++compared;
-    double delta_pct = 0.0;
-    if (base_value != 0.0) {
-      delta_pct = (cand_value - base_value) / base_value * 100.0;
-    }
-    const double regress_pct =
-        higher_is_better(path) ? -delta_pct : delta_pct;
-    const bool bad = regress_pct > max_regress_pct;
-    if (bad) ++regressed;
-    std::printf("%-9s %s  %.6f -> %.6f  (%+.1f%%)\n",
-                bad ? "REGRESSED" : "ok", row_label(*base, path).c_str(),
-                base_value, cand_value, delta_pct);
-  }
-
-  std::printf("bench_diff: %zu metrics compared, %zu regressed beyond "
-              "%.1f%%\n",
-              compared, regressed, max_regress_pct);
-  delete base;
-  delete cand;
-  if (compared == 0) {
-    std::fprintf(stderr, "bench_diff: no comparable median metrics found\n");
-    return 2;
-  }
-  return regressed == 0 ? 0 : 1;
+  const DiffResult diff =
+      mnemo::benchdiff::diff_metrics(*base, *cand, max_regress_pct);
+  std::fputs(diff.report.c_str(), stdout);
+  std::printf(
+      "bench_diff: %zu metrics compared, %zu regressed beyond %.1f%%, "
+      "%zu missing in candidate, %zu missing in baseline\n",
+      diff.compared, diff.regressed, max_regress_pct,
+      diff.missing_in_candidate, diff.missing_in_baseline);
+  return diff.exit_code();
 }

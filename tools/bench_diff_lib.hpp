@@ -1,0 +1,250 @@
+#pragma once
+
+// The comparison engine behind the bench_diff tool, split out header-only
+// so tests can drive it directly (tests/tools/test_bench_diff.cpp) and the
+// binary stays a thin argv shim. Compares two BENCH_*.json files produced
+// by the bench binaries (mnemo.bench.replay/v1, mnemo.bench.campaign/v2,
+// ...) and reports per-phase deltas for every median/speedup metric.
+//
+// The parser is a deliberately small recursive-descent reader for the
+// machine-generated JSON our writers emit — objects, arrays, strings,
+// numbers, bools — not a general-purpose JSON library.
+
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+namespace mnemo::benchdiff {
+
+struct Parser {
+  const std::string& text;
+  std::size_t pos = 0;
+  bool failed = false;
+
+  /// Flattened numeric leaves: "results[2].execute.median_ops_per_s" -> v.
+  std::map<std::string, double> numbers;
+  /// String leaves, used to label result rows ("store", workload name).
+  std::map<std::string, std::string> strings;
+
+  explicit Parser(const std::string& t) : text(t) {}
+
+  void skip_ws() {
+    while (pos < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[pos])) != 0) {
+      ++pos;
+    }
+  }
+
+  [[nodiscard]] char peek() {
+    skip_ws();
+    return pos < text.size() ? text[pos] : '\0';
+  }
+
+  bool expect(char ch) {
+    if (peek() != ch) {
+      failed = true;
+      return false;
+    }
+    ++pos;
+    return true;
+  }
+
+  std::string parse_string() {
+    if (!expect('"')) return {};
+    std::string out;
+    while (pos < text.size() && text[pos] != '"') {
+      if (text[pos] == '\\' && pos + 1 < text.size()) ++pos;
+      out.push_back(text[pos++]);
+    }
+    if (!expect('"')) return {};
+    return out;
+  }
+
+  void parse_value(const std::string& path) {
+    const char ch = peek();
+    if (ch == '{') {
+      parse_object(path);
+    } else if (ch == '[') {
+      parse_array(path);
+    } else if (ch == '"') {
+      strings[path] = parse_string();
+    } else if (std::strncmp(text.c_str() + pos, "true", 4) == 0) {
+      pos += 4;
+    } else if (std::strncmp(text.c_str() + pos, "false", 5) == 0) {
+      pos += 5;
+    } else if (std::strncmp(text.c_str() + pos, "null", 4) == 0) {
+      pos += 4;
+    } else {
+      char* end = nullptr;
+      const double v = std::strtod(text.c_str() + pos, &end);
+      if (end == text.c_str() + pos) {
+        failed = true;
+        return;
+      }
+      pos = static_cast<std::size_t>(end - text.c_str());
+      numbers[path] = v;
+    }
+  }
+
+  void parse_object(const std::string& path) {
+    if (!expect('{')) return;
+    if (peek() == '}') {
+      ++pos;
+      return;
+    }
+    while (!failed) {
+      const std::string key = parse_string();
+      if (!expect(':')) return;
+      parse_value(path.empty() ? key : path + "." + key);
+      if (peek() == ',') {
+        ++pos;
+        continue;
+      }
+      expect('}');
+      return;
+    }
+  }
+
+  void parse_array(const std::string& path) {
+    if (!expect('[')) return;
+    if (peek() == ']') {
+      ++pos;
+      return;
+    }
+    std::size_t index = 0;
+    while (!failed) {
+      parse_value(path + "[" + std::to_string(index++) + "]");
+      if (peek() == ',') {
+        ++pos;
+        continue;
+      }
+      expect(']');
+      return;
+    }
+  }
+};
+
+/// Median metrics are the stable comparison surface; min_* values are
+/// machine-noise floors and everything else is configuration echo.
+[[nodiscard]] inline bool compared_metric(const std::string& path) {
+  return path.find("median") != std::string::npos ||
+         path.find("speedup") != std::string::npos;
+}
+
+/// True when larger values are better (throughput-style); false when
+/// smaller is better (elapsed-time-style).
+[[nodiscard]] inline bool higher_is_better(const std::string& path) {
+  return path.find("ops_per_s") != std::string::npos ||
+         path.find("throughput") != std::string::npos ||
+         path.find("speedup") != std::string::npos;
+}
+
+/// Annotate a result-row metric with its identifying siblings, e.g.
+/// "results[3].execute.median_ops_per_s [cachet t2]".
+[[nodiscard]] inline std::string row_label(const Parser& p,
+                                           const std::string& path) {
+  const std::size_t bracket = path.find(']');
+  if (bracket == std::string::npos) return path;
+  const std::string row = path.substr(0, bracket + 1);
+  std::string label;
+  if (const auto it = p.strings.find(row + ".store");
+      it != p.strings.end()) {
+    label += it->second;
+  }
+  if (const auto it = p.numbers.find(row + ".threads");
+      it != p.numbers.end()) {
+    label += " t" + std::to_string(static_cast<long>(it->second));
+  }
+  if (const auto it = p.numbers.find(row + ".fast_fraction");
+      it != p.numbers.end()) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, " f=%.3f", it->second);
+    label += buf;
+  }
+  return label.empty() ? path : path + " [" + label + "]";
+}
+
+/// Outcome of one baseline-vs-candidate comparison. A comparison is only
+/// trustworthy when every compared metric existed on both sides — a
+/// metric that silently vanished (renamed section, dropped phase) would
+/// otherwise read as "no regression" exactly when coverage was lost.
+struct DiffResult {
+  std::size_t compared = 0;   ///< metrics present on both sides
+  std::size_t regressed = 0;  ///< compared metrics beyond the threshold
+  std::size_t missing_in_candidate = 0;  ///< baseline-only metrics
+  std::size_t missing_in_baseline = 0;   ///< candidate-only metrics
+  std::string report;  ///< human-readable per-metric lines
+
+  /// Tool exit status: 0 clean; 1 regressions or coverage loss (either
+  /// side missing metrics the other has); 2 nothing comparable at all
+  /// (wrong/renamed sections — the report says which side is empty).
+  [[nodiscard]] int exit_code() const {
+    if (compared == 0) return 2;
+    if (regressed > 0 || missing_in_candidate > 0 ||
+        missing_in_baseline > 0) {
+      return 1;
+    }
+    return 0;
+  }
+};
+
+/// Compare every median/speedup metric of `base` against `cand`.
+/// Direction-aware: a metric regresses when it moves the wrong way by
+/// more than `max_regress_pct` percent. Metrics present on only one side
+/// are reported (MISSING / UNEXPECTED lines) and counted — see
+/// DiffResult::exit_code for why that is a failure, not a skip.
+[[nodiscard]] inline DiffResult diff_metrics(const Parser& base,
+                                             const Parser& cand,
+                                             double max_regress_pct) {
+  DiffResult result;
+  char line[512];
+  for (const auto& [path, base_value] : base.numbers) {
+    if (!compared_metric(path)) continue;
+    const auto it = cand.numbers.find(path);
+    if (it == cand.numbers.end()) {
+      ++result.missing_in_candidate;
+      std::snprintf(line, sizeof line,
+                    "MISSING   %s (baseline %.6f, no candidate value)\n",
+                    row_label(base, path).c_str(), base_value);
+      result.report += line;
+      continue;
+    }
+    const double cand_value = it->second;
+    ++result.compared;
+    double delta_pct = 0.0;
+    if (base_value != 0.0) {
+      delta_pct = (cand_value - base_value) / base_value * 100.0;
+    }
+    const double regress_pct =
+        higher_is_better(path) ? -delta_pct : delta_pct;
+    const bool bad = regress_pct > max_regress_pct;
+    if (bad) ++result.regressed;
+    std::snprintf(line, sizeof line, "%-9s %s  %.6f -> %.6f  (%+.1f%%)\n",
+                  bad ? "REGRESSED" : "ok", row_label(base, path).c_str(),
+                  base_value, cand_value, delta_pct);
+    result.report += line;
+  }
+  // The reverse sweep catches metrics the baseline never had — a renamed
+  // section shows up here instead of silently shrinking the comparison.
+  for (const auto& [path, cand_value] : cand.numbers) {
+    if (!compared_metric(path)) continue;
+    if (base.numbers.find(path) == base.numbers.end()) {
+      ++result.missing_in_baseline;
+      std::snprintf(line, sizeof line,
+                    "UNEXPECTED %s (candidate %.6f, no baseline value; "
+                    "refresh the baseline?)\n",
+                    row_label(cand, path).c_str(), cand_value);
+      result.report += line;
+    }
+  }
+  if (result.compared == 0) {
+    result.report +=
+        "bench_diff: no comparable median metrics found — the files share "
+        "no median/speedup keys (missing or renamed sections?)\n";
+  }
+  return result;
+}
+
+}  // namespace mnemo::benchdiff
